@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches are organised one-per-paper-artefact:
+//!
+//! * `paper_tables` — Table I (occupancy/profile construction), Table II
+//!   (the search stages), Table III (routine prediction across types),
+//!   Fig. 7 (kernel measurement) and Fig. 8 (algorithm-restricted
+//!   search);
+//! * `paper_figures` — the Figs. 9–11 sweep generators including vendor
+//!   curves;
+//! * `pipeline` — ablation benches for the machinery itself: code
+//!   generation, OpenCL C compilation, VM execution, operand packing and
+//!   the native executor.
+//!
+//! Each paper table/figure can be regenerated with
+//! `cargo run -p clgemm-report --bin repro`; here we measure the *cost*
+//! of regenerating them, so performance regressions in the tuner or
+//! simulator show up in CI.
+
+use clgemm::params::{small_test_params, tahiti_dgemm_best, KernelParams};
+use clgemm_blas::scalar::Precision;
+use clgemm_device::{DeviceId, DeviceSpec};
+
+/// The standard benchmark device.
+#[must_use]
+pub fn bench_device() -> DeviceSpec {
+    DeviceId::Tahiti.spec()
+}
+
+/// A small kernel parameter set that runs quickly in the VM.
+#[must_use]
+pub fn bench_small_params() -> KernelParams {
+    small_test_params(Precision::F32)
+}
+
+/// The paper's Tahiti DGEMM winner (Table II), used as a representative
+/// "big" kernel for profile/codegen benches.
+#[must_use]
+pub fn bench_paper_params() -> KernelParams {
+    tahiti_dgemm_best()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        bench_small_params().validate().unwrap();
+        bench_paper_params().validate().unwrap();
+        assert_eq!(bench_device().code_name, "Tahiti");
+    }
+}

@@ -1,0 +1,159 @@
+//! Forward-error analysis used to accept or reject generated kernels.
+//!
+//! A tuned kernel's result is compared against [`crate::gemm_ref`]; the
+//! acceptance threshold scales with `K` because the rounding error of an
+//! inner product grows with the number of accumulated terms. Kernels whose
+//! error exceeds the bound — or that produce non-finite values — are
+//! discarded, matching the paper's policy of not counting kernels that
+//! fail testing.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Summary of an element-wise comparison between a candidate result and
+/// the reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Largest absolute difference over all elements.
+    pub max_abs: f64,
+    /// Largest relative difference (`|x−y| / max(|y|, tiny)`).
+    pub max_rel: f64,
+    /// Index of the worst element.
+    pub argmax: (usize, usize),
+    /// Whether both matrices contain only finite values.
+    pub all_finite: bool,
+}
+
+impl ErrorReport {
+    /// Whether the candidate passes at the tolerance `tol` (relative).
+    #[must_use]
+    pub fn passes(&self, tol: f64) -> bool {
+        self.all_finite && self.max_rel <= tol
+    }
+}
+
+/// Largest absolute element-wise difference.
+///
+/// # Panics
+/// Panics if the shapes differ.
+#[must_use]
+pub fn max_abs_diff<T: Scalar>(x: &Matrix<T>, y: &Matrix<T>) -> f64 {
+    compare(x, y).max_abs
+}
+
+/// Largest relative element-wise difference.
+#[must_use]
+pub fn max_rel_error<T: Scalar>(x: &Matrix<T>, y: &Matrix<T>) -> f64 {
+    compare(x, y).max_rel
+}
+
+/// Full comparison.
+///
+/// # Panics
+/// Panics if the shapes differ.
+#[must_use]
+pub fn compare<T: Scalar>(x: &Matrix<T>, y: &Matrix<T>) -> ErrorReport {
+    assert_eq!(
+        (x.rows(), x.cols()),
+        (y.rows(), y.cols()),
+        "comparing matrices of different shapes"
+    );
+    let mut rep = ErrorReport { max_abs: 0.0, max_rel: 0.0, argmax: (0, 0), all_finite: true };
+    for j in 0..x.cols() {
+        for i in 0..x.rows() {
+            let xv = x.at(i, j).to_f64();
+            let yv = y.at(i, j).to_f64();
+            if !xv.is_finite() || !yv.is_finite() {
+                rep.all_finite = false;
+            }
+            let abs = (xv - yv).abs();
+            let rel = abs / yv.abs().max(1.0);
+            if rel > rep.max_rel {
+                rep.max_rel = rel;
+                rep.argmax = (i, j);
+            }
+            rep.max_abs = rep.max_abs.max(abs);
+        }
+    }
+    rep
+}
+
+/// The acceptance tolerance for a GEMM with reduction depth `k` in
+/// precision `T`: `c · k · ε` with a safety constant. Both the reference
+/// and the kernel may reassociate, so the bound must cover two different
+/// summation orders.
+#[must_use]
+pub fn gemm_tolerance<T: Scalar>(k: usize) -> f64 {
+    let eps = T::EPSILON.to_f64();
+    // 16 covers accumulation-order differences plus the alpha/beta merge.
+    16.0 * (k.max(1) as f64) * eps
+}
+
+/// One-call kernel acceptance check: compare `candidate` against
+/// `reference` at the GEMM tolerance for depth `k`.
+#[must_use]
+pub fn verify_gemm<T: Scalar>(candidate: &Matrix<T>, reference: &Matrix<T>, k: usize) -> ErrorReport {
+    let rep = compare(candidate, reference);
+    debug_assert!(gemm_tolerance::<T>(k) > 0.0);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StorageOrder;
+
+    #[test]
+    fn identical_matrices_have_zero_error() {
+        let m = Matrix::<f64>::test_pattern(6, 6, StorageOrder::ColMajor, 9);
+        let rep = compare(&m, &m);
+        assert_eq!(rep.max_abs, 0.0);
+        assert_eq!(rep.max_rel, 0.0);
+        assert!(rep.all_finite);
+        assert!(rep.passes(0.0));
+    }
+
+    #[test]
+    fn detects_single_corrupted_element() {
+        let m = Matrix::<f64>::test_pattern(5, 4, StorageOrder::ColMajor, 3);
+        let mut bad = m.clone();
+        *bad.at_mut(2, 3) += 0.5;
+        let rep = compare(&bad, &m);
+        assert_eq!(rep.argmax, (2, 3));
+        assert!((rep.max_abs - 0.5).abs() < 1e-15);
+        assert!(!rep.passes(1e-6));
+    }
+
+    #[test]
+    fn non_finite_values_fail_regardless_of_tolerance() {
+        let m = Matrix::<f32>::zeros(2, 2, StorageOrder::RowMajor);
+        let mut bad = m.clone();
+        *bad.at_mut(0, 0) = f32::NAN;
+        let rep = compare(&bad, &m);
+        assert!(!rep.all_finite);
+        assert!(!rep.passes(f64::INFINITY));
+    }
+
+    #[test]
+    fn tolerance_scales_with_k_and_precision() {
+        assert!(gemm_tolerance::<f64>(1024) < gemm_tolerance::<f32>(1024));
+        assert!(gemm_tolerance::<f64>(2048) > gemm_tolerance::<f64>(1024));
+        assert!(gemm_tolerance::<f64>(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 2, StorageOrder::ColMajor);
+        let b = Matrix::<f64>::zeros(2, 3, StorageOrder::ColMajor);
+        let _ = compare(&a, &b);
+    }
+
+    #[test]
+    fn relative_error_uses_reference_magnitude() {
+        let reference = Matrix::<f64>::from_fn(1, 1, StorageOrder::ColMajor, |_, _| 100.0);
+        let cand = Matrix::<f64>::from_fn(1, 1, StorageOrder::ColMajor, |_, _| 101.0);
+        let rep = compare(&cand, &reference);
+        assert!((rep.max_rel - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Copy/transpose/pad routines between user matrices and packed buffers.
+//!
+//! This is the "copying of matrix data" of §III-D and §IV-B: before the
+//! fast `AᵀB` kernel can run, each operand is copied (with transposition
+//! where the GEMM type requires it) into a zero-padded staging buffer laid
+//! out in one of the Fig. 3 layouts; after the kernel, the padded `C` tile
+//! is merged back into the user matrix.
+//!
+//! The copy is `O(N²)` work against the kernel's `O(N³)`, which is exactly
+//! why the paper's routine is slow at small `N` and amortised at large `N`
+//! — the timing model in `clgemm-device` charges for these copies so the
+//! reproduction shows the same crossover.
+
+use crate::layout::{round_up, BlockLayout, PackedDims};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::Trans;
+
+/// Description of one operand-packing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackSpec {
+    /// Transpose to apply while copying (`op` from the GEMM call combined
+    /// with the kernel's fixed `Aᵀ·B` shape).
+    pub trans: Trans,
+    /// Target layout in the staging buffer.
+    pub layout: BlockLayout,
+    /// Width-direction blocking factor of the target (`Mwg` or `Nwg`).
+    pub wwg: usize,
+    /// Depth-direction blocking factor of the target (`Kwg`).
+    pub kwg: usize,
+}
+
+/// Pack `op(X)` into a fresh zero-padded staging buffer.
+///
+/// The logical operand `op(X)` must have shape `k × width` — depth first,
+/// exactly how the `AᵀB` kernel consumes both operands. Returns the buffer
+/// and its padded dimensions.
+///
+/// # Panics
+/// Panics if the logical dimensions of `op(X)` don't match `(k, width)`.
+pub fn pack_operand<T: Scalar>(
+    x: &Matrix<T>,
+    spec: PackSpec,
+    k: usize,
+    width: usize,
+) -> (Vec<T>, PackedDims) {
+    let (xr, xc) = x.dims_op(spec.trans);
+    assert_eq!((xr, xc), (k, width), "operand shape mismatch: op(X) is {xr}x{xc}, expected {k}x{width}");
+
+    let kp = round_up(k, spec.kwg);
+    let wp = round_up(width, spec.wwg);
+    let dims = PackedDims::new(kp, wp, spec.wwg, spec.kwg)
+        .expect("rounded dims are multiples of the blocking factors by construction");
+    let mut buf = vec![T::ZERO; dims.len()];
+    pack_into(x, spec, k, width, &mut buf, dims);
+    (buf, dims)
+}
+
+/// Pack into a caller-provided buffer (used when staging buffers are
+/// reused across calls). Padding cells are written with zero.
+pub fn pack_into<T: Scalar>(
+    x: &Matrix<T>,
+    spec: PackSpec,
+    k: usize,
+    width: usize,
+    buf: &mut [T],
+    dims: PackedDims,
+) {
+    assert_eq!(buf.len(), dims.len(), "staging buffer size mismatch");
+    // Walk the *destination* in its linear order for each block so the
+    // write stream is sequential — the same optimisation a real packing
+    // routine performs.
+    for p in 0..dims.k {
+        for w in 0..dims.width {
+            let v = if p < k && w < width { x.at_op(spec.trans, p, w) } else { T::ZERO };
+            buf[spec.layout.offset(p, w, dims)] = v;
+        }
+    }
+}
+
+/// Read one element of a packed operand back out (test/debug helper).
+#[must_use]
+pub fn packed_at<T: Scalar>(buf: &[T], layout: BlockLayout, dims: PackedDims, p: usize, w: usize) -> T {
+    buf[layout.offset(p, w, dims)]
+}
+
+/// Unpack a packed operand back into a dense `k × width` matrix, dropping
+/// padding (the inverse of [`pack_operand`]; used by property tests).
+#[must_use]
+pub fn unpack_operand<T: Scalar>(
+    buf: &[T],
+    layout: BlockLayout,
+    dims: PackedDims,
+    k: usize,
+    width: usize,
+    order: crate::StorageOrder,
+) -> Matrix<T> {
+    Matrix::from_fn(k, width, order, |p, w| buf[layout.offset(p, w, dims)])
+}
+
+/// Dimensions of the padded `C` staging buffer for a `m × n` result with
+/// work-group factors `mwg × nwg`. `C` is staged row-major (the kernel's
+/// natural order); the merge step converts back to the user's order.
+#[must_use]
+pub fn c_staging_dims(m: usize, n: usize, mwg: usize, nwg: usize) -> (usize, usize) {
+    (round_up(m, mwg), round_up(n, nwg))
+}
+
+/// Stage the user's `C` into a padded row-major buffer (needed when
+/// `β ≠ 0`, because the kernel reads `C` to apply `β·C`).
+#[must_use]
+pub fn stage_c<T: Scalar>(c: &Matrix<T>, mwg: usize, nwg: usize) -> Vec<T> {
+    let (mp, np) = c_staging_dims(c.rows(), c.cols(), mwg, nwg);
+    let mut buf = vec![T::ZERO; mp * np];
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            buf[i * np + j] = c.at(i, j);
+        }
+    }
+    buf
+}
+
+/// Merge the kernel's padded row-major `C` result back into the user
+/// matrix, discarding padding rows/columns.
+pub fn merge_c<T: Scalar>(staged: &[T], mwg: usize, nwg: usize, c: &mut Matrix<T>) {
+    let (mp, np) = c_staging_dims(c.rows(), c.cols(), mwg, nwg);
+    assert_eq!(staged.len(), mp * np, "staged C buffer size mismatch");
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            *c.at_mut(i, j) = staged[i * np + j];
+        }
+    }
+}
+
+/// Number of scalar memory operations (reads + writes) the packing of one
+/// `k × width` operand performs, used by the routine-level timing model to
+/// charge the copy overhead.
+#[must_use]
+pub fn pack_mem_ops(k: usize, width: usize, kwg: usize, wwg: usize) -> usize {
+    // Read k*width source elements, write the padded destination.
+    k * width + round_up(k, kwg) * round_up(width, wwg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StorageOrder;
+
+    #[test]
+    fn pack_then_unpack_is_identity_without_transpose() {
+        let x = Matrix::<f64>::test_pattern(12, 10, StorageOrder::ColMajor, 7);
+        for layout in BlockLayout::ALL {
+            let spec = PackSpec { trans: Trans::No, layout, wwg: 4, kwg: 3 };
+            let (buf, dims) = pack_operand(&x, spec, 12, 10);
+            let back = unpack_operand(&buf, layout, dims, 12, 10, StorageOrder::ColMajor);
+            assert_eq!(back, x, "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn pack_applies_transpose() {
+        let x = Matrix::<f32>::test_pattern(5, 9, StorageOrder::RowMajor, 1);
+        let spec = PackSpec { trans: Trans::Yes, layout: BlockLayout::Cbl, wwg: 5, kwg: 3 };
+        // op(X) = Xᵀ is 9x5: depth 9, width 5.
+        let (buf, dims) = pack_operand(&x, spec, 9, 5);
+        for p in 0..9 {
+            for w in 0..5 {
+                assert_eq!(packed_at(&buf, spec.layout, dims, p, w), x.at(w, p));
+            }
+        }
+    }
+
+    #[test]
+    fn padding_cells_are_zero() {
+        let x = Matrix::<f64>::test_pattern(5, 6, StorageOrder::ColMajor, 0);
+        let spec = PackSpec { trans: Trans::No, layout: BlockLayout::Rbl, wwg: 4, kwg: 4 };
+        let (buf, dims) = pack_operand(&x, spec, 5, 6);
+        assert_eq!((dims.k, dims.width), (8, 8));
+        for p in 0..8 {
+            for w in 0..8 {
+                let v = packed_at(&buf, spec.layout, dims, p, w);
+                if p >= 5 || w >= 6 {
+                    assert_eq!(v, 0.0, "padding at ({p},{w}) not zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "operand shape mismatch")]
+    fn wrong_shape_is_rejected() {
+        let x = Matrix::<f64>::zeros(4, 4, StorageOrder::ColMajor);
+        let spec = PackSpec { trans: Trans::No, layout: BlockLayout::RowMajor, wwg: 2, kwg: 2 };
+        let _ = pack_operand(&x, spec, 5, 4);
+    }
+
+    #[test]
+    fn stage_and_merge_c_round_trip() {
+        let c = Matrix::<f64>::test_pattern(7, 5, StorageOrder::ColMajor, 2);
+        let staged = stage_c(&c, 4, 4);
+        assert_eq!(staged.len(), 8 * 8);
+        let mut out = Matrix::<f64>::zeros(7, 5, StorageOrder::ColMajor);
+        merge_c(&staged, 4, 4, &mut out);
+        assert_eq!(out, c);
+    }
+
+    #[test]
+    fn exact_multiple_sizes_need_no_padding() {
+        let (mp, np) = c_staging_dims(64, 32, 16, 8);
+        assert_eq!((mp, np), (64, 32));
+    }
+
+    #[test]
+    fn pack_mem_ops_counts_padding_writes() {
+        assert_eq!(pack_mem_ops(4, 4, 4, 4), 32);
+        // 5x5 source padded to 8x8: 25 reads + 64 writes.
+        assert_eq!(pack_mem_ops(5, 5, 4, 4), 25 + 64);
+    }
+}

@@ -1,0 +1,211 @@
+//! The precision abstraction shared by the whole workspace.
+//!
+//! The paper tunes two precisions: DGEMM (`f64`) and SGEMM (`f32`). Every
+//! generic routine in this workspace is written over [`Scalar`] so that
+//! both precisions exercise identical code paths, exactly as the paper's
+//! single code generator serves both.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type usable in GEMM kernels and reference code.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Element size in bytes, as the OpenCL device sees it.
+    const BYTES: usize;
+    /// The OpenCL C type name (`"float"` or `"double"`).
+    const CL_NAME: &'static str;
+    /// Machine epsilon of the type.
+    const EPSILON: Self;
+    /// Short precision tag used in routine names (`"S"` or `"D"`).
+    const PREC_TAG: char;
+
+    /// Lossy conversion from `f64` (used for test data and α/β handling).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used for error analysis).
+    fn to_f64(self) -> f64;
+    /// Fused multiply-add `self * a + b`; maps to the device MAD/FMA unit.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `true` if the value is finite (kernels producing NaN/Inf are rejected
+    /// by the tester just as crashing kernels are discarded in the paper).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const CL_NAME: &'static str = "float";
+    const EPSILON: Self = f32::EPSILON;
+    const PREC_TAG: char = 'S';
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const CL_NAME: &'static str = "double";
+    const EPSILON: Self = f64::EPSILON;
+    const PREC_TAG: char = 'D';
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Precision selector used where code paths are chosen at run time rather
+/// than by monomorphisation (e.g. in the tuner's result records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// Single precision — SGEMM.
+    F32,
+    /// Double precision — DGEMM.
+    F64,
+}
+
+impl Precision {
+    /// Element size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+
+    /// OpenCL C scalar type name.
+    #[must_use]
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            Precision::F32 => "float",
+            Precision::F64 => "double",
+        }
+    }
+
+    /// The BLAS routine name for GEMM at this precision.
+    #[must_use]
+    pub fn routine_name(self) -> &'static str {
+        match self {
+            Precision::F32 => "SGEMM",
+            Precision::F64 => "DGEMM",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.routine_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_constants_are_consistent() {
+        assert_eq!(f32::BYTES, Precision::F32.bytes());
+        assert_eq!(f64::BYTES, Precision::F64.bytes());
+        assert_eq!(f32::CL_NAME, Precision::F32.cl_name());
+        assert_eq!(f64::CL_NAME, Precision::F64.cl_name());
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops_for_exact_values() {
+        assert_eq!(2.0f64.mul_add(3.0, 4.0), 10.0);
+        assert_eq!(2.0f32.mul_add(3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = 1.5f32;
+        assert_eq!(f32::from_f64(x.to_f64()), x);
+        let y = -2.25f64;
+        assert_eq!(f64::from_f64(y.to_f64()), y);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!f32::NAN.is_finite());
+        assert!(!f64::INFINITY.is_finite());
+        assert!(1.0f64.is_finite());
+    }
+
+    #[test]
+    fn routine_names() {
+        assert_eq!(Precision::F64.routine_name(), "DGEMM");
+        assert_eq!(Precision::F32.to_string(), "SGEMM");
+    }
+}

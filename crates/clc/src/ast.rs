@@ -1,0 +1,262 @@
+//! Abstract syntax tree and the type system of the OpenCL C subset.
+
+use crate::error::Pos;
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    Int,
+    Uint,
+    Float,
+    Double,
+    Bool,
+}
+
+impl Base {
+    /// The OpenCL C spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Base::Int => "int",
+            Base::Uint => "uint",
+            Base::Float => "float",
+            Base::Double => "double",
+            Base::Bool => "bool",
+        }
+    }
+
+    /// `true` for `float`/`double`.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        matches!(self, Base::Float | Base::Double)
+    }
+
+    /// `true` for `int`/`uint`.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        matches!(self, Base::Int | Base::Uint)
+    }
+}
+
+/// Address space of a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    Global,
+    Local,
+}
+
+/// The full type of an expression or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Scalar value.
+    Scalar(Base),
+    /// Vector of 2, 4 or 8 elements (the widths the paper's `vw`
+    /// parameter ranges over).
+    Vector(Base, u8),
+    /// Pointer into a buffer (kernel argument) or local array.
+    Ptr(AddrSpace, Base, /* is_const */ bool),
+    /// Statement-like expressions (`barrier(...)`).
+    Void,
+}
+
+impl Type {
+    /// Scalar `int`.
+    pub const INT: Type = Type::Scalar(Base::Int);
+    /// Scalar `bool`.
+    pub const BOOL: Type = Type::Scalar(Base::Bool);
+
+    /// Element base type for scalars and vectors.
+    #[must_use]
+    pub fn base(self) -> Option<Base> {
+        match self {
+            Type::Scalar(b) | Type::Vector(b, _) => Some(b),
+            Type::Ptr(_, b, _) => Some(b),
+            Type::Void => None,
+        }
+    }
+
+    /// Vector width (1 for scalars).
+    #[must_use]
+    pub fn width(self) -> u8 {
+        match self {
+            Type::Vector(_, w) => w,
+            _ => 1,
+        }
+    }
+
+    /// The OpenCL C spelling of a value type (panics on pointers; those
+    /// are only spelled in parameter lists).
+    #[must_use]
+    pub fn cl_name(self) -> String {
+        match self {
+            Type::Scalar(b) => b.name().to_string(),
+            Type::Vector(b, w) => format!("{}{}", b.name(), w),
+            Type::Void => "void".to_string(),
+            Type::Ptr(..) => panic!("pointer types are spelled in declarators"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// `true` for comparison operators (result type `bool`).
+    #[must_use]
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// `true` for logical and/or.
+    #[must_use]
+    pub fn is_logic(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// `true` for integer-only operators.
+    #[must_use]
+    pub fn int_only(self) -> bool {
+        matches!(self, BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression with its source position. Types are attached by the
+/// checker in a side table keyed by `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub id: u32,
+    pub pos: Pos,
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64, /* f32 suffix */ bool),
+    Var(String),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// `ptr[idx]` or `localArray[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Vector component access: `.x/.y/.z/.w` or `.s0`..`.s7`.
+    Swizzle(Box<Expr>, u8),
+    /// `(type)(e)` scalar cast, or `(type)(e0, e1, ...)` vector
+    /// constructor.
+    Cast(Type, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `ty name = init;` or `ty name[len];` (local arrays carry the
+    /// address space).
+    Decl {
+        pos: Pos,
+        ty: Type,
+        name: String,
+        /// Constant array length for `__local`/`__private` arrays.
+        array_len: Option<Expr>,
+        init: Option<Expr>,
+        addr_space: Option<AddrSpace>,
+    },
+    /// `lhs = rhs;` or compound assignment desugared by the parser.
+    Assign { pos: Pos, lhs: Expr, rhs: Expr },
+    /// Bare expression (calls with side effects: `barrier(...)`,
+    /// `vstore...`).
+    Expr(Expr),
+    /// `for (init; cond; step) body` — init/step are statements.
+    For { pos: Pos, init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    /// `if (cond) { .. } else { .. }`
+    If { pos: Pos, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while (cond) body`
+    While { pos: Pos, cond: Expr, body: Vec<Stmt> },
+    /// `return;`
+    Return(Pos),
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// One `__kernel` function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+    /// `reqd_work_group_size(x, y, z)` attribute if present.
+    pub reqd_wg_size: Option<[u32; 3]>,
+}
+
+/// A translation unit: one or more kernels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    pub kernels: Vec<KernelDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Type::Scalar(Base::Double).cl_name(), "double");
+        assert_eq!(Type::Vector(Base::Float, 4).cl_name(), "float4");
+        assert_eq!(Type::Vector(Base::Double, 2).width(), 2);
+        assert_eq!(Type::Scalar(Base::Int).width(), 1);
+    }
+
+    #[test]
+    fn base_classification() {
+        assert!(Base::Float.is_fp());
+        assert!(!Base::Int.is_fp());
+        assert!(Base::Uint.is_int());
+        assert!(!Base::Bool.is_int());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Le.is_cmp());
+        assert!(BinOp::And.is_logic());
+        assert!(BinOp::Rem.int_only());
+        assert!(!BinOp::Add.int_only());
+    }
+}

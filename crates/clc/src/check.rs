@@ -1,0 +1,810 @@
+//! Semantic analysis and type checking.
+//!
+//! Walks each kernel, resolves names to storage (value slots, buffer
+//! parameters, local arrays), infers a [`Type`] for every expression and
+//! enforces OpenCL C's rules for the supported subset (implicit
+//! int→float promotion, scalar↔vector broadcasting in arithmetic,
+//! assignability, builtin signatures, constant local-array sizes).
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use std::collections::HashMap;
+
+/// Storage resolution of a name use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarRef {
+    /// A private scalar/vector variable or value parameter: slot index in
+    /// the work-item register file.
+    Value(usize),
+    /// A `__global` pointer parameter: index among the kernel's buffer
+    /// parameters.
+    Buffer(usize),
+    /// A `__local` array declared in the kernel body.
+    LocalArr(usize),
+}
+
+/// A value (non-pointer) kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueParam {
+    pub name: String,
+    pub ty: Type,
+    pub slot: usize,
+}
+
+/// A buffer (pointer) kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferParam {
+    pub name: String,
+    pub base: Base,
+    pub is_const: bool,
+}
+
+/// A `__local` array declared in a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalArray {
+    pub name: String,
+    pub base: Base,
+    pub len: usize,
+}
+
+/// A checked kernel: AST plus all side tables the lowering needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedKernel {
+    pub def: KernelDef,
+    /// Type of every expression, indexed by `Expr::id`.
+    pub expr_types: HashMap<u32, Type>,
+    /// Resolution of every `Var` expression, indexed by `Expr::id`.
+    pub resolutions: HashMap<u32, VarRef>,
+    pub value_params: Vec<ValueParam>,
+    pub buffer_params: Vec<BufferParam>,
+    /// Parameter order as declared (true = buffer), for argument
+    /// marshalling at launch time.
+    pub param_order: Vec<bool>,
+    pub local_arrays: Vec<LocalArray>,
+    /// Number of value slots (variables + value params) per work-item.
+    pub n_slots: usize,
+}
+
+/// A checked translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedUnit {
+    pub kernels: Vec<CheckedKernel>,
+}
+
+/// Check a parsed unit.
+pub fn check(unit: &Unit) -> Result<CheckedUnit, CompileError> {
+    let mut kernels = Vec::with_capacity(unit.kernels.len());
+    for k in &unit.kernels {
+        kernels.push(check_kernel(k)?);
+    }
+    Ok(CheckedUnit { kernels })
+}
+
+struct Scope {
+    /// name → (type, reference), innermost last.
+    frames: Vec<HashMap<String, (Type, VarRef)>>,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope { frames: vec![HashMap::new()] }
+    }
+
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, r: VarRef, pos: Pos) -> Result<(), CompileError> {
+        let top = self.frames.last_mut().expect("scope stack never empty");
+        if top.contains_key(name) {
+            return Err(CompileError::new(pos, format!("redeclaration of `{name}` in the same scope")));
+        }
+        top.insert(name.to_string(), (ty, r));
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<(Type, VarRef)> {
+        self.frames.iter().rev().find_map(|f| f.get(name).copied())
+    }
+}
+
+struct Checker {
+    expr_types: HashMap<u32, Type>,
+    resolutions: HashMap<u32, VarRef>,
+    local_arrays: Vec<LocalArray>,
+    n_slots: usize,
+}
+
+fn check_kernel(def: &KernelDef) -> Result<CheckedKernel, CompileError> {
+    let mut ck = Checker {
+        expr_types: HashMap::new(),
+        resolutions: HashMap::new(),
+        local_arrays: Vec::new(),
+        n_slots: 0,
+    };
+    let mut scope = Scope::new();
+    let mut value_params = Vec::new();
+    let mut buffer_params = Vec::new();
+    let mut param_order = Vec::new();
+
+    for p in &def.params {
+        match p.ty {
+            Type::Ptr(AddrSpace::Global, base, is_const) => {
+                let idx = buffer_params.len();
+                scope.declare(&p.name, p.ty, VarRef::Buffer(idx), def.pos)?;
+                buffer_params.push(BufferParam { name: p.name.clone(), base, is_const });
+                param_order.push(true);
+            }
+            Type::Ptr(AddrSpace::Local, ..) => {
+                return Err(CompileError::new(
+                    def.pos,
+                    "__local pointer parameters are not supported; declare local arrays in the body",
+                ));
+            }
+            Type::Void => {
+                return Err(CompileError::new(def.pos, format!("parameter `{}` has void type", p.name)))
+            }
+            ty => {
+                let slot = ck.n_slots;
+                ck.n_slots += 1;
+                scope.declare(&p.name, ty, VarRef::Value(slot), def.pos)?;
+                value_params.push(ValueParam { name: p.name.clone(), ty, slot });
+                param_order.push(false);
+            }
+        }
+    }
+
+    ck.block(&def.body, &mut scope)?;
+
+    Ok(CheckedKernel {
+        def: def.clone(),
+        expr_types: ck.expr_types,
+        resolutions: ck.resolutions,
+        value_params,
+        buffer_params,
+        param_order,
+        local_arrays: ck.local_arrays,
+        n_slots: ck.n_slots,
+    })
+}
+
+impl Checker {
+    fn block(&mut self, stmts: &[Stmt], scope: &mut Scope) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s, scope)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, scope: &mut Scope) -> Result<(), CompileError> {
+        match s {
+            Stmt::Empty | Stmt::Return(_) => Ok(()),
+            Stmt::Decl { pos, ty, name, array_len, init, addr_space } => {
+                if let Some(len_expr) = array_len {
+                    let base = ty.base().ok_or_else(|| CompileError::new(*pos, "array of void"))?;
+                    if ty.width() != 1 {
+                        return Err(CompileError::new(*pos, "arrays of vector types are not supported"));
+                    }
+                    let len = const_int(len_expr).ok_or_else(|| {
+                        CompileError::new(*pos, "array length must be an integer constant expression")
+                    })?;
+                    if len <= 0 {
+                        return Err(CompileError::new(*pos, format!("array length {len} must be positive")));
+                    }
+                    let space = addr_space.unwrap_or(AddrSpace::Local);
+                    if space != AddrSpace::Local {
+                        return Err(CompileError::new(*pos, "only __local arrays are supported"));
+                    }
+                    let idx = self.local_arrays.len();
+                    self.local_arrays.push(LocalArray { name: name.clone(), base, len: len as usize });
+                    scope.declare(name, Type::Ptr(AddrSpace::Local, base, false), VarRef::LocalArr(idx), *pos)
+                } else {
+                    if *ty == Type::Void {
+                        return Err(CompileError::new(*pos, "cannot declare void variable"));
+                    }
+                    if let Some(e) = init {
+                        let ety = self.expr(e, scope)?;
+                        self.require_assignable(*ty, ety, e.pos)?;
+                    }
+                    let slot = self.n_slots;
+                    self.n_slots += 1;
+                    scope.declare(name, *ty, VarRef::Value(slot), *pos)
+                }
+            }
+            Stmt::Assign { pos, lhs, rhs } => {
+                let lty = self.lvalue(lhs, scope)?;
+                let rty = self.expr(rhs, scope)?;
+                self.require_assignable(lty, rty, *pos)
+            }
+            Stmt::Expr(e) => {
+                let _ = self.expr(e, scope)?;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                scope.push();
+                self.stmt(init, scope)?;
+                let cty = self.expr(cond, scope)?;
+                self.require_condition(cty, cond.pos)?;
+                self.stmt(step, scope)?;
+                scope.push();
+                self.block(body, scope)?;
+                scope.pop();
+                scope.pop();
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                let cty = self.expr(cond, scope)?;
+                self.require_condition(cty, cond.pos)?;
+                scope.push();
+                self.block(body, scope)?;
+                scope.pop();
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let cty = self.expr(cond, scope)?;
+                self.require_condition(cty, cond.pos)?;
+                scope.push();
+                self.block(then_body, scope)?;
+                scope.pop();
+                scope.push();
+                self.block(else_body, scope)?;
+                scope.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn require_condition(&self, ty: Type, pos: Pos) -> Result<(), CompileError> {
+        match ty {
+            Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint) => Ok(()),
+            other => Err(CompileError::new(pos, format!("condition has type {other:?}, expected scalar bool/int"))),
+        }
+    }
+
+    fn require_assignable(&self, lhs: Type, rhs: Type, pos: Pos) -> Result<(), CompileError> {
+        if lhs == rhs {
+            return Ok(());
+        }
+        match (lhs, rhs) {
+            // Implicit int → float/double widening.
+            (Type::Scalar(l), Type::Scalar(r)) if l.is_fp() && r.is_int() => Ok(()),
+            // float literal / scalar into double.
+            (Type::Scalar(Base::Double), Type::Scalar(Base::Float)) => Ok(()),
+            (Type::Scalar(Base::Int), Type::Scalar(Base::Uint))
+            | (Type::Scalar(Base::Uint), Type::Scalar(Base::Int)) => Ok(()),
+            _ => Err(CompileError::new(
+                pos,
+                format!("cannot assign {rhs:?} to {lhs:?} without an explicit cast"),
+            )),
+        }
+    }
+
+    /// Type-check an lvalue expression (must also be a valid store target).
+    fn lvalue(&mut self, e: &Expr, scope: &mut Scope) -> Result<Type, CompileError> {
+        match &e.kind {
+            ExprKind::Var(_) => {
+                let ty = self.expr(e, scope)?;
+                if matches!(ty, Type::Ptr(..)) {
+                    return Err(CompileError::new(e.pos, "cannot assign to a pointer"));
+                }
+                Ok(ty)
+            }
+            ExprKind::Index(..) | ExprKind::Swizzle(..) => self.expr(e, scope),
+            _ => Err(CompileError::new(e.pos, "expression is not assignable")),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, scope: &mut Scope) -> Result<Type, CompileError> {
+        let ty = self.infer(e, scope)?;
+        self.expr_types.insert(e.id, ty);
+        Ok(ty)
+    }
+
+    fn infer(&mut self, e: &Expr, scope: &mut Scope) -> Result<Type, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ok(Type::INT),
+            ExprKind::FloatLit(_, is_f32) => {
+                Ok(Type::Scalar(if *is_f32 { Base::Float } else { Base::Double }))
+            }
+            ExprKind::Var(name) => {
+                let (ty, r) = scope
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(e.pos, format!("undeclared identifier `{name}`")))?;
+                self.resolutions.insert(e.id, r);
+                Ok(ty)
+            }
+            ExprKind::Un(op, inner) => {
+                let t = self.expr(inner, scope)?;
+                match op {
+                    UnOp::Neg => match t {
+                        Type::Scalar(b) | Type::Vector(b, _) if b.is_fp() || b.is_int() => Ok(t),
+                        other => Err(CompileError::new(e.pos, format!("cannot negate {other:?}"))),
+                    },
+                    UnOp::Not => match t {
+                        Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint) => {
+                            Ok(Type::BOOL)
+                        }
+                        other => Err(CompileError::new(e.pos, format!("cannot apply ! to {other:?}"))),
+                    },
+                }
+            }
+            ExprKind::Bin(op, l, r) => {
+                let lt = self.expr(l, scope)?;
+                let rt = self.expr(r, scope)?;
+                self.bin_type(*op, lt, rt, e.pos)
+            }
+            ExprKind::Ternary(c, a, b) => {
+                let ct = self.expr(c, scope)?;
+                self.require_condition(ct, c.pos)?;
+                let at = self.expr(a, scope)?;
+                let bt = self.expr(b, scope)?;
+                promote(at, bt).ok_or_else(|| {
+                    CompileError::new(e.pos, format!("ternary arms have incompatible types {at:?} / {bt:?}"))
+                })
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.expr(base, scope)?;
+                let it = self.expr(idx, scope)?;
+                if !matches!(it, Type::Scalar(Base::Int) | Type::Scalar(Base::Uint)) {
+                    return Err(CompileError::new(idx.pos, "array index must be an integer"));
+                }
+                match bt {
+                    Type::Ptr(_, b, _) => Ok(Type::Scalar(b)),
+                    other => Err(CompileError::new(e.pos, format!("cannot index into {other:?}"))),
+                }
+            }
+            ExprKind::Swizzle(base, lane) => {
+                let bt = self.expr(base, scope)?;
+                match bt {
+                    Type::Vector(b, w) if *lane < w => Ok(Type::Scalar(b)),
+                    Type::Vector(_, w) => Err(CompileError::new(
+                        e.pos,
+                        format!("component {lane} out of range for width-{w} vector"),
+                    )),
+                    other => Err(CompileError::new(e.pos, format!("cannot swizzle {other:?}"))),
+                }
+            }
+            ExprKind::Cast(ty, args) => self.cast_type(*ty, args, e.pos, scope),
+            ExprKind::Call(name, args) => self.call_type(name, args, e.pos, scope),
+        }
+    }
+
+    fn bin_type(&self, op: BinOp, lt: Type, rt: Type, pos: Pos) -> Result<Type, CompileError> {
+        if op.is_logic() {
+            for t in [lt, rt] {
+                if !matches!(t, Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint)) {
+                    return Err(CompileError::new(pos, format!("logical operand has type {t:?}")));
+                }
+            }
+            return Ok(Type::BOOL);
+        }
+        if op.is_cmp() {
+            let p = promote(lt, rt)
+                .ok_or_else(|| CompileError::new(pos, format!("cannot compare {lt:?} with {rt:?}")))?;
+            if p.width() != 1 {
+                return Err(CompileError::new(pos, "vector comparisons are not supported"));
+            }
+            return Ok(Type::BOOL);
+        }
+        if op.int_only() {
+            for t in [lt, rt] {
+                if !matches!(t, Type::Scalar(b) if b.is_int()) {
+                    return Err(CompileError::new(pos, format!("operator requires integers, got {t:?}")));
+                }
+            }
+            return Ok(Type::INT);
+        }
+        promote(lt, rt)
+            .ok_or_else(|| CompileError::new(pos, format!("incompatible operands {lt:?} and {rt:?}")))
+    }
+
+    fn cast_type(
+        &mut self,
+        ty: Type,
+        args: &[Expr],
+        pos: Pos,
+        scope: &mut Scope,
+    ) -> Result<Type, CompileError> {
+        let mut arg_tys = Vec::with_capacity(args.len());
+        for a in args {
+            arg_tys.push(self.expr(a, scope)?);
+        }
+        match ty {
+            Type::Scalar(_) => {
+                if args.len() != 1 {
+                    return Err(CompileError::new(pos, "scalar cast takes exactly one argument"));
+                }
+                if !matches!(arg_tys[0], Type::Scalar(_)) {
+                    return Err(CompileError::new(pos, "scalar cast of a non-scalar"));
+                }
+                Ok(ty)
+            }
+            Type::Vector(_, w) => {
+                if args.len() == 1 {
+                    match arg_tys[0] {
+                        Type::Scalar(_) => Ok(ty), // broadcast
+                        Type::Vector(_, aw) if aw == w => Ok(ty),
+                        other => Err(CompileError::new(pos, format!("cannot convert {other:?} to {ty:?}"))),
+                    }
+                } else if args.len() == w as usize {
+                    for t in &arg_tys {
+                        if !matches!(t, Type::Scalar(_)) {
+                            return Err(CompileError::new(pos, "vector constructor arguments must be scalars"));
+                        }
+                    }
+                    Ok(ty)
+                } else {
+                    Err(CompileError::new(
+                        pos,
+                        format!("vector constructor for width {w} got {} arguments", args.len()),
+                    ))
+                }
+            }
+            _ => Err(CompileError::new(pos, "cannot cast to this type")),
+        }
+    }
+
+    fn call_type(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+        scope: &mut Scope,
+    ) -> Result<Type, CompileError> {
+        let mut tys = Vec::with_capacity(args.len());
+        for a in args {
+            tys.push(self.expr(a, scope)?);
+        }
+        let arity = |n: usize| -> Result<(), CompileError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(CompileError::new(pos, format!("{name} takes {n} argument(s), got {}", args.len())))
+            }
+        };
+        match name {
+            "get_global_id" | "get_local_id" | "get_group_id" | "get_global_size"
+            | "get_local_size" | "get_num_groups" => {
+                arity(1)?;
+                if !matches!(tys[0], Type::Scalar(b) if b.is_int()) {
+                    return Err(CompileError::new(pos, "dimension index must be an integer"));
+                }
+                Ok(Type::INT)
+            }
+            "barrier" => {
+                arity(1)?;
+                Ok(Type::Void)
+            }
+            "mad" | "fma" => {
+                arity(3)?;
+                let t = promote(promote(tys[0], tys[1]).unwrap_or(tys[0]), tys[2]).ok_or_else(|| {
+                    CompileError::new(pos, format!("incompatible mad operands {tys:?}"))
+                })?;
+                if !t.base().map(Base::is_fp).unwrap_or(false) {
+                    return Err(CompileError::new(pos, "mad/fma requires floating-point operands"));
+                }
+                Ok(t)
+            }
+            "min" | "max" => {
+                arity(2)?;
+                promote(tys[0], tys[1])
+                    .ok_or_else(|| CompileError::new(pos, format!("incompatible {name} operands")))
+            }
+            "fmin" | "fmax" => {
+                arity(2)?;
+                let t = promote(tys[0], tys[1])
+                    .ok_or_else(|| CompileError::new(pos, format!("incompatible {name} operands")))?;
+                if !t.base().map(Base::is_fp).unwrap_or(false) {
+                    return Err(CompileError::new(pos, format!("{name} requires floating point")));
+                }
+                Ok(t)
+            }
+            "clamp" => {
+                arity(3)?;
+                let t01 = promote(tys[0], tys[1])
+                    .ok_or_else(|| CompileError::new(pos, "incompatible clamp operands".to_string()))?;
+                promote(t01, tys[2])
+                    .ok_or_else(|| CompileError::new(pos, "incompatible clamp operands".to_string()))
+            }
+            "fabs" | "sqrt" | "native_recip" | "exp" | "log" => {
+                arity(1)?;
+                if !tys[0].base().map(Base::is_fp).unwrap_or(false) {
+                    return Err(CompileError::new(pos, format!("{name} requires floating point")));
+                }
+                Ok(tys[0])
+            }
+            _ => {
+                if let Some(w) = vload_width(name) {
+                    arity(2)?;
+                    let base = match tys[1] {
+                        Type::Ptr(_, b, _) if b.is_fp() => b,
+                        other => {
+                            return Err(CompileError::new(pos, format!("vload pointer has type {other:?}")))
+                        }
+                    };
+                    if !matches!(tys[0], Type::Scalar(b) if b.is_int()) {
+                        return Err(CompileError::new(pos, "vload offset must be an integer"));
+                    }
+                    return Ok(Type::Vector(base, w));
+                }
+                if let Some(w) = vstore_width(name) {
+                    arity(3)?;
+                    let base = match tys[2] {
+                        Type::Ptr(_, b, false) => b,
+                        Type::Ptr(_, _, true) => {
+                            return Err(CompileError::new(pos, "vstore into a const pointer"))
+                        }
+                        other => {
+                            return Err(CompileError::new(pos, format!("vstore pointer has type {other:?}")))
+                        }
+                    };
+                    if tys[0] != Type::Vector(base, w) {
+                        return Err(CompileError::new(
+                            pos,
+                            format!("vstore{w} value has type {:?}, pointer is {base:?}", tys[0]),
+                        ));
+                    }
+                    if !matches!(tys[1], Type::Scalar(b) if b.is_int()) {
+                        return Err(CompileError::new(pos, "vstore offset must be an integer"));
+                    }
+                    return Ok(Type::Void);
+                }
+                Err(CompileError::new(pos, format!("unknown function `{name}`")))
+            }
+        }
+    }
+}
+
+/// Usual arithmetic conversions for the subset: int < uint < float <
+/// double; scalars broadcast against vectors of any width.
+fn promote(a: Type, b: Type) -> Option<Type> {
+    fn rank(b: Base) -> u8 {
+        match b {
+            Base::Bool => 0,
+            Base::Int => 1,
+            Base::Uint => 2,
+            Base::Float => 3,
+            Base::Double => 4,
+        }
+    }
+    let (ab, bb) = (a.base()?, b.base()?);
+    if matches!(a, Type::Ptr(..)) || matches!(b, Type::Ptr(..)) {
+        return None;
+    }
+    let base = if rank(ab) >= rank(bb) { ab } else { bb };
+    match (a.width(), b.width()) {
+        (1, 1) => Some(Type::Scalar(base)),
+        (w, 1) | (1, w) => Some(Type::Vector(base, w)),
+        (w1, w2) if w1 == w2 => Some(Type::Vector(base, w1)),
+        _ => None,
+    }
+}
+
+/// Width of a `vloadN` builtin name.
+fn vload_width(name: &str) -> Option<u8> {
+    match name {
+        "vload2" => Some(2),
+        "vload4" => Some(4),
+        "vload8" => Some(8),
+        "vload16" => Some(16),
+        _ => None,
+    }
+}
+
+/// Width of a `vstoreN` builtin name.
+fn vstore_width(name: &str) -> Option<u8> {
+    match name {
+        "vstore2" => Some(2),
+        "vstore4" => Some(4),
+        "vstore8" => Some(8),
+        "vstore16" => Some(16),
+        _ => None,
+    }
+}
+
+/// Evaluate an integer constant expression (used for array lengths).
+pub fn const_int(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::Un(UnOp::Neg, inner) => Some(-const_int(inner)?),
+        ExprKind::Bin(op, l, r) => {
+            let (a, b) = (const_int(l)?, const_int(r)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div if b != 0 => Some(a / b),
+                BinOp::Rem if b != 0 => Some(a % b),
+                BinOp::Shl => Some(a << b),
+                BinOp::Shr => Some(a >> b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<CheckedUnit, CompileError> {
+        check(&parse(src)?)
+    }
+
+    #[test]
+    fn checks_valid_kernel() {
+        let cu = check_src(
+            r#"
+            __kernel void k(__global const double* a, __global double* c, int n, double alpha) {
+                int i = get_global_id(0);
+                if (i < n) { c[i] = alpha * a[i]; }
+            }
+            "#,
+        )
+        .unwrap();
+        let k = &cu.kernels[0];
+        assert_eq!(k.buffer_params.len(), 2);
+        assert_eq!(k.value_params.len(), 2);
+        assert_eq!(k.param_order, vec![true, true, false, false]);
+        assert!(k.n_slots >= 3); // n, alpha, i
+    }
+
+    #[test]
+    fn rejects_undeclared_identifier() {
+        let err = check_src("__kernel void k(__global int* x){ x[0] = y; }").unwrap_err();
+        assert!(err.message.contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_without_cast() {
+        let err = check_src(
+            "__kernel void k(__global int* x){ double d = 1.0; x[0] = d; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cast"), "{err}");
+    }
+
+    #[test]
+    fn allows_int_to_double_promotion() {
+        assert!(check_src("__kernel void k(__global double* x){ x[0] = 1; }").is_ok());
+    }
+
+    #[test]
+    fn local_array_lengths_fold() {
+        let cu = check_src(
+            r#"
+            __kernel void k(__global double* x){
+                __local double Alm[96*48/2];
+                Alm[0] = x[0];
+                barrier(1);
+                x[0] = Alm[1];
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cu.kernels[0].local_arrays[0].len, 96 * 48 / 2);
+    }
+
+    #[test]
+    fn rejects_non_constant_array_length() {
+        let err = check_src(
+            "__kernel void k(__global double* x, int n){ __local double a[n]; x[0]=a[0]; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn rejects_store_through_const_pointer_via_vstore() {
+        let err = check_src(
+            r#"__kernel void k(__global const float* x){
+                float4 v = (float4)(0.0f);
+                vstore4(v, 0, x);
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("const"), "{err}");
+    }
+
+    #[test]
+    fn vload_infers_vector_type() {
+        let cu = check_src(
+            r#"__kernel void k(__global const double* a, __global double* c){
+                double2 v = vload2(0, a);
+                vstore2(v, 0, c);
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cu.kernels.len(), 1);
+    }
+
+    #[test]
+    fn swizzle_out_of_range_is_rejected() {
+        let err = check_src(
+            r#"__kernel void k(__global float* c){
+                float2 v = (float2)(1.0f, 2.0f);
+                c[0] = v.s5;
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn mad_requires_floats() {
+        let err = check_src("__kernel void k(__global int* x){ x[0] = mad(1, 2, 3); }").unwrap_err();
+        assert!(err.message.contains("floating-point"), "{err}");
+    }
+
+    #[test]
+    fn vector_scalar_broadcast_in_arithmetic() {
+        assert!(check_src(
+            r#"__kernel void k(__global float* c){
+                float4 v = (float4)(1.0f);
+                float4 w = v * 2.0f;
+                vstore4(w, 0, c);
+            }"#,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn mismatched_vector_widths_rejected() {
+        let err = check_src(
+            r#"__kernel void k(__global float* c){
+                float4 v = (float4)(1.0f);
+                float2 w = (float2)(1.0f);
+                float2 z = v * w;
+                vstore2(z, 0, c);
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let err = check_src("__kernel void k(__global int* x){ x[0] = frobnicate(1); }").unwrap_err();
+        assert!(err.message.contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn redeclaration_in_same_scope_rejected() {
+        let err =
+            check_src("__kernel void k(__global int* x){ int a = 1; int a = 2; x[0] = a; }").unwrap_err();
+        assert!(err.message.contains("redeclaration"), "{err}");
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        assert!(check_src(
+            r#"__kernel void k(__global int* x){
+                int a = 1;
+                for (int i = 0; i < 4; i += 1) { int a = i; x[a] = a; }
+                x[0] = a;
+            }"#,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn const_int_folds_arithmetic() {
+        // Smoke-test the folder through source; (96*48)/2 - 16 = 2288.
+        let cu = check_src(
+            r#"__kernel void k(__global double* x){
+                __local double a[(96*48)/2 - 16];
+                a[0] = x[0];
+                barrier(1);
+                x[0] = a[0];
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cu.kernels[0].local_arrays[0].len, 96 * 48 / 2 - 16);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the OpenCL C frontend and the work-group VM.
+
+/// A position in the kernel source (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Compile-time failure: lexing, parsing, or semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl CompileError {
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        CompileError { pos, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Run-time failure inside the VM. These correspond to kernels the paper
+/// would count as "failed in testing".
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Out-of-bounds access on a global buffer.
+    GlobalOob { buffer: String, index: i64, len: usize },
+    /// Out-of-bounds access on a local (shared) array.
+    LocalOob { array: String, index: i64, len: usize },
+    /// Work-items of one group reached different barriers (undefined
+    /// behaviour in OpenCL; a hard error here).
+    BarrierDivergence { detail: String },
+    /// Two work-items touched the same local-memory cell in the same
+    /// barrier phase, at least one writing.
+    LocalRace { array: String, index: usize, writer: usize, other: usize },
+    /// Argument list does not match the kernel signature.
+    BadArguments(String),
+    /// NDRange is invalid (e.g. global size not a multiple of local size —
+    /// required in OpenCL 1.x, which the paper targets).
+    BadNdRange(String),
+    /// Division by zero or similar arithmetic fault in integer ops.
+    Arithmetic(String),
+    /// Internal VM invariant violation (a bug in the lowering, not the
+    /// kernel).
+    Internal(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::GlobalOob { buffer, index, len } => {
+                write!(f, "global buffer {buffer:?} access {index} out of bounds (len {len})")
+            }
+            RuntimeError::LocalOob { array, index, len } => {
+                write!(f, "local array {array:?} access {index} out of bounds (len {len})")
+            }
+            RuntimeError::BarrierDivergence { detail } => {
+                write!(f, "barrier divergence: {detail}")
+            }
+            RuntimeError::LocalRace { array, index, writer, other } => write!(
+                f,
+                "data race on local array {array:?}[{index}] between work-items {writer} and {other}"
+            ),
+            RuntimeError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
+            RuntimeError::BadNdRange(m) => write!(f, "bad NDRange: {m}"),
+            RuntimeError::Arithmetic(m) => write!(f, "arithmetic fault: {m}"),
+            RuntimeError::Internal(m) => write!(f, "internal VM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = CompileError::new(Pos { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "compile error at 3:7: unexpected token");
+        let r = RuntimeError::LocalRace { array: "Alm".into(), index: 5, writer: 1, other: 2 };
+        assert!(r.to_string().contains("Alm"));
+        assert!(r.to_string().contains("work-items 1 and 2"));
+    }
+}

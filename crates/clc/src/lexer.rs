@@ -1,0 +1,453 @@
+//! Tokeniser for the OpenCL C subset.
+//!
+//! Handles identifiers/keywords, integer and floating literals (including
+//! the `f` suffix), all operators the generator emits, and `//` and
+//! `/* */` comments. A tiny preprocessor handles object-like `#define`s
+//! (the generator emits blocking factors as defines, as real GEMM
+//! generators do).
+
+use crate::error::{CompileError, Pos};
+use std::collections::HashMap;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64, bool), // value, is_f32 (had `f` suffix)
+    // punctuation and operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Question,
+    Colon,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::IntLit(v) => write!(f, "{v}"),
+            Tok::FloatLit(v, s) => write!(f, "{v}{}", if *s { "f" } else { "" }),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Dot => ".",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Assign => "=",
+                    Tok::PlusAssign => "+=",
+                    Tok::MinusAssign => "-=",
+                    Tok::StarAssign => "*=",
+                    Tok::SlashAssign => "/=",
+                    Tok::Eq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::Le => "<=",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Not => "!",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::Question => "?",
+                    Tok::Colon => ":",
+                    Tok::PlusPlus => "++",
+                    Tok::MinusMinus => "--",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Strip comments and expand object-like `#define NAME TOKENS` macros.
+///
+/// Expansion is textual and non-recursive-safe for the simple macros the
+/// generator emits (integer constants). `#pragma` lines are dropped.
+pub fn preprocess(src: &str) -> Result<String, CompileError> {
+    // Remove /* */ comments first (no nesting), then process lines.
+    let mut no_block = String::with_capacity(src.len());
+    let mut rest = src;
+    while let Some(start) = rest.find("/*") {
+        no_block.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => {
+                // Preserve newlines inside the comment for positions.
+                for ch in rest[start..start + 2 + end + 2].chars() {
+                    if ch == '\n' {
+                        no_block.push('\n');
+                    }
+                }
+                rest = &rest[start + 2 + end + 2..];
+            }
+            None => {
+                return Err(CompileError::new(Pos { line: 1, col: 1 }, "unterminated block comment"))
+            }
+        }
+    }
+    no_block.push_str(rest);
+
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(no_block.len());
+    for line in no_block.lines() {
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let trimmed = code.trim_start();
+        if let Some(def) = trimmed.strip_prefix("#define") {
+            let mut it = def.trim().splitn(2, char::is_whitespace);
+            let name = it.next().unwrap_or("").trim();
+            let body = it.next().unwrap_or("").trim();
+            if name.is_empty() || name.contains('(') {
+                return Err(CompileError::new(
+                    Pos { line: 1, col: 1 },
+                    format!("unsupported #define {name:?} (function-like macros not supported)"),
+                ));
+            }
+            // Expand previously defined macros inside the body.
+            defines.insert(name.to_string(), expand(body, &defines));
+            out.push('\n');
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            // #pragma OPENCL EXTENSION ... : enable, #ifdef-free sources only.
+            out.push('\n');
+            continue;
+        }
+        out.push_str(&expand(code, &defines));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Replace identifier occurrences of macro names.
+fn expand(code: &str, defines: &HashMap<String, String>) -> String {
+    if defines.is_empty() {
+        return code.to_string();
+    }
+    let mut out = String::with_capacity(code.len());
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &code[start..i];
+            match defines.get(word) {
+                Some(body) => out.push_str(body),
+                None => out.push_str(word),
+            }
+        } else {
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+/// Tokenise preprocessed source.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            toks.push(Spanned { tok: $tok, pos: Pos { line, col } });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = src[start..i].to_string();
+            let len = (i - start) as u32;
+            toks.push(Spanned { tok: Tok::Ident(word), pos: Pos { line, col } });
+            col += len;
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (d == 'e' || d == 'E')
+                    && i + 1 < bytes.len()
+                    && ((bytes[i + 1] as char).is_ascii_digit()
+                        || bytes[i + 1] == b'+'
+                        || bytes[i + 1] == b'-')
+                {
+                    is_float = true;
+                    i += 1;
+                    if bytes[i] == b'+' || bytes[i] == b'-' {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let text = &src[start..i];
+            let mut f32_suffix = false;
+            if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
+                f32_suffix = true;
+                is_float = true;
+                i += 1;
+            }
+            // Hex literals are not needed by the generator; reject the 0x
+            // prefix explicitly for a clear message.
+            if text.starts_with("0x") || text.starts_with("0X") {
+                return Err(CompileError::new(Pos { line, col }, "hex literals not supported"));
+            }
+            let pos = Pos { line, col };
+            let tok = if is_float {
+                let v: f64 = text.parse().map_err(|_| {
+                    CompileError::new(pos, format!("bad float literal {text:?}"))
+                })?;
+                Tok::FloatLit(v, f32_suffix)
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(pos, format!("bad int literal {text:?}")))?;
+                Tok::IntLit(v)
+            };
+            let len = (i - start) as u32;
+            toks.push(Spanned { tok, pos });
+            col += len;
+            continue;
+        }
+
+        // Multi-char operators, longest first.
+        let rest = &src[i..];
+        // `get` (not slicing) so a multi-byte UTF-8 character one byte
+        // ahead cannot split a char boundary.
+        let two = rest.get(..2).unwrap_or("");
+        let tok2 = match two {
+            "+=" => Some(Tok::PlusAssign),
+            "-=" => Some(Tok::MinusAssign),
+            "*=" => Some(Tok::StarAssign),
+            "/=" => Some(Tok::SlashAssign),
+            "==" => Some(Tok::Eq),
+            "!=" => Some(Tok::Ne),
+            "<=" => Some(Tok::Le),
+            ">=" => Some(Tok::Ge),
+            "&&" => Some(Tok::AndAnd),
+            "||" => Some(Tok::OrOr),
+            "<<" => Some(Tok::Shl),
+            ">>" => Some(Tok::Shr),
+            "++" => Some(Tok::PlusPlus),
+            "--" => Some(Tok::MinusMinus),
+            _ => None,
+        };
+        if let Some(t) = tok2 {
+            push!(t, 2);
+            continue;
+        }
+        let tok1 = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            '.' => Tok::Dot,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '=' => Tok::Assign,
+            '<' => Tok::Lt,
+            '>' => Tok::Gt,
+            '!' => Tok::Not,
+            '&' => Tok::Amp,
+            '|' => Tok::Pipe,
+            '^' => Tok::Caret,
+            '?' => Tok::Question,
+            ':' => Tok::Colon,
+            other => {
+                return Err(CompileError::new(
+                    Pos { line, col },
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        };
+        push!(tok1, 1);
+    }
+    toks.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(toks)
+}
+
+/// Preprocess then lex in one step.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    lex(&preprocess(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        let t = kinds("foo 42 3.5 2.0f 1e3 _bar");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::IntLit(42),
+                Tok::FloatLit(3.5, false),
+                Tok::FloatLit(2.0, true),
+                Tok::FloatLit(1000.0, false),
+                Tok::Ident("_bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let t = kinds("a += b && c <= d << 2");
+        assert!(t.contains(&Tok::PlusAssign));
+        assert!(t.contains(&Tok::AndAnd));
+        assert!(t.contains(&Tok::Le));
+        assert!(t.contains(&Tok::Shl));
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let t = kinds("a // comment\n/* multi\nline */ b");
+        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn expands_defines() {
+        let t = kinds("#define MWG 96\n#define HALF (MWG/2)\nint x = MWG + HALF;");
+        assert!(t.contains(&Tok::IntLit(96)));
+        // HALF expanded to (96/2)
+        assert_eq!(t.iter().filter(|k| **k == Tok::IntLit(96)).count(), 2);
+    }
+
+    #[test]
+    fn pragma_lines_are_dropped() {
+        let t = kinds("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx");
+        assert_eq!(t, vec![Tok::Ident("x".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_function_like_macros() {
+        assert!(preprocess("#define F(x) x\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(preprocess("a /* b").is_err());
+    }
+
+    #[test]
+    fn negative_exponent_float() {
+        let t = kinds("1.5e-3");
+        assert_eq!(t[0], Tok::FloatLit(0.0015, false));
+    }
+}

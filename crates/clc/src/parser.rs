@@ -1,0 +1,747 @@
+//! Recursive-descent parser for the OpenCL C subset.
+
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::lexer::{tokenize, Spanned, Tok};
+
+/// Parse a full translation unit from source.
+pub fn parse(src: &str) -> Result<Unit, CompileError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, i: 0, next_id: 0 };
+    p.unit()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.i + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), CompileError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{tok}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(w) if w == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.pos(), msg)
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn mk(&mut self, pos: Pos, kind: ExprKind) -> Expr {
+        Expr { id: self.fresh(), pos, kind }
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    /// `true` if the word is a value type name.
+    fn is_type_word(word: &str) -> bool {
+        parse_type_name(word).is_some()
+    }
+
+    // ---- top level ------------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        while *self.peek() != Tok::Eof {
+            unit.kernels.push(self.kernel()?);
+        }
+        if unit.kernels.is_empty() {
+            return Err(self.err("source contains no __kernel functions"));
+        }
+        Ok(unit)
+    }
+
+    fn kernel(&mut self) -> Result<KernelDef, CompileError> {
+        let pos = self.pos();
+        if !(self.eat_ident("__kernel") || self.eat_ident("kernel")) {
+            return Err(self.err("expected `__kernel`"));
+        }
+        let reqd_wg_size = self.attribute()?;
+        if !self.eat_ident("void") {
+            return Err(self.err("kernels must return void"));
+        }
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.param()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(KernelDef { name, params, body, pos, reqd_wg_size })
+    }
+
+    fn attribute(&mut self) -> Result<Option<[u32; 3]>, CompileError> {
+        if !self.eat_ident("__attribute__") {
+            return Ok(None);
+        }
+        self.expect(&Tok::LParen)?;
+        self.expect(&Tok::LParen)?;
+        if !self.eat_ident("reqd_work_group_size") {
+            return Err(self.err("only reqd_work_group_size attribute is supported"));
+        }
+        self.expect(&Tok::LParen)?;
+        let mut dims = [1u32; 3];
+        for (d, slot) in dims.iter_mut().enumerate() {
+            if d > 0 {
+                self.expect(&Tok::Comma)?;
+            }
+            match self.bump() {
+                Tok::IntLit(v) if v > 0 => *slot = v as u32,
+                _ => return Err(self.err("attribute dimensions must be positive integers")),
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::RParen)?;
+        Ok(Some(dims))
+    }
+
+    fn param(&mut self) -> Result<Param, CompileError> {
+        let mut space = None;
+        let mut is_const = false;
+        loop {
+            if self.eat_ident("__global") || self.eat_ident("global") {
+                space = Some(AddrSpace::Global);
+            } else if self.eat_ident("__local") || self.eat_ident("local") {
+                space = Some(AddrSpace::Local);
+            } else if self.eat_ident("const") {
+                is_const = true;
+            } else {
+                break;
+            }
+        }
+        let tyword = self.expect_ident()?;
+        let base_ty = parse_type_name(&tyword)
+            .ok_or_else(|| self.err(format!("unknown type `{tyword}`")))?;
+        // `const` may also follow the type.
+        if self.eat_ident("const") {
+            is_const = true;
+        }
+        let is_ptr = if *self.peek() == Tok::Star {
+            self.bump();
+            let _ = self.eat_ident("restrict") || self.eat_ident("__restrict");
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        let ty = if is_ptr {
+            let base = base_ty
+                .base()
+                .ok_or_else(|| self.err("pointer to void is not supported"))?;
+            if base_ty.width() != 1 {
+                return Err(self.err("pointers to vector types are not supported; use vloadN"));
+            }
+            Type::Ptr(space.unwrap_or(AddrSpace::Global), base, is_const)
+        } else {
+            if space.is_some() {
+                return Err(self.err("address space qualifiers require a pointer parameter"));
+            }
+            base_ty
+        };
+        Ok(Param { name, ty })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unexpected end of file inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::Ident(w) if w == "for" => self.for_stmt(),
+            Tok::Ident(w) if w == "while" => self.while_stmt(),
+            Tok::Ident(w) if w == "if" => self.if_stmt(),
+            Tok::Ident(w) if w == "return" => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(pos))
+            }
+            Tok::Ident(w)
+                if w == "__local"
+                    || w == "local"
+                    || w == "__private"
+                    || w == "private"
+                    || w == "const"
+                    || Self::is_type_word(w) =>
+            {
+                let s = self.decl()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            _ => {
+                let s = self.assign_or_expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Declaration without the trailing semicolon.
+    fn decl(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        let mut addr_space = None;
+        loop {
+            if self.eat_ident("__local") || self.eat_ident("local") {
+                addr_space = Some(AddrSpace::Local);
+            } else if self.eat_ident("__private") || self.eat_ident("private") || self.eat_ident("const")
+            {
+                // private is the default; const is advisory here.
+            } else {
+                break;
+            }
+        }
+        let tyword = self.expect_ident()?;
+        let ty =
+            parse_type_name(&tyword).ok_or_else(|| self.err(format!("unknown type `{tyword}`")))?;
+        let name = self.expect_ident()?;
+        let array_len = if *self.peek() == Tok::LBracket {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        let init = if *self.peek() == Tok::Assign {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if array_len.is_some() && init.is_some() {
+            return Err(self.err("array declarations cannot have initialisers"));
+        }
+        Ok(Stmt::Decl { pos, ty, name, array_len, init, addr_space })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.bump(); // for
+        self.expect(&Tok::LParen)?;
+        let init = if matches!(self.peek(), Tok::Ident(w) if Self::is_type_word(w)) {
+            self.decl()?
+        } else {
+            self.assign_or_expr()?
+        };
+        self.expect(&Tok::Semi)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        let step = self.assign_or_expr()?;
+        self.expect(&Tok::RParen)?;
+        let body = self.block_or_single()?;
+        Ok(Stmt::For { pos, init: Box::new(init), cond, step: Box::new(step), body })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.bump(); // while
+        self.expect(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        let body = self.block_or_single()?;
+        Ok(Stmt::While { pos, cond, body })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.bump(); // if
+        self.expect(&Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        let then_body = self.block_or_single()?;
+        let else_body = if self.eat_ident("else") { self.block_or_single()? } else { Vec::new() };
+        Ok(Stmt::If { pos, cond, then_body, else_body })
+    }
+
+    /// Assignment (including compound and `++`/`--`) or bare expression,
+    /// without the trailing semicolon.
+    fn assign_or_expr(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PlusPlus => {
+                self.bump();
+                let one = self.mk(pos, ExprKind::IntLit(1));
+                let sum = self.mk(pos, ExprKind::Bin(BinOp::Add, Box::new(lhs.clone()), Box::new(one)));
+                return Ok(Stmt::Assign { pos, lhs, rhs: sum });
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                let one = self.mk(pos, ExprKind::IntLit(1));
+                let dif = self.mk(pos, ExprKind::Bin(BinOp::Sub, Box::new(lhs.clone()), Box::new(one)));
+                return Ok(Stmt::Assign { pos, lhs, rhs: dif });
+            }
+            _ => return Ok(Stmt::Expr(lhs)),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        let rhs = match op {
+            // Desugar `a op= b` to `a = a op b`; lvalues in this subset
+            // have no side effects, so re-evaluation is safe.
+            Some(op) => self.mk(pos, ExprKind::Bin(op, Box::new(lhs.clone()), Box::new(rhs))),
+            None => rhs,
+        };
+        Ok(Stmt::Assign { pos, lhs, rhs })
+    }
+
+    // ---- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.binary(0)?;
+        if *self.peek() == Tok::Question {
+            let pos = self.pos();
+            self.bump();
+            let a = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let b = self.ternary()?;
+            Ok(self.mk(pos, ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b))))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op_of(tok: &Tok) -> Option<(BinOp, u8)> {
+        Some(match tok {
+            Tok::OrOr => (BinOp::Or, 1),
+            Tok::AndAnd => (BinOp::And, 2),
+            Tok::Pipe => (BinOp::BitOr, 3),
+            Tok::Caret => (BinOp::BitXor, 4),
+            Tok::Amp => (BinOp::BitAnd, 5),
+            Tok::Eq => (BinOp::Eq, 6),
+            Tok::Ne => (BinOp::Ne, 6),
+            Tok::Lt => (BinOp::Lt, 7),
+            Tok::Gt => (BinOp::Gt, 7),
+            Tok::Le => (BinOp::Le, 7),
+            Tok::Ge => (BinOp::Ge, 7),
+            Tok::Shl => (BinOp::Shl, 8),
+            Tok::Shr => (BinOp::Shr, 8),
+            Tok::Plus => (BinOp::Add, 9),
+            Tok::Minus => (BinOp::Sub, 9),
+            Tok::Star => (BinOp::Mul, 10),
+            Tok::Slash => (BinOp::Div, 10),
+            Tok::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = self.mk(pos, ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.mk(pos, ExprKind::Un(UnOp::Neg, Box::new(e))))
+            }
+            Tok::Not => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(self.mk(pos, ExprKind::Un(UnOp::Not, Box::new(e))))
+            }
+            Tok::Plus => {
+                self.bump();
+                self.unary()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    let pos = self.pos();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    e = self.mk(pos, ExprKind::Index(Box::new(e), Box::new(idx)));
+                }
+                Tok::Dot => {
+                    let pos = self.pos();
+                    self.bump();
+                    let comp = self.expect_ident()?;
+                    let lane = parse_component(&comp)
+                        .ok_or_else(|| self.err(format!("unknown vector component `.{comp}`")))?;
+                    e = self.mk(pos, ExprKind::Swizzle(Box::new(e), lane));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(self.mk(pos, ExprKind::IntLit(v))),
+            Tok::FloatLit(v, f32s) => Ok(self.mk(pos, ExprKind::FloatLit(v, f32s))),
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(self.mk(pos, ExprKind::Call(name, args)))
+                } else {
+                    Ok(self.mk(pos, ExprKind::Var(name)))
+                }
+            }
+            Tok::LParen => {
+                // Either a parenthesised expression or a cast/constructor:
+                // `(double2)(a, b)` / `(int)x`.
+                if let Tok::Ident(word) = self.peek() {
+                    if let Some(ty) = parse_type_name(word) {
+                        if *self.peek2() == Tok::RParen {
+                            self.bump(); // type word
+                            self.bump(); // )
+                            // Cast target: (ty) unary  OR  (ty)(args...)
+                            if *self.peek() == Tok::LParen {
+                                self.bump();
+                                let mut args = Vec::new();
+                                if *self.peek() != Tok::RParen {
+                                    loop {
+                                        args.push(self.expr()?);
+                                        if *self.peek() == Tok::Comma {
+                                            self.bump();
+                                        } else {
+                                            break;
+                                        }
+                                    }
+                                }
+                                self.expect(&Tok::RParen)?;
+                                return Ok(self.mk(pos, ExprKind::Cast(ty, args)));
+                            }
+                            let e = self.unary()?;
+                            return Ok(self.mk(pos, ExprKind::Cast(ty, vec![e])));
+                        }
+                    }
+                }
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(pos, format!("unexpected token `{other}` in expression"))),
+        }
+    }
+}
+
+/// Parse a value type name like `double`, `float4`, `uint`.
+fn parse_type_name(word: &str) -> Option<Type> {
+    let (base, rest) = if let Some(r) = word.strip_prefix("double") {
+        (Base::Double, r)
+    } else if let Some(r) = word.strip_prefix("float") {
+        (Base::Float, r)
+    } else if let Some(r) = word.strip_prefix("uint") {
+        (Base::Uint, r)
+    } else if let Some(r) = word.strip_prefix("int") {
+        (Base::Int, r)
+    } else if word == "bool" {
+        (Base::Bool, "")
+    } else if word == "void" {
+        return Some(Type::Void);
+    } else {
+        return None;
+    };
+    match rest {
+        "" => Some(Type::Scalar(base)),
+        "2" => Some(Type::Vector(base, 2)),
+        "4" => Some(Type::Vector(base, 4)),
+        "8" => Some(Type::Vector(base, 8)),
+        "16" => Some(Type::Vector(base, 16)),
+        _ => None,
+    }
+}
+
+/// Map a component name to a lane index.
+fn parse_component(comp: &str) -> Option<u8> {
+    match comp {
+        "x" => Some(0),
+        "y" => Some(1),
+        "z" => Some(2),
+        "w" => Some(3),
+        _ => {
+            let digits = comp.strip_prefix('s')?;
+            if digits.len() == 1 {
+                let c = digits.as_bytes()[0];
+                match c {
+                    b'0'..=b'9' => Some(c - b'0'),
+                    b'a'..=b'f' => Some(c - b'a' + 10),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+        __kernel void copy(__global const float* src, __global float* dst, int n) {
+            int i = get_global_id(0);
+            if (i < n) {
+                dst[i] = src[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let unit = parse(MINI).unwrap();
+        assert_eq!(unit.kernels.len(), 1);
+        let k = &unit.kernels[0];
+        assert_eq!(k.name, "copy");
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.params[0].ty, Type::Ptr(AddrSpace::Global, Base::Float, true));
+        assert_eq!(k.params[2].ty, Type::Scalar(Base::Int));
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop_and_compound_assign() {
+        let src = r#"
+            __kernel void acc(__global double* x, int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i += 1) {
+                    s += x[i];
+                }
+                x[0] = s;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let body = &unit.kernels[0].body;
+        assert!(matches!(body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_vector_types_and_constructor() {
+        let src = r#"
+            __kernel void v(__global float* x) {
+                float4 a = (float4)(1.0f, 2.0f, 3.0f, 4.0f);
+                float b = a.s2 + a.w;
+                x[0] = b;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        match &unit.kernels[0].body[0] {
+            Stmt::Decl { ty, init: Some(e), .. } => {
+                assert_eq!(*ty, Type::Vector(Base::Float, 4));
+                assert!(matches!(e.kind, ExprKind::Cast(Type::Vector(Base::Float, 4), ref a) if a.len() == 4));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_local_array_decl() {
+        let src = r#"
+            __kernel void k(__global double* x) {
+                __local double Alm[96*16];
+                Alm[0] = x[0];
+                barrier(1);
+                x[1] = Alm[0];
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        match &unit.kernels[0].body[0] {
+            Stmt::Decl { addr_space: Some(AddrSpace::Local), array_len: Some(_), .. } => {}
+            other => panic!("expected local array decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reqd_work_group_size() {
+        let src = r#"
+            __kernel __attribute__((reqd_work_group_size(16, 16, 1)))
+            void k(__global float* x) { x[0] = 0.0f; }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.kernels[0].reqd_wg_size, Some([16, 16, 1]));
+    }
+
+    #[test]
+    fn parses_ternary_and_casts() {
+        let src = r#"
+            __kernel void k(__global int* x, int n) {
+                int a = n > 0 ? n : -n;
+                double d = (double)a;
+                x[0] = (int)d;
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_increment_in_for() {
+        let src = r#"
+            __kernel void k(__global int* x, int n) {
+                for (int i = 0; i < n; i++) { x[i] = i; }
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let src = "__kernel void k(__global int* x){ x[0] = 1 + 2 * 3; }";
+        let unit = parse(src).unwrap();
+        match &unit.kernels[0].body[0] {
+            Stmt::Assign { rhs, .. } => match &rhs.kind {
+                ExprKind::Bin(BinOp::Add, _, r) => {
+                    assert!(matches!(r.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("bad tree {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let src = "__kernel void k(__global int* x){ x[0] = 1 }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_unit() {
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let src = "__kernel void k(__global quux* x){ }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn multiple_kernels_in_one_unit() {
+        let src = r#"
+            __kernel void a(__global int* x){ x[0] = 1; }
+            __kernel void b(__global int* x){ x[0] = 2; }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.kernels.len(), 2);
+    }
+
+    #[test]
+    fn component_names_map_to_lanes() {
+        assert_eq!(parse_component("x"), Some(0));
+        assert_eq!(parse_component("w"), Some(3));
+        assert_eq!(parse_component("s7"), Some(7));
+        assert_eq!(parse_component("sf"), Some(15));
+        assert_eq!(parse_component("q"), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Robustness fuzzing for the OpenCL C frontend: arbitrary byte soup,
+//! token soup and mutated-but-plausible kernels must produce
+//! `CompileError`s, never panics. (The tuner feeds the compiler millions
+//! of generated sources over its lifetime; the frontend must be total.)
+
+use clgemm_clc::Program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary strings never panic the compiler.
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".{0,400}") {
+        let _ = Program::compile(&src);
+    }
+
+    /// Token soup from the language's own vocabulary never panics.
+    #[test]
+    fn token_soup_never_panics(toks in prop::collection::vec(
+        prop::sample::select(vec![
+            "__kernel", "void", "int", "float", "double", "float4", "__global",
+            "__local", "const", "for", "if", "else", "while", "return",
+            "barrier", "mad", "vload2", "vstore2", "get_global_id",
+            "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/",
+            "<", ">", "==", "&&", "0", "1", "42", "3.5", "2.0f", "x", "y", "A",
+        ]),
+        0..60,
+    )) {
+        let src = toks.join(" ");
+        let _ = Program::compile(&src);
+    }
+
+    /// Mutating one byte of a valid kernel never panics (it may still
+    /// compile if the byte lands in a comment).
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..300, byte in 0u8..128) {
+        let base = r#"
+            // a comment line to absorb some mutations
+            __kernel void k(__global const float* a, __global float* c, int n) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int p = 0; p < n; p += 1) { acc = mad(a[p], 2.0f, acc); }
+                if (i < n) { c[i] = acc; }
+            }
+        "#;
+        let mut bytes = base.as_bytes().to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = byte;
+        if let Ok(src) = std::str::from_utf8(&bytes) {
+            let _ = Program::compile(src);
+        }
+    }
+
+    /// Deeply nested expressions neither panic nor hang.
+    #[test]
+    fn nested_parens_are_handled(depth in 1usize..60) {
+        let expr = format!("{}1.0{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("__kernel void k(__global double* x) {{ x[0] = {expr}; }}");
+        let p = Program::compile(&src);
+        prop_assert!(p.is_ok(), "balanced parens should compile");
+    }
+}
+
+#[test]
+fn pathological_but_valid_sources_compile() {
+    // Very long straight-line kernel (stress the lowering, not the parser).
+    let mut body = String::new();
+    for i in 0..500 {
+        body.push_str(&format!("double v{i} = {i}.0;\n"));
+    }
+    body.push_str("double s = 0.0;\n");
+    for i in 0..500 {
+        body.push_str(&format!("s = s + v{i};\n"));
+    }
+    let src = format!("__kernel void k(__global double* x) {{\n{body}\nx[0] = s;\n}}");
+    let p = Program::compile(&src).unwrap();
+    // And it runs: sum 0..499 = 124750.
+    let mut bufs = vec![clgemm_clc::BufData::F64(vec![0.0])];
+    p.kernel("k")
+        .unwrap()
+        .launch(
+            clgemm_clc::NdRange::d1(1, 1),
+            &[clgemm_clc::Arg::Buf(0)],
+            &mut bufs,
+            &clgemm_clc::ExecOptions::default(),
+        )
+        .unwrap();
+    match &bufs[0] {
+        clgemm_clc::BufData::F64(v) => assert_eq!(v[0], 124_750.0),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deeply_nested_control_flow_compiles_and_runs() {
+    let mut src = String::from("__kernel void k(__global int* x) {\nint acc = 0;\n");
+    for i in 0..24 {
+        src.push_str(&format!("if (acc >= {i}) {{ acc = acc + 1;\n"));
+    }
+    src.push_str(&"}".repeat(24));
+    src.push_str("\nx[0] = acc;\n}");
+    let p = Program::compile(&src).unwrap();
+    let mut bufs = vec![clgemm_clc::BufData::I32(vec![0])];
+    p.kernel("k")
+        .unwrap()
+        .launch(
+            clgemm_clc::NdRange::d1(1, 1),
+            &[clgemm_clc::Arg::Buf(0)],
+            &mut bufs,
+            &clgemm_clc::ExecOptions::default(),
+        )
+        .unwrap();
+    match &bufs[0] {
+        clgemm_clc::BufData::I32(v) => assert_eq!(v[0], 24),
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,220 @@
+//! The clc substrate is a general OpenCL C subset, not a GEMM-only DSL:
+//! classic parallel kernels — transpose through local memory, tree
+//! reduction, saxpy with while loops, numeric builtins — compile and run
+//! with correct work-group semantics.
+
+use clgemm_clc::{Arg, BufData, ExecOptions, NdRange, Program};
+
+fn f64s(b: &BufData) -> &[f64] {
+    match b {
+        BufData::F64(v) => v,
+        other => panic!("expected f64 buffer, got {other:?}"),
+    }
+}
+
+#[test]
+fn tiled_transpose_through_local_memory() {
+    // The classic coalesced-transpose kernel: stage a tile in local
+    // memory, barrier, write it back transposed.
+    let src = r#"
+        #define TILE 4
+        __kernel __attribute__((reqd_work_group_size(4, 4, 1)))
+        void transpose(__global const double* in, __global double* out, int n) {
+            __local double tile[TILE*TILE];
+            int gx = get_group_id(0);
+            int gy = get_group_id(1);
+            int tx = get_local_id(0);
+            int ty = get_local_id(1);
+            int x = gx*TILE + tx;
+            int y = gy*TILE + ty;
+            tile[ty*TILE + tx] = in[y*n + x];
+            barrier(1);
+            int ox = gy*TILE + tx;
+            int oy = gx*TILE + ty;
+            out[oy*n + ox] = tile[tx*TILE + ty];
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let n = 8usize;
+    let input: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+    let mut bufs = vec![BufData::F64(input.clone()), BufData::F64(vec![0.0; n * n])];
+    p.kernel("transpose")
+        .unwrap()
+        .launch(
+            NdRange::d2([n, n], [4, 4]),
+            &[Arg::Buf(0), Arg::Buf(1), Arg::I32(n as i32)],
+            &mut bufs,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    let out = f64s(&bufs[1]);
+    for y in 0..n {
+        for x in 0..n {
+            assert_eq!(out[y * n + x], input[x * n + y], "({x},{y})");
+        }
+    }
+}
+
+#[test]
+fn tree_reduction_with_while_loop() {
+    // Work-group tree reduction using a while loop and barriers.
+    let src = r#"
+        __kernel void reduce(__global const double* in, __global double* out) {
+            __local double scratch[8];
+            int l = get_local_id(0);
+            int g = get_global_id(0);
+            scratch[l] = in[g];
+            barrier(1);
+            int stride = 4;
+            while (stride > 0) {
+                if (l < stride) {
+                    scratch[l] = scratch[l] + scratch[l + stride];
+                }
+                barrier(1);
+                stride = stride / 2;
+            }
+            if (l == 0) { out[get_group_id(0)] = scratch[0]; }
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let input: Vec<f64> = (1..=16).map(f64::from).collect();
+    let mut bufs = vec![BufData::F64(input), BufData::F64(vec![0.0; 2])];
+    p.kernel("reduce")
+        .unwrap()
+        .launch(NdRange::d1(16, 8), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+        .unwrap();
+    let out = f64s(&bufs[1]);
+    assert_eq!(out[0], (1..=8).sum::<i32>() as f64);
+    assert_eq!(out[1], (9..=16).sum::<i32>() as f64);
+}
+
+#[test]
+fn while_loop_divergent_trip_counts() {
+    // Each work-item loops a different number of times — uniform control
+    // flow is NOT required outside barriers.
+    let src = r#"
+        __kernel void tri(__global double* out) {
+            int g = get_global_id(0);
+            double acc = 0.0;
+            int i = 0;
+            while (i <= g) {
+                acc = acc + (double)i;
+                i = i + 1;
+            }
+            out[g] = acc;
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let mut bufs = vec![BufData::F64(vec![0.0; 6])];
+    p.kernel("tri")
+        .unwrap()
+        .launch(NdRange::d1(6, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+        .unwrap();
+    assert_eq!(f64s(&bufs[0]), &[0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
+}
+
+#[test]
+fn math_builtins_evaluate_correctly() {
+    let src = r#"
+        __kernel void mathy(__global const double* x, __global double* y) {
+            int g = get_global_id(0);
+            double v = x[g];
+            double c = clamp(v, -1.0, 1.0);
+            double e = exp(c);
+            double l = log(e);
+            y[g] = fmax(fmin(l, 10.0), -10.0) + sqrt(fabs(v));
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let xs = vec![-4.0, 0.25, 2.0, 9.0];
+    let mut bufs = vec![BufData::F64(xs.clone()), BufData::F64(vec![0.0; 4])];
+    p.kernel("mathy")
+        .unwrap()
+        .launch(NdRange::d1(4, 2), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+        .unwrap();
+    let out = f64s(&bufs[1]);
+    for (i, &x) in xs.iter().enumerate() {
+        let c: f64 = x.clamp(-1.0, 1.0);
+        let want = c.exp().ln().clamp(-10.0, 10.0) + x.abs().sqrt();
+        assert!((out[i] - want).abs() < 1e-12, "{i}: {} vs {want}", out[i]);
+    }
+}
+
+#[test]
+fn saxpy_with_vectors_and_tail() {
+    // Vectorised body + scalar tail handling, the standard BLAS-1 shape.
+    let src = r#"
+        __kernel void saxpy4(__global const float* x, __global float* y, float a, int n4) {
+            int g = get_global_id(0);
+            if (g < n4) {
+                float4 xv = vload4(g, x);
+                float4 yv = vload4(g, y);
+                vstore4(mad((float4)(a), xv, yv), g, y);
+            }
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let n = 16usize;
+    let mut bufs = vec![
+        BufData::F32((0..n).map(|i| i as f32).collect()),
+        BufData::F32(vec![1.0; n]),
+    ];
+    p.kernel("saxpy4")
+        .unwrap()
+        .launch(
+            NdRange::d1(4, 2),
+            &[Arg::Buf(0), Arg::Buf(1), Arg::F32(2.0), Arg::I32(4)],
+            &mut bufs,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    match &bufs[1] {
+        BufData::F32(v) => {
+            for (i, &y) in v.iter().enumerate() {
+                assert_eq!(y, 2.0 * i as f32 + 1.0);
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn multi_kernel_program_with_shared_state() {
+    // Two kernels in one program operating on the same buffer in
+    // sequence — the host-API usage pattern of the routine layer.
+    let src = r#"
+        __kernel void fill(__global double* x) {
+            x[get_global_id(0)] = (double)get_global_id(0);
+        }
+        __kernel void square(__global double* x) {
+            int g = get_global_id(0);
+            x[g] = x[g]*x[g];
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let mut bufs = vec![BufData::F64(vec![0.0; 8])];
+    let opts = ExecOptions::default();
+    p.kernel("fill").unwrap().launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts).unwrap();
+    p.kernel("square").unwrap().launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts).unwrap();
+    assert_eq!(f64s(&bufs[0]), &[0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0]);
+}
+
+#[test]
+fn non_terminating_while_is_caught_by_step_limit() {
+    let src = r#"
+        __kernel void spin(__global double* x) {
+            int i = 1;
+            while (i > 0) { i = 1; }
+            x[0] = (double)i;
+        }
+    "#;
+    let p = Program::compile(src).unwrap();
+    let mut bufs = vec![BufData::F64(vec![0.0; 1])];
+    let opts = ExecOptions { step_limit: 10_000, ..Default::default() };
+    let err = p
+        .kernel("spin")
+        .unwrap()
+        .launch(NdRange::d1(1, 1), &[Arg::Buf(0)], &mut bufs, &opts)
+        .unwrap_err();
+    assert!(err.to_string().contains("step limit"), "{err}");
+}

@@ -1,0 +1,33 @@
+//! Calibration harness: run the full search per device/precision and
+//! compare the winner's efficiency to the paper's Table II.
+use clgemm::tuner::{tune, SearchOpts, SearchSpace};
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceId;
+
+fn main() {
+    // (device, paper DGEMM GFlop/s, paper SGEMM GFlop/s)
+    let targets = [
+        (DeviceId::Tahiti, 863.0, 3047.0),
+        (DeviceId::Cayman, 580.0, 2167.0),
+        (DeviceId::Kepler, 128.0, 1440.0),
+        (DeviceId::Fermi, 370.0, 896.0),
+        (DeviceId::SandyBridge, 64.0, 140.0),
+        (DeviceId::Bulldozer, 37.0, 87.0),
+    ];
+    for (id, dgemm, sgemm) in targets {
+        let dev = id.spec();
+        let space = SearchSpace::for_device(&dev);
+        for (prec, paper) in [(Precision::F64, dgemm), (Precision::F32, sgemm)] {
+            let t0 = std::time::Instant::now();
+            let res = tune(&dev, prec, &space, &SearchOpts { verify_winner: false, max_sweep_points: 16, ..Default::default() });
+            let dt = t0.elapsed().as_secs_f64();
+            println!(
+                "{:12} {} model {:7.0} GF ({:4.1}%)  paper {:7.0} GF ({:4.1}%)  ratio {:.2}  cands {:6}  [{:.1}s]",
+                dev.code_name, prec, res.best.gflops, 100.0*res.efficiency,
+                paper, 100.0*paper/dev.peak_gflops(prec==Precision::F64),
+                res.best.gflops/paper, res.candidates, dt
+            );
+            println!("      -> {}", res.best.params.describe());
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The GEMM kernel code generator (§III).
+//!
+//! Given a validated [`KernelParams`], emits a complete OpenCL C kernel
+//! computing `C ← α·Aᵀ·B + β·C` over packed operands:
+//!
+//! * `A` is the packed `K × M` transposed-A operand in `layout_a`,
+//! * `B` is the packed `K × N` operand in `layout_b`,
+//! * `C` is the `M × N` row-major staging buffer,
+//!
+//! with `M % Mwg == N % Nwg == K % k_multiple() == 0` guaranteed by the
+//! routine layer's padding. The generated source compiles and runs under
+//! `clgemm-clc`, so the full paper pipeline — generate → compile → test →
+//! measure — is exercised end to end.
+//!
+//! The three algorithm skeletons follow the paper's Figs. 4–6:
+//! BA (load → barrier → compute → barrier), PL (prefetch next block into
+//! private registers while computing, then store to local memory), and DB
+//! (two local-memory buffers alternating roles, one barrier per block).
+
+use crate::params::{Algorithm, KernelParams, StrideMode};
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::scalar::Precision;
+use clgemm_clc::NdRange;
+use std::fmt::Write as _;
+
+/// Name of the generated kernel function.
+pub const KERNEL_NAME: &str = "gemm_atb";
+
+/// A generated kernel: OpenCL C source plus the parameters that shaped it.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    pub params: KernelParams,
+    pub source: String,
+}
+
+impl GeneratedKernel {
+    /// NDRange for a padded `m × n` problem: one work-item per
+    /// `(Mwi, Nwi)` sub-tile.
+    ///
+    /// # Panics
+    /// Panics if `m`/`n` are not multiples of the work-group blocking —
+    /// the routine layer pads before launching.
+    #[must_use]
+    pub fn ndrange(&self, m: usize, n: usize) -> NdRange {
+        let p = &self.params;
+        assert_eq!(m % p.mwg, 0, "M={m} not padded to Mwg={}", p.mwg);
+        assert_eq!(n % p.nwg, 0, "N={n} not padded to Nwg={}", p.nwg);
+        NdRange::d2(
+            [(m / p.mwg) * p.mdimc, (n / p.nwg) * p.ndimc],
+            [p.mdimc, p.ndimc],
+        )
+    }
+}
+
+/// Generate the kernel source for a parameter set.
+///
+/// # Errors
+/// Returns the parameter-validation error when the set is structurally
+/// invalid (the paper's "failed in code generation" case).
+pub fn generate(params: &KernelParams) -> Result<GeneratedKernel, crate::params::ParamError> {
+    params.validate()?;
+    let source = Emitter::new(params).emit();
+    Ok(GeneratedKernel { params: *params, source })
+}
+
+struct Emitter<'a> {
+    p: &'a KernelParams,
+    out: String,
+    indent: usize,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(p: &'a KernelParams) -> Self {
+        Emitter { p, out: String::with_capacity(8 * 1024), indent: 0 }
+    }
+
+    fn line(&mut self, s: impl AsRef<str>) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s.as_ref());
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, s: impl AsRef<str>) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    // ---- type & literal helpers -----------------------------------------
+
+    fn t(&self) -> &'static str {
+        self.p.precision.cl_name()
+    }
+
+    /// The C-tile vector type (`double2`, `float4`, …) or the scalar type
+    /// when `vw == 1`.
+    fn tv(&self) -> String {
+        if self.p.vw == 1 {
+            self.t().to_string()
+        } else {
+            format!("{}{}", self.t(), self.p.vw)
+        }
+    }
+
+    fn zero(&self) -> &'static str {
+        match self.p.precision {
+            Precision::F32 => "0.0f",
+            Precision::F64 => "0.0",
+        }
+    }
+
+    fn vzero(&self) -> String {
+        if self.p.vw == 1 {
+            self.zero().to_string()
+        } else {
+            format!("({})({})", self.tv(), self.zero())
+        }
+    }
+
+    /// Broadcast a scalar expression to the C-tile vector type.
+    fn bcast(&self, e: &str) -> String {
+        if self.p.vw == 1 {
+            e.to_string()
+        } else {
+            format!("({})({})", self.tv(), e)
+        }
+    }
+
+    /// Vector load of `vw` elements at element offset `off` from `ptr`
+    /// (offset must be a multiple of `vw`, which the address algebra
+    /// guarantees).
+    fn vload(&self, off: &str, ptr: &str) -> String {
+        if self.p.vw == 1 {
+            format!("{ptr}[{off}]")
+        } else {
+            format!("vload{}(({off})/{}, {ptr})", self.p.vw, self.p.vw)
+        }
+    }
+
+    fn vstore_stmt(&self, val: &str, off: &str, ptr: &str) -> String {
+        if self.p.vw == 1 {
+            format!("{ptr}[{off}] = {val};")
+        } else {
+            format!("vstore{}({val}, ({off})/{}, {ptr});", self.p.vw, self.p.vw)
+        }
+    }
+
+    // ---- address algebra -------------------------------------------------
+    //
+    // Operand A is K x M with blocking (Mwg, Kwg); `pwg` is a multiple of
+    // Kwg, `dp < Kwg` the in-block depth, `il < Mwg` the in-tile column.
+
+    fn a_addr(&self, pwg: &str, dp: &str, il: &str) -> String {
+        match self.p.layout_a {
+            BlockLayout::RowMajor => format!("(({pwg}) + ({dp}))*M + gx*MWG + ({il})"),
+            BlockLayout::Cbl => format!("gx*(K*MWG) + (({pwg}) + ({dp}))*MWG + ({il})"),
+            BlockLayout::Rbl => {
+                format!("(({pwg})/KWG)*(KWG*M) + gx*(KWG*MWG) + ({dp})*MWG + ({il})")
+            }
+        }
+    }
+
+    fn b_addr(&self, pwg: &str, dp: &str, jl: &str) -> String {
+        match self.p.layout_b {
+            BlockLayout::RowMajor => format!("(({pwg}) + ({dp}))*N + gy*NWG + ({jl})"),
+            BlockLayout::Cbl => format!("gy*(K*NWG) + (({pwg}) + ({dp}))*NWG + ({jl})"),
+            BlockLayout::Rbl => {
+                format!("(({pwg})/KWG)*(KWG*N) + gy*(KWG*NWG) + ({dp})*NWG + ({jl})")
+            }
+        }
+    }
+
+    /// Row (M-direction) in-tile index of this work-item's `mi`-th row.
+    fn row_il(&self, mi: usize) -> String {
+        match self.p.stride_m {
+            StrideMode::Unit => format!("tx*MWI + {mi}"),
+            StrideMode::NonUnit => format!("tx + MDIMC*{mi}"),
+        }
+    }
+
+    /// Column (N-direction) in-tile base of this work-item's `cj`-th
+    /// vector chunk.
+    fn col_base(&self, cj: usize) -> String {
+        match self.p.stride_n {
+            StrideMode::Unit => format!("(ty*NWIV + {cj})*VW"),
+            StrideMode::NonUnit => format!("(ty + NDIMC*{cj})*VW"),
+        }
+    }
+
+    // ---- emission ---------------------------------------------------------
+
+    fn emit(mut self) -> String {
+        let p = self.p;
+        self.line("// Auto-generated GEMM kernel: C <- alpha*A^T*B + beta*C");
+        self.line(format!("// {}", p.describe()));
+        if p.precision == Precision::F64 {
+            self.line("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
+        }
+        for (name, v) in [
+            ("MWG", p.mwg),
+            ("NWG", p.nwg),
+            ("KWG", p.kwg),
+            ("MDIMC", p.mdimc),
+            ("NDIMC", p.ndimc),
+            ("KWI", p.kwi),
+            ("MDIMA", p.mdima),
+            ("KDIMA", p.kdima()),
+            ("KDIMB", p.kdimb()),
+            ("NDIMB", p.ndimb),
+            ("MWI", p.mwi()),
+            ("NWI", p.nwi()),
+            ("VW", p.vw),
+            ("NWIV", p.nwi() / p.vw),
+            ("MWIA", p.mwia()),
+            ("KWIA", p.kwia()),
+            ("KWIB", p.kwib()),
+            ("NWIB", p.nwib()),
+        ] {
+            self.line(format!("#define {name} {v}"));
+        }
+        self.line("");
+        self.line(format!(
+            "__kernel __attribute__((reqd_work_group_size({}, {}, 1)))",
+            p.mdimc, p.ndimc
+        ));
+        let t = self.t();
+        self.open(format!(
+            "void {KERNEL_NAME}(__global const {t}* A, __global const {t}* B, __global {t}* C, int M, int N, int K, {t} alpha, {t} beta) {{"
+        ));
+        self.line("int tx = get_local_id(0);");
+        self.line("int ty = get_local_id(1);");
+        self.line("int gx = get_group_id(0);");
+        self.line("int gy = get_group_id(1);");
+        if p.local_a || p.local_b {
+            self.line("int w = tx + MDIMC*ty;");
+        }
+        if p.local_a {
+            self.line("int ax = w % MDIMA;");
+            self.line("int ak = w / MDIMA;");
+        }
+        if p.local_b {
+            self.line("int bx = w % NDIMB;");
+            self.line("int bk = w / NDIMB;");
+        }
+        let db = p.algorithm == Algorithm::Db;
+        if p.local_a {
+            self.line(format!("__local {t} Alm0[KWG*MWG];"));
+            if db {
+                self.line(format!("__local {t} Alm1[KWG*MWG];"));
+            }
+        }
+        if p.local_b {
+            self.line(format!("__local {t} Blm0[KWG*NWG];"));
+            if db {
+                self.line(format!("__local {t} Blm1[KWG*NWG];"));
+            }
+        }
+        // Accumulators.
+        let tv = self.tv();
+        let vz = self.vzero();
+        for mi in 0..p.mwi() {
+            for cj in 0..p.nwi() / p.vw {
+                self.line(format!("{tv} c_{mi}_{cj} = {vz};"));
+            }
+        }
+        self.line("");
+
+        match p.algorithm {
+            Algorithm::Ba => self.emit_ba(),
+            Algorithm::Pl => self.emit_pl(),
+            Algorithm::Db => self.emit_db(),
+        }
+
+        self.emit_merge();
+        self.close();
+        self.out
+    }
+
+    fn emit_ba(&mut self) {
+        let p = self.p;
+        let uses_local = p.local_a || p.local_b;
+        self.open("for (int pwg = 0; pwg < K; pwg += KWG) {");
+        if p.local_a {
+            self.emit_loader_a("pwg", "Alm0");
+        }
+        if p.local_b {
+            self.emit_loader_b("pwg", "Blm0");
+        }
+        if uses_local {
+            self.line("barrier(1);");
+        }
+        self.emit_compute_loop("pwg", "Alm0", "Blm0");
+        if uses_local {
+            self.line("barrier(1);");
+        }
+        self.close();
+    }
+
+    fn emit_pl(&mut self) {
+        // Fig. 5: prologue load, then { prefetch-to-private / barrier /
+        // compute / barrier / store-to-local / barrier }, epilogue compute.
+        self.emit_loader_a("0", "Alm0");
+        self.emit_loader_b("0", "Blm0");
+        self.line("barrier(1);");
+        self.open("for (int pwg = 0; pwg < K - KWG; pwg += KWG) {");
+        self.emit_prefetch("pwg + KWG");
+        self.line("barrier(1);");
+        self.emit_compute_loop("pwg", "Alm0", "Blm0");
+        self.line("barrier(1);");
+        self.emit_prefetch_store("Alm0", "Blm0");
+        self.line("barrier(1);");
+        self.close();
+        self.emit_compute_loop("K - KWG", "Alm0", "Blm0");
+    }
+
+    fn emit_db(&mut self) {
+        // Full double buffering over Kwg blocks; requires K to be a
+        // multiple of 2*KWG (the routine layer pads K accordingly).
+        self.emit_loader_a("0", "Alm0");
+        self.emit_loader_b("0", "Blm0");
+        self.open("for (int pwg = 0; pwg < K - 2*KWG; pwg += 2*KWG) {");
+        self.line("barrier(1);");
+        self.emit_loader_a("pwg + KWG", "Alm1");
+        self.emit_loader_b("pwg + KWG", "Blm1");
+        self.emit_compute_loop("pwg", "Alm0", "Blm0");
+        self.line("barrier(1);");
+        self.emit_loader_a("pwg + 2*KWG", "Alm0");
+        self.emit_loader_b("pwg + 2*KWG", "Blm0");
+        self.emit_compute_loop("pwg + KWG", "Alm1", "Blm1");
+        self.close();
+        self.line("barrier(1);");
+        self.emit_loader_a("K - KWG", "Alm1");
+        self.emit_loader_b("K - KWG", "Blm1");
+        self.emit_compute_loop("K - 2*KWG", "Alm0", "Blm0");
+        self.line("barrier(1);");
+        self.emit_compute_loop("K - KWG", "Alm1", "Blm1");
+    }
+
+    /// Loader: copy the `Kwg × Mwg` A block at depth `pwg` into `alm`.
+    /// Work-items are reshaped into an `MdimA × KdimA` grid (§III-C).
+    fn emit_loader_a(&mut self, pwg: &str, alm: &str) {
+        let p = self.p;
+        if p.loader_a_vec() {
+            let chunks = p.mwg / (p.mdima * p.vw);
+            for kk in 0..p.kwia() {
+                for ii in 0..chunks {
+                    let dp = format!("ak + KDIMA*{kk}");
+                    let il = format!("(ax + MDIMA*{ii})*VW");
+                    let g = self.a_addr(pwg, &dp, &il);
+                    let l = format!("({dp})*MWG + {il}");
+                    let val = self.vload(&g, "A");
+                    self.line(self.vstore_stmt(&val, &l, alm));
+                }
+            }
+        } else {
+            for kk in 0..p.kwia() {
+                for ii in 0..p.mwia() {
+                    let dp = format!("ak + KDIMA*{kk}");
+                    let il = format!("ax + MDIMA*{ii}");
+                    let g = self.a_addr(pwg, &dp, &il);
+                    self.line(format!("{alm}[({dp})*MWG + {il}] = A[{g}];"));
+                }
+            }
+        }
+    }
+
+    fn emit_loader_b(&mut self, pwg: &str, blm: &str) {
+        let p = self.p;
+        if p.loader_b_vec() {
+            let chunks = p.nwg / (p.ndimb * p.vw);
+            for kk in 0..p.kwib() {
+                for jj in 0..chunks {
+                    let dp = format!("bk + KDIMB*{kk}");
+                    let jl = format!("(bx + NDIMB*{jj})*VW");
+                    let g = self.b_addr(pwg, &dp, &jl);
+                    let l = format!("({dp})*NWG + {jl}");
+                    let val = self.vload(&g, "B");
+                    self.line(self.vstore_stmt(&val, &l, blm));
+                }
+            }
+        } else {
+            for kk in 0..p.kwib() {
+                for jj in 0..p.nwib() {
+                    let dp = format!("bk + KDIMB*{kk}");
+                    let jl = format!("bx + NDIMB*{jj}");
+                    let g = self.b_addr(pwg, &dp, &jl);
+                    self.line(format!("{blm}[({dp})*NWG + {jl}] = B[{g}];"));
+                }
+            }
+        }
+    }
+
+    /// PL prefetch: load this work-item's loader share of the block at
+    /// `pwg_next` into private registers.
+    fn emit_prefetch(&mut self, pwg_next: &str) {
+        let p = self.p;
+        let t = self.t();
+        for kk in 0..p.kwia() {
+            for ii in 0..p.mwia() {
+                let dp = format!("ak + KDIMA*{kk}");
+                let il = format!("ax + MDIMA*{ii}");
+                let g = self.a_addr(pwg_next, &dp, &il);
+                self.line(format!("{t} pa_{kk}_{ii} = A[{g}];"));
+            }
+        }
+        for kk in 0..p.kwib() {
+            for jj in 0..p.nwib() {
+                let dp = format!("bk + KDIMB*{kk}");
+                let jl = format!("bx + NDIMB*{jj}");
+                let g = self.b_addr(pwg_next, &dp, &jl);
+                self.line(format!("{t} pb_{kk}_{jj} = B[{g}];"));
+            }
+        }
+    }
+
+    fn emit_prefetch_store(&mut self, alm: &str, blm: &str) {
+        let p = self.p;
+        for kk in 0..p.kwia() {
+            for ii in 0..p.mwia() {
+                let dp = format!("ak + KDIMA*{kk}");
+                let il = format!("ax + MDIMA*{ii}");
+                self.line(format!("{alm}[({dp})*MWG + {il}] = pa_{kk}_{ii};"));
+            }
+        }
+        for kk in 0..p.kwib() {
+            for jj in 0..p.nwib() {
+                let dp = format!("bk + KDIMB*{kk}");
+                let jl = format!("bx + NDIMB*{jj}");
+                self.line(format!("{blm}[({dp})*NWG + {jl}] = pb_{kk}_{jj};"));
+            }
+        }
+    }
+
+    /// The `pwi` loop over one `Kwg` block with `Kwi`-deep unrolling.
+    /// `pwg` is the block's depth base (used for direct global loads);
+    /// local reads index `alm`/`blm` by the in-block depth.
+    fn emit_compute_loop(&mut self, pwg: &str, alm: &str, blm: &str) {
+        let p = self.p;
+        let t = self.t();
+        let tv = self.tv();
+        self.open("for (int pwi = 0; pwi < KWG; pwi += KWI) {");
+        for kk in 0..p.kwi {
+            let dp = format!("pwi + {kk}");
+            // --- stage A into private registers -----------------------
+            if p.read_a_vec() {
+                let a_tv = tv.clone();
+                for mc in 0..p.mwi() / p.vw {
+                    let il = format!("tx*MWI + {}", mc * p.vw);
+                    let src = if p.local_a {
+                        self.vload(&format!("({dp})*MWG + {il}"), alm)
+                    } else {
+                        let g = self.a_addr(pwg, &dp, &il);
+                        self.vload(&g, "A")
+                    };
+                    self.line(format!("{a_tv} a_{kk}_{mc} = {src};"));
+                }
+            } else {
+                for mi in 0..p.mwi() {
+                    let il = self.row_il(mi);
+                    let src = if p.local_a {
+                        format!("{alm}[({dp})*MWG + {il}]")
+                    } else {
+                        format!("A[{}]", self.a_addr(pwg, &dp, &il))
+                    };
+                    self.line(format!("{t} a_{kk}_{mi} = {src};"));
+                }
+            }
+            // --- stage B ------------------------------------------------
+            for cj in 0..p.nwi() / p.vw {
+                let jl = self.col_base(cj);
+                let src = if p.local_b {
+                    self.vload(&format!("({dp})*NWG + {jl}"), blm)
+                } else {
+                    let g = self.b_addr(pwg, &dp, &jl);
+                    self.vload(&g, "B")
+                };
+                self.line(format!("{tv} b_{kk}_{cj} = {src};"));
+            }
+            // --- multiply-accumulate -----------------------------------
+            for mi in 0..p.mwi() {
+                let a_scalar = if p.read_a_vec() && p.vw > 1 {
+                    format!("a_{kk}_{}.s{:x}", mi / p.vw, mi % p.vw)
+                } else {
+                    format!("a_{kk}_{mi}")
+                };
+                let a_b = self.bcast(&a_scalar);
+                for cj in 0..p.nwi() / p.vw {
+                    self.line(format!(
+                        "c_{mi}_{cj} = mad({a_b}, b_{kk}_{cj}, c_{mi}_{cj});"
+                    ));
+                }
+            }
+        }
+        self.close();
+    }
+
+    /// Merge `Cpm` with the `C` tile: `C = alpha*acc + beta*C` (Fig. 4
+    /// line 13).
+    fn emit_merge(&mut self) {
+        let p = self.p;
+        let tv = self.tv();
+        self.line("");
+        let alpha_b = self.bcast("alpha");
+        let beta_b = self.bcast("beta");
+        for mi in 0..p.mwi() {
+            for cj in 0..p.nwi() / p.vw {
+                let row = format!("gx*MWG + {}", self.row_il(mi));
+                let col = format!("gy*NWG + {}", self.col_base(cj));
+                let off = format!("({row})*N + ({col})");
+                let old = self.vload(&off, "C");
+                self.line(format!("{tv} o_{mi}_{cj} = {old};"));
+                let val = format!("mad({alpha_b}, c_{mi}_{cj}, {beta_b}*o_{mi}_{cj})");
+                self.line(self.vstore_stmt(&val, &off, "C"));
+            }
+        }
+    }
+}
+
+/// Emit and pretty-print generation statistics (source size, unrolled
+/// statement counts) — handy for the `codegen_dump` example and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStats {
+    pub lines: usize,
+    pub bytes: usize,
+    pub mads: usize,
+}
+
+/// Cheap textual statistics of a generated kernel.
+#[must_use]
+pub fn source_stats(k: &GeneratedKernel) -> SourceStats {
+    SourceStats {
+        lines: k.source.lines().count(),
+        bytes: k.source.len(),
+        mads: k.source.matches("mad(").count(),
+    }
+}
+
+/// Write a kernel's source with a header comment to a string (used by
+/// examples and docs).
+#[must_use]
+pub fn render_with_header(k: &GeneratedKernel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "// clgemm generated kernel — {} {}", k.params.precision, k.params.algorithm);
+    s.push_str(&k.source);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{small_test_params, tahiti_dgemm_best};
+    use clgemm_clc::Program;
+
+    #[test]
+    fn generates_and_compiles_paper_tahiti_kernel() {
+        let k = generate(&tahiti_dgemm_best()).unwrap();
+        let prog = Program::compile(&k.source)
+            .unwrap_or_else(|e| panic!("generated kernel must compile: {e}\n{}", k.source));
+        assert!(prog.kernel(KERNEL_NAME).is_some());
+    }
+
+    #[test]
+    fn generates_and_compiles_all_algorithms() {
+        for alg in Algorithm::ALL {
+            let mut p = small_test_params(Precision::F64);
+            p.algorithm = alg;
+            let k = generate(&p).unwrap();
+            Program::compile(&k.source)
+                .unwrap_or_else(|e| panic!("{alg} kernel must compile: {e}\n{}", k.source));
+        }
+    }
+
+    #[test]
+    fn generates_all_layout_combinations() {
+        for la in BlockLayout::ALL {
+            for lb in BlockLayout::ALL {
+                let mut p = small_test_params(Precision::F32);
+                p.layout_a = la;
+                p.layout_b = lb;
+                let k = generate(&p).unwrap();
+                Program::compile(&k.source)
+                    .unwrap_or_else(|e| panic!("layouts {la}/{lb}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generates_all_stride_modes() {
+        for sm in [StrideMode::Unit, StrideMode::NonUnit] {
+            for sn in [StrideMode::Unit, StrideMode::NonUnit] {
+                let mut p = small_test_params(Precision::F64);
+                p.stride_m = sm;
+                p.stride_n = sn;
+                let k = generate(&p).unwrap();
+                Program::compile(&k.source).unwrap_or_else(|e| panic!("strides: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generates_without_local_memory() {
+        let mut p = small_test_params(Precision::F64);
+        p.local_a = false;
+        p.local_b = false;
+        let k = generate(&p).unwrap();
+        assert!(!k.source.contains("__local"));
+        assert!(!k.source.contains("barrier"));
+        Program::compile(&k.source).unwrap();
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_at_generation() {
+        let mut p = small_test_params(Precision::F64);
+        p.mwg = 17;
+        assert!(generate(&p).is_err());
+    }
+
+    #[test]
+    fn vector_width_appears_in_source() {
+        let mut p = small_test_params(Precision::F32);
+        p.vw = 4;
+        p.ndimc = 4;
+        p.nwg = 32; // nwi = 8, divisible by 4
+        let k = generate(&p).unwrap();
+        assert!(k.source.contains("vload4"), "{}", k.source);
+        assert!(k.source.contains("float4"));
+        Program::compile(&k.source).unwrap();
+    }
+
+    #[test]
+    fn db_kernel_declares_double_buffers() {
+        let mut p = small_test_params(Precision::F64);
+        p.algorithm = Algorithm::Db;
+        let k = generate(&p).unwrap();
+        assert!(k.source.contains("Alm1"));
+        assert!(k.source.contains("Blm1"));
+    }
+
+    #[test]
+    fn pl_kernel_has_prefetch_registers() {
+        let mut p = small_test_params(Precision::F64);
+        p.algorithm = Algorithm::Pl;
+        let k = generate(&p).unwrap();
+        assert!(k.source.contains("pa_0_0"));
+        assert!(k.source.contains("pb_0_0"));
+    }
+
+    #[test]
+    fn ndrange_matches_blocking() {
+        let k = generate(&small_test_params(Precision::F64)).unwrap();
+        let nd = k.ndrange(32, 48);
+        assert_eq!(nd.local, [4, 4]);
+        assert_eq!(nd.global, [(32 / 16) * 4, (48 / 16) * 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not padded")]
+    fn ndrange_rejects_unpadded_sizes() {
+        let k = generate(&small_test_params(Precision::F64)).unwrap();
+        let _ = k.ndrange(30, 48);
+    }
+
+    #[test]
+    fn dgemm_kernel_enables_fp64_extension() {
+        let k = generate(&small_test_params(Precision::F64)).unwrap();
+        assert!(k.source.contains("cl_khr_fp64"));
+        let k32 = generate(&small_test_params(Precision::F32)).unwrap();
+        assert!(!k32.source.contains("cl_khr_fp64"));
+    }
+
+    #[test]
+    fn source_stats_count_mads() {
+        let p = small_test_params(Precision::F64);
+        let k = generate(&p).unwrap();
+        let stats = source_stats(&k);
+        // mwi*nwiv*kwi mads per compute body; BA has one body.
+        assert!(stats.mads >= p.mwi() * (p.nwi() / p.vw) * p.kwi);
+        assert!(stats.lines > 30);
+    }
+}

@@ -1,0 +1,424 @@
+//! The copy-free GEMM kernel — the paper's stated future work (§V).
+//!
+//! The tuned routine of §IV-B packs both operands before running the
+//! fast `AᵀB` kernel, so at small sizes the `O(N²)` copy dominates and
+//! vendor libraries win (Figs. 9–11). The paper proposes: *"use another
+//! GEMM kernel without the matrix copying [for small sizes] and combine
+//! it with the current implementation"*. This module implements that
+//! kernel and [`crate::routine::HybridGemm`] does the combining.
+//!
+//! The direct kernel:
+//!
+//! * reads the user's **column-major** `A` and `B` exactly as given, with
+//!   the transpose folded into the index expressions per GEMM type;
+//! * guards every access, so arbitrary (non-padded) `M`, `N`, `K` work;
+//! * uses the same two-level blocking and `Kwi` unrolling as the packed
+//!   kernel, but no local memory and no layout change;
+//! * accumulates and merges with exactly the same FMA numerics, so the
+//!   VM execution is bit-identical to [`run_direct_native`].
+
+use crate::params::ParamError;
+use clgemm_blas::matrix::Matrix;
+use clgemm_blas::scalar::{Precision, Scalar};
+use clgemm_blas::{GemmType, Trans};
+use clgemm_clc::NdRange;
+use clgemm_device::{DeviceSpec, KernelLaunchProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Name of the generated copy-free kernel.
+pub const DIRECT_KERNEL_NAME: &str = "gemm_direct";
+
+/// Parameters of the direct kernel (a deliberately smaller space than the
+/// packed kernel: no layouts, no local memory, no stride modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DirectParams {
+    /// Work-group tile.
+    pub mwg: usize,
+    pub nwg: usize,
+    /// Work-group shape.
+    pub mdimc: usize,
+    pub ndimc: usize,
+    /// Unroll depth of the K loop.
+    pub kwi: usize,
+    /// GEMM type baked into the index expressions.
+    pub ty: GemmType,
+    pub precision: Precision,
+}
+
+impl DirectParams {
+    /// A sensible default blocking for small problems.
+    #[must_use]
+    pub fn default_for(ty: GemmType, precision: Precision) -> DirectParams {
+        DirectParams { mwg: 32, nwg: 32, mdimc: 8, ndimc: 8, kwi: 4, ty, precision }
+    }
+
+    /// Work-items per group.
+    #[must_use]
+    pub fn wg_size(&self) -> usize {
+        self.mdimc * self.ndimc
+    }
+
+    /// Rows per work-item.
+    #[must_use]
+    pub fn mwi(&self) -> usize {
+        self.mwg / self.mdimc
+    }
+
+    /// Columns per work-item.
+    #[must_use]
+    pub fn nwi(&self) -> usize {
+        self.nwg / self.ndimc
+    }
+
+    /// Validate divisibility and sanity.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.mwg == 0 || self.nwg == 0 || self.mdimc == 0 || self.ndimc == 0 || self.kwi == 0 {
+            return Err(ParamError("direct-kernel parameters must be positive".into()));
+        }
+        if !self.mwg.is_multiple_of(self.mdimc) || !self.nwg.is_multiple_of(self.ndimc) {
+            return Err(ParamError(format!(
+                "tile {}x{} not divisible by work-group shape {}x{}",
+                self.mwg, self.nwg, self.mdimc, self.ndimc
+            )));
+        }
+        if self.wg_size() > 1024 {
+            return Err(ParamError(format!("work-group size {} exceeds 1024", self.wg_size())));
+        }
+        Ok(())
+    }
+
+    /// NDRange covering an `m × n` result (rounded up; the kernel guards).
+    #[must_use]
+    pub fn ndrange(&self, m: usize, n: usize) -> NdRange {
+        NdRange::d2(
+            [m.div_ceil(self.mwg) * self.mdimc, n.div_ceil(self.nwg) * self.ndimc],
+            [self.mdimc, self.ndimc],
+        )
+    }
+
+    /// Estimated register slots per work-item.
+    #[must_use]
+    pub fn regs_per_wi(&self) -> usize {
+        let words = self.precision.bytes() / 4;
+        (self.mwi() * self.nwi() + self.kwi.min(4) * (self.mwi() + self.nwi())) * words + 24
+    }
+}
+
+/// A generated direct kernel.
+#[derive(Debug, Clone)]
+pub struct GeneratedDirect {
+    pub params: DirectParams,
+    pub source: String,
+}
+
+/// Index expression into column-major `A` for `op(A)[i][p]`.
+fn a_idx(ta: Trans, i: &str, p: &str) -> String {
+    match ta {
+        Trans::No => format!("({i}) + ({p})*lda"),
+        Trans::Yes => format!("({p}) + ({i})*lda"),
+    }
+}
+
+/// Index expression into column-major `B` for `op(B)[p][j]`.
+fn b_idx(tb: Trans, p: &str, j: &str) -> String {
+    match tb {
+        Trans::No => format!("({p}) + ({j})*ldb"),
+        Trans::Yes => format!("({j}) + ({p})*ldb"),
+    }
+}
+
+/// Generate the copy-free kernel source.
+pub fn generate_direct(p: &DirectParams) -> Result<GeneratedDirect, ParamError> {
+    p.validate()?;
+    let t = p.precision.cl_name();
+    let zero = match p.precision {
+        Precision::F32 => "0.0f",
+        Precision::F64 => "0.0",
+    };
+    let (mwi, nwi, kwi) = (p.mwi(), p.nwi(), p.kwi);
+    let mut s = String::with_capacity(8 * 1024);
+    fn push_line(buf: &mut String, line: &str) {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    macro_rules! w {
+        ($($arg:tt)*) => { push_line(&mut s, &format!($($arg)*)) };
+    }
+    w!("// Direct (copy-free) GEMM kernel, type {}, {}", p.ty, p.precision);
+    if p.precision == Precision::F64 {
+        w!("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
+    }
+    w!("#define MWG {}", p.mwg);
+    w!("#define NWG {}", p.nwg);
+    w!("#define MDIMC {}", p.mdimc);
+    w!("#define NDIMC {}", p.ndimc);
+    w!("#define MWI {mwi}");
+    w!("#define NWI {nwi}");
+    w!("#define KWI {kwi}");
+    w!("");
+    w!(
+        "__kernel __attribute__((reqd_work_group_size({}, {}, 1)))",
+        p.mdimc, p.ndimc
+    );
+    w!(
+        "void {DIRECT_KERNEL_NAME}(__global const {t}* A, __global const {t}* B, __global {t}* C, int M, int N, int K, int lda, int ldb, int ldc, {t} alpha, {t} beta) {{"
+    );
+    w!("    int tx = get_local_id(0);");
+    w!("    int ty = get_local_id(1);");
+    w!("    int gx = get_group_id(0);");
+    w!("    int gy = get_group_id(1);");
+    for mi in 0..mwi {
+        w!("    int row_{mi} = gx*MWG + tx*MWI + {mi};");
+    }
+    for cj in 0..nwi {
+        w!("    int col_{cj} = gy*NWG + ty*NWI + {cj};");
+    }
+    for mi in 0..mwi {
+        for cj in 0..nwi {
+            w!("    {t} c_{mi}_{cj} = {zero};");
+        }
+    }
+    w!("    int p = 0;");
+    // Unrolled main loop.
+    w!("    for (p = 0; p + KWI <= K; p += KWI) {{");
+    for kk in 0..kwi {
+        emit_step(&mut s, p, t, zero, &format!("p + {kk}"), &format!("{kk}"));
+    }
+    w!("    }}");
+    // Scalar tail for K not divisible by KWI.
+    w!("    for (p = p + 0; p < K; p += 1) {{");
+    emit_step(&mut s, p, t, zero, "p", "t");
+    w!("    }}");
+    // Guarded merge into column-major C.
+    for mi in 0..mwi {
+        for cj in 0..nwi {
+            w!("    if (row_{mi} < M && col_{cj} < N) {{");
+            w!("        int off_{mi}_{cj} = row_{mi} + col_{cj}*ldc;");
+            w!(
+                "        C[off_{mi}_{cj}] = mad(alpha, c_{mi}_{cj}, beta*C[off_{mi}_{cj}]);"
+            );
+            w!("    }}");
+        }
+    }
+    w!("}}");
+    Ok(GeneratedDirect { params: *p, source: s })
+}
+
+/// Emit one K step: guarded loads of a column of the A tile and a row of
+/// the B tile, then the rank-1 MAD update.
+fn emit_step(s: &mut String, p: &DirectParams, t: &str, zero: &str, p_expr: &str, tag: &str) {
+    let (mwi, nwi) = (p.mwi(), p.nwi());
+    for mi in 0..mwi {
+        let _ = writeln!(s, "        {t} a_{tag}_{mi} = {zero};");
+        let _ = writeln!(
+            s,
+            "        if (row_{mi} < M) {{ a_{tag}_{mi} = A[{}]; }}",
+            a_idx(p.ty.ta, &format!("row_{mi}"), p_expr)
+        );
+    }
+    for cj in 0..nwi {
+        let _ = writeln!(s, "        {t} b_{tag}_{cj} = {zero};");
+        let _ = writeln!(
+            s,
+            "        if (col_{cj} < N) {{ b_{tag}_{cj} = B[{}]; }}",
+            b_idx(p.ty.tb, p_expr, &format!("col_{cj}"))
+        );
+    }
+    for mi in 0..mwi {
+        for cj in 0..nwi {
+            let _ = writeln!(s, "        c_{mi}_{cj} = mad(a_{tag}_{mi}, b_{tag}_{cj}, c_{mi}_{cj});");
+        }
+    }
+}
+
+/// Native oracle with exactly the direct kernel's numerics: ascending-`p`
+/// FMA accumulation, `mad(alpha, acc, beta*C)` merge.
+pub fn run_direct_native<T: Scalar>(
+    ty: GemmType,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc = a.at_op(ty.ta, i, p).mul_add(b.at_op(ty.tb, p, j), acc);
+            }
+            let old = c.at(i, j);
+            *c.at_mut(i, j) = alpha.mul_add(acc, beta * old);
+        }
+    }
+}
+
+/// Launch profile of the direct kernel for the timing model.
+///
+/// The key performance difference from the packed kernel: operand reads
+/// hit the user's column-major data, so coalescing depends on the GEMM
+/// type (a transposed-A read walks `lda`-strided addresses), every load
+/// carries a bounds guard, and there is no data reuse through local
+/// memory — redundant reads land on the cache.
+#[must_use]
+pub fn direct_profile(p: &DirectParams, dev: &DeviceSpec, m: usize, n: usize, k: usize) -> KernelLaunchProfile {
+    let e = p.precision.bytes() as f64;
+    let wg = p.wg_size() as f64;
+    let (mwi, nwi, kwi) = (p.mwi() as f64, p.nwi() as f64, p.kwi as f64);
+    let iters = (k as f64 / kwi).ceil().max(1.0);
+
+    let mad_ops = mwi * nwi * kwi;
+    let mem_instrs = (mwi + nwi) * kwi;
+    // Guard compare+branch per load plus loop control.
+    let overhead_ops = mem_instrs * 1.5 + 4.0;
+
+    // Column-major reads: an A column is contiguous for non-transposed A
+    // (work-items walk adjacent rows); transposed-A reads stride `lda`.
+    // B is read by columns for non-transposed B (contiguous in p), and
+    // strided otherwise. Strided streams also defeat DRAM page locality.
+    let a_eff = match p.ty.ta {
+        Trans::No => 1.0,
+        Trans::Yes => 0.30,
+    };
+    let b_eff = match p.ty.tb {
+        Trans::No => 0.85,
+        Trans::Yes => 0.35,
+    };
+    let a_bytes = p.mwg as f64 * kwi * e;
+    let b_bytes = p.nwg as f64 * kwi * e;
+    let coalesce_eff =
+        ((a_bytes + b_bytes) / (a_bytes / a_eff + b_bytes / b_eff)).clamp(0.01, 1.0);
+
+    let dedup_b = (p.mdimc as f64).min(dev.micro.wavefront as f64).min(4.0);
+    KernelLaunchProfile {
+        double_precision: p.precision == Precision::F64,
+        wg_size: p.wg_size(),
+        n_wgs: m.div_ceil(p.mwg) * n.div_ceil(p.nwg),
+        outer_iters: iters as usize,
+        mad_ops,
+        mem_instrs,
+        overhead_ops,
+        dram_bytes: (p.mwg + p.nwg) as f64 * kwi * e,
+        cache_bytes: wg * (mwi + nwi / dedup_b) * kwi * e,
+        lds_bytes: 0.0,
+        barriers: 0.0,
+        dram_bytes_once: (p.mwg * p.nwg) as f64 * e * 2.0,
+        mem_instrs_once: mwi * nwi * 2.0,
+        mad_ops_once: mwi * nwi * 2.0,
+        coalesce_eff,
+        pow2_conflict: false,
+        lds_bank_factor: 1.0,
+        simd_utilization: if dev.is_cpu() {
+            // Scalar loads: the implicit vectoriser still packs the MAD
+            // chain, but less effectively than explicit vectors.
+            0.5
+        } else {
+            1.0
+        },
+        serial_latency_factor: 1.2,
+        regs_per_wi: p.regs_per_wi(),
+        lds_bytes_per_wg: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_blas::matrix::StorageOrder;
+    use clgemm_clc::{Arg, BufData, ExecOptions, Program};
+    use clgemm_device::DeviceId;
+
+    fn run_vm_case(ty: GemmType, m: usize, n: usize, k: usize) {
+        let p = DirectParams { mwg: 8, nwg: 8, mdimc: 4, ndimc: 4, kwi: 3, ty, precision: Precision::F64 };
+        let gen = generate_direct(&p).unwrap();
+        let prog = Program::compile(&gen.source)
+            .unwrap_or_else(|e| panic!("direct kernel must compile: {e}\n{}", gen.source));
+        let kernel = prog.kernel(DIRECT_KERNEL_NAME).unwrap();
+
+        let (ar, ac) = match ty.ta {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        let (br, bc) = match ty.tb {
+            Trans::No => (k, n),
+            Trans::Yes => (n, k),
+        };
+        let a = Matrix::<f64>::test_pattern(ar, ac, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(br, bc, StorageOrder::ColMajor, 2);
+        let c0 = Matrix::<f64>::test_pattern(m, n, StorageOrder::ColMajor, 3);
+
+        let mut c_native = c0.clone();
+        run_direct_native(ty, 1.25, &a, &b, -0.5, &mut c_native);
+
+        let mut bufs = vec![
+            BufData::F64(a.as_slice().to_vec()),
+            BufData::F64(b.as_slice().to_vec()),
+            BufData::F64(c0.as_slice().to_vec()),
+        ];
+        let args = [
+            Arg::Buf(0),
+            Arg::Buf(1),
+            Arg::Buf(2),
+            Arg::I32(m as i32),
+            Arg::I32(n as i32),
+            Arg::I32(k as i32),
+            Arg::I32(ar as i32), // lda = rows of the stored matrix
+            Arg::I32(br as i32),
+            Arg::I32(m as i32), // ldc
+            Arg::F64(1.25),
+            Arg::F64(-0.5),
+        ];
+        kernel
+            .launch(p.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("{ty} {m}x{n}x{k}: {e}"));
+        let BufData::F64(c_vm) = &bufs[2] else { panic!() };
+        for j in 0..n {
+            for i in 0..m {
+                let vm = c_vm[i + j * m];
+                let nat = c_native.at(i, j);
+                assert_eq!(vm.to_bits(), nat.to_bits(), "{ty} mismatch at ({i},{j}): {vm} vs {nat}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_kernel_bit_exact_all_types_awkward_sizes() {
+        for ty in GemmType::ALL {
+            run_vm_case(ty, 13, 11, 9); // nothing divides anything
+            run_vm_case(ty, 8, 8, 8); // exact tile
+            run_vm_case(ty, 17, 3, 5);
+        }
+    }
+
+    #[test]
+    fn k_smaller_than_unroll_uses_tail_loop() {
+        run_vm_case(GemmType::NN, 9, 9, 2); // K=2 < KWI=3: main loop never runs
+        run_vm_case(GemmType::TT, 9, 9, 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let mut p = DirectParams::default_for(GemmType::NN, Precision::F32);
+        p.mwg = 30; // not divisible by 8
+        assert!(p.validate().is_err());
+        assert!(generate_direct(&p).is_err());
+    }
+
+    #[test]
+    fn direct_profile_penalises_transposed_reads() {
+        let dev = DeviceId::Tahiti.spec();
+        let nn = direct_profile(&DirectParams::default_for(GemmType::NN, Precision::F64), &dev, 256, 256, 256);
+        let tt = direct_profile(&DirectParams::default_for(GemmType::TT, Precision::F64), &dev, 256, 256, 256);
+        assert!(tt.coalesce_eff < nn.coalesce_eff);
+    }
+
+    #[test]
+    fn ndrange_covers_and_guards() {
+        let p = DirectParams::default_for(GemmType::NN, Precision::F32);
+        let nd = p.ndrange(33, 65);
+        assert_eq!(nd.global[0] / p.mdimc * p.mwg, 64); // 2 tiles of 32 cover 33
+        assert_eq!(nd.global[1] / p.ndimc * p.nwg, 96); // 3 tiles cover 65
+    }
+}

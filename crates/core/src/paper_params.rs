@@ -1,0 +1,206 @@
+//! The paper's own Table II winning parameter sets, transcribed.
+//!
+//! These let the reproduction answer a sharper question than "does my
+//! tuner find *a* fast kernel": **how fast does the model say the
+//! paper's exact winners are?** If the model is faithful, the paper's
+//! winners should land close to its reported GFlop/s and close to our
+//! own winners (the optimum neighbourhood is flat).
+//!
+//! Transcription notes (the scanned table interleaves columns, so some
+//! cells are best-effort):
+//!
+//! * Where Table II lists PL/DB kernels sharing only one matrix, our
+//!   generator requires both staged (its PL/DB skeletons load A and B
+//!   through local memory, like the paper's Figs. 5–6 listings); those
+//!   entries are adapted with `local_a = local_b = true` and flagged via
+//!   [`PaperEntry::adapted`].
+//! * Stride-row letters name the directions using non-unit access.
+
+use crate::params::{Algorithm, KernelParams, StrideMode};
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceId;
+
+/// One Table II column.
+#[derive(Debug, Clone)]
+pub struct PaperEntry {
+    pub device: DeviceId,
+    pub params: KernelParams,
+    /// The paper's reported maximum kernel GFlop/s.
+    pub paper_gflops: f64,
+    /// `true` when the transcription had to adapt the set to this
+    /// generator's constraints.
+    pub adapted: bool,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the Table II column layout
+fn p(
+    device: DeviceId,
+    precision: Precision,
+    (mwg, nwg, kwg): (usize, usize, usize),
+    kwi: usize,
+    (mdimc, ndimc): (usize, usize),
+    mdima: usize,
+    ndimb: usize,
+    vw: usize,
+    (sm, sn): (bool, bool),
+    (la, lb): (bool, bool),
+    (lay_a, lay_b): (BlockLayout, BlockLayout),
+    algorithm: Algorithm,
+    paper_gflops: f64,
+    adapted: bool,
+) -> PaperEntry {
+    let params = KernelParams {
+        mwg,
+        nwg,
+        kwg,
+        mdimc,
+        ndimc,
+        kwi,
+        mdima,
+        ndimb,
+        vw,
+        stride_m: if sm { StrideMode::NonUnit } else { StrideMode::Unit },
+        stride_n: if sn { StrideMode::NonUnit } else { StrideMode::Unit },
+        local_a: la,
+        local_b: lb,
+        layout_a: lay_a,
+        layout_b: lay_b,
+        algorithm,
+        precision,
+    };
+    PaperEntry { device, params, paper_gflops, adapted }
+}
+
+/// The six DGEMM winners of Table II.
+#[must_use]
+pub fn dgemm_winners() -> Vec<PaperEntry> {
+    use BlockLayout::{Cbl, Rbl};
+    vec![
+        // Tahiti: 96,32,48 / 6,2,2 / 16x16 / vw2 / shared B / CBL,CBL / BA.
+        p(DeviceId::Tahiti, Precision::F64, (96, 32, 48), 2, (16, 16), 16, 16, 2,
+          (false, false), (false, true), (Cbl, Cbl), Algorithm::Ba, 863.0, false),
+        // Cayman: 64,32,48 / 4,4,24 / 16x8 / dimA 16 / NdimB 8 / vw2 /
+        // stride N / no local / CBL,CBL / BA.
+        p(DeviceId::Cayman, Precision::F64, (64, 32, 48), 24, (16, 8), 16, 8, 2,
+          (false, true), (false, false), (Cbl, Cbl), Algorithm::Ba, 580.0, false),
+        // Kepler: 32,64,8 / 2,4,4 / 16x16 / dimA 32 / NdimB 32 / vw1 /
+        // stride N / shared A,B / CBL,CBL / BA.
+        p(DeviceId::Kepler, Precision::F64, (32, 64, 8), 4, (16, 16), 32, 32, 1,
+          (false, true), (true, true), (Cbl, Cbl), Algorithm::Ba, 128.0, false),
+        // Fermi: 64,64,8 / 4,4,2 / 16x16 / dimA 64 / NdimB 64 / vw1 /
+        // stride N / shared B + PL in the table -> adapted to A,B for PL.
+        p(DeviceId::Fermi, Precision::F64, (64, 64, 8), 2, (16, 16), 64, 64, 1,
+          (false, true), (true, true), (Cbl, Rbl), Algorithm::Pl, 370.0, true),
+        // Sandy Bridge: 64,32,64 / 4,8,4 / 16x4 / vw4 / RBL,RBL / DB with
+        // shared B. Our DB skeleton double-buffers BOTH operands, which
+        // does not fit the 32 KiB local memory at these factors, so the
+        // entry is adapted to BA sharing B (local memory is cache-backed
+        // on this CPU, so the algorithm choice is near-neutral anyway).
+        p(DeviceId::SandyBridge, Precision::F64, (64, 32, 64), 4, (16, 4), 16, 4, 4,
+          (false, false), (false, true), (Rbl, Rbl), Algorithm::Ba, 64.0, true),
+        // Bulldozer: 48,32,96 / 2,8,16 / 24x4 / vw2 / stride M / shared B
+        // + DB. As for Sandy Bridge, our double-buffered-both skeleton
+        // exceeds the 32 KiB local memory, so adapted to BA sharing B.
+        p(DeviceId::Bulldozer, Precision::F64, (48, 32, 96), 16, (24, 4), 24, 2, 2,
+          (true, false), (false, true), (Cbl, Rbl), Algorithm::Ba, 37.0, true),
+    ]
+}
+
+/// The six SGEMM winners of Table II.
+#[must_use]
+pub fn sgemm_winners() -> Vec<PaperEntry> {
+    use BlockLayout::{Cbl, Rbl};
+    vec![
+        // Tahiti: 96,96,16 / 6,6,2 / 16x16 / vw1 / stride M / shared A,B.
+        p(DeviceId::Tahiti, Precision::F32, (96, 96, 16), 2, (16, 16), 16, 16, 1,
+          (true, false), (true, true), (Cbl, Cbl), Algorithm::Ba, 3047.0, false),
+        // Cayman: 128,64,96 / 8,8,24 / 16x8 / vw4 / stride N / PL with no
+        // shared matrix in the table. A 192x96 SP block cannot fit the
+        // 32 KiB local memory at all, so the paper's PL here must have
+        // prefetched to private only; adapted to BA with no local memory.
+        p(DeviceId::Cayman, Precision::F32, (128, 64, 96), 24, (16, 8), 16, 8, 4,
+          (false, true), (false, false), (Cbl, Cbl), Algorithm::Ba, 2167.0, true),
+        // Kepler: 64,64,8 / 8,4,8 / 8x16 / dimA 32 / NdimB 32 / vw2 /
+        // stride M / shared A,B / PL.
+        p(DeviceId::Kepler, Precision::F32, (64, 64, 8), 8, (8, 16), 32, 32, 2,
+          (true, false), (true, true), (Cbl, Cbl), Algorithm::Pl, 1440.0, false),
+        // Fermi: 64,64,16 / 8,4,16 / 8x16 / dimA 32 / NdimB 16 / vw2 /
+        // stride M,N / shared B / BA.
+        p(DeviceId::Fermi, Precision::F32, (64, 64, 16), 16, (8, 16), 32, 16, 2,
+          (true, true), (false, true), (Cbl, Cbl), Algorithm::Ba, 896.0, false),
+        // Sandy Bridge: 64,64,64 / 8,8,8 / 8x8 / vw8 / stride M / RBL,RBL.
+        p(DeviceId::SandyBridge, Precision::F32, (64, 64, 64), 8, (8, 8), 8, 8, 8,
+          (true, false), (false, false), (Rbl, Rbl), Algorithm::Ba, 140.0, false),
+        // Bulldozer: 32,48,192 / 4,12,4 / 8x4 / vw4 / stride M / CBL,CBL.
+        p(DeviceId::Bulldozer, Precision::F32, (32, 48, 192), 4, (8, 4), 8, 4, 4,
+          (true, false), (false, false), (Cbl, Cbl), Algorithm::Ba, 87.0, false),
+    ]
+}
+
+/// All twelve Table II winners.
+#[must_use]
+pub fn all_winners() -> Vec<PaperEntry> {
+    let mut v = dgemm_winners();
+    v.extend(sgemm_winners());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::generate;
+    use crate::tuner::search::verify_kernel;
+
+    #[test]
+    fn all_paper_winners_are_valid_in_this_generator() {
+        for e in all_winners() {
+            e.params
+                .validate()
+                .unwrap_or_else(|err| panic!("{} {}: {err}", e.device, e.params.precision));
+        }
+    }
+
+    #[test]
+    fn all_paper_winners_generate_and_compile() {
+        for e in all_winners() {
+            let gen = generate(&e.params).unwrap();
+            clgemm_clc::Program::compile(&gen.source)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.device));
+        }
+    }
+
+    #[test]
+    fn paper_winners_fit_their_devices() {
+        for e in all_winners() {
+            let dev = e.device.spec();
+            assert!(
+                e.params.lds_bytes() <= dev.local_mem_bytes(),
+                "{} {}: {} B local memory exceeds device {} B",
+                e.device,
+                e.params.precision,
+                e.params.lds_bytes(),
+                dev.local_mem_bytes()
+            );
+            assert!(e.params.wg_size() <= dev.micro.max_wg_size);
+        }
+    }
+
+    #[test]
+    fn tahiti_dgemm_entry_matches_fixture() {
+        let e = &dgemm_winners()[0];
+        assert_eq!(e.params, crate::params::tahiti_dgemm_best());
+    }
+
+    #[test]
+    fn a_sample_of_paper_winners_verifies_end_to_end() {
+        // VM-execute the small-tile winners (large tiles are covered by
+        // the integration suite; keeping this test quick).
+        for e in all_winners() {
+            if e.params.mwg * e.params.nwg <= 64 * 32 && e.params.k_multiple() <= 96 {
+                verify_kernel(&e.params)
+                    .unwrap_or_else(|err| panic!("{} {}: {err}", e.device, e.params.precision));
+            }
+        }
+    }
+}

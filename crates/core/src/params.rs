@@ -1,0 +1,580 @@
+//! The kernel parameter space of §III.
+//!
+//! A [`KernelParams`] value is one point in the tuner's search space: the
+//! eight blocking-related parameters, the vector width, the stride modes,
+//! local-memory usage, the two matrix layouts and the algorithm choice.
+//! [`KernelParams::validate`] enforces every divisibility constraint the
+//! paper's generator imposes, and the derived quantities (work-item
+//! blocking factors, loader shapes, resource estimates) are computed here
+//! so the code generator, the launch-profile builder and the native
+//! executor all agree on them.
+
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::scalar::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Whether a work-item's C elements are adjacent (unit stride) or
+/// interleaved across the work-group (non-unit stride, §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrideMode {
+    Unit,
+    NonUnit,
+}
+
+impl StrideMode {
+    /// Tag used in parameter tables (matching Table II's "Stride" row
+    /// convention: the row lists the directions using non-unit access).
+    #[must_use]
+    pub fn is_non_unit(self) -> bool {
+        matches!(self, StrideMode::NonUnit)
+    }
+}
+
+/// One of the three GEMM algorithms of §III-E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Basic algorithm (Fig. 4), after Volkov & Demmel.
+    Ba,
+    /// Software pipelining (Fig. 5), after the MAGMA Fermi GEMM.
+    Pl,
+    /// Double buffering (Fig. 6), after Tan et al.
+    Db,
+}
+
+impl Algorithm {
+    /// All algorithms.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Ba, Algorithm::Pl, Algorithm::Db];
+
+    /// Paper tag ("BA"/"PL"/"DB").
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Algorithm::Ba => "BA",
+            Algorithm::Pl => "PL",
+            Algorithm::Db => "DB",
+        }
+    }
+
+    /// Barriers per outer-loop iteration.
+    #[must_use]
+    pub fn barriers_per_iter(self) -> f64 {
+        match self {
+            Algorithm::Ba => 2.0,
+            Algorithm::Pl => 3.0,
+            // DB issues two barriers per *pair* of Kwg blocks.
+            Algorithm::Db => 1.0,
+        }
+    }
+
+    /// Per-iteration non-overlappable global-latency weight (the whole
+    /// point of PL/DB is overlapping the next block's loads with the
+    /// current block's arithmetic).
+    #[must_use]
+    pub fn serial_latency_factor(self) -> f64 {
+        match self {
+            Algorithm::Ba => 1.0,
+            Algorithm::Pl => 0.35,
+            Algorithm::Db => 0.5,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "BA" => Ok(Algorithm::Ba),
+            "PL" => Ok(Algorithm::Pl),
+            "DB" => Ok(Algorithm::Db),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// A full parameter set for the `C ← α·Aᵀ·B + β·C` kernel generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Work-group blocking factors (§III-A).
+    pub mwg: usize,
+    pub nwg: usize,
+    pub kwg: usize,
+    /// Work-group shape; `Mwi = Mwg/MdimC`, `Nwi = Nwg/NdimC`.
+    pub mdimc: usize,
+    pub ndimc: usize,
+    /// Inner-loop unroll factor (§III-A).
+    pub kwi: usize,
+    /// Local-memory loader reshape (§III-C): `KdimA = wg/MdimA`,
+    /// `KdimB = wg/NdimB`.
+    pub mdima: usize,
+    pub ndimb: usize,
+    /// Vector width (§III-B), applied along the N direction for C/B and
+    /// along M for A.
+    pub vw: usize,
+    /// Stride modes (§III-B).
+    pub stride_m: StrideMode,
+    pub stride_n: StrideMode,
+    /// Local-memory staging for each operand (§III-C).
+    pub local_a: bool,
+    pub local_b: bool,
+    /// Packed data layouts (§III-D).
+    pub layout_a: BlockLayout,
+    pub layout_b: BlockLayout,
+    /// Algorithm (§III-E).
+    pub algorithm: Algorithm,
+    /// Kernel precision.
+    pub precision: Precision,
+}
+
+/// Why a parameter set is invalid (would fail "code generation" in the
+/// paper's pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(pub String);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid kernel parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl KernelParams {
+    /// Work-group size in work-items.
+    #[must_use]
+    pub fn wg_size(&self) -> usize {
+        self.mdimc * self.ndimc
+    }
+
+    /// Work-item blocking factor in M.
+    #[must_use]
+    pub fn mwi(&self) -> usize {
+        self.mwg / self.mdimc
+    }
+
+    /// Work-item blocking factor in N.
+    #[must_use]
+    pub fn nwi(&self) -> usize {
+        self.nwg / self.ndimc
+    }
+
+    /// Loader depth `KdimA` (derived, §III-C).
+    #[must_use]
+    pub fn kdima(&self) -> usize {
+        self.wg_size() / self.mdima
+    }
+
+    /// Loader depth `KdimB`.
+    #[must_use]
+    pub fn kdimb(&self) -> usize {
+        self.wg_size() / self.ndimb
+    }
+
+    /// Per-loader element counts `MwiA`, `KwiA`, `KwiB`, `NwiB`.
+    #[must_use]
+    pub fn mwia(&self) -> usize {
+        self.mwg / self.mdima
+    }
+
+    #[must_use]
+    pub fn kwia(&self) -> usize {
+        self.kwg / self.kdima()
+    }
+
+    #[must_use]
+    pub fn kwib(&self) -> usize {
+        self.kwg / self.kdimb()
+    }
+
+    #[must_use]
+    pub fn nwib(&self) -> usize {
+        self.nwg / self.ndimb
+    }
+
+    /// `true` when the A loader can use width-`vw` vector loads.
+    #[must_use]
+    pub fn loader_a_vec(&self) -> bool {
+        self.local_a && self.mwg.is_multiple_of(self.mdima * self.vw)
+    }
+
+    /// `true` when the B loader can use width-`vw` vector loads.
+    #[must_use]
+    pub fn loader_b_vec(&self) -> bool {
+        self.local_b && self.nwg.is_multiple_of(self.ndimb * self.vw)
+    }
+
+    /// `true` when direct (non-local) A loads can be vectorised: rows per
+    /// work-item are adjacent and divisible by `vw`.
+    #[must_use]
+    pub fn direct_a_vec(&self) -> bool {
+        !self.local_a && self.stride_m == StrideMode::Unit && self.mwi().is_multiple_of(self.vw)
+    }
+
+    /// `true` when compute-phase reads of A (from local memory or global)
+    /// are vectorised along M.
+    #[must_use]
+    pub fn read_a_vec(&self) -> bool {
+        self.stride_m == StrideMode::Unit && self.mwi().is_multiple_of(self.vw)
+    }
+
+    /// Element size in bytes.
+    #[must_use]
+    pub fn elem_bytes(&self) -> usize {
+        self.precision.bytes()
+    }
+
+    /// Local-memory bytes per work-group the generated kernel allocates.
+    #[must_use]
+    pub fn lds_bytes(&self) -> usize {
+        let e = self.elem_bytes();
+        let db = if self.algorithm == Algorithm::Db { 2 } else { 1 };
+        let a = if self.local_a { db * self.kwg * self.mwg * e } else { 0 };
+        let b = if self.local_b { db * self.kwg * self.nwg * e } else { 0 };
+        a + b
+    }
+
+    /// Estimated 32-bit register slots per work-item: accumulators,
+    /// staging registers, PL prefetch registers, plus addressing
+    /// overhead. This is the occupancy input of §III-E.
+    #[must_use]
+    pub fn regs_per_wi(&self) -> usize {
+        let words = self.elem_bytes() / 4;
+        let acc = self.mwi() * self.nwi();
+        // Staged operands have short live ranges (loaded, multiplied,
+        // dead); compilers reuse their registers across unroll steps, so
+        // the live set stops growing after a few Kwi steps.
+        let staging = self.kwi.min(4) * (self.mwi() + self.nwi());
+        let prefetch = if self.algorithm == Algorithm::Pl {
+            let a = if self.local_a { self.mwia() * self.kwia() } else { 0 };
+            let b = if self.local_b { self.kwib() * self.nwib() } else { 0 };
+            a + b
+        } else {
+            0
+        };
+        (acc + staging + prefetch) * words + 24
+    }
+
+    /// The problem-size granularity in K this kernel requires (`Kwg`, or
+    /// `2·Kwg` for the double-buffered algorithm whose main loop is
+    /// unrolled by two blocks).
+    #[must_use]
+    pub fn k_multiple(&self) -> usize {
+        match self.algorithm {
+            Algorithm::Db => 2 * self.kwg,
+            _ => self.kwg,
+        }
+    }
+
+    /// Least common multiple of the work-group blocking factors — the
+    /// paper sizes its search problems as multiples of this.
+    #[must_use]
+    pub fn lcm_block(&self) -> usize {
+        lcm(lcm(self.mwg, self.nwg), self.k_multiple())
+    }
+
+    /// Validate all structural constraints. A set that fails here would
+    /// "fail in code generation" in the paper's pipeline and is not
+    /// counted among tested variants.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        let err = |m: String| Err(ParamError(m));
+        for (name, v) in [
+            ("Mwg", self.mwg),
+            ("Nwg", self.nwg),
+            ("Kwg", self.kwg),
+            ("MdimC", self.mdimc),
+            ("NdimC", self.ndimc),
+            ("Kwi", self.kwi),
+            ("MdimA", self.mdima),
+            ("NdimB", self.ndimb),
+            ("vw", self.vw),
+        ] {
+            if v == 0 {
+                return err(format!("{name} must be positive"));
+            }
+        }
+        if ![1, 2, 4, 8].contains(&self.vw) {
+            return err(format!("vector width {} not in {{1,2,4,8}}", self.vw));
+        }
+        if !self.mwg.is_multiple_of(self.mdimc) {
+            return err(format!("Mwg {} not divisible by MdimC {}", self.mwg, self.mdimc));
+        }
+        if !self.nwg.is_multiple_of(self.ndimc) {
+            return err(format!("Nwg {} not divisible by NdimC {}", self.nwg, self.ndimc));
+        }
+        if !self.kwg.is_multiple_of(self.kwi) {
+            return err(format!("Kwg {} not divisible by Kwi {}", self.kwg, self.kwi));
+        }
+        if !self.nwi().is_multiple_of(self.vw) {
+            return err(format!("Nwi {} not divisible by vector width {}", self.nwi(), self.vw));
+        }
+        let wg = self.wg_size();
+        if wg > 1024 {
+            return err(format!("work-group size {wg} exceeds 1024"));
+        }
+        if self.local_a {
+            if !wg.is_multiple_of(self.mdima) {
+                return err(format!("work-group size {wg} not divisible by MdimA {}", self.mdima));
+            }
+            if !self.mwg.is_multiple_of(self.mdima) {
+                return err(format!("Mwg {} not divisible by MdimA {}", self.mwg, self.mdima));
+            }
+            if !self.kwg.is_multiple_of(self.kdima()) {
+                return err(format!("Kwg {} not divisible by KdimA {}", self.kwg, self.kdima()));
+            }
+        }
+        if self.local_b {
+            if !wg.is_multiple_of(self.ndimb) {
+                return err(format!("work-group size {wg} not divisible by NdimB {}", self.ndimb));
+            }
+            if !self.nwg.is_multiple_of(self.ndimb) {
+                return err(format!("Nwg {} not divisible by NdimB {}", self.nwg, self.ndimb));
+            }
+            if !self.kwg.is_multiple_of(self.kdimb()) {
+                return err(format!("Kwg {} not divisible by KdimB {}", self.kwg, self.kdimb()));
+            }
+        }
+        if matches!(self.algorithm, Algorithm::Pl | Algorithm::Db) && !(self.local_a && self.local_b) {
+            return err(format!(
+                "algorithm {} requires local memory for both matrices",
+                self.algorithm
+            ));
+        }
+        Ok(())
+    }
+
+    /// A compact one-line description in the paper's Table II style.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let shared = match (self.local_a, self.local_b) {
+            (true, true) => "A,B",
+            (true, false) => "A",
+            (false, true) => "B",
+            (false, false) => "-",
+        };
+        let stride = match (self.stride_m.is_non_unit(), self.stride_n.is_non_unit()) {
+            (true, true) => "M,N",
+            (true, false) => "M",
+            (false, true) => "N",
+            (false, false) => "-",
+        };
+        format!(
+            "Mwg,Nwg,Kwg={},{},{} Mwi,Nwi,Kwi={},{},{} dimC={}x{} dimA={}x{} dimB={}x{} vw={} stride={} shared={} layout={},{} alg={}",
+            self.mwg,
+            self.nwg,
+            self.kwg,
+            self.mwi(),
+            self.nwi(),
+            self.kwi,
+            self.mdimc,
+            self.ndimc,
+            self.mdima,
+            self.kdima(),
+            self.kdimb(),
+            self.ndimb,
+            self.vw,
+            stride,
+            shared,
+            self.layout_a.tag(),
+            self.layout_b.tag(),
+            self.algorithm
+        )
+    }
+}
+
+/// Least common multiple.
+#[must_use]
+pub fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Greatest common divisor.
+#[must_use]
+pub fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// The paper's winning Tahiti DGEMM parameters (Table II), used as a
+/// smoke-test fixture and quickstart default.
+#[must_use]
+pub fn tahiti_dgemm_best() -> KernelParams {
+    KernelParams {
+        mwg: 96,
+        nwg: 32,
+        kwg: 48,
+        mdimc: 16,
+        ndimc: 16,
+        kwi: 2,
+        mdima: 16,
+        ndimb: 16,
+        vw: 2,
+        stride_m: StrideMode::Unit,
+        stride_n: StrideMode::Unit,
+        local_a: false,
+        local_b: true,
+        layout_a: BlockLayout::Cbl,
+        layout_b: BlockLayout::Cbl,
+        algorithm: Algorithm::Ba,
+        precision: Precision::F64,
+    }
+}
+
+/// A small, fully-featured parameter set that exercises local memory for
+/// both operands — convenient in tests where kernels must run quickly in
+/// the VM.
+#[must_use]
+pub fn small_test_params(precision: Precision) -> KernelParams {
+    KernelParams {
+        mwg: 16,
+        nwg: 16,
+        kwg: 8,
+        mdimc: 4,
+        ndimc: 4,
+        kwi: 2,
+        mdima: 4,
+        ndimb: 4,
+        vw: 2,
+        stride_m: StrideMode::Unit,
+        stride_n: StrideMode::Unit,
+        local_a: true,
+        local_b: true,
+        layout_a: BlockLayout::Cbl,
+        layout_b: BlockLayout::Cbl,
+        algorithm: Algorithm::Ba,
+        precision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tahiti_params_are_valid() {
+        let p = tahiti_dgemm_best();
+        p.validate().unwrap();
+        assert_eq!(p.wg_size(), 256);
+        assert_eq!(p.mwi(), 6);
+        assert_eq!(p.nwi(), 2);
+        assert_eq!(p.kdima(), 16);
+        assert_eq!(p.kdimb(), 16);
+    }
+
+    #[test]
+    fn lcm_of_paper_tahiti_factors() {
+        let p = tahiti_dgemm_best();
+        // lcm(96, 32, 48) = 96*... = 96 and 48 -> 96; with 32 -> 96? No:
+        // lcm(96,32)=96, lcm(96,48)=96.
+        assert_eq!(p.lcm_block(), 96);
+    }
+
+    #[test]
+    fn derived_work_item_factors() {
+        let p = small_test_params(Precision::F32);
+        assert_eq!(p.mwi(), 4);
+        assert_eq!(p.nwi(), 4);
+        assert_eq!(p.mwia(), 4);
+        assert_eq!(p.kwia(), 2);
+        assert_eq!(p.nwib(), 4);
+        assert_eq!(p.kwib(), 2);
+    }
+
+    #[test]
+    fn invalid_divisibility_is_rejected() {
+        let mut p = small_test_params(Precision::F32);
+        p.mwg = 18; // not divisible by mdimc=4
+        assert!(p.validate().is_err());
+
+        let mut p = small_test_params(Precision::F32);
+        p.kwi = 3; // kwg=8 not divisible
+        assert!(p.validate().is_err());
+
+        let mut p = small_test_params(Precision::F32);
+        p.vw = 8; // nwi=4 not divisible by 8
+        assert!(p.validate().is_err());
+
+        let mut p = small_test_params(Precision::F32);
+        p.vw = 3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn pl_and_db_require_both_operands_in_local_memory() {
+        let mut p = small_test_params(Precision::F64);
+        p.algorithm = Algorithm::Pl;
+        p.local_a = false;
+        assert!(p.validate().is_err());
+        p.local_a = true;
+        assert!(p.validate().is_ok());
+        p.algorithm = Algorithm::Db;
+        p.local_b = false;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn lds_doubles_under_db() {
+        let mut p = small_test_params(Precision::F64);
+        let base = p.lds_bytes();
+        p.algorithm = Algorithm::Db;
+        assert_eq!(p.lds_bytes(), 2 * base);
+        assert_eq!(p.k_multiple(), 2 * p.kwg);
+    }
+
+    #[test]
+    fn pl_increases_register_estimate() {
+        let mut p = small_test_params(Precision::F64);
+        let base = p.regs_per_wi();
+        p.algorithm = Algorithm::Pl;
+        assert!(p.regs_per_wi() > base);
+    }
+
+    #[test]
+    fn loader_vectorisation_conditions() {
+        let p = small_test_params(Precision::F32); // mwg=16 mdima=4 vw=2
+        assert!(p.loader_a_vec()); // 16 % (4*2) == 0
+        let mut q = p;
+        q.vw = 4;
+        q.mdima = 8; // wg=16, kdima=2, kwg%2 ok; mwg=16 % (8*4)=32 != 0
+        assert!(!q.loader_a_vec());
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(96, 32), 96);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(lcm(0, 3), 0);
+    }
+
+    #[test]
+    fn describe_contains_key_fields() {
+        let d = tahiti_dgemm_best().describe();
+        assert!(d.contains("96,32,48"));
+        assert!(d.contains("alg=BA"));
+        assert!(d.contains("shared=B"));
+        assert!(d.contains("CBL,CBL"));
+    }
+
+    #[test]
+    fn params_serde_round_trip() {
+        let p = tahiti_dgemm_best();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: KernelParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,311 @@
+//! Derivation of a [`KernelLaunchProfile`] from kernel parameters.
+//!
+//! The profile is the analytic summary the timing model consumes: how
+//! many MADs, load instructions, bytes of DRAM/cache/LDS traffic and
+//! barriers one work-group generates per outer-loop iteration, how well
+//! its accesses coalesce, and which resources it holds. The accounting
+//! below mirrors the code the generator actually emits, and the
+//! integration suite cross-checks it against the VM's *dynamic*
+//! instruction counts so the two can never drift apart.
+
+use crate::params::{Algorithm, KernelParams, StrideMode};
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::{DeviceSpec, KernelLaunchProfile, LocalMemType};
+
+/// Build the launch profile for a padded `m × n × k` problem.
+///
+/// # Panics
+/// Panics when the problem is not padded to the blocking factors (the
+/// routine layer guarantees this before any launch).
+#[must_use]
+pub fn launch_profile(p: &KernelParams, dev: &DeviceSpec, m: usize, n: usize, k: usize) -> KernelLaunchProfile {
+    assert_eq!(m % p.mwg, 0, "M not padded");
+    assert_eq!(n % p.nwg, 0, "N not padded");
+    assert_eq!(k % p.k_multiple(), 0, "K not padded");
+
+    let e = p.elem_bytes() as f64;
+    let wg = p.wg_size() as f64;
+    let (mwi, nwi, kwg) = (p.mwi() as f64, p.nwi() as f64, p.kwg as f64);
+    let vw = p.vw as f64;
+
+    // --- per-work-item instruction accounting (one Kwg iteration) -------
+    let mad_ops = mwi * nwi * kwg;
+
+    // A vector load wider than the device's transaction width splits into
+    // multiple instructions (128-bit load units on the GPUs, 256-bit AVX
+    // moves on the CPUs), so `vw` stops paying off past that point.
+    let max_lanes = (dev.micro.max_load_bytes / p.elem_bytes()).max(1) as f64;
+    let ld = |width: f64| width.min(max_lanes);
+
+    // Wavefront-level duplicate elimination for cached loads: within one
+    // SIMT load instruction, work-items differing only in `ty` read the
+    // same A address (and only-`tx` work-items the same B address), which
+    // the memory pipeline serves once.
+    // Real load pipelines merge at most a few identical requests per
+    // instruction, so the dedup factor is capped.
+    let wavefront = dev.micro.wavefront as f64;
+    let dedup_a = (wavefront / p.mdimc as f64).max(1.0).min(p.ndimc as f64).min(4.0);
+    let dedup_b = (p.mdimc as f64).min(wavefront).min(4.0);
+
+    // A-side loads per work-item per iteration.
+    let a_read_width = if p.read_a_vec() { vw } else { 1.0 };
+    let a_compute_loads = mwi * kwg / ld(a_read_width);
+    let (a_mem, a_lds_bytes, a_cache_bytes) = if p.local_a {
+        // Loader global loads + loader LDS stores + compute LDS loads.
+        let loader_w = if p.loader_a_vec() { vw } else { 1.0 };
+        let loader_instrs = (p.mwia() * p.kwia()) as f64 / ld(loader_w);
+        let mem = loader_instrs * 2.0 + a_compute_loads;
+        // LDS traffic per work-group: block write + all compute reads.
+        let lds = (p.mwg as f64 * kwg + wg * mwi * kwg) * e;
+        (mem, lds, 0.0)
+    } else {
+        // Direct loads; redundant across the work-items sharing a row
+        // strip — served by cache after wavefront dedup.
+        let cache = wg * mwi * kwg * e / dedup_a;
+        (a_compute_loads, 0.0, cache)
+    };
+
+    // B-side (always vector width vw in the N direction).
+    let b_compute_loads = (nwi / vw) * kwg * (vw / ld(vw));
+    let (b_mem, b_lds_bytes, b_cache_bytes) = if p.local_b {
+        let loader_w = if p.loader_b_vec() { vw } else { 1.0 };
+        let loader_instrs = (p.kwib() * p.nwib()) as f64 / ld(loader_w);
+        let mem = loader_instrs * 2.0 + b_compute_loads;
+        let lds = (p.nwg as f64 * kwg + wg * nwi * kwg) * e;
+        (mem, lds, 0.0)
+    } else {
+        let cache = wg * nwi * kwg * e / dedup_b;
+        (b_compute_loads, 0.0, cache)
+    };
+
+    // PL prefetch adds an extra private-register pass over the loader
+    // shares (global load happens anyway; the store-to-LDS pass is the
+    // extra instruction cost).
+    let pl_extra = if p.algorithm == Algorithm::Pl {
+        (p.mwia() * p.kwia() + p.kwib() * p.nwib()) as f64
+    } else {
+        0.0
+    };
+
+    // Transaction amplification for *direct* (uncached-by-LDS) A loads:
+    // with unit stride, adjacent work-items read rows `Mwi` elements
+    // apart, so one SIMT load instruction touches ~Mwi/vw times more
+    // cache lines than a contiguous one; with non-unit stride, adjacent
+    // work-items read adjacent elements (the Fig. 2(b) optimisation).
+    // B reads depend only on `ty`, so same-row work-items broadcast.
+    let a_txn = if !p.local_a && p.stride_m == StrideMode::Unit {
+        (mwi / a_read_width).round().clamp(1.0, 4.0)
+    } else {
+        1.0
+    };
+    // `a_mem - a_compute_loads` is the loader's share (zero for direct
+    // loads); only the compute-phase direct loads pay the amplification.
+    let mem_instrs = a_compute_loads * a_txn + (a_mem - a_compute_loads) + b_mem + pl_extra;
+
+    // Loop-control and addressing overhead per iteration: the pwi loop
+    // runs Kwg/Kwi times; each trip costs compare+branch+induction slots
+    // and a little address arithmetic per staged load. Generated kernels
+    // hoist most addressing out of the unrolled body, so the per-load
+    // charge is small.
+    let trips = kwg / p.kwi as f64;
+    let raw_mem = a_mem + b_mem + pl_extra;
+    let overhead_ops = trips * 1.5 + raw_mem * 0.05 + 4.0;
+
+    // --- per-work-group traffic ------------------------------------------
+    let dram_bytes = ((p.mwg + p.nwg) as f64) * kwg * e;
+    let lds_bytes = a_lds_bytes + b_lds_bytes;
+    // Row-major operands stride a full matrix row between depth steps, so
+    // their cached reuse has worse line/TLB locality than block-major.
+    let cache_pen =
+        |layout: BlockLayout| if layout.is_block_major() { 1.0 } else { 1.15 };
+    let cache_bytes = a_cache_bytes * cache_pen(p.layout_a) + b_cache_bytes * cache_pen(p.layout_b);
+    let uses_local = p.local_a || p.local_b;
+    let barriers = if uses_local { p.algorithm.barriers_per_iter() } else { 0.0 };
+
+    // --- once-per-work-group ----------------------------------------------
+    let dram_bytes_once = (p.mwg * p.nwg) as f64 * e * 2.0; // C read + write
+    let mem_instrs_once = mwi * (nwi / vw) * 2.0;
+    let mad_ops_once = mwi * nwi * 2.0; // alpha*acc + beta*C
+
+    // --- DRAM stream efficiency ------------------------------------------
+    // The union of the kernel's accesses is dense (every packed element
+    // is consumed), so sustained DRAM efficiency is a *layout* property:
+    // block-major streams walk pages sequentially; row-major streams hop
+    // a full matrix row between depth steps, costing DRAM page locality
+    // (§IV-A: Tahiti's best non-block-major DGEMM loses ~3 %, before the
+    // power-of-two cliff).
+    let layout_eff = |layout: BlockLayout| if layout.is_block_major() { 1.0 } else { 0.93 };
+    let a_bytes = (p.mwg as f64) * kwg * e;
+    let b_bytes = (p.nwg as f64) * kwg * e;
+    let iters = (k / p.kwg) as f64;
+    let tot = (a_bytes + b_bytes) * iters + dram_bytes_once;
+    let effective = a_bytes * iters / layout_eff(p.layout_a)
+        + b_bytes * iters / layout_eff(p.layout_b)
+        + dram_bytes_once;
+    let coalesce_eff = (tot / effective).clamp(0.01, 1.0);
+
+    // Power-of-two channel conflict: row-major operands whose row stride
+    // in bytes is a multiple of a large power of two collide on the same
+    // memory channel (the Tahiti "multiples of 2048" cliff of §IV-A).
+    let conflict_stride = dev.micro.channel_interleave_bytes * 64;
+    let pow2 = |layout: BlockLayout, width: usize| {
+        layout == BlockLayout::RowMajor && (width * p.elem_bytes()).is_multiple_of(conflict_stride)
+    };
+    let pow2_conflict = pow2(p.layout_a, m) || pow2(p.layout_b, n);
+
+    // LDS bank conflicts: unit-stride A reads from local memory walk
+    // addresses Mwi×vw apart across adjacent work-items; even strides
+    // collide on the 32-bank scratchpad. Non-unit reads are contiguous.
+    let lds_bank_factor = if p.local_a && p.stride_m == StrideMode::Unit {
+        let words = (p.mwi() * p.elem_bytes() / 4).max(1);
+        (crate::params::gcd(words, 32) as f64).sqrt().min(3.0)
+    } else {
+        1.0
+    };
+
+    // CPU implicit vectorisation: how much of the native SIMD width the
+    // kernel's explicit vw fills.
+    let simd_utilization = if dev.local_mem_type == LocalMemType::GlobalBacked {
+        let lanes32 = (p.vw * p.elem_bytes() / 4) as f64;
+        (lanes32 / dev.micro.native_simd_lanes as f64).min(1.0)
+    } else {
+        1.0
+    };
+
+    KernelLaunchProfile {
+        double_precision: p.precision == Precision::F64,
+        wg_size: p.wg_size(),
+        n_wgs: (m / p.mwg) * (n / p.nwg),
+        outer_iters: k / p.kwg,
+        mad_ops,
+        mem_instrs,
+        overhead_ops,
+        dram_bytes,
+        cache_bytes,
+        lds_bytes,
+        barriers,
+        dram_bytes_once,
+        mem_instrs_once,
+        mad_ops_once,
+        coalesce_eff,
+        pow2_conflict,
+        lds_bank_factor,
+        simd_utilization,
+        serial_latency_factor: if uses_local {
+            p.algorithm.serial_latency_factor()
+        } else {
+            // Without staging, every unroll step issues loads the next
+            // MADs depend on, so latency exposure grows with the number
+            // of dependent load groups per iteration; the Kwi unroll
+            // shortens the chain.
+            0.6 + 0.1 * (kwg / p.kwi as f64).min(16.0)
+        },
+        regs_per_wi: p.regs_per_wi(),
+        lds_bytes_per_wg: p.lds_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{small_test_params, tahiti_dgemm_best};
+    use clgemm_device::DeviceId;
+
+    #[test]
+    fn tahiti_paper_kernel_profile_is_compute_bound_and_fast() {
+        let p = tahiti_dgemm_best();
+        let dev = DeviceId::Tahiti.spec();
+        let n = 4608;
+        let prof = launch_profile(&p, &dev, n, n, n);
+        let est = clgemm_device::estimate(&dev, &prof).unwrap();
+        let eff = est.gflops(2.0 * (n as f64).powi(3)) / dev.peak_gflops(true);
+        assert!(eff > 0.6, "paper's winning Tahiti params reach {eff:.2} in the model");
+        assert!(eff <= 1.0);
+    }
+
+    #[test]
+    fn mad_count_matches_parameters() {
+        let p = small_test_params(Precision::F64);
+        let dev = DeviceId::Tahiti.spec();
+        let prof = launch_profile(&p, &dev, 32, 32, 16);
+        assert_eq!(prof.mad_ops, (p.mwi() * p.nwi() * p.kwg) as f64);
+        assert_eq!(prof.outer_iters, 2);
+        assert_eq!(prof.n_wgs, 4);
+    }
+
+    #[test]
+    fn local_memory_moves_traffic_from_cache_to_lds() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = small_test_params(Precision::F64);
+        let with = launch_profile(&p, &dev, 32, 32, 16);
+        assert!(with.lds_bytes > 0.0);
+        assert_eq!(with.cache_bytes, 0.0);
+        p.local_a = false;
+        p.local_b = false;
+        let without = launch_profile(&p, &dev, 32, 32, 16);
+        assert_eq!(without.lds_bytes, 0.0);
+        assert!(without.cache_bytes > 0.0);
+        assert_eq!(without.barriers, 0.0);
+    }
+
+    #[test]
+    fn bigger_vw_reduces_memory_instructions() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = small_test_params(Precision::F32);
+        p.vw = 1;
+        let v1 = launch_profile(&p, &dev, 32, 32, 16);
+        p.vw = 4;
+        let v4 = launch_profile(&p, &dev, 32, 32, 16);
+        assert!(v4.mem_instrs < v1.mem_instrs);
+    }
+
+    #[test]
+    fn row_major_large_pow2_width_triggers_channel_conflict() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = small_test_params(Precision::F64);
+        p.layout_a = BlockLayout::RowMajor;
+        // 2048 doubles row stride = 16 KiB = 64 × 256 B interleave.
+        let prof = launch_profile(&p, &dev, 2048, 2048, 16);
+        assert!(prof.pow2_conflict);
+        let prof2 = launch_profile(&p, &dev, 2048 + p.mwg, 2048, 16);
+        assert!(!prof2.pow2_conflict);
+        p.layout_a = BlockLayout::Cbl;
+        let prof3 = launch_profile(&p, &dev, 2048, 2048, 16);
+        assert!(!prof3.pow2_conflict, "block-major layouts dodge the cliff");
+    }
+
+    #[test]
+    fn cpu_simd_utilization_scales_with_vw() {
+        let dev = DeviceId::SandyBridge.spec();
+        let mut p = small_test_params(Precision::F64);
+        p.vw = 1;
+        let scalar = launch_profile(&p, &dev, 32, 32, 16);
+        assert!((scalar.simd_utilization - 0.25).abs() < 1e-9); // 2 of 8 lanes
+        p.vw = 4;
+        let vec = launch_profile(&p, &dev, 32, 32, 16);
+        assert!((vec.simd_utilization - 1.0).abs() < 1e-9); // 8 of 8 lanes
+        let gpu = launch_profile(&p, &DeviceId::Tahiti.spec(), 32, 32, 16);
+        assert_eq!(gpu.simd_utilization, 1.0);
+    }
+
+    #[test]
+    fn db_allocates_double_lds_and_fewer_barriers() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = small_test_params(Precision::F64);
+        let ba = launch_profile(&p, &dev, 32, 32, 16);
+        p.algorithm = Algorithm::Db;
+        let db = launch_profile(&p, &dev, 32, 32, 32);
+        assert_eq!(db.lds_bytes_per_wg, 2 * ba.lds_bytes_per_wg);
+        assert!(db.barriers < ba.barriers);
+        assert!(db.serial_latency_factor < ba.serial_latency_factor);
+    }
+
+    #[test]
+    #[should_panic(expected = "K not padded")]
+    fn unpadded_k_panics() {
+        let p = small_test_params(Precision::F64);
+        let dev = DeviceId::Tahiti.spec();
+        let _ = launch_profile(&p, &dev, 32, 32, 12);
+    }
+}

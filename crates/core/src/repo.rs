@@ -1,0 +1,157 @@
+//! Persistent repository of tuning results.
+//!
+//! A tuning run costs the paper more than five hours per device; results
+//! are therefore kept and reused. This module stores [`TuningResult`]s
+//! keyed by `(device, precision)` as JSON, so benches, examples and the
+//! report harness tune once and share winners.
+
+use crate::tuner::{tune, SearchOpts, SearchSpace, TuningResult};
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A set of tuning results keyed by device code name and precision.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KernelRepo {
+    entries: BTreeMap<String, TuningResult>,
+}
+
+fn key(device: &str, precision: Precision) -> String {
+    format!("{device}/{precision}")
+}
+
+impl KernelRepo {
+    /// An empty repository.
+    #[must_use]
+    pub fn new() -> KernelRepo {
+        KernelRepo::default()
+    }
+
+    /// Number of stored results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no results are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a stored result.
+    #[must_use]
+    pub fn get(&self, device: &str, precision: Precision) -> Option<&TuningResult> {
+        self.entries.get(&key(device, precision))
+    }
+
+    /// Insert (or replace) a result.
+    pub fn insert(&mut self, result: TuningResult) {
+        self.entries.insert(key(&result.device, result.precision), result);
+    }
+
+    /// Fetch a result, running the search on a miss and caching it.
+    pub fn get_or_tune(
+        &mut self,
+        dev: &DeviceSpec,
+        precision: Precision,
+        space: &SearchSpace,
+        opts: &SearchOpts,
+    ) -> &TuningResult {
+        let k = key(&dev.code_name, precision);
+        if !self.entries.contains_key(&k) {
+            self.entries.insert(k.clone(), tune(dev, precision, space, opts));
+        }
+        &self.entries[&k]
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialise from a JSON string.
+    pub fn from_json(s: &str) -> Result<KernelRepo, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from a file; a missing file yields an empty repository.
+    pub fn load(path: &Path) -> std::io::Result<KernelRepo> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => KernelRepo::from_json(&s).map_err(std::io::Error::other),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(KernelRepo::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Iterate over all stored results.
+    pub fn iter(&self) -> impl Iterator<Item = &TuningResult> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::SearchSpace;
+    use clgemm_device::DeviceId;
+
+    fn quick_opts() -> SearchOpts {
+        SearchOpts { top_k: 5, max_sweep_points: 4, verify_winner: false, ..Default::default() }
+    }
+
+    #[test]
+    fn get_or_tune_caches() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::smoke(&dev);
+        let mut repo = KernelRepo::new();
+        assert!(repo.is_empty());
+        let g1 = repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts()).best.gflops;
+        assert_eq!(repo.len(), 1);
+        let g2 = repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts()).best.gflops;
+        assert_eq!(repo.len(), 1);
+        assert_eq!(g1, g2, "second call must hit the cache");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dev = DeviceId::Fermi.spec();
+        let space = SearchSpace::smoke(&dev);
+        let mut repo = KernelRepo::new();
+        repo.get_or_tune(&dev, Precision::F32, &space, &quick_opts());
+        let json = repo.to_json().unwrap();
+        let back = KernelRepo::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.get("Fermi", Precision::F32).unwrap().best.params,
+            repo.get("Fermi", Precision::F32).unwrap().best.params
+        );
+        assert!(back.get("Fermi", Precision::F64).is_none());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dev = DeviceId::Kepler.spec();
+        let space = SearchSpace::smoke(&dev);
+        let mut repo = KernelRepo::new();
+        repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts());
+        let dir = std::env::temp_dir().join("clgemm_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        repo.save(&path).unwrap();
+        let back = KernelRepo::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+        // Missing file loads as empty.
+        let empty = KernelRepo::load(&dir.join("nonexistent.json")).unwrap();
+        assert!(empty.is_empty());
+    }
+}

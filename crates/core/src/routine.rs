@@ -1,0 +1,570 @@
+//! The tuned GEMM routine layer (§III-D, §IV-B).
+//!
+//! The paper's strategy: implement every GEMM type through the single
+//! fast `C ← α·Aᵀ·B + β·C` kernel by first *copying* each operand into a
+//! zero-padded staging buffer in the tuned block-major layout (with a
+//! transposition where the type requires it), running the kernel, and
+//! merging the padded result back. The copy is `O(N²)`, the kernel
+//! `O(N³)` — so the routine is slow for small matrices and amortised for
+//! large ones, which Figs. 9–11 show as the crossover against vendor
+//! libraries.
+//!
+//! [`TunedGemm`] bundles a device with one tuned parameter set per
+//! precision and provides:
+//!
+//! * [`TunedGemm::gemm`] — functional column-major GEMM (all four
+//!   NN/NT/TN/TT types) executed natively, returning both the result and
+//!   a [`GemmRun`] with the modelled time breakdown;
+//! * [`TunedGemm::predict`] — the time/GFlop/s model alone (used by the
+//!   figure-regeneration harness where only performance matters);
+//! * [`TunedGemm::kernel_gflops`] — bare-kernel performance without copy
+//!   overhead (the Fig. 7 quantity).
+
+use crate::codegen::generate;
+use crate::executor::run_native;
+use crate::params::KernelParams;
+use crate::profile::launch_profile;
+use clgemm_blas::layout::round_up;
+use clgemm_blas::matrix::Matrix;
+use clgemm_blas::pack::{merge_c, PackSpec};
+use clgemm_blas::scalar::{Precision, Scalar};
+use clgemm_blas::{GemmType, Trans};
+use clgemm_device::{estimate, DeviceSpec};
+use clgemm_sim::{copy_time, pack_time};
+
+/// Timing breakdown of one routine invocation (modelled seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmRun {
+    /// Packing time for A (copy + optional transpose + layout change).
+    pub pack_a: f64,
+    /// Packing time for B.
+    pub pack_b: f64,
+    /// Staging C in and merging it back out.
+    pub stage_c: f64,
+    /// The `AᵀB` kernel itself.
+    pub kernel: f64,
+    /// Total routine time.
+    pub total: f64,
+    /// Effective routine GFlop/s (`2MNK / total`).
+    pub gflops: f64,
+    /// Bare-kernel GFlop/s (`2MNK / kernel`).
+    pub kernel_gflops: f64,
+}
+
+/// A device plus tuned kernels for both precisions.
+#[derive(Debug, Clone)]
+pub struct TunedGemm {
+    device: DeviceSpec,
+    dgemm: KernelParams,
+    sgemm: KernelParams,
+}
+
+impl TunedGemm {
+    /// Bundle explicitly chosen parameter sets.
+    ///
+    /// # Panics
+    /// Panics if a parameter set is invalid or has the wrong precision.
+    #[must_use]
+    pub fn new(device: DeviceSpec, dgemm: KernelParams, sgemm: KernelParams) -> TunedGemm {
+        assert_eq!(dgemm.precision, Precision::F64, "dgemm params must be F64");
+        assert_eq!(sgemm.precision, Precision::F32, "sgemm params must be F32");
+        dgemm.validate().expect("invalid DGEMM params");
+        sgemm.validate().expect("invalid SGEMM params");
+        // Both must also generate (defence in depth; validate covers it).
+        generate(&dgemm).expect("DGEMM params must generate");
+        generate(&sgemm).expect("SGEMM params must generate");
+        TunedGemm { device, dgemm, sgemm }
+    }
+
+    /// Tune both precisions with the given space/options and bundle the
+    /// winners.
+    #[must_use]
+    pub fn tune(
+        device: &DeviceSpec,
+        space: &crate::tuner::SearchSpace,
+        opts: &crate::tuner::SearchOpts,
+    ) -> TunedGemm {
+        let d = crate::tuner::tune(device, Precision::F64, space, opts);
+        let s = crate::tuner::tune(device, Precision::F32, space, opts);
+        TunedGemm { device: device.clone(), dgemm: d.best.params, sgemm: s.best.params }
+    }
+
+    /// The device this instance targets.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The tuned parameters for a precision.
+    #[must_use]
+    pub fn params(&self, precision: Precision) -> &KernelParams {
+        match precision {
+            Precision::F64 => &self.dgemm,
+            Precision::F32 => &self.sgemm,
+        }
+    }
+
+    fn params_for<T: Scalar>(&self) -> &KernelParams {
+        match T::PREC_TAG {
+            'D' => &self.dgemm,
+            _ => &self.sgemm,
+        }
+    }
+
+    /// Full column-major GEMM `C ← α·op(A)·op(B) + β·C`, executed
+    /// natively with generated-kernel numerics, with modelled timing.
+    ///
+    /// # Panics
+    /// Panics on inconsistent operand shapes (BLAS argument errors).
+    pub fn gemm<T: Scalar>(
+        &self,
+        ty: GemmType,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+    ) -> GemmRun {
+        let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
+        let p = *self.params_for::<T>();
+        if m == 0 || n == 0 {
+            return self.predict(T::PREC_TAG == 'D', ty, m.max(1), n.max(1), k.max(1));
+        }
+
+        // --- pack operands -------------------------------------------------
+        // The kernel consumes op(A) depth-first: packed A[p][i] = op(A)[i][p],
+        // so the pack transpose is the *flip* of the caller's op for A and
+        // the op itself for B.
+        // Layout blocks are Kwg deep, but the depth is padded to the
+        // algorithm's K granularity (2·Kwg for DB).
+        let kp = round_up(k, p.k_multiple());
+        let spec_a = PackSpec { trans: ty.ta.flipped(), layout: p.layout_a, wwg: p.mwg, kwg: p.kwg };
+        let spec_b = PackSpec { trans: ty.tb, layout: p.layout_b, wwg: p.nwg, kwg: p.kwg };
+        let da = clgemm_blas::layout::PackedDims::new(kp, round_up(m, p.mwg), p.mwg, p.kwg)
+            .expect("padded dims divide the blocking");
+        let db = clgemm_blas::layout::PackedDims::new(kp, round_up(n, p.nwg), p.nwg, p.kwg)
+            .expect("padded dims divide the blocking");
+        let mut pa = vec![T::ZERO; da.len()];
+        let mut pb = vec![T::ZERO; db.len()];
+        clgemm_blas::pack::pack_into(a, spec_a, k, m, &mut pa, da);
+        clgemm_blas::pack::pack_into(b, spec_b, k, n, &mut pb, db);
+
+        // --- stage C --------------------------------------------------------
+        let (mp, np) = (da.width, db.width);
+        let mut staged = clgemm_blas::pack::stage_c(c, p.mwg, p.nwg);
+
+        // --- run the kernel semantics natively ------------------------------
+        run_native(mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut staged);
+
+        // --- merge back -------------------------------------------------------
+        merge_c(&staged, p.mwg, p.nwg, c);
+
+        self.predict(T::PREC_TAG == 'D', ty, m, n, k)
+    }
+
+    /// The routine-time model for a problem, without executing anything.
+    #[must_use]
+    pub fn predict(&self, double_precision: bool, ty: GemmType, m: usize, n: usize, k: usize) -> GemmRun {
+        let p = if double_precision { &self.dgemm } else { &self.sgemm };
+        let e = p.elem_bytes();
+        let mp = round_up(m, p.mwg);
+        let np = round_up(n, p.nwg);
+        let kp = round_up(k, p.k_multiple());
+
+        // Packing A reads op(A) — transposed reads when the pack flips.
+        let pack_a = pack_time(&self.device, k, m, kp, mp, e, ty.ta == Trans::No).seconds;
+        let pack_b = pack_time(&self.device, k, n, kp, np, e, ty.tb == Trans::Yes).seconds;
+        // C staged in and merged out (strided against the column-major
+        // user matrix), plus the routine's fixed API overhead: separate
+        // enqueues for two packs, the kernel, the merge, and a final
+        // synchronisation.
+        let stage_c = 2.0 * copy_time(&self.device, m * n * e, mp * np * e, 0.30).seconds
+            + 6.0 * self.device.micro.launch_overhead_us * 1e-6;
+
+        let prof = launch_profile(p, &self.device, mp, np, kp);
+        let kernel = match estimate(&self.device, &prof) {
+            Ok(est) => est.seconds,
+            // A tuned kernel always launches on its own device; this arm
+            // only triggers for hand-built mismatched bundles.
+            Err(_) => f64::INFINITY,
+        };
+
+        let total = pack_a + pack_b + stage_c + kernel;
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        GemmRun {
+            pack_a,
+            pack_b,
+            stage_c,
+            kernel,
+            total,
+            gflops: flops / total / 1e9,
+            kernel_gflops: flops / kernel / 1e9,
+        }
+    }
+
+    /// Bare tuned-kernel GFlop/s at a square padded size (Fig. 7).
+    #[must_use]
+    pub fn kernel_gflops(&self, precision: Precision, n: usize) -> Option<f64> {
+        let p = self.params(precision);
+        crate::tuner::search::measure_gflops(p, &self.device, round_up(n, p.lcm_block()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{small_test_params, tahiti_dgemm_best};
+    use clgemm_blas::error::{compare, gemm_tolerance};
+    use clgemm_blas::gemm_ref::gemm_parallel;
+    use clgemm_blas::matrix::StorageOrder;
+    use clgemm_device::DeviceId;
+
+    fn small_tuned() -> TunedGemm {
+        TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            small_test_params(Precision::F64),
+            small_test_params(Precision::F32),
+        )
+    }
+
+    fn check_type<T: Scalar>(tg: &TunedGemm, ty: GemmType, m: usize, n: usize, k: usize) {
+        let (ar, ac) = match ty.ta {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        let (br, bc) = match ty.tb {
+            Trans::No => (k, n),
+            Trans::Yes => (n, k),
+        };
+        let a = Matrix::<T>::test_pattern(ar, ac, StorageOrder::ColMajor, 1);
+        let b = Matrix::<T>::test_pattern(br, bc, StorageOrder::ColMajor, 2);
+        let c0 = Matrix::<T>::test_pattern(m, n, StorageOrder::ColMajor, 3);
+        let alpha = T::from_f64(1.25);
+        let beta = T::from_f64(-0.75);
+
+        let mut c_tuned = c0.clone();
+        let run = tg.gemm(ty, alpha, &a, &b, beta, &mut c_tuned);
+        assert!(run.total > 0.0 && run.gflops > 0.0);
+
+        let mut c_ref = c0.clone();
+        gemm_parallel(ty, alpha, &a, &b, beta, &mut c_ref);
+        let rep = compare(&c_tuned, &c_ref);
+        let tol = gemm_tolerance::<T>(k);
+        assert!(rep.passes(tol), "{ty} {m}x{n}x{k}: max rel err {} > tol {tol}", rep.max_rel);
+    }
+
+    #[test]
+    fn all_four_types_match_reference_f64() {
+        let tg = small_tuned();
+        for ty in GemmType::ALL {
+            check_type::<f64>(&tg, ty, 40, 24, 20);
+        }
+    }
+
+    #[test]
+    fn all_four_types_match_reference_f32() {
+        let tg = small_tuned();
+        for ty in GemmType::ALL {
+            check_type::<f32>(&tg, ty, 24, 40, 36);
+        }
+    }
+
+    #[test]
+    fn non_multiple_sizes_are_zero_padded_correctly() {
+        let tg = small_tuned();
+        // Sizes deliberately not multiples of Mwg=Nwg=16, Kwg=8.
+        check_type::<f64>(&tg, GemmType::NN, 17, 19, 13);
+        check_type::<f64>(&tg, GemmType::TT, 15, 33, 9);
+        check_type::<f32>(&tg, GemmType::NT, 31, 17, 23);
+    }
+
+    #[test]
+    fn paper_tahiti_params_work_in_routine() {
+        let tg = TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        );
+        check_type::<f64>(&tg, GemmType::NN, 100, 40, 50);
+    }
+
+    #[test]
+    fn copy_overhead_vanishes_for_large_n() {
+        let tg = TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        );
+        let small = tg.predict(true, GemmType::NN, 512, 512, 512);
+        let large = tg.predict(true, GemmType::NN, 6144, 6144, 6144);
+        let small_frac = (small.pack_a + small.pack_b + small.stage_c) / small.total;
+        let large_frac = (large.pack_a + large.pack_b + large.stage_c) / large.total;
+        assert!(
+            small_frac > 2.0 * large_frac,
+            "copy share must shrink with N: {small_frac:.3} vs {large_frac:.3}"
+        );
+        assert!(large.gflops > 0.8 * large.kernel_gflops);
+    }
+
+    #[test]
+    fn routine_perf_is_nearly_type_independent() {
+        // §IV-B: "The performance of our OpenCL implementation does not
+        // highly depend on GEMM types."
+        let tg = TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        );
+        let perfs: Vec<f64> =
+            GemmType::ALL.iter().map(|ty| tg.predict(true, *ty, 4096, 4096, 4096).gflops).collect();
+        let max = perfs.iter().cloned().fold(0.0, f64::max);
+        let min = perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.1, "type spread too large: {perfs:?}");
+    }
+
+    #[test]
+    fn kernel_gflops_exceeds_routine_gflops() {
+        let tg = TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        );
+        let run = tg.predict(true, GemmType::NN, 2304, 2304, 2304);
+        assert!(run.kernel_gflops > run.gflops);
+        let kg = tg.kernel_gflops(Precision::F64, 2304).unwrap();
+        assert!((kg - run.kernel_gflops).abs() / kg < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dgemm params must be F64")]
+    fn wrong_precision_bundle_panics() {
+        let _ = TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            small_test_params(Precision::F32),
+            small_test_params(Precision::F32),
+        );
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_c() {
+        let tg = small_tuned();
+        let a = Matrix::<f64>::test_pattern(20, 12, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(12, 24, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::from_fn(20, 24, StorageOrder::ColMajor, |_, _| 1e30);
+        tg.gemm(GemmType::NN, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.all_finite());
+        let mut c_ref = Matrix::<f64>::zeros(20, 24, StorageOrder::ColMajor);
+        gemm_parallel(GemmType::NN, 1.0, &a, &b, 0.0, &mut c_ref);
+        assert!(compare(&c, &c_ref).passes(gemm_tolerance::<f64>(12)));
+    }
+}
+
+/// Which execution path a [`HybridGemm`] call took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmPath {
+    /// Pack into block-major buffers and run the tuned `AᵀB` kernel
+    /// (the §IV-B routine; wins at large sizes).
+    Packed,
+    /// The copy-free guarded kernel of [`crate::direct`] (the paper's §V
+    /// future work; wins at small sizes where packing dominates).
+    Direct,
+}
+
+impl std::fmt::Display for GemmPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GemmPath::Packed => "packed",
+            GemmPath::Direct => "direct",
+        })
+    }
+}
+
+/// The combined implementation the paper's conclusion asks for: predict
+/// both paths and run whichever the model says is faster.
+#[derive(Debug, Clone)]
+pub struct HybridGemm {
+    tuned: TunedGemm,
+}
+
+impl HybridGemm {
+    /// Wrap a tuned routine.
+    #[must_use]
+    pub fn new(tuned: TunedGemm) -> HybridGemm {
+        HybridGemm { tuned }
+    }
+
+    /// The underlying packed routine.
+    #[must_use]
+    pub fn tuned(&self) -> &TunedGemm {
+        &self.tuned
+    }
+
+    /// Modelled seconds of the direct path.
+    #[must_use]
+    pub fn direct_seconds(&self, double_precision: bool, ty: GemmType, m: usize, n: usize, k: usize) -> f64 {
+        let precision = if double_precision { Precision::F64 } else { Precision::F32 };
+        let dp = crate::direct::DirectParams::default_for(ty, precision);
+        let prof = crate::direct::direct_profile(&dp, self.tuned.device(), m, n, k);
+        match estimate(self.tuned.device(), &prof) {
+            Ok(est) => est.seconds,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Choose the faster path and report both predictions.
+    #[must_use]
+    pub fn choose(
+        &self,
+        double_precision: bool,
+        ty: GemmType,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> (GemmPath, GemmRun) {
+        let packed = self.tuned.predict(double_precision, ty, m, n, k);
+        let direct_s = self.direct_seconds(double_precision, ty, m, n, k);
+        if direct_s < packed.total {
+            let flops = 2.0 * m as f64 * n as f64 * k as f64;
+            let run = GemmRun {
+                pack_a: 0.0,
+                pack_b: 0.0,
+                stage_c: 0.0,
+                kernel: direct_s,
+                total: direct_s,
+                gflops: flops / direct_s / 1e9,
+                kernel_gflops: flops / direct_s / 1e9,
+            };
+            (GemmPath::Direct, run)
+        } else {
+            (GemmPath::Packed, packed)
+        }
+    }
+
+    /// Column-major GEMM through whichever path the model prefers.
+    ///
+    /// # Panics
+    /// Panics on inconsistent operand shapes.
+    pub fn gemm<T: Scalar>(
+        &self,
+        ty: GemmType,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+    ) -> (GemmPath, GemmRun) {
+        let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
+        let (path, run) = self.choose(T::PREC_TAG == 'D', ty, m.max(1), n.max(1), k.max(1));
+        match path {
+            GemmPath::Packed => {
+                let run = self.tuned.gemm(ty, alpha, a, b, beta, c);
+                (GemmPath::Packed, run)
+            }
+            GemmPath::Direct => {
+                crate::direct::run_direct_native(ty, alpha, a, b, beta, c);
+                (GemmPath::Direct, run)
+            }
+        }
+    }
+
+    /// The size (square problems) where the packed path overtakes the
+    /// direct path, by bisection on the model. Returns `None` if one path
+    /// dominates over the whole probed range.
+    #[must_use]
+    pub fn crossover(&self, double_precision: bool, ty: GemmType, max_n: usize) -> Option<usize> {
+        let prefers_direct =
+            |n: usize| self.choose(double_precision, ty, n, n, n).0 == GemmPath::Direct;
+        if !prefers_direct(16) || prefers_direct(max_n) {
+            return None;
+        }
+        let (mut lo, mut hi) = (16usize, max_n);
+        while hi - lo > 8 {
+            let mid = (lo + hi) / 2;
+            if prefers_direct(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod hybrid_tests {
+    use super::*;
+    use crate::params::{small_test_params, tahiti_dgemm_best};
+    use clgemm_blas::error::{compare, gemm_tolerance};
+    use clgemm_blas::gemm_ref::gemm_blocked;
+    use clgemm_blas::matrix::StorageOrder;
+    use clgemm_device::DeviceId;
+
+    fn hybrid() -> HybridGemm {
+        HybridGemm::new(TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        ))
+    }
+
+    #[test]
+    fn small_problems_take_the_direct_path() {
+        let h = hybrid();
+        let (path, run) = h.choose(true, GemmType::NN, 64, 64, 64);
+        assert_eq!(path, GemmPath::Direct, "packing 64x64 cannot beat a single direct launch");
+        assert_eq!(run.pack_a, 0.0);
+    }
+
+    #[test]
+    fn large_problems_take_the_packed_path() {
+        let h = hybrid();
+        let (path, _) = h.choose(true, GemmType::NN, 4096, 4096, 4096);
+        assert_eq!(path, GemmPath::Packed);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_plausible() {
+        let h = hybrid();
+        let x = h.crossover(true, GemmType::NN, 8192).expect("crossover in range");
+        assert!(
+            (64..4096).contains(&x),
+            "crossover N={x} should sit between tiny and huge sizes"
+        );
+        // Hybrid is never worse than either pure path.
+        for n in [128usize, 512, 2048] {
+            let (_, hrun) = h.choose(true, GemmType::NN, n, n, n);
+            let packed = h.tuned().predict(true, GemmType::NN, n, n, n).total;
+            let direct = h.direct_seconds(true, GemmType::NN, n, n, n);
+            assert!(hrun.total <= packed * 1.0001 && hrun.total <= direct * 1.0001);
+        }
+    }
+
+    #[test]
+    fn hybrid_gemm_is_numerically_correct_on_both_paths() {
+        let h = hybrid();
+        for (m, n, k) in [(30, 20, 25), (200, 150, 120)] {
+            let a = Matrix::<f64>::test_pattern(m, k, StorageOrder::ColMajor, 1);
+            let b = Matrix::<f64>::test_pattern(k, n, StorageOrder::ColMajor, 2);
+            let c0 = Matrix::<f64>::test_pattern(m, n, StorageOrder::ColMajor, 3);
+            let mut c = c0.clone();
+            let (_path, run) = h.gemm(GemmType::NN, 2.0, &a, &b, 0.5, &mut c);
+            assert!(run.total > 0.0);
+            let mut c_ref = c0.clone();
+            gemm_blocked(GemmType::NN, 2.0, &a, &b, 0.5, &mut c_ref);
+            let rep = compare(&c, &c_ref);
+            assert!(rep.passes(gemm_tolerance::<f64>(k)), "{m}x{n}x{k}: {}", rep.max_rel);
+        }
+    }
+
+    #[test]
+    fn transposed_types_shift_the_crossover_down() {
+        // Transposed direct reads coalesce poorly, so the packed path
+        // becomes competitive earlier for TT than for NN.
+        let h = hybrid();
+        let x_nn = h.crossover(true, GemmType::NN, 8192);
+        let x_tt = h.crossover(true, GemmType::TT, 8192);
+        if let (Some(nn), Some(tt)) = (x_nn, x_tt) {
+            assert!(tt <= nn, "TT crossover {tt} should not exceed NN crossover {nn}");
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Heuristic enumeration of the kernel parameter space.
+
+use crate::params::{Algorithm, KernelParams, StrideMode};
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::{DeviceKind, DeviceSpec};
+use std::collections::HashSet;
+
+/// The (restrictable) candidate space. Every field lists the values one
+/// knob may take; the cross product, filtered by [`KernelParams::validate`]
+/// and device resource sanity, is the candidate set.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Work-group shapes `(MdimC, NdimC)`.
+    pub wg_shapes: Vec<(usize, usize)>,
+    /// Work-item tiles `(Mwi, Nwi)`.
+    pub wi_tiles: Vec<(usize, usize)>,
+    /// Depth blocking factors `Kwg`.
+    pub kwg: Vec<usize>,
+    /// Unroll factors `Kwi`.
+    pub kwi: Vec<usize>,
+    /// Vector widths.
+    pub vw: Vec<usize>,
+    /// Stride-mode combinations `(M, N)`.
+    pub strides: Vec<(StrideMode, StrideMode)>,
+    /// Local-memory usage combinations `(A, B)`.
+    pub locals: Vec<(bool, bool)>,
+    /// Layout combinations `(A, B)`.
+    pub layouts: Vec<(BlockLayout, BlockLayout)>,
+    /// Algorithms.
+    pub algorithms: Vec<Algorithm>,
+    /// Upper bound on `Mwg`/`Nwg` (tile footprint guard).
+    pub max_wg_tile: usize,
+}
+
+impl SearchSpace {
+    /// The default heuristic space for a device: work-group shapes are
+    /// clipped to the device's maximum work-group size; CPUs drop the
+    /// sub-wavefront shapes that only make sense on SIMT hardware and
+    /// prefer larger vectors (implicit AVX vectorisation).
+    #[must_use]
+    pub fn for_device(dev: &DeviceSpec) -> SearchSpace {
+        let gpu = dev.kind == DeviceKind::Gpu;
+        let wg_shapes: Vec<(usize, usize)> = [
+            (4, 4),
+            (8, 4),
+            (4, 8),
+            (8, 8),
+            (16, 4),
+            (4, 16),
+            (16, 8),
+            (8, 16),
+            (16, 16),
+            (24, 4),
+            (32, 8),
+            (8, 32),
+        ]
+        .into_iter()
+        .filter(|(m, n)| {
+            let wg = m * n;
+            wg <= dev.micro.max_wg_size && if gpu { wg >= 32 } else { (8..=256).contains(&wg) }
+        })
+        .collect();
+        SearchSpace {
+            wg_shapes,
+            wi_tiles: vec![
+                (2, 2),
+                (2, 4),
+                (4, 2),
+                (4, 4),
+                (6, 2),
+                (2, 6),
+                (6, 6),
+                (4, 8),
+                (8, 4),
+                (2, 8),
+                (8, 8),
+            ],
+            kwg: vec![16, 32, 48, 64],
+            kwi: vec![2, 8],
+            vw: vec![1, 2, 4, 8],
+            strides: vec![
+                (StrideMode::Unit, StrideMode::Unit),
+                (StrideMode::NonUnit, StrideMode::NonUnit),
+                (StrideMode::NonUnit, StrideMode::Unit),
+            ],
+            locals: vec![(false, false), (false, true), (true, false), (true, true)],
+            layouts: vec![
+                (BlockLayout::Cbl, BlockLayout::Cbl),
+                (BlockLayout::Cbl, BlockLayout::Rbl),
+                (BlockLayout::RowMajor, BlockLayout::RowMajor),
+            ],
+            algorithms: Algorithm::ALL.to_vec(),
+            max_wg_tile: 160,
+        }
+    }
+
+    /// A heavily thinned space for unit/integration tests (hundreds of
+    /// candidates rather than tens of thousands).
+    #[must_use]
+    pub fn smoke(dev: &DeviceSpec) -> SearchSpace {
+        let mut s = SearchSpace::for_device(dev);
+        s.wg_shapes.retain(|w| matches!(w, (8, 8) | (16, 8) | (16, 16)));
+        s.wi_tiles.retain(|t| matches!(t, (2, 2) | (4, 4) | (6, 2) | (8, 8)));
+        s.kwg = vec![16, 32];
+        s.kwi = vec![2];
+        // Keep the full vector-width axis: CPUs need wide vectors to fill
+        // their SIMD lanes, and quick-mode searches should stay
+        // representative there.
+        s.vw = vec![1, 2, 4, 8];
+        s.strides.truncate(2);
+        s.layouts.truncate(2);
+        s
+    }
+
+    /// Restrict to a single algorithm (the Fig. 8 ablation).
+    #[must_use]
+    pub fn with_algorithm(mut self, alg: Algorithm) -> SearchSpace {
+        self.algorithms = vec![alg];
+        // PL/DB require both operands staged in local memory.
+        if alg != Algorithm::Ba {
+            self.locals = vec![(true, true)];
+        }
+        self
+    }
+
+    /// Restrict local-memory usage (the §IV-A local-memory ablation).
+    #[must_use]
+    pub fn with_locals(mut self, locals: Vec<(bool, bool)>) -> SearchSpace {
+        self.locals = locals;
+        self.algorithms.retain(|a| {
+            *a == Algorithm::Ba || self.locals.contains(&(true, true))
+        });
+        self
+    }
+
+    /// Restrict layouts (the block-major ablation: row-major only).
+    #[must_use]
+    pub fn with_layouts(mut self, layouts: Vec<(BlockLayout, BlockLayout)>) -> SearchSpace {
+        self.layouts = layouts;
+        self
+    }
+
+    /// Enumerate all structurally valid candidates for the device.
+    ///
+    /// Loader shapes `MdimA`/`NdimB` are derived per local-memory
+    /// combination: the canonical choice equals the work-group shape, and
+    /// one wider/narrower alternate is added when it divides cleanly.
+    #[must_use]
+    pub fn enumerate(&self, dev: &DeviceSpec, precision: Precision) -> Vec<KernelParams> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for &(mdimc, ndimc) in &self.wg_shapes {
+            let wg = mdimc * ndimc;
+            for &(mwi, nwi) in &self.wi_tiles {
+                let (mwg, nwg) = (mdimc * mwi, ndimc * nwi);
+                if mwg > self.max_wg_tile || nwg > self.max_wg_tile {
+                    continue;
+                }
+                for &kwg in &self.kwg {
+                    for &kwi in &self.kwi {
+                        if kwg % kwi != 0 {
+                            continue;
+                        }
+                        for &vw in &self.vw {
+                            if nwi % vw != 0 {
+                                continue;
+                            }
+                            for &(sm, sn) in &self.strides {
+                                for &(la, lb) in &self.layouts {
+                                    for &alg in &self.algorithms {
+                                        for &(loc_a, loc_b) in &self.locals {
+                                            if alg != Algorithm::Ba && !(loc_a && loc_b) {
+                                                continue;
+                                            }
+                                            for mdima in loader_dims(wg, mwg, kwg, mdimc, loc_a) {
+                                                for ndimb in
+                                                    loader_dims(wg, nwg, kwg, ndimc, loc_b)
+                                                {
+                                                    let p = KernelParams {
+                                                        mwg,
+                                                        nwg,
+                                                        kwg,
+                                                        mdimc,
+                                                        ndimc,
+                                                        kwi,
+                                                        mdima,
+                                                        ndimb,
+                                                        vw,
+                                                        stride_m: sm,
+                                                        stride_n: sn,
+                                                        local_a: loc_a,
+                                                        local_b: loc_b,
+                                                        layout_a: la,
+                                                        layout_b: lb,
+                                                        algorithm: alg,
+                                                        precision,
+                                                    };
+                                                    if p.validate().is_err() {
+                                                        continue;
+                                                    }
+                                                    if !resource_sane(&p, dev) {
+                                                        continue;
+                                                    }
+                                                    if seen.insert(p) {
+                                                        out.push(p);
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Loader-shape choices for one operand: the work-group's own shape plus
+/// a 2× alternate in each direction when the divisibility works out. For
+/// operands not staged in local memory the loader shape is irrelevant —
+/// one canonical value avoids duplicate candidates.
+fn loader_dims(wg: usize, wwg: usize, kwg: usize, dimc: usize, uses_local: bool) -> Vec<usize> {
+    if !uses_local {
+        return vec![dimc];
+    }
+    let mut dims: Vec<usize> = [dimc, dimc * 2]
+        .into_iter()
+        .filter(|&d| wg.is_multiple_of(d) && wwg.is_multiple_of(d) && kwg.is_multiple_of(wg / d))
+        .collect();
+    dims.dedup();
+    if dims.is_empty() {
+        // Fall back to any divisor of the work-group size that tiles the
+        // block, so local-memory candidates are not lost entirely.
+        for d in [4usize, 8, 16, 32, 64] {
+            if d <= wg && wg.is_multiple_of(d) && wwg.is_multiple_of(d) && kwg.is_multiple_of(wg / d) {
+                dims.push(d);
+                break;
+            }
+        }
+    }
+    dims
+}
+
+/// Cheap resource plausibility: local memory must fit the device and the
+/// register estimate must leave at least one resident work-group.
+fn resource_sane(p: &KernelParams, dev: &DeviceSpec) -> bool {
+    if p.wg_size() > dev.micro.max_wg_size {
+        return false;
+    }
+    if p.lds_bytes() > dev.local_mem_bytes() {
+        return false;
+    }
+    p.regs_per_wi() * p.wg_size() <= dev.micro.regs_per_cu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_device::DeviceId;
+
+    #[test]
+    fn default_space_is_tens_of_thousands_on_gpus() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::for_device(&dev);
+        let n = space.enumerate(&dev, Precision::F64).len();
+        assert!(
+            (10_000..=500_000).contains(&n),
+            "expected tens of thousands of candidates, got {n}"
+        );
+    }
+
+    #[test]
+    fn all_enumerated_candidates_are_valid() {
+        let dev = DeviceId::Fermi.spec();
+        let space = SearchSpace::smoke(&dev);
+        let cands = space.enumerate(&dev, Precision::F32);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            c.validate().unwrap_or_else(|e| panic!("{e}: {c:?}"));
+            assert!(c.lds_bytes() <= dev.local_mem_bytes());
+        }
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free() {
+        let dev = DeviceId::Cayman.spec();
+        let space = SearchSpace::smoke(&dev);
+        let cands = space.enumerate(&dev, Precision::F64);
+        let set: HashSet<_> = cands.iter().collect();
+        assert_eq!(set.len(), cands.len());
+    }
+
+    #[test]
+    fn algorithm_restriction_propagates() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::smoke(&dev).with_algorithm(Algorithm::Pl);
+        let cands = space.enumerate(&dev, Precision::F64);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.algorithm == Algorithm::Pl && c.local_a && c.local_b));
+    }
+
+    #[test]
+    fn cpu_space_respects_work_group_limits() {
+        let dev = DeviceId::SandyBridge.spec();
+        let space = SearchSpace::for_device(&dev);
+        let cands = space.enumerate(&dev, Precision::F64);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.wg_size() <= 256));
+    }
+
+    #[test]
+    fn amd_gpu_space_respects_256_wg_cap() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::for_device(&dev);
+        assert!(space.wg_shapes.iter().all(|(m, n)| m * n <= 256));
+    }
+
+    #[test]
+    fn layout_restriction_works() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::smoke(&dev)
+            .with_layouts(vec![(BlockLayout::RowMajor, BlockLayout::RowMajor)]);
+        let cands = space.enumerate(&dev, Precision::F64);
+        assert!(cands
+            .iter()
+            .all(|c| c.layout_a == BlockLayout::RowMajor && c.layout_b == BlockLayout::RowMajor));
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated processor models for the `clgemm` workspace.
+//!
+//! The paper evaluates its auto-tuner on four GPUs and two CPUs (Table I).
+//! This crate substitutes those physical processors with analytic device
+//! models:
+//!
+//! * [`spec`] — the device description: the public Table I specification
+//!   plus the microarchitectural calibration parameters
+//!   ([`spec::MicroParams`]) that drive the timing model.
+//! * [`profiles`] — the concrete devices: AMD Tahiti and Cayman, NVIDIA
+//!   Kepler and Fermi, Intel Sandy Bridge, AMD Bulldozer — plus the AMD
+//!   Cypress used in the paper's §IV-C comparison with prior work.
+//! * [`mod@occupancy`] — how many work-groups fit on a compute unit given the
+//!   kernel's register and local-memory appetite; the classic
+//!   occupancy/latency-hiding trade-off the tuner must navigate.
+//! * [`timing`] — the per-launch analytic performance model combining
+//!   instruction issue, DRAM bandwidth with coalescing, local-memory
+//!   bandwidth with bank conflicts, barrier overhead and an
+//!   occupancy-scaled latency term.
+//!
+//! The design intent (see DESIGN.md §4) is that the *shape* of the tuning
+//! landscape — which blocking factors, layouts and algorithms win on which
+//! device — emerges from these constraints, so the heuristic search is
+//! exercised exactly as on real hardware.
+
+pub mod occupancy;
+pub mod profiles;
+pub mod spec;
+pub mod timing;
+
+pub use occupancy::{occupancy, Occupancy, OccupancyError};
+pub use profiles::{all_devices, device_by_name, DeviceId};
+pub use spec::{DeviceKind, DeviceSpec, LocalMemType, MicroParams, Vendor};
+pub use timing::{estimate, BoundKind, KernelLaunchProfile, TimingEstimate};

@@ -1,0 +1,203 @@
+//! Work-group residency ("occupancy") calculation.
+//!
+//! §III-E of the paper: *"The number of registers determines the number of
+//! work-groups launched on a compute unit. If the number of work-groups is
+//! not enough, processors cannot hide memory access latencies."* This
+//! module computes that residency from the kernel's register and
+//! local-memory appetite, and flags kernels that cannot launch at all —
+//! those count as failed candidates in the tuner, just as kernels failing
+//! compilation do in the paper.
+
+use crate::spec::DeviceSpec;
+
+/// Why a kernel cannot be launched on a device at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OccupancyError {
+    /// Work-group size exceeds the device maximum.
+    WorkGroupTooLarge { wg_size: usize, max: usize },
+    /// The work-group needs more local memory than a CU has.
+    LocalMemExceeded { needed: usize, available: usize },
+    /// A single work-group's registers exceed the CU register file.
+    RegistersExceeded { needed: usize, available: usize },
+    /// Work-group size must be a multiple of... nothing here, but zero
+    /// sized groups are invalid.
+    EmptyWorkGroup,
+}
+
+impl std::fmt::Display for OccupancyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OccupancyError::WorkGroupTooLarge { wg_size, max } => {
+                write!(f, "work-group size {wg_size} exceeds device maximum {max}")
+            }
+            OccupancyError::LocalMemExceeded { needed, available } => {
+                write!(f, "work-group needs {needed} B local memory, CU has {available} B")
+            }
+            OccupancyError::RegistersExceeded { needed, available } => {
+                write!(f, "work-group needs {needed} register slots, CU has {available}")
+            }
+            OccupancyError::EmptyWorkGroup => write!(f, "work-group has zero work-items"),
+        }
+    }
+}
+
+impl std::error::Error for OccupancyError {}
+
+/// Residency outcome for a kernel on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Concurrently resident work-groups per compute unit.
+    pub wgs_per_cu: usize,
+    /// Resident work-items per CU (`wgs_per_cu × wg_size`).
+    pub wis_per_cu: usize,
+    /// Resident wavefront count per CU (at least 1 when resident).
+    pub wavefronts_per_cu: usize,
+    /// Which resource bounds the residency.
+    pub limiter: Limiter,
+}
+
+/// The binding residency constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    Registers,
+    LocalMem,
+    WorkGroupSlots,
+    WorkItemSlots,
+}
+
+/// Compute the occupancy of a kernel that uses `regs_per_wi` 32-bit
+/// register slots per work-item and `lds_bytes_per_wg` bytes of local
+/// memory per work-group of `wg_size` work-items.
+///
+/// # Errors
+/// Returns an [`OccupancyError`] when even a single work-group cannot fit,
+/// meaning the kernel fails to launch.
+pub fn occupancy(
+    dev: &DeviceSpec,
+    wg_size: usize,
+    regs_per_wi: usize,
+    lds_bytes_per_wg: usize,
+) -> Result<Occupancy, OccupancyError> {
+    if wg_size == 0 {
+        return Err(OccupancyError::EmptyWorkGroup);
+    }
+    if wg_size > dev.micro.max_wg_size {
+        return Err(OccupancyError::WorkGroupTooLarge { wg_size, max: dev.micro.max_wg_size });
+    }
+    let lds_avail = dev.local_mem_bytes();
+    if lds_bytes_per_wg > lds_avail {
+        return Err(OccupancyError::LocalMemExceeded { needed: lds_bytes_per_wg, available: lds_avail });
+    }
+    let regs_per_wg = regs_per_wi * wg_size;
+    if regs_per_wg > dev.micro.regs_per_cu {
+        return Err(OccupancyError::RegistersExceeded {
+            needed: regs_per_wg,
+            available: dev.micro.regs_per_cu,
+        });
+    }
+
+    let by_regs = dev.micro.regs_per_cu.checked_div(regs_per_wg).unwrap_or(usize::MAX);
+    let by_lds = lds_avail.checked_div(lds_bytes_per_wg).unwrap_or(usize::MAX);
+    let by_slots = dev.micro.max_wg_per_cu;
+    let by_wis = dev.micro.max_wi_per_cu / wg_size;
+
+    let (wgs, limiter) = [
+        (by_regs, Limiter::Registers),
+        (by_lds, Limiter::LocalMem),
+        (by_slots, Limiter::WorkGroupSlots),
+        (by_wis, Limiter::WorkItemSlots),
+    ]
+    .into_iter()
+    .min_by_key(|(n, _)| *n)
+    .expect("non-empty candidate list");
+
+    // by_wis can be zero only if wg_size > max_wi_per_cu, which the
+    // max_wg_size check should prevent on sane profiles; guard anyway.
+    if wgs == 0 {
+        return Err(OccupancyError::WorkGroupTooLarge { wg_size, max: dev.micro.max_wi_per_cu });
+    }
+
+    let wis = wgs * wg_size;
+    Ok(Occupancy {
+        wgs_per_cu: wgs,
+        wis_per_cu: wis,
+        wavefronts_per_cu: wis.div_ceil(dev.micro.wavefront).max(1),
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceId;
+
+    #[test]
+    fn small_kernel_hits_slot_limit() {
+        let dev = DeviceId::Tahiti.spec();
+        let occ = occupancy(&dev, 64, 16, 0).unwrap();
+        assert_eq!(occ.limiter, Limiter::WorkGroupSlots);
+        assert_eq!(occ.wgs_per_cu, dev.micro.max_wg_per_cu);
+    }
+
+    #[test]
+    fn register_hungry_kernel_is_register_limited() {
+        let dev = DeviceId::Fermi.spec();
+        // 128 slots/wi at wg=256 -> 32768 regs per wg -> exactly 1 resident.
+        let occ = occupancy(&dev, 256, 128, 0).unwrap();
+        assert_eq!(occ.wgs_per_cu, 1);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn lds_hungry_kernel_is_lds_limited() {
+        let dev = DeviceId::Kepler.spec();
+        let occ = occupancy(&dev, 64, 8, 20 * 1024).unwrap();
+        assert_eq!(occ.wgs_per_cu, 2, "48 KiB / 20 KiB");
+        assert_eq!(occ.limiter, Limiter::LocalMem);
+    }
+
+    #[test]
+    fn oversize_work_group_fails() {
+        let dev = DeviceId::Tahiti.spec(); // max 256 on AMD
+        let err = occupancy(&dev, 512, 8, 0).unwrap_err();
+        assert!(matches!(err, OccupancyError::WorkGroupTooLarge { .. }));
+    }
+
+    #[test]
+    fn oversize_lds_fails() {
+        let dev = DeviceId::Cayman.spec(); // 32 KiB
+        let err = occupancy(&dev, 64, 8, 33 * 1024).unwrap_err();
+        assert!(matches!(err, OccupancyError::LocalMemExceeded { .. }));
+    }
+
+    #[test]
+    fn single_work_group_too_many_registers_fails() {
+        let dev = DeviceId::Fermi.spec(); // 32768 slots
+        let err = occupancy(&dev, 256, 200, 0).unwrap_err();
+        assert!(matches!(err, OccupancyError::RegistersExceeded { .. }));
+    }
+
+    #[test]
+    fn zero_size_group_fails() {
+        let dev = DeviceId::Tahiti.spec();
+        assert_eq!(occupancy(&dev, 0, 8, 0).unwrap_err(), OccupancyError::EmptyWorkGroup);
+    }
+
+    #[test]
+    fn more_registers_never_increases_occupancy() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut last = usize::MAX;
+        for regs in [8, 16, 32, 64, 128, 256] {
+            let occ = occupancy(&dev, 256, regs, 0).unwrap();
+            assert!(occ.wgs_per_cu <= last, "occupancy must be monotone non-increasing in regs");
+            last = occ.wgs_per_cu;
+        }
+    }
+
+    #[test]
+    fn wavefront_count_rounds_up() {
+        let dev = DeviceId::Kepler.spec(); // warp 32
+        let occ = occupancy(&dev, 48, 8, 0).unwrap();
+        assert_eq!(occ.wavefronts_per_cu, occ.wis_per_cu.div_ceil(32));
+    }
+}

@@ -1,0 +1,518 @@
+//! Concrete device profiles.
+//!
+//! The six processors of Table I, in the paper's column order, plus the
+//! AMD Cypress GPU that §IV-C uses to compare against Nakasato's IL
+//! kernels and the Du et al. OpenCL tuner.
+//!
+//! Table I values are copied verbatim. The [`MicroParams`] calibration is
+//! derived as follows:
+//!
+//! * wavefront/warp widths, register-file sizes, residency caps and
+//!   work-group size caps are the published architecture limits;
+//! * `issue_eff_{dp,sp}` are set so the *best* kernel the tuner can find
+//!   lands at the paper's measured efficiency ceiling (Table II):
+//!   91/80 % on Tahiti, 86/80 % on Cayman, 56/67 % on Fermi, ~40/44 % on
+//!   Sandy Bridge, ~32/38 % on Bulldozer; Kepler's listed-peak efficiency
+//!   exceeds 100 % because the overclocked GTX 670 boosts well above its
+//!   listed clock, modelled by `boost_factor`;
+//! * barrier costs make Cayman (long VLIW pipeline flush) and the CPUs
+//!   (thread-level sync) lose from local-memory kernels, as observed in
+//!   §IV-A, while GCN/NVIDIA barriers are cheap;
+//! * `channel_*` parameters reproduce the row-major "multiples of 2048"
+//!   bandwidth cliff reported for Tahiti.
+
+use crate::spec::{DeviceKind, DeviceSpec, LocalMemType, MicroParams, Vendor};
+
+/// Identifier for one of the built-in device profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DeviceId {
+    Tahiti,
+    Cayman,
+    Kepler,
+    Fermi,
+    SandyBridge,
+    Bulldozer,
+    /// AMD Cypress (Radeon HD 5870) — the §IV-C comparison device.
+    Cypress,
+}
+
+impl DeviceId {
+    /// The six processors of Table I in the paper's order.
+    pub const TABLE1: [DeviceId; 6] = [
+        DeviceId::Tahiti,
+        DeviceId::Cayman,
+        DeviceId::Kepler,
+        DeviceId::Fermi,
+        DeviceId::SandyBridge,
+        DeviceId::Bulldozer,
+    ];
+
+    /// All built-in profiles including the Cypress extra.
+    pub const ALL: [DeviceId; 7] = [
+        DeviceId::Tahiti,
+        DeviceId::Cayman,
+        DeviceId::Kepler,
+        DeviceId::Fermi,
+        DeviceId::SandyBridge,
+        DeviceId::Bulldozer,
+        DeviceId::Cypress,
+    ];
+
+    /// The paper's code name for the device.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceId::Tahiti => "Tahiti",
+            DeviceId::Cayman => "Cayman",
+            DeviceId::Kepler => "Kepler",
+            DeviceId::Fermi => "Fermi",
+            DeviceId::SandyBridge => "Sandy Bridge",
+            DeviceId::Bulldozer => "Bulldozer",
+            DeviceId::Cypress => "Cypress",
+        }
+    }
+
+    /// Build the full specification for this device.
+    #[must_use]
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DeviceId::Tahiti => tahiti(),
+            DeviceId::Cayman => cayman(),
+            DeviceId::Kepler => kepler(),
+            DeviceId::Fermi => fermi(),
+            DeviceId::SandyBridge => sandy_bridge(),
+            DeviceId::Bulldozer => bulldozer(),
+            DeviceId::Cypress => cypress(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DeviceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace([' ', '-', '_'], "");
+        match norm.as_str() {
+            "tahiti" | "hd7970" => Ok(DeviceId::Tahiti),
+            "cayman" | "hd6970" => Ok(DeviceId::Cayman),
+            "kepler" | "gtx670" => Ok(DeviceId::Kepler),
+            "fermi" | "m2090" => Ok(DeviceId::Fermi),
+            "sandybridge" | "snb" | "i73960x" => Ok(DeviceId::SandyBridge),
+            "bulldozer" | "fx8150" => Ok(DeviceId::Bulldozer),
+            "cypress" | "hd5870" => Ok(DeviceId::Cypress),
+            other => Err(format!("unknown device {other:?}")),
+        }
+    }
+}
+
+/// The six Table I specifications, in the paper's order.
+#[must_use]
+pub fn all_devices() -> Vec<DeviceSpec> {
+    DeviceId::TABLE1.iter().map(|id| id.spec()).collect()
+}
+
+/// Look a device up by code or product name.
+#[must_use]
+pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    name.parse::<DeviceId>().ok().map(DeviceId::spec)
+}
+
+/// AMD Tahiti — Radeon HD 7970 (GCN, 32 CUs @ 0.925 GHz).
+fn tahiti() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Tahiti".into(),
+        product_name: "Radeon HD 7970".into(),
+        vendor: Vendor::Amd,
+        kind: DeviceKind::Gpu,
+        clock_ghz: 0.925,
+        compute_units: 32,
+        dp_ops_per_clock: 1024,
+        sp_ops_per_clock: 4096,
+        global_mem_gib: 3.0,
+        global_bw_gbs: 264.0,
+        local_mem_kib: 64,
+        local_mem_type: LocalMemType::Scratchpad,
+        sdk: "AMD APP 2.6".into(),
+        micro: MicroParams {
+            wavefront: 64,
+            regs_per_cu: 65536, // 256 KiB vector registers per GCN CU
+            max_wg_per_cu: 16,
+            max_wi_per_cu: 2560, // 40 wavefronts
+            max_wg_size: 256,
+            global_latency: 480.0,
+            lds_bytes_per_cycle: 128.0, // 32 banks x 4 B
+            cache_bytes_per_cycle: 64.0,
+            barrier_cost: 30.0,
+            barrier_throughput_frac: 0.15,
+            // GCN issues vector memory and scalar/branch ops on separate
+            // pipes, so a pure-FMA stream runs at full VALU rate.
+            issue_eff_dp: 0.95,
+            issue_eff_sp: 0.82,
+            mem_port_overlap: 0.95,
+            coalesce_bytes: 64,
+            channel_interleave_bytes: 256,
+            channel_conflict_penalty: 0.30,
+            native_simd_lanes: 1,
+            min_wavefronts: 8.0,
+            max_load_bytes: 16,
+            launch_overhead_us: 8.0,
+            dram_efficiency: 0.88,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+/// AMD Cayman — Radeon HD 6970 (VLIW4, 24 CUs @ 0.88 GHz).
+fn cayman() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Cayman".into(),
+        product_name: "Radeon HD 6970".into(),
+        vendor: Vendor::Amd,
+        kind: DeviceKind::Gpu,
+        clock_ghz: 0.88,
+        compute_units: 24,
+        dp_ops_per_clock: 768,
+        sp_ops_per_clock: 3072,
+        global_mem_gib: 1.0,
+        global_bw_gbs: 176.0,
+        local_mem_kib: 32,
+        local_mem_type: LocalMemType::Scratchpad,
+        sdk: "AMD APP 2.6".into(),
+        micro: MicroParams {
+            wavefront: 64,
+            regs_per_cu: 65536,
+            max_wg_per_cu: 8,
+            max_wi_per_cu: 1536,
+            max_wg_size: 256,
+            global_latency: 550.0,
+            lds_bytes_per_cycle: 64.0, // half-rate LDS vs GCN
+            cache_bytes_per_cycle: 54.0,
+            // Long VLIW pipeline: a barrier flushes in-flight bundles, so
+            // most of its cost is real CU throughput (§IV-A: "the Cayman
+            // runs slower when the local memory is utilized").
+            barrier_cost: 260.0,
+            barrier_throughput_frac: 0.90,
+            issue_eff_dp: 0.92,
+            issue_eff_sp: 0.82,
+            mem_port_overlap: 0.85,
+            coalesce_bytes: 64,
+            channel_interleave_bytes: 256,
+            channel_conflict_penalty: 0.35,
+            native_simd_lanes: 1,
+            min_wavefronts: 6.0,
+            max_load_bytes: 16,
+            launch_overhead_us: 8.0,
+            dram_efficiency: 0.85,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+/// NVIDIA Kepler — GeForce GTX 670 factory-overclocked (7 SMX @ 1.085 GHz
+/// listed, boosting far above it — the paper measures >100 % of listed
+/// peak for DGEMM).
+fn kepler() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Kepler".into(),
+        product_name: "GeForce GTX 670 OC".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        clock_ghz: 1.085,
+        compute_units: 7,
+        dp_ops_per_clock: 96,
+        sp_ops_per_clock: 2688,
+        global_mem_gib: 2.0,
+        global_bw_gbs: 192.0,
+        local_mem_kib: 48,
+        local_mem_type: LocalMemType::Scratchpad,
+        sdk: "CUDA 5.0 RC".into(),
+        micro: MicroParams {
+            wavefront: 32,
+            regs_per_cu: 65536,
+            max_wg_per_cu: 16,
+            max_wi_per_cu: 2048,
+            max_wg_size: 1024,
+            global_latency: 420.0,
+            lds_bytes_per_cycle: 128.0,
+            // GK104's L1 does not cache global loads; redundant reuse is
+            // served from L2 at much lower per-SMX bandwidth.
+            cache_bytes_per_cycle: 16.0,
+            barrier_cost: 25.0,
+            barrier_throughput_frac: 0.15,
+            // DP units are few and easily saturated even from OpenCL; SP
+            // needs the static ILP/dual-issue that OpenCL codegen cannot
+            // express (paper: 1440 of 2916 GFlop/s listed-peak, 49 %).
+            issue_eff_dp: 0.97,
+            issue_eff_sp: 0.38,
+            mem_port_overlap: 0.75,
+            coalesce_bytes: 128,
+            channel_interleave_bytes: 256,
+            channel_conflict_penalty: 0.45,
+            native_simd_lanes: 1,
+            min_wavefronts: 8.0,
+            max_load_bytes: 16,
+            launch_overhead_us: 6.0,
+            dram_efficiency: 0.85,
+            boost_factor: 1.33, // factory OC + GPU Boost over the listed clock
+        },
+    }
+}
+
+/// NVIDIA Fermi — Tesla M2090 (16 SMs @ 1.3 GHz).
+fn fermi() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Fermi".into(),
+        product_name: "Tesla M2090".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        clock_ghz: 1.3,
+        compute_units: 16,
+        dp_ops_per_clock: 512,
+        sp_ops_per_clock: 1024,
+        global_mem_gib: 6.0,
+        global_bw_gbs: 177.0,
+        local_mem_kib: 48,
+        local_mem_type: LocalMemType::Scratchpad,
+        sdk: "CUDA 4.1.28".into(),
+        micro: MicroParams {
+            wavefront: 32,
+            regs_per_cu: 32768, // 128 KiB per SM
+            max_wg_per_cu: 8,
+            max_wi_per_cu: 1536,
+            max_wg_size: 1024,
+            global_latency: 600.0,
+            lds_bytes_per_cycle: 64.0,
+            cache_bytes_per_cycle: 20.0,
+            barrier_cost: 30.0,
+            barrier_throughput_frac: 0.20,
+            // The DP path shares issue slots with loads (Tan et al. report
+            // 70 % as the hand-tuned machine-code ceiling; from high-level
+            // languages the paper reaches 56 %).
+            issue_eff_dp: 0.62,
+            issue_eff_sp: 0.70,
+            mem_port_overlap: 0.55,
+            coalesce_bytes: 128,
+            channel_interleave_bytes: 256,
+            channel_conflict_penalty: 0.45,
+            native_simd_lanes: 1,
+            min_wavefronts: 6.0,
+            max_load_bytes: 16,
+            launch_overhead_us: 7.0,
+            dram_efficiency: 0.82,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+/// Intel Sandy Bridge — Core i7 3960X (6 cores @ 3.3 GHz, AVX).
+fn sandy_bridge() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Sandy Bridge".into(),
+        product_name: "Core i7 3960X".into(),
+        vendor: Vendor::Intel,
+        kind: DeviceKind::Cpu,
+        clock_ghz: 3.3,
+        compute_units: 6,
+        dp_ops_per_clock: 48, // 8 DP flops/cycle/core (4-wide AVX add + mul)
+        sp_ops_per_clock: 96,
+        global_mem_gib: 8.0,
+        global_bw_gbs: 51.2, // quad-channel DDR3-1600
+        local_mem_kib: 32,
+        local_mem_type: LocalMemType::GlobalBacked,
+        sdk: "Intel SDK 2013 beta".into(),
+        micro: MicroParams {
+            wavefront: 1,
+            // "Registers" spill to L1 at low cost; model a large file and
+            // let cache bandwidth be the real constraint.
+            regs_per_cu: 1 << 20,
+            max_wg_per_cu: 4,
+            max_wi_per_cu: 4096,
+            max_wg_size: 1024,
+            global_latency: 45.0, // L2-miss latency largely hidden by OoO
+            lds_bytes_per_cycle: 32.0, // LDS is just cached memory here
+            cache_bytes_per_cycle: 32.0,
+            // A work-group barrier is a thread-level synchronisation.
+            barrier_cost: 1500.0,
+            barrier_throughput_frac: 1.0,
+            // Paper §IV-B: OpenCL reaches less than half of MKL; the 2013
+            // beta SDK improved codegen ~20 % over the 2012 SDK.
+            issue_eff_dp: 0.41,
+            issue_eff_sp: 0.45,
+            mem_port_overlap: 0.75,
+            coalesce_bytes: 64, // cache line
+            channel_interleave_bytes: 4096,
+            channel_conflict_penalty: 0.60,
+            native_simd_lanes: 8, // 256-bit AVX
+            min_wavefronts: 1.0,
+            max_load_bytes: 32,
+            launch_overhead_us: 20.0,
+            dram_efficiency: 0.75,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+/// AMD Bulldozer — FX-8150 (8 integer cores / 4 FP modules @ 3.6 GHz).
+fn bulldozer() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Bulldozer".into(),
+        product_name: "FX-8150".into(),
+        vendor: Vendor::Amd,
+        kind: DeviceKind::Cpu,
+        clock_ghz: 3.6,
+        compute_units: 8,
+        dp_ops_per_clock: 32, // 4 modules x 8 DP flops (shared 256-bit FMA)
+        sp_ops_per_clock: 64,
+        global_mem_gib: 8.0,
+        global_bw_gbs: 29.9, // dual-channel DDR3-1866
+        local_mem_kib: 32,
+        local_mem_type: LocalMemType::GlobalBacked,
+        sdk: "AMD APP 2.7".into(),
+        micro: MicroParams {
+            wavefront: 1,
+            regs_per_cu: 1 << 20,
+            max_wg_per_cu: 4,
+            max_wi_per_cu: 4096,
+            max_wg_size: 1024,
+            global_latency: 60.0,
+            lds_bytes_per_cycle: 16.0,
+            cache_bytes_per_cycle: 16.0, // write-through L1 hurts
+            barrier_cost: 2500.0,
+            barrier_throughput_frac: 1.0,
+            issue_eff_dp: 0.33,
+            issue_eff_sp: 0.38,
+            mem_port_overlap: 0.60,
+            coalesce_bytes: 64,
+            channel_interleave_bytes: 4096,
+            channel_conflict_penalty: 0.55,
+            // Bulldozer's shared FlexFPU executes 256-bit ops as two
+            // 128-bit halves; 128-bit vectors already run at full rate.
+            native_simd_lanes: 4,
+            min_wavefronts: 1.0,
+            max_load_bytes: 32,
+            launch_overhead_us: 25.0,
+            dram_efficiency: 0.70,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+/// AMD Cypress — Radeon HD 5870 (VLIW5, 20 CUs @ 0.85 GHz). Used in the
+/// paper's §IV-C comparison: their tuner reaches 495 GFlop/s DGEMM (91 %)
+/// vs 498 for Nakasato's IL kernels and 308 for Du et al.
+fn cypress() -> DeviceSpec {
+    DeviceSpec {
+        code_name: "Cypress".into(),
+        product_name: "Radeon HD 5870".into(),
+        vendor: Vendor::Amd,
+        kind: DeviceKind::Gpu,
+        clock_ghz: 0.85,
+        compute_units: 20,
+        dp_ops_per_clock: 640,
+        sp_ops_per_clock: 3200,
+        global_mem_gib: 1.0,
+        global_bw_gbs: 153.6,
+        local_mem_kib: 32,
+        local_mem_type: LocalMemType::Scratchpad,
+        sdk: "AMD APP 2.5".into(),
+        micro: MicroParams {
+            wavefront: 64,
+            regs_per_cu: 65536,
+            max_wg_per_cu: 8,
+            max_wi_per_cu: 1536,
+            max_wg_size: 256,
+            global_latency: 550.0,
+            lds_bytes_per_cycle: 64.0,
+            cache_bytes_per_cycle: 54.0,
+            barrier_cost: 240.0,
+            barrier_throughput_frac: 0.85,
+            issue_eff_dp: 0.98,
+            issue_eff_sp: 0.85,
+            mem_port_overlap: 0.85,
+            coalesce_bytes: 64,
+            channel_interleave_bytes: 256,
+            channel_conflict_penalty: 0.35,
+            native_simd_lanes: 1,
+            min_wavefronts: 6.0,
+            max_load_bytes: 16,
+            launch_overhead_us: 9.0,
+            dram_efficiency: 0.85,
+            boost_factor: 1.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_devices_in_paper_order() {
+        let names: Vec<_> = all_devices().iter().map(|d| d.code_name.clone()).collect();
+        assert_eq!(names, ["Tahiti", "Cayman", "Kepler", "Fermi", "Sandy Bridge", "Bulldozer"]);
+    }
+
+    #[test]
+    fn lookup_by_aliases() {
+        assert_eq!(device_by_name("hd7970").unwrap().code_name, "Tahiti");
+        assert_eq!(device_by_name("Sandy Bridge").unwrap().vendor, Vendor::Intel);
+        assert_eq!(device_by_name("FX-8150").unwrap().kind, DeviceKind::Cpu);
+        assert!(device_by_name("voodoo2").is_none());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for id in DeviceId::ALL {
+            let parsed: DeviceId = id.name().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+    }
+
+    #[test]
+    fn compute_unit_counts_match_table_i() {
+        let cus: Vec<_> = all_devices().iter().map(|d| d.compute_units).collect();
+        assert_eq!(cus, [32, 24, 7, 16, 6, 8]);
+    }
+
+    #[test]
+    fn local_memory_sizes_match_table_i() {
+        let lm: Vec<_> = all_devices().iter().map(|d| d.local_mem_kib).collect();
+        assert_eq!(lm, [64, 32, 48, 48, 32, 32]);
+    }
+
+    #[test]
+    fn only_kepler_boosts() {
+        for d in all_devices() {
+            if d.code_name == "Kepler" {
+                assert!(d.micro.boost_factor > 1.0);
+            } else {
+                assert_eq!(d.micro.boost_factor, 1.0, "{}", d.code_name);
+            }
+        }
+    }
+
+    #[test]
+    fn cypress_profile_exists_for_section_ivc() {
+        let c = DeviceId::Cypress.spec();
+        assert!((c.peak_gflops(true) - 544.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn spec_serialises_to_json_and_back() {
+        let t = DeviceId::Tahiti.spec();
+        let json = serde_json::to_string(&t);
+        // serde_json is a dev-dep of other crates; here just check serde
+        // derives compile by using bincode-free round trip via serde_json
+        // when available. Fall back to Debug equality.
+        if let Ok(s) = json {
+            let back: DeviceSpec = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+}

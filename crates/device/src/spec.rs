@@ -1,0 +1,300 @@
+//! Device descriptions: the public specification (Table I) plus the
+//! microarchitectural calibration parameters behind the timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Processor vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    Amd,
+    Nvidia,
+    Intel,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Vendor::Amd => "AMD",
+            Vendor::Nvidia => "NVIDIA",
+            Vendor::Intel => "Intel",
+        })
+    }
+}
+
+/// GPU or CPU — the paper tunes both through the same OpenCL path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    Gpu,
+    Cpu,
+}
+
+/// Where OpenCL local memory lives on this device (Table I "Local memory
+/// type"). On GPUs it is a dedicated scratchpad; on the two CPUs it is
+/// carved out of ordinary cached global memory, which is why the paper
+/// sees no benefit from local-memory kernels there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalMemType {
+    /// Dedicated on-chip scratchpad (all four GPUs).
+    Scratchpad,
+    /// Emulated in cached global memory (both CPUs).
+    GlobalBacked,
+}
+
+/// Microarchitectural calibration parameters.
+///
+/// These are *not* in Table I; they are the knobs that make the analytic
+/// timing model reproduce each processor's published GEMM behaviour. Each
+/// field documents its provenance. Units: cycles are core-clock cycles,
+/// bandwidths are bytes per core-clock cycle unless stated otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroParams {
+    /// SIMT execution width: 64 on AMD wavefronts, 32 on NVIDIA warps,
+    /// 1 on CPUs (a work-item is a scalar/vector lane of one thread).
+    pub wavefront: usize,
+    /// Register file per compute unit in 32-bit slots (e.g. 65536 on GCN
+    /// and Kepler SMX, 32768 on Fermi SM). CPUs get a large value because
+    /// "registers" spill to cache at modest cost.
+    pub regs_per_cu: usize,
+    /// Hard cap on concurrently resident work-groups per CU.
+    pub max_wg_per_cu: usize,
+    /// Hard cap on concurrently resident work-items per CU.
+    pub max_wi_per_cu: usize,
+    /// Maximum work-group size the runtime accepts.
+    pub max_wg_size: usize,
+    /// Global-memory (DRAM) access latency in cycles.
+    pub global_latency: f64,
+    /// Local-memory bandwidth per CU in bytes/cycle (e.g. 32 banks × 4 B
+    /// on GCN). Ignored for [`LocalMemType::GlobalBacked`], where LDS
+    /// traffic is charged as cache traffic instead.
+    pub lds_bytes_per_cycle: f64,
+    /// Cache bandwidth per CU in bytes/cycle for non-LDS on-chip reuse
+    /// (L1 on GPUs; L1/L2 on CPUs).
+    pub cache_bytes_per_cycle: f64,
+    /// Cost of one work-group barrier in cycles.
+    pub barrier_cost: f64,
+    /// Fraction of the barrier cost that consumes CU throughput (cannot be
+    /// hidden by other resident work-groups). High on Cayman's VLIW
+    /// pipeline and ~1.0 on CPUs (thread synchronisation), low on GCN and
+    /// NVIDIA where barriers mostly just de-schedule the wavefront.
+    pub barrier_throughput_frac: f64,
+    /// Issue efficiency ceiling for double-precision FMA streams compiled
+    /// from OpenCL C. Captures ISA/compiler maturity: e.g. Fermi's DP unit
+    /// shares issue ports with the load path (paper: 56% DGEMM ceiling);
+    /// CPU OpenCL compilers reach well under half of MKL (§IV-B).
+    pub issue_eff_dp: f64,
+    /// Same for single precision (e.g. Kepler's SMX needs static ILP that
+    /// OpenCL codegen does not provide — paper: 49% SGEMM ceiling).
+    pub issue_eff_sp: f64,
+    /// Fraction of memory-instruction issue cost hidden by dual-issue on
+    /// a separate load/store port. Near 1 on GCN (vector memory ops issue
+    /// independently of the VALU); low on Fermi, whose loads share issue
+    /// slots with the arithmetic pipeline — a key reason the paper's Fermi
+    /// DGEMM tops out near 56 %.
+    pub mem_port_overlap: f64,
+    /// Memory-transaction (coalescing) granularity in bytes: a wavefront's
+    /// requests are served in chunks of this size.
+    pub coalesce_bytes: usize,
+    /// DRAM address interleaving granularity in bytes. Strides that are a
+    /// large power-of-two multiple of this hit the same channel/bank and
+    /// collapse effective bandwidth (the paper's "multiples of 2048"
+    /// cliff on Tahiti with row-major layouts).
+    pub channel_interleave_bytes: usize,
+    /// Bandwidth multiplier applied when a power-of-two channel conflict
+    /// is detected (≤ 1).
+    pub channel_conflict_penalty: f64,
+    /// Native SIMD width in 32-bit lanes for implicitly vectorised CPU
+    /// work-items (8 for AVX). 1 on GPUs, whose PEs are scalar from the
+    /// work-item's point of view.
+    pub native_simd_lanes: usize,
+    /// Minimum resident wavefronts per CU needed to keep every issue
+    /// pipe busy (GCN has 4 SIMDs and wants ≥2 wavefronts each; CPUs
+    /// saturate with a single thread). Below this, issue throughput
+    /// scales down linearly — the §III-E occupancy effect.
+    pub min_wavefronts: f64,
+    /// Widest single memory transaction per load instruction in bytes
+    /// (GPU load units split vectors beyond 128 bits; AVX CPUs move
+    /// 256 bits).
+    pub max_load_bytes: usize,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Sustained fraction of peak DRAM bandwidth achievable with perfectly
+    /// coalesced streams (GPUs ~0.85, CPUs ~0.75).
+    pub dram_efficiency: f64,
+    /// Boost-clock multiplier over the listed core clock (only the
+    /// overclocked Kepler card departs from 1.0; the paper notes its
+    /// measured perf can exceed the listed peak for this reason).
+    pub boost_factor: f64,
+}
+
+/// A complete simulated processor: Table I row + calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Architecture code name, e.g. "Tahiti" (the paper's identifier).
+    pub code_name: String,
+    /// Retail product, e.g. "Radeon HD 7970".
+    pub product_name: String,
+    pub vendor: Vendor,
+    pub kind: DeviceKind,
+    /// Core clock in GHz (Table I).
+    pub clock_ghz: f64,
+    /// Number of compute units (Table I).
+    pub compute_units: usize,
+    /// Device-wide max double-precision floating-point operations per
+    /// clock (Table I "Max DP operations / clock").
+    pub dp_ops_per_clock: usize,
+    /// Device-wide max single-precision operations per clock.
+    pub sp_ops_per_clock: usize,
+    /// Global memory size in GiB (Table I).
+    pub global_mem_gib: f64,
+    /// Peak global memory bandwidth in GB/s (Table I).
+    pub global_bw_gbs: f64,
+    /// Local memory per compute unit in KiB (Table I).
+    pub local_mem_kib: usize,
+    pub local_mem_type: LocalMemType,
+    /// OpenCL SDK the paper used on this processor (Table I), kept for
+    /// reporting.
+    pub sdk: String,
+    pub micro: MicroParams,
+}
+
+impl DeviceSpec {
+    /// Listed peak performance in GFlop/s at the listed clock (no boost):
+    /// `clock × ops_per_clock`, matching the Table I "Peak" rows.
+    #[must_use]
+    pub fn peak_gflops(&self, double_precision: bool) -> f64 {
+        let ops = if double_precision { self.dp_ops_per_clock } else { self.sp_ops_per_clock };
+        self.clock_ghz * ops as f64
+    }
+
+    /// Effective clock in GHz including the boost factor.
+    #[must_use]
+    pub fn effective_clock_ghz(&self) -> f64 {
+        self.clock_ghz * self.micro.boost_factor
+    }
+
+    /// FLOPs per cycle per compute unit at the given precision.
+    #[must_use]
+    pub fn flops_per_cycle_per_cu(&self, double_precision: bool) -> f64 {
+        let ops = if double_precision { self.dp_ops_per_clock } else { self.sp_ops_per_clock };
+        ops as f64 / self.compute_units as f64
+    }
+
+    /// Issue-efficiency ceiling at the given precision.
+    #[must_use]
+    pub fn issue_eff(&self, double_precision: bool) -> f64 {
+        if double_precision {
+            self.micro.issue_eff_dp
+        } else {
+            self.micro.issue_eff_sp
+        }
+    }
+
+    /// Sustained DRAM bandwidth in bytes per core-clock cycle (whole
+    /// device), at the effective clock.
+    #[must_use]
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.global_bw_gbs * self.micro.dram_efficiency / self.effective_clock_ghz()
+    }
+
+    /// Local memory per CU in bytes.
+    #[must_use]
+    pub fn local_mem_bytes(&self) -> usize {
+        self.local_mem_kib * 1024
+    }
+
+    /// Global memory capacity in bytes.
+    #[must_use]
+    pub fn global_mem_bytes(&self) -> usize {
+        (self.global_mem_gib * 1024.0 * 1024.0 * 1024.0) as usize
+    }
+
+    /// Convert a cycle count into seconds at the effective clock.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.effective_clock_ghz() * 1e9)
+    }
+
+    /// `true` if this device prefers explicitly vectorised kernels (its
+    /// work-items map to SIMD lanes of a wider hardware vector).
+    #[must_use]
+    pub fn is_cpu(&self) -> bool {
+        self.kind == DeviceKind::Cpu
+    }
+}
+
+impl std::fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} ({})", self.vendor, self.code_name, self.product_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{all_devices, DeviceId};
+
+    #[test]
+    fn peaks_match_table_i() {
+        // Table I "Peak DP/SP performance" rows, within rounding of the
+        // published figures.
+        let expect = [
+            (DeviceId::Tahiti, 947.0, 3789.0),
+            (DeviceId::Cayman, 676.0, 2703.0),
+            (DeviceId::Kepler, 104.0, 2916.0), // 96 and 2688 ops/clk at 1.085 GHz
+            (DeviceId::Fermi, 665.0, 1331.0),
+            (DeviceId::SandyBridge, 158.4, 316.8),
+            (DeviceId::Bulldozer, 115.2, 230.4),
+        ];
+        for (id, dp, sp) in expect {
+            let d = id.spec();
+            assert!(
+                (d.peak_gflops(true) - dp).abs() / dp < 0.20,
+                "{}: DP peak {} vs Table I {dp}",
+                d.code_name,
+                d.peak_gflops(true)
+            );
+            assert!(
+                (d.peak_gflops(false) - sp).abs() / sp < 0.20,
+                "{}: SP peak {} vs Table I {sp}",
+                d.code_name,
+                d.peak_gflops(false)
+            );
+        }
+    }
+
+    #[test]
+    fn cpus_have_global_backed_local_memory() {
+        for d in all_devices() {
+            match d.kind {
+                DeviceKind::Cpu => assert_eq!(d.local_mem_type, LocalMemType::GlobalBacked),
+                DeviceKind::Gpu => assert_eq!(d.local_mem_type, LocalMemType::Scratchpad),
+            }
+        }
+    }
+
+    #[test]
+    fn issue_efficiencies_are_probabilities() {
+        for d in all_devices() {
+            assert!(d.micro.issue_eff_dp > 0.0 && d.micro.issue_eff_dp <= 1.0, "{}", d.code_name);
+            assert!(d.micro.issue_eff_sp > 0.0 && d.micro.issue_eff_sp <= 1.0, "{}", d.code_name);
+            assert!(d.micro.barrier_throughput_frac >= 0.0 && d.micro.barrier_throughput_frac <= 1.0);
+            assert!(d.micro.dram_efficiency > 0.0 && d.micro.dram_efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cycle_conversion_uses_boost() {
+        let kepler = DeviceId::Kepler.spec();
+        assert!(kepler.micro.boost_factor > 1.0, "Kepler card is overclocked");
+        let secs = kepler.cycles_to_seconds(1e9);
+        assert!(secs < 1.0 / kepler.clock_ghz, "boost shortens wall time");
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_is_sane() {
+        // Tahiti: 264 GB/s at 0.925 GHz is ~285 B/clk before derating.
+        let t = DeviceId::Tahiti.spec();
+        let b = t.dram_bytes_per_cycle();
+        assert!(b > 200.0 && b < 290.0, "got {b}");
+    }
+}

@@ -1,0 +1,432 @@
+//! The analytic kernel timing model.
+//!
+//! Given a [`KernelLaunchProfile`] — the resource/traffic summary the code
+//! generator derives from a parameter set — and a [`DeviceSpec`], this
+//! module predicts the kernel's execution time as the maximum of five
+//! overlap-combined bounds:
+//!
+//! 1. **Issue**: instruction slots (MADs + the non-hidden part of memory
+//!    instructions + loop/address overhead) through the CU's ALUs at the
+//!    precision's issue-efficiency ceiling;
+//! 2. **DRAM**: unique off-chip traffic through the device bandwidth,
+//!    derated by coalescing efficiency and power-of-two channel conflicts;
+//! 3. **LDS**: local-memory traffic through the per-CU scratchpad
+//!    bandwidth, inflated by bank conflicts (cache-backed local memory is
+//!    charged to the cache bound instead);
+//! 4. **Cache**: on-chip reuse traffic that bypasses local memory;
+//! 5. **Serial/latency**: each work-group's un-hidable critical path —
+//!    global-memory latency times the algorithm's serialisation factor
+//!    plus the de-scheduling part of barrier costs — divided across the
+//!    resident work-groups the occupancy allows.
+//!
+//! All inputs are *counts per work-group per outer-loop iteration* (the
+//! `K/Kwg` loop of the paper's algorithms), so the model is exact in how
+//! blocking factors shift work between the bounds. This is where the
+//! tuner's landscape comes from.
+
+use crate::occupancy::{occupancy, Occupancy, OccupancyError};
+use crate::spec::{DeviceSpec, LocalMemType};
+
+/// Traffic/resource summary of one kernel launch, produced by the code
+/// generator. See the module docs for the accounting conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelLaunchProfile {
+    /// `true` for DGEMM kernels.
+    pub double_precision: bool,
+    /// Work-items per work-group (`MdimC × NdimC`).
+    pub wg_size: usize,
+    /// Total work-groups in the NDRange (`⌈M/Mwg⌉ × ⌈N/Nwg⌉`).
+    pub n_wgs: usize,
+    /// Outer-loop trip count (`K / Kwg`).
+    pub outer_iters: usize,
+
+    /// Scalar multiply-adds per work-item per outer iteration
+    /// (`Mwi × Nwi × Kwg`).
+    pub mad_ops: f64,
+    /// Load/store *instructions* per work-item per outer iteration
+    /// (vector accesses count once — this is how larger `vw` pays off).
+    pub mem_instrs: f64,
+    /// Loop-control and addressing slots per work-item per outer
+    /// iteration (reduced by the `Kwi` unroll factor).
+    pub overhead_ops: f64,
+
+    /// Unique off-chip bytes per work-group per outer iteration.
+    pub dram_bytes: f64,
+    /// On-chip reuse bytes per work-group per outer iteration served by
+    /// caches rather than local memory (redundant re-loads of operands
+    /// not staged in LDS).
+    pub cache_bytes: f64,
+    /// Local-memory bytes (reads + writes) per work-group per outer
+    /// iteration; 0 when the kernel uses no local memory.
+    pub lds_bytes: f64,
+    /// Barriers per outer iteration.
+    pub barriers: f64,
+
+    /// One-time off-chip bytes per work-group (C read for β·C, C write).
+    pub dram_bytes_once: f64,
+    /// One-time load/store instructions per work-item (the C merge).
+    pub mem_instrs_once: f64,
+    /// One-time MADs per work-item (α/β merge arithmetic).
+    pub mad_ops_once: f64,
+
+    /// Coalescing efficiency in (0, 1]: fraction of each memory
+    /// transaction that carries useful data, from the layouts, vector
+    /// width and stride mode.
+    pub coalesce_eff: f64,
+    /// `true` when operand strides hit the same DRAM channel repeatedly
+    /// (large power-of-two row strides in row-major layouts).
+    pub pow2_conflict: bool,
+    /// LDS bank-conflict multiplier (≥ 1).
+    pub lds_bank_factor: f64,
+    /// SIMD lane utilisation in (0, 1] — 1 on GPUs; on CPUs the fraction
+    /// of the native vector width the kernel's `vw` fills.
+    pub simd_utilization: f64,
+    /// Per-iteration non-overlappable latency weight of the algorithm:
+    /// ~1 for BA (load → barrier → compute is serial), lower for PL/DB
+    /// whose loads overlap the previous iteration's arithmetic.
+    pub serial_latency_factor: f64,
+
+    /// Estimated 32-bit register slots per work-item.
+    pub regs_per_wi: usize,
+    /// Local-memory bytes allocated per work-group.
+    pub lds_bytes_per_wg: usize,
+}
+
+impl KernelLaunchProfile {
+    /// Total scalar MADs across the launch — used for sanity checks; the
+    /// useful FLOPs (`2·M·N·K`) are lower when padding is present.
+    #[must_use]
+    pub fn total_mads(&self) -> f64 {
+        (self.mad_ops * self.outer_iters as f64 + self.mad_ops_once)
+            * self.wg_size as f64
+            * self.n_wgs as f64
+    }
+}
+
+/// Which bound dominated the estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BoundKind {
+    Issue,
+    Dram,
+    Lds,
+    Cache,
+    Serial,
+}
+
+impl std::fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BoundKind::Issue => "issue",
+            BoundKind::Dram => "dram",
+            BoundKind::Lds => "lds",
+            BoundKind::Cache => "cache",
+            BoundKind::Serial => "serial",
+        })
+    }
+}
+
+/// Per-bound cycle totals (device-level wall cycles), for reporting and
+/// ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Components {
+    pub issue: f64,
+    pub dram: f64,
+    pub lds: f64,
+    pub cache: f64,
+    pub serial: f64,
+    /// Fixed launch overhead.
+    pub launch: f64,
+}
+
+/// The model's output for one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingEstimate {
+    /// Wall-clock seconds at the effective (boosted) clock.
+    pub seconds: f64,
+    /// Wall cycles at the effective clock.
+    pub cycles: f64,
+    pub occupancy: Occupancy,
+    pub bound: BoundKind,
+    pub components: Components,
+}
+
+impl TimingEstimate {
+    /// Achieved GFlop/s for a caller-supplied useful FLOP count.
+    #[must_use]
+    pub fn gflops(&self, useful_flops: f64) -> f64 {
+        useful_flops / self.seconds / 1e9
+    }
+}
+
+/// Predict the execution time of one kernel launch.
+///
+/// # Errors
+/// Propagates [`OccupancyError`] when the kernel cannot launch at all —
+/// the tuner counts such candidates as failed, mirroring the paper's
+/// treatment of kernels that fail compilation or execution.
+pub fn estimate(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Result<TimingEstimate, OccupancyError> {
+    let occ = occupancy(dev, p.wg_size, p.regs_per_wi, p.lds_bytes_per_wg)?;
+    let micro = &dev.micro;
+
+    // --- per-CU instruction issue -------------------------------------
+    // Wavefront padding: a work-group whose size is not a multiple of the
+    // SIMT width wastes the tail lanes.
+    let lanes = micro.wavefront;
+    let lane_eff = p.wg_size as f64 / (p.wg_size.div_ceil(lanes) * lanes) as f64;
+
+    let mads_per_cycle_cu = dev.flops_per_cycle_per_cu(p.double_precision) / 2.0;
+    let issue_eff = dev.issue_eff(p.double_precision) * p.simd_utilization.clamp(1e-6, 1.0);
+
+    let visible_mem = 1.0 - micro.mem_port_overlap;
+    let slots_iter = p.mad_ops + p.mem_instrs * visible_mem + p.overhead_ops;
+    let slots_once = p.mad_ops_once + p.mem_instrs_once * visible_mem;
+    let barrier_issue = p.barriers * micro.barrier_cost * micro.barrier_throughput_frac;
+
+    // Issue starvation below the device's saturation point: with too few
+    // resident wavefronts the CU's issue pipes idle between dependent
+    // instructions (§III-E: "if the number of work-groups is not enough,
+    // processors cannot hide memory access latencies").
+    let saturation =
+        (occ.wavefronts_per_cu as f64 / micro.min_wavefronts).clamp(1.0 / 16.0, 1.0);
+    let issue_rate = mads_per_cycle_cu * issue_eff * lane_eff * saturation;
+    let issue_wg_iter = slots_iter * p.wg_size as f64 / issue_rate + barrier_issue;
+    let issue_wg_once = slots_once * p.wg_size as f64 / issue_rate;
+    let issue_wg = issue_wg_iter * p.outer_iters as f64 + issue_wg_once;
+
+    // --- memory traffic -------------------------------------------------
+    let coalesce = p.coalesce_eff.clamp(0.01, 1.0);
+    let mut dram_bw = dev.dram_bytes_per_cycle() * coalesce;
+    if p.pow2_conflict {
+        dram_bw *= micro.channel_conflict_penalty;
+    }
+    let dram_bytes_wg = p.dram_bytes * p.outer_iters as f64 + p.dram_bytes_once;
+
+    // Local memory: on scratchpad devices LDS traffic has its own port;
+    // on cache-backed devices it is just more cache traffic (plus it
+    // bought nothing — the key CPU observation of §IV-A).
+    let (lds_wg, extra_cache) = match dev.local_mem_type {
+        LocalMemType::Scratchpad => {
+            (p.lds_bytes * p.lds_bank_factor * p.outer_iters as f64 / micro.lds_bytes_per_cycle, 0.0)
+        }
+        LocalMemType::GlobalBacked => (0.0, p.lds_bytes),
+    };
+    let cache_wg = (p.cache_bytes + extra_cache) * p.outer_iters as f64 / micro.cache_bytes_per_cycle;
+
+    // --- serial / latency path ------------------------------------------
+    let barrier_stall = p.barriers * micro.barrier_cost * (1.0 - micro.barrier_throughput_frac);
+    let stall_iter = micro.global_latency * p.serial_latency_factor + barrier_stall;
+    // A work-group's own wavefronts overlap its issue/LDS/cache work
+    // with each other; only the largest throughput term plus the
+    // un-hidable stalls sit on its critical path.
+    let serial_wg = stall_iter * p.outer_iters as f64 + issue_wg.max(lds_wg).max(cache_wg);
+
+    // --- aggregate over the grid -----------------------------------------
+    let active_cus = dev.compute_units.min(p.n_wgs.max(1)) as f64;
+    let wgs_per_cu_total = p.n_wgs as f64 / active_cus;
+    let rounds = wgs_per_cu_total / occ.wgs_per_cu as f64;
+
+    let t_issue = wgs_per_cu_total * issue_wg;
+    let t_lds = wgs_per_cu_total * lds_wg;
+    let t_cache = wgs_per_cu_total * cache_wg;
+    // DRAM is a device-wide resource: total bytes over total bandwidth,
+    // expressed in wall cycles.
+    let t_dram = p.n_wgs as f64 * dram_bytes_wg / dram_bw;
+    let t_serial = rounds * serial_wg;
+
+    let launch = micro.launch_overhead_us * 1e-6 * dev.effective_clock_ghz() * 1e9;
+
+    let components = Components {
+        issue: t_issue,
+        dram: t_dram,
+        lds: t_lds,
+        cache: t_cache,
+        serial: t_serial,
+        launch,
+    };
+
+    let (cycles_body, bound) = [
+        (t_issue, BoundKind::Issue),
+        (t_dram, BoundKind::Dram),
+        (t_lds, BoundKind::Lds),
+        (t_cache, BoundKind::Cache),
+        (t_serial, BoundKind::Serial),
+    ]
+    .into_iter()
+    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("cycle counts are finite"))
+    .expect("non-empty bound list");
+
+    let cycles = cycles_body + launch;
+    Ok(TimingEstimate { seconds: dev.cycles_to_seconds(cycles), cycles, occupancy: occ, bound, components })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceId;
+
+    /// A plausible well-tuned Tahiti DGEMM profile (the paper's winning
+    /// parameters: Mwg=96 Nwg=32 Kwg=48, 16x16 work-group, Mwi=6 Nwi=2,
+    /// Kwi=2, vw=2, B shared in LDS).
+    fn tahiti_dgemm_profile(n: usize) -> KernelLaunchProfile {
+        let (mwg, nwg, kwg) = (96usize, 32usize, 48usize);
+        let (mwi, nwi) = (6.0, 2.0);
+        let wg = 256usize;
+        KernelLaunchProfile {
+            double_precision: true,
+            wg_size: wg,
+            n_wgs: (n / mwg) * (n / nwg),
+            outer_iters: n / kwg,
+            mad_ops: mwi * nwi * kwg as f64,
+            mem_instrs: (mwi * kwg as f64) / 2.0 + (nwi * kwg as f64) / 2.0 + 6.0,
+            overhead_ops: 60.0,
+            dram_bytes: ((mwg + nwg) * kwg * 8) as f64,
+            cache_bytes: (wg as f64) * mwi * kwg as f64 * 8.0,
+            lds_bytes: (nwg * kwg * 8) as f64 + (wg as f64) * nwi * kwg as f64 * 8.0,
+            barriers: 2.0,
+            dram_bytes_once: (mwg * nwg * 8 * 2) as f64,
+            mem_instrs_once: mwi * nwi,
+            mad_ops_once: mwi * nwi,
+            coalesce_eff: 1.0,
+            pow2_conflict: false,
+            lds_bank_factor: 1.0,
+            simd_utilization: 1.0,
+            serial_latency_factor: 1.0,
+            regs_per_wi: 80,
+            lds_bytes_per_wg: nwg * kwg * 8,
+        }
+    }
+
+    #[test]
+    fn tahiti_dgemm_lands_near_paper_efficiency() {
+        let dev = DeviceId::Tahiti.spec();
+        let n = 4608; // multiple of LCM(96, 32, 48) = 288
+        let p = tahiti_dgemm_profile(n);
+        let est = estimate(&dev, &p).unwrap();
+        let flops = 2.0 * (n as f64).powi(3);
+        let eff = est.gflops(flops) / dev.peak_gflops(true);
+        // Paper: 863 GFlop/s = 91 % of peak. The model should put a
+        // well-tuned kernel in the right neighbourhood.
+        assert!(eff > 0.75 && eff <= 1.0, "Tahiti DGEMM efficiency {eff:.3} out of range");
+    }
+
+    #[test]
+    fn more_work_takes_more_time() {
+        let dev = DeviceId::Tahiti.spec();
+        let small = estimate(&dev, &tahiti_dgemm_profile(1152)).unwrap();
+        let big = estimate(&dev, &tahiti_dgemm_profile(4608)).unwrap();
+        assert!(big.seconds > small.seconds);
+    }
+
+    #[test]
+    fn pow2_conflict_slows_memory_bound_kernels() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = tahiti_dgemm_profile(2304);
+        // Make it memory bound by inflating traffic.
+        p.dram_bytes *= 50.0;
+        let fast = estimate(&dev, &p).unwrap();
+        p.pow2_conflict = true;
+        let slow = estimate(&dev, &p).unwrap();
+        assert!(slow.seconds > fast.seconds * 2.0, "channel conflicts must bite");
+        assert_eq!(slow.bound, BoundKind::Dram);
+    }
+
+    #[test]
+    fn barriers_hurt_cayman_more_than_tahiti() {
+        let mut p = tahiti_dgemm_profile(2304);
+        p.lds_bytes_per_wg = 16 * 1024; // fits Cayman's 32 KiB
+        let t0 = {
+            let dev = DeviceId::Tahiti.spec();
+            let with = estimate(&dev, &p).unwrap().seconds;
+            let without = {
+                let mut q = p.clone();
+                q.barriers = 0.0;
+                estimate(&dev, &q).unwrap().seconds
+            };
+            with / without
+        };
+        let c0 = {
+            let dev = DeviceId::Cayman.spec();
+            let with = estimate(&dev, &p).unwrap().seconds;
+            let without = {
+                let mut q = p.clone();
+                q.barriers = 0.0;
+                estimate(&dev, &q).unwrap().seconds
+            };
+            with / without
+        };
+        assert!(c0 > t0, "Cayman barrier slowdown {c0:.3} should exceed Tahiti {t0:.3}");
+    }
+
+    #[test]
+    fn unlaunchable_kernel_is_rejected() {
+        let dev = DeviceId::Cayman.spec(); // 32 KiB LDS
+        let mut p = tahiti_dgemm_profile(2304);
+        p.lds_bytes_per_wg = 48 * 1024;
+        assert!(estimate(&dev, &p).is_err());
+    }
+
+    #[test]
+    fn cpu_charges_lds_as_cache_traffic() {
+        let dev = DeviceId::SandyBridge.spec();
+        let mut p = tahiti_dgemm_profile(1152);
+        p.wg_size = 64;
+        p.regs_per_wi = 64;
+        p.lds_bytes_per_wg = 8 * 1024;
+        p.simd_utilization = 1.0;
+        let est = estimate(&dev, &p).unwrap();
+        assert_eq!(est.components.lds, 0.0, "no scratchpad on CPUs");
+        assert!(est.components.cache > 0.0);
+    }
+
+    #[test]
+    fn poor_simd_utilization_slows_cpus() {
+        let dev = DeviceId::SandyBridge.spec();
+        let mut p = tahiti_dgemm_profile(1152);
+        p.wg_size = 64;
+        p.lds_bytes = 0.0;
+        p.lds_bytes_per_wg = 0;
+        p.barriers = 0.0;
+        p.simd_utilization = 1.0;
+        let vec = estimate(&dev, &p).unwrap();
+        p.simd_utilization = 0.25; // scalar code on a 4-wide DP unit
+        let scal = estimate(&dev, &p).unwrap();
+        assert!(scal.seconds > vec.seconds * 2.0);
+    }
+
+    #[test]
+    fn low_occupancy_exposes_latency() {
+        let dev = DeviceId::Fermi.spec();
+        let mut p = tahiti_dgemm_profile(2304);
+        p.wg_size = 256;
+        p.lds_bytes_per_wg = 4096;
+        p.regs_per_wi = 16;
+        let high_occ = estimate(&dev, &p).unwrap();
+        p.regs_per_wi = 120; // one work-group resident
+        let low_occ = estimate(&dev, &p).unwrap();
+        assert!(low_occ.occupancy.wgs_per_cu < high_occ.occupancy.wgs_per_cu);
+        assert!(low_occ.seconds >= high_occ.seconds);
+    }
+
+    #[test]
+    fn components_are_nonnegative_and_bound_is_argmax() {
+        let dev = DeviceId::Kepler.spec();
+        let p = tahiti_dgemm_profile(2304);
+        let est = estimate(&dev, &p).unwrap();
+        let c = est.components;
+        for v in [c.issue, c.dram, c.lds, c.cache, c.serial, c.launch] {
+            assert!(v >= 0.0 && v.is_finite());
+        }
+        let max = c.issue.max(c.dram).max(c.lds).max(c.cache).max(c.serial);
+        assert!((est.cycles - (max + c.launch)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = tahiti_dgemm_profile(96 * 2);
+        p.n_wgs = 2;
+        p.outer_iters = 1;
+        let est = estimate(&dev, &p).unwrap();
+        assert!(est.components.launch > 0.3 * est.cycles, "small launches are overhead-bound");
+    }
+}

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                    # everything, full search space
+//! repro table2 fig9            # selected experiments
+//! repro all --quick            # thinned search space (fast smoke run)
+//! repro all --csv out/         # additionally write CSV files
+//! ```
+
+use clgemm_report::{run_experiment, Lab, Quality, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quality = Quality::Full;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quality = Quality::Quick,
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro [EXPERIMENT...|all] [--quick] [--csv DIR]");
+                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut lab = Lab::new(quality);
+    let mut failed = false;
+    for name in &wanted {
+        let t0 = std::time::Instant::now();
+        match run_experiment(name, &mut lab) {
+            Some(rep) => {
+                println!("{}", rep.to_text());
+                eprintln!("[{name} regenerated in {:.1}s]", t0.elapsed().as_secs_f64());
+                if let Some(dir) = &csv_dir {
+                    match rep.write_csvs(dir) {
+                        Ok(paths) => {
+                            for p in paths {
+                                eprintln!("  wrote {}", p.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("failed to write CSVs for {name}: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; known: {}", ALL_EXPERIMENTS.join(" "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

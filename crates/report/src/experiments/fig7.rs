@@ -1,0 +1,74 @@
+//! Fig. 7 — performance of the fastest `C ← α·AᵀB + β·C` kernels as a
+//! function of problem size, for DGEMM and SGEMM on all six processors.
+
+use crate::experiments::sweep_sizes;
+use crate::lab::Lab;
+use crate::render::{gf, Report, TextTable};
+use clgemm::tuner::search::measure_gflops;
+use clgemm_blas::layout::round_up;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceId;
+
+/// Regenerate both panels of Fig. 7.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "fig7",
+        "Fastest kernel GFlop/s vs matrix size (Fig. 7)",
+    );
+    for precision in [Precision::F64, Precision::F32] {
+        let mut t = TextTable::new(
+            &format!("{precision} kernels"),
+            &["N", "Tahiti", "Cayman", "Kepler", "Fermi", "Sandy Bridge", "Bulldozer"],
+        );
+        let winners: Vec<_> = DeviceId::TABLE1
+            .iter()
+            .map(|id| (*id, lab.best(*id, precision).best.params))
+            .collect();
+        for n in sweep_sizes(6144, 512) {
+            let mut cells = vec![n.to_string()];
+            for (id, params) in &winners {
+                let dev = id.spec();
+                let np = round_up(n, params.lcm_block());
+                let g = measure_gflops(params, &dev, np).unwrap_or(0.0);
+                cells.push(gf(g));
+            }
+            t.row(cells);
+        }
+        let chart = crate::plot::chart_from_table(
+            &format!("{precision} kernels GFlop/s vs N"),
+            &t,
+            64,
+            14,
+        );
+        rep.table(t);
+        rep.note(format!("\n{chart}"));
+    }
+    rep.note("Paper shape: Tahiti on top for both precisions; GPU curves saturate by N~2000; CPU curves are flat and low; Kepler DGEMM sits below Fermi (few DP units).");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    #[test]
+    fn tahiti_dominates_and_curves_saturate() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        assert_eq!(rep.tables.len(), 2);
+        let dgemm = &rep.tables[0];
+        // Columns: N, Tahiti, Cayman, Kepler, Fermi, SNB, BD.
+        let last = dgemm.rows.last().unwrap();
+        let vals: Vec<f64> = last[1..].iter().map(|s| s.parse().unwrap()).collect();
+        assert!(vals[0] > vals[1], "Tahiti > Cayman at large N: {vals:?}");
+        assert!(vals[3] > vals[2], "Fermi > Kepler for DGEMM: {vals:?}");
+        assert!(vals[0] > 5.0 * vals[4], "GPU >> CPU: {vals:?}");
+        // Saturation: the last two sizes within 10 %.
+        let prev = &dgemm.rows[dgemm.rows.len() - 2];
+        let t_last: f64 = last[1].parse().unwrap();
+        let t_prev: f64 = prev[1].parse().unwrap();
+        assert!((t_last - t_prev).abs() / t_last < 0.10);
+    }
+}

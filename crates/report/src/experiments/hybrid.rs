@@ -1,0 +1,102 @@
+//! Extension experiment — the paper's §V future work, implemented: a
+//! copy-free kernel for small sizes combined with the packed routine,
+//! plus the §IV-C Kepler SGEMM comparison against Kurzak et al.'s CUDA
+//! auto-tuner.
+
+use crate::experiments::sweep_sizes;
+use crate::lab::Lab;
+use crate::render::{gf, Report, TextTable};
+use clgemm::routine::HybridGemm;
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+
+/// Regenerate the hybrid-routine study.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "hybrid",
+        "EXTENSION: copy-free kernel for small sizes + packed routine (the paper's §V future work)",
+    );
+    let hybrid = HybridGemm::new(lab.tuned_gemm(DeviceId::Tahiti));
+
+    let mut t = TextTable::new(
+        "Tahiti DGEMM (NN): packed vs direct vs hybrid",
+        &["N", "packed GF", "direct GF", "hybrid GF", "path"],
+    );
+    let mut sizes = vec![32usize, 64, 96, 128, 192, 256, 384];
+    sizes.extend(sweep_sizes(4096, 512));
+    for n in sizes {
+        let packed = hybrid.tuned().predict(true, GemmType::NN, n, n, n);
+        let direct_s = hybrid.direct_seconds(true, GemmType::NN, n, n, n);
+        let flops = 2.0 * (n as f64).powi(3);
+        let (path, run) = hybrid.choose(true, GemmType::NN, n, n, n);
+        t.row(vec![
+            n.to_string(),
+            gf(packed.gflops),
+            gf(flops / direct_s / 1e9),
+            gf(run.gflops),
+            path.to_string(),
+        ]);
+    }
+    rep.table(t);
+
+    let mut t = TextTable::new("Crossover sizes (model)", &["Type", "DGEMM N*", "SGEMM N*"]);
+    for ty in GemmType::ALL {
+        let d = hybrid.crossover(true, ty, 8192);
+        let s = hybrid.crossover(false, ty, 8192);
+        let fmt = |x: Option<usize>| x.map_or("-".to_string(), |v| v.to_string());
+        t.row(vec![ty.to_string(), fmt(d), fmt(s)]);
+    }
+    rep.table(t);
+
+    // §IV-C: Kurzak et al.'s CUDA autotuner reports ~1150 GFlop/s SGEMM
+    // at N=4096 on a GTX 680; the paper measures 1340 on its GTX 670 OC.
+    let kepler = lab.tuned_gemm(DeviceId::Kepler);
+    let ours_4096 = kepler.predict(false, GemmType::NN, 4096, 4096, 4096).gflops;
+    let mut t = TextTable::new(
+        "Kepler SGEMM at N=4096 (§IV-C comparison)",
+        &["Impl.", "GFlop/s"],
+    );
+    t.row(vec!["Ours (OpenCL, GTX 670 OC model)".into(), gf(ours_4096)]);
+    t.row(vec!["Kurzak et al. CUDA autotuner (GTX 680, published)".into(), gf(1150.0)]);
+    rep.table(t);
+    rep.note("Paper §IV-C: ours 1340 GFlop/s at N=4096 vs Kurzak's 1150 despite the different card.");
+    rep.note("The hybrid routine must equal the better pure path at every size, with the direct path winning below the crossover and the packed path above it.");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    #[test]
+    fn hybrid_path_switches_with_size() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        let t = &rep.tables[0];
+        let first = t.rows.first().unwrap();
+        let last = t.rows.last().unwrap();
+        assert_eq!(first[4], "direct", "smallest size must use the direct path");
+        assert_eq!(last[4], "packed", "largest size must use the packed path");
+        // hybrid == max(packed, direct) row-wise.
+        for row in &t.rows {
+            let packed: f64 = row[1].parse().unwrap();
+            let direct: f64 = row[2].parse().unwrap();
+            let hybrid: f64 = row[3].parse().unwrap();
+            assert!(hybrid >= packed.max(direct) * 0.99, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn kepler_beats_kurzak_at_4096() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        let t = rep.tables.iter().find(|t| t.title.contains("Kurzak") || t.title.contains("Kepler")).unwrap();
+        let ours: f64 = t.rows[0][1].parse().unwrap();
+        let kurzak: f64 = t.rows[1][1].parse().unwrap();
+        // The full-space run clears 1150 (paper: 1340); quick mode's
+        // thinned space may land somewhat lower, so allow slack here.
+        assert!(ours > 0.8 * kurzak, "ours {ours} vs Kurzak {kurzak}");
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per paper table/figure.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod hybrid;
+pub mod paperparams;
+pub mod strategies;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Square sweep sizes used by the figure experiments, rounded to each
+/// kernel's LCM by the callee.
+pub(crate) fn sweep_sizes(max: usize, step: usize) -> Vec<usize> {
+    (1..).map(|i| i * step).take_while(|n| *n <= max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_sizes_cover_range() {
+        let s = super::sweep_sizes(6144, 512);
+        assert_eq!(s.first(), Some(&512));
+        assert_eq!(s.last(), Some(&6144));
+        assert_eq!(s.len(), 12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension experiment — sample-efficiency of alternative search
+//! strategies over the same candidate space (the paper measures every
+//! heuristically chosen variant; on real hardware that costs 5+ hours per
+//! device, so the evaluations-vs-quality trade-off matters).
+
+use crate::lab::{Lab, Quality};
+use crate::render::{gf, Report, TextTable};
+use clgemm::tuner::{tune_with_strategy, SearchSpace, Strategy};
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceId;
+
+/// Regenerate the strategy comparison.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "strategies",
+        "EXTENSION: search-strategy sample efficiency (exhaustive vs random/CD/annealing)",
+    );
+    let dev = DeviceId::Tahiti.spec();
+    // Quality is inferred from the lab's options (quick labs get the
+    // smoke space so tests stay fast).
+    let space = if lab.opts().top_k <= 8 {
+        SearchSpace::smoke(&dev)
+    } else {
+        SearchSpace::for_device(&dev)
+    };
+
+    let mut t = TextTable::new(
+        "Tahiti DGEMM, stage-1 objective",
+        &["Strategy", "best GF", "evaluations", "evals % of space", "GF % of exhaustive"],
+    );
+    let exhaustive = tune_with_strategy(&dev, Precision::F64, &space, Strategy::Exhaustive);
+    let budgeted = [
+        ("Exhaustive (paper)", Strategy::Exhaustive),
+        ("Random 1%", Strategy::Random { samples: exhaustive.space_size / 100 + 1, seed: 42 }),
+        ("Coordinate descent x4", Strategy::CoordinateDescent { restarts: 4, seed: 42 }),
+        ("Simulated annealing", Strategy::Anneal { iters: exhaustive.space_size / 100 + 1, seed: 42 }),
+    ];
+    for (name, strat) in budgeted {
+        let res = if matches!(strat, Strategy::Exhaustive) {
+            exhaustive.clone()
+        } else {
+            tune_with_strategy(&dev, Precision::F64, &space, strat)
+        };
+        t.row(vec![
+            name.to_string(),
+            gf(res.best.gflops),
+            res.evaluations.to_string(),
+            format!("{:.2}%", 100.0 * res.evaluations as f64 / res.space_size as f64),
+            format!("{:.1}%", 100.0 * res.best.gflops / exhaustive.best.gflops),
+        ]);
+    }
+    rep.table(t);
+    rep.note("Expected shape: coordinate descent reaches ~95-100% of the exhaustive optimum with well under 5% of the evaluations — the sample-efficiency argument behind search-based auto-tuners like ATLAS.");
+    let _ = Quality::Quick; // quality handled through the lab's options
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_table_is_consistent() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        let t = &rep.tables[0];
+        assert_eq!(t.rows.len(), 4);
+        // Exhaustive is 100 % of itself and uses 100 % of the space.
+        assert_eq!(t.rows[0][4], "100.0%");
+        assert_eq!(t.rows[0][3], "100.00%");
+        // No strategy exceeds the exhaustive optimum.
+        for row in &t.rows {
+            let pct: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(pct <= 100.0 + 1e-9, "{row:?}");
+            assert!(pct > 30.0, "strategy collapsed: {row:?}");
+        }
+        // Coordinate descent must be sample-efficient.
+        let cd_evals: f64 = t.rows[2][3].trim_end_matches('%').parse().unwrap();
+        assert!(cd_evals < 100.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Table I — processor specifications.
+
+use crate::render::{Report, TextTable};
+use clgemm_device::{all_devices, LocalMemType};
+
+/// Regenerate Table I from the device profiles.
+#[must_use]
+pub fn report() -> Report {
+    let mut rep = Report::new("table1", "Processor specification (Table I)");
+    let devices = all_devices();
+
+    let mut t = TextTable::new(
+        "Specifications",
+        &[
+            "Row",
+            "Tahiti",
+            "Cayman",
+            "Kepler",
+            "Fermi",
+            "Sandy Bridge",
+            "Bulldozer",
+        ],
+    );
+    let row = |label: &str, f: &dyn Fn(&clgemm_device::DeviceSpec) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(devices.iter().map(f));
+        cells
+    };
+    t.row(row("Product name", &|d| d.product_name.clone()));
+    t.row(row("Core clock [GHz]", &|d| format!("{}", d.clock_ghz)));
+    t.row(row("Compute units", &|d| d.compute_units.to_string()));
+    t.row(row("Max DP ops/clock", &|d| d.dp_ops_per_clock.to_string()));
+    t.row(row("Max SP ops/clock", &|d| d.sp_ops_per_clock.to_string()));
+    t.row(row("Peak DP [GFlop/s]", &|d| format!("{:.1}", d.peak_gflops(true))));
+    t.row(row("Peak SP [GFlop/s]", &|d| format!("{:.1}", d.peak_gflops(false))));
+    t.row(row("Global memory [GiB]", &|d| format!("{}", d.global_mem_gib)));
+    t.row(row("Peak bandwidth [GB/s]", &|d| format!("{}", d.global_bw_gbs)));
+    t.row(row("Local memory [KiB]", &|d| d.local_mem_kib.to_string()));
+    t.row(row("Local memory type", &|d| {
+        match d.local_mem_type {
+            LocalMemType::Scratchpad => "Scratchpad".to_string(),
+            LocalMemType::GlobalBacked => "Global".to_string(),
+        }
+    }));
+    t.row(row("OpenCL SDK", &|d| d.sdk.clone()));
+    rep.table(t);
+    rep.note("Values transcribed from Table I; peaks are clock x ops/clock at the listed clock (Kepler's boost is modelled separately).");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_peaks() {
+        let rep = report();
+        let text = rep.to_text();
+        // Computed as clock x ops/clock, so they carry one decimal; the
+        // paper's Table I rounds (947, 676, 665, 3789, 2703, 2916, 1331).
+        for expected in ["947.2", "675.8", "665.6", "158.4", "115.2", "3788.8", "2703.4", "2916.5", "1331.2", "316.8", "230.4"] {
+            assert!(text.contains(expected), "missing {expected} in:\n{text}");
+        }
+        assert!(text.contains("Scratchpad"));
+        assert!(text.contains("Global"));
+    }
+}

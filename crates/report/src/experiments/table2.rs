@@ -1,0 +1,117 @@
+//! Table II — parameters of the fastest kernel and the maximum
+//! performance per processor and precision.
+
+use crate::lab::Lab;
+use crate::render::{gf, pct, Report, TextTable};
+use clgemm::params::KernelParams;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::DeviceId;
+
+fn param_rows(t: &mut TextTable, entries: &[(DeviceId, KernelParams, f64, f64)]) {
+    let row = |label: &str, f: &dyn Fn(&KernelParams) -> String, extra: &dyn Fn(usize) -> Option<String>| {
+        let mut cells = vec![label.to_string()];
+        for (i, (_, p, _, _)) in entries.iter().enumerate() {
+            cells.push(extra(i).unwrap_or_else(|| f(p)));
+        }
+        cells
+    };
+    let none = |_: usize| -> Option<String> { None };
+    t.row(row("Mwg,Nwg,Kwg", &|p| format!("{},{},{}", p.mwg, p.nwg, p.kwg), &none));
+    t.row(row("Mwi,Nwi,Kwi", &|p| format!("{},{},{}", p.mwi(), p.nwi(), p.kwi), &none));
+    t.row(row("MdimC,NdimC", &|p| format!("{},{}", p.mdimc, p.ndimc), &none));
+    t.row(row("MdimA,KdimA", &|p| format!("{},{}", p.mdima, p.kdima()), &none));
+    t.row(row("KdimB,NdimB", &|p| format!("{},{}", p.kdimb(), p.ndimb), &none));
+    t.row(row("Vector width", &|p| p.vw.to_string(), &none));
+    t.row(row(
+        "Non-unit stride",
+        &|p| {
+            match (p.stride_m.is_non_unit(), p.stride_n.is_non_unit()) {
+                (true, true) => "M,N".into(),
+                (true, false) => "M".into(),
+                (false, true) => "N".into(),
+                (false, false) => "-".into(),
+            }
+        },
+        &none,
+    ));
+    t.row(row(
+        "Shared (local mem)",
+        &|p| {
+            match (p.local_a, p.local_b) {
+                (true, true) => "A,B".into(),
+                (true, false) => "A".into(),
+                (false, true) => "B".into(),
+                (false, false) => "-".into(),
+            }
+        },
+        &none,
+    ));
+    t.row(row("Layout A,B", &|p| format!("{},{}", p.layout_a.tag(), p.layout_b.tag()), &none));
+    t.row(row("Algorithm", &|p| p.algorithm.tag().to_string(), &none));
+    let gfrow: Vec<String> = std::iter::once("GFlop/s".to_string())
+        .chain(entries.iter().map(|(_, _, g, _)| gf(*g)))
+        .collect();
+    t.row(gfrow);
+    let effrow: Vec<String> = std::iter::once("Efficiency".to_string())
+        .chain(entries.iter().map(|(_, _, _, e)| pct(*e)))
+        .collect();
+    t.row(effrow);
+}
+
+/// Regenerate Table II.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new("table2", "Best kernel parameters and maximum performance (Table II)");
+    for precision in [Precision::F64, Precision::F32] {
+        let entries: Vec<_> = DeviceId::TABLE1
+            .iter()
+            .map(|id| {
+                let r = lab.best(*id, precision);
+                (*id, r.best.params, r.best.gflops, r.efficiency)
+            })
+            .collect();
+        let mut t = TextTable::new(
+            &format!("{precision}"),
+            &["Parameter", "Tahiti", "Cayman", "Kepler", "Fermi", "Sandy Bridge", "Bulldozer"],
+        );
+        param_rows(&mut t, &entries);
+        rep.table(t);
+    }
+    rep.note("Paper maxima: DGEMM 863/580/128/370/64/37 GFlop/s (91/86/105/56/40/32 % of listed peak); SGEMM 3047/2167/1440/896/140/87 (80/80/49/67/44/38 %). Kepler exceeds 100 % of its listed peak because the overclocked card boosts above the listed clock.");
+    rep.note("All winners use block-major layouts, reproducing the paper's key observation; the exact winning blocking factors are model-dependent and may differ from the paper's.");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    #[test]
+    fn table2_has_12_winners_with_block_major_layouts() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        assert_eq!(rep.tables.len(), 2);
+        for t in &rep.tables {
+            assert_eq!(t.headers.len(), 7);
+            let layout_row = t.rows.iter().find(|r| r[0] == "Layout A,B").unwrap();
+            for cell in &layout_row[1..] {
+                assert!(
+                    cell.contains("CBL") || cell.contains("RBL"),
+                    "winner should use block-major layouts, got {cell}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_row_is_sane() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        let eff_row = rep.tables[0].rows.iter().find(|r| r[0] == "Efficiency").unwrap();
+        for cell in &eff_row[1..] {
+            let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+            assert!(v > 5.0 && v < 140.0, "{cell}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Table III — maximum performance of the full GEMM routines (copy +
+//! kernel, column-major API) against vendor libraries, for all four GEMM
+//! types.
+
+use crate::lab::Lab;
+use crate::render::{gf, Report, TextTable};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_vendor::libraries_for;
+
+/// Maximum routine GFlop/s over the size sweep for one type.
+fn our_max(lab: &mut Lab, id: DeviceId, precision: Precision, ty: GemmType) -> f64 {
+    let tg = lab.tuned_gemm(id);
+    let dp = precision == Precision::F64;
+    let mut best = 0.0f64;
+    for n in [1024usize, 2048, 3072, 4096, 5120, 6144, 8192] {
+        best = best.max(tg.predict(dp, ty, n, n, n).gflops);
+    }
+    best
+}
+
+/// Regenerate Table III.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "table3",
+        "Maximum GFlop/s of our GEMM implementations vs vendor libraries, column-major (Table III)",
+    );
+    for precision in [Precision::F64, Precision::F32] {
+        let mut t = TextTable::new(
+            &format!("{precision}"),
+            &["Device", "Impl.", "NN", "NT", "TN", "TT"],
+        );
+        for id in DeviceId::TABLE1 {
+            let mut ours = vec![id.name().to_string(), "Ours".to_string()];
+            for ty in GemmType::ALL {
+                ours.push(gf(our_max(lab, id, precision, ty)));
+            }
+            t.row(ours);
+            for lib in libraries_for(id) {
+                if !lib.supports(precision) || lib.name.contains("ATLAS") {
+                    // ATLAS belongs to Fig. 11, not Table III.
+                    continue;
+                }
+                if lib.name.contains("MAGMA") {
+                    // MAGMA belongs to Fig. 10, not Table III.
+                    continue;
+                }
+                let mut row = vec![String::new(), lib.name.clone()];
+                for ty in GemmType::ALL {
+                    row.push(gf(lib.max_gflops(precision, ty)));
+                }
+                t.row(row);
+            }
+        }
+        rep.table(t);
+    }
+    rep.note("Paper shape: ours beats clBLAS on both AMD GPUs for every type; comparable to CUBLAS on NVIDIA; roughly half of MKL/ACML on the CPUs; our rows are nearly type-independent while clBLAS TN is the weak type.");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    fn parse_rows(lab: &mut Lab) -> Vec<(String, String, Vec<f64>)> {
+        let rep = report(lab);
+        let mut out = Vec::new();
+        let mut device = String::new();
+        for t in &rep.tables {
+            for row in &t.rows {
+                if !row[0].is_empty() {
+                    device = row[0].clone();
+                }
+                let vals: Vec<f64> = row[2..].iter().map(|c| c.parse().unwrap()).collect();
+                out.push((device.clone(), row[1].clone(), vals));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ours_beats_clblas_on_amd_gpus() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rows = parse_rows(&mut lab);
+        for dev in ["Tahiti", "Cayman"] {
+            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
+            let clblas = rows.iter().find(|(d, i, _)| d == dev && i.contains("clBLAS")).unwrap();
+            for (o, v) in ours.2.iter().zip(&clblas.2) {
+                assert!(o > v, "{dev}: ours {o} must beat clBLAS {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpus_lose_to_vendor_libraries() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rows = parse_rows(&mut lab);
+        for (dev, lib) in [("Sandy Bridge", "MKL"), ("Bulldozer", "ACML")] {
+            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
+            let vendor = rows.iter().find(|(d, i, _)| d == dev && i.contains(lib)).unwrap();
+            for (o, v) in ours.2.iter().zip(&vendor.2) {
+                assert!(o < v, "{dev}: ours {o} must trail {lib} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn our_rows_are_type_insensitive() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rows = parse_rows(&mut lab);
+        for (dev, imp, vals) in &rows {
+            if imp == "Ours" {
+                let max = vals.iter().cloned().fold(0.0, f64::max);
+                let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(max / min < 1.15, "{dev} ours spread too wide: {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparable_to_cublas_on_nvidia() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rows = parse_rows(&mut lab);
+        for dev in ["Kepler", "Fermi"] {
+            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
+            let cublas = rows.iter().find(|(d, i, _)| d == dev && i.contains("CUBLAS")).unwrap();
+            for (o, v) in ours.2.iter().zip(&cublas.2) {
+                let ratio = o / v;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{dev}: ours {o} vs CUBLAS {v} not comparable"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared tuning context for the experiments.
+//!
+//! Experiments share one [`Lab`], which lazily tunes each
+//! `(device, precision, space-restriction)` combination exactly once —
+//! the analogue of the paper's per-device five-hour tuning runs, which
+//! the deterministic timing model compresses to fractions of a second.
+
+use clgemm::params::Algorithm;
+use clgemm::tuner::{tune, SearchOpts, SearchSpace, TuningResult};
+use clgemm::routine::TunedGemm;
+use clgemm_blas::scalar::Precision;
+use clgemm_device::{DeviceId, DeviceSpec};
+use std::collections::BTreeMap;
+
+/// How thorough the searches should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Full default space (the paper-scale run; use `--release`).
+    Full,
+    /// Thinned space for tests and smoke runs.
+    Quick,
+}
+
+/// Space restrictions the experiments need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Restriction {
+    /// The unrestricted search (Table II / Fig. 7).
+    None,
+    /// Fixed algorithm (Fig. 8).
+    Algorithm(u8),
+    /// No local memory at all (§IV-A ablation).
+    NoLocal,
+    /// Row-major layouts only (§IV-A block-major ablation).
+    RowMajorOnly,
+}
+
+/// The shared context.
+pub struct Lab {
+    quality: Quality,
+    cache: BTreeMap<(String, bool, Restriction), TuningResult>,
+}
+
+impl Lab {
+    /// Create a lab at the given quality.
+    #[must_use]
+    pub fn new(quality: Quality) -> Lab {
+        Lab { quality, cache: BTreeMap::new() }
+    }
+
+    /// The search options experiments use.
+    #[must_use]
+    pub fn opts(&self) -> SearchOpts {
+        match self.quality {
+            Quality::Full => SearchOpts { verify_winner: false, max_sweep_points: 24, ..Default::default() },
+            Quality::Quick => SearchOpts {
+                top_k: 8,
+                max_sweep_points: 6,
+                verify_winner: false,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn space(&self, dev: &DeviceSpec, restriction: Restriction) -> SearchSpace {
+        let base = match self.quality {
+            Quality::Full => SearchSpace::for_device(dev),
+            Quality::Quick => SearchSpace::smoke(dev),
+        };
+        match restriction {
+            Restriction::None => base,
+            Restriction::Algorithm(i) => base.with_algorithm(Algorithm::ALL[i as usize]),
+            Restriction::NoLocal => base.with_locals(vec![(false, false)]),
+            Restriction::RowMajorOnly => base.with_layouts(vec![(
+                clgemm_blas::layout::BlockLayout::RowMajor,
+                clgemm_blas::layout::BlockLayout::RowMajor,
+            )]),
+        }
+    }
+
+    /// Tune (or fetch the cached result for) one combination.
+    pub fn tuned(
+        &mut self,
+        id: DeviceId,
+        precision: Precision,
+        restriction: Restriction,
+    ) -> &TuningResult {
+        let dev = id.spec();
+        let key = (dev.code_name.clone(), precision == Precision::F64, restriction);
+        if !self.cache.contains_key(&key) {
+            let space = self.space(&dev, restriction);
+            let res = tune(&dev, precision, &space, &self.opts());
+            self.cache.insert(key.clone(), res);
+        }
+        &self.cache[&key]
+    }
+
+    /// The unrestricted winner for a device/precision.
+    pub fn best(&mut self, id: DeviceId, precision: Precision) -> &TuningResult {
+        self.tuned(id, precision, Restriction::None)
+    }
+
+    /// A [`TunedGemm`] bundle for the device's unrestricted winners.
+    pub fn tuned_gemm(&mut self, id: DeviceId) -> TunedGemm {
+        let d = self.best(id, Precision::F64).best.params;
+        let s = self.best(id, Precision::F32).best.params;
+        TunedGemm::new(id.spec(), d, s)
+    }
+
+    /// Restriction handle for an algorithm (helper around the enum's
+    /// index encoding).
+    #[must_use]
+    pub fn algo_restriction(alg: Algorithm) -> Restriction {
+        let idx = Algorithm::ALL.iter().position(|a| *a == alg).expect("algorithm in ALL") as u8;
+        Restriction::Algorithm(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_caches_results() {
+        let mut lab = Lab::new(Quality::Quick);
+        let g1 = lab.best(DeviceId::Tahiti, Precision::F64).best.gflops;
+        let g2 = lab.best(DeviceId::Tahiti, Precision::F64).best.gflops;
+        assert_eq!(g1, g2);
+        assert_eq!(lab.cache.len(), 1);
+    }
+
+    #[test]
+    fn restrictions_produce_different_searches() {
+        let mut lab = Lab::new(Quality::Quick);
+        let full = lab.best(DeviceId::Tahiti, Precision::F32).best.gflops;
+        let no_local = lab
+            .tuned(DeviceId::Tahiti, Precision::F32, Restriction::NoLocal)
+            .best
+            .gflops;
+        // The restricted search can never beat the unrestricted one.
+        assert!(no_local <= full + 1e-9);
+        assert_eq!(lab.cache.len(), 2);
+    }
+
+    #[test]
+    fn tuned_gemm_bundle_built_from_lab() {
+        let mut lab = Lab::new(Quality::Quick);
+        let tg = lab.tuned_gemm(DeviceId::Fermi);
+        assert_eq!(tg.device().code_name, "Fermi");
+    }
+
+    #[test]
+    fn algo_restriction_round_trips() {
+        assert_eq!(Lab::algo_restriction(Algorithm::Ba), Restriction::Algorithm(0));
+        assert_eq!(Lab::algo_restriction(Algorithm::Db), Restriction::Algorithm(2));
+    }
+}

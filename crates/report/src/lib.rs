@@ -1,0 +1,82 @@
+//! Experiment registry: regenerates every table and figure of the paper.
+//!
+//! Each experiment module produces a [`Report`] — one or more text/CSV
+//! tables plus notes — from the same library APIs a user would call. The
+//! `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p clgemm-report --bin repro -- all
+//! cargo run --release -p clgemm-report --bin repro -- table2 fig9 --quick
+//! ```
+//!
+//! | experiment | paper artefact |
+//! |---|---|
+//! | `table1` | Table I — processor specifications |
+//! | `fig7` | Fig. 7 — fastest-kernel GFlop/s vs N (DGEMM + SGEMM) |
+//! | `table2` | Table II — best parameters and maximum performance |
+//! | `fig8` | Fig. 8 — relative performance of BA/PL/DB |
+//! | `table3` | Table III — routine maxima vs vendor libraries |
+//! | `fig9` | Fig. 9 — Tahiti routine vs clBLAS vs previous study |
+//! | `fig10` | Fig. 10 — Fermi/Kepler vs CUBLAS/MAGMA |
+//! | `fig11` | Fig. 11 — Sandy Bridge DGEMM vs MKL/ATLAS |
+//! | `ablations` | §IV-A text — local memory, layouts, pow2 cliff, Cypress |
+//! | `hybrid` | EXTENSION: §V future work — copy-free small-size kernel |
+//! | `strategies` | EXTENSION: search-strategy sample efficiency |
+//! | `paperparams` | EXTENSION: the paper's Table II winners replayed in the model |
+
+pub mod experiments;
+pub mod lab;
+pub mod plot;
+pub mod render;
+
+pub use lab::{Lab, Quality};
+pub use plot::{ascii_chart, Series};
+pub use render::{Report, TextTable};
+
+/// Names of all experiments in paper order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "table1", "fig7", "table2", "fig8", "table3", "fig9", "fig10", "fig11", "ablations", "hybrid",
+    "strategies", "paperparams",
+];
+
+/// Run one experiment by name.
+pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
+    Some(match name {
+        "table1" => experiments::table1::report(),
+        "fig7" => experiments::fig7::report(lab),
+        "table2" => experiments::table2::report(lab),
+        "fig8" => experiments::fig8::report(lab),
+        "table3" => experiments::table3::report(lab),
+        "fig9" => experiments::fig9::report(lab),
+        "fig10" => experiments::fig10::report(lab),
+        "fig11" => experiments::fig11::report(lab),
+        "ablations" => experiments::ablations::report(lab),
+        "hybrid" => experiments::hybrid::report(lab),
+        "strategies" => experiments::strategies::report(lab),
+        "paperparams" => experiments::paperparams::report(lab),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_experiment_runs_in_quick_mode() {
+        let mut lab = Lab::new(Quality::Quick);
+        for name in ALL_EXPERIMENTS {
+            let rep = run_experiment(name, &mut lab)
+                .unwrap_or_else(|| panic!("experiment {name} missing"));
+            assert!(!rep.tables.is_empty(), "{name} produced no tables");
+            let text = rep.to_text();
+            assert!(text.len() > 100, "{name} output suspiciously short");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        let mut lab = Lab::new(Quality::Quick);
+        assert!(run_experiment("fig99", &mut lab).is_none());
+    }
+}

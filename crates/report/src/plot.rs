@@ -1,0 +1,168 @@
+//! Minimal ASCII line charts for the figure experiments.
+//!
+//! The paper's figures are performance-vs-size curves; rendering them as
+//! text keeps `repro` self-contained (no plotting dependencies) while
+//! still showing curve shapes — saturation, crossover, cliffs — at a
+//! glance.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.to_string(), points }
+    }
+}
+
+/// Render series into a `width × height` character grid with a y-axis
+/// scale and a per-series glyph legend.
+#[must_use]
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (width, height) = (width.max(16), height.max(4));
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_max_v,) = (f64::NEG_INFINITY,);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_max_v = y_max_v.max(*y);
+    }
+    let y_min = 0.0; // performance charts start at zero, like the paper's
+    let y_max = if y_max_v <= y_min { y_min + 1.0 } else { y_max_v };
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = y_max - y_min;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            grid[r][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, rowchars) in grid.iter().enumerate() {
+        // Y-axis label on the top, middle and bottom rows.
+        let yv = y_max - (r as f64 / (height - 1) as f64) * y_span;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{yv:>8.0} |")
+        } else {
+            format!("{:>8} |", "")
+        };
+        out.push_str(&label);
+        out.extend(rowchars.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>10}{:<.0}{}{:>.0}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>10}{} = {}\n", "", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+/// Build a chart from a [`crate::render::TextTable`] whose first column
+/// is numeric X and remaining columns are numeric series (the shape all
+/// figure experiments produce).
+#[must_use]
+pub fn chart_from_table(title: &str, t: &crate::render::TextTable, width: usize, height: usize) -> String {
+    let series: Vec<Series> = (1..t.headers.len())
+        .filter_map(|j| {
+            let pts: Vec<(f64, f64)> = t
+                .rows
+                .iter()
+                .filter_map(|r| Some((r[0].parse::<f64>().ok()?, r[j].parse::<f64>().ok()?)))
+                .collect();
+            if pts.is_empty() {
+                None
+            } else {
+                Some(Series { name: t.headers[j].clone(), points: pts })
+            }
+        })
+        .collect();
+    ascii_chart(title, &series, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series::new("linear", (0..10).map(|i| (i as f64, 10.0 * i as f64)).collect()),
+            Series::new("flat", (0..10).map(|i| (i as f64, 42.0)).collect()),
+        ]
+    }
+
+    #[test]
+    fn chart_contains_title_legend_and_glyphs() {
+        let c = ascii_chart("Demo", &demo(), 40, 10);
+        assert!(c.starts_with("Demo\n"));
+        assert!(c.contains("* = linear"));
+        assert!(c.contains("o = flat"));
+        assert!(c.contains('*') && c.contains('o'));
+    }
+
+    #[test]
+    fn y_axis_spans_zero_to_max() {
+        let c = ascii_chart("Demo", &demo(), 40, 10);
+        let first_label = c.lines().nth(1).unwrap();
+        assert!(first_label.trim_start().starts_with("90"), "{first_label}");
+        assert!(c.contains("       0 |"), "bottom row is zero");
+    }
+
+    #[test]
+    fn empty_series_render_gracefully() {
+        let c = ascii_chart("Empty", &[Series::new("none", vec![])], 40, 10);
+        assert!(c.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let c = ascii_chart("One", &[Series::new("pt", vec![(5.0, 5.0)])], 30, 6);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let c = ascii_chart(
+            "NaN",
+            &[Series::new("s", vec![(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0)])],
+            30,
+            6,
+        );
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn monotone_series_rises_left_to_right() {
+        let c = ascii_chart("Rise", &[Series::new("r", (0..20).map(|i| (i as f64, i as f64)).collect())], 40, 8);
+        // The topmost data row's glyph must be to the right of the
+        // bottom-most data row's glyph.
+        let rows: Vec<&str> = c.lines().skip(1).take(8).collect();
+        let top_col = rows.first().unwrap().find('*');
+        let bottom_col = rows.last().unwrap().find('*');
+        if let (Some(t), Some(b)) = (top_col, bottom_col) {
+            assert!(t > b, "top {t} vs bottom {b}");
+        }
+    }
+}

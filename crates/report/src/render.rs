@@ -1,0 +1,215 @@
+//! Plain-text and CSV rendering of experiment outputs.
+
+/// One table of an experiment's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    /// Caption shown above the table.
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width disagrees with the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {:?}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full experiment output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Experiment id (e.g. "fig7").
+    pub id: String,
+    /// Human title (e.g. "Fig. 7 — ...").
+    pub title: String,
+    pub tables: Vec<TextTable>,
+    /// Free-form observations, including paper-vs-measured commentary.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start an empty report.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Report {
+        Report { id: id.to_string(), title: title.to_string(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Append a table.
+    pub fn table(&mut self, t: TextTable) {
+        self.tables.push(t);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render everything as text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_text());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Write each table as `<dir>/<id>_<index>.csv`.
+    pub fn write_csvs(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{}.csv", self.id, i));
+            std::fs::write(&path, t.to_csv())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// Format GFlop/s compactly.
+#[must_use]
+pub fn gf(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Format an efficiency as a percentage.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new("Sample", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("## Sample"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header, rule, two rows
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("a    bb"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new("x", &["a"]);
+        t.row(vec!["hello, world".into()]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_width_panics() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn report_renders_tables_and_notes() {
+        let mut r = Report::new("t", "Title");
+        r.table(sample());
+        r.note("hello");
+        let text = r.to_text();
+        assert!(text.contains("# t — Title"));
+        assert!(text.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let mut r = Report::new("unit_csv", "x");
+        r.table(sample());
+        let dir = std::env::temp_dir().join("clgemm_csv_test");
+        let paths = r.write_csvs(&dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.starts_with("a,bb"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(gf(863.4), "863");
+        assert_eq!(gf(37.25), "37.2");
+        assert_eq!(pct(0.911), "91%");
+    }
+}

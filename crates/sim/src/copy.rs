@@ -1,0 +1,101 @@
+//! Device-side copy/pack cost model.
+//!
+//! The paper's GEMM routines copy matrices into block-major staging
+//! buffers in device global memory before the fast `AᵀB` kernel runs
+//! (§III-D). The copy is `O(N²)` bandwidth-bound work; charging for it is
+//! what makes the full routine slow at small `N` (Figs. 9–11) while the
+//! bare kernel (Fig. 7) is not. This module prices such copies.
+
+use clgemm_device::DeviceSpec;
+
+/// Cost breakdown of a device-side copy/pack operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Bytes read from global memory.
+    pub bytes_read: usize,
+    /// Bytes written to global memory.
+    pub bytes_written: usize,
+}
+
+/// Time for a device-side copy moving `bytes_read` in and `bytes_written`
+/// out of global memory with the given coalescing efficiency on the read
+/// stream (packing a row-major matrix into a block-major layout reads
+/// strided and writes sequentially, or vice versa for transposition).
+#[must_use]
+pub fn copy_time(dev: &DeviceSpec, bytes_read: usize, bytes_written: usize, read_eff: f64) -> CopyCost {
+    let bw_cycles = dev.dram_bytes_per_cycle();
+    let eff = read_eff.clamp(0.05, 1.0);
+    let cycles = bytes_read as f64 / (bw_cycles * eff) + bytes_written as f64 / bw_cycles;
+    let launch = dev.micro.launch_overhead_us * 1e-6;
+    CopyCost {
+        seconds: dev.cycles_to_seconds(cycles) + launch,
+        bytes_read,
+        bytes_written,
+    }
+}
+
+/// Time to pack one `k × width` operand (element size `elem_bytes`) into
+/// a padded `kp × wp` staging buffer, including a transposition if
+/// `transposed` (transposed reads have poor spatial locality → lower read
+/// efficiency).
+#[must_use]
+pub fn pack_time(
+    dev: &DeviceSpec,
+    k: usize,
+    width: usize,
+    kp: usize,
+    wp: usize,
+    elem_bytes: usize,
+    transposed: bool,
+) -> CopyCost {
+    // Layout-change copies walk the source with large strides (the user
+    // matrix is column-major, the destination block-major); transposing
+    // copies are strided on both sides. Measured GEMM-library packing
+    // kernels reach only a few percent of peak bandwidth here, which is
+    // what makes the paper's routine slow at small N (Figs. 9-11).
+    let read_eff = if transposed { 0.07 } else { 0.20 };
+    copy_time(dev, k * width * elem_bytes, kp * wp * elem_bytes, read_eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_device::DeviceId;
+
+    #[test]
+    fn copy_time_scales_with_bytes() {
+        let dev = DeviceId::Tahiti.spec();
+        let small = copy_time(&dev, 1 << 20, 1 << 20, 1.0);
+        let big = copy_time(&dev, 1 << 26, 1 << 26, 1.0);
+        // Not a full 64x: the fixed launch overhead dilutes the ratio.
+        assert!(big.seconds > small.seconds * 10.0, "{} vs {}", big.seconds, small.seconds);
+    }
+
+    #[test]
+    fn transposed_packing_is_slower() {
+        let dev = DeviceId::Tahiti.spec();
+        let straight = pack_time(&dev, 4096, 4096, 4096, 4096, 8, false);
+        let transposed = pack_time(&dev, 4096, 4096, 4096, 4096, 8, true);
+        assert!(transposed.seconds > straight.seconds);
+    }
+
+    #[test]
+    fn copy_cost_is_o_n2_vs_kernel_o_n3() {
+        // At N=4096 on Tahiti, packing two operands must be well under
+        // the ~0.15 s the DGEMM kernel itself needs — the amortisation
+        // argument of §IV-B.
+        let dev = DeviceId::Tahiti.spec();
+        let n = 4096usize;
+        let one = pack_time(&dev, n, n, n, n, 8, true);
+        assert!(one.seconds < 0.02, "pack time {} too large", one.seconds);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_copies() {
+        let dev = DeviceId::Tahiti.spec();
+        let tiny = copy_time(&dev, 64, 64, 1.0);
+        assert!(tiny.seconds >= dev.micro.launch_overhead_us * 1e-6);
+    }
+}

@@ -1,0 +1,84 @@
+//! Runtime-level error type, playing the role of OpenCL status codes.
+
+use clgemm_clc::{CompileError, RuntimeError};
+use clgemm_device::OccupancyError;
+
+/// Anything that can go wrong between `clCreateBuffer` and `clFinish`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClError {
+    /// Program build failed (`CL_BUILD_PROGRAM_FAILURE`).
+    BuildFailed(CompileError),
+    /// Device global memory exhausted (`CL_MEM_OBJECT_ALLOCATION_FAILURE`).
+    OutOfMemory { requested: usize, available: usize },
+    /// Bad buffer handle or precision mismatch (`CL_INVALID_MEM_OBJECT`).
+    InvalidBuffer(String),
+    /// No kernel of that name in the program (`CL_INVALID_KERNEL_NAME`).
+    NoSuchKernel(String),
+    /// Kernel execution failed in the VM.
+    Runtime(RuntimeError),
+    /// The kernel cannot be scheduled on the device (resources).
+    Occupancy(OccupancyError),
+    /// A timing-only launch without a launch profile to feed the model.
+    MissingProfile,
+    /// Invalid launch geometry (`CL_INVALID_WORK_GROUP_SIZE`).
+    BadLaunch(String),
+}
+
+impl std::fmt::Display for ClError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClError::BuildFailed(e) => write!(f, "program build failed: {e}"),
+            ClError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested} B, {available} B free")
+            }
+            ClError::InvalidBuffer(m) => write!(f, "invalid buffer: {m}"),
+            ClError::NoSuchKernel(n) => write!(f, "no kernel named {n:?}"),
+            ClError::Runtime(e) => write!(f, "kernel execution failed: {e}"),
+            ClError::Occupancy(e) => write!(f, "kernel cannot launch: {e}"),
+            ClError::MissingProfile => {
+                write!(f, "timing-only launch requires a kernel launch profile")
+            }
+            ClError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+impl From<CompileError> for ClError {
+    fn from(e: CompileError) -> Self {
+        ClError::BuildFailed(e)
+    }
+}
+
+impl From<RuntimeError> for ClError {
+    fn from(e: RuntimeError) -> Self {
+        ClError::Runtime(e)
+    }
+}
+
+impl From<OccupancyError> for ClError {
+    fn from(e: OccupancyError) -> Self {
+        ClError::Occupancy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_clc::CompileError;
+    use clgemm_clc::RuntimeError;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ClError = CompileError::new(Default::default(), "boom").into();
+        assert!(matches!(e, ClError::BuildFailed(_)));
+        assert!(e.to_string().contains("boom"));
+
+        let e: ClError = RuntimeError::BadArguments("x".into()).into();
+        assert!(matches!(e, ClError::Runtime(_)));
+
+        let e = ClError::OutOfMemory { requested: 10, available: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,28 @@
+//! An OpenCL-like runtime over the simulated devices.
+//!
+//! Mirrors the host-side object model the paper describes in §II —
+//! platform → devices → context → command queue → buffers → programs →
+//! kernels → NDRange launches — backed by:
+//!
+//! * the [`clgemm_clc`] compiler/VM for *functional* execution (true
+//!   work-group semantics, race detection, bounds checks), and
+//! * the [`clgemm_device`] analytic timing model for *performance*
+//!   "measurement" (a deterministic stand-in for wall-clock timing on the
+//!   paper's hardware).
+//!
+//! A [`CommandQueue`] keeps a virtual clock: every enqueued operation
+//! advances it by the model's estimate, and [`Event`]s expose
+//! start/end times the way OpenCL profiling events do. The tuner
+//! "measures" kernels by reading those events.
+
+pub mod copy;
+pub mod error;
+pub mod runtime;
+pub mod transfer;
+
+pub use copy::{copy_time, pack_time, CopyCost};
+pub use transfer::{gflops_with_transfers, transfer_time, Direction};
+pub use error::ClError;
+pub use runtime::{
+    BufferId, CommandQueue, Context, Event, ExecMode, KernelArg, Platform, SimDevice, SimProgram,
+};

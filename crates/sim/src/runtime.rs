@@ -1,0 +1,713 @@
+//! Platform / context / queue / buffer / program objects.
+
+use crate::error::ClError;
+use clgemm_clc::{Arg, BufData, ExecOptions, NdRange, Program};
+use clgemm_clc::vm::DynStats;
+use clgemm_device::{estimate, DeviceId, DeviceSpec, KernelLaunchProfile, TimingEstimate};
+
+/// The simulated OpenCL platform: all built-in devices.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    devices: Vec<SimDevice>,
+}
+
+impl Platform {
+    /// Platform exposing the six Table I processors.
+    #[must_use]
+    pub fn table1() -> Platform {
+        Platform { devices: DeviceId::TABLE1.iter().map(|id| SimDevice::new(id.spec())).collect() }
+    }
+
+    /// Platform exposing every built-in profile (incl. Cypress).
+    #[must_use]
+    pub fn all() -> Platform {
+        Platform { devices: DeviceId::ALL.iter().map(|id| SimDevice::new(id.spec())).collect() }
+    }
+
+    /// Devices on the platform.
+    #[must_use]
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Find a device by code name.
+    #[must_use]
+    pub fn device(&self, name: &str) -> Option<&SimDevice> {
+        self.devices.iter().find(|d| d.spec().code_name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A device handle.
+#[derive(Debug, Clone)]
+pub struct SimDevice {
+    spec: DeviceSpec,
+}
+
+impl SimDevice {
+    /// Wrap a specification (built-in or custom) as a device.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> SimDevice {
+        SimDevice { spec }
+    }
+
+    /// The device specification.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Create a context on this device.
+    #[must_use]
+    pub fn create_context(&self) -> Context {
+        Context { device: self.spec.clone(), bufs: Vec::new(), mem_used: 0 }
+    }
+}
+
+/// Handle to a device buffer, typed by element precision at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// A context: owns device buffers and tracks memory usage against the
+/// device's global memory capacity.
+#[derive(Debug)]
+pub struct Context {
+    device: DeviceSpec,
+    bufs: Vec<BufData>,
+    mem_used: usize,
+}
+
+impl Context {
+    /// The device this context belongs to.
+    #[must_use]
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn mem_used(&self) -> usize {
+        self.mem_used
+    }
+
+    fn alloc(&mut self, data: BufData, bytes: usize) -> Result<BufferId, ClError> {
+        let cap = self.device.global_mem_bytes();
+        if self.mem_used + bytes > cap {
+            return Err(ClError::OutOfMemory { requested: bytes, available: cap - self.mem_used });
+        }
+        self.mem_used += bytes;
+        self.bufs.push(data);
+        Ok(BufferId(self.bufs.len() - 1))
+    }
+
+    /// Allocate an `f64` buffer of `len` elements, zero-filled.
+    pub fn create_buffer_f64(&mut self, len: usize) -> Result<BufferId, ClError> {
+        self.alloc(BufData::F64(vec![0.0; len]), len * 8)
+    }
+
+    /// Allocate an `f32` buffer of `len` elements, zero-filled.
+    pub fn create_buffer_f32(&mut self, len: usize) -> Result<BufferId, ClError> {
+        self.alloc(BufData::F32(vec![0.0; len]), len * 4)
+    }
+
+    /// Write host data into a buffer (`clEnqueueWriteBuffer`, blocking).
+    pub fn write_f64(&mut self, id: BufferId, data: &[f64]) -> Result<(), ClError> {
+        match self.bufs.get_mut(id.0) {
+            Some(BufData::F64(v)) if v.len() == data.len() => {
+                v.copy_from_slice(data);
+                Ok(())
+            }
+            Some(BufData::F64(v)) => Err(ClError::InvalidBuffer(format!(
+                "length mismatch: buffer {} vs host {}",
+                v.len(),
+                data.len()
+            ))),
+            _ => Err(ClError::InvalidBuffer("not an f64 buffer".into())),
+        }
+    }
+
+    /// Write host data into an `f32` buffer.
+    pub fn write_f32(&mut self, id: BufferId, data: &[f32]) -> Result<(), ClError> {
+        match self.bufs.get_mut(id.0) {
+            Some(BufData::F32(v)) if v.len() == data.len() => {
+                v.copy_from_slice(data);
+                Ok(())
+            }
+            Some(BufData::F32(v)) => Err(ClError::InvalidBuffer(format!(
+                "length mismatch: buffer {} vs host {}",
+                v.len(),
+                data.len()
+            ))),
+            _ => Err(ClError::InvalidBuffer("not an f32 buffer".into())),
+        }
+    }
+
+    /// Read a buffer back (`clEnqueueReadBuffer`, blocking).
+    pub fn read_f64(&self, id: BufferId) -> Result<&[f64], ClError> {
+        match self.bufs.get(id.0) {
+            Some(BufData::F64(v)) => Ok(v),
+            _ => Err(ClError::InvalidBuffer("not an f64 buffer".into())),
+        }
+    }
+
+    /// Read an `f32` buffer back.
+    pub fn read_f32(&self, id: BufferId) -> Result<&[f32], ClError> {
+        match self.bufs.get(id.0) {
+            Some(BufData::F32(v)) => Ok(v),
+            _ => Err(ClError::InvalidBuffer("not an f32 buffer".into())),
+        }
+    }
+
+    /// Free a buffer (handles stay valid indices; freed slots become
+    /// zero-length).
+    pub fn release(&mut self, id: BufferId) -> Result<(), ClError> {
+        match self.bufs.get_mut(id.0) {
+            Some(b) => {
+                let bytes = match b {
+                    BufData::F32(v) => v.len() * 4,
+                    BufData::F64(v) => v.len() * 8,
+                    BufData::I32(v) => v.len() * 4,
+                };
+                self.mem_used -= bytes;
+                *b = BufData::F32(Vec::new());
+                Ok(())
+            }
+            None => Err(ClError::InvalidBuffer(format!("no buffer {id:?}"))),
+        }
+    }
+
+    /// Build a program for this context's device (`clBuildProgram`).
+    pub fn build_program(&self, source: &str) -> Result<SimProgram, ClError> {
+        let program = Program::compile(source)?;
+        Ok(SimProgram { program })
+    }
+}
+
+/// A built program.
+#[derive(Debug, Clone)]
+pub struct SimProgram {
+    program: Program,
+}
+
+impl SimProgram {
+    /// The underlying compiled program.
+    #[must_use]
+    pub fn inner(&self) -> &Program {
+        &self.program
+    }
+
+    /// Kernel names in the program.
+    pub fn kernel_names(&self) -> impl Iterator<Item = &str> {
+        self.program.kernel_names()
+    }
+}
+
+/// Kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    I32(i32),
+    F32(f32),
+    F64(f64),
+    Buf(BufferId),
+}
+
+/// How to execute an enqueued kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run the kernel in the VM (functional result) and, when a profile
+    /// is supplied, also produce a timing estimate.
+    Functional { detect_races: bool },
+    /// Skip execution; only run the timing model (requires a profile).
+    /// This is how the tuner "measures" tens of thousands of kernels.
+    TimingOnly,
+}
+
+/// A completed operation with OpenCL-profiling-style timestamps (virtual
+/// seconds since queue creation).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Kernel or operation name.
+    pub name: String,
+    /// Queue-relative start time in seconds.
+    pub start: f64,
+    /// Queue-relative end time in seconds.
+    pub end: f64,
+    /// Timing-model detail, when a profile was supplied.
+    pub estimate: Option<TimingEstimate>,
+    /// Dynamic instruction statistics, when the kernel actually ran.
+    pub stats: Option<DynStats>,
+}
+
+impl Event {
+    /// Duration in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An in-order command queue with a virtual clock.
+#[derive(Debug, Default)]
+pub struct CommandQueue {
+    clock: f64,
+    events: Vec<Event>,
+}
+
+impl CommandQueue {
+    /// A fresh queue with the clock at zero.
+    #[must_use]
+    pub fn new() -> CommandQueue {
+        CommandQueue::default()
+    }
+
+    /// All events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Virtual time consumed so far (`clFinish` + profiling).
+    #[must_use]
+    pub fn finish(&self) -> f64 {
+        self.clock
+    }
+
+    /// Enqueue an NDRange kernel launch.
+    ///
+    /// `profile` feeds the timing model; it is required for
+    /// [`ExecMode::TimingOnly`] and optional (but recommended) for
+    /// functional runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue_kernel(
+        &mut self,
+        ctx: &mut Context,
+        prog: &SimProgram,
+        kernel_name: &str,
+        nd: NdRange,
+        args: &[KernelArg],
+        profile: Option<&KernelLaunchProfile>,
+        mode: ExecMode,
+    ) -> Result<&Event, ClError> {
+        let kernel = prog
+            .program
+            .kernel(kernel_name)
+            .ok_or_else(|| ClError::NoSuchKernel(kernel_name.to_string()))?;
+
+        // Device capability checks the real runtime would perform.
+        let wg = nd.local[0] * nd.local[1];
+        if wg > ctx.device.micro.max_wg_size {
+            return Err(ClError::BadLaunch(format!(
+                "work-group size {wg} exceeds device maximum {}",
+                ctx.device.micro.max_wg_size
+            )));
+        }
+        if kernel.local_mem_bytes() > ctx.device.local_mem_bytes() {
+            return Err(ClError::BadLaunch(format!(
+                "kernel needs {} B local memory, device has {}",
+                kernel.local_mem_bytes(),
+                ctx.device.local_mem_bytes()
+            )));
+        }
+
+        let estimate_result = match profile {
+            Some(p) => Some(estimate(&ctx.device, p)?),
+            None => None,
+        };
+
+        let stats = match mode {
+            ExecMode::TimingOnly => {
+                if estimate_result.is_none() {
+                    return Err(ClError::MissingProfile);
+                }
+                None
+            }
+            ExecMode::Functional { detect_races } => {
+                let cl_args: Vec<Arg> = args
+                    .iter()
+                    .map(|a| match a {
+                        KernelArg::I32(v) => Arg::I32(*v),
+                        KernelArg::F32(v) => Arg::F32(*v),
+                        KernelArg::F64(v) => Arg::F64(*v),
+                        KernelArg::Buf(id) => Arg::Buf(id.0),
+                    })
+                    .collect();
+                // The VM addresses buffers positionally among the
+                // kernel's pointer parameters; remap context buffers into
+                // a dense scratch slice in argument order.
+                let buf_ids: Vec<usize> = args
+                    .iter()
+                    .filter_map(|a| match a {
+                        KernelArg::Buf(id) => Some(id.0),
+                        _ => None,
+                    })
+                    .collect();
+                let mut dense: Vec<BufData> = Vec::with_capacity(buf_ids.len());
+                for id in &buf_ids {
+                    let b = ctx
+                        .bufs
+                        .get(*id)
+                        .ok_or_else(|| ClError::InvalidBuffer(format!("no buffer index {id}")))?;
+                    dense.push(b.clone());
+                }
+                let mut dense_args = Vec::with_capacity(cl_args.len());
+                let mut next_buf = 0usize;
+                for a in cl_args {
+                    dense_args.push(match a {
+                        Arg::Buf(_) => {
+                            let v = Arg::Buf(next_buf);
+                            next_buf += 1;
+                            v
+                        }
+                        other => other,
+                    });
+                }
+                let opts = ExecOptions { detect_races, ..Default::default() };
+                let stats = kernel.launch(nd, &dense_args, &mut dense, &opts)?;
+                for (slot, id) in buf_ids.iter().enumerate() {
+                    ctx.bufs[*id] = std::mem::replace(&mut dense[slot], BufData::F32(Vec::new()));
+                }
+                Some(stats)
+            }
+        };
+
+        let duration = estimate_result.as_ref().map(|e| e.seconds).unwrap_or(0.0);
+        let start = self.clock;
+        self.clock += duration;
+        self.events.push(Event {
+            name: kernel_name.to_string(),
+            start,
+            end: self.clock,
+            estimate: estimate_result,
+            stats,
+        });
+        Ok(self.events.last().expect("just pushed"))
+    }
+
+    /// Enqueue a device-side copy with the given cost (the GEMM routine
+    /// layer uses this to charge packing time).
+    pub fn enqueue_copy(&mut self, name: &str, cost: crate::copy::CopyCost) -> &Event {
+        let start = self.clock;
+        self.clock += cost.seconds;
+        self.events.push(Event {
+            name: name.to_string(),
+            start,
+            end: self.clock,
+            estimate: None,
+            stats: None,
+        });
+        self.events.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = r#"
+        __kernel void saxpy(__global const float* x, __global float* y, float a, int n) {
+            int i = get_global_id(0);
+            if (i < n) { y[i] = mad(a, x[i], y[i]); }
+        }
+    "#;
+
+    #[test]
+    fn platform_lists_table1_devices() {
+        let p = Platform::table1();
+        assert_eq!(p.devices().len(), 6);
+        assert!(p.device("tahiti").is_some());
+        assert!(p.device("cypress").is_none());
+        assert!(Platform::all().device("cypress").is_some());
+    }
+
+    #[test]
+    fn functional_launch_computes_saxpy() {
+        let platform = Platform::table1();
+        let dev = platform.device("Tahiti").unwrap();
+        let mut ctx = dev.create_context();
+        let prog = ctx.build_program(SAXPY).unwrap();
+        let x = ctx.create_buffer_f32(8).unwrap();
+        let y = ctx.create_buffer_f32(8).unwrap();
+        ctx.write_f32(x, &[1.0; 8]).unwrap();
+        ctx.write_f32(y, &[2.0; 8]).unwrap();
+        let mut q = CommandQueue::new();
+        let ev = q
+            .enqueue_kernel(
+                &mut ctx,
+                &prog,
+                "saxpy",
+                NdRange::d1(8, 4),
+                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(3.0), KernelArg::I32(8)],
+                None,
+                ExecMode::Functional { detect_races: true },
+            )
+            .unwrap();
+        assert!(ev.stats.is_some());
+        assert_eq!(ctx.read_f32(y).unwrap(), &[5.0; 8]);
+    }
+
+    #[test]
+    fn build_failure_is_reported() {
+        let dev = SimDevice::new(DeviceId::Fermi.spec());
+        let ctx = dev.create_context();
+        let err = ctx.build_program("__kernel void k(__global int* x){ x[0] = }").unwrap_err();
+        assert!(matches!(err, ClError::BuildFailed(_)));
+    }
+
+    #[test]
+    fn allocation_respects_device_memory() {
+        let dev = SimDevice::new(DeviceId::Cayman.spec()); // 1 GiB
+        let mut ctx = dev.create_context();
+        // 2 GiB of doubles must fail.
+        let err = ctx.create_buffer_f64(2 * (1 << 27)).unwrap_err();
+        assert!(matches!(err, ClError::OutOfMemory { .. }));
+        // Release returns memory.
+        let ok = ctx.create_buffer_f64(1 << 24).unwrap();
+        let used = ctx.mem_used();
+        ctx.release(ok).unwrap();
+        assert!(ctx.mem_used() < used);
+    }
+
+    #[test]
+    fn oversize_work_group_rejected_at_enqueue() {
+        let platform = Platform::table1();
+        let dev = platform.device("Tahiti").unwrap(); // max wg 256
+        let mut ctx = dev.create_context();
+        let prog = ctx.build_program(SAXPY).unwrap();
+        let x = ctx.create_buffer_f32(1024).unwrap();
+        let y = ctx.create_buffer_f32(1024).unwrap();
+        let mut q = CommandQueue::new();
+        let err = q
+            .enqueue_kernel(
+                &mut ctx,
+                &prog,
+                "saxpy",
+                NdRange::d1(1024, 512),
+                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(1024)],
+                None,
+                ExecMode::Functional { detect_races: true },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClError::BadLaunch(_)), "{err}");
+    }
+
+    #[test]
+    fn timing_only_requires_profile() {
+        let platform = Platform::table1();
+        let dev = platform.device("Kepler").unwrap();
+        let mut ctx = dev.create_context();
+        let prog = ctx.build_program(SAXPY).unwrap();
+        let x = ctx.create_buffer_f32(8).unwrap();
+        let y = ctx.create_buffer_f32(8).unwrap();
+        let mut q = CommandQueue::new();
+        let err = q
+            .enqueue_kernel(
+                &mut ctx,
+                &prog,
+                "saxpy",
+                NdRange::d1(8, 4),
+                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(8)],
+                None,
+                ExecMode::TimingOnly,
+            )
+            .unwrap_err();
+        assert_eq!(err, ClError::MissingProfile);
+    }
+
+    #[test]
+    fn queue_clock_advances_with_estimates() {
+        let platform = Platform::table1();
+        let dev = platform.device("Tahiti").unwrap();
+        let mut ctx = dev.create_context();
+        let prog = ctx.build_program(SAXPY).unwrap();
+        let x = ctx.create_buffer_f32(256).unwrap();
+        let y = ctx.create_buffer_f32(256).unwrap();
+        let profile = KernelLaunchProfile {
+            double_precision: false,
+            wg_size: 64,
+            n_wgs: 4,
+            outer_iters: 1,
+            mad_ops: 1.0,
+            mem_instrs: 2.0,
+            overhead_ops: 4.0,
+            dram_bytes: 64.0 * 8.0,
+            cache_bytes: 0.0,
+            lds_bytes: 0.0,
+            barriers: 0.0,
+            dram_bytes_once: 0.0,
+            mem_instrs_once: 0.0,
+            mad_ops_once: 0.0,
+            coalesce_eff: 1.0,
+            pow2_conflict: false,
+            lds_bank_factor: 1.0,
+            simd_utilization: 1.0,
+            serial_latency_factor: 1.0,
+            regs_per_wi: 8,
+            lds_bytes_per_wg: 0,
+        };
+        let mut q = CommandQueue::new();
+        for _ in 0..3 {
+            q.enqueue_kernel(
+                &mut ctx,
+                &prog,
+                "saxpy",
+                NdRange::d1(256, 64),
+                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(256)],
+                Some(&profile),
+                ExecMode::TimingOnly,
+            )
+            .unwrap();
+        }
+        assert_eq!(q.events().len(), 3);
+        assert!(q.finish() > 0.0);
+        // Events are in order and contiguous.
+        let evs = q.events();
+        assert_eq!(evs[0].end, evs[1].start);
+        assert!(evs[2].seconds() > 0.0);
+    }
+
+    #[test]
+    fn copy_events_advance_clock() {
+        let platform = Platform::table1();
+        let dev = platform.device("Fermi").unwrap();
+        let mut q = CommandQueue::new();
+        let cost = crate::copy::copy_time(dev.spec(), 1 << 20, 1 << 20, 0.5);
+        q.enqueue_copy("packA", cost);
+        assert_eq!(q.events()[0].name, "packA");
+        assert!(q.finish() > 0.0);
+    }
+
+    #[test]
+    fn wrong_precision_write_rejected() {
+        let dev = SimDevice::new(DeviceId::Tahiti.spec());
+        let mut ctx = dev.create_context();
+        let b = ctx.create_buffer_f32(4).unwrap();
+        assert!(ctx.write_f64(b, &[0.0; 4]).is_err());
+        assert!(ctx.read_f64(b).is_err());
+        assert!(ctx.write_f32(b, &[0.0; 3]).is_err(), "length mismatch");
+    }
+}
+
+impl CommandQueue {
+    /// Enqueue a host→device write with PCIe-modelled timing, copying the
+    /// data into the buffer and recording a profiled event.
+    pub fn enqueue_write_f64(
+        &mut self,
+        ctx: &mut Context,
+        id: BufferId,
+        data: &[f64],
+    ) -> Result<&Event, ClError> {
+        ctx.write_f64(id, data)?;
+        let t = crate::transfer::transfer_time(
+            &ctx.device,
+            std::mem::size_of_val(data),
+            crate::transfer::Direction::HostToDevice,
+        );
+        Ok(self.push_timed("writeBuffer", t))
+    }
+
+    /// Enqueue a host→device write of `f32` data.
+    pub fn enqueue_write_f32(
+        &mut self,
+        ctx: &mut Context,
+        id: BufferId,
+        data: &[f32],
+    ) -> Result<&Event, ClError> {
+        ctx.write_f32(id, data)?;
+        let t = crate::transfer::transfer_time(
+            &ctx.device,
+            std::mem::size_of_val(data),
+            crate::transfer::Direction::HostToDevice,
+        );
+        Ok(self.push_timed("writeBuffer", t))
+    }
+
+    /// Enqueue a device→host read, returning the data and advancing the
+    /// virtual clock by the modelled transfer time.
+    pub fn enqueue_read_f64(&mut self, ctx: &Context, id: BufferId) -> Result<Vec<f64>, ClError> {
+        let data = ctx.read_f64(id)?.to_vec();
+        let t = crate::transfer::transfer_time(
+            &ctx.device,
+            data.len() * 8,
+            crate::transfer::Direction::DeviceToHost,
+        );
+        self.push_timed("readBuffer", t);
+        Ok(data)
+    }
+
+    /// Enqueue a device→host read of `f32` data.
+    pub fn enqueue_read_f32(&mut self, ctx: &Context, id: BufferId) -> Result<Vec<f32>, ClError> {
+        let data = ctx.read_f32(id)?.to_vec();
+        let t = crate::transfer::transfer_time(
+            &ctx.device,
+            data.len() * 4,
+            crate::transfer::Direction::DeviceToHost,
+        );
+        self.push_timed("readBuffer", t);
+        Ok(data)
+    }
+
+    fn push_timed(&mut self, name: &str, seconds: f64) -> &Event {
+        let start = self.clock;
+        self.clock += seconds;
+        self.events.push(Event {
+            name: name.to_string(),
+            start,
+            end: self.clock,
+            estimate: None,
+            stats: None,
+        });
+        self.events.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod transfer_tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_advance_the_clock_and_move_data() {
+        let platform = Platform::table1();
+        let dev = platform.device("Fermi").unwrap();
+        let mut ctx = dev.create_context();
+        let b = ctx.create_buffer_f64(1 << 16).unwrap();
+        let host: Vec<f64> = (0..1 << 16).map(|i| i as f64).collect();
+        let mut q = CommandQueue::new();
+        q.enqueue_write_f64(&mut ctx, b, &host).unwrap();
+        let t_after_write = q.finish();
+        assert!(t_after_write > 0.0, "PCIe write takes time");
+        let back = q.enqueue_read_f64(&ctx, b).unwrap();
+        assert_eq!(back, host);
+        assert!(q.finish() > t_after_write, "read also takes time");
+        assert_eq!(q.events().len(), 2);
+        assert_eq!(q.events()[0].name, "writeBuffer");
+        assert_eq!(q.events()[1].name, "readBuffer");
+    }
+
+    #[test]
+    fn cpu_transfers_are_cheaper_than_gpu() {
+        let platform = Platform::table1();
+        let n = 1 << 20;
+        let host = vec![0.0f32; n];
+        let mut times = Vec::new();
+        for name in ["Tahiti", "Sandy Bridge"] {
+            let dev = platform.device(name).unwrap();
+            let mut ctx = dev.create_context();
+            let b = ctx.create_buffer_f32(n).unwrap();
+            let mut q = CommandQueue::new();
+            q.enqueue_write_f32(&mut ctx, b, &host).unwrap();
+            times.push(q.finish());
+        }
+        assert!(times[1] < times[0], "CPU 'transfer' {} should beat PCIe {}", times[1], times[0]);
+    }
+
+    #[test]
+    fn mismatched_write_is_rejected_without_advancing_clock() {
+        let platform = Platform::table1();
+        let dev = platform.device("Kepler").unwrap();
+        let mut ctx = dev.create_context();
+        let b = ctx.create_buffer_f32(8).unwrap();
+        let mut q = CommandQueue::new();
+        assert!(q.enqueue_write_f64(&mut ctx, b, &[0.0; 8]).is_err());
+        assert_eq!(q.finish(), 0.0);
+        assert!(q.events().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Host ↔ device transfer cost model.
+//!
+//! Table I's footnote world: the paper states *"the presented performance
+//! numbers do not take into account data transfer time between host and
+//! OpenCL device"*. This module models those transfers (PCIe 2.0 ×16 for
+//! the 2012 discrete GPUs, zero-copy for CPUs) so the report can quantify
+//! what including them would do — the justification for excluding them.
+
+use clgemm_device::{DeviceKind, DeviceSpec};
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// Sustained PCIe 2.0 ×16 bandwidth in GB/s (the 2012-era bus all four
+/// GPUs sat on). Writes pin slightly faster than reads on most chipsets.
+const PCIE2_H2D_GBS: f64 = 5.6;
+const PCIE2_D2H_GBS: f64 = 5.2;
+/// Per-transfer latency (driver + DMA setup) in seconds.
+const PCIE_LATENCY_S: f64 = 12e-6;
+
+/// Seconds to move `bytes` in the given direction.
+///
+/// CPUs are their own host: OpenCL buffers live in system memory, so a
+/// "transfer" is at most a cache-friendly memcpy, modelled at the
+/// device's DRAM bandwidth.
+#[must_use]
+pub fn transfer_time(dev: &DeviceSpec, bytes: usize, dir: Direction) -> f64 {
+    match dev.kind {
+        DeviceKind::Gpu => {
+            let bw = match dir {
+                Direction::HostToDevice => PCIE2_H2D_GBS,
+                Direction::DeviceToHost => PCIE2_D2H_GBS,
+            };
+            PCIE_LATENCY_S + bytes as f64 / (bw * 1e9)
+        }
+        DeviceKind::Cpu => bytes as f64 / (dev.global_bw_gbs * 0.5 * 1e9),
+    }
+}
+
+/// Effective GFlop/s of a square GEMM *including* moving A, B in and C
+/// out over the bus, given the kernel-only seconds.
+#[must_use]
+pub fn gflops_with_transfers(
+    dev: &DeviceSpec,
+    n: usize,
+    elem_bytes: usize,
+    kernel_seconds: f64,
+) -> f64 {
+    let matrix = n * n * elem_bytes;
+    let t = kernel_seconds
+        + transfer_time(dev, 2 * matrix, Direction::HostToDevice)
+        + transfer_time(dev, matrix, Direction::DeviceToHost);
+    2.0 * (n as f64).powi(3) / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_device::DeviceId;
+
+    #[test]
+    fn gpu_transfers_ride_pcie() {
+        let dev = DeviceId::Tahiti.spec();
+        let t = transfer_time(&dev, 1 << 30, Direction::HostToDevice);
+        // 1 GiB at ~5.6 GB/s is ~0.19 s.
+        assert!(t > 0.15 && t < 0.25, "{t}");
+        let back = transfer_time(&dev, 1 << 30, Direction::DeviceToHost);
+        assert!(back > t, "read-back is slower than upload");
+    }
+
+    #[test]
+    fn cpu_transfers_are_cheap() {
+        let gpu = DeviceId::Tahiti.spec();
+        let cpu = DeviceId::SandyBridge.spec();
+        let bytes = 64 << 20;
+        assert!(
+            transfer_time(&cpu, bytes, Direction::HostToDevice)
+                < transfer_time(&gpu, bytes, Direction::HostToDevice)
+        );
+    }
+
+    #[test]
+    fn latency_floor_for_tiny_transfers() {
+        let dev = DeviceId::Fermi.spec();
+        assert!(transfer_time(&dev, 4, Direction::HostToDevice) >= PCIE_LATENCY_S);
+    }
+
+    #[test]
+    fn transfers_matter_less_as_n_grows() {
+        // O(N^2) transfers vs O(N^3) compute: the overhead fraction must
+        // shrink — the reason the paper can justify excluding transfers
+        // for its large-N numbers.
+        let dev = DeviceId::Tahiti.spec();
+        let kernel = |n: usize| 2.0 * (n as f64).powi(3) / 863e9; // at 863 GF
+        let eff = |n: usize| gflops_with_transfers(&dev, n, 8, kernel(n)) / 863.0;
+        assert!(eff(512) < eff(2048));
+        assert!(eff(2048) < eff(8192));
+        assert!(eff(8192) > 0.8, "at N=8192 transfers cost little: {}", eff(8192));
+        assert!(eff(512) < 0.3, "at N=512 transfers dominate: {}", eff(512));
+    }
+}

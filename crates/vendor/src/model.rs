@@ -1,0 +1,114 @@
+//! The vendor performance-curve model.
+
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One library on one device: per-(precision, type) asymptotic maxima and
+/// a ramp describing how quickly the library approaches them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VendorLib {
+    /// Display name, e.g. `"clBLAS 1.8.291"`.
+    pub name: String,
+    /// Asymptotic GFlop/s per `(precision, type)` — the Table III values.
+    maxima: BTreeMap<String, f64>,
+    /// Size at which the library reaches half its asymptote.
+    pub n_half: f64,
+    /// Ramp sharpness (larger = steeper approach to the asymptote).
+    pub sharpness: f64,
+}
+
+fn key(precision: Precision, ty: GemmType) -> String {
+    format!("{precision}/{ty}")
+}
+
+impl VendorLib {
+    /// Build from per-type maxima in Table III order (NN, NT, TN, TT).
+    #[must_use]
+    pub fn new(
+        name: &str,
+        dgemm: [f64; 4],
+        sgemm: [f64; 4],
+        n_half: f64,
+        sharpness: f64,
+    ) -> VendorLib {
+        let mut maxima = BTreeMap::new();
+        for (vals, prec) in [(dgemm, Precision::F64), (sgemm, Precision::F32)] {
+            for (ty, v) in GemmType::ALL.iter().zip(vals) {
+                maxima.insert(key(prec, *ty), v);
+            }
+        }
+        VendorLib { name: name.to_string(), maxima, n_half, sharpness }
+    }
+
+    /// The library's asymptotic (large-`N`) GFlop/s for a routine.
+    #[must_use]
+    pub fn max_gflops(&self, precision: Precision, ty: GemmType) -> f64 {
+        self.maxima.get(&key(precision, ty)).copied().unwrap_or(0.0)
+    }
+
+    /// Modelled GFlop/s at square size `n`: a logistic ramp in `log N`,
+    /// the classic shape of library GEMM curves (fixed per-call overhead
+    /// plus tiling inefficiency at small sizes).
+    #[must_use]
+    pub fn gflops(&self, precision: Precision, ty: GemmType, n: usize) -> f64 {
+        let max = self.max_gflops(precision, ty);
+        if n == 0 {
+            return 0.0;
+        }
+        let x = (self.n_half / n as f64).powf(self.sharpness);
+        max / (1.0 + x)
+    }
+
+    /// `true` when the library supports the precision at all.
+    #[must_use]
+    pub fn supports(&self, precision: Precision) -> bool {
+        GemmType::ALL.iter().any(|ty| self.max_gflops(precision, *ty) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> VendorLib {
+        VendorLib::new("test", [100.0, 101.0, 102.0, 103.0], [200.0, 201.0, 202.0, 203.0], 512.0, 2.0)
+    }
+
+    #[test]
+    fn maxima_per_type() {
+        let l = lib();
+        assert_eq!(l.max_gflops(Precision::F64, GemmType::NN), 100.0);
+        assert_eq!(l.max_gflops(Precision::F64, GemmType::TT), 103.0);
+        assert_eq!(l.max_gflops(Precision::F32, GemmType::TN), 202.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_saturates() {
+        let l = lib();
+        let mut last = 0.0;
+        for n in [64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+            let g = l.gflops(Precision::F64, GemmType::NN, n);
+            assert!(g >= last, "curve must be monotone");
+            last = g;
+        }
+        // Half the asymptote at n_half.
+        let at_half = l.gflops(Precision::F64, GemmType::NN, 512);
+        assert!((at_half - 50.0).abs() < 1.0, "{at_half}");
+        // Within 10 % of the asymptote by 8x n_half.
+        assert!(last > 90.0);
+    }
+
+    #[test]
+    fn zero_size_gives_zero() {
+        assert_eq!(lib().gflops(Precision::F64, GemmType::NN, 0), 0.0);
+    }
+
+    #[test]
+    fn unsupported_precision_detected() {
+        let l = VendorLib::new("dgemm-only", [10.0; 4], [0.0; 4], 256.0, 2.0);
+        assert!(l.supports(Precision::F64));
+        assert!(!l.supports(Precision::F32));
+    }
+}

@@ -1,0 +1,47 @@
+//! Tune every Table I processor for both precisions and print the
+//! cross-device comparison — a condensed Table II.
+//!
+//! ```text
+//! cargo run --release -p clgemm --example device_compare
+//! ```
+
+use clgemm::prelude::*;
+
+fn main() {
+    println!(
+        "{:<13} {:>5}  {:>9} {:>6}  {:>9} {:>6}   winner summary",
+        "device", "CUs", "DGEMM GF", "eff", "SGEMM GF", "eff"
+    );
+    for id in DeviceId::TABLE1 {
+        let dev = id.spec();
+        let space = SearchSpace::for_device(&dev);
+        let opts = SearchOpts { verify_winner: false, ..Default::default() };
+        let d = tune(&dev, Precision::F64, &space, &opts);
+        let s = tune(&dev, Precision::F32, &space, &opts);
+        println!(
+            "{:<13} {:>5}  {:>9.0} {:>5.0}%  {:>9.0} {:>5.0}%   {} | {}",
+            dev.code_name,
+            dev.compute_units,
+            d.best.gflops,
+            100.0 * d.efficiency,
+            s.best.gflops,
+            100.0 * s.efficiency,
+            short(&d.best.params),
+            short(&s.best.params),
+        );
+    }
+    println!("\npaper (Table II): Tahiti 863/3047, Cayman 580/2167, Kepler 128/1440,");
+    println!("                  Fermi 370/896, Sandy Bridge 64/140, Bulldozer 37/87");
+}
+
+fn short(p: &KernelParams) -> String {
+    format!(
+        "{}x{}x{} {} {},{}",
+        p.mwg,
+        p.nwg,
+        p.kwg,
+        p.algorithm.tag(),
+        p.layout_a.tag(),
+        p.layout_b.tag()
+    )
+}

@@ -1,0 +1,44 @@
+//! Cross-crate integration tests for the `clgemm` workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! shared helpers.
+
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Scalar;
+use clgemm_blas::{GemmType, Trans};
+
+/// Build col-major operands of the right shapes for `op(A)op(B)` with
+/// deterministic contents.
+pub fn gemm_operands<T: Scalar>(
+    ty: GemmType,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (Matrix<T>, Matrix<T>, Matrix<T>) {
+    let (ar, ac) = match ty.ta {
+        Trans::No => (m, k),
+        Trans::Yes => (k, m),
+    };
+    let (br, bc) = match ty.tb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    (
+        Matrix::test_pattern(ar, ac, StorageOrder::ColMajor, 11),
+        Matrix::test_pattern(br, bc, StorageOrder::ColMajor, 22),
+        Matrix::test_pattern(m, n, StorageOrder::ColMajor, 33),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_shapes_follow_the_type() {
+        let (a, b, c) = gemm_operands::<f64>(GemmType::TN, 4, 5, 6);
+        assert_eq!((a.rows(), a.cols()), (6, 4));
+        assert_eq!((b.rows(), b.cols()), (6, 5));
+        assert_eq!((c.rows(), c.cols()), (4, 5));
+    }
+}

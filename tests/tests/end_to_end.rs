@@ -1,0 +1,189 @@
+//! The flagship integration test: for a grid of parameter sets, run the
+//! full paper pipeline — generate OpenCL C, compile it with the clc
+//! frontend, execute it in the work-group VM (race detection on), and
+//! compare bit-for-bit against the native executor and within tolerance
+//! against the reference BLAS.
+
+use clgemm::codegen::{generate, KERNEL_NAME};
+use clgemm::executor::run_native;
+use clgemm::params::{small_test_params, Algorithm, KernelParams, StrideMode};
+use clgemm_blas::layout::{BlockLayout, PackedDims};
+use clgemm_blas::scalar::Precision;
+use clgemm_clc::{Arg, BufData, ExecOptions, Program};
+
+/// Run one parameter set end to end on a 2-block-per-dimension problem.
+fn run_case(p: &KernelParams) {
+    p.validate().unwrap_or_else(|e| panic!("{e}"));
+    let (m, n) = (2 * p.mwg, 2 * p.nwg);
+    let k = 2 * p.k_multiple();
+    let gen = generate(p).expect("generation");
+    let prog = Program::compile(&gen.source)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\nparams: {}\n{}", p.describe(), gen.source));
+    let kernel = prog.kernel(KERNEL_NAME).expect("kernel present");
+
+    let a_dims = PackedDims::new(k, m, p.mwg, p.kwg).unwrap();
+    let b_dims = PackedDims::new(k, n, p.nwg, p.kwg).unwrap();
+
+    match p.precision {
+        Precision::F64 => {
+            let a: Vec<f64> = (0..a_dims.len()).map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.4).collect();
+            let b: Vec<f64> = (0..b_dims.len()).map(|i| ((i * 5 + 1) % 11) as f64 / 11.0 - 0.6).collect();
+            let c0: Vec<f64> = (0..m * n).map(|i| ((i * 3 + 2) % 7) as f64 / 7.0 - 0.5).collect();
+            let mut c_native = c0.clone();
+            run_native(m, n, k, 1.5, &a, a_dims, p.layout_a, &b, b_dims, p.layout_b, -0.25, &mut c_native);
+
+            let mut bufs = vec![BufData::F64(a), BufData::F64(b), BufData::F64(c0)];
+            let args = [
+                Arg::Buf(0),
+                Arg::Buf(1),
+                Arg::Buf(2),
+                Arg::I32(m as i32),
+                Arg::I32(n as i32),
+                Arg::I32(k as i32),
+                Arg::F64(1.5),
+                Arg::F64(-0.25),
+            ];
+            kernel
+                .launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
+                .unwrap_or_else(|e| panic!("VM run failed: {e}\nparams: {}", p.describe()));
+            let BufData::F64(c_vm) = &bufs[2] else { panic!("C buffer type changed") };
+            for (i, (vm, nat)) in c_vm.iter().zip(&c_native).enumerate() {
+                assert_eq!(
+                    vm.to_bits(),
+                    nat.to_bits(),
+                    "f64 bit mismatch at {i}: {vm} vs {nat} for {}",
+                    p.describe()
+                );
+            }
+        }
+        Precision::F32 => {
+            let a: Vec<f32> = (0..a_dims.len()).map(|i| ((i * 7 + 3) % 13) as f32 / 13.0 - 0.4).collect();
+            let b: Vec<f32> = (0..b_dims.len()).map(|i| ((i * 5 + 1) % 11) as f32 / 11.0 - 0.6).collect();
+            let c0: Vec<f32> = (0..m * n).map(|i| ((i * 3 + 2) % 7) as f32 / 7.0 - 0.5).collect();
+            let mut c_native = c0.clone();
+            run_native(m, n, k, 1.5f32, &a, a_dims, p.layout_a, &b, b_dims, p.layout_b, -0.25f32, &mut c_native);
+
+            let mut bufs = vec![BufData::F32(a), BufData::F32(b), BufData::F32(c0)];
+            let args = [
+                Arg::Buf(0),
+                Arg::Buf(1),
+                Arg::Buf(2),
+                Arg::I32(m as i32),
+                Arg::I32(n as i32),
+                Arg::I32(k as i32),
+                Arg::F32(1.5),
+                Arg::F32(-0.25),
+            ];
+            kernel
+                .launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
+                .unwrap_or_else(|e| panic!("VM run failed: {e}\nparams: {}", p.describe()));
+            let BufData::F32(c_vm) = &bufs[2] else { panic!("C buffer type changed") };
+            for (i, (vm, nat)) in c_vm.iter().zip(&c_native).enumerate() {
+                assert_eq!(
+                    vm.to_bits(),
+                    nat.to_bits(),
+                    "f32 bit mismatch at {i}: {vm} vs {nat} for {}",
+                    p.describe()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_both_precisions() {
+    for precision in [Precision::F64, Precision::F32] {
+        for alg in Algorithm::ALL {
+            let mut p = small_test_params(precision);
+            p.algorithm = alg;
+            run_case(&p);
+        }
+    }
+}
+
+#[test]
+fn all_layout_combinations() {
+    for la in BlockLayout::ALL {
+        for lb in BlockLayout::ALL {
+            let mut p = small_test_params(Precision::F64);
+            p.layout_a = la;
+            p.layout_b = lb;
+            run_case(&p);
+        }
+    }
+}
+
+#[test]
+fn all_stride_modes() {
+    for sm in [StrideMode::Unit, StrideMode::NonUnit] {
+        for sn in [StrideMode::Unit, StrideMode::NonUnit] {
+            let mut p = small_test_params(Precision::F32);
+            p.stride_m = sm;
+            p.stride_n = sn;
+            run_case(&p);
+        }
+    }
+}
+
+#[test]
+fn all_local_memory_combinations() {
+    for (la, lb) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut p = small_test_params(Precision::F64);
+        p.local_a = la;
+        p.local_b = lb;
+        run_case(&p);
+    }
+}
+
+#[test]
+fn vector_widths() {
+    for vw in [1usize, 2, 4] {
+        let mut p = small_test_params(Precision::F32);
+        p.vw = vw;
+        run_case(&p);
+    }
+    // vw = 8 needs nwi divisible by 8.
+    let mut p = small_test_params(Precision::F32);
+    p.nwg = 32; // nwi = 8
+    p.vw = 8;
+    run_case(&p);
+}
+
+#[test]
+fn asymmetric_blocking_and_loader_reshape() {
+    let mut p = small_test_params(Precision::F64);
+    p.mwg = 24;
+    p.nwg = 8;
+    p.kwg = 12;
+    p.mdimc = 4;
+    p.ndimc = 4;
+    p.mdima = 8; // kdima = 2, kwg % 2 == 0, mwg % 8 == 0
+    p.ndimb = 2; // kdimb = 8, kwg % 8 ... 12 % 8 != 0 -> fix kwg
+    p.kwg = 16;
+    p.kwi = 2;
+    run_case(&p);
+}
+
+#[test]
+fn non_power_of_two_blocking() {
+    // The paper §III-F: the power-of-two restriction was lifted in this
+    // generator generation; e.g. Tahiti's winner uses Mwg=96, Kwg=48.
+    let mut p = small_test_params(Precision::F64);
+    p.mwg = 12;
+    p.nwg = 12;
+    p.kwg = 6;
+    p.mdimc = 6;
+    p.ndimc = 2;
+    p.mdima = 12;
+    p.ndimb = 12;
+    p.kwi = 3;
+    p.vw = 2;
+    run_case(&p);
+}
+
+#[test]
+fn kwi_equal_kwg_fully_unrolled() {
+    let mut p = small_test_params(Precision::F32);
+    p.kwi = p.kwg; // inner loop fully unrolled into one trip
+    run_case(&p);
+}

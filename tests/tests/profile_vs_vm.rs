@@ -1,0 +1,133 @@
+//! Pin the analytic launch profile against the VM's *dynamic* counters.
+//!
+//! The timing model is only trustworthy if the traffic the profile
+//! predicts matches what generated kernels actually execute. The VM
+//! counts executed MADs, memory instructions and barriers; here we
+//! compare them with the `launch_profile` accounting.
+
+use clgemm::codegen::{generate, KERNEL_NAME};
+use clgemm::params::{small_test_params, Algorithm, KernelParams};
+use clgemm::profile::launch_profile;
+use clgemm_blas::layout::PackedDims;
+use clgemm_blas::scalar::Precision;
+use clgemm_clc::vm::DynStats;
+use clgemm_clc::{Arg, BufData, ExecOptions, Program};
+use clgemm_device::DeviceId;
+
+fn run_vm(p: &KernelParams, m: usize, n: usize, k: usize) -> DynStats {
+    let gen = generate(p).unwrap();
+    let prog = Program::compile(&gen.source).unwrap();
+    let kernel = prog.kernel(KERNEL_NAME).unwrap();
+    let a_dims = PackedDims::new(k, m, p.mwg, p.kwg).unwrap();
+    let b_dims = PackedDims::new(k, n, p.nwg, p.kwg).unwrap();
+    let mut bufs = vec![
+        BufData::F32(vec![1.0; a_dims.len()]),
+        BufData::F32(vec![1.0; b_dims.len()]),
+        BufData::F32(vec![0.0; m * n]),
+    ];
+    let args = [
+        Arg::Buf(0),
+        Arg::Buf(1),
+        Arg::Buf(2),
+        Arg::I32(m as i32),
+        Arg::I32(n as i32),
+        Arg::I32(k as i32),
+        Arg::F32(1.0),
+        Arg::F32(0.0),
+    ];
+    kernel.launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default()).unwrap()
+}
+
+#[test]
+fn mad_count_matches_exactly() {
+    let p = small_test_params(Precision::F32);
+    let dev = DeviceId::Tahiti.spec();
+    let (m, n, k) = (2 * p.mwg, 2 * p.nwg, 2 * p.kwg);
+    let stats = run_vm(&p, m, n, k);
+    let prof = launch_profile(&p, &dev, m, n, k);
+    // Inner-loop MADs plus the merge MAD per C element.
+    let expect =
+        prof.mad_ops * prof.outer_iters as f64 * prof.wg_size as f64 * prof.n_wgs as f64;
+    let merge = (m * n) as f64; // one mad per element in the merge
+    assert_eq!(stats.mads as f64, expect + merge, "profile mad accounting drifted");
+}
+
+#[test]
+fn barrier_count_matches_algorithm() {
+    let dev = DeviceId::Tahiti.spec();
+    for (alg, expected_per_two_blocks) in
+        [(Algorithm::Ba, 4.0), (Algorithm::Pl, 6.0), (Algorithm::Db, 2.0)]
+    {
+        let mut p = small_test_params(Precision::F32);
+        p.algorithm = alg;
+        let (m, n) = (p.mwg, p.nwg);
+        let k = 2 * p.k_multiple().max(2 * p.kwg); // several blocks
+        let stats = run_vm(&p, m, n, k);
+        let blocks = (k / p.kwg) as f64;
+        let per_block = stats.barriers as f64 / blocks;
+        let expected = expected_per_two_blocks / 2.0;
+        // PL has a prologue barrier and DB epilogue barriers, so allow
+        // one extra over the whole run.
+        let total_expected = expected * blocks;
+        assert!(
+            (stats.barriers as f64 - total_expected).abs() <= 2.0,
+            "{alg}: {} barriers vs expected ~{total_expected} ({per_block:.2}/block)",
+            stats.barriers
+        );
+        let prof = launch_profile(&p, &dev, m, n, k);
+        assert!(
+            (prof.barriers - expected).abs() < 1e-9,
+            "{alg}: profile says {} barriers/iter, expected {expected}",
+            prof.barriers
+        );
+    }
+}
+
+#[test]
+fn mem_instruction_count_is_close() {
+    // The profile's per-iteration memory-instruction estimate should be
+    // within ~25 % of what the VM executes (the profile folds loader and
+    // PL bookkeeping into averages).
+    let dev = DeviceId::Tahiti.spec();
+    for alg in Algorithm::ALL {
+        let mut p = small_test_params(Precision::F32);
+        p.algorithm = alg;
+        let (m, n) = (p.mwg, p.nwg);
+        let k = 2 * p.k_multiple();
+        let stats = run_vm(&p, m, n, k);
+        let prof = launch_profile(&p, &dev, m, n, k);
+        let iters = (k / p.kwg) as f64;
+        let wg = p.wg_size() as f64;
+        let predicted = prof.mem_instrs * iters * wg + prof.mem_instrs_once * wg;
+        let actual = stats.mem_global_instrs as f64 + stats.mem_local_instrs as f64;
+        let rel = (predicted - actual).abs() / actual;
+        assert!(
+            rel < 0.25,
+            "{alg}: predicted {predicted} vs VM {actual} mem instrs (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn local_traffic_only_when_local_memory_used() {
+    let mut p = small_test_params(Precision::F32);
+    let stats_with = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
+    assert!(stats_with.mem_local_bytes > 0);
+    p.local_a = false;
+    p.local_b = false;
+    let stats_without = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
+    assert_eq!(stats_without.mem_local_bytes, 0);
+    assert_eq!(stats_without.barriers, 0);
+    assert!(stats_without.mem_global_bytes > stats_with.mem_global_bytes);
+}
+
+#[test]
+fn vector_width_reduces_vm_instruction_count() {
+    let mut p = small_test_params(Precision::F32);
+    p.vw = 1;
+    let v1 = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
+    p.vw = 4;
+    let v4 = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
+    assert!(v4.mem_global_instrs + v4.mem_local_instrs < v1.mem_global_instrs + v1.mem_local_instrs);
+    assert_eq!(v1.mads, v4.mads, "same arithmetic regardless of vw");
+}

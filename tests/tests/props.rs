@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * any structurally valid parameter set yields a kernel that compiles
+//!   and executes bit-identically to the native oracle;
+//! * packing is invertible for arbitrary shapes and layouts;
+//! * the timing model stays finite, positive, and monotone in work.
+
+use clgemm::params::{Algorithm, KernelParams, StrideMode};
+use clgemm::profile::launch_profile;
+use clgemm::tuner::search::verify_kernel;
+use clgemm_blas::layout::{round_up, BlockLayout};
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::pack::{pack_operand, unpack_operand, PackSpec};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::Trans;
+use clgemm_device::{estimate, DeviceId};
+use proptest::prelude::*;
+
+/// Strategy producing *valid* kernel parameter sets (built from factors
+/// so every divisibility constraint holds by construction).
+fn valid_params() -> impl Strategy<Value = KernelParams> {
+    (
+        (
+            2usize..=8,                      // mdimc
+            2usize..=8,                      // ndimc
+            1usize..=4,                      // mwi
+            prop::sample::select(vec![2usize, 4]), // nwi (divisible by vw later)
+        ),
+        (
+            1usize..=3,                      // kwg blocks of kwi
+            prop::sample::select(vec![1usize, 2]), // kwi
+            prop::sample::select(vec![1usize, 2]), // vw
+        ),
+        (
+            any::<bool>(),                   // stride_m unit?
+            any::<bool>(),                   // stride_n unit?
+        ),
+        (
+            0usize..3,                       // algorithm index
+            0usize..3,                       // layout_a index
+            0usize..3,                       // layout_b index
+            any::<bool>(),                   // precision f64?
+        ),
+    )
+        .prop_filter_map("constraints", |((mdimc, ndimc, mwi, nwi), (kblocks, kwi, vw), (sm, sn), (alg, la, lb, dp))| {
+            if nwi % vw != 0 {
+                return None;
+            }
+            let algorithm = Algorithm::ALL[alg];
+            let p = KernelParams {
+                mwg: mdimc * mwi,
+                nwg: ndimc * nwi,
+                kwg: kblocks * kwi * 2,
+                mdimc,
+                ndimc,
+                kwi,
+                mdima: mdimc,
+                ndimb: ndimc,
+                vw,
+                stride_m: if sm { StrideMode::Unit } else { StrideMode::NonUnit },
+                stride_n: if sn { StrideMode::Unit } else { StrideMode::NonUnit },
+                local_a: algorithm != Algorithm::Ba || la == 0,
+                local_b: algorithm != Algorithm::Ba || lb == 0,
+                layout_a: BlockLayout::ALL[la],
+                layout_b: BlockLayout::ALL[lb],
+                algorithm,
+                precision: if dp { Precision::F64 } else { Precision::F32 },
+            };
+            p.validate().ok()?;
+            Some(p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The flagship property: every valid parameter set survives the
+    /// paper's pipeline — generation, compilation, VM execution — and
+    /// matches the native oracle bit for bit.
+    #[test]
+    fn any_valid_params_verify_end_to_end(p in valid_params()) {
+        verify_kernel(&p).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// pack ∘ unpack = id for any shape, layout, blocking and transpose.
+    #[test]
+    fn pack_unpack_roundtrip(
+        k in 1usize..40,
+        w in 1usize..40,
+        wwg in 1usize..12,
+        kwg in 1usize..12,
+        layout_idx in 0usize..3,
+        transpose in any::<bool>(),
+    ) {
+        let layout = BlockLayout::ALL[layout_idx];
+        let (rows, cols) = if transpose { (w, k) } else { (k, w) };
+        let x = Matrix::<f64>::test_pattern(rows, cols, StorageOrder::ColMajor, 5);
+        let spec = PackSpec {
+            trans: if transpose { Trans::Yes } else { Trans::No },
+            layout,
+            wwg,
+            kwg,
+        };
+        let (buf, dims) = pack_operand(&x, spec, k, w);
+        prop_assert_eq!(dims.k, round_up(k, kwg));
+        prop_assert_eq!(dims.width, round_up(w, wwg));
+        let back = unpack_operand(&buf, layout, dims, k, w, StorageOrder::ColMajor);
+        for p in 0..k {
+            for c in 0..w {
+                prop_assert_eq!(back.at(p, c), x.at_op(spec.trans, p, c));
+            }
+        }
+    }
+
+    /// The timing model is finite, positive, and at least linear in K.
+    #[test]
+    fn timing_model_sane_and_monotone(p in valid_params()) {
+        let dev = DeviceId::Tahiti.spec();
+        let m = p.mwg * 2;
+        let n = p.nwg * 2;
+        let k1 = p.k_multiple() * 2;
+        let k2 = k1 * 4;
+        let prof1 = launch_profile(&p, &dev, m, n, k1);
+        let prof2 = launch_profile(&p, &dev, m, n, k2);
+        if let (Ok(e1), Ok(e2)) = (estimate(&dev, &prof1), estimate(&dev, &prof2)) {
+            prop_assert!(e1.seconds.is_finite() && e1.seconds > 0.0);
+            prop_assert!(e2.seconds > e1.seconds, "4x the K work must take longer");
+            // Efficiency can never exceed the boosted peak.
+            let flops1 = 2.0 * (m * n * k1) as f64;
+            let boosted_peak =
+                dev.peak_gflops(p.precision == Precision::F64) * dev.micro.boost_factor;
+            prop_assert!(e1.gflops(flops1) <= boosted_peak * 1.0001);
+        }
+    }
+
+    /// Register and local-memory estimates never go negative or absurd,
+    /// and DB always doubles local memory vs BA.
+    #[test]
+    fn resource_estimates_consistent(p in valid_params()) {
+        prop_assert!(p.regs_per_wi() >= 24);
+        prop_assert!(p.lds_bytes() <= 2 * (p.kwg * (p.mwg + p.nwg)) * p.elem_bytes());
+        if p.algorithm == Algorithm::Db {
+            let mut ba = p;
+            ba.algorithm = Algorithm::Ba;
+            prop_assert_eq!(p.lds_bytes(), 2 * ba.lds_bytes());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The search never returns an invalid or unlaunchable kernel, on any
+    /// device, with or without measurement noise.
+    #[test]
+    fn search_winner_always_valid(seed in 0u64..1000, noisy in any::<bool>()) {
+        use clgemm::tuner::{tune, SearchOpts, SearchSpace};
+        let dev = DeviceId::Cayman.spec();
+        let space = SearchSpace::smoke(&dev);
+        let opts = SearchOpts {
+            top_k: 4,
+            max_sweep_points: 3,
+            verify_winner: false,
+            noise: if noisy { 0.05 } else { 0.0 },
+            noise_seed: seed,
+            ..Default::default()
+        };
+        let res = tune(&dev, Precision::F32, &space, &opts);
+        prop_assert!(res.best.params.validate().is_ok());
+        prop_assert!(res.best.params.lds_bytes() <= dev.local_mem_bytes());
+        prop_assert!(res.best.gflops > 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Integration of the routine layer with the reference BLAS, and of the
+//! sim runtime with generated kernels.
+
+use clgemm::codegen::{generate, KERNEL_NAME};
+use clgemm::params::small_test_params;
+use clgemm::profile::launch_profile;
+use clgemm::routine::TunedGemm;
+use clgemm_blas::error::{compare, gemm_tolerance};
+use clgemm_blas::gemm_ref::gemm_blocked;
+use clgemm_blas::layout::PackedDims;
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use clgemm_clc::NdRange;
+use clgemm_integration::gemm_operands;
+use clgemm_device::DeviceId;
+use clgemm_sim::{CommandQueue, ExecMode, KernelArg, Platform};
+
+#[test]
+fn routine_matches_reference_on_awkward_sizes() {
+    let tg = TunedGemm::new(
+        DeviceId::Cayman.spec(),
+        small_test_params(Precision::F64),
+        small_test_params(Precision::F32),
+    );
+    for ty in GemmType::ALL {
+        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 29, 31), (64, 1, 64)] {
+            let (a, b, c0) = gemm_operands::<f64>(ty, m, n, k);
+            let mut c = c0.clone();
+            tg.gemm(ty, 0.5, &a, &b, 2.0, &mut c);
+            let mut c_ref = c0.clone();
+            gemm_blocked(ty, 0.5, &a, &b, 2.0, &mut c_ref);
+            let rep = compare(&c, &c_ref);
+            assert!(
+                rep.passes(gemm_tolerance::<f64>(k)),
+                "{ty} {m}x{n}x{k}: rel err {}",
+                rep.max_rel
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_kernel_runs_through_the_sim_runtime() {
+    // The full OpenCL-host-API path: platform → device → context →
+    // buffers → build → enqueue with profile → functional result + event
+    // timing.
+    let p = small_test_params(Precision::F32);
+    let gen = generate(&p).unwrap();
+    let platform = Platform::table1();
+    let device = platform.device("Kepler").unwrap();
+    let mut ctx = device.create_context();
+    let prog = ctx.build_program(&gen.source).unwrap();
+    assert!(prog.kernel_names().any(|n| n == KERNEL_NAME));
+
+    let (m, n, k) = (p.mwg, p.nwg, 2 * p.kwg);
+    let a_dims = PackedDims::new(k, m, p.mwg, p.kwg).unwrap();
+    let b_dims = PackedDims::new(k, n, p.nwg, p.kwg).unwrap();
+    let a = ctx.create_buffer_f32(a_dims.len()).unwrap();
+    let b = ctx.create_buffer_f32(b_dims.len()).unwrap();
+    let c = ctx.create_buffer_f32(m * n).unwrap();
+    ctx.write_f32(a, &vec![0.5; a_dims.len()]).unwrap();
+    ctx.write_f32(b, &vec![2.0; b_dims.len()]).unwrap();
+
+    let profile = launch_profile(&p, device.spec(), m, n, k);
+    let nd = gen.ndrange(m, n);
+    let mut q = CommandQueue::new();
+    let ev = q
+        .enqueue_kernel(
+            &mut ctx,
+            &prog,
+            KERNEL_NAME,
+            NdRange::d2(nd.global, nd.local),
+            &[
+                KernelArg::Buf(a),
+                KernelArg::Buf(b),
+                KernelArg::Buf(c),
+                KernelArg::I32(m as i32),
+                KernelArg::I32(n as i32),
+                KernelArg::I32(k as i32),
+                KernelArg::F32(1.0),
+                KernelArg::F32(0.0),
+            ],
+            Some(&profile),
+            ExecMode::Functional { detect_races: true },
+        )
+        .unwrap();
+    assert!(ev.seconds() > 0.0, "profiled event has a duration");
+    assert!(ev.estimate.is_some() && ev.stats.is_some());
+
+    // Every C element is sum over k of 0.5*2.0 = k.
+    let out = ctx.read_f32(c).unwrap();
+    for v in out {
+        assert!((v - k as f32).abs() < 1e-4, "{v} vs {k}");
+    }
+    assert!(q.finish() > 0.0);
+}
+
+#[test]
+fn timing_only_mode_is_much_cheaper_but_equal_time() {
+    let p = small_test_params(Precision::F32);
+    let gen = generate(&p).unwrap();
+    let platform = Platform::table1();
+    let device = platform.device("Tahiti").unwrap();
+    let mut ctx = device.create_context();
+    let prog = ctx.build_program(&gen.source).unwrap();
+    let (m, n, k) = (p.mwg, p.nwg, 2 * p.kwg);
+    let a_dims = PackedDims::new(k, m, p.mwg, p.kwg).unwrap();
+    let b_dims = PackedDims::new(k, n, p.nwg, p.kwg).unwrap();
+    let a = ctx.create_buffer_f32(a_dims.len()).unwrap();
+    let b = ctx.create_buffer_f32(b_dims.len()).unwrap();
+    let c = ctx.create_buffer_f32(m * n).unwrap();
+    let profile = launch_profile(&p, device.spec(), m, n, k);
+    let nd = gen.ndrange(m, n);
+    let args = [
+        KernelArg::Buf(a),
+        KernelArg::Buf(b),
+        KernelArg::Buf(c),
+        KernelArg::I32(m as i32),
+        KernelArg::I32(n as i32),
+        KernelArg::I32(k as i32),
+        KernelArg::F32(1.0),
+        KernelArg::F32(0.0),
+    ];
+    let mut q = CommandQueue::new();
+    let t_func = q
+        .enqueue_kernel(
+            &mut ctx,
+            &prog,
+            KERNEL_NAME,
+            NdRange::d2(nd.global, nd.local),
+            &args,
+            Some(&profile),
+            ExecMode::Functional { detect_races: false },
+        )
+        .unwrap()
+        .seconds();
+    let t_timing = q
+        .enqueue_kernel(
+            &mut ctx,
+            &prog,
+            KERNEL_NAME,
+            NdRange::d2(nd.global, nd.local),
+            &args,
+            Some(&profile),
+            ExecMode::TimingOnly,
+        )
+        .unwrap()
+        .seconds();
+    assert_eq!(t_func, t_timing, "virtual time must not depend on execution mode");
+}
+
+#[test]
+fn search_winner_beats_hand_picked_baseline() {
+    use clgemm::tuner::{tune, SearchOpts, SearchSpace};
+    use clgemm::tuner::search::measure_gflops;
+    let dev = DeviceId::Fermi.spec();
+    let space = SearchSpace::smoke(&dev);
+    let opts = SearchOpts { top_k: 8, max_sweep_points: 6, verify_winner: true, ..Default::default() };
+    let res = tune(&dev, Precision::F64, &space, &opts);
+    assert!(res.verified);
+    // The winner must beat the naive small test kernel by a wide margin.
+    let baseline = small_test_params(Precision::F64);
+    let base_g = measure_gflops(&baseline, &dev, 1536).unwrap_or(0.0);
+    assert!(
+        res.best.gflops > base_g,
+        "tuned {} must beat untuned {base_g}",
+        res.best.gflops
+    );
+}
