@@ -5,9 +5,8 @@ use clgemm_bench::{bench_paper_params, bench_small_params};
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::GemmType;
 use clgemm_device::DeviceId;
+use clgemm_shim::bench::Harness;
 use clgemm_vendor::{libraries_for, previous_study};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 fn sweep(tg: &TunedGemm, dp: bool) -> f64 {
     let mut acc = 0.0;
@@ -19,58 +18,60 @@ fn sweep(tg: &TunedGemm, dp: bool) -> f64 {
 
 /// Fig. 9: the Tahiti routine sweep plus the clBLAS/previous-study
 /// comparison curves.
-fn fig9_tahiti(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_tahiti");
-    let tg = TunedGemm::new(DeviceId::Tahiti.spec(), bench_paper_params(), bench_small_params());
-    g.bench_function("ours_sweep_dgemm", |b| b.iter(|| black_box(sweep(&tg, true))));
+fn fig9_tahiti(h: &mut Harness) {
+    let tg = TunedGemm::new(
+        DeviceId::Tahiti.spec(),
+        bench_paper_params(),
+        bench_small_params(),
+    );
+    h.bench("fig9_tahiti/ours_sweep_dgemm", || sweep(&tg, true));
     let clblas = libraries_for(DeviceId::Tahiti).remove(0);
     let prev = previous_study();
-    g.bench_function("vendor_curves", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for n in (512..=6144).step_by(512) {
-                acc += clblas.gflops(Precision::F64, GemmType::NN, n);
-                acc += prev.gflops(Precision::F64, GemmType::NN, n);
-            }
-            black_box(acc)
-        })
+    h.bench("fig9_tahiti/vendor_curves", || {
+        let mut acc = 0.0;
+        for n in (512..=6144).step_by(512) {
+            acc += clblas.gflops(Precision::F64, GemmType::NN, n);
+            acc += prev.gflops(Precision::F64, GemmType::NN, n);
+        }
+        acc
     });
-    g.finish();
 }
 
 /// Fig. 10: NVIDIA routine sweeps on both GPUs.
-fn fig10_nvidia(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_nvidia");
+fn fig10_nvidia(h: &mut Harness) {
     for id in [DeviceId::Fermi, DeviceId::Kepler] {
         // Representative winner parameters re-used across devices to keep
         // the bench self-contained; real sweeps come from `repro fig10`.
         let tg = TunedGemm::new(id.spec(), bench_paper_params(), bench_small_params());
-        g.bench_with_input(BenchmarkId::new("ours_sweep", id.name()), &tg, |b, tg| {
-            b.iter(|| black_box(sweep(tg, false)))
+        h.bench(&format!("fig10_nvidia/ours_sweep_{}", id.name()), || {
+            sweep(&tg, false)
         });
     }
-    g.finish();
 }
 
 /// Fig. 11: the Sandy Bridge sweep plus MKL/ATLAS curves.
-fn fig11_sandybridge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_sandybridge");
-    let tg = TunedGemm::new(DeviceId::SandyBridge.spec(), bench_paper_params(), bench_small_params());
-    g.bench_function("ours_sweep_dgemm", |b| b.iter(|| black_box(sweep(&tg, true))));
+fn fig11_sandybridge(h: &mut Harness) {
+    let tg = TunedGemm::new(
+        DeviceId::SandyBridge.spec(),
+        bench_paper_params(),
+        bench_small_params(),
+    );
+    h.bench("fig11_sandybridge/ours_sweep_dgemm", || sweep(&tg, true));
     let libs = libraries_for(DeviceId::SandyBridge);
-    g.bench_function("mkl_atlas_curves", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for lib in &libs {
-                for n in (512..=5120).step_by(512) {
-                    acc += lib.gflops(Precision::F64, GemmType::NN, n);
-                }
+    h.bench("fig11_sandybridge/mkl_atlas_curves", || {
+        let mut acc = 0.0;
+        for lib in &libs {
+            for n in (512..=5120).step_by(512) {
+                acc += lib.gflops(Precision::F64, GemmType::NN, n);
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(benches, fig9_tahiti, fig10_nvidia, fig11_sandybridge);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    fig9_tahiti(&mut h);
+    fig10_nvidia(&mut h);
+    fig11_sandybridge(&mut h);
+}

@@ -13,99 +13,95 @@ use clgemm_bench::{bench_device, bench_paper_params, bench_small_params};
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::GemmType;
 use clgemm_device::{estimate, occupancy, DeviceId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clgemm_shim::bench::Harness;
 use std::hint::black_box;
 
 /// Table I: device model construction and occupancy calculation — the
 /// primitive every measurement rests on.
-fn table1_profiles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_profiles");
-    g.bench_function("build_all_specs", |b| {
-        b.iter(|| {
-            for id in DeviceId::ALL {
-                black_box(id.spec());
-            }
-        })
+fn table1_profiles(h: &mut Harness) {
+    h.bench("table1_profiles/build_all_specs", || {
+        for id in DeviceId::ALL {
+            black_box(id.spec());
+        }
     });
     let dev = bench_device();
-    g.bench_function("occupancy", |b| {
-        b.iter(|| black_box(occupancy(&dev, black_box(256), black_box(80), black_box(12288))))
+    h.bench("table1_profiles/occupancy", || {
+        occupancy(&dev, black_box(256), black_box(80), black_box(12288))
     });
-    g.finish();
 }
 
 /// Fig. 7: a single kernel "measurement" (profile + timing model), the
 /// unit of work stage 1 of the search performs hundreds of thousands of
 /// times.
-fn fig7_kernel_perf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_kernel_perf");
+fn fig7_kernel_perf(h: &mut Harness) {
     let p = bench_paper_params();
     for id in [DeviceId::Tahiti, DeviceId::Fermi, DeviceId::SandyBridge] {
         let dev = id.spec();
-        g.bench_with_input(BenchmarkId::new("measure", id.name()), &dev, |b, dev| {
-            b.iter(|| black_box(measure_gflops(&p, dev, black_box(4608))))
+        h.bench(&format!("fig7_kernel_perf/measure_{}", id.name()), || {
+            measure_gflops(&p, &dev, black_box(4608))
         });
     }
     let dev = bench_device();
     let prof = launch_profile(&p, &dev, 4608, 4608, 4608);
-    g.bench_function("timing_model_only", |b| b.iter(|| black_box(estimate(&dev, &prof))));
-    g.finish();
+    h.bench("fig7_kernel_perf/timing_model_only", || {
+        estimate(&dev, &prof)
+    });
 }
 
 /// Table II: the search stages on a thinned space (enumeration + stage-1
 /// measurement + stage-2 sweep).
-fn table2_best_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_best_kernels");
-    g.sample_size(10);
+fn table2_best_kernels(h: &mut Harness) {
     let dev = bench_device();
     let space = SearchSpace::smoke(&dev);
-    g.bench_function("enumerate_smoke", |b| {
-        b.iter(|| black_box(space.enumerate(&dev, Precision::F64)).len())
+    h.bench("table2_best_kernels/enumerate_smoke", || {
+        space.enumerate(&dev, Precision::F64).len()
     });
-    let opts = SearchOpts { top_k: 8, max_sweep_points: 6, verify_winner: false, ..Default::default() };
-    g.bench_function("smoke_search_dgemm", |b| {
-        b.iter(|| black_box(tune(&dev, Precision::F64, &space, &opts)).best.gflops)
+    let opts = SearchOpts {
+        top_k: 8,
+        max_sweep_points: 6,
+        verify_winner: false,
+        ..Default::default()
+    };
+    h.bench("table2_best_kernels/smoke_search_dgemm", || {
+        tune(&dev, Precision::F64, &space, &opts).best.gflops
     });
-    g.finish();
 }
 
 /// Fig. 8: algorithm-restricted searches.
-fn fig8_algorithms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_algorithms");
-    g.sample_size(10);
+fn fig8_algorithms(h: &mut Harness) {
     let dev = bench_device();
-    let opts = SearchOpts { top_k: 5, max_sweep_points: 4, verify_winner: false, ..Default::default() };
+    let opts = SearchOpts {
+        top_k: 5,
+        max_sweep_points: 4,
+        verify_winner: false,
+        ..Default::default()
+    };
     for alg in Algorithm::ALL {
-        g.bench_with_input(BenchmarkId::new("restricted_search", alg.tag()), &alg, |b, alg| {
-            let space = SearchSpace::smoke(&dev).with_algorithm(*alg);
-            b.iter(|| black_box(tune(&dev, Precision::F32, &space, &opts)).best.gflops)
-        });
+        let space = SearchSpace::smoke(&dev).with_algorithm(alg);
+        h.bench(
+            &format!("fig8_algorithms/restricted_search_{}", alg.tag()),
+            || tune(&dev, Precision::F32, &space, &opts).best.gflops,
+        );
     }
-    g.finish();
 }
 
 /// Table III: full-routine prediction for every GEMM type.
-fn table3_routines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3_routines");
+fn table3_routines(h: &mut Harness) {
     let tg = TunedGemm::new(bench_device(), bench_paper_params(), bench_small_params());
-    g.bench_function("predict_all_types_4096", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for ty in GemmType::ALL {
-                acc += tg.predict(true, ty, 4096, 4096, 4096).gflops;
-            }
-            black_box(acc)
-        })
+    h.bench("table3_routines/predict_all_types_4096", || {
+        let mut acc = 0.0;
+        for ty in GemmType::ALL {
+            acc += tg.predict(true, ty, 4096, 4096, 4096).gflops;
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    table1_profiles,
-    fig7_kernel_perf,
-    table2_best_kernels,
-    fig8_algorithms,
-    table3_routines
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    table1_profiles(&mut h);
+    fig7_kernel_perf(&mut h);
+    table2_best_kernels(&mut h);
+    fig8_algorithms(&mut h);
+    table3_routines(&mut h);
+}

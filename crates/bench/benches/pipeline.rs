@@ -12,121 +12,108 @@ use clgemm_blas::matrix::{Matrix, StorageOrder};
 use clgemm_blas::pack::{pack_operand, PackSpec};
 use clgemm_blas::Trans;
 use clgemm_clc::{Arg, BufData, ExecOptions, Program};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use clgemm_shim::bench::Harness;
 
 /// Code generation throughput (string emission only).
-fn ablation_codegen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_codegen");
+fn ablation_codegen(h: &mut Harness) {
     let p = bench_paper_params();
-    g.bench_function("generate_paper_kernel", |b| b.iter(|| black_box(generate(&p).unwrap().source.len())));
-    g.finish();
+    h.bench("ablation_codegen/generate_paper_kernel", || {
+        generate(&p).unwrap().source.len()
+    });
 }
 
 /// Full OpenCL C frontend: preprocess → lex → parse → check → lower.
-fn ablation_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_compile");
+fn ablation_compile(h: &mut Harness) {
     let src = generate(&bench_paper_params()).unwrap().source;
-    g.throughput(Throughput::Bytes(src.len() as u64));
-    g.bench_function("compile_paper_kernel", |b| {
-        b.iter(|| black_box(Program::compile(&src).unwrap()))
+    h.bench("ablation_compile/compile_paper_kernel", || {
+        Program::compile(&src).unwrap()
     });
-    g.finish();
 }
 
 /// VM execution of a small generated kernel (the functional-verification
 /// cost per candidate).
-fn ablation_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_vm");
-    g.sample_size(10);
+fn ablation_vm(h: &mut Harness) {
     let p = bench_small_params();
     let gen = generate(&p).unwrap();
     let prog = Program::compile(&gen.source).unwrap();
     let kernel = prog.kernel(KERNEL_NAME).unwrap();
     let (m, n, k) = (p.mwg, p.nwg, p.kwg * 2);
-    let flops = (2 * m * n * k) as u64;
-    g.throughput(Throughput::Elements(flops));
     let a = vec![1.0f32; k * m];
     let bmat = vec![1.0f32; k * n];
     let c0 = vec![0.0f32; m * n];
     let nd = gen.ndrange(m, n);
-    g.bench_function("vm_exec_16x16x16", |b| {
-        b.iter(|| {
-            let mut bufs = vec![
-                BufData::F32(a.clone()),
-                BufData::F32(bmat.clone()),
-                BufData::F32(c0.clone()),
-            ];
-            let args = [
-                Arg::Buf(0),
-                Arg::Buf(1),
-                Arg::Buf(2),
-                Arg::I32(m as i32),
-                Arg::I32(n as i32),
-                Arg::I32(k as i32),
-                Arg::F32(1.0),
-                Arg::F32(0.0),
-            ];
-            let opts = ExecOptions { detect_races: false, ..Default::default() };
-            black_box(kernel.launch(nd, &args, &mut bufs, &opts).unwrap());
-        })
+    h.bench("ablation_vm/vm_exec_16x16x16", || {
+        let mut bufs = vec![
+            BufData::F32(a.clone()),
+            BufData::F32(bmat.clone()),
+            BufData::F32(c0.clone()),
+        ];
+        let args = [
+            Arg::Buf(0),
+            Arg::Buf(1),
+            Arg::Buf(2),
+            Arg::I32(m as i32),
+            Arg::I32(n as i32),
+            Arg::I32(k as i32),
+            Arg::F32(1.0),
+            Arg::F32(0.0),
+        ];
+        let opts = ExecOptions {
+            detect_races: false,
+            ..Default::default()
+        };
+        kernel.launch(nd, &args, &mut bufs, &opts).unwrap()
     });
-    g.finish();
 }
 
 /// Operand packing (real data movement, the §III-D copy step).
-fn ablation_pack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_pack");
+fn ablation_pack(h: &mut Harness) {
     let n = 512usize;
     let x = Matrix::<f64>::test_pattern(n, n, StorageOrder::ColMajor, 1);
-    g.throughput(Throughput::Bytes((n * n * 8) as u64));
     for layout in BlockLayout::ALL {
-        g.bench_function(format!("pack_512_{}", layout.tag()), |b| {
-            let spec = PackSpec { trans: Trans::Yes, layout, wwg: 64, kwg: 16 };
-            b.iter(|| black_box(pack_operand(&x, spec, n, n).0.len()))
+        let spec = PackSpec {
+            trans: Trans::Yes,
+            layout,
+            wwg: 64,
+            kwg: 16,
+        };
+        h.bench(&format!("ablation_pack/pack_512_{}", layout.tag()), || {
+            pack_operand(&x, spec, n, n).0.len()
         });
     }
-    g.finish();
 }
 
 /// The native executor (correctness-oracle throughput).
-fn ablation_native_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_native_gemm");
-    g.sample_size(10);
+fn ablation_native_gemm(h: &mut Harness) {
     let n = 256usize;
     let dims = PackedDims::new(n, n, 64, 16).unwrap();
     let a = vec![1.0f64; dims.len()];
-    let b_ = vec![2.0f64; dims.len()];
-    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    g.bench_function("run_native_256", |bch| {
-        bch.iter(|| {
-            let mut cbuf = vec![0.0f64; n * n];
-            run_native(
-                n,
-                n,
-                n,
-                1.0,
-                &a,
-                dims,
-                BlockLayout::Cbl,
-                &b_,
-                dims,
-                BlockLayout::Cbl,
-                0.0,
-                &mut cbuf,
-            );
-            black_box(cbuf[0])
-        })
+    let b = vec![2.0f64; dims.len()];
+    h.bench("ablation_native_gemm/run_native_256", || {
+        let mut cbuf = vec![0.0f64; n * n];
+        run_native(
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::Cbl,
+            &b,
+            dims,
+            BlockLayout::Cbl,
+            0.0,
+            &mut cbuf,
+        );
+        cbuf[0]
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_codegen,
-    ablation_compile,
-    ablation_vm,
-    ablation_pack,
-    ablation_native_gemm
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    ablation_codegen(&mut h);
+    ablation_compile(&mut h);
+    ablation_vm(&mut h);
+    ablation_pack(&mut h);
+    ablation_native_gemm(&mut h);
+}

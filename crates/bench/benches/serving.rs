@@ -1,0 +1,105 @@
+//! Serving-layer throughput: wall-clock requests/second through the
+//! whole submit → batch → place → execute path, and the simulated
+//! aggregate GFLOP/s the placed workload achieves, as functions of the
+//! batch-size cap and the device-pool size.
+
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, ServeConfig};
+use clgemm_shim::bench::Harness;
+use clgemm_shim::Rng;
+
+const REQUESTS: usize = 32;
+
+fn workload() -> Vec<GemmRequest> {
+    let mut rng = Rng::new(9);
+    let popular = [48usize, 96, 120];
+    (0..REQUESTS)
+        .map(|_| {
+            let n = popular[rng.range(0, popular.len())];
+            GemmRequest::new(
+                GemmType::ALL[rng.range(0, 4)],
+                GemmPayload::F64 {
+                    alpha: 1.0,
+                    a: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                    b: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                    beta: 0.5,
+                    c: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Serve the whole workload once; returns `(flops, virtual_makespan)`.
+fn serve_once(workload: &[GemmRequest], n_devices: usize, max_batch: usize) -> (f64, f64) {
+    let devices: Vec<_> = DeviceId::ALL
+        .iter()
+        .take(n_devices)
+        .map(|id| id.spec())
+        .collect();
+    let mut server = GemmServer::new(
+        devices,
+        ServeConfig {
+            max_batch,
+            queue_capacity: REQUESTS,
+            ..Default::default()
+        },
+    );
+    for req in workload {
+        server
+            .submit(req.clone())
+            .expect("queue sized for the workload");
+    }
+    server.drain();
+    let flops: f64 = server
+        .take_responses()
+        .iter()
+        .map(|r| r.run.gflops * r.run.total * 1e9)
+        .sum();
+    let makespan = server
+        .workers()
+        .iter()
+        .map(clgemm_sim::DeviceWorker::busy_until)
+        .fold(0.0, f64::max);
+    (flops, makespan)
+}
+
+/// Derived throughput lines (wall-clock rate skipped in smoke mode,
+/// where the harness records no timing).
+fn report(name: &str, wall: f64, flops: f64, makespan: f64) {
+    if wall > 0.0 {
+        println!(
+            "  {name}: {:.0} requests/s wall-clock",
+            REQUESTS as f64 / wall
+        );
+    }
+    println!(
+        "  {name}: {:.1} simulated GFLOP/s aggregate",
+        flops / makespan / 1e9
+    );
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    let workload = workload();
+
+    // Requests/second and simulated GFLOP/s vs the batch-size cap.
+    for max_batch in [1usize, 2, 4, 8] {
+        let name = format!("serving/3dev_batch{max_batch}");
+        h.bench(&name, || serve_once(&workload, 3, max_batch));
+        let (flops, makespan) = serve_once(&workload, 3, max_batch);
+        let wall = h.results().last().expect("just benched").1;
+        report(&name, wall, flops, makespan);
+    }
+
+    // ... and vs the device-pool size.
+    for n_devices in [1usize, 2, 4, 7] {
+        let name = format!("serving/{n_devices}dev_batch4");
+        h.bench(&name, || serve_once(&workload, n_devices, 4));
+        let (flops, makespan) = serve_once(&workload, n_devices, 4);
+        let wall = h.results().last().expect("just benched").1;
+        report(&name, wall, flops, makespan);
+    }
+}

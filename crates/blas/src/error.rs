@@ -58,7 +58,12 @@ pub fn compare<T: Scalar>(x: &Matrix<T>, y: &Matrix<T>) -> ErrorReport {
         (y.rows(), y.cols()),
         "comparing matrices of different shapes"
     );
-    let mut rep = ErrorReport { max_abs: 0.0, max_rel: 0.0, argmax: (0, 0), all_finite: true };
+    let mut rep = ErrorReport {
+        max_abs: 0.0,
+        max_rel: 0.0,
+        argmax: (0, 0),
+        all_finite: true,
+    };
     for j in 0..x.cols() {
         for i in 0..x.rows() {
             let xv = x.at(i, j).to_f64();
@@ -92,7 +97,11 @@ pub fn gemm_tolerance<T: Scalar>(k: usize) -> f64 {
 /// One-call kernel acceptance check: compare `candidate` against
 /// `reference` at the GEMM tolerance for depth `k`.
 #[must_use]
-pub fn verify_gemm<T: Scalar>(candidate: &Matrix<T>, reference: &Matrix<T>, k: usize) -> ErrorReport {
+pub fn verify_gemm<T: Scalar>(
+    candidate: &Matrix<T>,
+    reference: &Matrix<T>,
+    k: usize,
+) -> ErrorReport {
     let rep = compare(candidate, reference);
     debug_assert!(gemm_tolerance::<T>(k) > 0.0);
     rep

@@ -8,7 +8,7 @@
 //! * [`gemm_naive`] — the textbook triple loop; trusted by inspection.
 //! * [`gemm_blocked`] — cache-blocked serial version; fast enough for
 //!   medium problem sizes in tests.
-//! * [`gemm_parallel`] — rayon-parallel over row panels; used for the
+//! * [`gemm_parallel`] — thread-parallel over row panels; used for the
 //!   large validation runs of the integration suite.
 //!
 //! All compute `C ← α·op(A)·op(B) + β·C` on [`Matrix`] operands of any
@@ -17,7 +17,6 @@
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::GemmType;
-use rayon::prelude::*;
 
 /// Validate GEMM operand shapes; returns `(m, n, k)`.
 ///
@@ -32,7 +31,10 @@ pub fn check_shapes<T: Scalar>(
 ) -> (usize, usize, usize) {
     let (am, ak) = a.dims_op(ty.ta);
     let (bk, bn) = b.dims_op(ty.tb);
-    assert_eq!(ak, bk, "inner dimensions disagree: op(A) is {am}x{ak}, op(B) is {bk}x{bn}");
+    assert_eq!(
+        ak, bk,
+        "inner dimensions disagree: op(A) is {am}x{ak}, op(B) is {bk}x{bn}"
+    );
     assert_eq!(
         (c.rows(), c.cols()),
         (am, bn),
@@ -108,7 +110,7 @@ pub fn gemm_blocked<T: Scalar>(
     }
 }
 
-/// Rayon-parallel GEMM: operands are first normalised into contiguous
+/// Thread-parallel GEMM: operands are first normalised into contiguous
 /// row-major panels, then row blocks of `C` are computed in parallel.
 pub fn gemm_parallel<T: Scalar>(
     ty: GemmType,
@@ -133,20 +135,18 @@ pub fn gemm_parallel<T: Scalar>(
         .collect();
 
     let mut out = vec![T::ZERO; m * n];
-    out.par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, row)| {
-            let arow = &at[i * k..(i + 1) * k];
-            for (p, &aval) in arow.iter().enumerate() {
-                if aval == T::ZERO {
-                    continue;
-                }
-                let brow = &bt[p * n..(p + 1) * n];
-                for (dst, &bval) in row.iter_mut().zip(brow) {
-                    *dst = aval.mul_add(bval, *dst);
-                }
+    clgemm_shim::par::par_chunks_mut(&mut out, n, |i, row| {
+        let arow = &at[i * k..(i + 1) * k];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == T::ZERO {
+                continue;
             }
-        });
+            let brow = &bt[p * n..(p + 1) * n];
+            for (dst, &bval) in row.iter_mut().zip(brow) {
+                *dst = aval.mul_add(bval, *dst);
+            }
+        }
+    });
 
     for i in 0..m {
         for j in 0..n {
@@ -192,9 +192,19 @@ mod tests {
 
     #[test]
     fn identity_times_identity() {
-        let eye = Matrix::<f64>::from_fn(4, 4, StorageOrder::ColMajor, |i, j| {
-            if i == j { 1.0 } else { 0.0 }
-        });
+        let eye =
+            Matrix::<f64>::from_fn(
+                4,
+                4,
+                StorageOrder::ColMajor,
+                |i, j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let mut c = Matrix::<f64>::zeros(4, 4, StorageOrder::ColMajor);
         gemm_naive(GemmType::NN, 1.0, &eye, &eye, 0.0, &mut c);
         assert_eq!(c, eye);
@@ -212,8 +222,14 @@ mod tests {
             gemm_parallel(ty, 0.75, &a, &b, -0.5, &mut c3);
             for i in 0..17 {
                 for j in 0..13 {
-                    assert!((c1.at(i, j) - c2.at(i, j)).abs() < 1e-12, "{ty} blocked mismatch");
-                    assert!((c1.at(i, j) - c3.at(i, j)).abs() < 1e-12, "{ty} parallel mismatch");
+                    assert!(
+                        (c1.at(i, j) - c2.at(i, j)).abs() < 1e-12,
+                        "{ty} blocked mismatch"
+                    );
+                    assert!(
+                        (c1.at(i, j) - c3.at(i, j)).abs() < 1e-12,
+                        "{ty} parallel mismatch"
+                    );
                 }
             }
         }

@@ -26,7 +26,7 @@
 //! implementations against each other.
 
 /// One of the three supported packed layouts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockLayout {
     /// Fig. 3(a): plain row-major.
     RowMajor,
@@ -66,7 +66,12 @@ impl BlockLayout {
     #[inline]
     #[must_use]
     pub fn offset(self, p: usize, w: usize, dims: PackedDims) -> usize {
-        debug_assert!(p < dims.k && w < dims.width, "({p},{w}) out of {}x{}", dims.k, dims.width);
+        debug_assert!(
+            p < dims.k && w < dims.width,
+            "({p},{w}) out of {}x{}",
+            dims.k,
+            dims.width
+        );
         match self {
             BlockLayout::RowMajor => p * dims.width + w,
             BlockLayout::Cbl => {
@@ -117,7 +122,7 @@ impl std::str::FromStr for BlockLayout {
 }
 
 /// Dimensions of a packed operand buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PackedDims {
     /// Padded depth (reduction) extent; a multiple of `kwg`.
     pub k: usize,
@@ -138,7 +143,9 @@ impl PackedDims {
     /// blocking factors (which would make block-major offsets ill-defined).
     pub fn new(k: usize, width: usize, wwg: usize, kwg: usize) -> Result<Self, String> {
         if wwg == 0 || kwg == 0 {
-            return Err(format!("blocking factors must be positive (wwg={wwg}, kwg={kwg})"));
+            return Err(format!(
+                "blocking factors must be positive (wwg={wwg}, kwg={kwg})"
+            ));
         }
         if !width.is_multiple_of(wwg) {
             return Err(format!("padded width {width} not a multiple of wwg {wwg}"));
@@ -185,8 +192,15 @@ mod tests {
         for p in 0..d.k {
             for w in 0..d.width {
                 let off = layout.offset(p, w, d);
-                assert!(off < d.len(), "{layout:?} offset {off} out of range {}", d.len());
-                assert!(!seen[off], "{layout:?} offset {off} hit twice (p={p}, w={w})");
+                assert!(
+                    off < d.len(),
+                    "{layout:?} offset {off} out of range {}",
+                    d.len()
+                );
+                assert!(
+                    !seen[off],
+                    "{layout:?} offset {off} hit twice (p={p}, w={w})"
+                );
                 seen[off] = true;
             }
         }

@@ -14,7 +14,7 @@
 //!   block-major staging buffers (the "copying" step of §III-D/§IV-B) and
 //!   merge results back.
 //! * [`gemm_ref`] — reference GEMM implementations (naive, blocked,
-//!   rayon-parallel) used as the correctness oracle for every generated
+//!   thread-parallel) used as the correctness oracle for every generated
 //!   kernel.
 //! * [`error`] — forward-error norms used to accept or reject kernels,
 //!   mirroring the paper's "testing" stage.
@@ -34,7 +34,7 @@ pub use scalar::Scalar;
 
 /// Transpose operation applied to an input operand, `op(X)` in the BLAS
 /// GEMM definition `C ← α·op(A)·op(B) + β·C`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trans {
     /// `op(X) = X`
     No,
@@ -63,7 +63,7 @@ impl Trans {
 }
 
 /// One of the four GEMM multiplication types of §III: NN, NT, TN, TT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmType {
     /// Operation applied to `A`.
     pub ta: Trans,
@@ -72,10 +72,22 @@ pub struct GemmType {
 }
 
 impl GemmType {
-    pub const NN: GemmType = GemmType { ta: Trans::No, tb: Trans::No };
-    pub const NT: GemmType = GemmType { ta: Trans::No, tb: Trans::Yes };
-    pub const TN: GemmType = GemmType { ta: Trans::Yes, tb: Trans::No };
-    pub const TT: GemmType = GemmType { ta: Trans::Yes, tb: Trans::Yes };
+    pub const NN: GemmType = GemmType {
+        ta: Trans::No,
+        tb: Trans::No,
+    };
+    pub const NT: GemmType = GemmType {
+        ta: Trans::No,
+        tb: Trans::Yes,
+    };
+    pub const TN: GemmType = GemmType {
+        ta: Trans::Yes,
+        tb: Trans::No,
+    };
+    pub const TT: GemmType = GemmType {
+        ta: Trans::Yes,
+        tb: Trans::Yes,
+    };
 
     /// All four types in the order the paper tabulates them (Table III).
     pub const ALL: [GemmType; 4] = [Self::NN, Self::NT, Self::TN, Self::TT];

@@ -8,7 +8,7 @@ use crate::scalar::Scalar;
 use crate::Trans;
 
 /// Storage order of a [`Matrix`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageOrder {
     /// Fortran/BLAS order: element `(i, j)` lives at `i + j·ld`.
     ColMajor,
@@ -51,7 +51,13 @@ impl<T: Scalar> Matrix<T> {
             StorageOrder::ColMajor => ld * cols,
             StorageOrder::RowMajor => ld * rows,
         };
-        Matrix { data: vec![T::ZERO; len.max(1)], rows, cols, ld, order }
+        Matrix {
+            data: vec![T::ZERO; len.max(1)],
+            rows,
+            cols,
+            ld,
+            order,
+        }
     }
 
     /// The smallest legal leading dimension for the shape/order.
@@ -124,7 +130,12 @@ impl<T: Scalar> Matrix<T> {
     #[inline]
     #[must_use]
     pub fn offset(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         match self.order {
             StorageOrder::ColMajor => i + j * self.ld,
             StorageOrder::RowMajor => i * self.ld + j,

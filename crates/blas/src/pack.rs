@@ -45,7 +45,11 @@ pub fn pack_operand<T: Scalar>(
     width: usize,
 ) -> (Vec<T>, PackedDims) {
     let (xr, xc) = x.dims_op(spec.trans);
-    assert_eq!((xr, xc), (k, width), "operand shape mismatch: op(X) is {xr}x{xc}, expected {k}x{width}");
+    assert_eq!(
+        (xr, xc),
+        (k, width),
+        "operand shape mismatch: op(X) is {xr}x{xc}, expected {k}x{width}"
+    );
 
     let kp = round_up(k, spec.kwg);
     let wp = round_up(width, spec.wwg);
@@ -72,7 +76,11 @@ pub fn pack_into<T: Scalar>(
     // routine performs.
     for p in 0..dims.k {
         for w in 0..dims.width {
-            let v = if p < k && w < width { x.at_op(spec.trans, p, w) } else { T::ZERO };
+            let v = if p < k && w < width {
+                x.at_op(spec.trans, p, w)
+            } else {
+                T::ZERO
+            };
             buf[spec.layout.offset(p, w, dims)] = v;
         }
     }
@@ -80,7 +88,13 @@ pub fn pack_into<T: Scalar>(
 
 /// Read one element of a packed operand back out (test/debug helper).
 #[must_use]
-pub fn packed_at<T: Scalar>(buf: &[T], layout: BlockLayout, dims: PackedDims, p: usize, w: usize) -> T {
+pub fn packed_at<T: Scalar>(
+    buf: &[T],
+    layout: BlockLayout,
+    dims: PackedDims,
+    p: usize,
+    w: usize,
+) -> T {
     buf[layout.offset(p, w, dims)]
 }
 
@@ -150,7 +164,12 @@ mod tests {
     fn pack_then_unpack_is_identity_without_transpose() {
         let x = Matrix::<f64>::test_pattern(12, 10, StorageOrder::ColMajor, 7);
         for layout in BlockLayout::ALL {
-            let spec = PackSpec { trans: Trans::No, layout, wwg: 4, kwg: 3 };
+            let spec = PackSpec {
+                trans: Trans::No,
+                layout,
+                wwg: 4,
+                kwg: 3,
+            };
             let (buf, dims) = pack_operand(&x, spec, 12, 10);
             let back = unpack_operand(&buf, layout, dims, 12, 10, StorageOrder::ColMajor);
             assert_eq!(back, x, "layout {layout}");
@@ -160,7 +179,12 @@ mod tests {
     #[test]
     fn pack_applies_transpose() {
         let x = Matrix::<f32>::test_pattern(5, 9, StorageOrder::RowMajor, 1);
-        let spec = PackSpec { trans: Trans::Yes, layout: BlockLayout::Cbl, wwg: 5, kwg: 3 };
+        let spec = PackSpec {
+            trans: Trans::Yes,
+            layout: BlockLayout::Cbl,
+            wwg: 5,
+            kwg: 3,
+        };
         // op(X) = Xᵀ is 9x5: depth 9, width 5.
         let (buf, dims) = pack_operand(&x, spec, 9, 5);
         for p in 0..9 {
@@ -173,7 +197,12 @@ mod tests {
     #[test]
     fn padding_cells_are_zero() {
         let x = Matrix::<f64>::test_pattern(5, 6, StorageOrder::ColMajor, 0);
-        let spec = PackSpec { trans: Trans::No, layout: BlockLayout::Rbl, wwg: 4, kwg: 4 };
+        let spec = PackSpec {
+            trans: Trans::No,
+            layout: BlockLayout::Rbl,
+            wwg: 4,
+            kwg: 4,
+        };
         let (buf, dims) = pack_operand(&x, spec, 5, 6);
         assert_eq!((dims.k, dims.width), (8, 8));
         for p in 0..8 {
@@ -190,7 +219,12 @@ mod tests {
     #[should_panic(expected = "operand shape mismatch")]
     fn wrong_shape_is_rejected() {
         let x = Matrix::<f64>::zeros(4, 4, StorageOrder::ColMajor);
-        let spec = PackSpec { trans: Trans::No, layout: BlockLayout::RowMajor, wwg: 2, kwg: 2 };
+        let spec = PackSpec {
+            trans: Trans::No,
+            layout: BlockLayout::RowMajor,
+            wwg: 2,
+            kwg: 2,
+        };
         let _ = pack_operand(&x, spec, 5, 4);
     }
 

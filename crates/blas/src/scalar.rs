@@ -127,7 +127,7 @@ impl Scalar for f64 {
 
 /// Precision selector used where code paths are chosen at run time rather
 /// than by monomorphisation (e.g. in the tuner's result records).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Single precision — SGEMM.
     F32,
@@ -167,6 +167,18 @@ impl Precision {
 impl std::fmt::Display for Precision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.routine_name())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "F32" | "SGEMM" => Ok(Precision::F32),
+            "F64" | "DGEMM" => Ok(Precision::F64),
+            other => Err(format!("unknown precision {other:?}; expected F32/F64")),
+        }
     }
 }
 

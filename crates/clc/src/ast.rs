@@ -124,7 +124,10 @@ impl BinOp {
     /// `true` for comparison operators (result type `bool`).
     #[must_use]
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// `true` for logical and/or.
@@ -136,7 +139,10 @@ impl BinOp {
     /// `true` for integer-only operators.
     #[must_use]
     pub fn int_only(self) -> bool {
-        matches!(self, BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr)
+        matches!(
+            self,
+            BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+        )
     }
 }
 
@@ -197,11 +203,26 @@ pub enum Stmt {
     /// `vstore...`).
     Expr(Expr),
     /// `for (init; cond; step) body` — init/step are statements.
-    For { pos: Pos, init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt> },
+    For {
+        pos: Pos,
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Vec<Stmt>,
+    },
     /// `if (cond) { .. } else { .. }`
-    If { pos: Pos, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        pos: Pos,
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while (cond) body`
-    While { pos: Pos, cond: Expr, body: Vec<Stmt> },
+    While {
+        pos: Pos,
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     /// `return;`
     Return(Pos),
     /// Empty statement `;`.

@@ -87,7 +87,9 @@ struct Scope {
 
 impl Scope {
     fn new() -> Self {
-        Scope { frames: vec![HashMap::new()] }
+        Scope {
+            frames: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -101,7 +103,10 @@ impl Scope {
     fn declare(&mut self, name: &str, ty: Type, r: VarRef, pos: Pos) -> Result<(), CompileError> {
         let top = self.frames.last_mut().expect("scope stack never empty");
         if top.contains_key(name) {
-            return Err(CompileError::new(pos, format!("redeclaration of `{name}` in the same scope")));
+            return Err(CompileError::new(
+                pos,
+                format!("redeclaration of `{name}` in the same scope"),
+            ));
         }
         top.insert(name.to_string(), (ty, r));
         Ok(())
@@ -136,7 +141,11 @@ fn check_kernel(def: &KernelDef) -> Result<CheckedKernel, CompileError> {
             Type::Ptr(AddrSpace::Global, base, is_const) => {
                 let idx = buffer_params.len();
                 scope.declare(&p.name, p.ty, VarRef::Buffer(idx), def.pos)?;
-                buffer_params.push(BufferParam { name: p.name.clone(), base, is_const });
+                buffer_params.push(BufferParam {
+                    name: p.name.clone(),
+                    base,
+                    is_const,
+                });
                 param_order.push(true);
             }
             Type::Ptr(AddrSpace::Local, ..) => {
@@ -146,13 +155,20 @@ fn check_kernel(def: &KernelDef) -> Result<CheckedKernel, CompileError> {
                 ));
             }
             Type::Void => {
-                return Err(CompileError::new(def.pos, format!("parameter `{}` has void type", p.name)))
+                return Err(CompileError::new(
+                    def.pos,
+                    format!("parameter `{}` has void type", p.name),
+                ))
             }
             ty => {
                 let slot = ck.n_slots;
                 ck.n_slots += 1;
                 scope.declare(&p.name, ty, VarRef::Value(slot), def.pos)?;
-                value_params.push(ValueParam { name: p.name.clone(), ty, slot });
+                value_params.push(ValueParam {
+                    name: p.name.clone(),
+                    ty,
+                    slot,
+                });
                 param_order.push(false);
             }
         }
@@ -183,25 +199,52 @@ impl Checker {
     fn stmt(&mut self, s: &Stmt, scope: &mut Scope) -> Result<(), CompileError> {
         match s {
             Stmt::Empty | Stmt::Return(_) => Ok(()),
-            Stmt::Decl { pos, ty, name, array_len, init, addr_space } => {
+            Stmt::Decl {
+                pos,
+                ty,
+                name,
+                array_len,
+                init,
+                addr_space,
+            } => {
                 if let Some(len_expr) = array_len {
-                    let base = ty.base().ok_or_else(|| CompileError::new(*pos, "array of void"))?;
+                    let base = ty
+                        .base()
+                        .ok_or_else(|| CompileError::new(*pos, "array of void"))?;
                     if ty.width() != 1 {
-                        return Err(CompileError::new(*pos, "arrays of vector types are not supported"));
+                        return Err(CompileError::new(
+                            *pos,
+                            "arrays of vector types are not supported",
+                        ));
                     }
                     let len = const_int(len_expr).ok_or_else(|| {
-                        CompileError::new(*pos, "array length must be an integer constant expression")
+                        CompileError::new(
+                            *pos,
+                            "array length must be an integer constant expression",
+                        )
                     })?;
                     if len <= 0 {
-                        return Err(CompileError::new(*pos, format!("array length {len} must be positive")));
+                        return Err(CompileError::new(
+                            *pos,
+                            format!("array length {len} must be positive"),
+                        ));
                     }
                     let space = addr_space.unwrap_or(AddrSpace::Local);
                     if space != AddrSpace::Local {
                         return Err(CompileError::new(*pos, "only __local arrays are supported"));
                     }
                     let idx = self.local_arrays.len();
-                    self.local_arrays.push(LocalArray { name: name.clone(), base, len: len as usize });
-                    scope.declare(name, Type::Ptr(AddrSpace::Local, base, false), VarRef::LocalArr(idx), *pos)
+                    self.local_arrays.push(LocalArray {
+                        name: name.clone(),
+                        base,
+                        len: len as usize,
+                    });
+                    scope.declare(
+                        name,
+                        Type::Ptr(AddrSpace::Local, base, false),
+                        VarRef::LocalArr(idx),
+                        *pos,
+                    )
                 } else {
                     if *ty == Type::Void {
                         return Err(CompileError::new(*pos, "cannot declare void variable"));
@@ -224,7 +267,13 @@ impl Checker {
                 let _ = self.expr(e, scope)?;
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 scope.push();
                 self.stmt(init, scope)?;
                 let cty = self.expr(cond, scope)?;
@@ -244,7 +293,12 @@ impl Checker {
                 scope.pop();
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let cty = self.expr(cond, scope)?;
                 self.require_condition(cty, cond.pos)?;
                 scope.push();
@@ -261,7 +315,10 @@ impl Checker {
     fn require_condition(&self, ty: Type, pos: Pos) -> Result<(), CompileError> {
         match ty {
             Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint) => Ok(()),
-            other => Err(CompileError::new(pos, format!("condition has type {other:?}, expected scalar bool/int"))),
+            other => Err(CompileError::new(
+                pos,
+                format!("condition has type {other:?}, expected scalar bool/int"),
+            )),
         }
     }
 
@@ -307,13 +364,15 @@ impl Checker {
     fn infer(&mut self, e: &Expr, scope: &mut Scope) -> Result<Type, CompileError> {
         match &e.kind {
             ExprKind::IntLit(_) => Ok(Type::INT),
-            ExprKind::FloatLit(_, is_f32) => {
-                Ok(Type::Scalar(if *is_f32 { Base::Float } else { Base::Double }))
-            }
+            ExprKind::FloatLit(_, is_f32) => Ok(Type::Scalar(if *is_f32 {
+                Base::Float
+            } else {
+                Base::Double
+            })),
             ExprKind::Var(name) => {
-                let (ty, r) = scope
-                    .lookup(name)
-                    .ok_or_else(|| CompileError::new(e.pos, format!("undeclared identifier `{name}`")))?;
+                let (ty, r) = scope.lookup(name).ok_or_else(|| {
+                    CompileError::new(e.pos, format!("undeclared identifier `{name}`"))
+                })?;
                 self.resolutions.insert(e.id, r);
                 Ok(ty)
             }
@@ -325,10 +384,13 @@ impl Checker {
                         other => Err(CompileError::new(e.pos, format!("cannot negate {other:?}"))),
                     },
                     UnOp::Not => match t {
-                        Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint) => {
-                            Ok(Type::BOOL)
-                        }
-                        other => Err(CompileError::new(e.pos, format!("cannot apply ! to {other:?}"))),
+                        Type::Scalar(Base::Bool)
+                        | Type::Scalar(Base::Int)
+                        | Type::Scalar(Base::Uint) => Ok(Type::BOOL),
+                        other => Err(CompileError::new(
+                            e.pos,
+                            format!("cannot apply ! to {other:?}"),
+                        )),
                     },
                 }
             }
@@ -343,7 +405,10 @@ impl Checker {
                 let at = self.expr(a, scope)?;
                 let bt = self.expr(b, scope)?;
                 promote(at, bt).ok_or_else(|| {
-                    CompileError::new(e.pos, format!("ternary arms have incompatible types {at:?} / {bt:?}"))
+                    CompileError::new(
+                        e.pos,
+                        format!("ternary arms have incompatible types {at:?} / {bt:?}"),
+                    )
                 })
             }
             ExprKind::Index(base, idx) => {
@@ -354,7 +419,10 @@ impl Checker {
                 }
                 match bt {
                     Type::Ptr(_, b, _) => Ok(Type::Scalar(b)),
-                    other => Err(CompileError::new(e.pos, format!("cannot index into {other:?}"))),
+                    other => Err(CompileError::new(
+                        e.pos,
+                        format!("cannot index into {other:?}"),
+                    )),
                 }
             }
             ExprKind::Swizzle(base, lane) => {
@@ -365,7 +433,10 @@ impl Checker {
                         e.pos,
                         format!("component {lane} out of range for width-{w} vector"),
                     )),
-                    other => Err(CompileError::new(e.pos, format!("cannot swizzle {other:?}"))),
+                    other => Err(CompileError::new(
+                        e.pos,
+                        format!("cannot swizzle {other:?}"),
+                    )),
                 }
             }
             ExprKind::Cast(ty, args) => self.cast_type(*ty, args, e.pos, scope),
@@ -376,30 +447,44 @@ impl Checker {
     fn bin_type(&self, op: BinOp, lt: Type, rt: Type, pos: Pos) -> Result<Type, CompileError> {
         if op.is_logic() {
             for t in [lt, rt] {
-                if !matches!(t, Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint)) {
-                    return Err(CompileError::new(pos, format!("logical operand has type {t:?}")));
+                if !matches!(
+                    t,
+                    Type::Scalar(Base::Bool) | Type::Scalar(Base::Int) | Type::Scalar(Base::Uint)
+                ) {
+                    return Err(CompileError::new(
+                        pos,
+                        format!("logical operand has type {t:?}"),
+                    ));
                 }
             }
             return Ok(Type::BOOL);
         }
         if op.is_cmp() {
-            let p = promote(lt, rt)
-                .ok_or_else(|| CompileError::new(pos, format!("cannot compare {lt:?} with {rt:?}")))?;
+            let p = promote(lt, rt).ok_or_else(|| {
+                CompileError::new(pos, format!("cannot compare {lt:?} with {rt:?}"))
+            })?;
             if p.width() != 1 {
-                return Err(CompileError::new(pos, "vector comparisons are not supported"));
+                return Err(CompileError::new(
+                    pos,
+                    "vector comparisons are not supported",
+                ));
             }
             return Ok(Type::BOOL);
         }
         if op.int_only() {
             for t in [lt, rt] {
                 if !matches!(t, Type::Scalar(b) if b.is_int()) {
-                    return Err(CompileError::new(pos, format!("operator requires integers, got {t:?}")));
+                    return Err(CompileError::new(
+                        pos,
+                        format!("operator requires integers, got {t:?}"),
+                    ));
                 }
             }
             return Ok(Type::INT);
         }
-        promote(lt, rt)
-            .ok_or_else(|| CompileError::new(pos, format!("incompatible operands {lt:?} and {rt:?}")))
+        promote(lt, rt).ok_or_else(|| {
+            CompileError::new(pos, format!("incompatible operands {lt:?} and {rt:?}"))
+        })
     }
 
     fn cast_type(
@@ -416,7 +501,10 @@ impl Checker {
         match ty {
             Type::Scalar(_) => {
                 if args.len() != 1 {
-                    return Err(CompileError::new(pos, "scalar cast takes exactly one argument"));
+                    return Err(CompileError::new(
+                        pos,
+                        "scalar cast takes exactly one argument",
+                    ));
                 }
                 if !matches!(arg_tys[0], Type::Scalar(_)) {
                     return Err(CompileError::new(pos, "scalar cast of a non-scalar"));
@@ -428,19 +516,28 @@ impl Checker {
                     match arg_tys[0] {
                         Type::Scalar(_) => Ok(ty), // broadcast
                         Type::Vector(_, aw) if aw == w => Ok(ty),
-                        other => Err(CompileError::new(pos, format!("cannot convert {other:?} to {ty:?}"))),
+                        other => Err(CompileError::new(
+                            pos,
+                            format!("cannot convert {other:?} to {ty:?}"),
+                        )),
                     }
                 } else if args.len() == w as usize {
                     for t in &arg_tys {
                         if !matches!(t, Type::Scalar(_)) {
-                            return Err(CompileError::new(pos, "vector constructor arguments must be scalars"));
+                            return Err(CompileError::new(
+                                pos,
+                                "vector constructor arguments must be scalars",
+                            ));
                         }
                     }
                     Ok(ty)
                 } else {
                     Err(CompileError::new(
                         pos,
-                        format!("vector constructor for width {w} got {} arguments", args.len()),
+                        format!(
+                            "vector constructor for width {w} got {} arguments",
+                            args.len()
+                        ),
                     ))
                 }
             }
@@ -463,7 +560,10 @@ impl Checker {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(CompileError::new(pos, format!("{name} takes {n} argument(s), got {}", args.len())))
+                Err(CompileError::new(
+                    pos,
+                    format!("{name} takes {n} argument(s), got {}", args.len()),
+                ))
             }
         };
         match name {
@@ -481,11 +581,14 @@ impl Checker {
             }
             "mad" | "fma" => {
                 arity(3)?;
-                let t = promote(promote(tys[0], tys[1]).unwrap_or(tys[0]), tys[2]).ok_or_else(|| {
-                    CompileError::new(pos, format!("incompatible mad operands {tys:?}"))
-                })?;
+                let t = promote(promote(tys[0], tys[1]).unwrap_or(tys[0]), tys[2]).ok_or_else(
+                    || CompileError::new(pos, format!("incompatible mad operands {tys:?}")),
+                )?;
                 if !t.base().map(Base::is_fp).unwrap_or(false) {
-                    return Err(CompileError::new(pos, "mad/fma requires floating-point operands"));
+                    return Err(CompileError::new(
+                        pos,
+                        "mad/fma requires floating-point operands",
+                    ));
                 }
                 Ok(t)
             }
@@ -496,24 +599,33 @@ impl Checker {
             }
             "fmin" | "fmax" => {
                 arity(2)?;
-                let t = promote(tys[0], tys[1])
-                    .ok_or_else(|| CompileError::new(pos, format!("incompatible {name} operands")))?;
+                let t = promote(tys[0], tys[1]).ok_or_else(|| {
+                    CompileError::new(pos, format!("incompatible {name} operands"))
+                })?;
                 if !t.base().map(Base::is_fp).unwrap_or(false) {
-                    return Err(CompileError::new(pos, format!("{name} requires floating point")));
+                    return Err(CompileError::new(
+                        pos,
+                        format!("{name} requires floating point"),
+                    ));
                 }
                 Ok(t)
             }
             "clamp" => {
                 arity(3)?;
-                let t01 = promote(tys[0], tys[1])
-                    .ok_or_else(|| CompileError::new(pos, "incompatible clamp operands".to_string()))?;
-                promote(t01, tys[2])
-                    .ok_or_else(|| CompileError::new(pos, "incompatible clamp operands".to_string()))
+                let t01 = promote(tys[0], tys[1]).ok_or_else(|| {
+                    CompileError::new(pos, "incompatible clamp operands".to_string())
+                })?;
+                promote(t01, tys[2]).ok_or_else(|| {
+                    CompileError::new(pos, "incompatible clamp operands".to_string())
+                })
             }
             "fabs" | "sqrt" | "native_recip" | "exp" | "log" => {
                 arity(1)?;
                 if !tys[0].base().map(Base::is_fp).unwrap_or(false) {
-                    return Err(CompileError::new(pos, format!("{name} requires floating point")));
+                    return Err(CompileError::new(
+                        pos,
+                        format!("{name} requires floating point"),
+                    ));
                 }
                 Ok(tys[0])
             }
@@ -523,7 +635,10 @@ impl Checker {
                     let base = match tys[1] {
                         Type::Ptr(_, b, _) if b.is_fp() => b,
                         other => {
-                            return Err(CompileError::new(pos, format!("vload pointer has type {other:?}")))
+                            return Err(CompileError::new(
+                                pos,
+                                format!("vload pointer has type {other:?}"),
+                            ))
                         }
                     };
                     if !matches!(tys[0], Type::Scalar(b) if b.is_int()) {
@@ -539,7 +654,10 @@ impl Checker {
                             return Err(CompileError::new(pos, "vstore into a const pointer"))
                         }
                         other => {
-                            return Err(CompileError::new(pos, format!("vstore pointer has type {other:?}")))
+                            return Err(CompileError::new(
+                                pos,
+                                format!("vstore pointer has type {other:?}"),
+                            ))
                         }
                     };
                     if tys[0] != Type::Vector(base, w) {
@@ -663,10 +781,8 @@ mod tests {
 
     #[test]
     fn rejects_type_mismatch_without_cast() {
-        let err = check_src(
-            "__kernel void k(__global int* x){ double d = 1.0; x[0] = d; }",
-        )
-        .unwrap_err();
+        let err =
+            check_src("__kernel void k(__global int* x){ double d = 1.0; x[0] = d; }").unwrap_err();
         assert!(err.message.contains("cast"), "{err}");
     }
 
@@ -738,7 +854,8 @@ mod tests {
 
     #[test]
     fn mad_requires_floats() {
-        let err = check_src("__kernel void k(__global int* x){ x[0] = mad(1, 2, 3); }").unwrap_err();
+        let err =
+            check_src("__kernel void k(__global int* x){ x[0] = mad(1, 2, 3); }").unwrap_err();
         assert!(err.message.contains("floating-point"), "{err}");
     }
 
@@ -770,14 +887,15 @@ mod tests {
 
     #[test]
     fn unknown_function_is_rejected() {
-        let err = check_src("__kernel void k(__global int* x){ x[0] = frobnicate(1); }").unwrap_err();
+        let err =
+            check_src("__kernel void k(__global int* x){ x[0] = frobnicate(1); }").unwrap_err();
         assert!(err.message.contains("unknown function"), "{err}");
     }
 
     #[test]
     fn redeclaration_in_same_scope_rejected() {
-        let err =
-            check_src("__kernel void k(__global int* x){ int a = 1; int a = 2; x[0] = a; }").unwrap_err();
+        let err = check_src("__kernel void k(__global int* x){ int a = 1; int a = 2; x[0] = a; }")
+            .unwrap_err();
         assert!(err.message.contains("redeclaration"), "{err}");
     }
 

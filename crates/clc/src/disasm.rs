@@ -50,7 +50,11 @@ pub fn disassemble(k: &CompiledKernel) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "kernel {} ({} regs, {} barrier sites)", k.name, k.n_regs, k.n_barrier_sites);
+    let _ = writeln!(
+        out,
+        "kernel {} ({} regs, {} barrier sites)",
+        k.name, k.n_regs, k.n_barrier_sites
+    );
     for (i, a) in k.checked.local_arrays.iter().enumerate() {
         let _ = writeln!(out, "  local[{i}] {} {}[{}]", a.base.name(), a.name, a.len);
     }
@@ -72,31 +76,66 @@ pub fn disassemble(k: &CompiledKernel) -> String {
             Instr::Mov { dst, src } => format!("r{dst} = r{src}"),
             Instr::Bin { op, dst, a, b } => format!("r{dst} = r{a} {op:?} r{b}"),
             Instr::Un { op, dst, a } => format!("r{dst} = {op:?} r{a}"),
-            Instr::Convert { dst, src, base } => format!("r{dst} = convert<{}> r{src}", base.name()),
+            Instr::Convert { dst, src, base } => {
+                format!("r{dst} = convert<{}> r{src}", base.name())
+            }
             Instr::Broadcast { dst, src, width } => format!("r{dst} = broadcast{width} r{src}"),
             Instr::BuildVec { dst, base, parts } => {
                 let regs: Vec<String> = parts.iter().map(|r| format!("r{r}")).collect();
-                format!("r{dst} = ({}{})({})", base.name(), parts.len(), regs.join(", "))
+                format!(
+                    "r{dst} = ({}{})({})",
+                    base.name(),
+                    parts.len(),
+                    regs.join(", ")
+                )
             }
             Instr::Extract { dst, src, lane } => format!("r{dst} = r{src}.s{lane:x}"),
             Instr::InsertLane { vec, src, lane } => format!("r{vec}.s{lane:x} = r{src}"),
             Instr::Mad { dst, a, b, c } => format!("r{dst} = mad(r{a}, r{b}, r{c})"),
-            Instr::Math { f, dst, args, n_args } => {
-                let regs: Vec<String> =
-                    args.iter().take(*n_args as usize).map(|r| format!("r{r}")).collect();
+            Instr::Math {
+                f,
+                dst,
+                args,
+                n_args,
+            } => {
+                let regs: Vec<String> = args
+                    .iter()
+                    .take(*n_args as usize)
+                    .map(|r| format!("r{r}"))
+                    .collect();
                 format!("r{dst} = {}({})", math_name(*f), regs.join(", "))
             }
             Instr::Wi { f, dst, dim } => format!("r{dst} = {}(r{dim})", wi_name(*f)),
-            Instr::LoadGlobal { dst, buf, idx, width } => {
+            Instr::LoadGlobal {
+                dst,
+                buf,
+                idx,
+                width,
+            } => {
                 format!("r{dst} = gload{width} buffer[{buf}][r{idx}]")
             }
-            Instr::StoreGlobal { buf, idx, src, width } => {
+            Instr::StoreGlobal {
+                buf,
+                idx,
+                src,
+                width,
+            } => {
                 format!("gstore{width} buffer[{buf}][r{idx}] = r{src}")
             }
-            Instr::LoadLocal { dst, arr, idx, width } => {
+            Instr::LoadLocal {
+                dst,
+                arr,
+                idx,
+                width,
+            } => {
                 format!("r{dst} = lload{width} local[{arr}][r{idx}]")
             }
-            Instr::StoreLocal { arr, idx, src, width } => {
+            Instr::StoreLocal {
+                arr,
+                idx,
+                src,
+                width,
+            } => {
                 format!("lstore{width} local[{arr}][r{idx}] = r{src}")
             }
             Instr::Jump { target } => format!("jump L{target}"),
@@ -118,7 +157,9 @@ mod tests {
     use crate::parser::parse;
 
     fn compile(src: &str) -> CompiledKernel {
-        lower(&check(&parse(src).unwrap()).unwrap()).unwrap().remove(0)
+        lower(&check(&parse(src).unwrap()).unwrap())
+            .unwrap()
+            .remove(0)
     }
 
     #[test]
@@ -155,9 +196,14 @@ mod tests {
             if let Some(idx) = line.find("jump L").or_else(|| line.find("jumpz ")) {
                 let tail = &line[idx..];
                 if let Some(lpos) = tail.find('L') {
-                    let label: String =
-                        tail[lpos + 1..].chars().take_while(char::is_ascii_digit).collect();
-                    assert!(d.contains(&format!("L{label}:")), "undefined label L{label} in:\n{d}");
+                    let label: String = tail[lpos + 1..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect();
+                    assert!(
+                        d.contains(&format!("L{label}:")),
+                        "undefined label L{label} in:\n{d}"
+                    );
                 }
             }
         }

@@ -22,7 +22,10 @@ pub struct CompileError {
 
 impl CompileError {
     pub fn new(pos: Pos, message: impl Into<String>) -> Self {
-        CompileError { pos, message: message.into() }
+        CompileError {
+            pos,
+            message: message.into(),
+        }
     }
 }
 
@@ -39,15 +42,28 @@ impl std::error::Error for CompileError {}
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// Out-of-bounds access on a global buffer.
-    GlobalOob { buffer: String, index: i64, len: usize },
+    GlobalOob {
+        buffer: String,
+        index: i64,
+        len: usize,
+    },
     /// Out-of-bounds access on a local (shared) array.
-    LocalOob { array: String, index: i64, len: usize },
+    LocalOob {
+        array: String,
+        index: i64,
+        len: usize,
+    },
     /// Work-items of one group reached different barriers (undefined
     /// behaviour in OpenCL; a hard error here).
     BarrierDivergence { detail: String },
     /// Two work-items touched the same local-memory cell in the same
     /// barrier phase, at least one writing.
-    LocalRace { array: String, index: usize, writer: usize, other: usize },
+    LocalRace {
+        array: String,
+        index: usize,
+        writer: usize,
+        other: usize,
+    },
     /// Argument list does not match the kernel signature.
     BadArguments(String),
     /// NDRange is invalid (e.g. global size not a multiple of local size —
@@ -94,7 +110,12 @@ mod tests {
     fn errors_format_usefully() {
         let e = CompileError::new(Pos { line: 3, col: 7 }, "unexpected token");
         assert_eq!(e.to_string(), "compile error at 3:7: unexpected token");
-        let r = RuntimeError::LocalRace { array: "Alm".into(), index: 5, writer: 1, other: 2 };
+        let r = RuntimeError::LocalRace {
+            array: "Alm".into(),
+            index: 5,
+            writer: 1,
+            other: 2,
+        };
         assert!(r.to_string().contains("Alm"));
         assert!(r.to_string().contains("work-items 1 and 2"));
     }

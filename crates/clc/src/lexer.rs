@@ -138,7 +138,10 @@ pub fn preprocess(src: &str) -> Result<String, CompileError> {
                 rest = &rest[start + 2 + end + 2..];
             }
             None => {
-                return Err(CompileError::new(Pos { line: 1, col: 1 }, "unterminated block comment"))
+                return Err(CompileError::new(
+                    Pos { line: 1, col: 1 },
+                    "unterminated block comment",
+                ))
             }
         }
     }
@@ -190,7 +193,9 @@ fn expand(code: &str, defines: &HashMap<String, String>) -> String {
         let c = bytes[i] as char;
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
                 i += 1;
             }
             let word = &code[start..i];
@@ -216,7 +221,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
 
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            toks.push(Spanned { tok: $tok, pos: Pos { line, col } });
+            toks.push(Spanned {
+                tok: $tok,
+                pos: Pos { line, col },
+            });
             i += $len;
             col += $len as u32;
         }};
@@ -237,16 +245,23 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
                 i += 1;
             }
             let word = src[start..i].to_string();
             let len = (i - start) as u32;
-            toks.push(Spanned { tok: Tok::Ident(word), pos: Pos { line, col } });
+            toks.push(Spanned {
+                tok: Tok::Ident(word),
+                pos: Pos { line, col },
+            });
             col += len;
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
             let start = i;
             let mut is_float = false;
             while i < bytes.len() {
@@ -281,13 +296,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
             // Hex literals are not needed by the generator; reject the 0x
             // prefix explicitly for a clear message.
             if text.starts_with("0x") || text.starts_with("0X") {
-                return Err(CompileError::new(Pos { line, col }, "hex literals not supported"));
+                return Err(CompileError::new(
+                    Pos { line, col },
+                    "hex literals not supported",
+                ));
             }
             let pos = Pos { line, col };
             let tok = if is_float {
-                let v: f64 = text.parse().map_err(|_| {
-                    CompileError::new(pos, format!("bad float literal {text:?}"))
-                })?;
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(pos, format!("bad float literal {text:?}")))?;
                 Tok::FloatLit(v, f32_suffix)
             } else {
                 let v: i64 = text
@@ -360,7 +378,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
         };
         push!(tok1, 1);
     }
-    toks.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
     Ok(toks)
 }
 
@@ -406,7 +427,10 @@ mod tests {
     #[test]
     fn strips_line_and_block_comments() {
         let t = kinds("a // comment\n/* multi\nline */ b");
-        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub enum Instr {
     /// Scalar → vector broadcast.
     Broadcast { dst: Reg, src: Reg, width: u8 },
     /// Assemble a vector from scalar parts.
-    BuildVec { dst: Reg, base: Base, parts: Vec<Reg> },
+    BuildVec {
+        dst: Reg,
+        base: Base,
+        parts: Vec<Reg>,
+    },
     /// `dst = src.lane` (scalar extract).
     Extract { dst: Reg, src: Reg, lane: u8 },
     /// `vec.lane = src` in place.
@@ -66,18 +70,43 @@ pub enum Instr {
     /// Fused multiply-add `dst = a*b + c`, elementwise.
     Mad { dst: Reg, a: Reg, b: Reg, c: Reg },
     /// Math builtin (1–3 register operands).
-    Math { f: MathFunc, dst: Reg, args: [Reg; 3], n_args: u8 },
+    Math {
+        f: MathFunc,
+        dst: Reg,
+        args: [Reg; 3],
+        n_args: u8,
+    },
     /// Index-space query; `dim` register holds the dimension.
     Wi { f: WiFunc, dst: Reg, dim: Reg },
     /// Load `width` consecutive elements from global buffer `buf` at
     /// element index in `idx`.
-    LoadGlobal { dst: Reg, buf: usize, idx: Reg, width: u8 },
+    LoadGlobal {
+        dst: Reg,
+        buf: usize,
+        idx: Reg,
+        width: u8,
+    },
     /// Store to a global buffer.
-    StoreGlobal { buf: usize, idx: Reg, src: Reg, width: u8 },
+    StoreGlobal {
+        buf: usize,
+        idx: Reg,
+        src: Reg,
+        width: u8,
+    },
     /// Load from a local array.
-    LoadLocal { dst: Reg, arr: usize, idx: Reg, width: u8 },
+    LoadLocal {
+        dst: Reg,
+        arr: usize,
+        idx: Reg,
+        width: u8,
+    },
     /// Store to a local array.
-    StoreLocal { arr: usize, idx: Reg, src: Reg, width: u8 },
+    StoreLocal {
+        arr: usize,
+        idx: Reg,
+        src: Reg,
+        width: u8,
+    },
     /// Unconditional jump to instruction index.
     Jump { target: usize },
     /// Jump when the bool in `cond` is false.
@@ -160,7 +189,11 @@ impl<'a> Lowerer<'a> {
     }
 
     fn ty_of(&self, e: &Expr) -> Type {
-        *self.ck.expr_types.get(&e.id).expect("checker typed every expression")
+        *self
+            .ck
+            .expr_types
+            .get(&e.id)
+            .expect("checker typed every expression")
     }
 
     fn slot_of_var(&self, name: &str) -> Option<Reg> {
@@ -181,7 +214,14 @@ impl<'a> Lowerer<'a> {
                 self.emit(Instr::Ret, *pos);
                 Ok(())
             }
-            Stmt::Decl { pos, ty, name, array_len, init, .. } => {
+            Stmt::Decl {
+                pos,
+                ty,
+                name,
+                array_len,
+                init,
+                ..
+            } => {
                 if array_len.is_some() {
                     // Local arrays were registered by the checker; nothing
                     // to execute. Record the name → array resolution is in
@@ -195,8 +235,9 @@ impl<'a> Lowerer<'a> {
                 } else {
                     // Zero-initialise so reads of uninitialised variables
                     // are deterministic (stricter than C; helps testing).
-                    let val = zero_of(*ty)
-                        .ok_or_else(|| CompileError::new(*pos, "cannot declare variable of this type"))?;
+                    let val = zero_of(*ty).ok_or_else(|| {
+                        CompileError::new(*pos, "cannot declare variable of this type")
+                    })?;
                     self.emit(Instr::Const { dst: slot, val }, *pos);
                 }
                 Ok(())
@@ -206,7 +247,12 @@ impl<'a> Lowerer<'a> {
                 let _ = self.expr(e)?;
                 Ok(())
             }
-            Stmt::If { pos, cond, then_body, else_body } => {
+            Stmt::If {
+                pos,
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.expr_cond(cond)?;
                 let jf = self.emit(Instr::JumpIfFalse { cond: c, target: 0 }, *pos);
                 self.scopes.push(HashMap::new());
@@ -239,7 +285,13 @@ impl<'a> Lowerer<'a> {
                 self.patch_jump(jf, end);
                 Ok(())
             }
-            Stmt::For { pos, init, cond, step, body } => {
+            Stmt::For {
+                pos,
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 self.stmt(init)?;
                 let loop_head = self.code.len();
@@ -260,7 +312,10 @@ impl<'a> Lowerer<'a> {
 
     fn fresh_decl_slot(&mut self, name: &str) -> Reg {
         let slot = self.fresh();
-        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string(), slot);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), slot);
         slot
     }
 
@@ -287,23 +342,49 @@ impl<'a> Lowerer<'a> {
                 let i = self.expr(idx)?;
                 match self.target_of(base)? {
                     MemTarget::Global(buf) => {
-                        self.emit(Instr::StoreGlobal { buf, idx: i, src: r, width: 1 }, pos);
+                        self.emit(
+                            Instr::StoreGlobal {
+                                buf,
+                                idx: i,
+                                src: r,
+                                width: 1,
+                            },
+                            pos,
+                        );
                     }
                     MemTarget::Local(arr) => {
-                        self.emit(Instr::StoreLocal { arr, idx: i, src: r, width: 1 }, pos);
+                        self.emit(
+                            Instr::StoreLocal {
+                                arr,
+                                idx: i,
+                                src: r,
+                                width: 1,
+                            },
+                            pos,
+                        );
                     }
                 }
                 Ok(())
             }
             ExprKind::Swizzle(vec_expr, lane) => {
                 let ExprKind::Var(name) = &vec_expr.kind else {
-                    return Err(CompileError::new(pos, "can only assign components of variables"));
+                    return Err(CompileError::new(
+                        pos,
+                        "can only assign components of variables",
+                    ));
                 };
                 let slot = self
                     .slot_of_var(name)
                     .ok_or_else(|| CompileError::new(pos, format!("no slot for `{name}`")))?;
                 let r = self.expr_as(rhs, lty)?;
-                self.emit(Instr::InsertLane { vec: slot, src: r, lane: *lane }, pos);
+                self.emit(
+                    Instr::InsertLane {
+                        vec: slot,
+                        src: r,
+                        lane: *lane,
+                    },
+                    pos,
+                );
                 Ok(())
             }
             _ => Err(CompileError::new(pos, "expression is not assignable")),
@@ -318,7 +399,10 @@ impl<'a> Lowerer<'a> {
                 Some(VarRef::LocalArr(a)) => Ok(MemTarget::Local(*a)),
                 _ => Err(CompileError::new(e.pos, "expected a pointer")),
             },
-            _ => Err(CompileError::new(e.pos, "pointer expressions must be simple names")),
+            _ => Err(CompileError::new(
+                e.pos,
+                "pointer expressions must be simple names",
+            )),
         }
     }
 
@@ -328,12 +412,22 @@ impl<'a> Lowerer<'a> {
         match &e.kind {
             ExprKind::IntLit(v) => {
                 let dst = self.fresh();
-                self.emit(Instr::Const { dst, val: Value::I(*v) }, e.pos);
+                self.emit(
+                    Instr::Const {
+                        dst,
+                        val: Value::I(*v),
+                    },
+                    e.pos,
+                );
                 Ok(dst)
             }
             ExprKind::FloatLit(v, is_f32) => {
                 let dst = self.fresh();
-                let val = if *is_f32 { Value::F32(*v as f32) } else { Value::F64(*v) };
+                let val = if *is_f32 {
+                    Value::F32(*v as f32)
+                } else {
+                    Value::F64(*v)
+                };
                 self.emit(Instr::Const { dst, val }, e.pos);
                 Ok(dst)
             }
@@ -376,7 +470,15 @@ impl<'a> Lowerer<'a> {
                 let a = self.expr_as(x, ty)?;
                 let b = self.expr_as(y, ty)?;
                 let dst = self.fresh();
-                self.emit(Instr::Select { dst, cond: cr, a, b }, e.pos);
+                self.emit(
+                    Instr::Select {
+                        dst,
+                        cond: cr,
+                        a,
+                        b,
+                    },
+                    e.pos,
+                );
                 Ok(dst)
             }
             ExprKind::Index(base, idx) => {
@@ -384,10 +486,26 @@ impl<'a> Lowerer<'a> {
                 let dst = self.fresh();
                 match self.target_of(base)? {
                     MemTarget::Global(buf) => {
-                        self.emit(Instr::LoadGlobal { dst, buf, idx: i, width: 1 }, e.pos);
+                        self.emit(
+                            Instr::LoadGlobal {
+                                dst,
+                                buf,
+                                idx: i,
+                                width: 1,
+                            },
+                            e.pos,
+                        );
                     }
                     MemTarget::Local(arr) => {
-                        self.emit(Instr::LoadLocal { dst, arr, idx: i, width: 1 }, e.pos);
+                        self.emit(
+                            Instr::LoadLocal {
+                                dst,
+                                arr,
+                                idx: i,
+                                width: 1,
+                            },
+                            e.pos,
+                        );
                     }
                 }
                 Ok(dst)
@@ -395,7 +513,14 @@ impl<'a> Lowerer<'a> {
             ExprKind::Swizzle(base, lane) => {
                 let src = self.expr(base)?;
                 let dst = self.fresh();
-                self.emit(Instr::Extract { dst, src, lane: *lane }, e.pos);
+                self.emit(
+                    Instr::Extract {
+                        dst,
+                        src,
+                        lane: *lane,
+                    },
+                    e.pos,
+                );
                 Ok(dst)
             }
             ExprKind::Cast(to, args) => self.cast(*to, args, e.pos),
@@ -421,7 +546,14 @@ impl<'a> Lowerer<'a> {
         let want_base = wb.ok_or_else(|| CompileError::new(pos, "cannot convert to void"))?;
         if cur_base != want_base {
             let dst = self.fresh();
-            self.emit(Instr::Convert { dst, src: cur, base: want_base }, pos);
+            self.emit(
+                Instr::Convert {
+                    dst,
+                    src: cur,
+                    base: want_base,
+                },
+                pos,
+            );
             cur = dst;
             cur_base = want_base;
         }
@@ -430,10 +562,20 @@ impl<'a> Lowerer<'a> {
             Ok(cur)
         } else if hw == 1 {
             let dst = self.fresh();
-            self.emit(Instr::Broadcast { dst, src: cur, width: ww }, pos);
+            self.emit(
+                Instr::Broadcast {
+                    dst,
+                    src: cur,
+                    width: ww,
+                },
+                pos,
+            );
             Ok(dst)
         } else {
-            Err(CompileError::new(pos, format!("cannot narrow width {hw} to {ww}")))
+            Err(CompileError::new(
+                pos,
+                format!("cannot narrow width {hw} to {ww}"),
+            ))
         }
     }
 
@@ -446,12 +588,29 @@ impl<'a> Lowerer<'a> {
             Type::Scalar(Base::Bool) => Ok(r),
             Type::Scalar(b) if b.is_int() => {
                 let zero = self.fresh();
-                self.emit(Instr::Const { dst: zero, val: Value::I(0) }, e.pos);
+                self.emit(
+                    Instr::Const {
+                        dst: zero,
+                        val: Value::I(0),
+                    },
+                    e.pos,
+                );
                 let dst = self.fresh();
-                self.emit(Instr::Bin { op: BinOp::Ne, dst, a: r, b: zero }, e.pos);
+                self.emit(
+                    Instr::Bin {
+                        op: BinOp::Ne,
+                        dst,
+                        a: r,
+                        b: zero,
+                    },
+                    e.pos,
+                );
                 Ok(dst)
             }
-            other => Err(CompileError::new(e.pos, format!("bad condition type {other:?}"))),
+            other => Err(CompileError::new(
+                e.pos,
+                format!("bad condition type {other:?}"),
+            )),
         }
     }
 
@@ -482,7 +641,13 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn call(&mut self, name: &str, args: &[Expr], result: Type, pos: Pos) -> Result<Reg, CompileError> {
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        result: Type,
+        pos: Pos,
+    ) -> Result<Reg, CompileError> {
         let wi = match name {
             "get_global_id" => Some(WiFunc::GlobalId),
             "get_local_id" => Some(WiFunc::LocalId),
@@ -524,7 +689,15 @@ impl<'a> Lowerer<'a> {
                     "fmin" => MathFunc::Fmin,
                     _ => MathFunc::Fmax,
                 };
-                self.emit(Instr::Math { f, dst, args: [a, b, b], n_args: 2 }, pos);
+                self.emit(
+                    Instr::Math {
+                        f,
+                        dst,
+                        args: [a, b, b],
+                        n_args: 2,
+                    },
+                    pos,
+                );
                 Ok(dst)
             }
             "clamp" => {
@@ -532,7 +705,15 @@ impl<'a> Lowerer<'a> {
                 let lo = self.expr_as(&args[1], result)?;
                 let hi = self.expr_as(&args[2], result)?;
                 let dst = self.fresh();
-                self.emit(Instr::Math { f: MathFunc::Clamp, dst, args: [x, lo, hi], n_args: 3 }, pos);
+                self.emit(
+                    Instr::Math {
+                        f: MathFunc::Clamp,
+                        dst,
+                        args: [x, lo, hi],
+                        n_args: 3,
+                    },
+                    pos,
+                );
                 Ok(dst)
             }
             "fabs" | "sqrt" | "native_recip" | "exp" | "log" => {
@@ -545,7 +726,15 @@ impl<'a> Lowerer<'a> {
                     "log" => MathFunc::Log,
                     _ => MathFunc::NativeRecip,
                 };
-                self.emit(Instr::Math { f, dst, args: [a, a, a], n_args: 1 }, pos);
+                self.emit(
+                    Instr::Math {
+                        f,
+                        dst,
+                        args: [a, a, a],
+                        n_args: 1,
+                    },
+                    pos,
+                );
                 Ok(dst)
             }
             _ if name.starts_with("vload") => {
@@ -553,16 +742,46 @@ impl<'a> Lowerer<'a> {
                 let off = self.expr(&args[0])?;
                 // Element index = offset * width.
                 let wreg = self.fresh();
-                self.emit(Instr::Const { dst: wreg, val: Value::I(width as i64) }, pos);
+                self.emit(
+                    Instr::Const {
+                        dst: wreg,
+                        val: Value::I(width as i64),
+                    },
+                    pos,
+                );
                 let idx = self.fresh();
-                self.emit(Instr::Bin { op: BinOp::Mul, dst: idx, a: off, b: wreg }, pos);
+                self.emit(
+                    Instr::Bin {
+                        op: BinOp::Mul,
+                        dst: idx,
+                        a: off,
+                        b: wreg,
+                    },
+                    pos,
+                );
                 let dst = self.fresh();
                 match self.target_of(&args[1])? {
                     MemTarget::Global(buf) => {
-                        self.emit(Instr::LoadGlobal { dst, buf, idx, width }, pos);
+                        self.emit(
+                            Instr::LoadGlobal {
+                                dst,
+                                buf,
+                                idx,
+                                width,
+                            },
+                            pos,
+                        );
                     }
                     MemTarget::Local(arr) => {
-                        self.emit(Instr::LoadLocal { dst, arr, idx, width }, pos);
+                        self.emit(
+                            Instr::LoadLocal {
+                                dst,
+                                arr,
+                                idx,
+                                width,
+                            },
+                            pos,
+                        );
                     }
                 }
                 Ok(dst)
@@ -573,20 +792,53 @@ impl<'a> Lowerer<'a> {
                 let src = self.expr(&args[0])?;
                 let off = self.expr(&args[1])?;
                 let wreg = self.fresh();
-                self.emit(Instr::Const { dst: wreg, val: Value::I(width as i64) }, pos);
+                self.emit(
+                    Instr::Const {
+                        dst: wreg,
+                        val: Value::I(width as i64),
+                    },
+                    pos,
+                );
                 let idx = self.fresh();
-                self.emit(Instr::Bin { op: BinOp::Mul, dst: idx, a: off, b: wreg }, pos);
+                self.emit(
+                    Instr::Bin {
+                        op: BinOp::Mul,
+                        dst: idx,
+                        a: off,
+                        b: wreg,
+                    },
+                    pos,
+                );
                 match self.target_of(&args[2])? {
                     MemTarget::Global(buf) => {
-                        self.emit(Instr::StoreGlobal { buf, idx, src, width }, pos);
+                        self.emit(
+                            Instr::StoreGlobal {
+                                buf,
+                                idx,
+                                src,
+                                width,
+                            },
+                            pos,
+                        );
                     }
                     MemTarget::Local(arr) => {
-                        self.emit(Instr::StoreLocal { arr, idx, src, width }, pos);
+                        self.emit(
+                            Instr::StoreLocal {
+                                arr,
+                                idx,
+                                src,
+                                width,
+                            },
+                            pos,
+                        );
                     }
                 }
                 Ok(self.fresh())
             }
-            other => Err(CompileError::new(pos, format!("unlowerable call `{other}`"))),
+            other => Err(CompileError::new(
+                pos,
+                format!("unlowerable call `{other}`"),
+            )),
         }
     }
 }
@@ -683,7 +935,10 @@ mod tests {
         let k = &ks[0];
         assert_eq!(k.name, "k");
         assert!(k.code.iter().any(|i| matches!(i, Instr::LoadGlobal { .. })));
-        assert!(k.code.iter().any(|i| matches!(i, Instr::StoreGlobal { .. })));
+        assert!(k
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::StoreGlobal { .. })));
         assert!(matches!(k.code.last(), Some(Instr::Ret)));
     }
 
@@ -728,7 +983,13 @@ mod tests {
     #[test]
     fn int_to_double_inserts_convert() {
         let ks = compile("__kernel void k(__global double* x){ x[0] = 1 + 2; }");
-        assert!(ks[0].code.iter().any(|i| matches!(i, Instr::Convert { base: Base::Double, .. })));
+        assert!(ks[0].code.iter().any(|i| matches!(
+            i,
+            Instr::Convert {
+                base: Base::Double,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -740,7 +1001,10 @@ mod tests {
                 vstore4(w, 0, c);
             }"#,
         );
-        assert!(ks[0].code.iter().any(|i| matches!(i, Instr::Broadcast { width: 4, .. })));
+        assert!(ks[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Broadcast { width: 4, .. })));
     }
 
     #[test]
@@ -765,7 +1029,10 @@ mod tests {
         let mix = instr_mix(&ks[0]);
         assert_eq!(mix.mem_global, 2);
         // offset multiplication present
-        assert!(ks[0].code.iter().any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. })));
+        assert!(ks[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. })));
     }
 
     #[test]

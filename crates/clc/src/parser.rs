@@ -7,7 +7,11 @@ use crate::lexer::{tokenize, Spanned, Tok};
 /// Parse a full translation unit from source.
 pub fn parse(src: &str) -> Result<Unit, CompileError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, i: 0, next_id: 0 };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        next_id: 0,
+    };
     p.unit()
 }
 
@@ -74,7 +78,11 @@ impl Parser {
     }
 
     fn mk(&mut self, pos: Pos, kind: ExprKind) -> Expr {
-        Expr { id: self.fresh(), pos, kind }
+        Expr {
+            id: self.fresh(),
+            pos,
+            kind,
+        }
     }
 
     // ---- types ---------------------------------------------------------
@@ -121,7 +129,13 @@ impl Parser {
         }
         self.expect(&Tok::RParen)?;
         let body = self.block()?;
-        Ok(KernelDef { name, params, body, pos, reqd_wg_size })
+        Ok(KernelDef {
+            name,
+            params,
+            body,
+            pos,
+            reqd_wg_size,
+        })
     }
 
     fn attribute(&mut self) -> Result<Option<[u32; 3]>, CompileError> {
@@ -165,8 +179,8 @@ impl Parser {
             }
         }
         let tyword = self.expect_ident()?;
-        let base_ty = parse_type_name(&tyword)
-            .ok_or_else(|| self.err(format!("unknown type `{tyword}`")))?;
+        let base_ty =
+            parse_type_name(&tyword).ok_or_else(|| self.err(format!("unknown type `{tyword}`")))?;
         // `const` may also follow the type.
         if self.eat_ident("const") {
             is_const = true;
@@ -261,7 +275,9 @@ impl Parser {
         loop {
             if self.eat_ident("__local") || self.eat_ident("local") {
                 addr_space = Some(AddrSpace::Local);
-            } else if self.eat_ident("__private") || self.eat_ident("private") || self.eat_ident("const")
+            } else if self.eat_ident("__private")
+                || self.eat_ident("private")
+                || self.eat_ident("const")
             {
                 // private is the default; const is advisory here.
             } else {
@@ -289,7 +305,14 @@ impl Parser {
         if array_len.is_some() && init.is_some() {
             return Err(self.err("array declarations cannot have initialisers"));
         }
-        Ok(Stmt::Decl { pos, ty, name, array_len, init, addr_space })
+        Ok(Stmt::Decl {
+            pos,
+            ty,
+            name,
+            array_len,
+            init,
+            addr_space,
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
@@ -307,7 +330,13 @@ impl Parser {
         let step = self.assign_or_expr()?;
         self.expect(&Tok::RParen)?;
         let body = self.block_or_single()?;
-        Ok(Stmt::For { pos, init: Box::new(init), cond, step: Box::new(step), body })
+        Ok(Stmt::For {
+            pos,
+            init: Box::new(init),
+            cond,
+            step: Box::new(step),
+            body,
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
@@ -327,8 +356,17 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&Tok::RParen)?;
         let then_body = self.block_or_single()?;
-        let else_body = if self.eat_ident("else") { self.block_or_single()? } else { Vec::new() };
-        Ok(Stmt::If { pos, cond, then_body, else_body })
+        let else_body = if self.eat_ident("else") {
+            self.block_or_single()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            pos,
+            cond,
+            then_body,
+            else_body,
+        })
     }
 
     /// Assignment (including compound and `++`/`--`) or bare expression,
@@ -345,13 +383,19 @@ impl Parser {
             Tok::PlusPlus => {
                 self.bump();
                 let one = self.mk(pos, ExprKind::IntLit(1));
-                let sum = self.mk(pos, ExprKind::Bin(BinOp::Add, Box::new(lhs.clone()), Box::new(one)));
+                let sum = self.mk(
+                    pos,
+                    ExprKind::Bin(BinOp::Add, Box::new(lhs.clone()), Box::new(one)),
+                );
                 return Ok(Stmt::Assign { pos, lhs, rhs: sum });
             }
             Tok::MinusMinus => {
                 self.bump();
                 let one = self.mk(pos, ExprKind::IntLit(1));
-                let dif = self.mk(pos, ExprKind::Bin(BinOp::Sub, Box::new(lhs.clone()), Box::new(one)));
+                let dif = self.mk(
+                    pos,
+                    ExprKind::Bin(BinOp::Sub, Box::new(lhs.clone()), Box::new(one)),
+                );
                 return Ok(Stmt::Assign { pos, lhs, rhs: dif });
             }
             _ => return Ok(Stmt::Expr(lhs)),
@@ -381,7 +425,10 @@ impl Parser {
             let a = self.expr()?;
             self.expect(&Tok::Colon)?;
             let b = self.ternary()?;
-            Ok(self.mk(pos, ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b))))
+            Ok(self.mk(
+                pos,
+                ExprKind::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+            ))
         } else {
             Ok(cond)
         }
@@ -504,7 +551,7 @@ impl Parser {
                         if *self.peek2() == Tok::RParen {
                             self.bump(); // type word
                             self.bump(); // )
-                            // Cast target: (ty) unary  OR  (ty)(args...)
+                                         // Cast target: (ty) unary  OR  (ty)(args...)
                             if *self.peek() == Tok::LParen {
                                 self.bump();
                                 let mut args = Vec::new();
@@ -530,7 +577,10 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(CompileError::new(pos, format!("unexpected token `{other}` in expression"))),
+            other => Err(CompileError::new(
+                pos,
+                format!("unexpected token `{other}` in expression"),
+            )),
         }
     }
 }
@@ -605,7 +655,10 @@ mod tests {
         let k = &unit.kernels[0];
         assert_eq!(k.name, "copy");
         assert_eq!(k.params.len(), 3);
-        assert_eq!(k.params[0].ty, Type::Ptr(AddrSpace::Global, Base::Float, true));
+        assert_eq!(
+            k.params[0].ty,
+            Type::Ptr(AddrSpace::Global, Base::Float, true)
+        );
         assert_eq!(k.params[2].ty, Type::Scalar(Base::Int));
         assert_eq!(k.body.len(), 2);
     }
@@ -637,9 +690,13 @@ mod tests {
         "#;
         let unit = parse(src).unwrap();
         match &unit.kernels[0].body[0] {
-            Stmt::Decl { ty, init: Some(e), .. } => {
+            Stmt::Decl {
+                ty, init: Some(e), ..
+            } => {
                 assert_eq!(*ty, Type::Vector(Base::Float, 4));
-                assert!(matches!(e.kind, ExprKind::Cast(Type::Vector(Base::Float, 4), ref a) if a.len() == 4));
+                assert!(
+                    matches!(e.kind, ExprKind::Cast(Type::Vector(Base::Float, 4), ref a) if a.len() == 4)
+                );
             }
             other => panic!("unexpected stmt {other:?}"),
         }
@@ -657,7 +714,11 @@ mod tests {
         "#;
         let unit = parse(src).unwrap();
         match &unit.kernels[0].body[0] {
-            Stmt::Decl { addr_space: Some(AddrSpace::Local), array_len: Some(_), .. } => {}
+            Stmt::Decl {
+                addr_space: Some(AddrSpace::Local),
+                array_len: Some(_),
+                ..
+            } => {}
             other => panic!("expected local array decl, got {other:?}"),
         }
     }

@@ -56,7 +56,10 @@ impl NdRange {
     /// A 1-D range expressed in the 2-D form.
     #[must_use]
     pub fn d1(global: usize, local: usize) -> NdRange {
-        NdRange { global: [global, 1], local: [local, 1] }
+        NdRange {
+            global: [global, 1],
+            local: [local, 1],
+        }
     }
 
     /// A 2-D range.
@@ -98,7 +101,10 @@ impl Program {
         let unit = parse(src)?;
         let checked = check(&unit)?;
         let kernels = lower(&checked)?;
-        Ok(Program { source: src.to_string(), kernels })
+        Ok(Program {
+            source: src.to_string(),
+            kernels,
+        })
     }
 
     /// The original source text.
@@ -115,7 +121,10 @@ impl Program {
     /// Look up a kernel by name.
     #[must_use]
     pub fn kernel(&self, name: &str) -> Option<Kernel<'_>> {
-        self.kernels.iter().find(|k| k.name == name).map(|inner| Kernel { inner })
+        self.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .map(|inner| Kernel { inner })
     }
 }
 
@@ -299,8 +308,10 @@ mod tests {
         "#;
         let p = Program::compile(src).unwrap();
         let k = p.kernel("scale").unwrap();
-        let mut bufs =
-            vec![BufData::F64(vec![1.0, 2.0, 3.0, 4.0]), BufData::F64(vec![0.0; 4])];
+        let mut bufs = vec![
+            BufData::F64(vec![1.0, 2.0, 3.0, 4.0]),
+            BufData::F64(vec![0.0; 4]),
+        ];
         let stats = k
             .launch(
                 NdRange::d1(4, 2),
@@ -334,8 +345,9 @@ mod tests {
                 &ExecOptions::default(),
             )
             .unwrap();
-        let want: Vec<f64> =
-            (0..3).flat_map(|j| (0..4).map(move |i| (10 * j + i) as f64)).collect();
+        let want: Vec<f64> = (0..3)
+            .flat_map(|j| (0..4).map(move |i| (10 * j + i) as f64))
+            .collect();
         assert_eq!(f64s(&bufs[0]), &want[..]);
     }
 
@@ -353,11 +365,18 @@ mod tests {
             }
         "#;
         let p = Program::compile(src).unwrap();
-        let mut bufs =
-            vec![BufData::F64(vec![1.0, 2.0, 3.0, 4.0]), BufData::F64(vec![0.0; 4])];
+        let mut bufs = vec![
+            BufData::F64(vec![1.0, 2.0, 3.0, 4.0]),
+            BufData::F64(vec![0.0; 4]),
+        ];
         p.kernel("share")
             .unwrap()
-            .launch(NdRange::d1(4, 4), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(4, 4),
+                &[Arg::Buf(0), Arg::Buf(1)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap();
         assert_eq!(f64s(&bufs[1]), &[4.0, 3.0, 2.0, 1.0]);
     }
@@ -379,14 +398,25 @@ mod tests {
         let err = p
             .kernel("race")
             .unwrap()
-            .launch(NdRange::d1(2, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(2, 2),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::LocalRace { .. }), "{err}");
         // With race detection off the same kernel "works" (last writer
         // wins deterministically in this VM).
         let mut bufs = vec![BufData::F64(vec![0.0; 2])];
-        let opts = ExecOptions { detect_races: false, ..Default::default() };
-        p.kernel("race").unwrap().launch(NdRange::d1(2, 2), &[Arg::Buf(0)], &mut bufs, &opts).unwrap();
+        let opts = ExecOptions {
+            detect_races: false,
+            ..Default::default()
+        };
+        p.kernel("race")
+            .unwrap()
+            .launch(NdRange::d1(2, 2), &[Arg::Buf(0)], &mut bufs, &opts)
+            .unwrap();
     }
 
     #[test]
@@ -403,9 +433,17 @@ mod tests {
         let err = p
             .kernel("div")
             .unwrap()
-            .launch(NdRange::d1(2, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(2, 2),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
-        assert!(matches!(err, RuntimeError::BarrierDivergence { .. }), "{err}");
+        assert!(
+            matches!(err, RuntimeError::BarrierDivergence { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -420,7 +458,12 @@ mod tests {
         let err = p
             .kernel("oob")
             .unwrap()
-            .launch(NdRange::d1(4, 4), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(4, 4),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::GlobalOob { .. }), "{err}");
     }
@@ -442,7 +485,12 @@ mod tests {
         ];
         p.kernel("vcopy")
             .unwrap()
-            .launch(NdRange::d1(2, 1), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(2, 1),
+                &[Arg::Buf(0), Arg::Buf(1)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap();
         match &bufs[1] {
             BufData::F32(v) => assert_eq!(v, &vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]),
@@ -458,7 +506,12 @@ mod tests {
         let err = p
             .kernel("k")
             .unwrap()
-            .launch(NdRange::d1(5, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(5, 2),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::BadNdRange(_)), "{err}");
     }
@@ -471,7 +524,12 @@ mod tests {
         let err = p
             .kernel("k")
             .unwrap()
-            .launch(NdRange::d1(1, 1), &[Arg::Buf(0), Arg::F32(1.0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(1, 1),
+                &[Arg::Buf(0), Arg::F32(1.0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::BadArguments(_)), "{err}");
     }
@@ -484,7 +542,12 @@ mod tests {
         let err = p
             .kernel("k")
             .unwrap()
-            .launch(NdRange::d1(1, 1), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(1, 1),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::BadArguments(_)), "{err}");
     }
@@ -500,12 +563,22 @@ mod tests {
         let err = p
             .kernel("k")
             .unwrap()
-            .launch(NdRange::d2([4, 4], [4, 4]), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d2([4, 4], [4, 4]),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::BadNdRange(_)), "{err}");
         p.kernel("k")
             .unwrap()
-            .launch(NdRange::d2([4, 2], [2, 2]), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d2([4, 2], [2, 2]),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap();
     }
 
@@ -531,7 +604,12 @@ mod tests {
         let stats = p
             .kernel("b")
             .unwrap()
-            .launch(NdRange::d1(8, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+            .launch(
+                NdRange::d1(8, 2),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &ExecOptions::default(),
+            )
             .unwrap();
         assert_eq!(stats.barriers, 4); // one per work-group, 4 groups
     }

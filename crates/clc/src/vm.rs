@@ -55,7 +55,9 @@ impl Value {
         match self {
             Value::I(v) => Ok(v),
             Value::B(b) => Ok(b as i64),
-            other => Err(RuntimeError::Internal(format!("expected int, got {other:?}"))),
+            other => Err(RuntimeError::Internal(format!(
+                "expected int, got {other:?}"
+            ))),
         }
     }
 
@@ -63,7 +65,9 @@ impl Value {
         match self {
             Value::B(b) => Ok(b),
             Value::I(v) => Ok(v != 0),
-            other => Err(RuntimeError::Internal(format!("expected bool, got {other:?}"))),
+            other => Err(RuntimeError::Internal(format!(
+                "expected bool, got {other:?}"
+            ))),
         }
     }
 }
@@ -185,7 +189,10 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { detect_races: true, step_limit: 500_000_000 }
+        ExecOptions {
+            detect_races: true,
+            step_limit: 500_000_000,
+        }
     }
 }
 
@@ -236,13 +243,26 @@ pub fn run_group(
         .map(|_| {
             let mut regs = vec![Value::I(0); kernel.n_regs];
             regs[..init_regs.len()].copy_from_slice(init_regs);
-            WiState { regs, pc: 0, done: false }
+            WiState {
+                regs,
+                pc: 0,
+                done: false,
+            }
         })
         .collect();
-    let mut locals: Vec<LocalBuf> =
-        kernel.checked.local_arrays.iter().map(LocalBuf::new).collect();
+    let mut locals: Vec<LocalBuf> = kernel
+        .checked
+        .local_arrays
+        .iter()
+        .map(LocalBuf::new)
+        .collect();
     let mut races: Vec<RaceTable> = if opts.detect_races {
-        kernel.checked.local_arrays.iter().map(|a| RaceTable::new(a.len)).collect()
+        kernel
+            .checked
+            .local_arrays
+            .iter()
+            .map(|a| RaceTable::new(a.len))
+            .collect()
     } else {
         Vec::new()
     };
@@ -287,8 +307,8 @@ pub fn run_group(
                         Some(prev) => {
                             return Err(RuntimeError::BarrierDivergence {
                                 detail: format!(
-                                    "work-item {wi} reached barrier site {site}, others reached {prev}"
-                                ),
+                                "work-item {wi} reached barrier site {site}, others reached {prev}"
+                            ),
                             })
                         }
                     }
@@ -379,15 +399,27 @@ fn exec_until_stop(
                 };
                 st.regs[*dst] = r;
             }
-            Instr::Math { f, dst, args, n_args } => {
+            Instr::Math {
+                f,
+                dst,
+                args,
+                n_args,
+            } => {
                 local.alu += 1;
-                st.regs[*dst] =
-                    math(*f, st.regs[args[0]], st.regs[args[1]], st.regs[args[2]], *n_args)?;
+                st.regs[*dst] = math(
+                    *f,
+                    st.regs[args[0]],
+                    st.regs[args[1]],
+                    st.regs[args[2]],
+                    *n_args,
+                )?;
             }
             Instr::Wi { f, dst, dim } => {
                 let d = st.regs[*dim].as_i()? as usize;
                 if d > 2 {
-                    return Err(RuntimeError::Internal(format!("dimension {d} out of range")));
+                    return Err(RuntimeError::Internal(format!(
+                        "dimension {d} out of range"
+                    )));
                 }
                 let val = if d >= 2 {
                     match f {
@@ -406,28 +438,57 @@ fn exec_until_stop(
                 };
                 st.regs[*dst] = Value::I(val as i64);
             }
-            Instr::LoadGlobal { dst, buf, idx, width } => {
+            Instr::LoadGlobal {
+                dst,
+                buf,
+                idx,
+                width,
+            } => {
                 let i = st.regs[*idx].as_i()?;
                 st.regs[*dst] = load_global(kernel, bufs, *buf, i, *width)?;
                 local.mem_global_instrs += 1;
                 local.mem_global_bytes += global_bytes(&bufs[*buf], *width);
             }
-            Instr::StoreGlobal { buf, idx, src, width } => {
+            Instr::StoreGlobal {
+                buf,
+                idx,
+                src,
+                width,
+            } => {
                 let i = st.regs[*idx].as_i()?;
                 store_global(kernel, bufs, *buf, i, st.regs[*src], *width)?;
                 local.mem_global_instrs += 1;
                 local.mem_global_bytes += global_bytes(&bufs[*buf], *width);
             }
-            Instr::LoadLocal { dst, arr, idx, width } => {
+            Instr::LoadLocal {
+                dst,
+                arr,
+                idx,
+                width,
+            } => {
                 let i = st.regs[*idx].as_i()?;
-                st.regs[*dst] =
-                    load_local(kernel, locals, races, *arr, i, *width, wi, phase)?;
+                st.regs[*dst] = load_local(kernel, locals, races, *arr, i, *width, wi, phase)?;
                 local.mem_local_instrs += 1;
                 local.mem_local_bytes += local_bytes(&locals[*arr], *width);
             }
-            Instr::StoreLocal { arr, idx, src, width } => {
+            Instr::StoreLocal {
+                arr,
+                idx,
+                src,
+                width,
+            } => {
                 let i = st.regs[*idx].as_i()?;
-                store_local(kernel, locals, races, *arr, i, st.regs[*src], *width, wi, phase)?;
+                store_local(
+                    kernel,
+                    locals,
+                    races,
+                    *arr,
+                    i,
+                    st.regs[*src],
+                    *width,
+                    wi,
+                    phase,
+                )?;
                 local.mem_local_instrs += 1;
                 local.mem_local_bytes += local_bytes(&locals[*arr], *width);
             }
@@ -438,7 +499,11 @@ fn exec_until_stop(
                 }
             }
             Instr::Select { dst, cond, a, b } => {
-                st.regs[*dst] = if st.regs[*cond].as_b()? { st.regs[*a] } else { st.regs[*b] };
+                st.regs[*dst] = if st.regs[*cond].as_b()? {
+                    st.regs[*a]
+                } else {
+                    st.regs[*b]
+                };
             }
             Instr::Barrier { site } => {
                 stats.add(&local);
@@ -500,7 +565,9 @@ fn load_global(
         (BufData::F32(v), w) => Value::v32(&v[i..i + w as usize]),
         (BufData::F64(v), w) => Value::v64(&v[i..i + w as usize]),
         (BufData::I32(_), _) => {
-            return Err(RuntimeError::Internal("vector loads from int buffers unsupported".into()))
+            return Err(RuntimeError::Internal(
+                "vector loads from int buffers unsupported".into(),
+            ))
         }
     })
 }
@@ -576,7 +643,9 @@ fn load_local(
         (LocalBuf::F32(v), w) => Value::v32(&v[i..i + w as usize]),
         (LocalBuf::F64(v), w) => Value::v64(&v[i..i + w as usize]),
         (LocalBuf::I32(_), _) => {
-            return Err(RuntimeError::Internal("vector loads from int local arrays unsupported".into()))
+            return Err(RuntimeError::Internal(
+                "vector loads from int local arrays unsupported".into(),
+            ))
         }
     })
 }
@@ -664,7 +733,11 @@ fn bin_op(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
             (F32(x), F32(y)) => cmp_f(op, x as f64, y as f64),
             (F64(x), F64(y)) => cmp_f(op, x, y),
             (B(x), B(y)) => cmp_ord(op, x.cmp(&y)),
-            _ => return Err(RuntimeError::Internal(format!("bad comparison {a:?} {op:?} {b:?}"))),
+            _ => {
+                return Err(RuntimeError::Internal(format!(
+                    "bad comparison {a:?} {op:?} {b:?}"
+                )))
+            }
         };
         return Ok(B(r));
     }
@@ -719,7 +792,11 @@ fn bin_op(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
             };
             V64(out, w)
         }
-        _ => return Err(RuntimeError::Internal(format!("operand mismatch {a:?} {op:?} {b:?}"))),
+        _ => {
+            return Err(RuntimeError::Internal(format!(
+                "operand mismatch {a:?} {op:?} {b:?}"
+            )))
+        }
     })
 }
 
@@ -809,7 +886,11 @@ fn convert(v: Value, base: Base) -> Result<Value, RuntimeError> {
         }
         (V32(x, w), Base::Float) => V32(x, w),
         (V64(x, w), Base::Double) => V64(x, w),
-        (v, b) => return Err(RuntimeError::Internal(format!("bad convert {v:?} to {b:?}"))),
+        (v, b) => {
+            return Err(RuntimeError::Internal(format!(
+                "bad convert {v:?} to {b:?}"
+            )))
+        }
     })
 }
 
@@ -818,7 +899,11 @@ fn broadcast(v: Value, width: u8) -> Result<Value, RuntimeError> {
         Value::F32(x) => Value::V32([x; 16], width),
         Value::F64(x) => Value::V64([x; 16], width),
         Value::I(x) => Value::V64([x as f64; 16], width),
-        other => return Err(RuntimeError::Internal(format!("cannot broadcast {other:?}"))),
+        other => {
+            return Err(RuntimeError::Internal(format!(
+                "cannot broadcast {other:?}"
+            )))
+        }
     })
 }
 
@@ -848,7 +933,9 @@ fn build_vec(base: Base, parts: &[usize], regs: &[Value]) -> Result<Value, Runti
             }
             Ok(Value::V64(out, parts.len() as u8))
         }
-        other => Err(RuntimeError::Internal(format!("vectors of {other:?} unsupported"))),
+        other => Err(RuntimeError::Internal(format!(
+            "vectors of {other:?} unsupported"
+        ))),
     }
 }
 
@@ -856,7 +943,9 @@ fn extract(v: Value, lane: u8) -> Result<Value, RuntimeError> {
     match v {
         Value::V32(x, w) if lane < w => Ok(Value::F32(x[lane as usize])),
         Value::V64(x, w) if lane < w => Ok(Value::F64(x[lane as usize])),
-        other => Err(RuntimeError::Internal(format!("bad extract lane {lane} from {other:?}"))),
+        other => Err(RuntimeError::Internal(format!(
+            "bad extract lane {lane} from {other:?}"
+        ))),
     }
 }
 
@@ -870,7 +959,9 @@ fn insert_lane(vec: Value, src: Value, lane: u8) -> Result<Value, RuntimeError> 
             x[lane as usize] = s;
             Ok(Value::V64(x, w))
         }
-        (v, s) => Err(RuntimeError::Internal(format!("bad insert of {s:?} into {v:?}"))),
+        (v, s) => Err(RuntimeError::Internal(format!(
+            "bad insert of {s:?} into {v:?}"
+        ))),
     }
 }
 
@@ -906,7 +997,9 @@ fn math(f: MathFunc, a: Value, b: Value, c: Value, n_args: u8) -> Result<Value, 
             (MathFunc::Clamp, F32(x), F32(lo), F32(hi)) => F32(x.clamp(lo, hi)),
             (MathFunc::Clamp, F64(x), F64(lo), F64(hi)) => F64(x.clamp(lo, hi)),
             (f, a, b, c) => {
-                return Err(RuntimeError::Internal(format!("bad math {f:?} {a:?} {b:?} {c:?}")))
+                return Err(RuntimeError::Internal(format!(
+                    "bad math {f:?} {a:?} {b:?} {c:?}"
+                )))
             }
         });
     }
@@ -918,7 +1011,11 @@ fn math(f: MathFunc, a: Value, b: Value, c: Value, n_args: u8) -> Result<Value, 
             (MathFunc::Max | MathFunc::Fmax, F32(x), F32(y)) => F32(x.max(y)),
             (MathFunc::Min | MathFunc::Fmin, F64(x), F64(y)) => F64(x.min(y)),
             (MathFunc::Max | MathFunc::Fmax, F64(x), F64(y)) => F64(x.max(y)),
-            (f, a, b) => return Err(RuntimeError::Internal(format!("bad math {f:?} {a:?} {b:?}"))),
+            (f, a, b) => {
+                return Err(RuntimeError::Internal(format!(
+                    "bad math {f:?} {a:?} {b:?}"
+                )))
+            }
         });
     }
     Ok(match (f, a) {
@@ -942,7 +1039,18 @@ mod tests {
 
     #[test]
     fn value_constructors() {
-        assert_eq!(Value::v32(&[1.0, 2.0]), Value::V32({ let mut a = [0.0; 16]; a[0] = 1.0; a[1] = 2.0; a }, 2));
+        assert_eq!(
+            Value::v32(&[1.0, 2.0]),
+            Value::V32(
+                {
+                    let mut a = [0.0; 16];
+                    a[0] = 1.0;
+                    a[1] = 2.0;
+                    a
+                },
+                2
+            )
+        );
         assert!(matches!(Value::v64(&[1.0; 4]), Value::V64(_, 4)));
     }
 
@@ -975,7 +1083,10 @@ mod tests {
     fn conversions() {
         assert_eq!(convert(Value::I(3), Base::Double).unwrap(), Value::F64(3.0));
         assert_eq!(convert(Value::F64(2.9), Base::Int).unwrap(), Value::I(2));
-        assert_eq!(convert(Value::F32(1.5), Base::Double).unwrap(), Value::F64(1.5));
+        assert_eq!(
+            convert(Value::F32(1.5), Base::Double).unwrap(),
+            Value::F64(1.5)
+        );
     }
 
     #[test]
@@ -989,8 +1100,17 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(bin_op(BinOp::Lt, Value::I(1), Value::I(2)).unwrap(), Value::B(true));
-        assert_eq!(bin_op(BinOp::Ge, Value::F64(2.0), Value::F64(2.0)).unwrap(), Value::B(true));
-        assert_eq!(bin_op(BinOp::Ne, Value::F32(1.0), Value::F32(1.0)).unwrap(), Value::B(false));
+        assert_eq!(
+            bin_op(BinOp::Lt, Value::I(1), Value::I(2)).unwrap(),
+            Value::B(true)
+        );
+        assert_eq!(
+            bin_op(BinOp::Ge, Value::F64(2.0), Value::F64(2.0)).unwrap(),
+            Value::B(true)
+        );
+        assert_eq!(
+            bin_op(BinOp::Ne, Value::F32(1.0), Value::F32(1.0)).unwrap(),
+            Value::B(false)
+        );
     }
 }

@@ -4,61 +4,113 @@
 //! of generated sources over its lifetime; the frontend must be total.)
 
 use clgemm_clc::Program;
-use proptest::prelude::*;
+use clgemm_shim::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// Arbitrary strings never panic the compiler.
-    #[test]
-    fn arbitrary_strings_never_panic(src in ".{0,400}") {
+/// Arbitrary strings never panic the compiler.
+#[test]
+fn arbitrary_strings_never_panic() {
+    let mut rng = Rng::new(1);
+    for _ in 0..256 {
+        let len = rng.range(0, 401);
+        let src: String = (0..len)
+            .map(|_| char::from_u32(rng.range(1, 0xD800) as u32).unwrap_or('?'))
+            .collect();
         let _ = Program::compile(&src);
     }
+}
 
-    /// Token soup from the language's own vocabulary never panics.
-    #[test]
-    fn token_soup_never_panics(toks in prop::collection::vec(
-        prop::sample::select(vec![
-            "__kernel", "void", "int", "float", "double", "float4", "__global",
-            "__local", "const", "for", "if", "else", "while", "return",
-            "barrier", "mad", "vload2", "vstore2", "get_global_id",
-            "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/",
-            "<", ">", "==", "&&", "0", "1", "42", "3.5", "2.0f", "x", "y", "A",
-        ]),
-        0..60,
-    )) {
-        let src = toks.join(" ");
+/// Token soup from the language's own vocabulary never panics.
+#[test]
+fn token_soup_never_panics() {
+    const VOCAB: &[&str] = &[
+        "__kernel",
+        "void",
+        "int",
+        "float",
+        "double",
+        "float4",
+        "__global",
+        "__local",
+        "const",
+        "for",
+        "if",
+        "else",
+        "while",
+        "return",
+        "barrier",
+        "mad",
+        "vload2",
+        "vstore2",
+        "get_global_id",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        ",",
+        "=",
+        "+",
+        "-",
+        "*",
+        "/",
+        "<",
+        ">",
+        "==",
+        "&&",
+        "0",
+        "1",
+        "42",
+        "3.5",
+        "2.0f",
+        "x",
+        "y",
+        "A",
+    ];
+    let mut rng = Rng::new(2);
+    for _ in 0..256 {
+        let n = rng.range(0, 60);
+        let src = (0..n)
+            .map(|_| *rng.choose(VOCAB).unwrap())
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = Program::compile(&src);
     }
+}
 
-    /// Mutating one byte of a valid kernel never panics (it may still
-    /// compile if the byte lands in a comment).
-    #[test]
-    fn single_byte_mutations_never_panic(pos in 0usize..300, byte in 0u8..128) {
-        let base = r#"
-            // a comment line to absorb some mutations
-            __kernel void k(__global const float* a, __global float* c, int n) {
-                int i = get_global_id(0);
-                float acc = 0.0f;
-                for (int p = 0; p < n; p += 1) { acc = mad(a[p], 2.0f, acc); }
-                if (i < n) { c[i] = acc; }
-            }
-        "#;
+/// Mutating one byte of a valid kernel never panics (it may still
+/// compile if the byte lands in a comment).
+#[test]
+fn single_byte_mutations_never_panic() {
+    let base = r#"
+        // a comment line to absorb some mutations
+        __kernel void k(__global const float* a, __global float* c, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int p = 0; p < n; p += 1) { acc = mad(a[p], 2.0f, acc); }
+            if (i < n) { c[i] = acc; }
+        }
+    "#;
+    let mut rng = Rng::new(3);
+    for _ in 0..256 {
         let mut bytes = base.as_bytes().to_vec();
-        let idx = pos % bytes.len();
-        bytes[idx] = byte;
+        let idx = rng.range(0, bytes.len());
+        bytes[idx] = rng.range(0, 128) as u8;
         if let Ok(src) = std::str::from_utf8(&bytes) {
             let _ = Program::compile(src);
         }
     }
+}
 
-    /// Deeply nested expressions neither panic nor hang.
-    #[test]
-    fn nested_parens_are_handled(depth in 1usize..60) {
+/// Deeply nested expressions neither panic nor hang.
+#[test]
+fn nested_parens_are_handled() {
+    for depth in 1..60 {
         let expr = format!("{}1.0{}", "(".repeat(depth), ")".repeat(depth));
         let src = format!("__kernel void k(__global double* x) {{ x[0] = {expr}; }}");
         let p = Program::compile(&src);
-        prop_assert!(p.is_ok(), "balanced parens should compile");
+        assert!(p.is_ok(), "balanced parens should compile at depth {depth}");
     }
 }
 

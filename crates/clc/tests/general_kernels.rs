@@ -81,7 +81,12 @@ fn tree_reduction_with_while_loop() {
     let mut bufs = vec![BufData::F64(input), BufData::F64(vec![0.0; 2])];
     p.kernel("reduce")
         .unwrap()
-        .launch(NdRange::d1(16, 8), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+        .launch(
+            NdRange::d1(16, 8),
+            &[Arg::Buf(0), Arg::Buf(1)],
+            &mut bufs,
+            &ExecOptions::default(),
+        )
         .unwrap();
     let out = f64s(&bufs[1]);
     assert_eq!(out[0], (1..=8).sum::<i32>() as f64);
@@ -108,7 +113,12 @@ fn while_loop_divergent_trip_counts() {
     let mut bufs = vec![BufData::F64(vec![0.0; 6])];
     p.kernel("tri")
         .unwrap()
-        .launch(NdRange::d1(6, 2), &[Arg::Buf(0)], &mut bufs, &ExecOptions::default())
+        .launch(
+            NdRange::d1(6, 2),
+            &[Arg::Buf(0)],
+            &mut bufs,
+            &ExecOptions::default(),
+        )
         .unwrap();
     assert_eq!(f64s(&bufs[0]), &[0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
 }
@@ -130,7 +140,12 @@ fn math_builtins_evaluate_correctly() {
     let mut bufs = vec![BufData::F64(xs.clone()), BufData::F64(vec![0.0; 4])];
     p.kernel("mathy")
         .unwrap()
-        .launch(NdRange::d1(4, 2), &[Arg::Buf(0), Arg::Buf(1)], &mut bufs, &ExecOptions::default())
+        .launch(
+            NdRange::d1(4, 2),
+            &[Arg::Buf(0), Arg::Buf(1)],
+            &mut bufs,
+            &ExecOptions::default(),
+        )
         .unwrap();
     let out = f64s(&bufs[1]);
     for (i, &x) in xs.iter().enumerate() {
@@ -194,9 +209,18 @@ fn multi_kernel_program_with_shared_state() {
     let p = Program::compile(src).unwrap();
     let mut bufs = vec![BufData::F64(vec![0.0; 8])];
     let opts = ExecOptions::default();
-    p.kernel("fill").unwrap().launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts).unwrap();
-    p.kernel("square").unwrap().launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts).unwrap();
-    assert_eq!(f64s(&bufs[0]), &[0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0]);
+    p.kernel("fill")
+        .unwrap()
+        .launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts)
+        .unwrap();
+    p.kernel("square")
+        .unwrap()
+        .launch(NdRange::d1(8, 4), &[Arg::Buf(0)], &mut bufs, &opts)
+        .unwrap();
+    assert_eq!(
+        f64s(&bufs[0]),
+        &[0.0, 1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0]
+    );
 }
 
 #[test]
@@ -210,7 +234,10 @@ fn non_terminating_while_is_caught_by_step_limit() {
     "#;
     let p = Program::compile(src).unwrap();
     let mut bufs = vec![BufData::F64(vec![0.0; 1])];
-    let opts = ExecOptions { step_limit: 10_000, ..Default::default() };
+    let opts = ExecOptions {
+        step_limit: 10_000,
+        ..Default::default()
+    };
     let err = p
         .kernel("spin")
         .unwrap()

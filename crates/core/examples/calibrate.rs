@@ -19,7 +19,16 @@ fn main() {
         let space = SearchSpace::for_device(&dev);
         for (prec, paper) in [(Precision::F64, dgemm), (Precision::F32, sgemm)] {
             let t0 = std::time::Instant::now();
-            let res = tune(&dev, prec, &space, &SearchOpts { verify_winner: false, max_sweep_points: 16, ..Default::default() });
+            let res = tune(
+                &dev,
+                prec,
+                &space,
+                &SearchOpts {
+                    verify_winner: false,
+                    max_sweep_points: 16,
+                    ..Default::default()
+                },
+            );
             let dt = t0.elapsed().as_secs_f64();
             println!(
                 "{:12} {} model {:7.0} GF ({:4.1}%)  paper {:7.0} GF ({:4.1}%)  ratio {:.2}  cands {:6}  [{:.1}s]",

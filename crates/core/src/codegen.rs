@@ -60,7 +60,10 @@ impl GeneratedKernel {
 pub fn generate(params: &KernelParams) -> Result<GeneratedKernel, crate::params::ParamError> {
     params.validate()?;
     let source = Emitter::new(params).emit();
-    Ok(GeneratedKernel { params: *params, source })
+    Ok(GeneratedKernel {
+        params: *params,
+        source,
+    })
 }
 
 struct Emitter<'a> {
@@ -71,7 +74,11 @@ struct Emitter<'a> {
 
 impl<'a> Emitter<'a> {
     fn new(p: &'a KernelParams) -> Self {
-        Emitter { p, out: String::with_capacity(8 * 1024), indent: 0 }
+        Emitter {
+            p,
+            out: String::with_capacity(8 * 1024),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, s: impl AsRef<str>) {
@@ -546,7 +553,11 @@ pub fn source_stats(k: &GeneratedKernel) -> SourceStats {
 #[must_use]
 pub fn render_with_header(k: &GeneratedKernel) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// clgemm generated kernel — {} {}", k.params.precision, k.params.algorithm);
+    let _ = writeln!(
+        s,
+        "// clgemm generated kernel — {} {}",
+        k.params.precision, k.params.algorithm
+    );
     s.push_str(&k.source);
     s
 }
@@ -584,8 +595,7 @@ mod tests {
                 p.layout_a = la;
                 p.layout_b = lb;
                 let k = generate(&p).unwrap();
-                Program::compile(&k.source)
-                    .unwrap_or_else(|e| panic!("layouts {la}/{lb}: {e}"));
+                Program::compile(&k.source).unwrap_or_else(|e| panic!("layouts {la}/{lb}: {e}"));
             }
         }
     }

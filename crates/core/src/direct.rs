@@ -23,7 +23,6 @@ use clgemm_blas::scalar::{Precision, Scalar};
 use clgemm_blas::{GemmType, Trans};
 use clgemm_clc::NdRange;
 use clgemm_device::{DeviceSpec, KernelLaunchProfile};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Name of the generated copy-free kernel.
@@ -31,7 +30,7 @@ pub const DIRECT_KERNEL_NAME: &str = "gemm_direct";
 
 /// Parameters of the direct kernel (a deliberately smaller space than the
 /// packed kernel: no layouts, no local memory, no stride modes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DirectParams {
     /// Work-group tile.
     pub mwg: usize,
@@ -50,7 +49,15 @@ impl DirectParams {
     /// A sensible default blocking for small problems.
     #[must_use]
     pub fn default_for(ty: GemmType, precision: Precision) -> DirectParams {
-        DirectParams { mwg: 32, nwg: 32, mdimc: 8, ndimc: 8, kwi: 4, ty, precision }
+        DirectParams {
+            mwg: 32,
+            nwg: 32,
+            mdimc: 8,
+            ndimc: 8,
+            kwi: 4,
+            ty,
+            precision,
+        }
     }
 
     /// Work-items per group.
@@ -74,7 +81,9 @@ impl DirectParams {
     /// Validate divisibility and sanity.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.mwg == 0 || self.nwg == 0 || self.mdimc == 0 || self.ndimc == 0 || self.kwi == 0 {
-            return Err(ParamError("direct-kernel parameters must be positive".into()));
+            return Err(ParamError(
+                "direct-kernel parameters must be positive".into(),
+            ));
         }
         if !self.mwg.is_multiple_of(self.mdimc) || !self.nwg.is_multiple_of(self.ndimc) {
             return Err(ParamError(format!(
@@ -83,7 +92,10 @@ impl DirectParams {
             )));
         }
         if self.wg_size() > 1024 {
-            return Err(ParamError(format!("work-group size {} exceeds 1024", self.wg_size())));
+            return Err(ParamError(format!(
+                "work-group size {} exceeds 1024",
+                self.wg_size()
+            )));
         }
         Ok(())
     }
@@ -92,7 +104,10 @@ impl DirectParams {
     #[must_use]
     pub fn ndrange(&self, m: usize, n: usize) -> NdRange {
         NdRange::d2(
-            [m.div_ceil(self.mwg) * self.mdimc, n.div_ceil(self.nwg) * self.ndimc],
+            [
+                m.div_ceil(self.mwg) * self.mdimc,
+                n.div_ceil(self.nwg) * self.ndimc,
+            ],
             [self.mdimc, self.ndimc],
         )
     }
@@ -145,7 +160,11 @@ pub fn generate_direct(p: &DirectParams) -> Result<GeneratedDirect, ParamError> 
     macro_rules! w {
         ($($arg:tt)*) => { push_line(&mut s, &format!($($arg)*)) };
     }
-    w!("// Direct (copy-free) GEMM kernel, type {}, {}", p.ty, p.precision);
+    w!(
+        "// Direct (copy-free) GEMM kernel, type {}, {}",
+        p.ty,
+        p.precision
+    );
     if p.precision == Precision::F64 {
         w!("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
     }
@@ -159,7 +178,8 @@ pub fn generate_direct(p: &DirectParams) -> Result<GeneratedDirect, ParamError> 
     w!("");
     w!(
         "__kernel __attribute__((reqd_work_group_size({}, {}, 1)))",
-        p.mdimc, p.ndimc
+        p.mdimc,
+        p.ndimc
     );
     w!(
         "void {DIRECT_KERNEL_NAME}(__global const {t}* A, __global const {t}* B, __global {t}* C, int M, int N, int K, int lda, int ldb, int ldc, {t} alpha, {t} beta) {{"
@@ -195,14 +215,15 @@ pub fn generate_direct(p: &DirectParams) -> Result<GeneratedDirect, ParamError> 
         for cj in 0..nwi {
             w!("    if (row_{mi} < M && col_{cj} < N) {{");
             w!("        int off_{mi}_{cj} = row_{mi} + col_{cj}*ldc;");
-            w!(
-                "        C[off_{mi}_{cj}] = mad(alpha, c_{mi}_{cj}, beta*C[off_{mi}_{cj}]);"
-            );
+            w!("        C[off_{mi}_{cj}] = mad(alpha, c_{mi}_{cj}, beta*C[off_{mi}_{cj}]);");
             w!("    }}");
         }
     }
     w!("}}");
-    Ok(GeneratedDirect { params: *p, source: s })
+    Ok(GeneratedDirect {
+        params: *p,
+        source: s,
+    })
 }
 
 /// Emit one K step: guarded loads of a column of the A tile and a row of
@@ -227,7 +248,10 @@ fn emit_step(s: &mut String, p: &DirectParams, t: &str, zero: &str, p_expr: &str
     }
     for mi in 0..mwi {
         for cj in 0..nwi {
-            let _ = writeln!(s, "        c_{mi}_{cj} = mad(a_{tag}_{mi}, b_{tag}_{cj}, c_{mi}_{cj});");
+            let _ = writeln!(
+                s,
+                "        c_{mi}_{cj} = mad(a_{tag}_{mi}, b_{tag}_{cj}, c_{mi}_{cj});"
+            );
         }
     }
 }
@@ -263,7 +287,13 @@ pub fn run_direct_native<T: Scalar>(
 /// carries a bounds guard, and there is no data reuse through local
 /// memory — redundant reads land on the cache.
 #[must_use]
-pub fn direct_profile(p: &DirectParams, dev: &DeviceSpec, m: usize, n: usize, k: usize) -> KernelLaunchProfile {
+pub fn direct_profile(
+    p: &DirectParams,
+    dev: &DeviceSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> KernelLaunchProfile {
     let e = p.precision.bytes() as f64;
     let wg = p.wg_size() as f64;
     let (mwi, nwi, kwi) = (p.mwi() as f64, p.nwi() as f64, p.kwi as f64);
@@ -288,8 +318,7 @@ pub fn direct_profile(p: &DirectParams, dev: &DeviceSpec, m: usize, n: usize, k:
     };
     let a_bytes = p.mwg as f64 * kwi * e;
     let b_bytes = p.nwg as f64 * kwi * e;
-    let coalesce_eff =
-        ((a_bytes + b_bytes) / (a_bytes / a_eff + b_bytes / b_eff)).clamp(0.01, 1.0);
+    let coalesce_eff = ((a_bytes + b_bytes) / (a_bytes / a_eff + b_bytes / b_eff)).clamp(0.01, 1.0);
 
     let dedup_b = (p.mdimc as f64).min(dev.micro.wavefront as f64).min(4.0);
     KernelLaunchProfile {
@@ -331,7 +360,15 @@ mod tests {
     use clgemm_device::DeviceId;
 
     fn run_vm_case(ty: GemmType, m: usize, n: usize, k: usize) {
-        let p = DirectParams { mwg: 8, nwg: 8, mdimc: 4, ndimc: 4, kwi: 3, ty, precision: Precision::F64 };
+        let p = DirectParams {
+            mwg: 8,
+            nwg: 8,
+            mdimc: 4,
+            ndimc: 4,
+            kwi: 3,
+            ty,
+            precision: Precision::F64,
+        };
         let gen = generate_direct(&p).unwrap();
         let prog = Program::compile(&gen.source)
             .unwrap_or_else(|e| panic!("direct kernel must compile: {e}\n{}", gen.source));
@@ -373,12 +410,18 @@ mod tests {
         kernel
             .launch(p.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
             .unwrap_or_else(|e| panic!("{ty} {m}x{n}x{k}: {e}"));
-        let BufData::F64(c_vm) = &bufs[2] else { panic!() };
+        let BufData::F64(c_vm) = &bufs[2] else {
+            panic!()
+        };
         for j in 0..n {
             for i in 0..m {
                 let vm = c_vm[i + j * m];
                 let nat = c_native.at(i, j);
-                assert_eq!(vm.to_bits(), nat.to_bits(), "{ty} mismatch at ({i},{j}): {vm} vs {nat}");
+                assert_eq!(
+                    vm.to_bits(),
+                    nat.to_bits(),
+                    "{ty} mismatch at ({i},{j}): {vm} vs {nat}"
+                );
             }
         }
     }
@@ -409,8 +452,20 @@ mod tests {
     #[test]
     fn direct_profile_penalises_transposed_reads() {
         let dev = DeviceId::Tahiti.spec();
-        let nn = direct_profile(&DirectParams::default_for(GemmType::NN, Precision::F64), &dev, 256, 256, 256);
-        let tt = direct_profile(&DirectParams::default_for(GemmType::TT, Precision::F64), &dev, 256, 256, 256);
+        let nn = direct_profile(
+            &DirectParams::default_for(GemmType::NN, Precision::F64),
+            &dev,
+            256,
+            256,
+            256,
+        );
+        let tt = direct_profile(
+            &DirectParams::default_for(GemmType::TT, Precision::F64),
+            &dev,
+            256,
+            256,
+            256,
+        );
         assert!(tt.coalesce_eff < nn.coalesce_eff);
     }
 

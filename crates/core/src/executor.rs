@@ -3,14 +3,13 @@
 //! All three generated algorithms accumulate each `C` element over `p` in
 //! strictly ascending order with fused multiply-adds, then merge with
 //! `mad(alpha, acc, beta*C)`. This module reproduces exactly that
-//! arithmetic natively (rayon-parallel over rows), giving a fast oracle
+//! arithmetic natively (thread-parallel over rows), giving a fast oracle
 //! that must agree **bit-for-bit** with the `clgemm-clc` VM executing the
 //! generated OpenCL C — a very strong end-to-end check on the code
 //! generator, the compiler and the VM at once.
 
 use clgemm_blas::layout::{BlockLayout, PackedDims};
 use clgemm_blas::scalar::Scalar;
-use rayon::prelude::*;
 
 /// Compute `C ← α·Aᵀ·B + β·C` on packed operands with generated-kernel
 /// numerics.
@@ -40,9 +39,12 @@ pub fn run_native<T: Scalar>(
     assert_eq!(b.len(), b_dims.len(), "packed B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
     assert!(a_dims.k >= k && b_dims.k >= k, "operand depth too small");
-    assert!(a_dims.width >= m && b_dims.width >= n, "operand width too small");
+    assert!(
+        a_dims.width >= m && b_dims.width >= n,
+        "operand width too small"
+    );
 
-    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+    clgemm_shim::par::par_chunks_mut(c, n, |i, row| {
         for (j, cell) in row.iter_mut().enumerate() {
             let mut acc = T::ZERO;
             for p in 0..k {
@@ -72,14 +74,35 @@ mod tests {
         let b = Matrix::<f64>::test_pattern(k, n, StorageOrder::ColMajor, 2);
         let c0 = Matrix::<f64>::test_pattern(m, n, StorageOrder::ColMajor, 3);
 
-        let spec_a = PackSpec { trans: Trans::Yes, layout: BlockLayout::Cbl, wwg: 8, kwg: 8 };
-        let spec_b = PackSpec { trans: Trans::No, layout: BlockLayout::Rbl, wwg: 8, kwg: 8 };
+        let spec_a = PackSpec {
+            trans: Trans::Yes,
+            layout: BlockLayout::Cbl,
+            wwg: 8,
+            kwg: 8,
+        };
+        let spec_b = PackSpec {
+            trans: Trans::No,
+            layout: BlockLayout::Rbl,
+            wwg: 8,
+            kwg: 8,
+        };
         let (pa, da) = pack_operand(&a, spec_a, k, m);
         let (pb, db) = pack_operand(&b, spec_b, k, n);
 
         let mut c_native: Vec<f64> = (0..m * n).map(|i| c0.at(i / n, i % n)).collect();
         run_native(
-            m, n, k, 1.5, &pa, da, BlockLayout::Cbl, &pb, db, BlockLayout::Rbl, -0.5, &mut c_native,
+            m,
+            n,
+            k,
+            1.5,
+            &pa,
+            da,
+            BlockLayout::Cbl,
+            &pb,
+            db,
+            BlockLayout::Rbl,
+            -0.5,
+            &mut c_native,
         );
 
         let mut c_ref = c0.clone();
@@ -99,12 +122,38 @@ mod tests {
         let a = vec![1.0f32; 64];
         let b = vec![2.0f32; 64];
         let mut c = vec![f32::NAN; 64];
-        run_native(m, n, k, 1.0, &a, dims, BlockLayout::RowMajor, &b, dims, BlockLayout::RowMajor, 0.0, &mut c);
+        run_native(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::RowMajor,
+            &b,
+            dims,
+            BlockLayout::RowMajor,
+            0.0,
+            &mut c,
+        );
         // NaN * 0 is NaN — OpenCL mad(alpha, acc, beta*C) with beta=0 and
         // C=NaN propagates NaN, so the routine layer zero-fills staged C.
         assert!(c.iter().all(|v| v.is_nan()));
         let mut c = vec![0.0f32; 64];
-        run_native(m, n, k, 1.0, &a, dims, BlockLayout::RowMajor, &b, dims, BlockLayout::RowMajor, 0.0, &mut c);
+        run_native(
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::RowMajor,
+            &b,
+            dims,
+            BlockLayout::RowMajor,
+            0.0,
+            &mut c,
+        );
         assert!(c.iter().all(|v| (*v - 16.0).abs() < 1e-6));
     }
 
@@ -124,8 +173,34 @@ mod tests {
         }
         let mut c6 = vec![0.0f64; 16];
         let mut c8 = vec![0.0f64; 16];
-        run_native(m, n, 6, 1.0, &a, dims, BlockLayout::Cbl, &b, dims, BlockLayout::Cbl, 0.0, &mut c6);
-        run_native(m, n, 8, 1.0, &a, dims, BlockLayout::Cbl, &b, dims, BlockLayout::Cbl, 0.0, &mut c8);
+        run_native(
+            m,
+            n,
+            6,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::Cbl,
+            &b,
+            dims,
+            BlockLayout::Cbl,
+            0.0,
+            &mut c6,
+        );
+        run_native(
+            m,
+            n,
+            8,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::Cbl,
+            &b,
+            dims,
+            BlockLayout::Cbl,
+            0.0,
+            &mut c8,
+        );
         assert_eq!(c6, c8);
     }
 
@@ -136,6 +211,19 @@ mod tests {
         let a = vec![0.0f64; 10];
         let b = vec![0.0f64; 64];
         let mut c = vec![0.0f64; 64];
-        run_native(8, 8, 8, 1.0, &a, dims, BlockLayout::RowMajor, &b, dims, BlockLayout::RowMajor, 0.0, &mut c);
+        run_native(
+            8,
+            8,
+            8,
+            1.0,
+            &a,
+            dims,
+            BlockLayout::RowMajor,
+            &b,
+            dims,
+            BlockLayout::RowMajor,
+            0.0,
+            &mut c,
+        );
     }
 }

@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::codegen::{generate, GeneratedKernel, KERNEL_NAME};
     pub use crate::direct::{generate_direct, DirectParams, DIRECT_KERNEL_NAME};
     pub use crate::params::{Algorithm, KernelParams, StrideMode};
-    pub use crate::repo::KernelRepo;
+    pub use crate::repo::{KernelRepo, RepoError, SCHEMA_VERSION};
     pub use crate::routine::{GemmPath, GemmRun, HybridGemm, TunedGemm};
     pub use crate::tuner::{tune, Measurement, SearchOpts, SearchSpace, TuningResult};
     pub use clgemm_blas::layout::BlockLayout;

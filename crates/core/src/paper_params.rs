@@ -60,8 +60,16 @@ fn p(
         mdima,
         ndimb,
         vw,
-        stride_m: if sm { StrideMode::NonUnit } else { StrideMode::Unit },
-        stride_n: if sn { StrideMode::NonUnit } else { StrideMode::Unit },
+        stride_m: if sm {
+            StrideMode::NonUnit
+        } else {
+            StrideMode::Unit
+        },
+        stride_n: if sn {
+            StrideMode::NonUnit
+        } else {
+            StrideMode::Unit
+        },
         local_a: la,
         local_b: lb,
         layout_a: lay_a,
@@ -69,7 +77,12 @@ fn p(
         algorithm,
         precision,
     };
-    PaperEntry { device, params, paper_gflops, adapted }
+    PaperEntry {
+        device,
+        params,
+        paper_gflops,
+        adapted,
+    }
 }
 
 /// The six DGEMM winners of Table II.
@@ -78,32 +91,116 @@ pub fn dgemm_winners() -> Vec<PaperEntry> {
     use BlockLayout::{Cbl, Rbl};
     vec![
         // Tahiti: 96,32,48 / 6,2,2 / 16x16 / vw2 / shared B / CBL,CBL / BA.
-        p(DeviceId::Tahiti, Precision::F64, (96, 32, 48), 2, (16, 16), 16, 16, 2,
-          (false, false), (false, true), (Cbl, Cbl), Algorithm::Ba, 863.0, false),
+        p(
+            DeviceId::Tahiti,
+            Precision::F64,
+            (96, 32, 48),
+            2,
+            (16, 16),
+            16,
+            16,
+            2,
+            (false, false),
+            (false, true),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            863.0,
+            false,
+        ),
         // Cayman: 64,32,48 / 4,4,24 / 16x8 / dimA 16 / NdimB 8 / vw2 /
         // stride N / no local / CBL,CBL / BA.
-        p(DeviceId::Cayman, Precision::F64, (64, 32, 48), 24, (16, 8), 16, 8, 2,
-          (false, true), (false, false), (Cbl, Cbl), Algorithm::Ba, 580.0, false),
+        p(
+            DeviceId::Cayman,
+            Precision::F64,
+            (64, 32, 48),
+            24,
+            (16, 8),
+            16,
+            8,
+            2,
+            (false, true),
+            (false, false),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            580.0,
+            false,
+        ),
         // Kepler: 32,64,8 / 2,4,4 / 16x16 / dimA 32 / NdimB 32 / vw1 /
         // stride N / shared A,B / CBL,CBL / BA.
-        p(DeviceId::Kepler, Precision::F64, (32, 64, 8), 4, (16, 16), 32, 32, 1,
-          (false, true), (true, true), (Cbl, Cbl), Algorithm::Ba, 128.0, false),
+        p(
+            DeviceId::Kepler,
+            Precision::F64,
+            (32, 64, 8),
+            4,
+            (16, 16),
+            32,
+            32,
+            1,
+            (false, true),
+            (true, true),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            128.0,
+            false,
+        ),
         // Fermi: 64,64,8 / 4,4,2 / 16x16 / dimA 64 / NdimB 64 / vw1 /
         // stride N / shared B + PL in the table -> adapted to A,B for PL.
-        p(DeviceId::Fermi, Precision::F64, (64, 64, 8), 2, (16, 16), 64, 64, 1,
-          (false, true), (true, true), (Cbl, Rbl), Algorithm::Pl, 370.0, true),
+        p(
+            DeviceId::Fermi,
+            Precision::F64,
+            (64, 64, 8),
+            2,
+            (16, 16),
+            64,
+            64,
+            1,
+            (false, true),
+            (true, true),
+            (Cbl, Rbl),
+            Algorithm::Pl,
+            370.0,
+            true,
+        ),
         // Sandy Bridge: 64,32,64 / 4,8,4 / 16x4 / vw4 / RBL,RBL / DB with
         // shared B. Our DB skeleton double-buffers BOTH operands, which
         // does not fit the 32 KiB local memory at these factors, so the
         // entry is adapted to BA sharing B (local memory is cache-backed
         // on this CPU, so the algorithm choice is near-neutral anyway).
-        p(DeviceId::SandyBridge, Precision::F64, (64, 32, 64), 4, (16, 4), 16, 4, 4,
-          (false, false), (false, true), (Rbl, Rbl), Algorithm::Ba, 64.0, true),
+        p(
+            DeviceId::SandyBridge,
+            Precision::F64,
+            (64, 32, 64),
+            4,
+            (16, 4),
+            16,
+            4,
+            4,
+            (false, false),
+            (false, true),
+            (Rbl, Rbl),
+            Algorithm::Ba,
+            64.0,
+            true,
+        ),
         // Bulldozer: 48,32,96 / 2,8,16 / 24x4 / vw2 / stride M / shared B
         // + DB. As for Sandy Bridge, our double-buffered-both skeleton
         // exceeds the 32 KiB local memory, so adapted to BA sharing B.
-        p(DeviceId::Bulldozer, Precision::F64, (48, 32, 96), 16, (24, 4), 24, 2, 2,
-          (true, false), (false, true), (Cbl, Rbl), Algorithm::Ba, 37.0, true),
+        p(
+            DeviceId::Bulldozer,
+            Precision::F64,
+            (48, 32, 96),
+            16,
+            (24, 4),
+            24,
+            2,
+            2,
+            (true, false),
+            (false, true),
+            (Cbl, Rbl),
+            Algorithm::Ba,
+            37.0,
+            true,
+        ),
     ]
 }
 
@@ -113,28 +210,112 @@ pub fn sgemm_winners() -> Vec<PaperEntry> {
     use BlockLayout::{Cbl, Rbl};
     vec![
         // Tahiti: 96,96,16 / 6,6,2 / 16x16 / vw1 / stride M / shared A,B.
-        p(DeviceId::Tahiti, Precision::F32, (96, 96, 16), 2, (16, 16), 16, 16, 1,
-          (true, false), (true, true), (Cbl, Cbl), Algorithm::Ba, 3047.0, false),
+        p(
+            DeviceId::Tahiti,
+            Precision::F32,
+            (96, 96, 16),
+            2,
+            (16, 16),
+            16,
+            16,
+            1,
+            (true, false),
+            (true, true),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            3047.0,
+            false,
+        ),
         // Cayman: 128,64,96 / 8,8,24 / 16x8 / vw4 / stride N / PL with no
         // shared matrix in the table. A 192x96 SP block cannot fit the
         // 32 KiB local memory at all, so the paper's PL here must have
         // prefetched to private only; adapted to BA with no local memory.
-        p(DeviceId::Cayman, Precision::F32, (128, 64, 96), 24, (16, 8), 16, 8, 4,
-          (false, true), (false, false), (Cbl, Cbl), Algorithm::Ba, 2167.0, true),
+        p(
+            DeviceId::Cayman,
+            Precision::F32,
+            (128, 64, 96),
+            24,
+            (16, 8),
+            16,
+            8,
+            4,
+            (false, true),
+            (false, false),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            2167.0,
+            true,
+        ),
         // Kepler: 64,64,8 / 8,4,8 / 8x16 / dimA 32 / NdimB 32 / vw2 /
         // stride M / shared A,B / PL.
-        p(DeviceId::Kepler, Precision::F32, (64, 64, 8), 8, (8, 16), 32, 32, 2,
-          (true, false), (true, true), (Cbl, Cbl), Algorithm::Pl, 1440.0, false),
+        p(
+            DeviceId::Kepler,
+            Precision::F32,
+            (64, 64, 8),
+            8,
+            (8, 16),
+            32,
+            32,
+            2,
+            (true, false),
+            (true, true),
+            (Cbl, Cbl),
+            Algorithm::Pl,
+            1440.0,
+            false,
+        ),
         // Fermi: 64,64,16 / 8,4,16 / 8x16 / dimA 32 / NdimB 16 / vw2 /
         // stride M,N / shared B / BA.
-        p(DeviceId::Fermi, Precision::F32, (64, 64, 16), 16, (8, 16), 32, 16, 2,
-          (true, true), (false, true), (Cbl, Cbl), Algorithm::Ba, 896.0, false),
+        p(
+            DeviceId::Fermi,
+            Precision::F32,
+            (64, 64, 16),
+            16,
+            (8, 16),
+            32,
+            16,
+            2,
+            (true, true),
+            (false, true),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            896.0,
+            false,
+        ),
         // Sandy Bridge: 64,64,64 / 8,8,8 / 8x8 / vw8 / stride M / RBL,RBL.
-        p(DeviceId::SandyBridge, Precision::F32, (64, 64, 64), 8, (8, 8), 8, 8, 8,
-          (true, false), (false, false), (Rbl, Rbl), Algorithm::Ba, 140.0, false),
+        p(
+            DeviceId::SandyBridge,
+            Precision::F32,
+            (64, 64, 64),
+            8,
+            (8, 8),
+            8,
+            8,
+            8,
+            (true, false),
+            (false, false),
+            (Rbl, Rbl),
+            Algorithm::Ba,
+            140.0,
+            false,
+        ),
         // Bulldozer: 32,48,192 / 4,12,4 / 8x4 / vw4 / stride M / CBL,CBL.
-        p(DeviceId::Bulldozer, Precision::F32, (32, 48, 192), 4, (8, 4), 8, 4, 4,
-          (true, false), (false, false), (Cbl, Cbl), Algorithm::Ba, 87.0, false),
+        p(
+            DeviceId::Bulldozer,
+            Precision::F32,
+            (32, 48, 192),
+            4,
+            (8, 4),
+            8,
+            4,
+            4,
+            (true, false),
+            (false, false),
+            (Cbl, Cbl),
+            Algorithm::Ba,
+            87.0,
+            false,
+        ),
     ]
 }
 

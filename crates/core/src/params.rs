@@ -11,11 +11,11 @@
 
 use clgemm_blas::layout::BlockLayout;
 use clgemm_blas::scalar::Precision;
-use serde::{Deserialize, Serialize};
+use clgemm_shim::{Json, JsonError};
 
 /// Whether a work-item's C elements are adjacent (unit stride) or
 /// interleaved across the work-group (non-unit stride, §III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StrideMode {
     Unit,
     NonUnit,
@@ -31,7 +31,7 @@ impl StrideMode {
 }
 
 /// One of the three GEMM algorithms of §III-E.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Basic algorithm (Fig. 4), after Volkov & Demmel.
     Ba,
@@ -99,7 +99,7 @@ impl std::str::FromStr for Algorithm {
 }
 
 /// A full parameter set for the `C ← α·Aᵀ·B + β·C` kernel generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelParams {
     /// Work-group blocking factors (§III-A).
     pub mwg: usize,
@@ -233,9 +233,21 @@ impl KernelParams {
     #[must_use]
     pub fn lds_bytes(&self) -> usize {
         let e = self.elem_bytes();
-        let db = if self.algorithm == Algorithm::Db { 2 } else { 1 };
-        let a = if self.local_a { db * self.kwg * self.mwg * e } else { 0 };
-        let b = if self.local_b { db * self.kwg * self.nwg * e } else { 0 };
+        let db = if self.algorithm == Algorithm::Db {
+            2
+        } else {
+            1
+        };
+        let a = if self.local_a {
+            db * self.kwg * self.mwg * e
+        } else {
+            0
+        };
+        let b = if self.local_b {
+            db * self.kwg * self.nwg * e
+        } else {
+            0
+        };
         a + b
     }
 
@@ -251,8 +263,16 @@ impl KernelParams {
         // the live set stops growing after a few Kwi steps.
         let staging = self.kwi.min(4) * (self.mwi() + self.nwi());
         let prefetch = if self.algorithm == Algorithm::Pl {
-            let a = if self.local_a { self.mwia() * self.kwia() } else { 0 };
-            let b = if self.local_b { self.kwib() * self.nwib() } else { 0 };
+            let a = if self.local_a {
+                self.mwia() * self.kwia()
+            } else {
+                0
+            };
+            let b = if self.local_b {
+                self.kwib() * self.nwib()
+            } else {
+                0
+            };
             a + b
         } else {
             0
@@ -302,16 +322,29 @@ impl KernelParams {
             return err(format!("vector width {} not in {{1,2,4,8}}", self.vw));
         }
         if !self.mwg.is_multiple_of(self.mdimc) {
-            return err(format!("Mwg {} not divisible by MdimC {}", self.mwg, self.mdimc));
+            return err(format!(
+                "Mwg {} not divisible by MdimC {}",
+                self.mwg, self.mdimc
+            ));
         }
         if !self.nwg.is_multiple_of(self.ndimc) {
-            return err(format!("Nwg {} not divisible by NdimC {}", self.nwg, self.ndimc));
+            return err(format!(
+                "Nwg {} not divisible by NdimC {}",
+                self.nwg, self.ndimc
+            ));
         }
         if !self.kwg.is_multiple_of(self.kwi) {
-            return err(format!("Kwg {} not divisible by Kwi {}", self.kwg, self.kwi));
+            return err(format!(
+                "Kwg {} not divisible by Kwi {}",
+                self.kwg, self.kwi
+            ));
         }
         if !self.nwi().is_multiple_of(self.vw) {
-            return err(format!("Nwi {} not divisible by vector width {}", self.nwi(), self.vw));
+            return err(format!(
+                "Nwi {} not divisible by vector width {}",
+                self.nwi(),
+                self.vw
+            ));
         }
         let wg = self.wg_size();
         if wg > 1024 {
@@ -319,27 +352,49 @@ impl KernelParams {
         }
         if self.local_a {
             if !wg.is_multiple_of(self.mdima) {
-                return err(format!("work-group size {wg} not divisible by MdimA {}", self.mdima));
+                return err(format!(
+                    "work-group size {wg} not divisible by MdimA {}",
+                    self.mdima
+                ));
             }
             if !self.mwg.is_multiple_of(self.mdima) {
-                return err(format!("Mwg {} not divisible by MdimA {}", self.mwg, self.mdima));
+                return err(format!(
+                    "Mwg {} not divisible by MdimA {}",
+                    self.mwg, self.mdima
+                ));
             }
             if !self.kwg.is_multiple_of(self.kdima()) {
-                return err(format!("Kwg {} not divisible by KdimA {}", self.kwg, self.kdima()));
+                return err(format!(
+                    "Kwg {} not divisible by KdimA {}",
+                    self.kwg,
+                    self.kdima()
+                ));
             }
         }
         if self.local_b {
             if !wg.is_multiple_of(self.ndimb) {
-                return err(format!("work-group size {wg} not divisible by NdimB {}", self.ndimb));
+                return err(format!(
+                    "work-group size {wg} not divisible by NdimB {}",
+                    self.ndimb
+                ));
             }
             if !self.nwg.is_multiple_of(self.ndimb) {
-                return err(format!("Nwg {} not divisible by NdimB {}", self.nwg, self.ndimb));
+                return err(format!(
+                    "Nwg {} not divisible by NdimB {}",
+                    self.nwg, self.ndimb
+                ));
             }
             if !self.kwg.is_multiple_of(self.kdimb()) {
-                return err(format!("Kwg {} not divisible by KdimB {}", self.kwg, self.kdimb()));
+                return err(format!(
+                    "Kwg {} not divisible by KdimB {}",
+                    self.kwg,
+                    self.kdimb()
+                ));
             }
         }
-        if matches!(self.algorithm, Algorithm::Pl | Algorithm::Db) && !(self.local_a && self.local_b) {
+        if matches!(self.algorithm, Algorithm::Pl | Algorithm::Db)
+            && !(self.local_a && self.local_b)
+        {
             return err(format!(
                 "algorithm {} requires local memory for both matrices",
                 self.algorithm
@@ -384,6 +439,96 @@ impl KernelParams {
             self.layout_b.tag(),
             self.algorithm
         )
+    }
+}
+
+impl KernelParams {
+    /// JSON encoding used by [`crate::repo::KernelRepo`] persistence.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mwg", Json::from(self.mwg)),
+            ("nwg", Json::from(self.nwg)),
+            ("kwg", Json::from(self.kwg)),
+            ("mdimc", Json::from(self.mdimc)),
+            ("ndimc", Json::from(self.ndimc)),
+            ("kwi", Json::from(self.kwi)),
+            ("mdima", Json::from(self.mdima)),
+            ("ndimb", Json::from(self.ndimb)),
+            ("vw", Json::from(self.vw)),
+            ("stride_m", Json::from(self.stride_m.is_non_unit())),
+            ("stride_n", Json::from(self.stride_n.is_non_unit())),
+            ("local_a", Json::from(self.local_a)),
+            ("local_b", Json::from(self.local_b)),
+            ("layout_a", Json::from(self.layout_a.tag())),
+            ("layout_b", Json::from(self.layout_b.tag())),
+            ("algorithm", Json::from(self.algorithm.tag())),
+            ("precision", Json::from(format!("{:?}", self.precision))),
+        ])
+    }
+
+    /// Decode a parameter set previously written by [`Self::to_json`].
+    pub fn from_json(v: &Json) -> Result<KernelParams, JsonError> {
+        let num = |key: &str| -> Result<usize, JsonError> {
+            v.field(key)?.as_usize().ok_or_else(|| JsonError {
+                msg: format!("{key} not an integer"),
+            })
+        };
+        let flag = |key: &str| -> Result<bool, JsonError> {
+            v.field(key)?.as_bool().ok_or_else(|| JsonError {
+                msg: format!("{key} not a bool"),
+            })
+        };
+        let text = |key: &str| -> Result<&str, JsonError> {
+            v.field(key)?.as_str().ok_or_else(|| JsonError {
+                msg: format!("{key} not a string"),
+            })
+        };
+        let stride = |non_unit: bool| {
+            if non_unit {
+                StrideMode::NonUnit
+            } else {
+                StrideMode::Unit
+            }
+        };
+        let parse = |key: &str, what: &str| -> Result<String, JsonError> {
+            text(key).map(str::to_string).and_then(|s| {
+                if s.is_empty() {
+                    Err(JsonError {
+                        msg: format!("empty {what}"),
+                    })
+                } else {
+                    Ok(s)
+                }
+            })
+        };
+        Ok(KernelParams {
+            mwg: num("mwg")?,
+            nwg: num("nwg")?,
+            kwg: num("kwg")?,
+            mdimc: num("mdimc")?,
+            ndimc: num("ndimc")?,
+            kwi: num("kwi")?,
+            mdima: num("mdima")?,
+            ndimb: num("ndimb")?,
+            vw: num("vw")?,
+            stride_m: stride(flag("stride_m")?),
+            stride_n: stride(flag("stride_n")?),
+            local_a: flag("local_a")?,
+            local_b: flag("local_b")?,
+            layout_a: parse("layout_a", "layout")?
+                .parse()
+                .map_err(|e: String| JsonError { msg: e })?,
+            layout_b: parse("layout_b", "layout")?
+                .parse()
+                .map_err(|e: String| JsonError { msg: e })?,
+            algorithm: parse("algorithm", "algorithm")?
+                .parse()
+                .map_err(|e: String| JsonError { msg: e })?,
+            precision: parse("precision", "precision")?
+                .parse()
+                .map_err(|e: String| JsonError { msg: e })?,
+        })
     }
 }
 
@@ -571,10 +716,24 @@ mod tests {
     }
 
     #[test]
-    fn params_serde_round_trip() {
+    fn params_json_round_trip() {
         let p = tahiti_dgemm_best();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: KernelParams = serde_json::from_str(&json).unwrap();
+        let text = p.to_json().to_string_pretty();
+        let back = KernelParams::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn params_from_json_rejects_corrupt_fields() {
+        let mut doc = tahiti_dgemm_best().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "algorithm" {
+                    *v = Json::from("XX");
+                }
+            }
+        }
+        assert!(KernelParams::from_json(&doc).is_err());
+        assert!(KernelParams::from_json(&Json::obj(vec![])).is_err());
     }
 }

@@ -19,7 +19,13 @@ use clgemm_device::{DeviceSpec, KernelLaunchProfile, LocalMemType};
 /// Panics when the problem is not padded to the blocking factors (the
 /// routine layer guarantees this before any launch).
 #[must_use]
-pub fn launch_profile(p: &KernelParams, dev: &DeviceSpec, m: usize, n: usize, k: usize) -> KernelLaunchProfile {
+pub fn launch_profile(
+    p: &KernelParams,
+    dev: &DeviceSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> KernelLaunchProfile {
     assert_eq!(m % p.mwg, 0, "M not padded");
     assert_eq!(n % p.nwg, 0, "N not padded");
     assert_eq!(k % p.k_multiple(), 0, "K not padded");
@@ -45,7 +51,10 @@ pub fn launch_profile(p: &KernelParams, dev: &DeviceSpec, m: usize, n: usize, k:
     // Real load pipelines merge at most a few identical requests per
     // instruction, so the dedup factor is capped.
     let wavefront = dev.micro.wavefront as f64;
-    let dedup_a = (wavefront / p.mdimc as f64).max(1.0).min(p.ndimc as f64).min(4.0);
+    let dedup_a = (wavefront / p.mdimc as f64)
+        .max(1.0)
+        .min(p.ndimc as f64)
+        .min(4.0);
     let dedup_b = (p.mdimc as f64).min(wavefront).min(4.0);
 
     // A-side loads per work-item per iteration.
@@ -117,11 +126,14 @@ pub fn launch_profile(p: &KernelParams, dev: &DeviceSpec, m: usize, n: usize, k:
     let lds_bytes = a_lds_bytes + b_lds_bytes;
     // Row-major operands stride a full matrix row between depth steps, so
     // their cached reuse has worse line/TLB locality than block-major.
-    let cache_pen =
-        |layout: BlockLayout| if layout.is_block_major() { 1.0 } else { 1.15 };
+    let cache_pen = |layout: BlockLayout| if layout.is_block_major() { 1.0 } else { 1.15 };
     let cache_bytes = a_cache_bytes * cache_pen(p.layout_a) + b_cache_bytes * cache_pen(p.layout_b);
     let uses_local = p.local_a || p.local_b;
-    let barriers = if uses_local { p.algorithm.barriers_per_iter() } else { 0.0 };
+    let barriers = if uses_local {
+        p.algorithm.barriers_per_iter()
+    } else {
+        0.0
+    };
 
     // --- once-per-work-group ----------------------------------------------
     let dram_bytes_once = (p.mwg * p.nwg) as f64 * e * 2.0; // C read + write
@@ -220,7 +232,10 @@ mod tests {
         let prof = launch_profile(&p, &dev, n, n, n);
         let est = clgemm_device::estimate(&dev, &prof).unwrap();
         let eff = est.gflops(2.0 * (n as f64).powi(3)) / dev.peak_gflops(true);
-        assert!(eff > 0.6, "paper's winning Tahiti params reach {eff:.2} in the model");
+        assert!(
+            eff > 0.6,
+            "paper's winning Tahiti params reach {eff:.2} in the model"
+        );
         assert!(eff <= 1.0);
     }
 

@@ -4,22 +4,67 @@
 //! are therefore kept and reused. This module stores [`TuningResult`]s
 //! keyed by `(device, precision)` as JSON, so benches, examples and the
 //! report harness tune once and share winners.
+//!
+//! The on-disk document carries a `schema_version` field. Files written
+//! before the field existed (version-less) are still readable and are
+//! treated as version 1; files from a *newer* schema are rejected with
+//! [`RepoError::VersionMismatch`] instead of being misparsed.
 
 use crate::tuner::{tune, SearchOpts, SearchSpace, TuningResult};
 use clgemm_blas::scalar::Precision;
 use clgemm_device::DeviceSpec;
-use serde::{Deserialize, Serialize};
+use clgemm_shim::Json;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::Path;
 
-/// A set of tuning results keyed by device code name and precision.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct KernelRepo {
-    entries: BTreeMap<String, TuningResult>,
+/// The schema version this build writes and the highest it can read.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Why loading or parsing a repository failed.
+#[derive(Debug)]
+pub enum RepoError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The document is not valid JSON or is missing/holding malformed
+    /// fields. The message pinpoints the offending key.
+    Parse(String),
+    /// The document declares a schema newer than this build understands.
+    VersionMismatch { found: u64, supported: u64 },
 }
 
-fn key(device: &str, precision: Precision) -> String {
-    format!("{device}/{precision}")
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io(e) => write!(f, "repo io error: {e}"),
+            RepoError::Parse(msg) => write!(f, "repo parse error: {msg}"),
+            RepoError::VersionMismatch { found, supported } => write!(
+                f,
+                "repo schema version {found} is newer than the supported {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RepoError {
+    fn from(e: std::io::Error) -> RepoError {
+        RepoError::Io(e)
+    }
+}
+
+/// A set of tuning results keyed by device code name and precision.
+#[derive(Debug, Clone, Default)]
+pub struct KernelRepo {
+    entries: BTreeMap<String, TuningResult>,
 }
 
 impl KernelRepo {
@@ -27,6 +72,21 @@ impl KernelRepo {
     #[must_use]
     pub fn new() -> KernelRepo {
         KernelRepo::default()
+    }
+
+    /// The canonical cache key for a `(device, precision)` pair —
+    /// `"{device}/{SGEMM|DGEMM}"`. Exposed so other layers (the serving
+    /// subsystem's kernel cache, reports) key their own maps identically.
+    #[must_use]
+    pub fn cache_key(device: &str, precision: Precision) -> String {
+        format!("{device}/{precision}")
+    }
+
+    /// Split a [`KernelRepo::cache_key`] back into `(device, precision)`.
+    #[must_use]
+    pub fn parse_key(key: &str) -> Option<(&str, Precision)> {
+        let (device, prec) = key.rsplit_once('/')?;
+        Some((device, prec.parse().ok()?))
     }
 
     /// Number of stored results.
@@ -44,12 +104,15 @@ impl KernelRepo {
     /// Look up a stored result.
     #[must_use]
     pub fn get(&self, device: &str, precision: Precision) -> Option<&TuningResult> {
-        self.entries.get(&key(device, precision))
+        self.entries.get(&KernelRepo::cache_key(device, precision))
     }
 
     /// Insert (or replace) a result.
     pub fn insert(&mut self, result: TuningResult) {
-        self.entries.insert(key(&result.device, result.precision), result);
+        self.entries.insert(
+            KernelRepo::cache_key(&result.device, result.precision),
+            result,
+        );
     }
 
     /// Fetch a result, running the search on a miss and caching it.
@@ -60,35 +123,74 @@ impl KernelRepo {
         space: &SearchSpace,
         opts: &SearchOpts,
     ) -> &TuningResult {
-        let k = key(&dev.code_name, precision);
+        let k = KernelRepo::cache_key(&dev.code_name, precision);
         if !self.entries.contains_key(&k) {
-            self.entries.insert(k.clone(), tune(dev, precision, space, opts));
+            self.entries
+                .insert(k.clone(), tune(dev, precision, space, opts));
         }
         &self.entries[&k]
     }
 
-    /// Serialise to a JSON string.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Serialise to a pretty-printed JSON string (current schema).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect::<Vec<_>>();
+        Json::obj(vec![
+            ("schema_version", Json::from(SCHEMA_VERSION as usize)),
+            ("entries", Json::Obj(entries)),
+        ])
+        .to_string_pretty()
     }
 
     /// Deserialise from a JSON string.
-    pub fn from_json(s: &str) -> Result<KernelRepo, serde_json::Error> {
-        serde_json::from_str(s)
+    ///
+    /// Accepts both the current document (`schema_version` present) and
+    /// legacy version-less documents; rejects versions newer than
+    /// [`SCHEMA_VERSION`] and malformed documents with typed errors.
+    pub fn from_json(s: &str) -> Result<KernelRepo, RepoError> {
+        let doc = Json::parse(s).map_err(|e| RepoError::Parse(e.msg))?;
+        let version = match doc.get("schema_version") {
+            None => 1, // legacy, written before the field existed
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| RepoError::Parse("schema_version is not an integer".into()))?
+                as u64,
+        };
+        if version > SCHEMA_VERSION {
+            return Err(RepoError::VersionMismatch {
+                found: version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let entries_doc = doc
+            .get("entries")
+            .ok_or_else(|| RepoError::Parse("missing entries object".into()))?
+            .as_obj()
+            .ok_or_else(|| RepoError::Parse("entries is not an object".into()))?;
+        let mut entries = BTreeMap::new();
+        for (k, v) in entries_doc {
+            let result = TuningResult::from_json(v)
+                .map_err(|e| RepoError::Parse(format!("entry {k:?}: {}", e.msg)))?;
+            entries.insert(k.clone(), result);
+        }
+        Ok(KernelRepo { entries })
     }
 
     /// Save to a file.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = self.to_json().map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+    pub fn save(&self, path: &Path) -> Result<(), RepoError> {
+        Ok(std::fs::write(path, self.to_json())?)
     }
 
     /// Load from a file; a missing file yields an empty repository.
-    pub fn load(path: &Path) -> std::io::Result<KernelRepo> {
+    pub fn load(path: &Path) -> Result<KernelRepo, RepoError> {
         match std::fs::read_to_string(path) {
-            Ok(s) => KernelRepo::from_json(&s).map_err(std::io::Error::other),
+            Ok(s) => KernelRepo::from_json(&s),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(KernelRepo::new()),
-            Err(e) => Err(e),
+            Err(e) => Err(RepoError::Io(e)),
         }
     }
 
@@ -105,7 +207,12 @@ mod tests {
     use clgemm_device::DeviceId;
 
     fn quick_opts() -> SearchOpts {
-        SearchOpts { top_k: 5, max_sweep_points: 4, verify_winner: false, ..Default::default() }
+        SearchOpts {
+            top_k: 5,
+            max_sweep_points: 4,
+            verify_winner: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -114,9 +221,15 @@ mod tests {
         let space = SearchSpace::smoke(&dev);
         let mut repo = KernelRepo::new();
         assert!(repo.is_empty());
-        let g1 = repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts()).best.gflops;
+        let g1 = repo
+            .get_or_tune(&dev, Precision::F64, &space, &quick_opts())
+            .best
+            .gflops;
         assert_eq!(repo.len(), 1);
-        let g2 = repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts()).best.gflops;
+        let g2 = repo
+            .get_or_tune(&dev, Precision::F64, &space, &quick_opts())
+            .best
+            .gflops;
         assert_eq!(repo.len(), 1);
         assert_eq!(g1, g2, "second call must hit the cache");
     }
@@ -127,7 +240,8 @@ mod tests {
         let space = SearchSpace::smoke(&dev);
         let mut repo = KernelRepo::new();
         repo.get_or_tune(&dev, Precision::F32, &space, &quick_opts());
-        let json = repo.to_json().unwrap();
+        let json = repo.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
         let back = KernelRepo::from_json(&json).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(
@@ -153,5 +267,59 @@ mod tests {
         // Missing file loads as empty.
         let empty = KernelRepo::load(&dir.join("nonexistent.json")).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn legacy_versionless_documents_still_load() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::smoke(&dev);
+        let mut repo = KernelRepo::new();
+        repo.get_or_tune(&dev, Precision::F64, &space, &quick_opts());
+        // Strip the schema_version field to fabricate a pre-versioning file.
+        let doc = Json::parse(&repo.to_json()).unwrap();
+        let legacy =
+            Json::obj(vec![("entries", doc.get("entries").unwrap().clone())]).to_string_pretty();
+        let back = KernelRepo::from_json(&legacy).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.get("Tahiti", Precision::F64).is_some());
+    }
+
+    #[test]
+    fn newer_schema_is_rejected_with_typed_error() {
+        let doc = r#"{"schema_version": 99, "entries": {}}"#;
+        match KernelRepo::from_json(doc) {
+            Err(RepoError::VersionMismatch {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_documents_give_parse_errors_not_panics() {
+        for bad in [
+            "not json at all",
+            "{\"schema_version\": 1}",                        // no entries
+            "{\"schema_version\": 1, \"entries\": 42}",       // wrong type
+            "{\"schema_version\": \"one\", \"entries\": {}}", // bad version type
+            "{\"schema_version\": 1, \"entries\": {\"Tahiti/DGEMM\": {\"device\": \"Tahiti\"}}}",
+        ] {
+            match KernelRepo::from_json(bad) {
+                Err(RepoError::Parse(_)) => {}
+                other => panic!("{bad:?}: expected Parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_keys_round_trip() {
+        let k = KernelRepo::cache_key("Tahiti", Precision::F64);
+        assert_eq!(k, "Tahiti/DGEMM");
+        assert_eq!(KernelRepo::parse_key(&k), Some(("Tahiti", Precision::F64)));
+        assert_eq!(KernelRepo::parse_key("nonsense"), None);
+        assert_eq!(KernelRepo::parse_key("X/Quad"), None);
     }
 }

@@ -73,7 +73,11 @@ impl TunedGemm {
         // Both must also generate (defence in depth; validate covers it).
         generate(&dgemm).expect("DGEMM params must generate");
         generate(&sgemm).expect("SGEMM params must generate");
-        TunedGemm { device, dgemm, sgemm }
+        TunedGemm {
+            device,
+            dgemm,
+            sgemm,
+        }
     }
 
     /// Tune both precisions with the given space/options and bundle the
@@ -86,7 +90,11 @@ impl TunedGemm {
     ) -> TunedGemm {
         let d = crate::tuner::tune(device, Precision::F64, space, opts);
         let s = crate::tuner::tune(device, Precision::F32, space, opts);
-        TunedGemm { device: device.clone(), dgemm: d.best.params, sgemm: s.best.params }
+        TunedGemm {
+            device: device.clone(),
+            dgemm: d.best.params,
+            sgemm: s.best.params,
+        }
     }
 
     /// The device this instance targets.
@@ -138,8 +146,18 @@ impl TunedGemm {
         // Layout blocks are Kwg deep, but the depth is padded to the
         // algorithm's K granularity (2·Kwg for DB).
         let kp = round_up(k, p.k_multiple());
-        let spec_a = PackSpec { trans: ty.ta.flipped(), layout: p.layout_a, wwg: p.mwg, kwg: p.kwg };
-        let spec_b = PackSpec { trans: ty.tb, layout: p.layout_b, wwg: p.nwg, kwg: p.kwg };
+        let spec_a = PackSpec {
+            trans: ty.ta.flipped(),
+            layout: p.layout_a,
+            wwg: p.mwg,
+            kwg: p.kwg,
+        };
+        let spec_b = PackSpec {
+            trans: ty.tb,
+            layout: p.layout_b,
+            wwg: p.nwg,
+            kwg: p.kwg,
+        };
         let da = clgemm_blas::layout::PackedDims::new(kp, round_up(m, p.mwg), p.mwg, p.kwg)
             .expect("padded dims divide the blocking");
         let db = clgemm_blas::layout::PackedDims::new(kp, round_up(n, p.nwg), p.nwg, p.kwg)
@@ -154,7 +172,20 @@ impl TunedGemm {
         let mut staged = clgemm_blas::pack::stage_c(c, p.mwg, p.nwg);
 
         // --- run the kernel semantics natively ------------------------------
-        run_native(mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut staged);
+        run_native(
+            mp,
+            np,
+            kp,
+            alpha,
+            &pa,
+            da,
+            p.layout_a,
+            &pb,
+            db,
+            p.layout_b,
+            beta,
+            &mut staged,
+        );
 
         // --- merge back -------------------------------------------------------
         merge_c(&staged, p.mwg, p.nwg, c);
@@ -164,8 +195,19 @@ impl TunedGemm {
 
     /// The routine-time model for a problem, without executing anything.
     #[must_use]
-    pub fn predict(&self, double_precision: bool, ty: GemmType, m: usize, n: usize, k: usize) -> GemmRun {
-        let p = if double_precision { &self.dgemm } else { &self.sgemm };
+    pub fn predict(
+        &self,
+        double_precision: bool,
+        ty: GemmType,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> GemmRun {
+        let p = if double_precision {
+            &self.dgemm
+        } else {
+            &self.sgemm
+        };
         let e = p.elem_bytes();
         let mp = round_up(m, p.mwg);
         let np = round_up(n, p.nwg);
@@ -250,7 +292,11 @@ mod tests {
         gemm_parallel(ty, alpha, &a, &b, beta, &mut c_ref);
         let rep = compare(&c_tuned, &c_ref);
         let tol = gemm_tolerance::<T>(k);
-        assert!(rep.passes(tol), "{ty} {m}x{n}x{k}: max rel err {} > tol {tol}", rep.max_rel);
+        assert!(
+            rep.passes(tol),
+            "{ty} {m}x{n}x{k}: max rel err {} > tol {tol}",
+            rep.max_rel
+        );
     }
 
     #[test]
@@ -315,8 +361,10 @@ mod tests {
             tahiti_dgemm_best(),
             small_test_params(Precision::F32),
         );
-        let perfs: Vec<f64> =
-            GemmType::ALL.iter().map(|ty| tg.predict(true, *ty, 4096, 4096, 4096).gflops).collect();
+        let perfs: Vec<f64> = GemmType::ALL
+            .iter()
+            .map(|ty| tg.predict(true, *ty, 4096, 4096, 4096).gflops)
+            .collect();
         let max = perfs.iter().cloned().fold(0.0, f64::max);
         let min = perfs.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min < 1.1, "type spread too large: {perfs:?}");
@@ -401,8 +449,19 @@ impl HybridGemm {
 
     /// Modelled seconds of the direct path.
     #[must_use]
-    pub fn direct_seconds(&self, double_precision: bool, ty: GemmType, m: usize, n: usize, k: usize) -> f64 {
-        let precision = if double_precision { Precision::F64 } else { Precision::F32 };
+    pub fn direct_seconds(
+        &self,
+        double_precision: bool,
+        ty: GemmType,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> f64 {
+        let precision = if double_precision {
+            Precision::F64
+        } else {
+            Precision::F32
+        };
         let dp = crate::direct::DirectParams::default_for(ty, precision);
         let prof = crate::direct::direct_profile(&dp, self.tuned.device(), m, n, k);
         match estimate(self.tuned.device(), &prof) {
@@ -511,7 +570,11 @@ mod hybrid_tests {
     fn small_problems_take_the_direct_path() {
         let h = hybrid();
         let (path, run) = h.choose(true, GemmType::NN, 64, 64, 64);
-        assert_eq!(path, GemmPath::Direct, "packing 64x64 cannot beat a single direct launch");
+        assert_eq!(
+            path,
+            GemmPath::Direct,
+            "packing 64x64 cannot beat a single direct launch"
+        );
         assert_eq!(run.pack_a, 0.0);
     }
 
@@ -525,7 +588,9 @@ mod hybrid_tests {
     #[test]
     fn crossover_exists_and_is_plausible() {
         let h = hybrid();
-        let x = h.crossover(true, GemmType::NN, 8192).expect("crossover in range");
+        let x = h
+            .crossover(true, GemmType::NN, 8192)
+            .expect("crossover in range");
         assert!(
             (64..4096).contains(&x),
             "crossover N={x} should sit between tiny and huge sizes"
@@ -552,7 +617,11 @@ mod hybrid_tests {
             let mut c_ref = c0.clone();
             gemm_blocked(GemmType::NN, 2.0, &a, &b, 0.5, &mut c_ref);
             let rep = compare(&c, &c_ref);
-            assert!(rep.passes(gemm_tolerance::<f64>(k)), "{m}x{n}x{k}: {}", rep.max_rel);
+            assert!(
+                rep.passes(gemm_tolerance::<f64>(k)),
+                "{m}x{n}x{k}: {}",
+                rep.max_rel
+            );
         }
     }
 
@@ -564,7 +633,10 @@ mod hybrid_tests {
         let x_nn = h.crossover(true, GemmType::NN, 8192);
         let x_tt = h.crossover(true, GemmType::TT, 8192);
         if let (Some(nn), Some(tt)) = (x_nn, x_tt) {
-            assert!(tt <= nn, "TT crossover {tt} should not exceed NN crossover {nn}");
+            assert!(
+                tt <= nn,
+                "TT crossover {tt} should not exceed NN crossover {nn}"
+            );
         }
     }
 }

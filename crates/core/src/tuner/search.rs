@@ -9,8 +9,7 @@ use clgemm_blas::layout::round_up;
 use clgemm_blas::scalar::Precision;
 use clgemm_clc::{Arg, BufData, ExecOptions, Program};
 use clgemm_device::{estimate, DeviceKind, DeviceSpec};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use clgemm_shim::{Json, JsonError};
 
 /// Options for one tuning run.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ impl Default for SearchOpts {
 }
 
 /// One measured kernel: parameters plus achieved GFlop/s.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     pub params: KernelParams,
     /// Problem size of the best measurement.
@@ -58,8 +57,29 @@ pub struct Measurement {
     pub gflops: f64,
 }
 
+impl Measurement {
+    /// Serialise to the shim JSON value used by [`crate::repo::KernelRepo`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("params", self.params.to_json()),
+            ("n", Json::from(self.n)),
+            ("gflops", Json::from(self.gflops)),
+        ])
+    }
+
+    /// Parse from the shim JSON value written by [`Measurement::to_json`].
+    pub fn from_json(v: &Json) -> Result<Measurement, JsonError> {
+        Ok(Measurement {
+            params: KernelParams::from_json(v.field("params")?)?,
+            n: v.field("n")?.expect_usize()?,
+            gflops: v.field("gflops")?.expect_f64()?,
+        })
+    }
+}
+
 /// The outcome of one tuning run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TuningResult {
     pub device: String,
     pub precision: Precision,
@@ -79,6 +99,72 @@ pub struct TuningResult {
     pub failures: usize,
     /// Whether the winner passed functional verification.
     pub verified: bool,
+}
+
+impl TuningResult {
+    /// Serialise to the shim JSON value used by [`crate::repo::KernelRepo`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("device", Json::from(self.device.as_str())),
+            ("precision", Json::from(format!("{:?}", self.precision))),
+            ("best", self.best.to_json()),
+            ("efficiency", Json::from(self.efficiency)),
+            (
+                "top",
+                Json::Arr(self.top.iter().map(Measurement::to_json).collect()),
+            ),
+            (
+                "sweep",
+                Json::Arr(
+                    self.sweep
+                        .iter()
+                        .map(|&(n, g)| Json::Arr(vec![Json::from(n), Json::from(g)]))
+                        .collect(),
+                ),
+            ),
+            ("candidates", Json::from(self.candidates)),
+            ("failures", Json::from(self.failures)),
+            ("verified", Json::from(self.verified)),
+        ])
+    }
+
+    /// Parse from the shim JSON value written by [`TuningResult::to_json`].
+    pub fn from_json(v: &Json) -> Result<TuningResult, JsonError> {
+        let top = v
+            .field("top")?
+            .expect_arr()?
+            .iter()
+            .map(Measurement::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let sweep = v
+            .field("sweep")?
+            .expect_arr()?
+            .iter()
+            .map(|pt| {
+                let pair = pt.expect_arr()?;
+                if pair.len() != 2 {
+                    return Err(JsonError::new("sweep point is not a [n, gflops] pair"));
+                }
+                Ok((pair[0].expect_usize()?, pair[1].expect_f64()?))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(TuningResult {
+            device: v.field("device")?.expect_str()?.to_string(),
+            precision: v
+                .field("precision")?
+                .expect_str()?
+                .parse()
+                .map_err(JsonError::new)?,
+            best: Measurement::from_json(v.field("best")?)?,
+            efficiency: v.field("efficiency")?.expect_f64()?,
+            top,
+            sweep,
+            candidates: v.field("candidates")?.expect_usize()?,
+            failures: v.field("failures")?.expect_usize()?,
+            verified: v.field("verified")?.expect_bool()?,
+        })
+    }
 }
 
 /// Measure one candidate at one size with the timing model; `None` when
@@ -115,7 +201,12 @@ fn noise_factor(seed: u64, idx: usize, amp: f64) -> f64 {
 
 /// Run the full three-stage search.
 #[must_use]
-pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &SearchOpts) -> TuningResult {
+pub fn tune(
+    dev: &DeviceSpec,
+    precision: Precision,
+    space: &SearchSpace,
+    opts: &SearchOpts,
+) -> TuningResult {
     let base = opts.stage1_base.unwrap_or(match dev.kind {
         DeviceKind::Gpu => 4096,
         DeviceKind::Cpu => 1536,
@@ -124,14 +215,14 @@ pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &
     let n_candidates = candidates.len();
 
     // ---- stage 1: measure everything at its base size ------------------
-    let stage1: Vec<(usize, f64, usize)> = candidates
-        .par_iter()
-        .enumerate()
-        .filter_map(|(idx, p)| {
+    let stage1: Vec<(usize, f64, usize)> =
+        clgemm_shim::par::par_map(&candidates, |idx, p: &KernelParams| {
             let n = stage1_n(p, base);
             let g = measure_gflops(p, dev, n)?;
             Some((idx, g * noise_factor(opts.noise_seed, idx, opts.noise), n))
         })
+        .into_iter()
+        .flatten()
         .collect();
     let failures = n_candidates - stage1.len();
 
@@ -140,9 +231,9 @@ pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
     ranked.truncate(opts.top_k);
 
-    let sweeps: Vec<(usize, Vec<(usize, f64)>)> = ranked
-        .par_iter()
-        .map(|&(idx, _, _)| {
+    let sweeps: Vec<(usize, Vec<(usize, f64)>)> =
+        clgemm_shim::par::par_map(&ranked, |_, entry: &(usize, f64, usize)| {
+            let idx = entry.0;
             let p = &candidates[idx];
             let lcm = p.lcm_block().max(1);
             let n_points = (opts.max_n / lcm).max(1);
@@ -157,8 +248,7 @@ pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &
                 mult += step;
             }
             (idx, sweep)
-        })
-        .collect();
+        });
 
     // ---- stage 3: pick the best kernel ----------------------------------
     let mut top: Vec<Measurement> = sweeps
@@ -168,11 +258,18 @@ pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &
                 .iter()
                 .copied()
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?;
-            Some(Measurement { params: candidates[*idx], n, gflops: g })
+            Some(Measurement {
+                params: candidates[*idx],
+                n,
+                gflops: g,
+            })
         })
         .collect();
     top.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).expect("finite"));
-    assert!(!top.is_empty(), "search space produced no launchable kernels");
+    assert!(
+        !top.is_empty(),
+        "search space produced no launchable kernels"
+    );
 
     let best = top[0].clone();
     let sweep = sweeps
@@ -181,7 +278,11 @@ pub fn tune(dev: &DeviceSpec, precision: Precision, space: &SearchSpace, opts: &
         .map(|(_, s)| s.clone())
         .unwrap_or_default();
 
-    let verified = if opts.verify_winner { verify_kernel(&best.params).is_ok() } else { false };
+    let verified = if opts.verify_winner {
+        verify_kernel(&best.params).is_ok()
+    } else {
+        false
+    };
     let dp = precision == Precision::F64;
 
     TuningResult {
@@ -243,7 +344,20 @@ fn verify_typed<T: clgemm_blas::Scalar + VmBuf>(
 
     // Native oracle.
     let mut c_native = c0.clone();
-    run_native(m, n, k, alpha, &a, a_dims, p.layout_a, &b, b_dims, p.layout_b, beta, &mut c_native);
+    run_native(
+        m,
+        n,
+        k,
+        alpha,
+        &a,
+        a_dims,
+        p.layout_a,
+        &b,
+        b_dims,
+        p.layout_b,
+        beta,
+        &mut c_native,
+    );
 
     // VM execution of the generated source.
     let mut bufs = vec![T::to_buf(a), T::to_buf(b), T::to_buf(c0)];
@@ -337,10 +451,22 @@ mod tests {
     fn smoke_search_finds_a_verified_kernel() {
         let dev = DeviceId::Tahiti.spec();
         let space = SearchSpace::smoke(&dev);
-        let opts = SearchOpts { top_k: 10, max_sweep_points: 8, ..Default::default() };
+        let opts = SearchOpts {
+            top_k: 10,
+            max_sweep_points: 8,
+            ..Default::default()
+        };
         let res = tune(&dev, Precision::F64, &space, &opts);
-        assert!(res.candidates > 50, "smoke space still has candidates: {}", res.candidates);
-        assert!(res.best.gflops > 100.0, "Tahiti DGEMM should exceed 100 GFlop/s, got {}", res.best.gflops);
+        assert!(
+            res.candidates > 50,
+            "smoke space still has candidates: {}",
+            res.candidates
+        );
+        assert!(
+            res.best.gflops > 100.0,
+            "Tahiti DGEMM should exceed 100 GFlop/s, got {}",
+            res.best.gflops
+        );
         assert!(res.efficiency > 0.2 && res.efficiency <= 1.2);
         assert!(res.verified, "winner must pass functional verification");
         assert!(!res.sweep.is_empty());
@@ -362,20 +488,30 @@ mod tests {
     fn noise_does_not_change_winner_much() {
         let dev = DeviceId::Tahiti.spec();
         let space = SearchSpace::smoke(&dev);
-        let quiet = tune(&dev, Precision::F64, &space, &SearchOpts {
-            top_k: 10,
-            max_sweep_points: 4,
-            verify_winner: false,
-            ..Default::default()
-        });
-        let noisy = tune(&dev, Precision::F64, &space, &SearchOpts {
-            top_k: 10,
-            max_sweep_points: 4,
-            verify_winner: false,
-            noise: 0.03,
-            noise_seed: 42,
-            ..Default::default()
-        });
+        let quiet = tune(
+            &dev,
+            Precision::F64,
+            &space,
+            &SearchOpts {
+                top_k: 10,
+                max_sweep_points: 4,
+                verify_winner: false,
+                ..Default::default()
+            },
+        );
+        let noisy = tune(
+            &dev,
+            Precision::F64,
+            &space,
+            &SearchOpts {
+                top_k: 10,
+                max_sweep_points: 4,
+                verify_winner: false,
+                noise: 0.03,
+                noise_seed: 42,
+                ..Default::default()
+            },
+        );
         // 3 % measurement noise may permute near-ties, but the winner's
         // performance must stay within a few percent of the quiet run.
         let rel = (noisy.best.gflops - quiet.best.gflops).abs() / quiet.best.gflops;
@@ -399,17 +535,25 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_of_results() {
+    fn json_round_trip_of_results() {
         let dev = DeviceId::Kepler.spec();
         let space = SearchSpace::smoke(&dev);
-        let res = tune(&dev, Precision::F32, &space, &SearchOpts {
-            top_k: 5,
-            max_sweep_points: 4,
-            verify_winner: false,
-            ..Default::default()
-        });
-        let json = serde_json::to_string(&res).unwrap();
-        let back: TuningResult = serde_json::from_str(&json).unwrap();
+        let res = tune(
+            &dev,
+            Precision::F32,
+            &space,
+            &SearchOpts {
+                top_k: 5,
+                max_sweep_points: 4,
+                verify_winner: false,
+                ..Default::default()
+            },
+        );
+        let text = res.to_json().to_string_pretty();
+        let back = TuningResult::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.best.params, res.best.params);
+        assert_eq!(back.device, res.device);
+        assert_eq!(back.sweep, res.sweep);
+        assert_eq!(back.top.len(), res.top.len());
     }
 }

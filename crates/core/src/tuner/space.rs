@@ -58,7 +58,12 @@ impl SearchSpace {
         .into_iter()
         .filter(|(m, n)| {
             let wg = m * n;
-            wg <= dev.micro.max_wg_size && if gpu { wg >= 32 } else { (8..=256).contains(&wg) }
+            wg <= dev.micro.max_wg_size
+                && if gpu {
+                    wg >= 32
+                } else {
+                    (8..=256).contains(&wg)
+                }
         })
         .collect();
         SearchSpace {
@@ -100,8 +105,10 @@ impl SearchSpace {
     #[must_use]
     pub fn smoke(dev: &DeviceSpec) -> SearchSpace {
         let mut s = SearchSpace::for_device(dev);
-        s.wg_shapes.retain(|w| matches!(w, (8, 8) | (16, 8) | (16, 16)));
-        s.wi_tiles.retain(|t| matches!(t, (2, 2) | (4, 4) | (6, 2) | (8, 8)));
+        s.wg_shapes
+            .retain(|w| matches!(w, (8, 8) | (16, 8) | (16, 16)));
+        s.wi_tiles
+            .retain(|t| matches!(t, (2, 2) | (4, 4) | (6, 2) | (8, 8)));
         s.kwg = vec![16, 32];
         s.kwi = vec![2];
         // Keep the full vector-width axis: CPUs need wide vectors to fill
@@ -128,9 +135,8 @@ impl SearchSpace {
     #[must_use]
     pub fn with_locals(mut self, locals: Vec<(bool, bool)>) -> SearchSpace {
         self.locals = locals;
-        self.algorithms.retain(|a| {
-            *a == Algorithm::Ba || self.locals.contains(&(true, true))
-        });
+        self.algorithms
+            .retain(|a| *a == Algorithm::Ba || self.locals.contains(&(true, true)));
         self
     }
 
@@ -174,8 +180,7 @@ impl SearchSpace {
                                                 continue;
                                             }
                                             for mdima in loader_dims(wg, mwg, kwg, mdimc, loc_a) {
-                                                for ndimb in
-                                                    loader_dims(wg, nwg, kwg, ndimc, loc_b)
+                                                for ndimb in loader_dims(wg, nwg, kwg, ndimc, loc_b)
                                                 {
                                                     let p = KernelParams {
                                                         mwg,
@@ -237,7 +242,11 @@ fn loader_dims(wg: usize, wwg: usize, kwg: usize, dimc: usize, uses_local: bool)
         // Fall back to any divisor of the work-group size that tiles the
         // block, so local-memory candidates are not lost entirely.
         for d in [4usize, 8, 16, 32, 64] {
-            if d <= wg && wg.is_multiple_of(d) && wwg.is_multiple_of(d) && kwg.is_multiple_of(wg / d) {
+            if d <= wg
+                && wg.is_multiple_of(d)
+                && wwg.is_multiple_of(d)
+                && kwg.is_multiple_of(wg / d)
+            {
                 dims.push(d);
                 break;
             }
@@ -301,7 +310,9 @@ mod tests {
         let space = SearchSpace::smoke(&dev).with_algorithm(Algorithm::Pl);
         let cands = space.enumerate(&dev, Precision::F64);
         assert!(!cands.is_empty());
-        assert!(cands.iter().all(|c| c.algorithm == Algorithm::Pl && c.local_a && c.local_b));
+        assert!(cands
+            .iter()
+            .all(|c| c.algorithm == Algorithm::Pl && c.local_a && c.local_b));
     }
 
     #[test]

@@ -19,9 +19,7 @@ use crate::tuner::search::{measure_gflops, Measurement};
 use crate::tuner::space::SearchSpace;
 use clgemm_blas::scalar::Precision;
 use clgemm_device::{DeviceKind, DeviceSpec};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use clgemm_shim::Rng;
 
 /// A search strategy over a [`SearchSpace`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,10 +98,10 @@ pub fn tune_with_strategy(
             best
         }
         Strategy::Random { samples, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::new(seed);
             let mut best = (candidates[0], f64::MIN);
             for _ in 0..samples.max(1) {
-                let p = candidates.choose(&mut rng).expect("non-empty");
+                let p = rng.choose(&candidates).expect("non-empty");
                 let g = ev.eval(p);
                 if g > best.1 {
                     best = (*p, g);
@@ -112,10 +110,10 @@ pub fn tune_with_strategy(
             best
         }
         Strategy::CoordinateDescent { restarts, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::new(seed);
             let mut best = (candidates[0], f64::MIN);
             for _ in 0..restarts.max(1) {
-                let start = *candidates.choose(&mut rng).expect("non-empty");
+                let start = *rng.choose(&candidates).expect("non-empty");
                 let (p, g) = descend(start, space, dev, precision, &mut ev);
                 if g > best.1 {
                     best = (p, g);
@@ -124,8 +122,8 @@ pub fn tune_with_strategy(
             best
         }
         Strategy::Anneal { iters, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut cur = *candidates.choose(&mut rng).expect("non-empty");
+            let mut rng = Rng::new(seed);
+            let mut cur = *rng.choose(&candidates).expect("non-empty");
             let mut cur_g = ev.eval(&cur);
             let mut best = (cur, cur_g);
             let t0 = (best.1.max(1.0)) * 0.2;
@@ -135,8 +133,7 @@ pub fn tune_with_strategy(
                     continue;
                 };
                 let next_g = ev.eval(&next);
-                let accept = next_g >= cur_g
-                    || rng.gen::<f64>() < ((next_g - cur_g) / temp).exp();
+                let accept = next_g >= cur_g || rng.f64() < ((next_g - cur_g) / temp).exp();
                 if accept {
                     cur = next;
                     cur_g = next_g;
@@ -150,18 +147,18 @@ pub fn tune_with_strategy(
     };
 
     StrategyResult {
-        best: Measurement { params: best_params, n: eval_n(&best_params, dev), gflops: best_g },
+        best: Measurement {
+            params: best_params,
+            n: eval_n(&best_params, dev),
+            gflops: best_g,
+        },
         evaluations: ev.count,
         space_size,
     }
 }
 
 /// All single-knob variants of `p` present in the space lists.
-fn neighbors(
-    p: &KernelParams,
-    space: &SearchSpace,
-    precision: Precision,
-) -> Vec<KernelParams> {
+fn neighbors(p: &KernelParams, space: &SearchSpace, precision: Precision) -> Vec<KernelParams> {
     let mut out = Vec::new();
     let mut push = |q: KernelParams| {
         if q != *p && q.validate().is_ok() {
@@ -263,10 +260,10 @@ fn mutate(
     space: &SearchSpace,
     _dev: &DeviceSpec,
     precision: Precision,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Option<KernelParams> {
     let nbs = neighbors(p, space, precision);
-    nbs.choose(rng).copied()
+    rng.choose(&nbs).copied()
 }
 
 #[cfg(test)]
@@ -295,7 +292,10 @@ mod tests {
             &dev,
             Precision::F64,
             &space,
-            Strategy::Random { samples: 40, seed: 7 },
+            Strategy::Random {
+                samples: 40,
+                seed: 7,
+            },
         );
         assert_eq!(res.evaluations, 40);
         assert!(res.best.gflops > 0.0);
@@ -308,13 +308,19 @@ mod tests {
             &dev,
             Precision::F64,
             &space,
-            Strategy::CoordinateDescent { restarts: 2, seed: 3 },
+            Strategy::CoordinateDescent {
+                restarts: 2,
+                seed: 3,
+            },
         );
         let rnd = tune_with_strategy(
             &dev,
             Precision::F64,
             &space,
-            Strategy::Random { samples: cd.evaluations, seed: 3 },
+            Strategy::Random {
+                samples: cd.evaluations,
+                seed: 3,
+            },
         );
         assert!(
             cd.best.gflops >= 0.95 * rnd.best.gflops,
@@ -333,7 +339,10 @@ mod tests {
             &dev,
             Precision::F64,
             &space,
-            Strategy::CoordinateDescent { restarts: 3, seed: 11 },
+            Strategy::CoordinateDescent {
+                restarts: 3,
+                seed: 11,
+            },
         );
         assert!(
             cd.best.gflops >= 0.9 * full.best.gflops,
@@ -341,12 +350,18 @@ mod tests {
             cd.best.gflops,
             full.best.gflops
         );
-        assert!(cd.evaluations < full.evaluations, "CD must be sample-efficient");
+        assert!(
+            cd.evaluations < full.evaluations,
+            "CD must be sample-efficient"
+        );
         let sa = tune_with_strategy(
             &dev,
             Precision::F64,
             &space,
-            Strategy::Anneal { iters: 150, seed: 11 },
+            Strategy::Anneal {
+                iters: 150,
+                seed: 11,
+            },
         );
         assert!(
             sa.best.gflops >= 0.8 * full.best.gflops,
@@ -359,8 +374,18 @@ mod tests {
     #[test]
     fn strategies_are_deterministic_given_a_seed() {
         let (dev, space) = setup();
-        let a = tune_with_strategy(&dev, Precision::F32, &space, Strategy::Anneal { iters: 50, seed: 5 });
-        let b = tune_with_strategy(&dev, Precision::F32, &space, Strategy::Anneal { iters: 50, seed: 5 });
+        let a = tune_with_strategy(
+            &dev,
+            Precision::F32,
+            &space,
+            Strategy::Anneal { iters: 50, seed: 5 },
+        );
+        let b = tune_with_strategy(
+            &dev,
+            Precision::F32,
+            &space,
+            Strategy::Anneal { iters: 50, seed: 5 },
+        );
         assert_eq!(a.best.params, b.best.params);
         assert_eq!(a.evaluations, b.evaluations);
     }

@@ -31,10 +31,16 @@ impl std::fmt::Display for OccupancyError {
                 write!(f, "work-group size {wg_size} exceeds device maximum {max}")
             }
             OccupancyError::LocalMemExceeded { needed, available } => {
-                write!(f, "work-group needs {needed} B local memory, CU has {available} B")
+                write!(
+                    f,
+                    "work-group needs {needed} B local memory, CU has {available} B"
+                )
             }
             OccupancyError::RegistersExceeded { needed, available } => {
-                write!(f, "work-group needs {needed} register slots, CU has {available}")
+                write!(
+                    f,
+                    "work-group needs {needed} register slots, CU has {available}"
+                )
             }
             OccupancyError::EmptyWorkGroup => write!(f, "work-group has zero work-items"),
         }
@@ -82,11 +88,17 @@ pub fn occupancy(
         return Err(OccupancyError::EmptyWorkGroup);
     }
     if wg_size > dev.micro.max_wg_size {
-        return Err(OccupancyError::WorkGroupTooLarge { wg_size, max: dev.micro.max_wg_size });
+        return Err(OccupancyError::WorkGroupTooLarge {
+            wg_size,
+            max: dev.micro.max_wg_size,
+        });
     }
     let lds_avail = dev.local_mem_bytes();
     if lds_bytes_per_wg > lds_avail {
-        return Err(OccupancyError::LocalMemExceeded { needed: lds_bytes_per_wg, available: lds_avail });
+        return Err(OccupancyError::LocalMemExceeded {
+            needed: lds_bytes_per_wg,
+            available: lds_avail,
+        });
     }
     let regs_per_wg = regs_per_wi * wg_size;
     if regs_per_wg > dev.micro.regs_per_cu {
@@ -96,8 +108,14 @@ pub fn occupancy(
         });
     }
 
-    let by_regs = dev.micro.regs_per_cu.checked_div(regs_per_wg).unwrap_or(usize::MAX);
-    let by_lds = lds_avail.checked_div(lds_bytes_per_wg).unwrap_or(usize::MAX);
+    let by_regs = dev
+        .micro
+        .regs_per_cu
+        .checked_div(regs_per_wg)
+        .unwrap_or(usize::MAX);
+    let by_lds = lds_avail
+        .checked_div(lds_bytes_per_wg)
+        .unwrap_or(usize::MAX);
     let by_slots = dev.micro.max_wg_per_cu;
     let by_wis = dev.micro.max_wi_per_cu / wg_size;
 
@@ -114,7 +132,10 @@ pub fn occupancy(
     // by_wis can be zero only if wg_size > max_wi_per_cu, which the
     // max_wg_size check should prevent on sane profiles; guard anyway.
     if wgs == 0 {
-        return Err(OccupancyError::WorkGroupTooLarge { wg_size, max: dev.micro.max_wi_per_cu });
+        return Err(OccupancyError::WorkGroupTooLarge {
+            wg_size,
+            max: dev.micro.max_wi_per_cu,
+        });
     }
 
     let wis = wgs * wg_size;
@@ -180,7 +201,10 @@ mod tests {
     #[test]
     fn zero_size_group_fails() {
         let dev = DeviceId::Tahiti.spec();
-        assert_eq!(occupancy(&dev, 0, 8, 0).unwrap_err(), OccupancyError::EmptyWorkGroup);
+        assert_eq!(
+            occupancy(&dev, 0, 8, 0).unwrap_err(),
+            OccupancyError::EmptyWorkGroup
+        );
     }
 
     #[test]
@@ -189,7 +213,10 @@ mod tests {
         let mut last = usize::MAX;
         for regs in [8, 16, 32, 64, 128, 256] {
             let occ = occupancy(&dev, 256, regs, 0).unwrap();
-            assert!(occ.wgs_per_cu <= last, "occupancy must be monotone non-increasing in regs");
+            assert!(
+                occ.wgs_per_cu <= last,
+                "occupancy must be monotone non-increasing in regs"
+            );
             last = occ.wgs_per_cu;
         }
     }

@@ -1,10 +1,8 @@
 //! Device descriptions: the public specification (Table I) plus the
 //! microarchitectural calibration parameters behind the timing model.
 
-use serde::{Deserialize, Serialize};
-
 /// Processor vendor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     Amd,
     Nvidia,
@@ -22,7 +20,7 @@ impl std::fmt::Display for Vendor {
 }
 
 /// GPU or CPU — the paper tunes both through the same OpenCL path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     Gpu,
     Cpu,
@@ -32,7 +30,7 @@ pub enum DeviceKind {
 /// type"). On GPUs it is a dedicated scratchpad; on the two CPUs it is
 /// carved out of ordinary cached global memory, which is why the paper
 /// sees no benefit from local-memory kernels there.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LocalMemType {
     /// Dedicated on-chip scratchpad (all four GPUs).
     Scratchpad,
@@ -46,7 +44,7 @@ pub enum LocalMemType {
 /// timing model reproduce each processor's published GEMM behaviour. Each
 /// field documents its provenance. Units: cycles are core-clock cycles,
 /// bandwidths are bytes per core-clock cycle unless stated otherwise.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicroParams {
     /// SIMT execution width: 64 on AMD wavefronts, 32 on NVIDIA warps,
     /// 1 on CPUs (a work-item is a scalar/vector lane of one thread).
@@ -127,7 +125,7 @@ pub struct MicroParams {
 }
 
 /// A complete simulated processor: Table I row + calibration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Architecture code name, e.g. "Tahiti" (the paper's identifier).
     pub code_name: String,
@@ -162,7 +160,11 @@ impl DeviceSpec {
     /// `clock × ops_per_clock`, matching the Table I "Peak" rows.
     #[must_use]
     pub fn peak_gflops(&self, double_precision: bool) -> f64 {
-        let ops = if double_precision { self.dp_ops_per_clock } else { self.sp_ops_per_clock };
+        let ops = if double_precision {
+            self.dp_ops_per_clock
+        } else {
+            self.sp_ops_per_clock
+        };
         self.clock_ghz * ops as f64
     }
 
@@ -175,7 +177,11 @@ impl DeviceSpec {
     /// FLOPs per cycle per compute unit at the given precision.
     #[must_use]
     pub fn flops_per_cycle_per_cu(&self, double_precision: bool) -> f64 {
-        let ops = if double_precision { self.dp_ops_per_clock } else { self.sp_ops_per_clock };
+        let ops = if double_precision {
+            self.dp_ops_per_clock
+        } else {
+            self.sp_ops_per_clock
+        };
         ops as f64 / self.compute_units as f64
     }
 
@@ -224,7 +230,11 @@ impl DeviceSpec {
 
 impl std::fmt::Display for DeviceSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} {} ({})", self.vendor, self.code_name, self.product_name)
+        write!(
+            f,
+            "{} {} ({})",
+            self.vendor, self.code_name, self.product_name
+        )
     }
 }
 
@@ -275,9 +285,19 @@ mod tests {
     #[test]
     fn issue_efficiencies_are_probabilities() {
         for d in all_devices() {
-            assert!(d.micro.issue_eff_dp > 0.0 && d.micro.issue_eff_dp <= 1.0, "{}", d.code_name);
-            assert!(d.micro.issue_eff_sp > 0.0 && d.micro.issue_eff_sp <= 1.0, "{}", d.code_name);
-            assert!(d.micro.barrier_throughput_frac >= 0.0 && d.micro.barrier_throughput_frac <= 1.0);
+            assert!(
+                d.micro.issue_eff_dp > 0.0 && d.micro.issue_eff_dp <= 1.0,
+                "{}",
+                d.code_name
+            );
+            assert!(
+                d.micro.issue_eff_sp > 0.0 && d.micro.issue_eff_sp <= 1.0,
+                "{}",
+                d.code_name
+            );
+            assert!(
+                d.micro.barrier_throughput_frac >= 0.0 && d.micro.barrier_throughput_frac <= 1.0
+            );
             assert!(d.micro.dram_efficiency > 0.0 && d.micro.dram_efficiency <= 1.0);
         }
     }
@@ -285,7 +305,10 @@ mod tests {
     #[test]
     fn cycle_conversion_uses_boost() {
         let kepler = DeviceId::Kepler.spec();
-        assert!(kepler.micro.boost_factor > 1.0, "Kepler card is overclocked");
+        assert!(
+            kepler.micro.boost_factor > 1.0,
+            "Kepler card is overclocked"
+        );
         let secs = kepler.cycles_to_seconds(1e9);
         assert!(secs < 1.0 / kepler.clock_ghz, "boost shortens wall time");
     }

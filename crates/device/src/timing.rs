@@ -104,7 +104,7 @@ impl KernelLaunchProfile {
 }
 
 /// Which bound dominated the estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BoundKind {
     Issue,
     Dram,
@@ -158,13 +158,25 @@ impl TimingEstimate {
     }
 }
 
+/// Predicted seconds for one launch, or `None` when the kernel cannot
+/// launch on the device at all. Convenience over [`estimate`] for
+/// callers that only need a scheduling cost (the serving layer's
+/// least-loaded placement).
+#[must_use]
+pub fn estimate_seconds(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Option<f64> {
+    estimate(dev, p).ok().map(|e| e.seconds)
+}
+
 /// Predict the execution time of one kernel launch.
 ///
 /// # Errors
 /// Propagates [`OccupancyError`] when the kernel cannot launch at all —
 /// the tuner counts such candidates as failed, mirroring the paper's
 /// treatment of kernels that fail compilation or execution.
-pub fn estimate(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Result<TimingEstimate, OccupancyError> {
+pub fn estimate(
+    dev: &DeviceSpec,
+    p: &KernelLaunchProfile,
+) -> Result<TimingEstimate, OccupancyError> {
     let occ = occupancy(dev, p.wg_size, p.regs_per_wi, p.lds_bytes_per_wg)?;
     let micro = &dev.micro;
 
@@ -186,8 +198,7 @@ pub fn estimate(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Result<TimingEstim
     // resident wavefronts the CU's issue pipes idle between dependent
     // instructions (§III-E: "if the number of work-groups is not enough,
     // processors cannot hide memory access latencies").
-    let saturation =
-        (occ.wavefronts_per_cu as f64 / micro.min_wavefronts).clamp(1.0 / 16.0, 1.0);
+    let saturation = (occ.wavefronts_per_cu as f64 / micro.min_wavefronts).clamp(1.0 / 16.0, 1.0);
     let issue_rate = mads_per_cycle_cu * issue_eff * lane_eff * saturation;
     let issue_wg_iter = slots_iter * p.wg_size as f64 / issue_rate + barrier_issue;
     let issue_wg_once = slots_once * p.wg_size as f64 / issue_rate;
@@ -205,12 +216,14 @@ pub fn estimate(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Result<TimingEstim
     // on cache-backed devices it is just more cache traffic (plus it
     // bought nothing — the key CPU observation of §IV-A).
     let (lds_wg, extra_cache) = match dev.local_mem_type {
-        LocalMemType::Scratchpad => {
-            (p.lds_bytes * p.lds_bank_factor * p.outer_iters as f64 / micro.lds_bytes_per_cycle, 0.0)
-        }
+        LocalMemType::Scratchpad => (
+            p.lds_bytes * p.lds_bank_factor * p.outer_iters as f64 / micro.lds_bytes_per_cycle,
+            0.0,
+        ),
         LocalMemType::GlobalBacked => (0.0, p.lds_bytes),
     };
-    let cache_wg = (p.cache_bytes + extra_cache) * p.outer_iters as f64 / micro.cache_bytes_per_cycle;
+    let cache_wg =
+        (p.cache_bytes + extra_cache) * p.outer_iters as f64 / micro.cache_bytes_per_cycle;
 
     // --- serial / latency path ------------------------------------------
     let barrier_stall = p.barriers * micro.barrier_cost * (1.0 - micro.barrier_throughput_frac);
@@ -256,7 +269,13 @@ pub fn estimate(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Result<TimingEstim
     .expect("non-empty bound list");
 
     let cycles = cycles_body + launch;
-    Ok(TimingEstimate { seconds: dev.cycles_to_seconds(cycles), cycles, occupancy: occ, bound, components })
+    Ok(TimingEstimate {
+        seconds: dev.cycles_to_seconds(cycles),
+        cycles,
+        occupancy: occ,
+        bound,
+        components,
+    })
 }
 
 #[cfg(test)]
@@ -306,7 +325,10 @@ mod tests {
         let eff = est.gflops(flops) / dev.peak_gflops(true);
         // Paper: 863 GFlop/s = 91 % of peak. The model should put a
         // well-tuned kernel in the right neighbourhood.
-        assert!(eff > 0.75 && eff <= 1.0, "Tahiti DGEMM efficiency {eff:.3} out of range");
+        assert!(
+            eff > 0.75 && eff <= 1.0,
+            "Tahiti DGEMM efficiency {eff:.3} out of range"
+        );
     }
 
     #[test]
@@ -326,7 +348,10 @@ mod tests {
         let fast = estimate(&dev, &p).unwrap();
         p.pow2_conflict = true;
         let slow = estimate(&dev, &p).unwrap();
-        assert!(slow.seconds > fast.seconds * 2.0, "channel conflicts must bite");
+        assert!(
+            slow.seconds > fast.seconds * 2.0,
+            "channel conflicts must bite"
+        );
         assert_eq!(slow.bound, BoundKind::Dram);
     }
 
@@ -354,7 +379,10 @@ mod tests {
             };
             with / without
         };
-        assert!(c0 > t0, "Cayman barrier slowdown {c0:.3} should exceed Tahiti {t0:.3}");
+        assert!(
+            c0 > t0,
+            "Cayman barrier slowdown {c0:.3} should exceed Tahiti {t0:.3}"
+        );
     }
 
     #[test]
@@ -427,6 +455,9 @@ mod tests {
         p.n_wgs = 2;
         p.outer_iters = 1;
         let est = estimate(&dev, &p).unwrap();
-        assert!(est.components.launch > 0.3 * est.cycles, "small launches are overhead-bound");
+        assert!(
+            est.components.launch > 0.3 * est.cycles,
+            "small launches are overhead-bound"
+        );
     }
 }

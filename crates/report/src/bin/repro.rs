@@ -61,7 +61,10 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment {name:?}; known: {}", ALL_EXPERIMENTS.join(" "));
+                eprintln!(
+                    "unknown experiment {name:?}; known: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
                 failed = true;
             }
         }

@@ -21,7 +21,10 @@ use clgemm_vendor::libraries_for;
 /// Regenerate the §IV-A/§IV-C ablations.
 #[must_use]
 pub fn report(lab: &mut Lab) -> Report {
-    let mut rep = Report::new("ablations", "Local-memory, layout and Cypress ablations (§IV-A/§IV-C)");
+    let mut rep = Report::new(
+        "ablations",
+        "Local-memory, layout and Cypress ablations (§IV-A/§IV-C)",
+    );
 
     // --- 1. local memory -----------------------------------------------
     for precision in [Precision::F64, Precision::F32] {
@@ -48,10 +51,16 @@ pub fn report(lab: &mut Lab) -> Report {
         &["Quantity", "Value"],
     );
     let best = lab.best(DeviceId::Tahiti, Precision::F64).best.clone();
-    let rm = lab.tuned(DeviceId::Tahiti, Precision::F64, Restriction::RowMajorOnly).best.clone();
+    let rm = lab
+        .tuned(DeviceId::Tahiti, Precision::F64, Restriction::RowMajorOnly)
+        .best
+        .clone();
     t.row(vec!["best (block-major) GF".into(), gf(best.gflops)]);
     t.row(vec!["best row-major-only GF".into(), gf(rm.gflops)]);
-    t.row(vec!["row-major / block-major".into(), format!("{:.3}", rm.gflops / best.gflops)]);
+    t.row(vec![
+        "row-major / block-major".into(),
+        format!("{:.3}", rm.gflops / best.gflops),
+    ]);
     // The cliff: the row-major winner at N=4096 (multiple of 2048) vs a
     // neighbouring non-pow2 size.
     let dev = DeviceId::Tahiti.spec();
@@ -60,9 +69,15 @@ pub fn report(lab: &mut Lab) -> Report {
     let n_good = n_bad + lcm;
     let g_bad = measure_gflops(&rm.params, &dev, n_bad).unwrap_or(0.0);
     let g_good = measure_gflops(&rm.params, &dev, n_good).unwrap_or(0.0);
-    t.row(vec![format!("row-major at N={n_bad} (pow2 multiple)"), gf(g_bad)]);
+    t.row(vec![
+        format!("row-major at N={n_bad} (pow2 multiple)"),
+        gf(g_bad),
+    ]);
     t.row(vec![format!("row-major at N={n_good}"), gf(g_good)]);
-    t.row(vec!["pow2 / neighbour".into(), format!("{:.3}", g_bad / g_good)]);
+    t.row(vec![
+        "pow2 / neighbour".into(),
+        format!("{:.3}", g_bad / g_good),
+    ]);
     rep.table(t);
 
     // --- 3. Cypress (§IV-C) ----------------------------------------------
@@ -72,8 +87,15 @@ pub fn report(lab: &mut Lab) -> Report {
         _ => SearchSpace::for_device(&cy),
     };
     let ours = tune(&cy, Precision::F64, &space, &lab.opts());
-    let mut t = TextTable::new("Cypress (HD 5870) DGEMM cross-check (§IV-C)", &["Impl.", "GF", "Efficiency"]);
-    t.row(vec!["Ours (auto-tuned OpenCL)".into(), gf(ours.best.gflops), pct(ours.efficiency)]);
+    let mut t = TextTable::new(
+        "Cypress (HD 5870) DGEMM cross-check (§IV-C)",
+        &["Impl.", "GF", "Efficiency"],
+    );
+    t.row(vec![
+        "Ours (auto-tuned OpenCL)".into(),
+        gf(ours.best.gflops),
+        pct(ours.efficiency),
+    ]);
     for lib in libraries_for(DeviceId::Cypress) {
         let g = lib.max_gflops(Precision::F64, clgemm_blas::GemmType::NN);
         t.row(vec![lib.name.clone(), gf(g), pct(g / cy.peak_gflops(true))]);
@@ -89,10 +111,17 @@ pub fn report(lab: &mut Lab) -> Report {
     let best_t = lab.best(DeviceId::Tahiti, Precision::F64).best.clone();
     for n in [512usize, 1024, 2048, 4096, 8192] {
         let np = clgemm_blas::layout::round_up(n, best_t.params.lcm_block());
-        let Some(g) = measure_gflops(&best_t.params, &tahiti, np) else { continue };
+        let Some(g) = measure_gflops(&best_t.params, &tahiti, np) else {
+            continue;
+        };
         let kernel_s = 2.0 * (np as f64).powi(3) / (g * 1e9);
         let with = clgemm_sim::gflops_with_transfers(&tahiti, np, 8, kernel_s);
-        t.row(vec![np.to_string(), gf(g), gf(with), format!("{:.2}", with / g)]);
+        t.row(vec![
+            np.to_string(),
+            gf(g),
+            gf(with),
+            format!("{:.2}", with / g),
+        ]);
     }
     rep.table(t);
     rep.note("The paper excludes host<->device transfers; the table shows why that is defensible at large N (O(N^2) bus traffic vs O(N^3) flops) and fatal at small N.");
@@ -115,7 +144,10 @@ mod tests {
         for dev in ["Cayman", "Sandy Bridge", "Bulldozer"] {
             let row = t.rows.iter().find(|r| r[0] == dev).unwrap();
             let ratio: f64 = row[3].parse().unwrap();
-            assert!(ratio > 0.97, "{dev} should be ~indifferent to local memory, got {ratio}");
+            assert!(
+                ratio > 0.97,
+                "{dev} should be ~indifferent to local memory, got {ratio}"
+            );
         }
     }
 
@@ -130,21 +162,38 @@ mod tests {
             .unwrap();
         let cliff_row = t.rows.iter().find(|r| r[0].starts_with("pow2 /")).unwrap();
         let ratio: f64 = cliff_row[1].parse().unwrap();
-        assert!(ratio < 0.75, "pow2-multiple sizes must deteriorate drastically, got {ratio}");
-        let rel_row = t.rows.iter().find(|r| r[0].starts_with("row-major / block")).unwrap();
+        assert!(
+            ratio < 0.75,
+            "pow2-multiple sizes must deteriorate drastically, got {ratio}"
+        );
+        let rel_row = t
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("row-major / block"))
+            .unwrap();
         let rel: f64 = rel_row[1].parse().unwrap();
-        assert!(rel > 0.85 && rel <= 1.0, "row-major loses a little off-cliff: {rel}");
+        assert!(
+            rel > 0.85 && rel <= 1.0,
+            "row-major loses a little off-cliff: {rel}"
+        );
     }
 
     #[test]
     fn cypress_matches_nakasato_and_beats_du() {
         let mut lab = Lab::new(Quality::Quick);
         let rep = report(&mut lab);
-        let t = rep.tables.iter().find(|t| t.title.contains("Cypress")).unwrap();
+        let t = rep
+            .tables
+            .iter()
+            .find(|t| t.title.contains("Cypress"))
+            .unwrap();
         let ours: f64 = t.rows[0][1].parse().unwrap();
         let nakasato: f64 = t.rows[1][1].parse().unwrap();
         let du: f64 = t.rows[2][1].parse().unwrap();
-        assert!((ours / nakasato - 1.0).abs() < 0.15, "ours {ours} ~ Nakasato {nakasato}");
+        assert!(
+            (ours / nakasato - 1.0).abs() < 0.15,
+            "ours {ours} ~ Nakasato {nakasato}"
+        );
         assert!(ours > 1.3 * du, "ours {ours} well above Du et al. {du}");
     }
 
@@ -155,6 +204,9 @@ mod tests {
         let sgemm = &rep.tables[1];
         let kepler = sgemm.rows.iter().find(|r| r[0] == "Kepler").unwrap();
         let ratio: f64 = kepler[3].parse().unwrap();
-        assert!(ratio < 0.97, "Kepler SGEMM should lose without local memory, got {ratio}");
+        assert!(
+            ratio < 0.97,
+            "Kepler SGEMM should lose without local memory, got {ratio}"
+        );
     }
 }

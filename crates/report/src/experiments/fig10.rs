@@ -12,13 +12,22 @@ use clgemm_vendor::libraries_for;
 /// Regenerate both panels of Fig. 10.
 #[must_use]
 pub fn report(lab: &mut Lab) -> Report {
-    let mut rep = Report::new("fig10", "Fermi/Kepler GEMM (NN) vs CUBLAS and MAGMA (Fig. 10)");
+    let mut rep = Report::new(
+        "fig10",
+        "Fermi/Kepler GEMM (NN) vs CUBLAS and MAGMA (Fig. 10)",
+    );
     let fermi = lab.tuned_gemm(DeviceId::Fermi);
     let kepler = lab.tuned_gemm(DeviceId::Kepler);
     let fermi_libs = libraries_for(DeviceId::Fermi);
     let kepler_libs = libraries_for(DeviceId::Kepler);
-    let cublas4 = fermi_libs.iter().find(|l| l.name.contains("CUBLAS")).expect("cublas4");
-    let magma = fermi_libs.iter().find(|l| l.name.contains("MAGMA")).expect("magma");
+    let cublas4 = fermi_libs
+        .iter()
+        .find(|l| l.name.contains("CUBLAS"))
+        .expect("cublas4");
+    let magma = fermi_libs
+        .iter()
+        .find(|l| l.name.contains("MAGMA"))
+        .expect("magma");
     let cublas5 = &kepler_libs[0];
 
     for precision in [Precision::F64, Precision::F32] {
@@ -44,12 +53,7 @@ pub fn report(lab: &mut Lab) -> Report {
                 gf(cublas5.gflops(precision, GemmType::NN, n)),
             ]);
         }
-        let chart = crate::plot::chart_from_table(
-            &format!("{precision} GFlop/s vs N"),
-            &t,
-            64,
-            14,
-        );
+        let chart = crate::plot::chart_from_table(&format!("{precision} GFlop/s vs N"), &t, 64, 14);
         rep.table(t);
         rep.note(format!("\n{chart}"));
     }
@@ -72,8 +76,14 @@ mod tests {
             let ours_fermi: f64 = last[3].parse().unwrap();
             let ours_kepler: f64 = last[4].parse().unwrap();
             let cublas5: f64 = last[5].parse().unwrap();
-            assert!((0.5..2.0).contains(&(ours_fermi / cublas4)), "{ours_fermi} vs {cublas4}");
-            assert!((0.5..2.0).contains(&(ours_kepler / cublas5)), "{ours_kepler} vs {cublas5}");
+            assert!(
+                (0.5..2.0).contains(&(ours_fermi / cublas4)),
+                "{ours_fermi} vs {cublas4}"
+            );
+            assert!(
+                (0.5..2.0).contains(&(ours_kepler / cublas5)),
+                "{ours_kepler} vs {cublas5}"
+            );
         }
     }
 

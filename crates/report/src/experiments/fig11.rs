@@ -24,11 +24,20 @@ pub fn report(lab: &mut Lab) -> Report {
     let tg = lab.tuned_gemm(DeviceId::SandyBridge);
     let libs = libraries_for(DeviceId::SandyBridge);
     let mkl = libs.iter().find(|l| l.name.contains("MKL")).expect("mkl");
-    let atlas = libs.iter().find(|l| l.name.contains("ATLAS")).expect("atlas");
+    let atlas = libs
+        .iter()
+        .find(|l| l.name.contains("ATLAS"))
+        .expect("atlas");
 
     let mut t = TextTable::new(
         "DGEMM (NN)",
-        &["N", "Intel MKL", "ATLAS 3.10.0", "Ours (SDK 2013 beta)", "Ours (SDK 2012)"],
+        &[
+            "N",
+            "Intel MKL",
+            "ATLAS 3.10.0",
+            "Ours (SDK 2013 beta)",
+            "Ours (SDK 2012)",
+        ],
     );
     for n in sweep_sizes(5120, 512) {
         let ours = tg.predict(true, GemmType::NN, n, n, n).gflops;

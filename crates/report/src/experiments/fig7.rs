@@ -12,14 +12,19 @@ use clgemm_device::DeviceId;
 /// Regenerate both panels of Fig. 7.
 #[must_use]
 pub fn report(lab: &mut Lab) -> Report {
-    let mut rep = Report::new(
-        "fig7",
-        "Fastest kernel GFlop/s vs matrix size (Fig. 7)",
-    );
+    let mut rep = Report::new("fig7", "Fastest kernel GFlop/s vs matrix size (Fig. 7)");
     for precision in [Precision::F64, Precision::F32] {
         let mut t = TextTable::new(
             &format!("{precision} kernels"),
-            &["N", "Tahiti", "Cayman", "Kepler", "Fermi", "Sandy Bridge", "Bulldozer"],
+            &[
+                "N",
+                "Tahiti",
+                "Cayman",
+                "Kepler",
+                "Fermi",
+                "Sandy Bridge",
+                "Bulldozer",
+            ],
         );
         let winners: Vec<_> = DeviceId::TABLE1
             .iter()
@@ -35,12 +40,8 @@ pub fn report(lab: &mut Lab) -> Report {
             }
             t.row(cells);
         }
-        let chart = crate::plot::chart_from_table(
-            &format!("{precision} kernels GFlop/s vs N"),
-            &t,
-            64,
-            14,
-        );
+        let chart =
+            crate::plot::chart_from_table(&format!("{precision} kernels GFlop/s vs N"), &t, 64, 14);
         rep.table(t);
         rep.note(format!("\n{chart}"));
     }

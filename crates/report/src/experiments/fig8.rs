@@ -62,7 +62,10 @@ mod tests {
             let ba: f64 = tahiti[2].parse().unwrap();
             let pl: f64 = tahiti[3].parse().unwrap();
             let db: f64 = tahiti[4].parse().unwrap();
-            assert!(ba >= pl && ba >= db, "BA must lead on Tahiti: {ba} {pl} {db}");
+            assert!(
+                ba >= pl && ba >= db,
+                "BA must lead on Tahiti: {ba} {pl} {db}"
+            );
             assert!(ba > 0.99, "unrestricted winner on Tahiti is BA");
         }
     }

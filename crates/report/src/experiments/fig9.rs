@@ -12,7 +12,10 @@ use clgemm_vendor::{libraries_for, previous_study};
 /// Regenerate both panels of Fig. 9.
 #[must_use]
 pub fn report(lab: &mut Lab) -> Report {
-    let mut rep = Report::new("fig9", "Tahiti GEMM (NN) routine vs clBLAS vs previous study (Fig. 9)");
+    let mut rep = Report::new(
+        "fig9",
+        "Tahiti GEMM (NN) routine vs clBLAS vs previous study (Fig. 9)",
+    );
     let tg = lab.tuned_gemm(DeviceId::Tahiti);
     let clblas = &libraries_for(DeviceId::Tahiti)[0];
     let prev = previous_study();
@@ -30,8 +33,7 @@ pub fn report(lab: &mut Lab) -> Report {
                 gf(clblas.gflops(precision, GemmType::NN, n)),
             ]);
         }
-        let chart =
-            crate::plot::chart_from_table(&format!("{precision} GFlop/s vs N"), &t, 64, 14);
+        let chart = crate::plot::chart_from_table(&format!("{precision} GFlop/s vs N"), &t, 64, 14);
         rep.table(t);
         rep.note(format!("\n{chart}"));
     }
@@ -57,10 +59,20 @@ mod tests {
             let prev = col(t, 2);
             let clblas = col(t, 3);
             let last = ours.len() - 1;
-            assert!(ours[last] > clblas[last], "ours {} vs clBLAS {}", ours[last], clblas[last]);
+            assert!(
+                ours[last] > clblas[last],
+                "ours {} vs clBLAS {}",
+                ours[last],
+                clblas[last]
+            );
             // Quick mode searches a thinned space, so allow a small slack
             // against the previous-study curve; the full run clears it.
-            assert!(ours[last] > 0.92 * prev[last], "ours {} vs previous {}", ours[last], prev[last]);
+            assert!(
+                ours[last] > 0.92 * prev[last],
+                "ours {} vs previous {}",
+                ours[last],
+                prev[last]
+            );
         }
     }
 
@@ -73,6 +85,10 @@ mod tests {
         // Relative to its own max, the smallest size must be well below
         // saturation (the crossover evidence).
         let max = ours.iter().cloned().fold(0.0, f64::max);
-        assert!(ours[0] < 0.8 * max, "small-N penalty missing: {} vs max {max}", ours[0]);
+        assert!(
+            ours[0] < 0.8 * max,
+            "small-N penalty missing: {} vs max {max}",
+            ours[0]
+        );
     }
 }

@@ -57,10 +57,18 @@ pub fn report(lab: &mut Lab) -> Report {
         "Kepler SGEMM at N=4096 (§IV-C comparison)",
         &["Impl.", "GFlop/s"],
     );
-    t.row(vec!["Ours (OpenCL, GTX 670 OC model)".into(), gf(ours_4096)]);
-    t.row(vec!["Kurzak et al. CUDA autotuner (GTX 680, published)".into(), gf(1150.0)]);
+    t.row(vec![
+        "Ours (OpenCL, GTX 670 OC model)".into(),
+        gf(ours_4096),
+    ]);
+    t.row(vec![
+        "Kurzak et al. CUDA autotuner (GTX 680, published)".into(),
+        gf(1150.0),
+    ]);
     rep.table(t);
-    rep.note("Paper §IV-C: ours 1340 GFlop/s at N=4096 vs Kurzak's 1150 despite the different card.");
+    rep.note(
+        "Paper §IV-C: ours 1340 GFlop/s at N=4096 vs Kurzak's 1150 despite the different card.",
+    );
     rep.note("The hybrid routine must equal the better pure path at every size, with the direct path winning below the crossover and the packed path above it.");
     rep
 }
@@ -92,7 +100,11 @@ mod tests {
     fn kepler_beats_kurzak_at_4096() {
         let mut lab = Lab::new(Quality::Quick);
         let rep = report(&mut lab);
-        let t = rep.tables.iter().find(|t| t.title.contains("Kurzak") || t.title.contains("Kepler")).unwrap();
+        let t = rep
+            .tables
+            .iter()
+            .find(|t| t.title.contains("Kurzak") || t.title.contains("Kepler"))
+            .unwrap();
         let ours: f64 = t.rows[0][1].parse().unwrap();
         let kurzak: f64 = t.rows[1][1].parse().unwrap();
         // The full-space run clears 1150 (paper: 1340); quick mode's

@@ -8,6 +8,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod hybrid;
 pub mod paperparams;
+pub mod serving;
 pub mod strategies;
 pub mod table1;
 pub mod table2;

@@ -44,9 +44,19 @@ pub fn report(lab: &mut Lab) -> Report {
     for precision in [Precision::F64, Precision::F32] {
         let mut t = TextTable::new(
             &format!("{precision}"),
-            &["Device", "paper GF", "paper params in model", "our winner in model", "model/paper", "adapted"],
+            &[
+                "Device",
+                "paper GF",
+                "paper params in model",
+                "our winner in model",
+                "model/paper",
+                "adapted",
+            ],
         );
-        for e in all_winners().iter().filter(|e| e.params.precision == precision) {
+        for e in all_winners()
+            .iter()
+            .filter(|e| e.params.precision == precision)
+        {
             let model_g = eval_entry(e);
             let ours = lab.best(e.device, precision).best.gflops;
             t.row(vec![

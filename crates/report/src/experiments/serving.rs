@@ -1,0 +1,168 @@
+//! Extension experiment — serving-layer throughput scaling. The tuner
+//! amortises its search cost only if the winners are *reused*; this
+//! experiment drives one mixed GEMM workload through `clgemm-serve`
+//! (queue → batcher → kernel cache → multi-device scheduler) and tables
+//! how aggregate throughput scales with the device pool and the
+//! batch-size cap.
+
+use crate::lab::Lab;
+use crate::render::{gf, Report, TextTable};
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, ServeConfig, StatsSnapshot};
+use clgemm_shim::Rng;
+
+/// One mixed NN/NT/TN/TT DGEMM workload over a few popular shapes.
+fn workload(n_requests: usize) -> Vec<GemmRequest> {
+    let mut rng = Rng::new(2012);
+    let popular = [48usize, 96, 120, 200];
+    (0..n_requests)
+        .map(|_| {
+            let n = popular[rng.range(0, popular.len())];
+            GemmRequest::new(
+                GemmType::ALL[rng.range(0, 4)],
+                GemmPayload::F64 {
+                    alpha: 1.0,
+                    a: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                    b: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                    beta: 0.5,
+                    c: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Serve the workload once; returns the counters, the total modelled
+/// flops, and the pool makespan in virtual seconds.
+fn serve(
+    requests: &[GemmRequest],
+    n_devices: usize,
+    max_batch: usize,
+) -> (StatsSnapshot, f64, f64) {
+    let devices: Vec<_> = DeviceId::ALL
+        .iter()
+        .take(n_devices)
+        .map(|id| id.spec())
+        .collect();
+    let mut server = GemmServer::new(
+        devices,
+        ServeConfig {
+            max_batch,
+            queue_capacity: requests.len(),
+            ..Default::default()
+        },
+    );
+    for req in requests {
+        server
+            .submit(req.clone())
+            .expect("queue sized for the workload");
+    }
+    server.drain();
+    let flops: f64 = server
+        .take_responses()
+        .iter()
+        .map(|r| r.run.gflops * r.run.total * 1e9)
+        .sum();
+    let makespan = server
+        .workers()
+        .iter()
+        .map(clgemm_sim::DeviceWorker::busy_until)
+        .fold(0.0, f64::max);
+    (server.stats(), flops, makespan)
+}
+
+/// Regenerate the serving-throughput scaling tables.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "serving",
+        "EXTENSION: serving-layer throughput vs device count and batch cap",
+    );
+    let n_requests = if lab.opts().top_k <= 8 { 24 } else { 96 };
+    let requests = workload(n_requests);
+
+    let mut t = TextTable::new(
+        &format!("{n_requests} mixed DGEMM requests, batch cap 4"),
+        &[
+            "Devices",
+            "Batches",
+            "Largest",
+            "Cache hit/miss",
+            "Steals",
+            "Makespan ms",
+            "Aggregate GF",
+        ],
+    );
+    for n_devices in [1usize, 2, 4, 7] {
+        let (stats, flops, makespan) = serve(&requests, n_devices, 4);
+        t.row(vec![
+            n_devices.to_string(),
+            stats.batches.to_string(),
+            stats.max_batch.to_string(),
+            format!("{}/{}", stats.cache_hits, stats.cache_misses),
+            stats.steals.to_string(),
+            format!("{:.3}", makespan * 1e3),
+            gf(flops / makespan / 1e9),
+        ]);
+    }
+    rep.table(t);
+
+    let mut t = TextTable::new(
+        &format!("{n_requests} mixed DGEMM requests, 3 devices"),
+        &[
+            "Batch cap",
+            "Batches",
+            "Largest",
+            "Makespan ms",
+            "Aggregate GF",
+        ],
+    );
+    for max_batch in [1usize, 2, 4, 8] {
+        let (stats, flops, makespan) = serve(&requests, 3, max_batch);
+        t.row(vec![
+            max_batch.to_string(),
+            stats.batches.to_string(),
+            stats.max_batch.to_string(),
+            format!("{:.3}", makespan * 1e3),
+            gf(flops / makespan / 1e9),
+        ]);
+    }
+    rep.table(t);
+
+    rep.note(
+        "Expected shape: aggregate GFLOP/s grows with the device pool \
+         (the scheduler spreads batches by modelled finish time, so \
+         slower pool members add less than linearly), and larger batch \
+         caps trade per-device balance for fewer grouped launches.",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    #[test]
+    fn serving_scaling_is_monotone_in_devices() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        let t = &rep.tables[0];
+        assert_eq!(t.rows.len(), 4);
+        let gflops: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[6].trim().parse().expect("numeric GF column"))
+            .collect();
+        assert!(
+            gflops[3] > gflops[0] * 1.5,
+            "7 devices must beat 1 by a wide margin: {gflops:?}"
+        );
+        // Every pool serves the whole workload through some batches.
+        for row in &t.rows {
+            assert!(row[1].parse::<u64>().unwrap() > 0);
+        }
+    }
+}

@@ -27,14 +27,38 @@ pub fn report(lab: &mut Lab) -> Report {
 
     let mut t = TextTable::new(
         "Tahiti DGEMM, stage-1 objective",
-        &["Strategy", "best GF", "evaluations", "evals % of space", "GF % of exhaustive"],
+        &[
+            "Strategy",
+            "best GF",
+            "evaluations",
+            "evals % of space",
+            "GF % of exhaustive",
+        ],
     );
     let exhaustive = tune_with_strategy(&dev, Precision::F64, &space, Strategy::Exhaustive);
     let budgeted = [
         ("Exhaustive (paper)", Strategy::Exhaustive),
-        ("Random 1%", Strategy::Random { samples: exhaustive.space_size / 100 + 1, seed: 42 }),
-        ("Coordinate descent x4", Strategy::CoordinateDescent { restarts: 4, seed: 42 }),
-        ("Simulated annealing", Strategy::Anneal { iters: exhaustive.space_size / 100 + 1, seed: 42 }),
+        (
+            "Random 1%",
+            Strategy::Random {
+                samples: exhaustive.space_size / 100 + 1,
+                seed: 42,
+            },
+        ),
+        (
+            "Coordinate descent x4",
+            Strategy::CoordinateDescent {
+                restarts: 4,
+                seed: 42,
+            },
+        ),
+        (
+            "Simulated annealing",
+            Strategy::Anneal {
+                iters: exhaustive.space_size / 100 + 1,
+                seed: 42,
+            },
+        ),
     ];
     for (name, strat) in budgeted {
         let res = if matches!(strat, Strategy::Exhaustive) {
@@ -46,7 +70,10 @@ pub fn report(lab: &mut Lab) -> Report {
             name.to_string(),
             gf(res.best.gflops),
             res.evaluations.to_string(),
-            format!("{:.2}%", 100.0 * res.evaluations as f64 / res.space_size as f64),
+            format!(
+                "{:.2}%",
+                100.0 * res.evaluations as f64 / res.space_size as f64
+            ),
             format!("{:.1}%", 100.0 * res.best.gflops / exhaustive.best.gflops),
         ]);
     }

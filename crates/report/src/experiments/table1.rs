@@ -31,16 +31,22 @@ pub fn report() -> Report {
     t.row(row("Compute units", &|d| d.compute_units.to_string()));
     t.row(row("Max DP ops/clock", &|d| d.dp_ops_per_clock.to_string()));
     t.row(row("Max SP ops/clock", &|d| d.sp_ops_per_clock.to_string()));
-    t.row(row("Peak DP [GFlop/s]", &|d| format!("{:.1}", d.peak_gflops(true))));
-    t.row(row("Peak SP [GFlop/s]", &|d| format!("{:.1}", d.peak_gflops(false))));
-    t.row(row("Global memory [GiB]", &|d| format!("{}", d.global_mem_gib)));
-    t.row(row("Peak bandwidth [GB/s]", &|d| format!("{}", d.global_bw_gbs)));
+    t.row(row("Peak DP [GFlop/s]", &|d| {
+        format!("{:.1}", d.peak_gflops(true))
+    }));
+    t.row(row("Peak SP [GFlop/s]", &|d| {
+        format!("{:.1}", d.peak_gflops(false))
+    }));
+    t.row(row("Global memory [GiB]", &|d| {
+        format!("{}", d.global_mem_gib)
+    }));
+    t.row(row("Peak bandwidth [GB/s]", &|d| {
+        format!("{}", d.global_bw_gbs)
+    }));
     t.row(row("Local memory [KiB]", &|d| d.local_mem_kib.to_string()));
-    t.row(row("Local memory type", &|d| {
-        match d.local_mem_type {
-            LocalMemType::Scratchpad => "Scratchpad".to_string(),
-            LocalMemType::GlobalBacked => "Global".to_string(),
-        }
+    t.row(row("Local memory type", &|d| match d.local_mem_type {
+        LocalMemType::Scratchpad => "Scratchpad".to_string(),
+        LocalMemType::GlobalBacked => "Global".to_string(),
     }));
     t.row(row("OpenCL SDK", &|d| d.sdk.clone()));
     rep.table(t);
@@ -58,7 +64,10 @@ mod tests {
         let text = rep.to_text();
         // Computed as clock x ops/clock, so they carry one decimal; the
         // paper's Table I rounds (947, 676, 665, 3789, 2703, 2916, 1331).
-        for expected in ["947.2", "675.8", "665.6", "158.4", "115.2", "3788.8", "2703.4", "2916.5", "1331.2", "316.8", "230.4"] {
+        for expected in [
+            "947.2", "675.8", "665.6", "158.4", "115.2", "3788.8", "2703.4", "2916.5", "1331.2",
+            "316.8", "230.4",
+        ] {
             assert!(text.contains(expected), "missing {expected} in:\n{text}");
         }
         assert!(text.contains("Scratchpad"));

@@ -8,7 +8,9 @@ use clgemm_blas::scalar::Precision;
 use clgemm_device::DeviceId;
 
 fn param_rows(t: &mut TextTable, entries: &[(DeviceId, KernelParams, f64, f64)]) {
-    let row = |label: &str, f: &dyn Fn(&KernelParams) -> String, extra: &dyn Fn(usize) -> Option<String>| {
+    let row = |label: &str,
+               f: &dyn Fn(&KernelParams) -> String,
+               extra: &dyn Fn(usize) -> Option<String>| {
         let mut cells = vec![label.to_string()];
         for (i, (_, p, _, _)) in entries.iter().enumerate() {
             cells.push(extra(i).unwrap_or_else(|| f(p)));
@@ -16,37 +18,57 @@ fn param_rows(t: &mut TextTable, entries: &[(DeviceId, KernelParams, f64, f64)])
         cells
     };
     let none = |_: usize| -> Option<String> { None };
-    t.row(row("Mwg,Nwg,Kwg", &|p| format!("{},{},{}", p.mwg, p.nwg, p.kwg), &none));
-    t.row(row("Mwi,Nwi,Kwi", &|p| format!("{},{},{}", p.mwi(), p.nwi(), p.kwi), &none));
-    t.row(row("MdimC,NdimC", &|p| format!("{},{}", p.mdimc, p.ndimc), &none));
-    t.row(row("MdimA,KdimA", &|p| format!("{},{}", p.mdima, p.kdima()), &none));
-    t.row(row("KdimB,NdimB", &|p| format!("{},{}", p.kdimb(), p.ndimb), &none));
+    t.row(row(
+        "Mwg,Nwg,Kwg",
+        &|p| format!("{},{},{}", p.mwg, p.nwg, p.kwg),
+        &none,
+    ));
+    t.row(row(
+        "Mwi,Nwi,Kwi",
+        &|p| format!("{},{},{}", p.mwi(), p.nwi(), p.kwi),
+        &none,
+    ));
+    t.row(row(
+        "MdimC,NdimC",
+        &|p| format!("{},{}", p.mdimc, p.ndimc),
+        &none,
+    ));
+    t.row(row(
+        "MdimA,KdimA",
+        &|p| format!("{},{}", p.mdima, p.kdima()),
+        &none,
+    ));
+    t.row(row(
+        "KdimB,NdimB",
+        &|p| format!("{},{}", p.kdimb(), p.ndimb),
+        &none,
+    ));
     t.row(row("Vector width", &|p| p.vw.to_string(), &none));
     t.row(row(
         "Non-unit stride",
-        &|p| {
-            match (p.stride_m.is_non_unit(), p.stride_n.is_non_unit()) {
-                (true, true) => "M,N".into(),
-                (true, false) => "M".into(),
-                (false, true) => "N".into(),
-                (false, false) => "-".into(),
-            }
+        &|p| match (p.stride_m.is_non_unit(), p.stride_n.is_non_unit()) {
+            (true, true) => "M,N".into(),
+            (true, false) => "M".into(),
+            (false, true) => "N".into(),
+            (false, false) => "-".into(),
         },
         &none,
     ));
     t.row(row(
         "Shared (local mem)",
-        &|p| {
-            match (p.local_a, p.local_b) {
-                (true, true) => "A,B".into(),
-                (true, false) => "A".into(),
-                (false, true) => "B".into(),
-                (false, false) => "-".into(),
-            }
+        &|p| match (p.local_a, p.local_b) {
+            (true, true) => "A,B".into(),
+            (true, false) => "A".into(),
+            (false, true) => "B".into(),
+            (false, false) => "-".into(),
         },
         &none,
     ));
-    t.row(row("Layout A,B", &|p| format!("{},{}", p.layout_a.tag(), p.layout_b.tag()), &none));
+    t.row(row(
+        "Layout A,B",
+        &|p| format!("{},{}", p.layout_a.tag(), p.layout_b.tag()),
+        &none,
+    ));
     t.row(row("Algorithm", &|p| p.algorithm.tag().to_string(), &none));
     let gfrow: Vec<String> = std::iter::once("GFlop/s".to_string())
         .chain(entries.iter().map(|(_, _, g, _)| gf(*g)))
@@ -61,7 +83,10 @@ fn param_rows(t: &mut TextTable, entries: &[(DeviceId, KernelParams, f64, f64)])
 /// Regenerate Table II.
 #[must_use]
 pub fn report(lab: &mut Lab) -> Report {
-    let mut rep = Report::new("table2", "Best kernel parameters and maximum performance (Table II)");
+    let mut rep = Report::new(
+        "table2",
+        "Best kernel parameters and maximum performance (Table II)",
+    );
     for precision in [Precision::F64, Precision::F32] {
         let entries: Vec<_> = DeviceId::TABLE1
             .iter()
@@ -72,7 +97,15 @@ pub fn report(lab: &mut Lab) -> Report {
             .collect();
         let mut t = TextTable::new(
             &format!("{precision}"),
-            &["Parameter", "Tahiti", "Cayman", "Kepler", "Fermi", "Sandy Bridge", "Bulldozer"],
+            &[
+                "Parameter",
+                "Tahiti",
+                "Cayman",
+                "Kepler",
+                "Fermi",
+                "Sandy Bridge",
+                "Bulldozer",
+            ],
         );
         param_rows(&mut t, &entries);
         rep.table(t);
@@ -108,7 +141,11 @@ mod tests {
     fn efficiency_row_is_sane() {
         let mut lab = Lab::new(Quality::Quick);
         let rep = report(&mut lab);
-        let eff_row = rep.tables[0].rows.iter().find(|r| r[0] == "Efficiency").unwrap();
+        let eff_row = rep.tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0] == "Efficiency")
+            .unwrap();
         for cell in &eff_row[1..] {
             let v: f64 = cell.trim_end_matches('%').parse().unwrap();
             assert!(v > 5.0 && v < 140.0, "{cell}");

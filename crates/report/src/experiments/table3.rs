@@ -86,8 +86,14 @@ mod tests {
         let mut lab = Lab::new(Quality::Quick);
         let rows = parse_rows(&mut lab);
         for dev in ["Tahiti", "Cayman"] {
-            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
-            let clblas = rows.iter().find(|(d, i, _)| d == dev && i.contains("clBLAS")).unwrap();
+            let ours = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i == "Ours")
+                .unwrap();
+            let clblas = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i.contains("clBLAS"))
+                .unwrap();
             for (o, v) in ours.2.iter().zip(&clblas.2) {
                 assert!(o > v, "{dev}: ours {o} must beat clBLAS {v}");
             }
@@ -99,8 +105,14 @@ mod tests {
         let mut lab = Lab::new(Quality::Quick);
         let rows = parse_rows(&mut lab);
         for (dev, lib) in [("Sandy Bridge", "MKL"), ("Bulldozer", "ACML")] {
-            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
-            let vendor = rows.iter().find(|(d, i, _)| d == dev && i.contains(lib)).unwrap();
+            let ours = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i == "Ours")
+                .unwrap();
+            let vendor = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i.contains(lib))
+                .unwrap();
             for (o, v) in ours.2.iter().zip(&vendor.2) {
                 assert!(o < v, "{dev}: ours {o} must trail {lib} {v}");
             }
@@ -125,8 +137,14 @@ mod tests {
         let mut lab = Lab::new(Quality::Quick);
         let rows = parse_rows(&mut lab);
         for dev in ["Kepler", "Fermi"] {
-            let ours = rows.iter().find(|(d, i, _)| d == dev && i == "Ours").unwrap();
-            let cublas = rows.iter().find(|(d, i, _)| d == dev && i.contains("CUBLAS")).unwrap();
+            let ours = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i == "Ours")
+                .unwrap();
+            let cublas = rows
+                .iter()
+                .find(|(d, i, _)| d == dev && i.contains("CUBLAS"))
+                .unwrap();
             for (o, v) in ours.2.iter().zip(&cublas.2) {
                 let ratio = o / v;
                 assert!(

@@ -6,8 +6,8 @@
 //! the deterministic timing model compresses to fractions of a second.
 
 use clgemm::params::Algorithm;
-use clgemm::tuner::{tune, SearchOpts, SearchSpace, TuningResult};
 use clgemm::routine::TunedGemm;
+use clgemm::tuner::{tune, SearchOpts, SearchSpace, TuningResult};
 use clgemm_blas::scalar::Precision;
 use clgemm_device::{DeviceId, DeviceSpec};
 use std::collections::BTreeMap;
@@ -44,14 +44,21 @@ impl Lab {
     /// Create a lab at the given quality.
     #[must_use]
     pub fn new(quality: Quality) -> Lab {
-        Lab { quality, cache: BTreeMap::new() }
+        Lab {
+            quality,
+            cache: BTreeMap::new(),
+        }
     }
 
     /// The search options experiments use.
     #[must_use]
     pub fn opts(&self) -> SearchOpts {
         match self.quality {
-            Quality::Full => SearchOpts { verify_winner: false, max_sweep_points: 24, ..Default::default() },
+            Quality::Full => SearchOpts {
+                verify_winner: false,
+                max_sweep_points: 24,
+                ..Default::default()
+            },
             Quality::Quick => SearchOpts {
                 top_k: 8,
                 max_sweep_points: 6,
@@ -85,7 +92,11 @@ impl Lab {
         restriction: Restriction,
     ) -> &TuningResult {
         let dev = id.spec();
-        let key = (dev.code_name.clone(), precision == Precision::F64, restriction);
+        let key = (
+            dev.code_name.clone(),
+            precision == Precision::F64,
+            restriction,
+        );
         if !self.cache.contains_key(&key) {
             let space = self.space(&dev, restriction);
             let res = tune(&dev, precision, &space, &self.opts());
@@ -110,7 +121,10 @@ impl Lab {
     /// index encoding).
     #[must_use]
     pub fn algo_restriction(alg: Algorithm) -> Restriction {
-        let idx = Algorithm::ALL.iter().position(|a| *a == alg).expect("algorithm in ALL") as u8;
+        let idx = Algorithm::ALL
+            .iter()
+            .position(|a| *a == alg)
+            .expect("algorithm in ALL") as u8;
         Restriction::Algorithm(idx)
     }
 }
@@ -150,7 +164,13 @@ mod tests {
 
     #[test]
     fn algo_restriction_round_trips() {
-        assert_eq!(Lab::algo_restriction(Algorithm::Ba), Restriction::Algorithm(0));
-        assert_eq!(Lab::algo_restriction(Algorithm::Db), Restriction::Algorithm(2));
+        assert_eq!(
+            Lab::algo_restriction(Algorithm::Ba),
+            Restriction::Algorithm(0)
+        );
+        assert_eq!(
+            Lab::algo_restriction(Algorithm::Db),
+            Restriction::Algorithm(2)
+        );
     }
 }

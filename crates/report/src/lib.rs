@@ -23,6 +23,7 @@
 //! | `hybrid` | EXTENSION: §V future work — copy-free small-size kernel |
 //! | `strategies` | EXTENSION: search-strategy sample efficiency |
 //! | `paperparams` | EXTENSION: the paper's Table II winners replayed in the model |
+//! | `serving` | EXTENSION: clgemm-serve throughput vs device count and batch cap |
 
 pub mod experiments;
 pub mod lab;
@@ -34,9 +35,20 @@ pub use plot::{ascii_chart, Series};
 pub use render::{Report, TextTable};
 
 /// Names of all experiments in paper order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "table1", "fig7", "table2", "fig8", "table3", "fig9", "fig10", "fig11", "ablations", "hybrid",
-    "strategies", "paperparams",
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "table1",
+    "fig7",
+    "table2",
+    "fig8",
+    "table3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ablations",
+    "hybrid",
+    "strategies",
+    "paperparams",
+    "serving",
 ];
 
 /// Run one experiment by name.
@@ -54,6 +66,7 @@ pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
         "hybrid" => experiments::hybrid::report(lab),
         "strategies" => experiments::strategies::report(lab),
         "paperparams" => experiments::paperparams::report(lab),
+        "serving" => experiments::serving::report(lab),
         _ => return None,
     })
 }

@@ -16,7 +16,10 @@ impl Series {
     /// Convenience constructor.
     #[must_use]
     pub fn new(name: &str, points: Vec<(f64, f64)>) -> Series {
-        Series { name: name.to_string(), points }
+        Series {
+            name: name.to_string(),
+            points,
+        }
     }
 }
 
@@ -26,8 +29,11 @@ impl Series {
 pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let (width, height) = (width.max(16), height.max(4));
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n(no data)\n");
     }
@@ -39,7 +45,11 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
         y_max_v = y_max_v.max(*y);
     }
     let y_min = 0.0; // performance charts start at zero, like the paper's
-    let y_max = if y_max_v <= y_min { y_min + 1.0 } else { y_max_v };
+    let y_max = if y_max_v <= y_min {
+        y_min + 1.0
+    } else {
+        y_max_v
+    };
     let x_span = (x_max - x_min).max(1e-12);
     let y_span = y_max - y_min;
 
@@ -73,9 +83,20 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
         out.push('\n');
     }
     out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>10}{:<.0}{}{:>.0}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    out.push_str(&format!(
+        "{:>10}{:<.0}{}{:>.0}\n",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(8)),
+        x_max
+    ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("{:>10}{} = {}\n", "", GLYPHS[si % GLYPHS.len()], s.name));
+        out.push_str(&format!(
+            "{:>10}{} = {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.name
+        ));
     }
     out
 }
@@ -84,7 +105,12 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
 /// is numeric X and remaining columns are numeric series (the shape all
 /// figure experiments produce).
 #[must_use]
-pub fn chart_from_table(title: &str, t: &crate::render::TextTable, width: usize, height: usize) -> String {
+pub fn chart_from_table(
+    title: &str,
+    t: &crate::render::TextTable,
+    width: usize,
+    height: usize,
+) -> String {
     let series: Vec<Series> = (1..t.headers.len())
         .filter_map(|j| {
             let pts: Vec<(f64, f64)> = t
@@ -95,7 +121,10 @@ pub fn chart_from_table(title: &str, t: &crate::render::TextTable, width: usize,
             if pts.is_empty() {
                 None
             } else {
-                Some(Series { name: t.headers[j].clone(), points: pts })
+                Some(Series {
+                    name: t.headers[j].clone(),
+                    points: pts,
+                })
             }
         })
         .collect();
@@ -108,7 +137,10 @@ mod tests {
 
     fn demo() -> Vec<Series> {
         vec![
-            Series::new("linear", (0..10).map(|i| (i as f64, 10.0 * i as f64)).collect()),
+            Series::new(
+                "linear",
+                (0..10).map(|i| (i as f64, 10.0 * i as f64)).collect(),
+            ),
             Series::new("flat", (0..10).map(|i| (i as f64, 42.0)).collect()),
         ]
     }
@@ -146,7 +178,10 @@ mod tests {
     fn non_finite_points_are_skipped() {
         let c = ascii_chart(
             "NaN",
-            &[Series::new("s", vec![(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0)])],
+            &[Series::new(
+                "s",
+                vec![(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0)],
+            )],
             30,
             6,
         );
@@ -155,7 +190,15 @@ mod tests {
 
     #[test]
     fn monotone_series_rises_left_to_right() {
-        let c = ascii_chart("Rise", &[Series::new("r", (0..20).map(|i| (i as f64, i as f64)).collect())], 40, 8);
+        let c = ascii_chart(
+            "Rise",
+            &[Series::new(
+                "r",
+                (0..20).map(|i| (i as f64, i as f64)).collect(),
+            )],
+            40,
+            8,
+        );
         // The topmost data row's glyph must be to the right of the
         // bottom-most data row's glyph.
         let rows: Vec<&str> = c.lines().skip(1).take(8).collect();

@@ -22,7 +22,12 @@ impl TextTable {
 
     /// Append a row; panics if the width disagrees with the headers.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {:?}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {:?}",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -93,7 +98,12 @@ impl Report {
     /// Start an empty report.
     #[must_use]
     pub fn new(id: &str, title: &str) -> Report {
-        Report { id: id.to_string(), title: title.to_string(), tables: Vec::new(), notes: Vec::new() }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Append a table.

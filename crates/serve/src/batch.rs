@@ -1,0 +1,193 @@
+//! Coalescing requests into grouped launches.
+//!
+//! Requests whose `(precision, shape bucket)` match run through the
+//! same cached kernel, so the server groups them into one launch on one
+//! device queue — the serving-stack analogue of kernel-dispatch
+//! amortisation. Batches are ordered by the best priority they contain,
+//! then by arrival.
+
+use crate::request::{GemmRequest, Priority, RequestId, ShapeBucket};
+use clgemm_blas::scalar::Precision;
+
+/// What a batch shares: one precision, one shape bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    pub precision: Precision,
+    pub bucket: ShapeBucket,
+}
+
+impl BatchKey {
+    /// The key a request batches under.
+    #[must_use]
+    pub fn of(req: &GemmRequest) -> BatchKey {
+        BatchKey {
+            precision: req.payload.precision(),
+            bucket: req.bucket(),
+        }
+    }
+}
+
+/// A grouped launch: same-key requests that will run back to back on
+/// one device queue.
+#[derive(Debug)]
+pub struct Batch {
+    pub id: u64,
+    pub key: BatchKey,
+    pub requests: Vec<(RequestId, GemmRequest)>,
+}
+
+impl Batch {
+    /// Number of requests in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` for an empty group (never produced by [`coalesce`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The best (lowest-rank) priority in the group.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.requests
+            .iter()
+            .map(|(_, r)| r.priority)
+            .min_by_key(|p| p.rank())
+            .unwrap_or_default()
+    }
+}
+
+/// Group pending requests into batches of at most `max_batch`.
+///
+/// Grouping is by [`BatchKey`]; requests keep arrival order within a
+/// group, and groups are emitted best-priority-first (ties broken by
+/// the earliest request they contain) so urgent work schedules ahead
+/// of bulk work. `first_id` numbers the produced batches.
+#[must_use]
+pub fn coalesce(
+    pending: Vec<(RequestId, GemmRequest)>,
+    max_batch: usize,
+    first_id: u64,
+) -> Vec<Batch> {
+    assert!(max_batch > 0, "max_batch must be positive");
+    // Stable grouping: Vec of groups keyed by BatchKey, in first-seen
+    // order (no hash maps, so batch numbering is deterministic).
+    let mut groups: Vec<(BatchKey, Vec<(RequestId, GemmRequest)>)> = Vec::new();
+    for (id, req) in pending {
+        let key = BatchKey::of(&req);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push((id, req)),
+            None => groups.push((key, vec![(id, req)])),
+        }
+    }
+    // Urgent groups first; earliest arrival breaks ties.
+    groups.sort_by_key(|(_, members)| {
+        let best = members
+            .iter()
+            .map(|(_, r)| r.priority.rank())
+            .min()
+            .unwrap_or(u8::MAX);
+        let first = members.iter().map(|(id, _)| *id).min().unwrap_or(u64::MAX);
+        (best, first)
+    });
+
+    let mut batches = Vec::new();
+    let mut next_id = first_id;
+    for (key, members) in groups {
+        let mut members = members.into_iter().peekable();
+        while members.peek().is_some() {
+            let chunk: Vec<_> = members.by_ref().take(max_batch).collect();
+            batches.push(Batch {
+                id: next_id,
+                key,
+                requests: chunk,
+            });
+            next_id += 1;
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::GemmPayload;
+    use clgemm_blas::matrix::{Matrix, StorageOrder};
+    use clgemm_blas::GemmType;
+
+    fn req(n: usize, priority: Priority) -> GemmRequest {
+        GemmRequest::new(
+            GemmType::NN,
+            GemmPayload::F64 {
+                alpha: 1.0,
+                a: Matrix::zeros(n, n, StorageOrder::ColMajor),
+                b: Matrix::zeros(n, n, StorageOrder::ColMajor),
+                beta: 0.0,
+                c: Matrix::zeros(n, n, StorageOrder::ColMajor),
+            },
+        )
+        .with_priority(priority)
+    }
+
+    #[test]
+    fn same_bucket_requests_coalesce() {
+        let pending = vec![
+            (0, req(100, Priority::Normal)),
+            (1, req(200, Priority::Normal)),
+            (2, req(120, Priority::Normal)), // same bucket as 100
+        ];
+        let batches = coalesce(pending, 8, 0);
+        assert_eq!(batches.len(), 2);
+        let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
+        assert_eq!(sizes, vec![2, 1]);
+        assert_eq!(batches[0].requests[0].0, 0);
+        assert_eq!(batches[0].requests[1].0, 2);
+        assert_eq!(batches[0].id, 0);
+        assert_eq!(batches[1].id, 1);
+    }
+
+    #[test]
+    fn max_batch_splits_large_groups() {
+        let pending: Vec<_> = (0..7u64).map(|i| (i, req(64, Priority::Normal))).collect();
+        let batches = coalesce(pending, 3, 5);
+        let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+        assert_eq!(
+            batches.iter().map(|b| b.id).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn high_priority_groups_come_first() {
+        let pending = vec![
+            (0, req(64, Priority::Low)),
+            (1, req(256, Priority::High)),
+            (2, req(64, Priority::Low)),
+        ];
+        let batches = coalesce(pending, 8, 0);
+        assert_eq!(batches[0].key.bucket.m, 256);
+        assert_eq!(batches[0].priority(), Priority::High);
+        assert_eq!(batches[1].len(), 2);
+    }
+
+    #[test]
+    fn precisions_never_share_a_batch() {
+        let f32_req = GemmRequest::new(
+            GemmType::NN,
+            GemmPayload::F32 {
+                alpha: 1.0,
+                a: Matrix::zeros(64, 64, StorageOrder::ColMajor),
+                b: Matrix::zeros(64, 64, StorageOrder::ColMajor),
+                beta: 0.0,
+                c: Matrix::zeros(64, 64, StorageOrder::ColMajor),
+            },
+        );
+        let pending = vec![(0, req(64, Priority::Normal)), (1, f32_req)];
+        let batches = coalesce(pending, 8, 0);
+        assert_eq!(batches.len(), 2, "F32 and F64 must not coalesce");
+    }
+}

@@ -1,0 +1,190 @@
+//! The shape-bucketed kernel cache.
+//!
+//! Tuning is the expensive path (five-plus hours per device in the
+//! paper); serving must not pay it per request. This LRU maps
+//! `(device, precision, shape bucket)` to the kernel parameters serving
+//! that bucket, fronting the persistent
+//! [`KernelRepo`](clgemm::repo::KernelRepo).
+
+use crate::request::ShapeBucket;
+use clgemm::params::KernelParams;
+use clgemm::repo::KernelRepo;
+use clgemm_blas::scalar::Precision;
+
+/// Cache key: which kernel serves which bucket where.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Device code name, as in [`KernelRepo::cache_key`].
+    pub device: String,
+    pub precision: Precision,
+    pub bucket: ShapeBucket,
+}
+
+impl CacheKey {
+    /// The repo-style string key for this cache entry's device slice.
+    #[must_use]
+    pub fn repo_key(&self) -> String {
+        KernelRepo::cache_key(&self.device, self.precision)
+    }
+}
+
+/// A small LRU over tuned kernel parameters.
+///
+/// Front of the list is most-recently used; eviction pops the back.
+#[derive(Debug)]
+pub struct KernelCache {
+    capacity: usize,
+    entries: Vec<(CacheKey, KernelParams)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl KernelCache {
+    /// A cache holding at most `capacity` kernels.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> KernelCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        KernelCache {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up and touch: a hit moves the entry to the MRU position.
+    pub fn get(&mut self, key: &CacheKey) -> Option<KernelParams> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(pos) => {
+                self.hits += 1;
+                let entry = self.entries.remove(pos);
+                let params = entry.1;
+                self.entries.insert(0, entry);
+                Some(params)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look without touching LRU order or hit/miss counters (used by
+    /// the scheduler when costing a batch on devices it may not pick).
+    #[must_use]
+    pub fn peek(&self, key: &CacheKey) -> Option<&KernelParams> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, p)| p)
+    }
+
+    /// Insert at MRU, evicting the LRU entry when full. Replaces any
+    /// existing entry for the key.
+    pub fn insert(&mut self, key: CacheKey, params: KernelParams) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+        self.entries.insert(0, (key, params));
+    }
+
+    /// Number of cached kernels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Keys from MRU to LRU (for diagnostics and tests).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm::params::small_test_params;
+
+    fn key(device: &str, m: usize) -> CacheKey {
+        CacheKey {
+            device: device.to_string(),
+            precision: Precision::F64,
+            bucket: ShapeBucket::of(m, m, m),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let p = small_test_params(Precision::F64);
+        let mut cache = KernelCache::new(2);
+        cache.insert(key("Tahiti", 64), p);
+        cache.insert(key("Tahiti", 128), p);
+        // Touch 64 so 128 becomes LRU.
+        assert!(cache.get(&key("Tahiti", 64)).is_some());
+        cache.insert(key("Tahiti", 256), p);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.peek(&key("Tahiti", 128)).is_none(),
+            "128 was LRU and must go"
+        );
+        assert!(cache.peek(&key("Tahiti", 64)).is_some());
+        assert!(cache.peek(&key("Tahiti", 256)).is_some());
+        let (hits, misses, evictions) = cache.counters();
+        assert_eq!((hits, misses, evictions), (1, 0, 1));
+    }
+
+    #[test]
+    fn devices_and_precisions_do_not_collide() {
+        let p = small_test_params(Precision::F64);
+        let mut cache = KernelCache::new(8);
+        cache.insert(key("Tahiti", 64), p);
+        assert!(cache.get(&key("Cayman", 64)).is_none());
+        let mut sgemm_key = key("Tahiti", 64);
+        sgemm_key.precision = Precision::F32;
+        assert!(cache.get(&sgemm_key).is_none());
+        assert_eq!(cache.counters().1, 2, "both lookups were misses");
+    }
+
+    #[test]
+    fn peek_does_not_perturb_order_or_counters() {
+        let p = small_test_params(Precision::F64);
+        let mut cache = KernelCache::new(2);
+        cache.insert(key("Tahiti", 64), p);
+        cache.insert(key("Tahiti", 128), p);
+        assert!(cache.peek(&key("Tahiti", 64)).is_some());
+        // 64 is still LRU despite the peek; inserting a third evicts it.
+        cache.insert(key("Tahiti", 256), p);
+        assert!(cache.peek(&key("Tahiti", 64)).is_none());
+        assert_eq!(cache.counters(), (0, 0, 1));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let d = small_test_params(Precision::F64);
+        let mut cache = KernelCache::new(2);
+        cache.insert(key("Tahiti", 64), d);
+        let mut altered = d;
+        altered.kwi += 1;
+        cache.insert(key("Tahiti", 64), altered);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.peek(&key("Tahiti", 64)).unwrap().kwi, d.kwi + 1);
+        assert_eq!(cache.counters().2, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # clgemm-serve — a batching, multi-device GEMM serving subsystem
+//!
+//! The paper tunes one kernel per `(device, precision)` and measures it
+//! in isolation. A production BLAS sits behind *callers*: many
+//! concurrent GEMM requests of assorted shapes, precisions and
+//! transpose types, racing for a handful of devices. This crate layers
+//! that serving story over the reproduction's simulated platform:
+//!
+//! * [`GemmServer`] accepts [`GemmRequest`]s (any of the four GEMM
+//!   types, either precision, optional deadline and priority) on a
+//!   bounded MPMC queue with backpressure — a full queue *rejects*
+//!   instead of growing without bound.
+//! * A shape-bucketed kernel cache ([`KernelCache`]) fronts the
+//!   [`KernelRepo`](clgemm::repo::KernelRepo): requests whose padded
+//!   shapes fall in the same bucket share one tuned parameter set, LRU
+//!   over `(device, precision, bucket)`. Misses fall back to the
+//!   paper's Table II winners (or the small test kernel), and can
+//!   optionally trigger tuning.
+//! * A batcher coalesces same-bucket requests into grouped launches on
+//!   one virtual command queue, amortising launch overhead exactly the
+//!   way real serving stacks amortise kernel dispatch.
+//! * A multi-device scheduler places each batch on the least-loaded
+//!   [`SimDevice`](clgemm_sim::SimDevice), using the analytic cost
+//!   model (`clgemm_device::estimate`) for placement and per-device
+//!   virtual clocks for load tracking, with work stealing when queues
+//!   go skew.
+//! * [`ServerStats`] counts everything observable: enqueued, batched,
+//!   cache hits/misses, rejections, per-device busy time.
+//!
+//! Execution stays bit-exact: every request is served by the same
+//! `TunedGemm` routine layer the rest of the workspace uses, so a
+//! served result is bit-for-bit identical to a sequential call with
+//! the same kernel parameters — a property the integration suite
+//! checks over random interleavings.
+
+pub mod batch;
+pub mod cache;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use batch::{coalesce, Batch, BatchKey};
+pub use cache::{CacheKey, KernelCache};
+pub use queue::BoundedQueue;
+pub use request::{
+    GemmPayload, GemmRequest, GemmResponse, Outcome, Priority, RequestId, ShapeBucket,
+};
+pub use scheduler::{Placement, Scheduler};
+pub use server::{GemmServer, RejectReason, ServeConfig, Submitter};
+pub use stats::{DeviceStat, ServerStats, StatsSnapshot};

@@ -1,0 +1,151 @@
+//! A bounded multi-producer multi-consumer queue with backpressure.
+//!
+//! `Mutex<VecDeque>` + `Condvar` — deliberately boring. The important
+//! property is the *bound*: a server that buffers without limit turns
+//! overload into latency collapse; this queue turns it into prompt
+//! rejection at submit time instead.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded FIFO usable from any number of threads through `&self`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of queued items.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len()
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, or hand the item back if the queue is full
+    /// (backpressure: the caller decides whether to retry, shed or
+    /// block).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue poisoned").pop_front()
+    }
+
+    /// Dequeue, waiting up to `timeout` for an item to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if let Some(item) = q.pop_front() {
+            return Some(item);
+        }
+        let (mut q, _) = self
+            .not_empty
+            .wait_timeout_while(q, timeout, |q| q.is_empty())
+            .expect("queue poisoned");
+        q.pop_front()
+    }
+
+    /// Drain everything currently queued, preserving FIFO order.
+    pub fn drain_all(&self) -> Vec<T> {
+        self.inner
+            .lock()
+            .expect("queue poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_accepts_after_pop() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third push must bounce");
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.drain_all(), vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut item = p * 100 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => item = back,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut got: Vec<i32> = std::iter::from_fn(|| q.try_pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_timeout_sees_a_late_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.try_push(7).unwrap();
+        });
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), Some(7));
+        h.join().unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+}

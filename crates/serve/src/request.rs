@@ -1,0 +1,263 @@
+//! Request/response types and the shape bucketing they are keyed by.
+
+use clgemm::params::KernelParams;
+use clgemm::routine::GemmRun;
+use clgemm_blas::matrix::Matrix;
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use std::fmt;
+
+/// Server-assigned request identifier (submission order).
+pub type RequestId = u64;
+
+/// Scheduling priority; higher priorities are batched and placed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    High,
+    #[default]
+    Normal,
+    Low,
+}
+
+impl Priority {
+    /// Sort rank: lower runs earlier.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// The operands of one GEMM call, in either precision.
+#[derive(Debug, Clone)]
+pub enum GemmPayload {
+    F64 {
+        alpha: f64,
+        a: Matrix<f64>,
+        b: Matrix<f64>,
+        beta: f64,
+        c: Matrix<f64>,
+    },
+    F32 {
+        alpha: f32,
+        a: Matrix<f32>,
+        b: Matrix<f32>,
+        beta: f32,
+        c: Matrix<f32>,
+    },
+}
+
+impl GemmPayload {
+    /// Which precision this payload computes in.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        match self {
+            GemmPayload::F64 { .. } => Precision::F64,
+            GemmPayload::F32 { .. } => Precision::F32,
+        }
+    }
+
+    /// Problem dimensions `(m, n, k)` under the request's GEMM type.
+    #[must_use]
+    pub fn dims(&self, ty: GemmType) -> (usize, usize, usize) {
+        match self {
+            GemmPayload::F64 { a, c, .. } => {
+                let (m, k) = a.dims_op(ty.ta);
+                (m, c.cols(), k)
+            }
+            GemmPayload::F32 { a, c, .. } => {
+                let (m, k) = a.dims_op(ty.ta);
+                (m, c.cols(), k)
+            }
+        }
+    }
+}
+
+/// One GEMM to serve.
+#[derive(Debug, Clone)]
+pub struct GemmRequest {
+    pub ty: GemmType,
+    pub payload: GemmPayload,
+    pub priority: Priority,
+    /// Virtual-time deadline (seconds on the serving clock). A request
+    /// whose projected completion misses the deadline is rejected at
+    /// scheduling time rather than served late.
+    pub deadline: Option<f64>,
+}
+
+impl GemmRequest {
+    /// A normal-priority request with no deadline.
+    #[must_use]
+    pub fn new(ty: GemmType, payload: GemmPayload) -> GemmRequest {
+        GemmRequest {
+            ty,
+            payload,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Builder: set the priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> GemmRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: set a virtual-time deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> GemmRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The shape bucket this request falls in.
+    #[must_use]
+    pub fn bucket(&self) -> ShapeBucket {
+        let (m, n, k) = self.payload.dims(self.ty);
+        ShapeBucket::of(m, n, k)
+    }
+}
+
+/// A power-of-two shape bucket.
+///
+/// Kernel parameters tuned for one problem size serve nearby sizes
+/// nearly as well (the paper's stage-2 sweep shows flat neighbourhoods
+/// between LCM multiples), so the serving cache quantises each
+/// dimension up to the next power of two (minimum 16) and shares one
+/// kernel per bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeBucket {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+}
+
+impl ShapeBucket {
+    /// Bucket for a concrete problem shape.
+    #[must_use]
+    pub fn of(m: usize, n: usize, k: usize) -> ShapeBucket {
+        ShapeBucket {
+            m: quantise(m),
+            n: quantise(n),
+            k: quantise(k),
+        }
+    }
+}
+
+fn quantise(x: usize) -> usize {
+    x.max(16).next_power_of_two()
+}
+
+impl fmt::Display for ShapeBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// What happened to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served; the payload's `C` holds the result.
+    Completed,
+    /// Dropped before execution: the projected completion time missed
+    /// the request's deadline. The payload's `C` is untouched.
+    MissedDeadline,
+}
+
+/// The served request, with everything needed to replay it exactly.
+#[derive(Debug, Clone)]
+pub struct GemmResponse {
+    pub id: RequestId,
+    /// The batch this request was grouped into.
+    pub batch: u64,
+    /// Code name of the device that served it.
+    pub device: String,
+    /// The kernel parameters actually used — replaying `TunedGemm` with
+    /// these on any device reproduces `C` bit for bit.
+    pub params: KernelParams,
+    pub ty: GemmType,
+    /// Operands with `C` updated in place (unless the outcome says
+    /// otherwise).
+    pub payload: GemmPayload,
+    /// Modelled timing of this request's share of the batch.
+    pub run: GemmRun,
+    /// Virtual time at which the batch containing this request drained.
+    pub done_at: f64,
+    pub outcome: Outcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_blas::matrix::StorageOrder;
+
+    fn payload(m: usize, n: usize, k: usize) -> GemmPayload {
+        GemmPayload::F64 {
+            alpha: 1.0,
+            a: Matrix::test_pattern(m, k, StorageOrder::ColMajor, 1),
+            b: Matrix::test_pattern(k, n, StorageOrder::ColMajor, 2),
+            beta: 0.0,
+            c: Matrix::zeros(m, n, StorageOrder::ColMajor),
+        }
+    }
+
+    #[test]
+    fn buckets_quantise_to_powers_of_two() {
+        assert_eq!(
+            ShapeBucket::of(60, 65, 100),
+            ShapeBucket {
+                m: 64,
+                n: 128,
+                k: 128
+            }
+        );
+        assert_eq!(
+            ShapeBucket::of(1, 2, 3),
+            ShapeBucket {
+                m: 16,
+                n: 16,
+                k: 16
+            }
+        );
+        assert_eq!(
+            ShapeBucket::of(128, 128, 128),
+            ShapeBucket {
+                m: 128,
+                n: 128,
+                k: 128
+            }
+        );
+    }
+
+    #[test]
+    fn nearby_shapes_share_a_bucket_and_distant_ones_do_not() {
+        let a = GemmRequest::new(GemmType::NN, payload(100, 100, 100));
+        let b = GemmRequest::new(GemmType::NN, payload(120, 97, 110));
+        let c = GemmRequest::new(GemmType::NN, payload(300, 100, 100));
+        assert_eq!(a.bucket(), b.bucket());
+        assert_ne!(a.bucket(), c.bucket());
+    }
+
+    #[test]
+    fn dims_respect_the_transpose_type() {
+        // op(A) = Aᵀ: A is k x m.
+        let p = GemmPayload::F64 {
+            alpha: 1.0,
+            a: Matrix::zeros(30, 20, StorageOrder::ColMajor),
+            b: Matrix::zeros(30, 10, StorageOrder::ColMajor),
+            beta: 0.0,
+            c: Matrix::zeros(20, 10, StorageOrder::ColMajor),
+        };
+        assert_eq!(p.dims(GemmType::TN), (20, 10, 30));
+    }
+
+    #[test]
+    fn priority_ranks_order_correctly() {
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Low.rank());
+    }
+}

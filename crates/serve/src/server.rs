@@ -1,0 +1,589 @@
+//! The GEMM server: queue → batcher → cache → scheduler → execution.
+
+use crate::batch::{coalesce, Batch, BatchKey};
+use crate::cache::{CacheKey, KernelCache};
+use crate::queue::BoundedQueue;
+use crate::request::{GemmPayload, GemmRequest, GemmResponse, Outcome, RequestId};
+use crate::scheduler::Scheduler;
+use crate::stats::{ServerStats, StatsSnapshot};
+use clgemm::params::{small_test_params, KernelParams};
+use clgemm::profile::launch_profile;
+use clgemm::repo::KernelRepo;
+use clgemm::routine::{GemmRun, TunedGemm};
+use clgemm::tuner::{SearchOpts, SearchSpace};
+use clgemm_blas::layout::round_up;
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use clgemm_device::{estimate_seconds, DeviceSpec};
+use clgemm_sim::DeviceWorker;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tunables of the serving loop.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bound of the submission queue; pushes beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Largest grouped launch the batcher will form.
+    pub max_batch: usize,
+    /// Kernel-cache entries across all `(device, precision, bucket)`.
+    pub cache_capacity: usize,
+    /// On a cache+repo miss, run a (smoke-sized) tuning search for the
+    /// device instead of falling straight back to the paper's winners.
+    pub tune_misses: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 8,
+            cache_capacity: 32,
+            tune_misses: false,
+        }
+    }
+}
+
+/// Why a submission bounced.
+#[derive(Debug)]
+pub enum RejectReason {
+    /// Backpressure: the bounded queue is full. The request is handed
+    /// back (boxed, to keep the `Err` variant small) so the caller can
+    /// retry, shed or block.
+    QueueFull(Box<GemmRequest>),
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: BoundedQueue<(RequestId, GemmRequest)>,
+    stats: ServerStats,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn submit(&self, req: GemmRequest) -> Result<RequestId, RejectReason> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        match self.queue.try_push((id, req)) {
+            Ok(()) => {
+                self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                Ok(id)
+            }
+            Err((_, req)) => {
+                self.stats
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(RejectReason::QueueFull(Box::new(req)))
+            }
+        }
+    }
+}
+
+/// A cloneable submission handle usable from any thread while the
+/// server drains on another.
+#[derive(Debug, Clone)]
+pub struct Submitter {
+    shared: Arc<Shared>,
+}
+
+impl Submitter {
+    /// Enqueue a request; rejected with the request handed back when
+    /// the queue is full.
+    pub fn submit(&self, req: GemmRequest) -> Result<RequestId, RejectReason> {
+        self.shared.submit(req)
+    }
+}
+
+/// A batching, multi-device GEMM server over simulated devices.
+#[derive(Debug)]
+pub struct GemmServer {
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    scheduler: Scheduler,
+    cache: KernelCache,
+    repo: KernelRepo,
+    next_batch: u64,
+    responses: Vec<GemmResponse>,
+}
+
+impl GemmServer {
+    /// A server over one worker per device, with an empty kernel repo.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty or a capacity is zero.
+    #[must_use]
+    pub fn new(devices: Vec<DeviceSpec>, cfg: ServeConfig) -> GemmServer {
+        GemmServer::with_repo(devices, cfg, KernelRepo::new())
+    }
+
+    /// A server whose cache misses consult pre-tuned results in `repo`.
+    #[must_use]
+    pub fn with_repo(devices: Vec<DeviceSpec>, cfg: ServeConfig, repo: KernelRepo) -> GemmServer {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            stats: ServerStats::default(),
+            next_id: AtomicU64::new(0),
+        });
+        GemmServer {
+            scheduler: Scheduler::new(devices),
+            cache: KernelCache::new(cfg.cache_capacity),
+            repo,
+            cfg,
+            shared,
+            next_batch: 0,
+            responses: Vec::new(),
+        }
+    }
+
+    /// Enqueue a request on the calling thread.
+    pub fn submit(&self, req: GemmRequest) -> Result<RequestId, RejectReason> {
+        self.shared.submit(req)
+    }
+
+    /// A handle other threads can submit through.
+    #[must_use]
+    pub fn submitter(&self) -> Submitter {
+        Submitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The device workers (virtual clocks, event logs).
+    #[must_use]
+    pub fn workers(&self) -> &[DeviceWorker] {
+        self.scheduler.workers()
+    }
+
+    /// The kernel repository backing the cache.
+    #[must_use]
+    pub fn repo(&self) -> &KernelRepo {
+        &self.repo
+    }
+
+    /// A coherent copy of the serving counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Served responses accumulated so far (completed *and* rejected),
+    /// in execution order.
+    pub fn take_responses(&mut self) -> Vec<GemmResponse> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Process everything currently queued: batch, place, execute.
+    /// Returns the number of requests completed in this drain.
+    pub fn drain(&mut self) -> usize {
+        let pending = self.shared.queue.drain_all();
+        if pending.is_empty() {
+            return 0;
+        }
+        let batches = coalesce(pending, self.cfg.max_batch, self.next_batch);
+        self.next_batch += batches.len() as u64;
+
+        // --- cost every batch on every device (no cache-stat churn) ----
+        let n_workers = self.scheduler.workers().len();
+        let mut costs: Vec<Vec<f64>> = Vec::with_capacity(batches.len());
+        for batch in &batches {
+            let row = (0..n_workers)
+                .map(|w| {
+                    let spec = self.scheduler.workers()[w].spec();
+                    let params = self.resolve_quiet(spec, batch.key);
+                    batch_cost(spec, batch, params)
+                })
+                .collect();
+            costs.push(row);
+        }
+
+        // --- least-loaded placement + work stealing ---------------------
+        let placements = self.scheduler.place(&costs);
+
+        // --- execute, batch by batch, on the chosen queues --------------
+        let mut completed = 0usize;
+        for (batch, placement) in batches.into_iter().zip(placements) {
+            if placement.stolen {
+                self.shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            completed += self.run_batch(batch, placement.worker);
+        }
+
+        // Mirror the cache's own counters into the serving stats.
+        let (hits, misses, evictions) = self.cache.counters();
+        self.shared.stats.cache_hits.store(hits, Ordering::Relaxed);
+        self.shared
+            .stats
+            .cache_misses
+            .store(misses, Ordering::Relaxed);
+        self.shared
+            .stats
+            .cache_evictions
+            .store(evictions, Ordering::Relaxed);
+        completed
+    }
+
+    /// Execute one batch on one worker; returns completed requests.
+    fn run_batch(&mut self, batch: Batch, worker: usize) -> usize {
+        let spec = self.scheduler.workers()[worker].spec().clone();
+        let key = batch.key;
+        let ckey = CacheKey {
+            device: spec.code_name.clone(),
+            precision: key.precision,
+            bucket: key.bucket,
+        };
+        let params = match self.cache.get(&ckey) {
+            Some(p) => p,
+            None => {
+                let p = self.resolve_miss(&spec, key);
+                self.cache.insert(ckey, p);
+                p
+            }
+        };
+        let tuned = tuned_for(&spec, key.precision, params);
+
+        // Deadline admission: project the batch's drain time assuming
+        // every member runs, then shed members that would miss their
+        // deadline (a shed member only shortens the batch, so survivors
+        // can only finish earlier than projected — never later).
+        let start = self.scheduler.workers()[worker].busy_until();
+        let projected_end = start + batch_cost(&spec, &batch, params);
+
+        let mut total_seconds = 0.0;
+        let mut served: Vec<GemmResponse> = Vec::with_capacity(batch.requests.len());
+        for (id, mut req) in batch.requests {
+            let dp = key.precision == Precision::F64;
+            let (m, n, k) = req.payload.dims(req.ty);
+            if req.deadline.is_some_and(|d| d < projected_end) {
+                self.shared
+                    .stats
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                served.push(GemmResponse {
+                    id,
+                    batch: batch.id,
+                    device: spec.code_name.clone(),
+                    params,
+                    ty: req.ty,
+                    run: tuned.predict(dp, req.ty, m.max(1), n.max(1), k.max(1)),
+                    done_at: start,
+                    outcome: Outcome::MissedDeadline,
+                    payload: req.payload,
+                });
+                continue;
+            }
+            let run = execute(&tuned, req.ty, &mut req.payload);
+            total_seconds += run.total;
+            served.push(GemmResponse {
+                id,
+                batch: batch.id,
+                device: spec.code_name.clone(),
+                params,
+                ty: req.ty,
+                run,
+                done_at: 0.0, // patched below once the batch end is known
+                outcome: Outcome::Completed,
+                payload: req.payload,
+            });
+        }
+
+        let completed = served
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .count();
+        if completed > 0 {
+            let name = format!("batch{}:{}{}", batch.id, key.precision, key.bucket);
+            let w = self.scheduler.worker_mut(worker);
+            w.submit(&name, total_seconds);
+            let done_at = w.busy_until();
+            for r in &mut served {
+                if r.outcome == Outcome::Completed {
+                    r.done_at = done_at;
+                }
+            }
+            self.shared
+                .stats
+                .record_batch(&spec.code_name, completed as u64, total_seconds);
+            self.shared
+                .stats
+                .completed
+                .fetch_add(completed as u64, Ordering::Relaxed);
+        }
+        self.responses.extend(served);
+        completed
+    }
+
+    /// Parameters a batch *would* use on a device, without touching
+    /// cache order, counters, or the tuner (used for placement costs).
+    fn resolve_quiet(&self, spec: &DeviceSpec, key: BatchKey) -> KernelParams {
+        let ckey = CacheKey {
+            device: spec.code_name.clone(),
+            precision: key.precision,
+            bucket: key.bucket,
+        };
+        if let Some(p) = self.cache.peek(&ckey) {
+            return *p;
+        }
+        fallback_params(&self.repo, spec, key)
+    }
+
+    /// Miss path: repo (tuning it on demand when configured), then the
+    /// paper's winners, then the conservative test kernel.
+    fn resolve_miss(&mut self, spec: &DeviceSpec, key: BatchKey) -> KernelParams {
+        if self.cfg.tune_misses && self.repo.get(&spec.code_name, key.precision).is_none() {
+            let space = SearchSpace::smoke(spec);
+            let opts = SearchOpts {
+                top_k: 4,
+                max_sweep_points: 4,
+                verify_winner: false,
+                ..Default::default()
+            };
+            let tuned = self
+                .repo
+                .get_or_tune(spec, key.precision, &space, &opts)
+                .best
+                .params;
+            if launchable(spec, tuned, key) {
+                return tuned;
+            }
+        }
+        fallback_params(&self.repo, spec, key)
+    }
+}
+
+/// Repo → paper Table II → small test kernel, first launchable wins.
+fn fallback_params(repo: &KernelRepo, spec: &DeviceSpec, key: BatchKey) -> KernelParams {
+    let chain = [
+        repo.get(&spec.code_name, key.precision)
+            .map(|r| r.best.params),
+        paper_winner(spec, key.precision),
+        Some(small_test_params(key.precision)),
+    ];
+    for p in chain.into_iter().flatten() {
+        if launchable(spec, p, key) {
+            return p;
+        }
+    }
+    small_test_params(key.precision)
+}
+
+/// The paper's Table II winner for this device/precision, if the device
+/// is one of the paper's six.
+fn paper_winner(spec: &DeviceSpec, precision: Precision) -> Option<KernelParams> {
+    clgemm::paper_params::all_winners()
+        .into_iter()
+        .find(|e| e.params.precision == precision && e.device.spec().code_name == spec.code_name)
+        .map(|e| e.params)
+}
+
+/// Can `params` launch a bucket-sized problem on this device at all?
+fn launchable(spec: &DeviceSpec, params: KernelParams, key: BatchKey) -> bool {
+    let m = round_up(key.bucket.m, params.mwg);
+    let n = round_up(key.bucket.n, params.nwg);
+    let k = round_up(key.bucket.k, params.k_multiple());
+    let prof = launch_profile(&params, spec, m, n, k);
+    estimate_seconds(spec, &prof).is_some()
+}
+
+/// Modelled cost of running every member of `batch` with `params` on
+/// `spec` (infinite when the kernel cannot launch there).
+fn batch_cost(spec: &DeviceSpec, batch: &Batch, params: KernelParams) -> f64 {
+    let tuned = tuned_for(spec, batch.key.precision, params);
+    let dp = batch.key.precision == Precision::F64;
+    batch
+        .requests
+        .iter()
+        .map(|(_, r)| {
+            let (m, n, k) = r.payload.dims(r.ty);
+            tuned.predict(dp, r.ty, m.max(1), n.max(1), k.max(1)).total
+        })
+        .sum()
+}
+
+/// Bundle one precision's params with a conservative kernel for the
+/// other precision (a `TunedGemm` always carries both).
+fn tuned_for(spec: &DeviceSpec, precision: Precision, params: KernelParams) -> TunedGemm {
+    match precision {
+        Precision::F64 => TunedGemm::new(spec.clone(), params, small_test_params(Precision::F32)),
+        Precision::F32 => TunedGemm::new(spec.clone(), small_test_params(Precision::F64), params),
+    }
+}
+
+/// Run the request's GEMM in place through the routine layer.
+fn execute(tuned: &TunedGemm, ty: GemmType, payload: &mut GemmPayload) -> GemmRun {
+    match payload {
+        GemmPayload::F64 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm(ty, *alpha, a, b, *beta, c),
+        GemmPayload::F32 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm(ty, *alpha, a, b, *beta, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use clgemm_blas::matrix::{Matrix, StorageOrder};
+    use clgemm_device::DeviceId;
+
+    fn request(n: usize, seed: u64) -> GemmRequest {
+        GemmRequest::new(
+            GemmType::NN,
+            GemmPayload::F64 {
+                alpha: 1.0,
+                a: Matrix::test_pattern(n, n, StorageOrder::ColMajor, seed),
+                b: Matrix::test_pattern(n, n, StorageOrder::ColMajor, seed + 1),
+                beta: 0.5,
+                c: Matrix::test_pattern(n, n, StorageOrder::ColMajor, seed + 2),
+            },
+        )
+    }
+
+    fn two_device_server(cfg: ServeConfig) -> GemmServer {
+        GemmServer::new(vec![DeviceId::Tahiti.spec(), DeviceId::Cayman.spec()], cfg)
+    }
+
+    #[test]
+    fn backpressure_rejects_when_the_queue_is_full() {
+        let server = two_device_server(ServeConfig {
+            queue_capacity: 2,
+            ..Default::default()
+        });
+        assert!(server.submit(request(32, 1)).is_ok());
+        assert!(server.submit(request(32, 2)).is_ok());
+        match server.submit(request(32, 3)) {
+            Err(RejectReason::QueueFull(req)) => {
+                // The rejected request comes back intact.
+                assert_eq!(req.payload.dims(GemmType::NN), (32, 32, 32));
+            }
+            Ok(_) => panic!("third submit must bounce"),
+        }
+        assert_eq!(server.stats().rejected_queue_full, 1);
+        assert_eq!(server.stats().enqueued, 2);
+    }
+
+    #[test]
+    fn drain_serves_everything_and_counts_cache_hits() {
+        let mut server = two_device_server(ServeConfig::default());
+        for seed in 0..6 {
+            server.submit(request(48, seed * 10)).unwrap();
+        }
+        assert_eq!(server.drain(), 6);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 6);
+        assert!(stats.batches >= 1);
+        assert!(stats.max_batch > 1, "same-bucket requests must coalesce");
+        // 6 same-bucket requests on at most 2 devices: at most 2 misses.
+        assert!(stats.cache_misses <= 2);
+        let responses = server.take_responses();
+        assert_eq!(responses.len(), 6);
+        assert!(responses.iter().all(|r| r.outcome == Outcome::Completed));
+        assert!(responses
+            .iter()
+            .all(|r| r.run.total > 0.0 && r.done_at > 0.0));
+    }
+
+    #[test]
+    fn second_drain_of_same_bucket_hits_the_cache() {
+        let mut server = two_device_server(ServeConfig::default());
+        server.submit(request(64, 1)).unwrap();
+        server.drain();
+        let misses_before = server.stats().cache_misses;
+        server.submit(request(80, 2)).unwrap(); // same 128-bucket? no: 64 vs 128
+        server.submit(request(64, 3)).unwrap();
+        server.drain();
+        let stats = server.stats();
+        assert!(
+            stats.cache_hits >= 1,
+            "repeat bucket on the same device must hit"
+        );
+        assert!(stats.cache_misses >= misses_before);
+    }
+
+    #[test]
+    fn deadlines_in_the_past_are_shed_not_served() {
+        let mut server = two_device_server(ServeConfig::default());
+        let strict = request(48, 1).with_deadline(0.0);
+        let loose = request(48, 2);
+        server.submit(strict).unwrap();
+        server.submit(loose).unwrap();
+        assert_eq!(server.drain(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.completed, 1);
+        let responses = server.take_responses();
+        let shed = responses
+            .iter()
+            .find(|r| r.outcome == Outcome::MissedDeadline)
+            .unwrap();
+        // The shed request's C is untouched.
+        match &shed.payload {
+            GemmPayload::F64 { c, .. } => {
+                let expect = Matrix::test_pattern(48, 48, StorageOrder::ColMajor, 3);
+                assert_eq!(c, &expect);
+            }
+            GemmPayload::F32 { .. } => panic!("wrong precision"),
+        }
+    }
+
+    #[test]
+    fn multiple_buckets_spread_across_devices() {
+        let mut server = two_device_server(ServeConfig::default());
+        for i in 0..4 {
+            server.submit(request(40, i)).unwrap(); // bucket 64³
+            server.submit(request(100, i + 50)).unwrap(); // bucket 128³
+        }
+        assert_eq!(server.drain(), 8);
+        let stats = server.stats();
+        assert_eq!(
+            stats.devices_used(),
+            2,
+            "two buckets must use both devices:\n{stats}"
+        );
+    }
+
+    #[test]
+    fn priorities_schedule_high_before_low() {
+        let mut server = two_device_server(ServeConfig::default());
+        server
+            .submit(request(32, 1).with_priority(Priority::Low))
+            .unwrap();
+        server
+            .submit(request(200, 2).with_priority(Priority::High))
+            .unwrap();
+        server.drain();
+        let responses = server.take_responses();
+        // Execution order follows batch order: the high-priority bucket
+        // was formed (and run) first.
+        assert_eq!(responses[0].id, 1);
+        assert_eq!(responses[1].id, 0);
+    }
+
+    #[test]
+    fn tune_misses_populates_the_repo() {
+        let mut server = GemmServer::new(
+            vec![DeviceId::Tahiti.spec()],
+            ServeConfig {
+                tune_misses: true,
+                ..Default::default()
+            },
+        );
+        assert!(server.repo().is_empty());
+        server.submit(request(64, 1)).unwrap();
+        server.drain();
+        assert_eq!(
+            server.repo().len(),
+            1,
+            "the miss must have tuned and cached"
+        );
+        assert!(server.repo().get("Tahiti", Precision::F64).is_some());
+    }
+}

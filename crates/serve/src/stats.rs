@@ -1,0 +1,173 @@
+//! Serving counters.
+//!
+//! Everything the server does is counted with atomics so any number of
+//! submitter threads can bump them through `&self`; per-device busy
+//! time lives behind a mutex keyed by device code name.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Live counters; read a coherent copy via [`ServerStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub enqueued: AtomicU64,
+    pub completed: AtomicU64,
+    /// Grouped launches issued.
+    pub batches: AtomicU64,
+    /// Requests that shared a batch with at least one other request.
+    pub batched_requests: AtomicU64,
+    /// Largest batch issued so far.
+    pub max_batch: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    /// Submissions bounced by queue backpressure.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests dropped because their deadline was unmeetable.
+    pub rejected_deadline: AtomicU64,
+    /// Batches moved off their greedily chosen device by work stealing.
+    pub steals: AtomicU64,
+    per_device: Mutex<BTreeMap<String, DeviceStat>>,
+}
+
+/// Per-device serving totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStat {
+    /// Requests served on this device.
+    pub requests: u64,
+    /// Grouped launches placed on this device.
+    pub batches: u64,
+    /// Modelled busy seconds accumulated on this device's queue.
+    pub busy_seconds: f64,
+}
+
+impl ServerStats {
+    /// Record one grouped launch on a device.
+    pub fn record_batch(&self, device: &str, requests: u64, busy_seconds: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if requests > 1 {
+            self.batched_requests.fetch_add(requests, Ordering::Relaxed);
+        }
+        self.max_batch.fetch_max(requests, Ordering::Relaxed);
+        let mut map = self.per_device.lock().expect("stats poisoned");
+        let entry = map.entry(device.to_string()).or_default();
+        entry.requests += requests;
+        entry.batches += 1;
+        entry.busy_seconds += busy_seconds;
+    }
+
+    /// A coherent copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            per_device: self.per_device.lock().expect("stats poisoned").clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub enqueued: u64,
+    pub completed: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub max_batch: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_deadline: u64,
+    pub steals: u64,
+    pub per_device: BTreeMap<String, DeviceStat>,
+}
+
+impl StatsSnapshot {
+    /// Devices that served at least one request.
+    #[must_use]
+    pub fn devices_used(&self) -> usize {
+        self.per_device.values().filter(|d| d.requests > 0).count()
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} enqueued, {} completed",
+            self.enqueued, self.completed
+        )?;
+        writeln!(
+            f,
+            "batches:  {} issued, {} requests coalesced, largest {}",
+            self.batches, self.batched_requests, self.max_batch
+        )?;
+        writeln!(
+            f,
+            "cache:    {} hits, {} misses, {} evictions",
+            self.cache_hits, self.cache_misses, self.cache_evictions
+        )?;
+        writeln!(
+            f,
+            "rejected: {} queue-full, {} deadline; steals: {}",
+            self.rejected_queue_full, self.rejected_deadline, self.steals
+        )?;
+        for (name, d) in &self.per_device {
+            writeln!(
+                f,
+                "device {name}: {} requests in {} batches, busy {:.3} ms",
+                d.requests,
+                d.batches,
+                d.busy_seconds * 1e3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_recording_aggregates_per_device() {
+        let stats = ServerStats::default();
+        stats.record_batch("Tahiti", 3, 0.5);
+        stats.record_batch("Tahiti", 1, 0.25);
+        stats.record_batch("Fermi", 2, 0.1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(
+            snap.batched_requests, 5,
+            "singleton batches are not 'batched'"
+        );
+        assert_eq!(snap.max_batch, 3);
+        assert_eq!(snap.devices_used(), 2);
+        let tahiti = &snap.per_device["Tahiti"];
+        assert_eq!((tahiti.requests, tahiti.batches), (4, 2));
+        assert!((tahiti.busy_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_renders_human_readably() {
+        let stats = ServerStats::default();
+        stats.enqueued.fetch_add(5, Ordering::Relaxed);
+        stats.record_batch("Cayman", 2, 0.001);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("5 enqueued"));
+        assert!(text.contains("device Cayman: 2 requests"));
+    }
+}

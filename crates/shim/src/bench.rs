@@ -1,0 +1,143 @@
+//! A minimal wall-clock benchmark harness for `harness = false` bench
+//! targets: warm up, time batches until a budget is spent, report the
+//! median per-iteration time.
+//!
+//! Interface kept deliberately tiny — a bench file builds a [`Harness`]
+//! and calls [`Harness::bench`] per case. Under `cargo test` the bench
+//! binaries run one iteration per case (smoke mode) so broken benches
+//! fail CI quickly without burning minutes.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects and prints benchmark results.
+#[derive(Debug, Default)]
+pub struct Harness {
+    /// One (name, median seconds per iteration) row per finished case.
+    results: Vec<(String, f64)>,
+    /// Per-case wall-clock budget.
+    pub budget: Duration,
+    /// Smoke mode: run each case once, skip timing loops.
+    pub smoke: bool,
+}
+
+impl Harness {
+    /// Harness honouring `CLGEMM_BENCH_SMOKE=1` (used by CI) and an
+    /// optional `CLGEMM_BENCH_MS` per-case budget override.
+    #[must_use]
+    pub fn from_env() -> Harness {
+        let smoke = std::env::var_os("CLGEMM_BENCH_SMOKE").is_some_and(|v| v == "1");
+        let ms = std::env::var("CLGEMM_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Harness {
+            results: Vec::new(),
+            budget: Duration::from_millis(ms),
+            smoke,
+        }
+    }
+
+    /// Time one case. `f` should return a value the optimiser must not
+    /// discard; it is black-boxed here.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if self.smoke {
+            black_box(f());
+            println!("{name}: smoke ok");
+            self.results.push((name.to_string(), 0.0));
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs at least ~1% of the budget.
+        let mut batch = 1usize;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= self.budget / 100 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name}: {} ({} samples of {batch})",
+            fmt_secs(median),
+            samples.len()
+        );
+        self.results.push((name.to_string(), median));
+    }
+
+    /// Rows recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// Human-readable seconds.
+#[must_use]
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once_and_records() {
+        let mut h = Harness {
+            smoke: true,
+            ..Harness::default()
+        };
+        let mut count = 0;
+        h.bench("case", || {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 1);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn timed_mode_reports_positive_median() {
+        let mut h = Harness {
+            budget: Duration::from_millis(5),
+            ..Harness::default()
+        };
+        h.bench("spin", || std::hint::black_box((0..100).sum::<u64>()));
+        assert!(h.results()[0].1 > 0.0);
+    }
+
+    #[test]
+    fn formats_cover_all_magnitudes() {
+        assert!(fmt_secs(2.5).ends_with(" s"));
+        assert!(fmt_secs(2.5e-3).ends_with(" ms"));
+        assert!(fmt_secs(2.5e-6).ends_with(" µs"));
+        assert!(fmt_secs(2.5e-9).ends_with(" ns"));
+    }
+}

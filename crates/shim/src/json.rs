@@ -1,0 +1,533 @@
+//! A small JSON document model: value type, strict recursive-descent
+//! parser, compact and pretty writers.
+//!
+//! Replaces `serde_json` for the workspace's persistence needs
+//! (`KernelRepo` files, experiment dumps). Objects preserve insertion
+//! order so written files diff cleanly.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All JSON numbers are held as `f64` (integers round-trip exactly up
+    /// to 2^53, far beyond any quantity this workspace stores).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a document failed to parse or a lookup failed to convert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description including the byte offset.
+    pub msg: String,
+}
+
+impl JsonError {
+    /// Construct from a message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> JsonError {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError { msg: msg.into() })
+}
+
+impl Json {
+    /// Build an object from pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, as a typed error on absence.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .map_or_else(|| err(format!("missing field {key:?}")), Ok)
+    }
+
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number (must be finite and integral).
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as usize)
+            }
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::as_f64`] but with a typed error.
+    pub fn expect_f64(&self) -> Result<f64, JsonError> {
+        self.as_f64()
+            .ok_or_else(|| JsonError::new("expected a number"))
+    }
+
+    /// Like [`Json::as_usize`] but with a typed error.
+    pub fn expect_usize(&self) -> Result<usize, JsonError> {
+        self.as_usize()
+            .ok_or_else(|| JsonError::new("expected a non-negative integer"))
+    }
+
+    /// Like [`Json::as_bool`] but with a typed error.
+    pub fn expect_bool(&self) -> Result<bool, JsonError> {
+        self.as_bool()
+            .ok_or_else(|| JsonError::new("expected a boolean"))
+    }
+
+    /// Like [`Json::as_str`] but with a typed error.
+    pub fn expect_str(&self) -> Result<&str, JsonError> {
+        self.as_str()
+            .ok_or_else(|| JsonError::new("expected a string"))
+    }
+
+    /// Like [`Json::as_arr`] but with a typed error.
+    pub fn expect_arr(&self) -> Result<&[Json], JsonError> {
+        self.as_arr()
+            .ok_or_else(|| JsonError::new("expected an array"))
+    }
+
+    /// Like [`Json::as_obj`] but with a typed error.
+    pub fn expect_obj(&self) -> Result<&[(String, Json)], JsonError> {
+        self.as_obj()
+            .ok_or_else(|| JsonError::new("expected an object"))
+    }
+
+    /// Parse a document. The whole input must be consumed (trailing
+    /// whitespace allowed).
+    pub fn parse(s: &str) -> Result<Json, JsonError> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Compact single-line rendering.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(format!("expected {:?} at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => err("unexpected end of input"),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError {
+        msg: format!("non-utf8 number at byte {start}"),
+    })?;
+    match text.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+        _ => err(format!("invalid number {text:?} at byte {start}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return err("unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| JsonError {
+                                msg: format!("bad \\u escape at byte {}", *pos),
+                            })?;
+                        // Surrogate pairs are not needed for this
+                        // workspace's ASCII-dominated payloads; reject
+                        // them rather than decode them wrongly.
+                        let ch = char::from_u32(hex).ok_or_else(|| JsonError {
+                            msg: format!("surrogate \\u escape at byte {}", *pos),
+                        })?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(*pos..*pos + len).ok_or_else(|| JsonError {
+                    msg: format!("truncated utf8 at byte {}", *pos),
+                })?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| JsonError {
+                    msg: format!("invalid utf8 at byte {}", *pos),
+                })?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(b, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        pairs.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(v: f64, out: &mut String) {
+    if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        // `{:?}` is the shortest representation that round-trips.
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+fn write_value(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_num(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => write_seq(items.iter().map(|i| (None, i)), b"[]", indent, depth, out),
+        Json::Obj(pairs) => write_seq(
+            pairs.iter().map(|(k, v)| (Some(k.as_str()), v)),
+            b"{}",
+            indent,
+            depth,
+            out,
+        ),
+    }
+}
+
+fn write_seq<'a>(
+    items: impl ExactSizeIterator<Item = (Option<&'a str>, &'a Json)>,
+    brackets: &[u8; 2],
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push(brackets[0] as char);
+    let n = items.len();
+    for (i, (key, v)) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        if let Some(k) = key {
+            write_escaped(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+        }
+        write_value(v, indent, depth + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if indent.is_some() && n > 0 {
+        out.push('\n');
+        out.push_str(&" ".repeat(indent.unwrap_or(0) * depth));
+    }
+    out.push(brackets[1] as char);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let doc = Json::obj(vec![
+            ("name", Json::from("tahiti/DGEMM")),
+            ("gflops", Json::from(689.5)),
+            ("count", Json::from(12usize)),
+            ("ok", Json::from(true)),
+            ("none", Json::Null),
+            ("sweep", Json::Arr(vec![Json::from(1.0), Json::from(2.5)])),
+        ]);
+        for text in [doc.to_string_compact(), doc.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Json::parse(r#"{"k": "a\"b\\c\ndAµ"}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().unwrap(), "a\"b\\c\ndAµ");
+        let back = Json::parse(&v.to_string_compact()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "12notanumber",
+            "\"open",
+            "{}extra",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        let v = Json::from(9_007_199_254_740_992usize - 1);
+        let text = v.to_string_compact();
+        assert_eq!(text, "9007199254740991");
+        assert_eq!(
+            Json::parse(&text).unwrap().as_usize(),
+            Some(9_007_199_254_740_991)
+        );
+    }
+
+    #[test]
+    fn object_lookup_and_typed_errors() {
+        let v = Json::parse(r#"{"a": 1, "b": [true]}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_usize(), Some(1));
+        assert!(v.field("missing").is_err());
+        assert_eq!(
+            v.get("b").unwrap().as_arr().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("a").unwrap().as_str(), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! Scoped-thread data-parallel helpers.
+//!
+//! Replaces the two rayon shapes the workspace uses: an indexed parallel
+//! map over a slice (`par_iter().enumerate().map(...)`) and parallel
+//! mutation of fixed-size output chunks (`par_chunks_mut`). Work is
+//! statically partitioned into contiguous per-thread ranges — the
+//! workloads here (per-candidate timing-model evaluations, per-row GEMM
+//! accumulation) are uniform enough that stealing would buy nothing.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    cores.min(jobs).max(1)
+}
+
+/// Parallel indexed map: `out[i] = f(i, &items[i])`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, v)| f(i, v)).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, slots) in out.chunks_mut(per).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = t * per;
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + i, &items[base + i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every slot filled"))
+        .collect()
+}
+
+/// Parallel mutation of consecutive `chunk`-sized pieces of `data`;
+/// `f(chunk_index, chunk)` like `par_chunks_mut().enumerate()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = data.len().div_ceil(chunk);
+    let threads = worker_count(n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let chunks_per_thread = n_chunks.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut first_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per_thread * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += chunks_per_thread;
+            let f = &f;
+            s.spawn(move || {
+                for (i, c) in head.chunks_mut(chunk).enumerate() {
+                    f(base + i, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<usize> = (0..1037).collect();
+        let seq: Vec<usize> = items.iter().enumerate().map(|(i, v)| i * 3 + v).collect();
+        assert_eq!(par_map(&items, |i, v| i * 3 + v), seq);
+        assert!(par_map::<usize, usize, _>(&[], |_, v| *v).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0usize; 1000];
+        par_chunks_mut(&mut data, 7, |idx, c| {
+            for v in c.iter_mut() {
+                *v += idx + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 7 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn chunk_larger_than_data_is_one_chunk() {
+        let mut data = vec![1u32; 5];
+        par_chunks_mut(&mut data, 100, |idx, c| {
+            assert_eq!(idx, 0);
+            for v in c.iter_mut() {
+                *v = 9;
+            }
+        });
+        assert_eq!(data, vec![9; 5]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Seedable pseudo-random generator (xoshiro256**) with the sampling
+//! helpers the search strategies and randomized tests use.
+//!
+//! Deterministic for a given seed on every platform, like the seeded
+//! `StdRng` uses it replaces.
+
+/// A xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator (any seed, including 0, is valid).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; `hi` must exceed `lo`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniformly chosen element, `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.range(0, i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_and_f64_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.range(3, 17);
+            assert!((3..17).contains(&v));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = Rng::new(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.range(0, 8)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_covers() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<usize> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(r.choose(&v).is_some());
+        assert!(r.choose::<usize>(&[]).is_none());
+    }
+}

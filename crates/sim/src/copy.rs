@@ -24,7 +24,12 @@ pub struct CopyCost {
 /// stream (packing a row-major matrix into a block-major layout reads
 /// strided and writes sequentially, or vice versa for transposition).
 #[must_use]
-pub fn copy_time(dev: &DeviceSpec, bytes_read: usize, bytes_written: usize, read_eff: f64) -> CopyCost {
+pub fn copy_time(
+    dev: &DeviceSpec,
+    bytes_read: usize,
+    bytes_written: usize,
+    read_eff: f64,
+) -> CopyCost {
     let bw_cycles = dev.dram_bytes_per_cycle();
     let eff = read_eff.clamp(0.05, 1.0);
     let cycles = bytes_read as f64 / (bw_cycles * eff) + bytes_written as f64 / bw_cycles;
@@ -70,7 +75,12 @@ mod tests {
         let small = copy_time(&dev, 1 << 20, 1 << 20, 1.0);
         let big = copy_time(&dev, 1 << 26, 1 << 26, 1.0);
         // Not a full 64x: the fixed launch overhead dilutes the ratio.
-        assert!(big.seconds > small.seconds * 10.0, "{} vs {}", big.seconds, small.seconds);
+        assert!(
+            big.seconds > small.seconds * 10.0,
+            "{} vs {}",
+            big.seconds,
+            small.seconds
+        );
     }
 
     #[test]

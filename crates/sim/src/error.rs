@@ -28,8 +28,14 @@ impl std::fmt::Display for ClError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClError::BuildFailed(e) => write!(f, "program build failed: {e}"),
-            ClError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} B, {available} B free")
+            ClError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, {available} B free"
+                )
             }
             ClError::InvalidBuffer(m) => write!(f, "invalid buffer: {m}"),
             ClError::NoSuchKernel(n) => write!(f, "no kernel named {n:?}"),
@@ -78,7 +84,10 @@ mod tests {
         let e: ClError = RuntimeError::BadArguments("x".into()).into();
         assert!(matches!(e, ClError::Runtime(_)));
 
-        let e = ClError::OutOfMemory { requested: 10, available: 5 };
+        let e = ClError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

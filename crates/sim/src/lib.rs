@@ -19,10 +19,12 @@ pub mod copy;
 pub mod error;
 pub mod runtime;
 pub mod transfer;
+pub mod worker;
 
 pub use copy::{copy_time, pack_time, CopyCost};
-pub use transfer::{gflops_with_transfers, transfer_time, Direction};
 pub use error::ClError;
 pub use runtime::{
     BufferId, CommandQueue, Context, Event, ExecMode, KernelArg, Platform, SimDevice, SimProgram,
 };
+pub use transfer::{gflops_with_transfers, transfer_time, Direction};
+pub use worker::DeviceWorker;

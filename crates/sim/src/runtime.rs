@@ -1,8 +1,8 @@
 //! Platform / context / queue / buffer / program objects.
 
 use crate::error::ClError;
-use clgemm_clc::{Arg, BufData, ExecOptions, NdRange, Program};
 use clgemm_clc::vm::DynStats;
+use clgemm_clc::{Arg, BufData, ExecOptions, NdRange, Program};
 use clgemm_device::{estimate, DeviceId, DeviceSpec, KernelLaunchProfile, TimingEstimate};
 
 /// The simulated OpenCL platform: all built-in devices.
@@ -15,13 +15,23 @@ impl Platform {
     /// Platform exposing the six Table I processors.
     #[must_use]
     pub fn table1() -> Platform {
-        Platform { devices: DeviceId::TABLE1.iter().map(|id| SimDevice::new(id.spec())).collect() }
+        Platform {
+            devices: DeviceId::TABLE1
+                .iter()
+                .map(|id| SimDevice::new(id.spec()))
+                .collect(),
+        }
     }
 
     /// Platform exposing every built-in profile (incl. Cypress).
     #[must_use]
     pub fn all() -> Platform {
-        Platform { devices: DeviceId::ALL.iter().map(|id| SimDevice::new(id.spec())).collect() }
+        Platform {
+            devices: DeviceId::ALL
+                .iter()
+                .map(|id| SimDevice::new(id.spec()))
+                .collect(),
+        }
     }
 
     /// Devices on the platform.
@@ -33,7 +43,9 @@ impl Platform {
     /// Find a device by code name.
     #[must_use]
     pub fn device(&self, name: &str) -> Option<&SimDevice> {
-        self.devices.iter().find(|d| d.spec().code_name.eq_ignore_ascii_case(name))
+        self.devices
+            .iter()
+            .find(|d| d.spec().code_name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -59,7 +71,11 @@ impl SimDevice {
     /// Create a context on this device.
     #[must_use]
     pub fn create_context(&self) -> Context {
-        Context { device: self.spec.clone(), bufs: Vec::new(), mem_used: 0 }
+        Context {
+            device: self.spec.clone(),
+            bufs: Vec::new(),
+            mem_used: 0,
+        }
     }
 }
 
@@ -92,7 +108,10 @@ impl Context {
     fn alloc(&mut self, data: BufData, bytes: usize) -> Result<BufferId, ClError> {
         let cap = self.device.global_mem_bytes();
         if self.mem_used + bytes > cap {
-            return Err(ClError::OutOfMemory { requested: bytes, available: cap - self.mem_used });
+            return Err(ClError::OutOfMemory {
+                requested: bytes,
+                available: cap - self.mem_used,
+            });
         }
         self.mem_used += bytes;
         self.bufs.push(data);
@@ -360,7 +379,10 @@ impl CommandQueue {
                         other => other,
                     });
                 }
-                let opts = ExecOptions { detect_races, ..Default::default() };
+                let opts = ExecOptions {
+                    detect_races,
+                    ..Default::default()
+                };
                 let stats = kernel.launch(nd, &dense_args, &mut dense, &opts)?;
                 for (slot, id) in buf_ids.iter().enumerate() {
                     ctx.bufs[*id] = std::mem::replace(&mut dense[slot], BufData::F32(Vec::new()));
@@ -380,6 +402,26 @@ impl CommandQueue {
             stats,
         });
         Ok(self.events.last().expect("just pushed"))
+    }
+
+    /// Enqueue an operation whose cost was modelled elsewhere (the
+    /// serving layer charges whole routine invocations this way without
+    /// re-driving compilation through the queue).
+    pub fn enqueue_modelled(&mut self, name: &str, seconds: f64) -> &Event {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "modelled cost must be finite and >= 0"
+        );
+        let start = self.clock;
+        self.clock += seconds;
+        self.events.push(Event {
+            name: name.to_string(),
+            start,
+            end: self.clock,
+            estimate: None,
+            stats: None,
+        });
+        self.events.last().expect("just pushed")
     }
 
     /// Enqueue a device-side copy with the given cost (the GEMM routine
@@ -435,7 +477,12 @@ mod tests {
                 &prog,
                 "saxpy",
                 NdRange::d1(8, 4),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(3.0), KernelArg::I32(8)],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::F32(3.0),
+                    KernelArg::I32(8),
+                ],
                 None,
                 ExecMode::Functional { detect_races: true },
             )
@@ -448,7 +495,9 @@ mod tests {
     fn build_failure_is_reported() {
         let dev = SimDevice::new(DeviceId::Fermi.spec());
         let ctx = dev.create_context();
-        let err = ctx.build_program("__kernel void k(__global int* x){ x[0] = }").unwrap_err();
+        let err = ctx
+            .build_program("__kernel void k(__global int* x){ x[0] = }")
+            .unwrap_err();
         assert!(matches!(err, ClError::BuildFailed(_)));
     }
 
@@ -481,7 +530,12 @@ mod tests {
                 &prog,
                 "saxpy",
                 NdRange::d1(1024, 512),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(1024)],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(1024),
+                ],
                 None,
                 ExecMode::Functional { detect_races: true },
             )
@@ -504,7 +558,12 @@ mod tests {
                 &prog,
                 "saxpy",
                 NdRange::d1(8, 4),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(8)],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(8),
+                ],
                 None,
                 ExecMode::TimingOnly,
             )
@@ -550,7 +609,12 @@ mod tests {
                 &prog,
                 "saxpy",
                 NdRange::d1(256, 64),
-                &[KernelArg::Buf(x), KernelArg::Buf(y), KernelArg::F32(1.0), KernelArg::I32(256)],
+                &[
+                    KernelArg::Buf(x),
+                    KernelArg::Buf(y),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(256),
+                ],
                 Some(&profile),
                 ExecMode::TimingOnly,
             )
@@ -696,7 +760,12 @@ mod transfer_tests {
             q.enqueue_write_f32(&mut ctx, b, &host).unwrap();
             times.push(q.finish());
         }
-        assert!(times[1] < times[0], "CPU 'transfer' {} should beat PCIe {}", times[1], times[0]);
+        assert!(
+            times[1] < times[0],
+            "CPU 'transfer' {} should beat PCIe {}",
+            times[1],
+            times[0]
+        );
     }
 
     #[test]

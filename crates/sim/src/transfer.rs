@@ -99,7 +99,11 @@ mod tests {
         let eff = |n: usize| gflops_with_transfers(&dev, n, 8, kernel(n)) / 863.0;
         assert!(eff(512) < eff(2048));
         assert!(eff(2048) < eff(8192));
-        assert!(eff(8192) > 0.8, "at N=8192 transfers cost little: {}", eff(8192));
+        assert!(
+            eff(8192) > 0.8,
+            "at N=8192 transfers cost little: {}",
+            eff(8192)
+        );
         assert!(eff(512) < 0.3, "at N=512 transfers dominate: {}", eff(512));
     }
 }

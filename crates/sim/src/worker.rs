@@ -1,0 +1,93 @@
+//! Per-device workers for schedulers layered above the runtime.
+//!
+//! A [`DeviceWorker`] pairs a [`SimDevice`] with its own
+//! [`CommandQueue`], so a multi-device scheduler (the serving layer)
+//! can track each device's virtual-clock load independently and place
+//! work on the least-loaded one.
+
+use crate::runtime::{CommandQueue, Event, SimDevice};
+use clgemm_device::DeviceSpec;
+
+/// A simulated device plus the command queue all its work goes through.
+#[derive(Debug)]
+pub struct DeviceWorker {
+    device: SimDevice,
+    queue: CommandQueue,
+}
+
+impl DeviceWorker {
+    /// A fresh worker with an idle queue.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> DeviceWorker {
+        DeviceWorker {
+            device: SimDevice::new(spec),
+            queue: CommandQueue::new(),
+        }
+    }
+
+    /// The underlying device specification.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        self.device.spec()
+    }
+
+    /// The simulated device itself (for contexts/programs).
+    #[must_use]
+    pub fn device(&self) -> &SimDevice {
+        &self.device
+    }
+
+    /// Virtual time at which this worker's queue drains — its load.
+    #[must_use]
+    pub fn busy_until(&self) -> f64 {
+        self.queue.finish()
+    }
+
+    /// Charge `seconds` of modelled work to this worker's queue.
+    pub fn submit(&mut self, name: &str, seconds: f64) -> &Event {
+        self.queue.enqueue_modelled(name, seconds)
+    }
+
+    /// All operations this worker has executed, in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        self.queue.events()
+    }
+
+    /// The worker's command queue.
+    #[must_use]
+    pub fn queue(&self) -> &CommandQueue {
+        &self.queue
+    }
+
+    /// Mutable access to the queue for callers that drive launches
+    /// directly (contexts, programs).
+    pub fn queue_mut(&mut self) -> &mut CommandQueue {
+        &mut self.queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_device::DeviceId;
+
+    #[test]
+    fn worker_tracks_virtual_load() {
+        let mut w = DeviceWorker::new(DeviceId::Tahiti.spec());
+        assert_eq!(w.busy_until(), 0.0);
+        w.submit("gemm-batch-0", 0.25);
+        w.submit("gemm-batch-1", 0.5);
+        assert!((w.busy_until() - 0.75).abs() < 1e-12);
+        assert_eq!(w.events().len(), 2);
+        assert_eq!(w.events()[1].start, 0.25);
+        assert_eq!(w.spec().code_name, "Tahiti");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_cost_is_rejected() {
+        let mut w = DeviceWorker::new(DeviceId::Fermi.spec());
+        w.submit("bad", -1.0);
+    }
+}

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn fermi_has_both_cublas_and_magma() {
-        let names: Vec<_> = libraries_for(DeviceId::Fermi).iter().map(|l| l.name.clone()).collect();
+        let names: Vec<_> = libraries_for(DeviceId::Fermi)
+            .iter()
+            .map(|l| l.name.clone())
+            .collect();
         assert!(names.iter().any(|n| n.contains("CUBLAS")));
         assert!(names.iter().any(|n| n.contains("MAGMA")));
     }
@@ -188,6 +191,9 @@ mod tests {
     fn cypress_comparison_points_exist() {
         let libs = libraries_for(DeviceId::Cypress);
         assert_eq!(libs.len(), 2);
-        assert!(libs[0].max_gflops(Precision::F64, GemmType::NN) > libs[1].max_gflops(Precision::F64, GemmType::NN));
+        assert!(
+            libs[0].max_gflops(Precision::F64, GemmType::NN)
+                > libs[1].max_gflops(Precision::F64, GemmType::NN)
+        );
     }
 }

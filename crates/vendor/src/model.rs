@@ -2,12 +2,11 @@
 
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::GemmType;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One library on one device: per-(precision, type) asymptotic maxima and
 /// a ramp describing how quickly the library approaches them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VendorLib {
     /// Display name, e.g. `"clBLAS 1.8.291"`.
     pub name: String,
@@ -39,7 +38,12 @@ impl VendorLib {
                 maxima.insert(key(prec, *ty), v);
             }
         }
-        VendorLib { name: name.to_string(), maxima, n_half, sharpness }
+        VendorLib {
+            name: name.to_string(),
+            maxima,
+            n_half,
+            sharpness,
+        }
     }
 
     /// The library's asymptotic (large-`N`) GFlop/s for a routine.
@@ -64,7 +68,9 @@ impl VendorLib {
     /// `true` when the library supports the precision at all.
     #[must_use]
     pub fn supports(&self, precision: Precision) -> bool {
-        GemmType::ALL.iter().any(|ty| self.max_gflops(precision, *ty) > 0.0)
+        GemmType::ALL
+            .iter()
+            .any(|ty| self.max_gflops(precision, *ty) > 0.0)
     }
 }
 
@@ -73,7 +79,13 @@ mod tests {
     use super::*;
 
     fn lib() -> VendorLib {
-        VendorLib::new("test", [100.0, 101.0, 102.0, 103.0], [200.0, 201.0, 202.0, 203.0], 512.0, 2.0)
+        VendorLib::new(
+            "test",
+            [100.0, 101.0, 102.0, 103.0],
+            [200.0, 201.0, 202.0, 203.0],
+            512.0,
+            2.0,
+        )
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn main() {
         }
     };
 
-    let space = if smoke { SearchSpace::smoke(&device) } else { SearchSpace::for_device(&device) };
+    let space = if smoke {
+        SearchSpace::smoke(&device)
+    } else {
+        SearchSpace::for_device(&device)
+    };
     println!("tuning {precision} on {device} ...");
     let t0 = std::time::Instant::now();
     let res = tune(&device, precision, &space, &SearchOpts::default());
@@ -37,12 +41,22 @@ fn main() {
         res.verified
     );
 
-    println!("\nbest kernel: {:.1} GFlop/s at N={} ({:.1}% of listed peak)", res.best.gflops, res.best.n, 100.0 * res.efficiency);
+    println!(
+        "\nbest kernel: {:.1} GFlop/s at N={} ({:.1}% of listed peak)",
+        res.best.gflops,
+        res.best.n,
+        100.0 * res.efficiency
+    );
     println!("  {}", res.best.params.describe());
 
     println!("\ntop {} kernels:", res.top.len().min(10));
     for (rank, m) in res.top.iter().take(10).enumerate() {
-        println!("  #{:<2} {:>8.1} GF  {}", rank + 1, m.gflops, m.params.describe());
+        println!(
+            "  #{:<2} {:>8.1} GF  {}",
+            rank + 1,
+            m.gflops,
+            m.params.describe()
+        );
     }
 
     println!("\nwinner across sizes:");

@@ -36,7 +36,10 @@ fn main() {
         params.lds_bytes()
     );
     let stats = source_stats(&gen);
-    println!("// source: {} lines, {} bytes, {} mad() sites", stats.lines, stats.bytes, stats.mads);
+    println!(
+        "// source: {} lines, {} bytes, {} mad() sites",
+        stats.lines, stats.bytes, stats.mads
+    );
 
     // Prove the emitted source survives the frontend before printing it.
     let prog = Program::compile(&gen.source).expect("generated source must compile");

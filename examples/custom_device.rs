@@ -21,7 +21,10 @@ fn main() {
     starved.product_name = "hypothetical bandwidth-starved GCN".into();
     starved.global_bw_gbs = tahiti.global_bw_gbs / 4.0; // 66 GB/s
 
-    let opts = SearchOpts { verify_winner: false, ..Default::default() };
+    let opts = SearchOpts {
+        verify_winner: false,
+        ..Default::default()
+    };
     let mut results = Vec::new();
     for dev in [&tahiti, &starved] {
         let space = SearchSpace::for_device(dev);
@@ -44,7 +47,9 @@ fn main() {
     let starved_i = intensity(&results[1].best.params);
     println!("\narithmetic intensity chosen: {base:.1} -> {starved_i:.1} flop/byte");
     if starved_i > base {
-        println!("the tuner responded to the bandwidth cut by picking a larger C tile, as expected");
+        println!(
+            "the tuner responded to the bandwidth cut by picking a larger C tile, as expected"
+        );
     } else {
         println!("note: intensities are equal — the starved device is still compute-bound at this tile size");
     }

@@ -15,7 +15,10 @@ fn main() {
     for id in DeviceId::TABLE1 {
         let dev = id.spec();
         let space = SearchSpace::for_device(&dev);
-        let opts = SearchOpts { verify_winner: false, ..Default::default() };
+        let opts = SearchOpts {
+            verify_winner: false,
+            ..Default::default()
+        };
         let d = tune(&dev, Precision::F64, &space, &opts);
         let s = tune(&dev, Precision::F32, &space, &opts);
         println!(

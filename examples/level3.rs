@@ -16,7 +16,9 @@ use clgemm::prelude::*;
 /// Extract a sub-matrix copy (a real BLAS would use views; copies keep
 /// the example simple).
 fn block(a: &Matrix<f64>, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix<f64> {
-    Matrix::from_fn(rows, cols, StorageOrder::ColMajor, |i, j| a.at(r0 + i, c0 + j))
+    Matrix::from_fn(rows, cols, StorageOrder::ColMajor, |i, j| {
+        a.at(r0 + i, c0 + j)
+    })
 }
 
 /// Blocked GEMM-based SYRK (lower): `C ← α·A·Aᵀ + β·C` for `n × k` A.
@@ -75,9 +77,16 @@ fn main() {
     // SearchSpace::for_device for the full run).
     let device = DeviceId::Tahiti.spec();
     let space = SearchSpace::smoke(&device);
-    let opts = SearchOpts { verify_winner: false, ..Default::default() };
+    let opts = SearchOpts {
+        verify_winner: false,
+        ..Default::default()
+    };
     let tuned = TunedGemm::tune(&device, &space, &opts);
-    println!("tuned DGEMM on {}: {}", device.code_name, tuned.params(Precision::F64).describe());
+    println!(
+        "tuned DGEMM on {}: {}",
+        device.code_name,
+        tuned.params(Precision::F64).describe()
+    );
 
     let (n, k, bs) = (192usize, 96usize, 64usize);
     let a = Matrix::<f64>::test_pattern(n, k, StorageOrder::ColMajor, 1);

@@ -12,7 +12,11 @@ fn main() {
     //    paper's fastest processor.
     let device = DeviceId::Tahiti.spec();
     println!("device: {device}");
-    println!("  peak: {:.0} GF DGEMM / {:.0} GF SGEMM", device.peak_gflops(true), device.peak_gflops(false));
+    println!(
+        "  peak: {:.0} GF DGEMM / {:.0} GF SGEMM",
+        device.peak_gflops(true),
+        device.peak_gflops(false)
+    );
 
     // 2. Tune. The default space enumerates a few hundred thousand
     //    candidates; the deterministic timing model measures them in
@@ -51,7 +55,11 @@ fn main() {
     println!("  pack A          {:>9.3} ms", run.pack_a * 1e3);
     println!("  pack B          {:>9.3} ms", run.pack_b * 1e3);
     println!("  stage/merge C   {:>9.3} ms", run.stage_c * 1e3);
-    println!("  total           {:>9.3} ms  -> {:.0} GFlop/s", run.total * 1e3, run.gflops);
+    println!(
+        "  total           {:>9.3} ms  -> {:.0} GFlop/s",
+        run.total * 1e3,
+        run.gflops
+    );
 
     // 4. Check the result against the reference implementation.
     let mut c_ref = Matrix::<f64>::zeros(m, n, StorageOrder::ColMajor);

@@ -17,8 +17,13 @@ fn run_case(p: &KernelParams) {
     let (m, n) = (2 * p.mwg, 2 * p.nwg);
     let k = 2 * p.k_multiple();
     let gen = generate(p).expect("generation");
-    let prog = Program::compile(&gen.source)
-        .unwrap_or_else(|e| panic!("compile failed: {e}\nparams: {}\n{}", p.describe(), gen.source));
+    let prog = Program::compile(&gen.source).unwrap_or_else(|e| {
+        panic!(
+            "compile failed: {e}\nparams: {}\n{}",
+            p.describe(),
+            gen.source
+        )
+    });
     let kernel = prog.kernel(KERNEL_NAME).expect("kernel present");
 
     let a_dims = PackedDims::new(k, m, p.mwg, p.kwg).unwrap();
@@ -26,11 +31,30 @@ fn run_case(p: &KernelParams) {
 
     match p.precision {
         Precision::F64 => {
-            let a: Vec<f64> = (0..a_dims.len()).map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.4).collect();
-            let b: Vec<f64> = (0..b_dims.len()).map(|i| ((i * 5 + 1) % 11) as f64 / 11.0 - 0.6).collect();
-            let c0: Vec<f64> = (0..m * n).map(|i| ((i * 3 + 2) % 7) as f64 / 7.0 - 0.5).collect();
+            let a: Vec<f64> = (0..a_dims.len())
+                .map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.4)
+                .collect();
+            let b: Vec<f64> = (0..b_dims.len())
+                .map(|i| ((i * 5 + 1) % 11) as f64 / 11.0 - 0.6)
+                .collect();
+            let c0: Vec<f64> = (0..m * n)
+                .map(|i| ((i * 3 + 2) % 7) as f64 / 7.0 - 0.5)
+                .collect();
             let mut c_native = c0.clone();
-            run_native(m, n, k, 1.5, &a, a_dims, p.layout_a, &b, b_dims, p.layout_b, -0.25, &mut c_native);
+            run_native(
+                m,
+                n,
+                k,
+                1.5,
+                &a,
+                a_dims,
+                p.layout_a,
+                &b,
+                b_dims,
+                p.layout_b,
+                -0.25,
+                &mut c_native,
+            );
 
             let mut bufs = vec![BufData::F64(a), BufData::F64(b), BufData::F64(c0)];
             let args = [
@@ -46,7 +70,9 @@ fn run_case(p: &KernelParams) {
             kernel
                 .launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("VM run failed: {e}\nparams: {}", p.describe()));
-            let BufData::F64(c_vm) = &bufs[2] else { panic!("C buffer type changed") };
+            let BufData::F64(c_vm) = &bufs[2] else {
+                panic!("C buffer type changed")
+            };
             for (i, (vm, nat)) in c_vm.iter().zip(&c_native).enumerate() {
                 assert_eq!(
                     vm.to_bits(),
@@ -57,11 +83,30 @@ fn run_case(p: &KernelParams) {
             }
         }
         Precision::F32 => {
-            let a: Vec<f32> = (0..a_dims.len()).map(|i| ((i * 7 + 3) % 13) as f32 / 13.0 - 0.4).collect();
-            let b: Vec<f32> = (0..b_dims.len()).map(|i| ((i * 5 + 1) % 11) as f32 / 11.0 - 0.6).collect();
-            let c0: Vec<f32> = (0..m * n).map(|i| ((i * 3 + 2) % 7) as f32 / 7.0 - 0.5).collect();
+            let a: Vec<f32> = (0..a_dims.len())
+                .map(|i| ((i * 7 + 3) % 13) as f32 / 13.0 - 0.4)
+                .collect();
+            let b: Vec<f32> = (0..b_dims.len())
+                .map(|i| ((i * 5 + 1) % 11) as f32 / 11.0 - 0.6)
+                .collect();
+            let c0: Vec<f32> = (0..m * n)
+                .map(|i| ((i * 3 + 2) % 7) as f32 / 7.0 - 0.5)
+                .collect();
             let mut c_native = c0.clone();
-            run_native(m, n, k, 1.5f32, &a, a_dims, p.layout_a, &b, b_dims, p.layout_b, -0.25f32, &mut c_native);
+            run_native(
+                m,
+                n,
+                k,
+                1.5f32,
+                &a,
+                a_dims,
+                p.layout_a,
+                &b,
+                b_dims,
+                p.layout_b,
+                -0.25f32,
+                &mut c_native,
+            );
 
             let mut bufs = vec![BufData::F32(a), BufData::F32(b), BufData::F32(c0)];
             let args = [
@@ -77,7 +122,9 @@ fn run_case(p: &KernelParams) {
             kernel
                 .launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("VM run failed: {e}\nparams: {}", p.describe()));
-            let BufData::F32(c_vm) = &bufs[2] else { panic!("C buffer type changed") };
+            let BufData::F32(c_vm) = &bufs[2] else {
+                panic!("C buffer type changed")
+            };
             for (i, (vm, nat)) in c_vm.iter().zip(&c_native).enumerate() {
                 assert_eq!(
                     vm.to_bits(),

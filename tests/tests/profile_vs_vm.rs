@@ -35,7 +35,9 @@ fn run_vm(p: &KernelParams, m: usize, n: usize, k: usize) -> DynStats {
         Arg::F32(1.0),
         Arg::F32(0.0),
     ];
-    kernel.launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default()).unwrap()
+    kernel
+        .launch(gen.ndrange(m, n), &args, &mut bufs, &ExecOptions::default())
+        .unwrap()
 }
 
 #[test]
@@ -46,18 +48,23 @@ fn mad_count_matches_exactly() {
     let stats = run_vm(&p, m, n, k);
     let prof = launch_profile(&p, &dev, m, n, k);
     // Inner-loop MADs plus the merge MAD per C element.
-    let expect =
-        prof.mad_ops * prof.outer_iters as f64 * prof.wg_size as f64 * prof.n_wgs as f64;
+    let expect = prof.mad_ops * prof.outer_iters as f64 * prof.wg_size as f64 * prof.n_wgs as f64;
     let merge = (m * n) as f64; // one mad per element in the merge
-    assert_eq!(stats.mads as f64, expect + merge, "profile mad accounting drifted");
+    assert_eq!(
+        stats.mads as f64,
+        expect + merge,
+        "profile mad accounting drifted"
+    );
 }
 
 #[test]
 fn barrier_count_matches_algorithm() {
     let dev = DeviceId::Tahiti.spec();
-    for (alg, expected_per_two_blocks) in
-        [(Algorithm::Ba, 4.0), (Algorithm::Pl, 6.0), (Algorithm::Db, 2.0)]
-    {
+    for (alg, expected_per_two_blocks) in [
+        (Algorithm::Ba, 4.0),
+        (Algorithm::Pl, 6.0),
+        (Algorithm::Db, 2.0),
+    ] {
         let mut p = small_test_params(Precision::F32);
         p.algorithm = alg;
         let (m, n) = (p.mwg, p.nwg);
@@ -128,6 +135,8 @@ fn vector_width_reduces_vm_instruction_count() {
     let v1 = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
     p.vw = 4;
     let v4 = run_vm(&p, p.mwg, p.nwg, 2 * p.kwg);
-    assert!(v4.mem_global_instrs + v4.mem_local_instrs < v1.mem_global_instrs + v1.mem_local_instrs);
+    assert!(
+        v4.mem_global_instrs + v4.mem_local_instrs < v1.mem_global_instrs + v1.mem_local_instrs
+    );
     assert_eq!(v1.mads, v4.mads, "same arithmetic regardless of vw");
 }

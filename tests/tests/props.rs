@@ -1,9 +1,12 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomised property tests on the core invariants:
 //!
 //! * any structurally valid parameter set yields a kernel that compiles
 //!   and executes bit-identically to the native oracle;
 //! * packing is invertible for arbitrary shapes and layouts;
 //! * the timing model stays finite, positive, and monotone in work.
+//!
+//! Cases are generated from a seeded [`clgemm_shim::Rng`], so every run
+//! exercises the same inputs and failures reproduce deterministically.
 
 use clgemm::params::{Algorithm, KernelParams, StrideMode};
 use clgemm::profile::launch_profile;
@@ -14,89 +17,87 @@ use clgemm_blas::pack::{pack_operand, unpack_operand, PackSpec};
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::Trans;
 use clgemm_device::{estimate, DeviceId};
-use proptest::prelude::*;
+use clgemm_shim::Rng;
 
-/// Strategy producing *valid* kernel parameter sets (built from factors
-/// so every divisibility constraint holds by construction).
-fn valid_params() -> impl Strategy<Value = KernelParams> {
-    (
-        (
-            2usize..=8,                      // mdimc
-            2usize..=8,                      // ndimc
-            1usize..=4,                      // mwi
-            prop::sample::select(vec![2usize, 4]), // nwi (divisible by vw later)
-        ),
-        (
-            1usize..=3,                      // kwg blocks of kwi
-            prop::sample::select(vec![1usize, 2]), // kwi
-            prop::sample::select(vec![1usize, 2]), // vw
-        ),
-        (
-            any::<bool>(),                   // stride_m unit?
-            any::<bool>(),                   // stride_n unit?
-        ),
-        (
-            0usize..3,                       // algorithm index
-            0usize..3,                       // layout_a index
-            0usize..3,                       // layout_b index
-            any::<bool>(),                   // precision f64?
-        ),
-    )
-        .prop_filter_map("constraints", |((mdimc, ndimc, mwi, nwi), (kblocks, kwi, vw), (sm, sn), (alg, la, lb, dp))| {
-            if nwi % vw != 0 {
-                return None;
-            }
-            let algorithm = Algorithm::ALL[alg];
-            let p = KernelParams {
-                mwg: mdimc * mwi,
-                nwg: ndimc * nwi,
-                kwg: kblocks * kwi * 2,
-                mdimc,
-                ndimc,
-                kwi,
-                mdima: mdimc,
-                ndimb: ndimc,
-                vw,
-                stride_m: if sm { StrideMode::Unit } else { StrideMode::NonUnit },
-                stride_n: if sn { StrideMode::Unit } else { StrideMode::NonUnit },
-                local_a: algorithm != Algorithm::Ba || la == 0,
-                local_b: algorithm != Algorithm::Ba || lb == 0,
-                layout_a: BlockLayout::ALL[la],
-                layout_b: BlockLayout::ALL[lb],
-                algorithm,
-                precision: if dp { Precision::F64 } else { Precision::F32 },
-            };
-            p.validate().ok()?;
-            Some(p)
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// The flagship property: every valid parameter set survives the
-    /// paper's pipeline — generation, compilation, VM execution — and
-    /// matches the native oracle bit for bit.
-    #[test]
-    fn any_valid_params_verify_end_to_end(p in valid_params()) {
-        verify_kernel(&p).unwrap_or_else(|e| panic!("{e}"));
+/// Draw a *valid* kernel parameter set (built from factors so every
+/// divisibility constraint holds by construction). Retries until the
+/// resource validator accepts the draw.
+fn valid_params(rng: &mut Rng) -> KernelParams {
+    loop {
+        let mdimc = rng.range(2, 9);
+        let ndimc = rng.range(2, 9);
+        let mwi = rng.range(1, 5);
+        let nwi = *rng.choose(&[2usize, 4]).unwrap();
+        let kblocks = rng.range(1, 4);
+        let kwi = *rng.choose(&[1usize, 2]).unwrap();
+        let vw = *rng.choose(&[1usize, 2]).unwrap();
+        if !nwi.is_multiple_of(vw) {
+            continue;
+        }
+        let algorithm = *rng.choose(&Algorithm::ALL).unwrap();
+        let la = rng.range(0, 3);
+        let lb = rng.range(0, 3);
+        let p = KernelParams {
+            mwg: mdimc * mwi,
+            nwg: ndimc * nwi,
+            kwg: kblocks * kwi * 2,
+            mdimc,
+            ndimc,
+            kwi,
+            mdima: mdimc,
+            ndimb: ndimc,
+            vw,
+            stride_m: if rng.bool() {
+                StrideMode::Unit
+            } else {
+                StrideMode::NonUnit
+            },
+            stride_n: if rng.bool() {
+                StrideMode::Unit
+            } else {
+                StrideMode::NonUnit
+            },
+            local_a: algorithm != Algorithm::Ba || la == 0,
+            local_b: algorithm != Algorithm::Ba || lb == 0,
+            layout_a: BlockLayout::ALL[la],
+            layout_b: BlockLayout::ALL[lb],
+            algorithm,
+            precision: if rng.bool() {
+                Precision::F64
+            } else {
+                Precision::F32
+            },
+        };
+        if p.validate().is_ok() {
+            return p;
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// The flagship property: every valid parameter set survives the
+/// paper's pipeline — generation, compilation, VM execution — and
+/// matches the native oracle bit for bit.
+#[test]
+fn any_valid_params_verify_end_to_end() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..24 {
+        let p = valid_params(&mut rng);
+        verify_kernel(&p).unwrap_or_else(|e| panic!("case {case}: {e}"));
+    }
+}
 
-    /// pack ∘ unpack = id for any shape, layout, blocking and transpose.
-    #[test]
-    fn pack_unpack_roundtrip(
-        k in 1usize..40,
-        w in 1usize..40,
-        wwg in 1usize..12,
-        kwg in 1usize..12,
-        layout_idx in 0usize..3,
-        transpose in any::<bool>(),
-    ) {
-        let layout = BlockLayout::ALL[layout_idx];
+/// pack ∘ unpack = id for any shape, layout, blocking and transpose.
+#[test]
+fn pack_unpack_roundtrip() {
+    let mut rng = Rng::new(42);
+    for _ in 0..64 {
+        let k = rng.range(1, 40);
+        let w = rng.range(1, 40);
+        let wwg = rng.range(1, 12);
+        let kwg = rng.range(1, 12);
+        let layout = BlockLayout::ALL[rng.range(0, 3)];
+        let transpose = rng.bool();
+
         let (rows, cols) = if transpose { (w, k) } else { (k, w) };
         let x = Matrix::<f64>::test_pattern(rows, cols, StorageOrder::ColMajor, 5);
         let spec = PackSpec {
@@ -106,20 +107,24 @@ proptest! {
             kwg,
         };
         let (buf, dims) = pack_operand(&x, spec, k, w);
-        prop_assert_eq!(dims.k, round_up(k, kwg));
-        prop_assert_eq!(dims.width, round_up(w, wwg));
+        assert_eq!(dims.k, round_up(k, kwg));
+        assert_eq!(dims.width, round_up(w, wwg));
         let back = unpack_operand(&buf, layout, dims, k, w, StorageOrder::ColMajor);
         for p in 0..k {
             for c in 0..w {
-                prop_assert_eq!(back.at(p, c), x.at_op(spec.trans, p, c));
+                assert_eq!(back.at(p, c), x.at_op(spec.trans, p, c));
             }
         }
     }
+}
 
-    /// The timing model is finite, positive, and at least linear in K.
-    #[test]
-    fn timing_model_sane_and_monotone(p in valid_params()) {
-        let dev = DeviceId::Tahiti.spec();
+/// The timing model is finite, positive, and at least linear in K.
+#[test]
+fn timing_model_sane_and_monotone() {
+    let mut rng = Rng::new(7);
+    let dev = DeviceId::Tahiti.spec();
+    for _ in 0..64 {
+        let p = valid_params(&mut rng);
         let m = p.mwg * 2;
         let n = p.nwg * 2;
         let k1 = p.k_multiple() * 2;
@@ -127,40 +132,45 @@ proptest! {
         let prof1 = launch_profile(&p, &dev, m, n, k1);
         let prof2 = launch_profile(&p, &dev, m, n, k2);
         if let (Ok(e1), Ok(e2)) = (estimate(&dev, &prof1), estimate(&dev, &prof2)) {
-            prop_assert!(e1.seconds.is_finite() && e1.seconds > 0.0);
-            prop_assert!(e2.seconds > e1.seconds, "4x the K work must take longer");
+            assert!(e1.seconds.is_finite() && e1.seconds > 0.0);
+            assert!(e2.seconds > e1.seconds, "4x the K work must take longer");
             // Efficiency can never exceed the boosted peak.
             let flops1 = 2.0 * (m * n * k1) as f64;
             let boosted_peak =
                 dev.peak_gflops(p.precision == Precision::F64) * dev.micro.boost_factor;
-            prop_assert!(e1.gflops(flops1) <= boosted_peak * 1.0001);
-        }
-    }
-
-    /// Register and local-memory estimates never go negative or absurd,
-    /// and DB always doubles local memory vs BA.
-    #[test]
-    fn resource_estimates_consistent(p in valid_params()) {
-        prop_assert!(p.regs_per_wi() >= 24);
-        prop_assert!(p.lds_bytes() <= 2 * (p.kwg * (p.mwg + p.nwg)) * p.elem_bytes());
-        if p.algorithm == Algorithm::Db {
-            let mut ba = p;
-            ba.algorithm = Algorithm::Ba;
-            prop_assert_eq!(p.lds_bytes(), 2 * ba.lds_bytes());
+            assert!(e1.gflops(flops1) <= boosted_peak * 1.0001);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+/// Register and local-memory estimates never go negative or absurd,
+/// and DB always doubles local memory vs BA.
+#[test]
+fn resource_estimates_consistent() {
+    let mut rng = Rng::new(11);
+    for _ in 0..64 {
+        let p = valid_params(&mut rng);
+        assert!(p.regs_per_wi() >= 24);
+        assert!(p.lds_bytes() <= 2 * (p.kwg * (p.mwg + p.nwg)) * p.elem_bytes());
+        if p.algorithm == Algorithm::Db {
+            let mut ba = p;
+            ba.algorithm = Algorithm::Ba;
+            assert_eq!(p.lds_bytes(), 2 * ba.lds_bytes());
+        }
+    }
+}
 
-    /// The search never returns an invalid or unlaunchable kernel, on any
-    /// device, with or without measurement noise.
-    #[test]
-    fn search_winner_always_valid(seed in 0u64..1000, noisy in any::<bool>()) {
-        use clgemm::tuner::{tune, SearchOpts, SearchSpace};
-        let dev = DeviceId::Cayman.spec();
-        let space = SearchSpace::smoke(&dev);
+/// The search never returns an invalid or unlaunchable kernel, on any
+/// device, with or without measurement noise.
+#[test]
+fn search_winner_always_valid() {
+    use clgemm::tuner::{tune, SearchOpts, SearchSpace};
+    let mut rng = Rng::new(99);
+    let dev = DeviceId::Cayman.spec();
+    let space = SearchSpace::smoke(&dev);
+    for _ in 0..16 {
+        let seed = rng.next_u64() % 1000;
+        let noisy = rng.bool();
         let opts = SearchOpts {
             top_k: 4,
             max_sweep_points: 3,
@@ -170,8 +180,8 @@ proptest! {
             ..Default::default()
         };
         let res = tune(&dev, Precision::F32, &space, &opts);
-        prop_assert!(res.best.params.validate().is_ok());
-        prop_assert!(res.best.params.lds_bytes() <= dev.local_mem_bytes());
-        prop_assert!(res.best.gflops > 0.0);
+        assert!(res.best.params.validate().is_ok());
+        assert!(res.best.params.lds_bytes() <= dev.local_mem_bytes());
+        assert!(res.best.gflops > 0.0);
     }
 }

@@ -11,8 +11,8 @@ use clgemm_blas::layout::PackedDims;
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::GemmType;
 use clgemm_clc::NdRange;
-use clgemm_integration::gemm_operands;
 use clgemm_device::DeviceId;
+use clgemm_integration::gemm_operands;
 use clgemm_sim::{CommandQueue, ExecMode, KernelArg, Platform};
 
 #[test]
@@ -23,7 +23,13 @@ fn routine_matches_reference_on_awkward_sizes() {
         small_test_params(Precision::F32),
     );
     for ty in GemmType::ALL {
-        for (m, n, k) in [(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 29, 31), (64, 1, 64)] {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (33, 29, 31),
+            (64, 1, 64),
+        ] {
             let (a, b, c0) = gemm_operands::<f64>(ty, m, n, k);
             let mut c = c0.clone();
             tg.gemm(ty, 0.5, &a, &b, 2.0, &mut c);
@@ -130,7 +136,9 @@ fn timing_only_mode_is_much_cheaper_but_equal_time() {
             NdRange::d2(nd.global, nd.local),
             &args,
             Some(&profile),
-            ExecMode::Functional { detect_races: false },
+            ExecMode::Functional {
+                detect_races: false,
+            },
         )
         .unwrap()
         .seconds();
@@ -146,16 +154,24 @@ fn timing_only_mode_is_much_cheaper_but_equal_time() {
         )
         .unwrap()
         .seconds();
-    assert_eq!(t_func, t_timing, "virtual time must not depend on execution mode");
+    assert_eq!(
+        t_func, t_timing,
+        "virtual time must not depend on execution mode"
+    );
 }
 
 #[test]
 fn search_winner_beats_hand_picked_baseline() {
-    use clgemm::tuner::{tune, SearchOpts, SearchSpace};
     use clgemm::tuner::search::measure_gflops;
+    use clgemm::tuner::{tune, SearchOpts, SearchSpace};
     let dev = DeviceId::Fermi.spec();
     let space = SearchSpace::smoke(&dev);
-    let opts = SearchOpts { top_k: 8, max_sweep_points: 6, verify_winner: true, ..Default::default() };
+    let opts = SearchOpts {
+        top_k: 8,
+        max_sweep_points: 6,
+        verify_winner: true,
+        ..Default::default()
+    };
     let res = tune(&dev, Precision::F64, &space, &opts);
     assert!(res.verified);
     // The winner must beat the naive small test kernel by a wide margin.

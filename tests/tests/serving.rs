@@ -1,0 +1,266 @@
+//! Serving-layer equivalence: however the server batches, caches and
+//! schedules a workload across devices, every request's `C` must be
+//! bit-for-bit identical to running the same `TunedGemm::gemm` call
+//! sequentially with the parameters the server reports having used.
+
+use clgemm::params::{small_test_params, KernelParams};
+use clgemm::routine::TunedGemm;
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::{GemmType, Trans};
+use clgemm_device::{DeviceId, DeviceSpec};
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Outcome, Priority, ServeConfig};
+use clgemm_shim::Rng;
+
+fn pool() -> Vec<DeviceSpec> {
+    vec![
+        DeviceId::Tahiti.spec(),
+        DeviceId::Cayman.spec(),
+        DeviceId::Fermi.spec(),
+    ]
+}
+
+/// A random well-formed request: random shape, transpose type,
+/// precision, priority and scalars.
+fn random_request(rng: &mut Rng) -> GemmRequest {
+    // Dimensions are drawn within one of three bucket classes (32³, 64³,
+    // 128³) so that requests collide in buckets often enough to exercise
+    // coalescing and the cache, while shapes still vary freely inside a
+    // bucket.
+    fn dim(rng: &mut Rng, class: usize) -> usize {
+        match class {
+            0 => rng.range(17, 33),
+            1 => rng.range(33, 65),
+            _ => rng.range(65, 129),
+        }
+    }
+    let class = rng.range(0, 3);
+    let m = dim(rng, class);
+    let n = dim(rng, class);
+    let k = dim(rng, class);
+    let ty = GemmType::ALL[rng.range(0, 4)];
+    let (ar, ac) = if ty.ta == Trans::Yes { (k, m) } else { (m, k) };
+    let (br, bc) = if ty.tb == Trans::Yes { (n, k) } else { (k, n) };
+    let priority = [Priority::High, Priority::Normal, Priority::Low][rng.range(0, 3)];
+    let order = StorageOrder::ColMajor;
+    let payload = if rng.range(0, 2) == 0 {
+        GemmPayload::F64 {
+            alpha: rng.f64() * 2.0 - 1.0,
+            a: Matrix::test_pattern(ar, ac, order, rng.next_u64()),
+            b: Matrix::test_pattern(br, bc, order, rng.next_u64()),
+            beta: rng.f64() * 2.0 - 1.0,
+            c: Matrix::test_pattern(m, n, order, rng.next_u64()),
+        }
+    } else {
+        GemmPayload::F32 {
+            alpha: (rng.f64() * 2.0 - 1.0) as f32,
+            a: Matrix::test_pattern(ar, ac, order, rng.next_u64()),
+            b: Matrix::test_pattern(br, bc, order, rng.next_u64()),
+            beta: (rng.f64() * 2.0 - 1.0) as f32,
+            c: Matrix::test_pattern(m, n, order, rng.next_u64()),
+        }
+    };
+    GemmRequest::new(ty, payload).with_priority(priority)
+}
+
+/// Replay a served request sequentially through `TunedGemm::gemm` with
+/// the parameters the response reports, from the original operands.
+fn replay_sequentially(
+    devices: &[DeviceSpec],
+    device: &str,
+    params: KernelParams,
+    ty: GemmType,
+    original: &GemmPayload,
+) -> GemmPayload {
+    let spec = devices
+        .iter()
+        .find(|d| d.code_name == device)
+        .unwrap_or_else(|| panic!("unknown device {device}"))
+        .clone();
+    let tuned = match original.precision() {
+        Precision::F64 => TunedGemm::new(spec, params, small_test_params(Precision::F32)),
+        Precision::F32 => TunedGemm::new(spec, small_test_params(Precision::F64), params),
+    };
+    let mut payload = original.clone();
+    match &mut payload {
+        GemmPayload::F64 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            tuned.gemm(ty, *alpha, a, b, *beta, c);
+        }
+        GemmPayload::F32 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            tuned.gemm(ty, *alpha, a, b, *beta, c);
+        }
+    }
+    payload
+}
+
+/// `C` as raw bits, so comparison is bit-for-bit rather than approximate.
+fn c_bits(p: &GemmPayload) -> Vec<u64> {
+    match p {
+        GemmPayload::F64 { c, .. } => c.as_slice().iter().map(|v| v.to_bits()).collect(),
+        GemmPayload::F32 { c, .. } => c
+            .as_slice()
+            .iter()
+            .map(|v| u64::from(v.to_bits()))
+            .collect(),
+    }
+}
+
+#[test]
+fn batched_scheduled_execution_matches_sequential_gemm_bit_for_bit() {
+    let devices = pool();
+    for seed in [0xC0FFEE_u64, 7, 99] {
+        let mut rng = Rng::new(seed);
+        let mut server = GemmServer::new(
+            devices.clone(),
+            ServeConfig {
+                max_batch: 3,
+                cache_capacity: 16,
+                ..Default::default()
+            },
+        );
+        // Several drains against one server so later rounds hit the
+        // cache and land on pre-loaded queues — the interleaving and
+        // placement differ per round, the results must not.
+        let mut originals: Vec<GemmRequest> = Vec::new();
+        for _round in 0..3 {
+            let batch_start = originals.len();
+            for _ in 0..8 {
+                let req = random_request(&mut rng);
+                originals.push(req.clone());
+                server.submit(req).expect("queue has room");
+            }
+            assert_eq!(server.drain(), originals.len() - batch_start);
+        }
+
+        let responses = server.take_responses();
+        assert_eq!(responses.len(), originals.len());
+        for resp in &responses {
+            assert_eq!(resp.outcome, Outcome::Completed);
+            let original = &originals[resp.id as usize];
+            let expect = replay_sequentially(
+                &devices,
+                &resp.device,
+                resp.params,
+                resp.ty,
+                &original.payload,
+            );
+            assert_eq!(
+                c_bits(&resp.payload),
+                c_bits(&expect),
+                "seed {seed}, request {}: served C diverges from sequential replay \
+                 on {} with {:?}",
+                resp.id,
+                resp.device,
+                resp.params
+            );
+        }
+        // The workload is varied enough that the serving machinery must
+        // actually have been exercised.
+        let stats = server.stats();
+        assert!(stats.cache_hits > 0, "seed {seed}: no cache hit:\n{stats}");
+        assert!(
+            stats.max_batch > 1,
+            "seed {seed}: nothing coalesced:\n{stats}"
+        );
+        assert!(
+            stats.devices_used() >= 2,
+            "seed {seed}: one device did it all:\n{stats}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_submitters_lose_nothing_and_stay_bit_exact() {
+    let devices = pool();
+    let mut server = GemmServer::new(devices.clone(), ServeConfig::default());
+    let submitter = server.submitter();
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 6;
+
+    // Each thread records which id its requests were assigned.
+    let assigned: Vec<(u64, GemmRequest)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let submitter = submitter.clone();
+                scope.spawn(move || {
+                    let mut rng = Rng::new(0xAB5E_ED00 + t as u64);
+                    let mut mine = Vec::with_capacity(PER_THREAD);
+                    for _ in 0..PER_THREAD {
+                        let req = random_request(&mut rng);
+                        let id = submitter.submit(req.clone()).expect("queue has room");
+                        mine.push((id, req));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    assert_eq!(server.drain(), THREADS * PER_THREAD);
+    let responses = server.take_responses();
+    assert_eq!(responses.len(), THREADS * PER_THREAD);
+    for resp in responses {
+        let (_, original) = assigned
+            .iter()
+            .find(|(id, _)| *id == resp.id)
+            .expect("response for a request nobody sent");
+        let expect = replay_sequentially(
+            &devices,
+            &resp.device,
+            resp.params,
+            resp.ty,
+            &original.payload,
+        );
+        assert_eq!(
+            c_bits(&resp.payload),
+            c_bits(&expect),
+            "request {} diverged",
+            resp.id
+        );
+    }
+}
+
+#[test]
+fn single_device_and_multi_device_servers_agree_on_results() {
+    // Placement freedom must never change numerics: serve the same
+    // workload on a one-device pool and a three-device pool and compare
+    // C for requests that used the same kernel parameters.
+    let mut rng = Rng::new(42);
+    let workload: Vec<GemmRequest> = (0..10).map(|_| random_request(&mut rng)).collect();
+
+    let run = |devices: Vec<DeviceSpec>| {
+        let mut server = GemmServer::new(devices, ServeConfig::default());
+        for req in &workload {
+            server.submit(req.clone()).expect("queue has room");
+        }
+        server.drain();
+        let mut responses = server.take_responses();
+        responses.sort_by_key(|r| r.id);
+        responses
+    };
+
+    let solo = run(vec![DeviceId::Tahiti.spec()]);
+    let multi = run(pool());
+    for (a, b) in solo.iter().zip(&multi) {
+        assert_eq!(a.id, b.id);
+        if a.params == b.params {
+            assert_eq!(c_bits(&a.payload), c_bits(&b.payload), "request {}", a.id);
+        }
+    }
+}
