@@ -64,6 +64,15 @@ pub enum RuntimeError {
         writer: usize,
         other: usize,
     },
+    /// Two distinct work-groups touched the same global-buffer element
+    /// during one launch, at least one writing. Generated kernels write
+    /// disjoint tiles per group; this guards the parallel group engine.
+    GlobalRace {
+        buffer: String,
+        index: usize,
+        group: usize,
+        other: usize,
+    },
     /// Argument list does not match the kernel signature.
     BadArguments(String),
     /// NDRange is invalid (e.g. global size not a multiple of local size —
@@ -91,6 +100,10 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::LocalRace { array, index, writer, other } => write!(
                 f,
                 "data race on local array {array:?}[{index}] between work-items {writer} and {other}"
+            ),
+            RuntimeError::GlobalRace { buffer, index, group, other } => write!(
+                f,
+                "data race on global buffer {buffer:?}[{index}] between work-groups {group} and {other}"
             ),
             RuntimeError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
             RuntimeError::BadNdRange(m) => write!(f, "bad NDRange: {m}"),

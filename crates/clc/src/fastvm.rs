@@ -1,0 +1,2910 @@
+//! The fast execution engine: typed register banks, fused
+//! superinstructions, and parallel work-group execution.
+//!
+//! The reference interpreter in [`crate::vm`] keeps every register as a
+//! [`Value`] enum in a per-work-item `Vec`, so the hot loop pays an enum
+//! match (and often a heap clone) per operand. This module compiles a
+//! [`CompiledKernel`] one step further at `Program::compile` time:
+//!
+//! * **register classes** — [`crate::lower::assign_classes`] proves a
+//!   single storage class per register; registers then live in per-group
+//!   SoA banks (`i64`/`f32`/`f64` scalars, `f32`/`f64` vector lanes),
+//!   laid out work-item-major, and the inner loop never inspects a
+//!   [`Value`];
+//! * **superinstruction fusion** — a peephole pass over the bytecode
+//!   fuses the sequences the GEMM generator emits most (constant+binop,
+//!   compare+branch, mul+add, load+convert) into single dispatches that
+//!   still write every intermediate register and count every constituent
+//!   instruction, so buffers *and* [`DynStats`] stay bit-for-bit equal to
+//!   the reference interpreter;
+//! * **parallel work-groups** — `launch` partitions the NDRange across
+//!   scoped threads via [`clgemm_shim::par::par_range_map`]; each thread
+//!   owns its locals/race tables and a reusable bank arena, stats merge
+//!   in group order, and an inter-group [`GlobalRaceTables`] detector
+//!   validates that distinct groups never touch the same global cell
+//!   with a write.
+//!
+//! When `assign_classes` cannot type a kernel (or the specialiser meets
+//! an operand combination the reference interpreter would reject at
+//! runtime), [`specialize`] returns `None` and launches fall back to the
+//! reference interpreter, keeping behaviour identical on both paths.
+
+use crate::ast::{Base, BinOp, UnOp};
+use crate::error::RuntimeError;
+use crate::lower::{assign_classes, CompiledKernel, Instr, MathFunc, Reg, RegClass, WiFunc};
+use crate::vm::{
+    global_race_err, local_race_err, BufData, DynStats, ExecOptions, Geometry, GlobalRaceTables,
+    LocalBuf, RaceTable, Value, WiStop,
+};
+
+const NONE: u32 = u32::MAX;
+
+/// One typed, slot-resolved operation of the fast plan. Scalar operands
+/// are indices into the per-work-item class bank; vector operands are
+/// base lane indices into the shared lane arena (width carried in `w`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FOp {
+    IConst {
+        d: u32,
+        v: i64,
+    },
+    F32Const {
+        d: u32,
+        v: f32,
+    },
+    F64Const {
+        d: u32,
+        v: f64,
+    },
+    V32Const {
+        d: u32,
+        w: u8,
+        v: Box<[f32; 16]>,
+    },
+    V64Const {
+        d: u32,
+        w: u8,
+        v: Box<[f64; 16]>,
+    },
+    IMov {
+        d: u32,
+        s: u32,
+    },
+    F32Mov {
+        d: u32,
+        s: u32,
+    },
+    F64Mov {
+        d: u32,
+        s: u32,
+    },
+    V32Mov {
+        d: u32,
+        s: u32,
+        w: u8,
+    },
+    V64Mov {
+        d: u32,
+        s: u32,
+        w: u8,
+    },
+    IBin {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    ICmp {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    F32Cmp {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    F64Cmp {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    ILogic {
+        and: bool,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    F32Bin {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    F64Bin {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    V32Bin {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        w: u8,
+    },
+    V64Bin {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        w: u8,
+    },
+    INeg {
+        d: u32,
+        a: u32,
+    },
+    F32Neg {
+        d: u32,
+        a: u32,
+    },
+    F64Neg {
+        d: u32,
+        a: u32,
+    },
+    V32Neg {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    V64Neg {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    BNot {
+        d: u32,
+        a: u32,
+    },
+    I2F32 {
+        d: u32,
+        a: u32,
+    },
+    I2F64 {
+        d: u32,
+        a: u32,
+    },
+    I2B {
+        d: u32,
+        a: u32,
+    },
+    F32ToI {
+        d: u32,
+        a: u32,
+    },
+    F32To64 {
+        d: u32,
+        a: u32,
+    },
+    F64ToI {
+        d: u32,
+        a: u32,
+    },
+    F64To32 {
+        d: u32,
+        a: u32,
+    },
+    V32To64 {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    V64To32 {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    Bcast32 {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    Bcast64 {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    BcastI {
+        d: u32,
+        a: u32,
+        w: u8,
+    },
+    Build32 {
+        d: u32,
+        parts: Vec<u32>,
+    },
+    Build64 {
+        d: u32,
+        parts: Vec<u32>,
+    },
+    /// `s` is already lane-resolved (`slot + lane`).
+    Extr32 {
+        d: u32,
+        s: u32,
+    },
+    Extr64 {
+        d: u32,
+        s: u32,
+    },
+    /// `v` is already lane-resolved.
+    Ins32 {
+        v: u32,
+        s: u32,
+    },
+    Ins64 {
+        v: u32,
+        s: u32,
+    },
+    Mad32 {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    Mad64 {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    VMad32 {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        w: u8,
+    },
+    VMad64 {
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+        w: u8,
+    },
+    MathI {
+        f: MathFunc,
+        n: u8,
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    Math32 {
+        f: MathFunc,
+        n: u8,
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    Math64 {
+        f: MathFunc,
+        n: u8,
+        d: u32,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
+    FWi {
+        f: WiFunc,
+        d: u32,
+        dim: u32,
+    },
+    LdG32 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+    },
+    LdG64 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+    },
+    LdGI {
+        d: u32,
+        buf: u32,
+        idx: u32,
+    },
+    LdGV32 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+        w: u8,
+    },
+    LdGV64 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+        w: u8,
+    },
+    StG32 {
+        buf: u32,
+        idx: u32,
+        s: u32,
+    },
+    StG64 {
+        buf: u32,
+        idx: u32,
+        s: u32,
+    },
+    StGI {
+        buf: u32,
+        idx: u32,
+        s: u32,
+    },
+    StGV32 {
+        buf: u32,
+        idx: u32,
+        s: u32,
+        w: u8,
+    },
+    StGV64 {
+        buf: u32,
+        idx: u32,
+        s: u32,
+        w: u8,
+    },
+    LdL32 {
+        d: u32,
+        arr: u32,
+        idx: u32,
+    },
+    LdL64 {
+        d: u32,
+        arr: u32,
+        idx: u32,
+    },
+    LdLI {
+        d: u32,
+        arr: u32,
+        idx: u32,
+    },
+    LdLV32 {
+        d: u32,
+        arr: u32,
+        idx: u32,
+        w: u8,
+    },
+    LdLV64 {
+        d: u32,
+        arr: u32,
+        idx: u32,
+        w: u8,
+    },
+    StL32 {
+        arr: u32,
+        idx: u32,
+        s: u32,
+    },
+    StL64 {
+        arr: u32,
+        idx: u32,
+        s: u32,
+    },
+    StLI {
+        arr: u32,
+        idx: u32,
+        s: u32,
+    },
+    StLV32 {
+        arr: u32,
+        idx: u32,
+        s: u32,
+        w: u8,
+    },
+    StLV64 {
+        arr: u32,
+        idx: u32,
+        s: u32,
+        w: u8,
+    },
+    FJump {
+        t: u32,
+    },
+    FJz {
+        c: u32,
+        t: u32,
+    },
+    SelI {
+        d: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
+    Sel32 {
+        d: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
+    Sel64 {
+        d: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
+    SelV32 {
+        d: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+        w: u8,
+    },
+    SelV64 {
+        d: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+        w: u8,
+    },
+    FBarrier {
+        site: u32,
+    },
+    FRet,
+    // --- fused superinstructions (each still writes every intermediate
+    // register and counts every constituent instruction) ---
+    /// `Bin(cmp) ; JumpIfFalse` — 2 instrs, 1 alu.
+    CmpJzI {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        t: u32,
+    },
+    CmpJz32 {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        t: u32,
+    },
+    CmpJz64 {
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        t: u32,
+    },
+    /// `Const(int) ; Bin(cmp) ; JumpIfFalse` — the constant-bound loop
+    /// header. 3 instrs, 1 alu.
+    IConstCmpJz {
+        v: i64,
+        c: u32,
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        t: u32,
+    },
+    /// `Const(int) ; Bin(int) [; Mov]` — index arithmetic and `i += 1`.
+    /// `mv == NONE` when there is no trailing move. 2–3 instrs, 1 alu.
+    IConstBin {
+        v: i64,
+        c: u32,
+        op: BinOp,
+        d: u32,
+        a: u32,
+        b: u32,
+        mv: u32,
+    },
+    /// `Bin(Mul) ; Bin(Add)` at storage precision (two roundings — this
+    /// is *not* `mul_add`). 2 instrs, 2 alu.
+    MulAdd32 {
+        ma: u32,
+        mb: u32,
+        t: u32,
+        aa: u32,
+        ab: u32,
+        d: u32,
+    },
+    MulAdd64 {
+        ma: u32,
+        mb: u32,
+        t: u32,
+        aa: u32,
+        ab: u32,
+        d: u32,
+    },
+    VMulAdd32 {
+        ma: u32,
+        mb: u32,
+        t: u32,
+        aa: u32,
+        ab: u32,
+        d: u32,
+        w: u8,
+    },
+    VMulAdd64 {
+        ma: u32,
+        mb: u32,
+        t: u32,
+        aa: u32,
+        ab: u32,
+        d: u32,
+        w: u8,
+    },
+    /// `LoadGlobal(width 1) ; Convert` — mixed-precision epilogues.
+    /// 2 instrs, 1 global mem instr.
+    LdG32To64 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+        dc: u32,
+    },
+    LdG64To32 {
+        d: u32,
+        buf: u32,
+        idx: u32,
+        dc: u32,
+    },
+}
+
+/// The typed/fused execution plan attached to a [`CompiledKernel`] when
+/// the register-class assignment pass succeeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastKernel {
+    pub(crate) ops: Vec<FOp>,
+    pub(crate) classes: Vec<RegClass>,
+    pub(crate) slot: Vec<u32>,
+    pub(crate) n_int: usize,
+    pub(crate) n_f32: usize,
+    pub(crate) n_f64: usize,
+    pub(crate) v32_lanes: usize,
+    pub(crate) v64_lanes: usize,
+    /// Fused superinstructions in the plan (for diagnostics/disasm).
+    pub(crate) n_fused: usize,
+}
+
+impl FastKernel {
+    /// Number of fused superinstructions in the plan.
+    #[must_use]
+    pub fn fused_count(&self) -> usize {
+        self.n_fused
+    }
+
+    /// Number of typed ops in the plan.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+// --- specialisation -------------------------------------------------------
+
+struct Tx<'a> {
+    k: &'a CompiledKernel,
+    cls: &'a [RegClass],
+    slot: &'a [u32],
+}
+
+impl Tx<'_> {
+    fn s(&self, r: Reg) -> u32 {
+        self.slot[r]
+    }
+
+    fn c(&self, r: Reg) -> RegClass {
+        self.cls[r]
+    }
+
+    /// Translate one bytecode instruction to a typed op; `None` when the
+    /// operand classes are inconsistent with what the reference
+    /// interpreter would accept (the whole kernel then falls back).
+    #[allow(clippy::too_many_lines)]
+    fn op1(&self, ins: &Instr) -> Option<FOp> {
+        use RegClass as C;
+        Some(match ins {
+            Instr::Const { dst, val } => match val {
+                Value::I(v) => FOp::IConst {
+                    d: self.s(*dst),
+                    v: *v,
+                },
+                Value::B(b) => FOp::IConst {
+                    d: self.s(*dst),
+                    v: *b as i64,
+                },
+                Value::F32(v) => FOp::F32Const {
+                    d: self.s(*dst),
+                    v: *v,
+                },
+                Value::F64(v) => FOp::F64Const {
+                    d: self.s(*dst),
+                    v: *v,
+                },
+                Value::V32(a, w) => FOp::V32Const {
+                    d: self.s(*dst),
+                    w: *w,
+                    v: Box::new(*a),
+                },
+                Value::V64(a, w) => FOp::V64Const {
+                    d: self.s(*dst),
+                    w: *w,
+                    v: Box::new(*a),
+                },
+            },
+            Instr::Mov { dst, src } => {
+                if self.c(*dst) != self.c(*src) {
+                    return None;
+                }
+                let (d, s) = (self.s(*dst), self.s(*src));
+                match self.c(*src) {
+                    C::Int => FOp::IMov { d, s },
+                    C::F32 => FOp::F32Mov { d, s },
+                    C::F64 => FOp::F64Mov { d, s },
+                    C::V32(w) => FOp::V32Mov { d, s, w },
+                    C::V64(w) => FOp::V64Mov { d, s, w },
+                }
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let (d, ra, rb) = (self.s(*dst), self.s(*a), self.s(*b));
+                if op.is_cmp() {
+                    if self.c(*dst) != C::Int {
+                        return None;
+                    }
+                    match (self.c(*a), self.c(*b)) {
+                        (C::Int, C::Int) => FOp::ICmp {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                        },
+                        (C::F32, C::F32) => FOp::F32Cmp {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                        },
+                        (C::F64, C::F64) => FOp::F64Cmp {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                        },
+                        _ => return None,
+                    }
+                } else if op.is_logic() {
+                    if self.c(*dst) != C::Int || self.c(*a) != C::Int || self.c(*b) != C::Int {
+                        return None;
+                    }
+                    FOp::ILogic {
+                        and: *op == BinOp::And,
+                        d,
+                        a: ra,
+                        b: rb,
+                    }
+                } else {
+                    match (self.c(*a), self.c(*b)) {
+                        (C::Int, C::Int) if self.c(*dst) == C::Int => FOp::IBin {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                        },
+                        (C::F32, C::F32) if self.c(*dst) == C::F32 && !op.int_only() => {
+                            FOp::F32Bin {
+                                op: *op,
+                                d,
+                                a: ra,
+                                b: rb,
+                            }
+                        }
+                        (C::F64, C::F64) if self.c(*dst) == C::F64 && !op.int_only() => {
+                            FOp::F64Bin {
+                                op: *op,
+                                d,
+                                a: ra,
+                                b: rb,
+                            }
+                        }
+                        (C::V32(w), C::V32(w2))
+                            if w == w2 && self.c(*dst) == C::V32(w) && !op.int_only() =>
+                        {
+                            FOp::V32Bin {
+                                op: *op,
+                                d,
+                                a: ra,
+                                b: rb,
+                                w,
+                            }
+                        }
+                        (C::V64(w), C::V64(w2))
+                            if w == w2 && self.c(*dst) == C::V64(w) && !op.int_only() =>
+                        {
+                            FOp::V64Bin {
+                                op: *op,
+                                d,
+                                a: ra,
+                                b: rb,
+                                w,
+                            }
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            Instr::Un { op, dst, a } => {
+                let (d, ra) = (self.s(*dst), self.s(*a));
+                match (op, self.c(*a)) {
+                    (UnOp::Neg, C::Int) if self.c(*dst) == C::Int => FOp::INeg { d, a: ra },
+                    (UnOp::Neg, C::F32) if self.c(*dst) == C::F32 => FOp::F32Neg { d, a: ra },
+                    (UnOp::Neg, C::F64) if self.c(*dst) == C::F64 => FOp::F64Neg { d, a: ra },
+                    (UnOp::Neg, C::V32(w)) if self.c(*dst) == C::V32(w) => {
+                        FOp::V32Neg { d, a: ra, w }
+                    }
+                    (UnOp::Neg, C::V64(w)) if self.c(*dst) == C::V64(w) => {
+                        FOp::V64Neg { d, a: ra, w }
+                    }
+                    (UnOp::Not, C::Int) if self.c(*dst) == C::Int => FOp::BNot { d, a: ra },
+                    _ => return None,
+                }
+            }
+            Instr::Convert { dst, src, base } => {
+                let (d, a) = (self.s(*dst), self.s(*src));
+                let op = match (self.c(*src), base) {
+                    (C::Int, Base::Float) => FOp::I2F32 { d, a },
+                    (C::Int, Base::Double) => FOp::I2F64 { d, a },
+                    (C::Int, Base::Int | Base::Uint) => FOp::IMov { d, s: a },
+                    (C::Int, Base::Bool) => FOp::I2B { d, a },
+                    (C::F32, Base::Float) => FOp::F32Mov { d, s: a },
+                    (C::F32, Base::Double) => FOp::F32To64 { d, a },
+                    (C::F32, Base::Int | Base::Uint) => FOp::F32ToI { d, a },
+                    (C::F64, Base::Float) => FOp::F64To32 { d, a },
+                    (C::F64, Base::Double) => FOp::F64Mov { d, s: a },
+                    (C::F64, Base::Int | Base::Uint) => FOp::F64ToI { d, a },
+                    (C::V32(w), Base::Double) => FOp::V32To64 { d, a, w },
+                    (C::V32(w), Base::Float) => FOp::V32Mov { d, s: a, w },
+                    (C::V64(w), Base::Float) => FOp::V64To32 { d, a, w },
+                    (C::V64(w), Base::Double) => FOp::V64Mov { d, s: a, w },
+                    _ => return None,
+                };
+                if expected_dst(&op, self.cls, self.slot, *dst) {
+                    op
+                } else {
+                    return None;
+                }
+            }
+            Instr::Broadcast { dst, src, width } => {
+                let (d, a) = (self.s(*dst), self.s(*src));
+                match self.c(*src) {
+                    C::F32 if self.c(*dst) == C::V32(*width) => FOp::Bcast32 { d, a, w: *width },
+                    C::F64 if self.c(*dst) == C::V64(*width) => FOp::Bcast64 { d, a, w: *width },
+                    // The reference interpreter broadcasts ints into
+                    // double vectors; mirror the quirk.
+                    C::Int if self.c(*dst) == C::V64(*width) => FOp::BcastI { d, a, w: *width },
+                    _ => return None,
+                }
+            }
+            Instr::BuildVec { dst, base, parts } => {
+                let w = parts.len() as u8;
+                let slots: Vec<u32> = parts.iter().map(|r| self.s(*r)).collect();
+                match base {
+                    Base::Float
+                        if self.c(*dst) == C::V32(w)
+                            && parts.iter().all(|r| self.c(*r) == C::F32) =>
+                    {
+                        FOp::Build32 {
+                            d: self.s(*dst),
+                            parts: slots,
+                        }
+                    }
+                    Base::Double
+                        if self.c(*dst) == C::V64(w)
+                            && parts.iter().all(|r| self.c(*r) == C::F64) =>
+                    {
+                        FOp::Build64 {
+                            d: self.s(*dst),
+                            parts: slots,
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+            Instr::Extract { dst, src, lane } => match self.c(*src) {
+                C::V32(w) if *lane < w && self.c(*dst) == C::F32 => FOp::Extr32 {
+                    d: self.s(*dst),
+                    s: self.s(*src) + *lane as u32,
+                },
+                C::V64(w) if *lane < w && self.c(*dst) == C::F64 => FOp::Extr64 {
+                    d: self.s(*dst),
+                    s: self.s(*src) + *lane as u32,
+                },
+                _ => return None,
+            },
+            Instr::InsertLane { vec, src, lane } => match (self.c(*vec), self.c(*src)) {
+                (C::V32(w), C::F32) if *lane < w => FOp::Ins32 {
+                    v: self.s(*vec) + *lane as u32,
+                    s: self.s(*src),
+                },
+                (C::V64(w), C::F64) if *lane < w => FOp::Ins64 {
+                    v: self.s(*vec) + *lane as u32,
+                    s: self.s(*src),
+                },
+                _ => return None,
+            },
+            Instr::Mad { dst, a, b, c } => {
+                let cl = self.c(*a);
+                if self.c(*b) != cl || self.c(*c) != cl || self.c(*dst) != cl {
+                    return None;
+                }
+                let (d, ra, rb, rc) = (self.s(*dst), self.s(*a), self.s(*b), self.s(*c));
+                match cl {
+                    C::F32 => FOp::Mad32 {
+                        d,
+                        a: ra,
+                        b: rb,
+                        c: rc,
+                    },
+                    C::F64 => FOp::Mad64 {
+                        d,
+                        a: ra,
+                        b: rb,
+                        c: rc,
+                    },
+                    C::V32(w) => FOp::VMad32 {
+                        d,
+                        a: ra,
+                        b: rb,
+                        c: rc,
+                        w,
+                    },
+                    C::V64(w) => FOp::VMad64 {
+                        d,
+                        a: ra,
+                        b: rb,
+                        c: rc,
+                        w,
+                    },
+                    C::Int => return None,
+                }
+            }
+            Instr::Math {
+                f,
+                dst,
+                args,
+                n_args,
+            } => {
+                let cl = self.c(args[0]);
+                for &r in args.iter().take(*n_args as usize) {
+                    if self.c(r) != cl {
+                        return None;
+                    }
+                }
+                if self.c(*dst) != cl {
+                    return None;
+                }
+                let ok = matches!(
+                    (cl, *n_args, f),
+                    (C::Int, 2, MathFunc::Min | MathFunc::Max)
+                        | (C::Int, 3, MathFunc::Clamp)
+                        | (
+                            C::F32 | C::F64,
+                            2,
+                            MathFunc::Min | MathFunc::Max | MathFunc::Fmin | MathFunc::Fmax,
+                        )
+                        | (C::F32 | C::F64, 3, MathFunc::Clamp)
+                        | (
+                            C::F32 | C::F64,
+                            1,
+                            MathFunc::Fabs
+                                | MathFunc::Sqrt
+                                | MathFunc::Exp
+                                | MathFunc::Log
+                                | MathFunc::NativeRecip,
+                        )
+                );
+                if !ok {
+                    return None;
+                }
+                let (d, a, b, c) = (
+                    self.s(*dst),
+                    self.s(args[0]),
+                    self.s(args[1]),
+                    self.s(args[2]),
+                );
+                match cl {
+                    C::Int => FOp::MathI {
+                        f: *f,
+                        n: *n_args,
+                        d,
+                        a,
+                        b,
+                        c,
+                    },
+                    C::F32 => FOp::Math32 {
+                        f: *f,
+                        n: *n_args,
+                        d,
+                        a,
+                        b,
+                        c,
+                    },
+                    C::F64 => FOp::Math64 {
+                        f: *f,
+                        n: *n_args,
+                        d,
+                        a,
+                        b,
+                        c,
+                    },
+                    _ => return None,
+                }
+            }
+            Instr::Wi { f, dst, dim } => {
+                if self.c(*dst) != C::Int || self.c(*dim) != C::Int {
+                    return None;
+                }
+                FOp::FWi {
+                    f: *f,
+                    d: self.s(*dst),
+                    dim: self.s(*dim),
+                }
+            }
+            Instr::LoadGlobal {
+                dst,
+                buf,
+                idx,
+                width,
+            } => {
+                if self.c(*idx) != C::Int {
+                    return None;
+                }
+                let base = self.k.checked.buffer_params[*buf].base;
+                let (d, b, i) = (self.s(*dst), *buf as u32, self.s(*idx));
+                match (base, *width) {
+                    (Base::Float, 1) if self.c(*dst) == C::F32 => FOp::LdG32 { d, buf: b, idx: i },
+                    (Base::Double, 1) if self.c(*dst) == C::F64 => FOp::LdG64 { d, buf: b, idx: i },
+                    (Base::Int | Base::Uint | Base::Bool, 1) if self.c(*dst) == C::Int => {
+                        FOp::LdGI { d, buf: b, idx: i }
+                    }
+                    (Base::Float, w) if self.c(*dst) == C::V32(w) => FOp::LdGV32 {
+                        d,
+                        buf: b,
+                        idx: i,
+                        w,
+                    },
+                    (Base::Double, w) if self.c(*dst) == C::V64(w) => FOp::LdGV64 {
+                        d,
+                        buf: b,
+                        idx: i,
+                        w,
+                    },
+                    _ => return None,
+                }
+            }
+            Instr::StoreGlobal {
+                buf,
+                idx,
+                src,
+                width,
+            } => {
+                if self.c(*idx) != C::Int {
+                    return None;
+                }
+                let base = self.k.checked.buffer_params[*buf].base;
+                let (b, i, s) = (*buf as u32, self.s(*idx), self.s(*src));
+                match (base, *width, self.c(*src)) {
+                    (Base::Float, 1, C::F32) => FOp::StG32 { buf: b, idx: i, s },
+                    (Base::Double, 1, C::F64) => FOp::StG64 { buf: b, idx: i, s },
+                    (Base::Int | Base::Uint | Base::Bool, 1, C::Int) => {
+                        FOp::StGI { buf: b, idx: i, s }
+                    }
+                    (Base::Float, w, C::V32(w2)) if w == w2 => FOp::StGV32 {
+                        buf: b,
+                        idx: i,
+                        s,
+                        w,
+                    },
+                    (Base::Double, w, C::V64(w2)) if w == w2 => FOp::StGV64 {
+                        buf: b,
+                        idx: i,
+                        s,
+                        w,
+                    },
+                    _ => return None,
+                }
+            }
+            Instr::LoadLocal {
+                dst,
+                arr,
+                idx,
+                width,
+            } => {
+                if self.c(*idx) != C::Int {
+                    return None;
+                }
+                let base = self.k.checked.local_arrays[*arr].base;
+                let (d, ar, i) = (self.s(*dst), *arr as u32, self.s(*idx));
+                match (base, *width) {
+                    (Base::Float, 1) if self.c(*dst) == C::F32 => FOp::LdL32 { d, arr: ar, idx: i },
+                    (Base::Double, 1) if self.c(*dst) == C::F64 => {
+                        FOp::LdL64 { d, arr: ar, idx: i }
+                    }
+                    (Base::Int | Base::Uint | Base::Bool, 1) if self.c(*dst) == C::Int => {
+                        FOp::LdLI { d, arr: ar, idx: i }
+                    }
+                    (Base::Float, w) if self.c(*dst) == C::V32(w) => FOp::LdLV32 {
+                        d,
+                        arr: ar,
+                        idx: i,
+                        w,
+                    },
+                    (Base::Double, w) if self.c(*dst) == C::V64(w) => FOp::LdLV64 {
+                        d,
+                        arr: ar,
+                        idx: i,
+                        w,
+                    },
+                    _ => return None,
+                }
+            }
+            Instr::StoreLocal {
+                arr,
+                idx,
+                src,
+                width,
+            } => {
+                if self.c(*idx) != C::Int {
+                    return None;
+                }
+                let base = self.k.checked.local_arrays[*arr].base;
+                let (ar, i, s) = (*arr as u32, self.s(*idx), self.s(*src));
+                match (base, *width, self.c(*src)) {
+                    (Base::Float, 1, C::F32) => FOp::StL32 { arr: ar, idx: i, s },
+                    (Base::Double, 1, C::F64) => FOp::StL64 { arr: ar, idx: i, s },
+                    (Base::Int | Base::Uint | Base::Bool, 1, C::Int) => {
+                        FOp::StLI { arr: ar, idx: i, s }
+                    }
+                    (Base::Float, w, C::V32(w2)) if w == w2 => FOp::StLV32 {
+                        arr: ar,
+                        idx: i,
+                        s,
+                        w,
+                    },
+                    (Base::Double, w, C::V64(w2)) if w == w2 => FOp::StLV64 {
+                        arr: ar,
+                        idx: i,
+                        s,
+                        w,
+                    },
+                    _ => return None,
+                }
+            }
+            Instr::Jump { target } => FOp::FJump { t: *target as u32 },
+            Instr::JumpIfFalse { cond, target } => {
+                if self.c(*cond) != C::Int {
+                    return None;
+                }
+                FOp::FJz {
+                    c: self.s(*cond),
+                    t: *target as u32,
+                }
+            }
+            Instr::Select { dst, cond, a, b } => {
+                if self.c(*cond) != C::Int {
+                    return None;
+                }
+                let cl = self.c(*a);
+                if self.c(*b) != cl || self.c(*dst) != cl {
+                    return None;
+                }
+                let (d, c, ra, rb) = (self.s(*dst), self.s(*cond), self.s(*a), self.s(*b));
+                match cl {
+                    C::Int => FOp::SelI { d, c, a: ra, b: rb },
+                    C::F32 => FOp::Sel32 { d, c, a: ra, b: rb },
+                    C::F64 => FOp::Sel64 { d, c, a: ra, b: rb },
+                    C::V32(w) => FOp::SelV32 {
+                        d,
+                        c,
+                        a: ra,
+                        b: rb,
+                        w,
+                    },
+                    C::V64(w) => FOp::SelV64 {
+                        d,
+                        c,
+                        a: ra,
+                        b: rb,
+                        w,
+                    },
+                }
+            }
+            Instr::Barrier { site } => FOp::FBarrier { site: *site },
+            Instr::Ret => FOp::FRet,
+        })
+    }
+}
+
+/// Is the op's destination slot consistent with `dst`'s class/slot? Used
+/// by the `Convert` translation where the op was chosen from the source
+/// class alone.
+fn expected_dst(op: &FOp, cls: &[RegClass], slot: &[u32], dst: Reg) -> bool {
+    use RegClass as C;
+    let want = match op {
+        FOp::I2F32 { .. } | FOp::F64To32 { .. } => C::F32,
+        FOp::I2F64 { .. } | FOp::F32To64 { .. } => C::F64,
+        FOp::IMov { .. } | FOp::I2B { .. } | FOp::F32ToI { .. } | FOp::F64ToI { .. } => C::Int,
+        FOp::F32Mov { .. } => C::F32,
+        FOp::F64Mov { .. } => C::F64,
+        FOp::V32To64 { w, .. } => C::V64(*w),
+        FOp::V64To32 { w, .. } => C::V32(*w),
+        FOp::V32Mov { w, .. } => C::V32(*w),
+        FOp::V64Mov { w, .. } => C::V64(*w),
+        _ => return false,
+    };
+    let _ = slot;
+    cls[dst] == want
+}
+
+/// Try to fuse a superinstruction window starting at `pc`. Windows never
+/// span a jump target (targets can only begin a window), so the
+/// old-pc → new-pc remap stays total over reachable targets. Returns the
+/// fused op and the number of bytecode instructions consumed.
+fn try_fuse(tx: &Tx<'_>, pc: usize, is_target: &[bool]) -> Option<(FOp, usize)> {
+    use RegClass as C;
+    let code = &tx.k.code;
+    let at = |i: usize| code.get(i);
+
+    // Const(int) ; Bin ; ... windows.
+    if let Some(Instr::Const {
+        dst: cd,
+        val: Value::I(v),
+    }) = at(pc)
+    {
+        if let (Some(Instr::Bin { op, dst, a, b }), false) = (at(pc + 1), is_target[pc + 1]) {
+            let int_operands = tx.c(*a) == C::Int && tx.c(*b) == C::Int;
+            let touches_const = *a == *cd || *b == *cd;
+            // Const ; Cmp ; JumpIfFalse — constant-bound loop header.
+            if op.is_cmp() && int_operands && touches_const && tx.c(*dst) == C::Int {
+                if let (Some(Instr::JumpIfFalse { cond, target }), false) =
+                    (at(pc + 2), is_target[pc + 2])
+                {
+                    if *cond == *dst {
+                        return Some((
+                            FOp::IConstCmpJz {
+                                v: *v,
+                                c: tx.s(*cd),
+                                op: *op,
+                                d: tx.s(*dst),
+                                a: tx.s(*a),
+                                b: tx.s(*b),
+                                t: *target as u32,
+                            },
+                            3,
+                        ));
+                    }
+                }
+            }
+            // Const ; Bin(int arith) [; Mov] — index math, `i += 1`.
+            if !op.is_cmp()
+                && !op.is_logic()
+                && int_operands
+                && touches_const
+                && tx.c(*dst) == C::Int
+            {
+                let mv = match (at(pc + 2), is_target[pc + 2]) {
+                    (Some(Instr::Mov { dst: md, src }), false)
+                        if *src == *dst && tx.c(*md) == C::Int =>
+                    {
+                        Some(tx.s(*md))
+                    }
+                    _ => None,
+                };
+                let len = if mv.is_some() { 3 } else { 2 };
+                return Some((
+                    FOp::IConstBin {
+                        v: *v,
+                        c: tx.s(*cd),
+                        op: *op,
+                        d: tx.s(*dst),
+                        a: tx.s(*a),
+                        b: tx.s(*b),
+                        mv: mv.unwrap_or(NONE),
+                    },
+                    len,
+                ));
+            }
+        }
+    }
+
+    // Bin(scalar cmp) ; JumpIfFalse.
+    if let Some(Instr::Bin { op, dst, a, b }) = at(pc) {
+        if op.is_cmp() && tx.c(*dst) == C::Int {
+            if let (Some(Instr::JumpIfFalse { cond, target }), false) =
+                (at(pc + 1), is_target[pc + 1])
+            {
+                if *cond == *dst {
+                    let (d, ra, rb, t) = (tx.s(*dst), tx.s(*a), tx.s(*b), *target as u32);
+                    let fused = match (tx.c(*a), tx.c(*b)) {
+                        (C::Int, C::Int) => FOp::CmpJzI {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                            t,
+                        },
+                        (C::F32, C::F32) => FOp::CmpJz32 {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                            t,
+                        },
+                        (C::F64, C::F64) => FOp::CmpJz64 {
+                            op: *op,
+                            d,
+                            a: ra,
+                            b: rb,
+                            t,
+                        },
+                        _ => return None,
+                    };
+                    return Some((fused, 2));
+                }
+            }
+        }
+        // Bin(Mul) ; Bin(Add) at float/vector class — the unfused
+        // multiply-accumulate the generator emits when MAD is off.
+        if *op == BinOp::Mul {
+            if let (
+                Some(Instr::Bin {
+                    op: op2,
+                    dst: d2,
+                    a: a2,
+                    b: b2,
+                }),
+                false,
+            ) = (at(pc + 1), is_target[pc + 1])
+            {
+                let cl = tx.c(*dst);
+                let same = tx.c(*a) == cl
+                    && tx.c(*b) == cl
+                    && tx.c(*a2) == cl
+                    && tx.c(*b2) == cl
+                    && tx.c(*d2) == cl;
+                if *op2 == BinOp::Add && same {
+                    let (ma, mb, t) = (tx.s(*a), tx.s(*b), tx.s(*dst));
+                    let (aa, ab, d) = (tx.s(*a2), tx.s(*b2), tx.s(*d2));
+                    let fused = match cl {
+                        C::F32 => FOp::MulAdd32 {
+                            ma,
+                            mb,
+                            t,
+                            aa,
+                            ab,
+                            d,
+                        },
+                        C::F64 => FOp::MulAdd64 {
+                            ma,
+                            mb,
+                            t,
+                            aa,
+                            ab,
+                            d,
+                        },
+                        C::V32(w) => FOp::VMulAdd32 {
+                            ma,
+                            mb,
+                            t,
+                            aa,
+                            ab,
+                            d,
+                            w,
+                        },
+                        C::V64(w) => FOp::VMulAdd64 {
+                            ma,
+                            mb,
+                            t,
+                            aa,
+                            ab,
+                            d,
+                            w,
+                        },
+                        C::Int => return None,
+                    };
+                    return Some((fused, 2));
+                }
+            }
+        }
+    }
+
+    // LoadGlobal(width 1) ; Convert — mixed-precision alpha/beta loads.
+    if let Some(Instr::LoadGlobal {
+        dst,
+        buf,
+        idx,
+        width: 1,
+    }) = at(pc)
+    {
+        if tx.c(*idx) == C::Int {
+            if let (
+                Some(Instr::Convert {
+                    dst: cdst,
+                    src,
+                    base,
+                }),
+                false,
+            ) = (at(pc + 1), is_target[pc + 1])
+            {
+                if *src == *dst {
+                    let bufbase = tx.k.checked.buffer_params[*buf].base;
+                    let (d, b, i, dc) = (tx.s(*dst), *buf as u32, tx.s(*idx), tx.s(*cdst));
+                    match (bufbase, base) {
+                        (Base::Float, Base::Double)
+                            if tx.c(*dst) == C::F32 && tx.c(*cdst) == C::F64 =>
+                        {
+                            return Some((
+                                FOp::LdG32To64 {
+                                    d,
+                                    buf: b,
+                                    idx: i,
+                                    dc,
+                                },
+                                2,
+                            ));
+                        }
+                        (Base::Double, Base::Float)
+                            if tx.c(*dst) == C::F64 && tx.c(*cdst) == C::F32 =>
+                        {
+                            return Some((
+                                FOp::LdG64To32 {
+                                    d,
+                                    buf: b,
+                                    idx: i,
+                                    dc,
+                                },
+                                2,
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// Compile the typed/fused plan for a kernel, or `None` when the
+/// register-class pass (or operand validation) cannot type it — launches
+/// then fall back to the reference interpreter.
+#[must_use]
+pub fn specialize(k: &CompiledKernel) -> Option<FastKernel> {
+    let classes = assign_classes(k)?;
+
+    // Per-class slot assignment; vectors get base lane offsets.
+    let mut slot = vec![0u32; k.n_regs];
+    let (mut n_int, mut n_f32, mut n_f64, mut v32_lanes, mut v64_lanes) = (0usize, 0, 0, 0, 0);
+    for (r, c) in classes.iter().enumerate() {
+        slot[r] = match c {
+            RegClass::Int => {
+                n_int += 1;
+                (n_int - 1) as u32
+            }
+            RegClass::F32 => {
+                n_f32 += 1;
+                (n_f32 - 1) as u32
+            }
+            RegClass::F64 => {
+                n_f64 += 1;
+                (n_f64 - 1) as u32
+            }
+            RegClass::V32(w) => {
+                let base = v32_lanes;
+                v32_lanes += *w as usize;
+                base as u32
+            }
+            RegClass::V64(w) => {
+                let base = v64_lanes;
+                v64_lanes += *w as usize;
+                base as u32
+            }
+        };
+    }
+
+    let mut is_target = vec![false; k.code.len() + 1];
+    for ins in &k.code {
+        if let Instr::Jump { target } | Instr::JumpIfFalse { target, .. } = ins {
+            is_target[*target] = true;
+        }
+    }
+
+    let tx = Tx {
+        k,
+        cls: &classes,
+        slot: &slot,
+    };
+    let mut ops: Vec<FOp> = Vec::with_capacity(k.code.len());
+    let mut map = vec![NONE; k.code.len() + 1];
+    let mut n_fused = 0usize;
+    let mut pc = 0usize;
+    while pc < k.code.len() {
+        map[pc] = ops.len() as u32;
+        if let Some((op, consumed)) = try_fuse(&tx, pc, &is_target) {
+            ops.push(op);
+            n_fused += 1;
+            pc += consumed;
+        } else {
+            ops.push(tx.op1(&k.code[pc])?);
+            pc += 1;
+        }
+    }
+    map[k.code.len()] = ops.len() as u32;
+
+    // Remap jump targets old-pc → new-pc.
+    for op in &mut ops {
+        match op {
+            FOp::FJump { t }
+            | FOp::FJz { t, .. }
+            | FOp::CmpJzI { t, .. }
+            | FOp::CmpJz32 { t, .. }
+            | FOp::CmpJz64 { t, .. }
+            | FOp::IConstCmpJz { t, .. } => {
+                let nt = map[*t as usize];
+                if nt == NONE {
+                    return None; // target landed inside a window: bug guard
+                }
+                *t = nt;
+            }
+            _ => {}
+        }
+    }
+
+    Some(FastKernel {
+        ops,
+        classes,
+        slot,
+        n_int,
+        n_f32,
+        n_f64,
+        v32_lanes,
+        v64_lanes,
+        n_fused,
+    })
+}
+
+// --- scalar/vector op semantics (bit-identical to the reference) ----------
+
+#[inline]
+fn i_bin(op: BinOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(RuntimeError::Arithmetic("integer division by zero".into()));
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(RuntimeError::Arithmetic("integer remainder by zero".into()));
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::BitAnd => x & y,
+        BinOp::BitOr => x | y,
+        BinOp::BitXor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+        _ => unreachable!("specialize admits only int arithmetic here"),
+    })
+}
+
+/// Float arithmetic in f64; f32 results are rounded at the call site,
+/// mirroring the reference's compute-wide-round-at-storage rule.
+#[inline]
+fn f_bin(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        _ => unreachable!("specialize admits only float arithmetic here"),
+    }
+}
+
+#[inline]
+fn cmp_i(op: BinOp, x: i64, y: i64) -> bool {
+    match op {
+        BinOp::Lt => x < y,
+        BinOp::Gt => x > y,
+        BinOp::Le => x <= y,
+        BinOp::Ge => x >= y,
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        _ => unreachable!("specialize admits only comparisons here"),
+    }
+}
+
+#[inline]
+fn cmp_f(op: BinOp, x: f64, y: f64) -> bool {
+    match op {
+        BinOp::Lt => x < y,
+        BinOp::Gt => x > y,
+        BinOp::Le => x <= y,
+        BinOp::Ge => x >= y,
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        _ => unreachable!("specialize admits only comparisons here"),
+    }
+}
+
+// --- shared global buffers ------------------------------------------------
+
+enum RawBuf {
+    F32(*mut f32, usize),
+    F64(*mut f64, usize),
+    I32(*mut i32, usize),
+}
+
+/// Raw-pointer view of the launch's global buffers, shared across the
+/// parallel group threads.
+///
+/// # Safety
+///
+/// Concurrent unsynchronised writes through these pointers are only
+/// sound because distinct work-groups of a generated kernel write
+/// disjoint global cells. That discipline is *validated*, not assumed:
+/// when `detect_races` is on, every access first consults
+/// [`GlobalRaceTables`], whose write slots are claimed with a
+/// compare-and-swap — a second group writing the same cell errors before
+/// its payload store, so write/write overlap never reaches the buffer.
+/// (A read racing a first write can still observe either value in the
+/// narrow window before detection; the launch still fails.) With
+/// `detect_races` off the caller asserts disjointness.
+pub(crate) struct SharedBufs {
+    bufs: Vec<RawBuf>,
+}
+
+unsafe impl Send for SharedBufs {}
+unsafe impl Sync for SharedBufs {}
+
+impl SharedBufs {
+    fn new(bufs: &mut [BufData]) -> SharedBufs {
+        SharedBufs {
+            bufs: bufs
+                .iter_mut()
+                .map(|b| match b {
+                    BufData::F32(v) => RawBuf::F32(v.as_mut_ptr(), v.len()),
+                    BufData::F64(v) => RawBuf::F64(v.as_mut_ptr(), v.len()),
+                    BufData::I32(v) => RawBuf::I32(v.as_mut_ptr(), v.len()),
+                })
+                .collect(),
+        }
+    }
+
+    fn len(&self, b: usize) -> usize {
+        match self.bufs[b] {
+            RawBuf::F32(_, n) | RawBuf::F64(_, n) | RawBuf::I32(_, n) => n,
+        }
+    }
+
+    /// Bounds check identical to the reference interpreter's.
+    fn check(
+        &self,
+        kernel: &CompiledKernel,
+        buf: usize,
+        idx: i64,
+        width: u8,
+    ) -> Result<usize, RuntimeError> {
+        let len = self.len(buf);
+        if idx < 0 || (idx as usize) + width as usize > len {
+            return Err(RuntimeError::GlobalOob {
+                buffer: kernel.checked.buffer_params[buf].name.clone(),
+                index: idx,
+                len,
+            });
+        }
+        Ok(idx as usize)
+    }
+
+    unsafe fn ld_f32(&self, b: usize, i: usize) -> f32 {
+        match self.bufs[b] {
+            RawBuf::F32(p, _) => unsafe { *p.add(i) },
+            _ => unreachable!("typed f32 load on non-f32 buffer"),
+        }
+    }
+
+    unsafe fn ld_f64(&self, b: usize, i: usize) -> f64 {
+        match self.bufs[b] {
+            RawBuf::F64(p, _) => unsafe { *p.add(i) },
+            _ => unreachable!("typed f64 load on non-f64 buffer"),
+        }
+    }
+
+    unsafe fn ld_i32(&self, b: usize, i: usize) -> i32 {
+        match self.bufs[b] {
+            RawBuf::I32(p, _) => unsafe { *p.add(i) },
+            _ => unreachable!("typed i32 load on non-i32 buffer"),
+        }
+    }
+
+    unsafe fn st_f32(&self, b: usize, i: usize, v: f32) {
+        match self.bufs[b] {
+            RawBuf::F32(p, _) => unsafe { *p.add(i) = v },
+            _ => unreachable!("typed f32 store on non-f32 buffer"),
+        }
+    }
+
+    unsafe fn st_f64(&self, b: usize, i: usize, v: f64) {
+        match self.bufs[b] {
+            RawBuf::F64(p, _) => unsafe { *p.add(i) = v },
+            _ => unreachable!("typed f64 store on non-f64 buffer"),
+        }
+    }
+
+    unsafe fn st_i32(&self, b: usize, i: usize, v: i32) {
+        match self.bufs[b] {
+            RawBuf::I32(p, _) => unsafe { *p.add(i) = v },
+            _ => unreachable!("typed i32 store on non-i32 buffer"),
+        }
+    }
+}
+
+fn g_race_r(
+    kernel: &CompiledKernel,
+    grace: Option<&GlobalRaceTables>,
+    buf: usize,
+    i: usize,
+    width: u8,
+    group: u32,
+) -> Result<(), RuntimeError> {
+    if let Some(g) = grace {
+        if let Err((k, other)) = g.on_read(buf, i, width, group) {
+            return Err(global_race_err(kernel, buf, k, group, other));
+        }
+    }
+    Ok(())
+}
+
+fn g_race_w(
+    kernel: &CompiledKernel,
+    grace: Option<&GlobalRaceTables>,
+    buf: usize,
+    i: usize,
+    width: u8,
+    group: u32,
+) -> Result<(), RuntimeError> {
+    if let Some(g) = grace {
+        if let Err((k, other)) = g.on_write(buf, i, width, group) {
+            return Err(global_race_err(kernel, buf, k, group, other));
+        }
+    }
+    Ok(())
+}
+
+fn l_check(
+    kernel: &CompiledKernel,
+    locals: &[LocalBuf],
+    arr: usize,
+    idx: i64,
+    width: u8,
+) -> Result<usize, RuntimeError> {
+    let len = locals[arr].len();
+    if idx < 0 || (idx as usize) + width as usize > len {
+        return Err(RuntimeError::LocalOob {
+            array: kernel.checked.local_arrays[arr].name.clone(),
+            index: idx,
+            len,
+        });
+    }
+    Ok(idx as usize)
+}
+
+fn l_race_r(
+    kernel: &CompiledKernel,
+    races: &mut [RaceTable],
+    arr: usize,
+    i: usize,
+    width: u8,
+    wi: u32,
+    phase: u32,
+) -> Result<(), RuntimeError> {
+    if let Some(rt) = races.get_mut(arr) {
+        if let Err((k, writer, other)) = rt.on_read(i, width, wi, phase) {
+            return Err(local_race_err(kernel, arr, k, writer, other));
+        }
+    }
+    Ok(())
+}
+
+fn l_race_w(
+    kernel: &CompiledKernel,
+    races: &mut [RaceTable],
+    arr: usize,
+    i: usize,
+    width: u8,
+    wi: u32,
+    phase: u32,
+) -> Result<(), RuntimeError> {
+    if let Some(rt) = races.get_mut(arr) {
+        if let Err((k, writer, other)) = rt.on_write(i, width, wi, phase) {
+            return Err(local_race_err(kernel, arr, k, writer, other));
+        }
+    }
+    Ok(())
+}
+
+// --- per-launch state -----------------------------------------------------
+
+/// A value-parameter seed: `(bank slot, value)` applied to every
+/// work-item's banks when a group starts.
+pub(crate) enum Seed {
+    I(u32, i64),
+    F(u32, f32),
+    D(u32, f64),
+}
+
+fn build_seeds(fk: &FastKernel, init_regs: &[Value]) -> Vec<Seed> {
+    let mut out = Vec::new();
+    for (r, v) in init_regs.iter().enumerate() {
+        match (fk.classes[r], *v) {
+            (RegClass::Int, Value::I(x)) => out.push(Seed::I(fk.slot[r], x)),
+            (RegClass::Int, Value::B(x)) => out.push(Seed::I(fk.slot[r], i64::from(x))),
+            (RegClass::F32, Value::F32(x)) => out.push(Seed::F(fk.slot[r], x)),
+            (RegClass::F64, Value::F64(x)) => out.push(Seed::D(fk.slot[r], x)),
+            // Non-parameter slots carry `I(0)` placeholders; the banks
+            // are zero-filled already and lowering writes every declared
+            // value before its first read, so nothing to seed.
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Reusable per-thread execution state for the fast engine: SoA register
+/// banks for the whole group (work-item-major), per-work-item pc/done,
+/// plus the group's local buffers and race tables. Allocated once per
+/// worker thread; re-seeded per group.
+#[derive(Default)]
+pub(crate) struct FastArena {
+    ints: Vec<i64>,
+    f32s: Vec<f32>,
+    f64s: Vec<f64>,
+    v32: Vec<f32>,
+    v64: Vec<f64>,
+    pcs: Vec<u32>,
+    done: Vec<bool>,
+    locals: Vec<LocalBuf>,
+    races: Vec<RaceTable>,
+}
+
+impl FastArena {
+    fn reset(
+        &mut self,
+        kernel: &CompiledKernel,
+        fk: &FastKernel,
+        nwi: usize,
+        seeds: &[Seed],
+        detect_races: bool,
+    ) {
+        self.ints.clear();
+        self.ints.resize(nwi * fk.n_int, 0);
+        self.f32s.clear();
+        self.f32s.resize(nwi * fk.n_f32, 0.0);
+        self.f64s.clear();
+        self.f64s.resize(nwi * fk.n_f64, 0.0);
+        self.v32.clear();
+        self.v32.resize(nwi * fk.v32_lanes, 0.0);
+        self.v64.clear();
+        self.v64.resize(nwi * fk.v64_lanes, 0.0);
+        self.pcs.clear();
+        self.pcs.resize(nwi, 0);
+        self.done.clear();
+        self.done.resize(nwi, false);
+        for wi in 0..nwi {
+            let (bi, bf, bd) = (wi * fk.n_int, wi * fk.n_f32, wi * fk.n_f64);
+            for s in seeds {
+                match *s {
+                    Seed::I(slot, x) => self.ints[bi + slot as usize] = x,
+                    Seed::F(slot, x) => self.f32s[bf + slot as usize] = x,
+                    Seed::D(slot, x) => self.f64s[bd + slot as usize] = x,
+                }
+            }
+        }
+        // Locals and race tables follow the reference arena's reuse
+        // policy: keep the allocations when the shapes match.
+        let arrays = &kernel.checked.local_arrays;
+        let locals_ok = self.locals.len() == arrays.len()
+            && self
+                .locals
+                .iter()
+                .zip(arrays)
+                .all(|(l, a)| l.len() == a.len && l.base_matches(a));
+        if locals_ok {
+            for l in &mut self.locals {
+                l.zero();
+            }
+        } else {
+            self.locals = arrays.iter().map(LocalBuf::new).collect();
+        }
+        let want_races = if detect_races { arrays.len() } else { 0 };
+        if self.races.len() == want_races
+            && self.races.iter().zip(arrays).all(|(r, a)| r.len() == a.len)
+        {
+            for r in &mut self.races {
+                r.clear();
+            }
+        } else if detect_races {
+            self.races = arrays.iter().map(|a| RaceTable::new(a.len)).collect();
+        } else {
+            self.races.clear();
+        }
+    }
+}
+
+/// Launch-wide immutable context shared by every work-item of a group.
+struct GroupCtx<'a> {
+    kernel: &'a CompiledKernel,
+    fk: &'a FastKernel,
+    group: [usize; 2],
+    group_linear: u32,
+    geom: &'a Geometry,
+    bufs: &'a SharedBufs,
+    opts: &'a ExecOptions,
+    grace: Option<&'a GlobalRaceTables>,
+}
+
+/// One work-item's mutable slices of the group's SoA banks.
+struct Banks<'a> {
+    i: &'a mut [i64],
+    f: &'a mut [f32],
+    d: &'a mut [f64],
+    v32: &'a mut [f32],
+    v64: &'a mut [f64],
+}
+
+/// Run one group on the fast plan. Mirrors `run_group_in`'s round-robin
+/// schedule, barrier-divergence checks and error strings exactly.
+fn run_group_fast(
+    ctx: &GroupCtx<'_>,
+    seeds: &[Seed],
+    arena: &mut FastArena,
+) -> Result<DynStats, RuntimeError> {
+    let geom = ctx.geom;
+    let nwi = geom.local[0] * geom.local[1];
+    arena.reset(ctx.kernel, ctx.fk, nwi, seeds, ctx.opts.detect_races);
+    let FastArena {
+        ints,
+        f32s,
+        f64s,
+        v32,
+        v64,
+        pcs,
+        done,
+        locals,
+        races,
+    } = arena;
+
+    let mut stats = DynStats::default();
+    let mut phase: u32 = 0;
+    loop {
+        let mut arrived: Option<u32> = None;
+        let mut n_done = 0usize;
+        let mut n_barrier = 0usize;
+        for wi in 0..nwi {
+            if done[wi] {
+                n_done += 1;
+                continue;
+            }
+            let lid = [wi % geom.local[0], wi / geom.local[0]];
+            let fk = ctx.fk;
+            let banks = Banks {
+                i: &mut ints[wi * fk.n_int..(wi + 1) * fk.n_int],
+                f: &mut f32s[wi * fk.n_f32..(wi + 1) * fk.n_f32],
+                d: &mut f64s[wi * fk.n_f64..(wi + 1) * fk.n_f64],
+                v32: &mut v32[wi * fk.v32_lanes..(wi + 1) * fk.v32_lanes],
+                v64: &mut v64[wi * fk.v64_lanes..(wi + 1) * fk.v64_lanes],
+            };
+            let stop = exec_wi(
+                ctx,
+                banks,
+                &mut pcs[wi],
+                wi as u32,
+                lid,
+                locals,
+                races,
+                phase,
+                &mut stats,
+            )?;
+            match stop {
+                WiStop::Done => {
+                    done[wi] = true;
+                    n_done += 1;
+                }
+                WiStop::Barrier(site) => {
+                    n_barrier += 1;
+                    match arrived {
+                        None => arrived = Some(site),
+                        Some(prev) if prev == site => {}
+                        Some(prev) => {
+                            return Err(RuntimeError::BarrierDivergence {
+                                detail: format!(
+                                "work-item {wi} reached barrier site {site}, others reached {prev}"
+                            ),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        if n_barrier > 0 {
+            if n_done > 0 {
+                return Err(RuntimeError::BarrierDivergence {
+                    detail: format!(
+                        "{n_barrier} work-item(s) waiting at a barrier while {n_done} returned"
+                    ),
+                });
+            }
+            stats.barriers += 1;
+            phase += 1;
+            for rt in races.iter_mut() {
+                rt.new_phase();
+            }
+            continue;
+        }
+        debug_assert_eq!(n_done, nwi);
+        break;
+    }
+    Ok(stats)
+}
+
+/// Run the whole NDRange on the fast plan, groups in parallel.
+///
+/// Groups are partitioned into contiguous ranges (one per worker); each
+/// worker owns a private [`FastArena`] reused across its groups. Stats
+/// are merged in range order so the sum is deterministic; on failure the
+/// error from the lowest-numbered failing range wins, matching the
+/// sequential reference's "first group to fail" attribution as closely
+/// as a parallel schedule allows.
+pub(crate) fn launch(
+    kernel: &CompiledKernel,
+    fk: &FastKernel,
+    geom: &Geometry,
+    init_regs: &[Value],
+    bufs: &mut [BufData],
+    opts: &ExecOptions,
+) -> Result<DynStats, RuntimeError> {
+    let n_groups = geom.groups[0] * geom.groups[1];
+    let grace = (opts.detect_races && n_groups > 1).then(|| GlobalRaceTables::new(bufs));
+    let seeds = build_seeds(fk, init_regs);
+    let shared = SharedBufs::new(bufs);
+    let results = clgemm_shim::par::par_range_map(n_groups, |range| {
+        let mut arena = FastArena::default();
+        let mut acc = DynStats::default();
+        for g in range {
+            let ctx = GroupCtx {
+                kernel,
+                fk,
+                group: [g % geom.groups[0], g / geom.groups[0]],
+                group_linear: g as u32,
+                geom,
+                bufs: &shared,
+                opts,
+                grace: grace.as_ref(),
+            };
+            match run_group_fast(&ctx, &seeds, &mut arena) {
+                Ok(s) => acc.add(&s),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(acc)
+    });
+    let mut stats = DynStats::default();
+    for r in results {
+        stats.add(&r?);
+    }
+    Ok(stats)
+}
+
+/// Execute one work-item until it stops at a barrier or returns.
+///
+/// Accounting parity with the reference: the loop head charges one step
+/// and one `instrs` per dispatched op; fused superinstructions then add
+/// the counts of the extra source instructions they cover, so `DynStats`
+/// and step-limit outcomes are identical to the reference interpreter's.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn exec_wi(
+    ctx: &GroupCtx<'_>,
+    banks: Banks<'_>,
+    pc_slot: &mut u32,
+    wi: u32,
+    lid: [usize; 2],
+    locals: &mut [LocalBuf],
+    races: &mut [RaceTable],
+    phase: u32,
+    stats: &mut DynStats,
+) -> Result<WiStop, RuntimeError> {
+    let Banks {
+        i: ib,
+        f: fb,
+        d: db,
+        v32: vb32,
+        v64: vb64,
+    } = banks;
+    let ops: &[FOp] = &ctx.fk.ops;
+    let kernel = ctx.kernel;
+    let glin = ctx.group_linear;
+    let mut pc = *pc_slot as usize;
+    let mut steps: u64 = 0;
+    let mut local = DynStats::default();
+    loop {
+        if steps >= ctx.opts.step_limit {
+            return Err(RuntimeError::Internal(format!(
+                "work-item exceeded step limit {} (non-terminating kernel?)",
+                ctx.opts.step_limit
+            )));
+        }
+        let op = &ops[pc];
+        pc += 1;
+        steps += 1;
+        local.instrs += 1;
+        match op {
+            // -- constants and moves --
+            FOp::IConst { d, v } => ib[*d as usize] = *v,
+            FOp::F32Const { d, v } => fb[*d as usize] = *v,
+            FOp::F64Const { d, v } => db[*d as usize] = *v,
+            FOp::V32Const { d, w, v } => {
+                let d = *d as usize;
+                vb32[d..d + *w as usize].copy_from_slice(&v[..*w as usize]);
+            }
+            FOp::V64Const { d, w, v } => {
+                let d = *d as usize;
+                vb64[d..d + *w as usize].copy_from_slice(&v[..*w as usize]);
+            }
+            FOp::IMov { d, s } => ib[*d as usize] = ib[*s as usize],
+            FOp::F32Mov { d, s } => fb[*d as usize] = fb[*s as usize],
+            FOp::F64Mov { d, s } => db[*d as usize] = db[*s as usize],
+            FOp::V32Mov { d, s, w } => {
+                let (d, s) = (*d as usize, *s as usize);
+                vb32.copy_within(s..s + *w as usize, d);
+            }
+            FOp::V64Mov { d, s, w } => {
+                let (d, s) = (*d as usize, *s as usize);
+                vb64.copy_within(s..s + *w as usize, d);
+            }
+            // -- arithmetic --
+            FOp::IBin { op, d, a, b } => {
+                local.alu += 1;
+                ib[*d as usize] = i_bin(*op, ib[*a as usize], ib[*b as usize])?;
+            }
+            FOp::ICmp { op, d, a, b } => {
+                local.alu += 1;
+                ib[*d as usize] = i64::from(cmp_i(*op, ib[*a as usize], ib[*b as usize]));
+            }
+            FOp::F32Cmp { op, d, a, b } => {
+                local.alu += 1;
+                ib[*d as usize] = i64::from(cmp_f(
+                    *op,
+                    f64::from(fb[*a as usize]),
+                    f64::from(fb[*b as usize]),
+                ));
+            }
+            FOp::F64Cmp { op, d, a, b } => {
+                local.alu += 1;
+                ib[*d as usize] = i64::from(cmp_f(*op, db[*a as usize], db[*b as usize]));
+            }
+            FOp::ILogic { and, d, a, b } => {
+                local.alu += 1;
+                let (x, y) = (ib[*a as usize] != 0, ib[*b as usize] != 0);
+                ib[*d as usize] = i64::from(if *and { x && y } else { x || y });
+            }
+            FOp::F32Bin { op, d, a, b } => {
+                local.alu += 1;
+                fb[*d as usize] =
+                    f_bin(*op, f64::from(fb[*a as usize]), f64::from(fb[*b as usize])) as f32;
+            }
+            FOp::F64Bin { op, d, a, b } => {
+                local.alu += 1;
+                db[*d as usize] = f_bin(*op, db[*a as usize], db[*b as usize]);
+            }
+            FOp::V32Bin { op, d, a, b, w } => {
+                local.alu += 1;
+                let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+                for k in 0..*w as usize {
+                    vb32[d + k] = f_bin(*op, f64::from(vb32[a + k]), f64::from(vb32[b + k])) as f32;
+                }
+            }
+            FOp::V64Bin { op, d, a, b, w } => {
+                local.alu += 1;
+                let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+                for k in 0..*w as usize {
+                    vb64[d + k] = f_bin(*op, vb64[a + k], vb64[b + k]);
+                }
+            }
+            FOp::INeg { d, a } => {
+                local.alu += 1;
+                ib[*d as usize] = -ib[*a as usize];
+            }
+            FOp::F32Neg { d, a } => {
+                local.alu += 1;
+                fb[*d as usize] = -fb[*a as usize];
+            }
+            FOp::F64Neg { d, a } => {
+                local.alu += 1;
+                db[*d as usize] = -db[*a as usize];
+            }
+            FOp::V32Neg { d, a, w } => {
+                local.alu += 1;
+                let (d, a) = (*d as usize, *a as usize);
+                for k in 0..*w as usize {
+                    vb32[d + k] = -vb32[a + k];
+                }
+            }
+            FOp::V64Neg { d, a, w } => {
+                local.alu += 1;
+                let (d, a) = (*d as usize, *a as usize);
+                for k in 0..*w as usize {
+                    vb64[d + k] = -vb64[a + k];
+                }
+            }
+            FOp::BNot { d, a } => {
+                local.alu += 1;
+                ib[*d as usize] = i64::from(ib[*a as usize] == 0);
+            }
+            // -- conversions --
+            FOp::I2F32 { d, a } => fb[*d as usize] = ib[*a as usize] as f32,
+            FOp::I2F64 { d, a } => db[*d as usize] = ib[*a as usize] as f64,
+            FOp::I2B { d, a } => ib[*d as usize] = i64::from(ib[*a as usize] != 0),
+            FOp::F32ToI { d, a } => ib[*d as usize] = fb[*a as usize] as i64,
+            FOp::F32To64 { d, a } => db[*d as usize] = f64::from(fb[*a as usize]),
+            FOp::F64ToI { d, a } => ib[*d as usize] = db[*a as usize] as i64,
+            FOp::F64To32 { d, a } => fb[*d as usize] = db[*a as usize] as f32,
+            FOp::V32To64 { d, a, w } => {
+                let (d, a) = (*d as usize, *a as usize);
+                for k in 0..*w as usize {
+                    vb64[d + k] = f64::from(vb32[a + k]);
+                }
+            }
+            FOp::V64To32 { d, a, w } => {
+                let (d, a) = (*d as usize, *a as usize);
+                for k in 0..*w as usize {
+                    vb32[d + k] = vb64[a + k] as f32;
+                }
+            }
+            FOp::Bcast32 { d, a, w } => {
+                let (d, x) = (*d as usize, fb[*a as usize]);
+                vb32[d..d + *w as usize].fill(x);
+            }
+            FOp::Bcast64 { d, a, w } => {
+                let (d, x) = (*d as usize, db[*a as usize]);
+                vb64[d..d + *w as usize].fill(x);
+            }
+            FOp::BcastI { d, a, w } => {
+                // Reference quirk: Int broadcast lands in a V64 register.
+                let (d, x) = (*d as usize, ib[*a as usize] as f64);
+                vb64[d..d + *w as usize].fill(x);
+            }
+            FOp::Build32 { d, parts } => {
+                let d = *d as usize;
+                for (k, p) in parts.iter().enumerate() {
+                    vb32[d + k] = fb[*p as usize];
+                }
+            }
+            FOp::Build64 { d, parts } => {
+                let d = *d as usize;
+                for (k, p) in parts.iter().enumerate() {
+                    vb64[d + k] = db[*p as usize];
+                }
+            }
+            FOp::Extr32 { d, s } => fb[*d as usize] = vb32[*s as usize],
+            FOp::Extr64 { d, s } => db[*d as usize] = vb64[*s as usize],
+            FOp::Ins32 { v, s } => vb32[*v as usize] = fb[*s as usize],
+            FOp::Ins64 { v, s } => vb64[*v as usize] = db[*s as usize],
+            // -- mad / math --
+            FOp::Mad32 { d, a, b, c } => {
+                local.mads += 1;
+                fb[*d as usize] = fb[*a as usize].mul_add(fb[*b as usize], fb[*c as usize]);
+            }
+            FOp::Mad64 { d, a, b, c } => {
+                local.mads += 1;
+                db[*d as usize] = db[*a as usize].mul_add(db[*b as usize], db[*c as usize]);
+            }
+            FOp::VMad32 { d, a, b, c, w } => {
+                local.mads += u64::from(*w);
+                let (d, a, b, c) = (*d as usize, *a as usize, *b as usize, *c as usize);
+                for k in 0..*w as usize {
+                    vb32[d + k] = vb32[a + k].mul_add(vb32[b + k], vb32[c + k]);
+                }
+            }
+            FOp::VMad64 { d, a, b, c, w } => {
+                local.mads += u64::from(*w);
+                let (d, a, b, c) = (*d as usize, *a as usize, *b as usize, *c as usize);
+                for k in 0..*w as usize {
+                    vb64[d + k] = vb64[a + k].mul_add(vb64[b + k], vb64[c + k]);
+                }
+            }
+            FOp::MathI { f, n, d, a, b, c } => {
+                local.alu += 1;
+                let (x, y, z) = (ib[*a as usize], ib[*b as usize], ib[*c as usize]);
+                ib[*d as usize] = match (*n, f) {
+                    (2, MathFunc::Min) => x.min(y),
+                    (2, MathFunc::Max) => x.max(y),
+                    (3, MathFunc::Clamp) => x.clamp(y, z),
+                    _ => return Err(RuntimeError::Internal("fast plan int math mismatch".into())),
+                };
+            }
+            FOp::Math32 { f, n, d, a, b, c } => {
+                local.alu += 1;
+                let (x, y, z) = (fb[*a as usize], fb[*b as usize], fb[*c as usize]);
+                fb[*d as usize] = match (*n, f) {
+                    (2, MathFunc::Min | MathFunc::Fmin) => x.min(y),
+                    (2, MathFunc::Max | MathFunc::Fmax) => x.max(y),
+                    (3, MathFunc::Clamp) => x.clamp(y, z),
+                    (1, MathFunc::Fabs) => x.abs(),
+                    (1, MathFunc::Sqrt) => x.sqrt(),
+                    (1, MathFunc::Exp) => x.exp(),
+                    (1, MathFunc::Log) => x.ln(),
+                    (1, MathFunc::NativeRecip) => 1.0 / x,
+                    _ => return Err(RuntimeError::Internal("fast plan f32 math mismatch".into())),
+                };
+            }
+            FOp::Math64 { f, n, d, a, b, c } => {
+                local.alu += 1;
+                let (x, y, z) = (db[*a as usize], db[*b as usize], db[*c as usize]);
+                db[*d as usize] = match (*n, f) {
+                    (2, MathFunc::Min | MathFunc::Fmin) => x.min(y),
+                    (2, MathFunc::Max | MathFunc::Fmax) => x.max(y),
+                    (3, MathFunc::Clamp) => x.clamp(y, z),
+                    (1, MathFunc::Fabs) => x.abs(),
+                    (1, MathFunc::Sqrt) => x.sqrt(),
+                    (1, MathFunc::Exp) => x.exp(),
+                    (1, MathFunc::Log) => x.ln(),
+                    (1, MathFunc::NativeRecip) => 1.0 / x,
+                    _ => return Err(RuntimeError::Internal("fast plan f64 math mismatch".into())),
+                };
+            }
+            // -- work-item queries --
+            FOp::FWi { f, d, dim } => {
+                let dm = ib[*dim as usize] as usize;
+                if dm > 2 {
+                    return Err(RuntimeError::Internal(format!(
+                        "dimension {dm} out of range"
+                    )));
+                }
+                let val = if dm >= 2 {
+                    match f {
+                        WiFunc::GlobalSize | WiFunc::LocalSize | WiFunc::NumGroups => 1,
+                        _ => 0,
+                    }
+                } else {
+                    match f {
+                        WiFunc::GlobalId => ctx.group[dm] * ctx.geom.local[dm] + lid[dm],
+                        WiFunc::LocalId => lid[dm],
+                        WiFunc::GroupId => ctx.group[dm],
+                        WiFunc::GlobalSize => ctx.geom.global[dm],
+                        WiFunc::LocalSize => ctx.geom.local[dm],
+                        WiFunc::NumGroups => ctx.geom.groups[dm],
+                    }
+                };
+                ib[*d as usize] = val as i64;
+            }
+            // -- global memory --
+            FOp::LdG32 { d, buf, idx } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_r(kernel, ctx.grace, b, i, 1, glin)?;
+                fb[*d as usize] = unsafe { ctx.bufs.ld_f32(b, i) };
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4;
+            }
+            FOp::LdG64 { d, buf, idx } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_r(kernel, ctx.grace, b, i, 1, glin)?;
+                db[*d as usize] = unsafe { ctx.bufs.ld_f64(b, i) };
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 8;
+            }
+            FOp::LdGI { d, buf, idx } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_r(kernel, ctx.grace, b, i, 1, glin)?;
+                ib[*d as usize] = i64::from(unsafe { ctx.bufs.ld_i32(b, i) });
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4;
+            }
+            FOp::LdGV32 { d, buf, idx, w } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], *w)?;
+                g_race_r(kernel, ctx.grace, b, i, *w, glin)?;
+                let d = *d as usize;
+                for k in 0..*w as usize {
+                    vb32[d + k] = unsafe { ctx.bufs.ld_f32(b, i + k) };
+                }
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4 * u64::from(*w);
+            }
+            FOp::LdGV64 { d, buf, idx, w } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], *w)?;
+                g_race_r(kernel, ctx.grace, b, i, *w, glin)?;
+                let d = *d as usize;
+                for k in 0..*w as usize {
+                    vb64[d + k] = unsafe { ctx.bufs.ld_f64(b, i + k) };
+                }
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 8 * u64::from(*w);
+            }
+            FOp::StG32 { buf, idx, s } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_w(kernel, ctx.grace, b, i, 1, glin)?;
+                unsafe { ctx.bufs.st_f32(b, i, fb[*s as usize]) };
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4;
+            }
+            FOp::StG64 { buf, idx, s } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_w(kernel, ctx.grace, b, i, 1, glin)?;
+                unsafe { ctx.bufs.st_f64(b, i, db[*s as usize]) };
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 8;
+            }
+            FOp::StGI { buf, idx, s } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_w(kernel, ctx.grace, b, i, 1, glin)?;
+                unsafe { ctx.bufs.st_i32(b, i, ib[*s as usize] as i32) };
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4;
+            }
+            FOp::StGV32 { buf, idx, s, w } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], *w)?;
+                g_race_w(kernel, ctx.grace, b, i, *w, glin)?;
+                let s = *s as usize;
+                for k in 0..*w as usize {
+                    unsafe { ctx.bufs.st_f32(b, i + k, vb32[s + k]) };
+                }
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4 * u64::from(*w);
+            }
+            FOp::StGV64 { buf, idx, s, w } => {
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], *w)?;
+                g_race_w(kernel, ctx.grace, b, i, *w, glin)?;
+                let s = *s as usize;
+                for k in 0..*w as usize {
+                    unsafe { ctx.bufs.st_f64(b, i + k, vb64[s + k]) };
+                }
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 8 * u64::from(*w);
+            }
+            // -- local memory --
+            FOp::LdL32 { d, arr, idx } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_r(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::F32(v) = &locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                fb[*d as usize] = v[i];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 4;
+            }
+            FOp::LdL64 { d, arr, idx } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_r(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::F64(v) = &locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                db[*d as usize] = v[i];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8;
+            }
+            FOp::LdLI { d, arr, idx } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_r(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::I32(v) = &locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                ib[*d as usize] = v[i];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8;
+            }
+            FOp::LdLV32 { d, arr, idx, w } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], *w)?;
+                l_race_r(kernel, races, a, i, *w, wi, phase)?;
+                let LocalBuf::F32(v) = &locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                let d = *d as usize;
+                vb32[d..d + *w as usize].copy_from_slice(&v[i..i + *w as usize]);
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 4 * u64::from(*w);
+            }
+            FOp::LdLV64 { d, arr, idx, w } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], *w)?;
+                l_race_r(kernel, races, a, i, *w, wi, phase)?;
+                let LocalBuf::F64(v) = &locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                let d = *d as usize;
+                vb64[d..d + *w as usize].copy_from_slice(&v[i..i + *w as usize]);
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8 * u64::from(*w);
+            }
+            FOp::StL32 { arr, idx, s } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_w(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::F32(v) = &mut locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                v[i] = fb[*s as usize];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 4;
+            }
+            FOp::StL64 { arr, idx, s } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_w(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::F64(v) = &mut locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                v[i] = db[*s as usize];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8;
+            }
+            FOp::StLI { arr, idx, s } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], 1)?;
+                l_race_w(kernel, races, a, i, 1, wi, phase)?;
+                let LocalBuf::I32(v) = &mut locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                v[i] = ib[*s as usize];
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8;
+            }
+            FOp::StLV32 { arr, idx, s, w } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], *w)?;
+                l_race_w(kernel, races, a, i, *w, wi, phase)?;
+                let LocalBuf::F32(v) = &mut locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                let s = *s as usize;
+                v[i..i + *w as usize].copy_from_slice(&vb32[s..s + *w as usize]);
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 4 * u64::from(*w);
+            }
+            FOp::StLV64 { arr, idx, s, w } => {
+                let a = *arr as usize;
+                let i = l_check(kernel, locals, a, ib[*idx as usize], *w)?;
+                l_race_w(kernel, races, a, i, *w, wi, phase)?;
+                let LocalBuf::F64(v) = &mut locals[a] else {
+                    return Err(RuntimeError::Internal("fast local type mismatch".into()));
+                };
+                let s = *s as usize;
+                v[i..i + *w as usize].copy_from_slice(&vb64[s..s + *w as usize]);
+                local.mem_local_instrs += 1;
+                local.mem_local_bytes += 8 * u64::from(*w);
+            }
+            // -- control flow --
+            FOp::FJump { t } => pc = *t as usize,
+            FOp::FJz { c, t } => {
+                if ib[*c as usize] == 0 {
+                    pc = *t as usize;
+                }
+            }
+            FOp::SelI { d, c, a, b } => {
+                ib[*d as usize] = if ib[*c as usize] != 0 {
+                    ib[*a as usize]
+                } else {
+                    ib[*b as usize]
+                };
+            }
+            FOp::Sel32 { d, c, a, b } => {
+                fb[*d as usize] = if ib[*c as usize] != 0 {
+                    fb[*a as usize]
+                } else {
+                    fb[*b as usize]
+                };
+            }
+            FOp::Sel64 { d, c, a, b } => {
+                db[*d as usize] = if ib[*c as usize] != 0 {
+                    db[*a as usize]
+                } else {
+                    db[*b as usize]
+                };
+            }
+            FOp::SelV32 { d, c, a, b, w } => {
+                let src = if ib[*c as usize] != 0 { *a } else { *b } as usize;
+                vb32.copy_within(src..src + *w as usize, *d as usize);
+            }
+            FOp::SelV64 { d, c, a, b, w } => {
+                let src = if ib[*c as usize] != 0 { *a } else { *b } as usize;
+                vb64.copy_within(src..src + *w as usize, *d as usize);
+            }
+            FOp::FBarrier { site } => {
+                stats.add(&local);
+                *pc_slot = pc as u32;
+                return Ok(WiStop::Barrier(*site));
+            }
+            FOp::FRet => {
+                stats.add(&local);
+                *pc_slot = pc as u32;
+                return Ok(WiStop::Done);
+            }
+            // -- fused superinstructions --
+            FOp::CmpJzI { op, d, a, b, t } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 1;
+                let r = cmp_i(*op, ib[*a as usize], ib[*b as usize]);
+                ib[*d as usize] = i64::from(r);
+                if !r {
+                    pc = *t as usize;
+                }
+            }
+            FOp::CmpJz32 { op, d, a, b, t } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 1;
+                let r = cmp_f(*op, f64::from(fb[*a as usize]), f64::from(fb[*b as usize]));
+                ib[*d as usize] = i64::from(r);
+                if !r {
+                    pc = *t as usize;
+                }
+            }
+            FOp::CmpJz64 { op, d, a, b, t } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 1;
+                let r = cmp_f(*op, db[*a as usize], db[*b as usize]);
+                ib[*d as usize] = i64::from(r);
+                if !r {
+                    pc = *t as usize;
+                }
+            }
+            FOp::IConstCmpJz {
+                v,
+                c,
+                op,
+                d,
+                a,
+                b,
+                t,
+            } => {
+                steps += 2;
+                local.instrs += 2;
+                local.alu += 1;
+                // Const writes first: `a`/`b` may alias `c`.
+                ib[*c as usize] = *v;
+                let r = cmp_i(*op, ib[*a as usize], ib[*b as usize]);
+                ib[*d as usize] = i64::from(r);
+                if !r {
+                    pc = *t as usize;
+                }
+            }
+            FOp::IConstBin {
+                v,
+                c,
+                op,
+                d,
+                a,
+                b,
+                mv,
+            } => {
+                local.alu += 1;
+                ib[*c as usize] = *v;
+                let r = i_bin(*op, ib[*a as usize], ib[*b as usize])?;
+                ib[*d as usize] = r;
+                if *mv != NONE {
+                    ib[*mv as usize] = r;
+                    steps += 2;
+                    local.instrs += 2;
+                } else {
+                    steps += 1;
+                    local.instrs += 1;
+                }
+            }
+            FOp::MulAdd32 {
+                ma,
+                mb,
+                t,
+                aa,
+                ab,
+                d,
+            } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 2;
+                // Two separate roundings, exactly as the unfused pair.
+                fb[*t as usize] =
+                    (f64::from(fb[*ma as usize]) * f64::from(fb[*mb as usize])) as f32;
+                fb[*d as usize] =
+                    (f64::from(fb[*aa as usize]) + f64::from(fb[*ab as usize])) as f32;
+            }
+            FOp::MulAdd64 {
+                ma,
+                mb,
+                t,
+                aa,
+                ab,
+                d,
+            } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 2;
+                db[*t as usize] = db[*ma as usize] * db[*mb as usize];
+                db[*d as usize] = db[*aa as usize] + db[*ab as usize];
+            }
+            FOp::VMulAdd32 {
+                ma,
+                mb,
+                t,
+                aa,
+                ab,
+                d,
+                w,
+            } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 2;
+                let (ma, mb, t) = (*ma as usize, *mb as usize, *t as usize);
+                let (aa, ab, d) = (*aa as usize, *ab as usize, *d as usize);
+                // Finish the mul stage before the add reads: `aa`/`ab`
+                // may alias `t`.
+                for k in 0..*w as usize {
+                    vb32[t + k] = (f64::from(vb32[ma + k]) * f64::from(vb32[mb + k])) as f32;
+                }
+                for k in 0..*w as usize {
+                    vb32[d + k] = (f64::from(vb32[aa + k]) + f64::from(vb32[ab + k])) as f32;
+                }
+            }
+            FOp::VMulAdd64 {
+                ma,
+                mb,
+                t,
+                aa,
+                ab,
+                d,
+                w,
+            } => {
+                steps += 1;
+                local.instrs += 1;
+                local.alu += 2;
+                let (ma, mb, t) = (*ma as usize, *mb as usize, *t as usize);
+                let (aa, ab, d) = (*aa as usize, *ab as usize, *d as usize);
+                for k in 0..*w as usize {
+                    vb64[t + k] = vb64[ma + k] * vb64[mb + k];
+                }
+                for k in 0..*w as usize {
+                    vb64[d + k] = vb64[aa + k] + vb64[ab + k];
+                }
+            }
+            FOp::LdG32To64 { d, buf, idx, dc } => {
+                steps += 1;
+                local.instrs += 1;
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_r(kernel, ctx.grace, b, i, 1, glin)?;
+                let x = unsafe { ctx.bufs.ld_f32(b, i) };
+                fb[*d as usize] = x;
+                db[*dc as usize] = f64::from(x);
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 4;
+            }
+            FOp::LdG64To32 { d, buf, idx, dc } => {
+                steps += 1;
+                local.instrs += 1;
+                let b = *buf as usize;
+                let i = ctx.bufs.check(kernel, b, ib[*idx as usize], 1)?;
+                g_race_r(kernel, ctx.grace, b, i, 1, glin)?;
+                let x = unsafe { ctx.bufs.ld_f64(b, i) };
+                db[*d as usize] = x;
+                fb[*dc as usize] = x as f32;
+                local.mem_global_instrs += 1;
+                local.mem_global_bytes += 8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Arg, NdRange, Program};
+    use crate::vm::Engine;
+
+    const GEMM_SRC: &str = r#"
+        __kernel void gemm(__global const float* a, __global const float* b,
+                           __global float* c, int n) {
+            int i = get_global_id(0);
+            int j = get_global_id(1);
+            float acc = 0.0f;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + a[i*n + k] * b[k*n + j];
+            }
+            c[i*n + j] = acc;
+        }
+    "#;
+
+    type EngineRun = (Result<DynStats, RuntimeError>, Vec<BufData>);
+
+    fn run_both(
+        src: &str,
+        name: &str,
+        nd: NdRange,
+        args: &[Arg],
+        bufs: &[BufData],
+    ) -> (EngineRun, EngineRun) {
+        let p = Program::compile(src).unwrap();
+        let k = p.kernel(name).unwrap();
+        let mut fast_bufs = bufs.to_vec();
+        let fast = k.launch(nd, args, &mut fast_bufs, &ExecOptions::default());
+        let mut ref_bufs = bufs.to_vec();
+        let reference = k.launch(nd, args, &mut ref_bufs, &ExecOptions::reference());
+        ((fast, fast_bufs), (reference, ref_bufs))
+    }
+
+    #[test]
+    fn gemm_kernel_specializes_with_fused_ops() {
+        let p = Program::compile(GEMM_SRC).unwrap();
+        let k = p.kernel("gemm").unwrap();
+        let fk = k
+            .compiled()
+            .fast
+            .as_ref()
+            .expect("GEMM kernel should take the fast path");
+        assert!(fk.fused_count() > 0, "expected fused superinstructions");
+        assert!(
+            fk.ops
+                .iter()
+                .any(|op| matches!(op, FOp::IConstBin { .. } | FOp::IConstCmpJz { .. })),
+            "loop counter/index arithmetic should fuse: {:?}",
+            fk.ops
+        );
+    }
+
+    #[test]
+    fn fast_and_reference_agree_on_gemm() {
+        let n = 8usize;
+        let a: Vec<f32> = (0..n * n).map(|i| (i as f32) * 0.25 - 3.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let bufs = vec![
+            BufData::F32(a),
+            BufData::F32(b),
+            BufData::F32(vec![0.0; n * n]),
+        ];
+        let args = [Arg::Buf(0), Arg::Buf(1), Arg::Buf(2), Arg::I32(n as i32)];
+        let ((fast, fb), (reference, rb)) =
+            run_both(GEMM_SRC, "gemm", NdRange::d2([n, n], [4, 2]), &args, &bufs);
+        assert_eq!(fast.unwrap(), reference.unwrap(), "DynStats must match");
+        assert_eq!(fb, rb, "output buffers must be bit-identical");
+    }
+
+    #[test]
+    fn fast_and_reference_agree_with_locals_and_barriers() {
+        let src = r#"
+            __kernel void share(__global const double* x, __global double* y, double s) {
+                __local double buf[4];
+                int l = get_local_id(0);
+                int g = get_global_id(0);
+                buf[l] = x[g] * s;
+                barrier(1);
+                y[g] = buf[3 - l] + fabs(x[g]);
+            }
+        "#;
+        let bufs = vec![
+            BufData::F64(vec![-1.5, 2.0, 3.25, -4.0, 5.0, 6.5, -7.0, 8.0]),
+            BufData::F64(vec![0.0; 8]),
+        ];
+        let args = [Arg::Buf(0), Arg::Buf(1), Arg::F64(1.75)];
+        let ((fast, fb), (reference, rb)) = run_both(src, "share", NdRange::d1(8, 4), &args, &bufs);
+        assert_eq!(fast.unwrap(), reference.unwrap());
+        assert_eq!(fb, rb);
+    }
+
+    #[test]
+    fn barrier_divergence_fails_identically() {
+        let src = r#"
+            __kernel void div(__global double* y) {
+                int l = get_local_id(0);
+                if (l == 0) { barrier(1); }
+                y[get_global_id(0)] = (double)l;
+            }
+        "#;
+        let bufs = vec![BufData::F64(vec![0.0; 4])];
+        let ((fast, _), (reference, _)) =
+            run_both(src, "div", NdRange::d1(4, 4), &[Arg::Buf(0)], &bufs);
+        let (fe, re) = (fast.unwrap_err(), reference.unwrap_err());
+        assert!(matches!(fe, RuntimeError::BarrierDivergence { .. }), "{fe}");
+        assert_eq!(fe.to_string(), re.to_string());
+    }
+
+    #[test]
+    fn step_limit_fails_identically() {
+        let src = r#"
+            __kernel void spin(__global double* y) {
+                int i = 0;
+                while (i < 10) { i = i * 0; }
+                y[0] = (double)i;
+            }
+        "#;
+        let p = Program::compile(src).unwrap();
+        let k = p.kernel("spin").unwrap();
+        let tight = |engine| ExecOptions {
+            step_limit: 1000,
+            engine,
+            ..Default::default()
+        };
+        let mut bufs = vec![BufData::F64(vec![0.0])];
+        let fe = k
+            .launch(
+                NdRange::d1(1, 1),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &tight(Engine::Fast),
+            )
+            .unwrap_err();
+        let re = k
+            .launch(
+                NdRange::d1(1, 1),
+                &[Arg::Buf(0)],
+                &mut bufs,
+                &tight(Engine::Reference),
+            )
+            .unwrap_err();
+        assert!(fe.to_string().contains("step limit"), "{fe}");
+        assert_eq!(fe.to_string(), re.to_string());
+    }
+
+    #[test]
+    fn inter_group_write_race_detected_on_both_engines() {
+        let src = r#"
+            __kernel void clash(__global double* y) {
+                y[0] = (double)get_global_id(0);
+            }
+        "#;
+        let bufs = vec![BufData::F64(vec![0.0])];
+        let ((fast, _), (reference, _)) =
+            run_both(src, "clash", NdRange::d1(4, 1), &[Arg::Buf(0)], &bufs);
+        let fe = fast.unwrap_err();
+        let re = reference.unwrap_err();
+        assert!(matches!(fe, RuntimeError::GlobalRace { .. }), "{fe}");
+        assert!(matches!(re, RuntimeError::GlobalRace { .. }), "{re}");
+    }
+
+    #[test]
+    fn vector_kernel_agrees_across_engines() {
+        let src = r#"
+            __kernel void vscale(__global const float* x, __global float* y, float s) {
+                int i = get_global_id(0);
+                float4 v = vload4(i, x);
+                float4 w = v * s + v;
+                vstore4(w, i, y);
+            }
+        "#;
+        let x: Vec<f32> = (0..32).map(|i| (i as f32) * 0.5 - 4.0).collect();
+        let bufs = vec![BufData::F32(x), BufData::F32(vec![0.0; 32])];
+        let args = [Arg::Buf(0), Arg::Buf(1), Arg::F32(0.125)];
+        let ((fast, fb), (reference, rb)) =
+            run_both(src, "vscale", NdRange::d1(8, 2), &args, &bufs);
+        assert_eq!(fast.unwrap(), reference.unwrap());
+        assert_eq!(fb, rb);
+    }
+}

@@ -13,10 +13,15 @@
 //!   implicit scalar conversions;
 //! * [`lower`] — lowering of the checked AST to a compact register
 //!   bytecode;
-//! * [`vm`] — a work-group executor: work-items run round-robin between
-//!   barriers, local memory is shared per work-group, barrier divergence
-//!   and same-phase local-memory races are detected and reported as
-//!   runtime errors (our analogue of a kernel that "fails testing");
+//! * [`vm`] — the reference work-group executor: work-items run
+//!   round-robin between barriers, local memory is shared per
+//!   work-group, barrier divergence and same-phase local-memory races
+//!   are detected and reported as runtime errors (our analogue of a
+//!   kernel that "fails testing");
+//! * [`fastvm`] — the default execution engine: typed SoA register
+//!   banks, fused superinstructions and parallel work-group execution,
+//!   bit-for-bit equivalent to [`vm`] (select with
+//!   [`vm::ExecOptions::reference`]);
 //! * [`program`] — the public compile-and-launch API used by
 //!   `clgemm-sim`.
 //!
@@ -28,12 +33,13 @@ pub mod ast;
 pub mod check;
 pub mod disasm;
 pub mod error;
+pub mod fastvm;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod program;
 pub mod vm;
 
-pub use disasm::disassemble;
+pub use disasm::{disassemble, disassemble_fast};
 pub use error::{CompileError, RuntimeError};
-pub use program::{Arg, BufData, ExecOptions, Kernel, NdRange, Program};
+pub use program::{Arg, BufData, Engine, ExecOptions, Kernel, NdRange, Program};

@@ -130,6 +130,183 @@ pub struct CompiledKernel {
     pub checked: CheckedKernel,
     /// Instruction positions for runtime diagnostics.
     pub positions: Vec<Pos>,
+    /// Typed/fused plan for the fast engine, when the register-class
+    /// assignment pass types every register; `None` falls back to the
+    /// reference interpreter.
+    pub fast: Option<crate::fastvm::FastKernel>,
+}
+
+/// Static storage class of a virtual register, assigned at compile time
+/// so the fast engine can keep registers in typed per-class banks and
+/// never match on [`Value`] variants in its inner loop. Booleans live in
+/// the integer bank as 0/1 — every reference-interpreter coercion
+/// (`as_b`, bool→float converts, bool comparisons) is value-identical
+/// under that encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegClass {
+    /// `i64` scalars and bools.
+    Int,
+    F32,
+    F64,
+    /// `f32` vector of the given width.
+    V32(u8),
+    /// `f64` vector of the given width.
+    V64(u8),
+}
+
+/// Infer one storage class per register by forward dataflow over the
+/// bytecode, seeded from value-parameter types. Returns `None` when any
+/// register would need two classes (the fast engine then falls back to
+/// the reference interpreter). Registers never written keep the
+/// reference interpreter's implicit `I(0)` and class `Int`.
+#[must_use]
+pub fn assign_classes(k: &CompiledKernel) -> Option<Vec<RegClass>> {
+    let mut cls: Vec<Option<RegClass>> = vec![None; k.n_regs];
+    for p in &k.checked.value_params {
+        let c = match p.ty {
+            Type::Scalar(Base::Int | Base::Uint | Base::Bool) => RegClass::Int,
+            Type::Scalar(Base::Float) => RegClass::F32,
+            Type::Scalar(Base::Double) => RegClass::F64,
+            _ => return None,
+        };
+        cls[p.slot] = Some(c);
+    }
+    // Forward passes to a fixpoint: each pass may resolve classes that
+    // feed later (or, through loops, earlier) instructions.
+    for _ in 0..k.code.len() + 2 {
+        let mut changed = false;
+        for ins in &k.code {
+            let Some((dst, c)) = dst_class(ins, &cls, &k.checked) else {
+                continue;
+            };
+            match cls[dst] {
+                None => {
+                    cls[dst] = Some(c);
+                    changed = true;
+                }
+                Some(prev) if prev != c => return None,
+                Some(_) => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let filled: Vec<Option<RegClass>> = cls
+        .iter()
+        .map(|c| Some(c.unwrap_or(RegClass::Int)))
+        .collect();
+    // Verification sweep with the Int defaults in place: a default must
+    // not contradict any write site.
+    for ins in &k.code {
+        if let Some((dst, c)) = dst_class(ins, &filled, &k.checked) {
+            if filled[dst] != Some(c) {
+                return None;
+            }
+        }
+    }
+    Some(filled.into_iter().map(|c| c.expect("filled")).collect())
+}
+
+/// The class an instruction's destination takes, given (possibly still
+/// unknown) operand classes. `None` means "no destination", "operands
+/// not yet classified", or "statically ill-typed" — the last is fine
+/// here because the fast engine's specialiser re-validates every
+/// operand and refuses ill-typed code (which the reference interpreter
+/// then rejects at runtime, keeping both paths' behaviour identical).
+fn dst_class(ins: &Instr, cls: &[Option<RegClass>], ck: &CheckedKernel) -> Option<(Reg, RegClass)> {
+    use RegClass as C;
+    let mem_class = |base: Base, width: u8| -> Option<C> {
+        match (base, width) {
+            (Base::Float, 1) => Some(C::F32),
+            (Base::Double, 1) => Some(C::F64),
+            (Base::Int | Base::Uint | Base::Bool, 1) => Some(C::Int),
+            (Base::Float, w) => Some(C::V32(w)),
+            (Base::Double, w) => Some(C::V64(w)),
+            _ => None,
+        }
+    };
+    match ins {
+        Instr::Const { dst, val } => {
+            let c = match val {
+                Value::I(_) | Value::B(_) => C::Int,
+                Value::F32(_) => C::F32,
+                Value::F64(_) => C::F64,
+                Value::V32(_, w) => C::V32(*w),
+                Value::V64(_, w) => C::V64(*w),
+            };
+            Some((*dst, c))
+        }
+        Instr::Mov { dst, src } => Some((*dst, cls[*src]?)),
+        Instr::Bin { op, dst, a, .. } => {
+            if op.is_cmp() || op.is_logic() || op.int_only() {
+                Some((*dst, C::Int))
+            } else {
+                Some((*dst, cls[*a]?))
+            }
+        }
+        Instr::Un { op, dst, a } => match op {
+            UnOp::Not => Some((*dst, C::Int)),
+            UnOp::Neg => Some((*dst, cls[*a]?)),
+        },
+        Instr::Convert { dst, src, base } => {
+            let c = match (cls[*src]?, base) {
+                (C::Int | C::F32 | C::F64, Base::Float) => C::F32,
+                (C::Int | C::F32 | C::F64, Base::Double) => C::F64,
+                (C::Int | C::F32 | C::F64, Base::Int | Base::Uint) => C::Int,
+                (C::Int, Base::Bool) => C::Int,
+                (C::V32(w), Base::Double) => C::V64(w),
+                (C::V32(w), Base::Float) => C::V32(w),
+                (C::V64(w), Base::Float) => C::V32(w),
+                (C::V64(w), Base::Double) => C::V64(w),
+                _ => return None,
+            };
+            Some((*dst, c))
+        }
+        Instr::Broadcast { dst, src, width } => {
+            let c = match cls[*src]? {
+                C::F32 => C::V32(*width),
+                // The reference interpreter broadcasts ints to double
+                // vectors; mirror that quirk.
+                C::F64 | C::Int => C::V64(*width),
+                _ => return None,
+            };
+            Some((*dst, c))
+        }
+        Instr::BuildVec { dst, base, parts } => {
+            let c = match base {
+                Base::Float => C::V32(parts.len() as u8),
+                Base::Double => C::V64(parts.len() as u8),
+                _ => return None,
+            };
+            Some((*dst, c))
+        }
+        Instr::Extract { dst, src, .. } => {
+            let c = match cls[*src]? {
+                C::V32(_) => C::F32,
+                C::V64(_) => C::F64,
+                _ => return None,
+            };
+            Some((*dst, c))
+        }
+        Instr::Mad { dst, a, .. } => Some((*dst, cls[*a]?)),
+        Instr::Math { dst, args, .. } => Some((*dst, cls[args[0]]?)),
+        Instr::Wi { dst, .. } => Some((*dst, C::Int)),
+        Instr::LoadGlobal {
+            dst, buf, width, ..
+        } => Some((*dst, mem_class(ck.buffer_params[*buf].base, *width)?)),
+        Instr::LoadLocal {
+            dst, arr, width, ..
+        } => Some((*dst, mem_class(ck.local_arrays[*arr].base, *width)?)),
+        Instr::Select { dst, a, .. } => Some((*dst, cls[*a]?)),
+        Instr::InsertLane { .. }
+        | Instr::StoreGlobal { .. }
+        | Instr::StoreLocal { .. }
+        | Instr::Jump { .. }
+        | Instr::JumpIfFalse { .. }
+        | Instr::Barrier { .. }
+        | Instr::Ret => None,
+    }
 }
 
 /// Lower every kernel of a checked unit.
@@ -165,14 +342,17 @@ fn lower_kernel(ck: &CheckedKernel) -> Result<CompiledKernel, CompileError> {
     let body = ck.def.body.clone();
     lw.block(&body)?;
     lw.emit(Instr::Ret, ck.def.pos);
-    Ok(CompiledKernel {
+    let mut k = CompiledKernel {
         name: ck.def.name.clone(),
         n_regs: lw.next_reg,
         n_barrier_sites: lw.barrier_sites,
         code: lw.code,
         positions: lw.positions,
         checked: ck.clone(),
-    })
+        fast: None,
+    };
+    k.fast = crate::fastvm::specialize(&k);
+    Ok(k)
 }
 
 impl<'a> Lowerer<'a> {

@@ -31,9 +31,9 @@ use crate::check::check;
 use crate::error::{CompileError, RuntimeError};
 use crate::lower::{lower, CompiledKernel};
 use crate::parser::parse;
-use crate::vm::{run_group, DynStats, Geometry, Value};
+use crate::vm::{run_group_in, DynStats, Geometry, GlobalRaceTables, RefArena, Value};
 
-pub use crate::vm::{BufData, ExecOptions};
+pub use crate::vm::{BufData, Engine, ExecOptions};
 
 /// A kernel launch argument, in declared parameter order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,8 +165,13 @@ impl<'a> Kernel<'a> {
             .sum()
     }
 
-    /// Execute the kernel over the NDRange. Work-groups run sequentially;
-    /// work-items within a group run with true barrier semantics.
+    /// Execute the kernel over the NDRange. With the default
+    /// [`Engine::Fast`] the work-groups run in parallel on the typed
+    /// fast plan (when the kernel specialised — it falls back to the
+    /// reference interpreter otherwise); with [`Engine::Reference`]
+    /// groups run sequentially through the original interpreter. Both
+    /// engines produce bit-identical buffers and stats. Work-items
+    /// within a group always run with true barrier semantics.
     ///
     /// # Errors
     /// Compile-quality argument/NDRange errors and all VM runtime errors
@@ -193,23 +198,30 @@ impl<'a> Kernel<'a> {
             local: nd.local,
             groups: [nd.global[0] / nd.local[0], nd.global[1] / nd.local[1]],
         };
+        if opts.engine == Engine::Fast {
+            if let Some(fk) = &self.inner.fast {
+                return crate::fastvm::launch(self.inner, fk, &geom, &init_regs, bufs, opts);
+            }
+        }
+        let n_groups = geom.groups[0] * geom.groups[1];
+        let grace = (opts.detect_races && n_groups > 1).then(|| GlobalRaceTables::new(bufs));
+        let mut arena = RefArena::new();
         let mut stats = DynStats::default();
         for gy in 0..geom.groups[1] {
             for gx in 0..geom.groups[0] {
-                let s = run_group(self.inner, [gx, gy], &geom, &init_regs, bufs, opts)?;
-                stats = {
-                    let mut acc = stats;
-                    // DynStats::add is private to the vm module; fold here.
-                    acc.mads += s.mads;
-                    acc.alu += s.alu;
-                    acc.mem_global_instrs += s.mem_global_instrs;
-                    acc.mem_global_bytes += s.mem_global_bytes;
-                    acc.mem_local_instrs += s.mem_local_instrs;
-                    acc.mem_local_bytes += s.mem_local_bytes;
-                    acc.barriers += s.barriers;
-                    acc.instrs += s.instrs;
-                    acc
-                };
+                let linear = (gy * geom.groups[0] + gx) as u32;
+                let s = run_group_in(
+                    self.inner,
+                    [gx, gy],
+                    linear,
+                    &geom,
+                    &init_regs,
+                    bufs,
+                    opts,
+                    grace.as_ref(),
+                    &mut arena,
+                )?;
+                stats.add(&s);
             }
         }
         Ok(stats)

@@ -81,7 +81,7 @@ pub enum LocalBuf {
 }
 
 impl LocalBuf {
-    fn new(info: &LocalArray) -> LocalBuf {
+    pub(crate) fn new(info: &LocalArray) -> LocalBuf {
         match info.base {
             Base::Float => LocalBuf::F32(vec![0.0; info.len]),
             Base::Double => LocalBuf::F64(vec![0.0; info.len]),
@@ -89,12 +89,31 @@ impl LocalBuf {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             LocalBuf::F32(v) => v.len(),
             LocalBuf::F64(v) => v.len(),
             LocalBuf::I32(v) => v.len(),
         }
+    }
+
+    /// Zero contents in place (group re-initialisation without realloc).
+    pub(crate) fn zero(&mut self) {
+        match self {
+            LocalBuf::F32(v) => v.fill(0.0),
+            LocalBuf::F64(v) => v.fill(0.0),
+            LocalBuf::I32(v) => v.fill(0),
+        }
+    }
+
+    /// Does the storage class match the declared array's base type?
+    pub(crate) fn base_matches(&self, info: &LocalArray) -> bool {
+        matches!(
+            (self, info.base),
+            (LocalBuf::F32(_), Base::Float)
+                | (LocalBuf::F64(_), Base::Double)
+                | (LocalBuf::I32(_), Base::Int | Base::Uint | Base::Bool)
+        )
     }
 }
 
@@ -156,7 +175,7 @@ pub struct DynStats {
 }
 
 impl DynStats {
-    fn add(&mut self, other: &DynStats) {
+    pub(crate) fn add(&mut self, other: &DynStats) {
         self.mads += other.mads;
         self.alu += other.alu;
         self.mem_global_instrs += other.mem_global_instrs;
@@ -176,15 +195,32 @@ pub struct Geometry {
     pub groups: [usize; 2],
 }
 
+/// Which interpreter executes a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Typed-register-bank engine with fused superinstructions and
+    /// parallel work-group execution (see the `fastvm` module). Falls
+    /// back to the reference interpreter for kernels the register-class
+    /// assignment pass cannot type.
+    #[default]
+    Fast,
+    /// The original one-`Value`-at-a-time interpreter: the bit-for-bit
+    /// oracle the fast path is property-tested against.
+    Reference,
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Detect same-phase local-memory races (slower; on by default in
+    /// Detect same-phase local-memory races and (for multi-group
+    /// launches) inter-group global races (slower; on by default in
     /// tests).
     pub detect_races: bool,
     /// Abort a work-item after this many executed instructions per
     /// barrier phase (guards against non-terminating kernels).
     pub step_limit: u64,
+    /// Interpreter selection; [`Engine::Fast`] by default.
+    pub engine: Engine,
 }
 
 impl Default for ExecOptions {
@@ -192,11 +228,24 @@ impl Default for ExecOptions {
         ExecOptions {
             detect_races: true,
             step_limit: 500_000_000,
+            engine: Engine::Fast,
         }
     }
 }
 
-enum WiStop {
+impl ExecOptions {
+    /// Default options, but forcing the reference interpreter — the
+    /// escape hatch when the fast path is in doubt.
+    #[must_use]
+    pub fn reference() -> Self {
+        ExecOptions {
+            engine: Engine::Reference,
+            ..Default::default()
+        }
+    }
+}
+
+pub(crate) enum WiStop {
     Barrier(u32),
     Done,
 }
@@ -207,7 +256,7 @@ struct WiState {
     done: bool,
 }
 
-struct RaceTable {
+pub(crate) struct RaceTable {
     write_phase: Vec<u32>,
     writer: Vec<u32>,
     read_phase: Vec<u32>,
@@ -215,12 +264,235 @@ struct RaceTable {
 }
 
 impl RaceTable {
-    fn new(len: usize) -> RaceTable {
+    pub(crate) fn new(len: usize) -> RaceTable {
         RaceTable {
             write_phase: vec![u32::MAX; len],
             writer: vec![u32::MAX; len],
             read_phase: vec![u32::MAX; len],
             reader: vec![u32::MAX; len],
+        }
+    }
+
+    /// Forget all recorded accesses (start of a new group).
+    pub(crate) fn clear(&mut self) {
+        self.write_phase.fill(u32::MAX);
+        self.writer.fill(u32::MAX);
+        self.read_phase.fill(u32::MAX);
+        self.reader.fill(u32::MAX);
+    }
+
+    /// Number of elements covered by the table.
+    pub(crate) fn len(&self) -> usize {
+        self.writer.len()
+    }
+
+    /// A barrier orders earlier accesses: forget the phase marks.
+    pub(crate) fn new_phase(&mut self) {
+        self.write_phase.fill(u32::MAX);
+        self.read_phase.fill(u32::MAX);
+    }
+
+    /// Record a read of `[i, i+width)` by work-item `wi` in `phase`;
+    /// on a same-phase conflict returns `(index, writer, other)` with
+    /// the error attribution the reference interpreter reports.
+    pub(crate) fn on_read(
+        &mut self,
+        i: usize,
+        width: u8,
+        wi: u32,
+        phase: u32,
+    ) -> Result<(), (usize, u32, u32)> {
+        for k in i..i + width as usize {
+            if self.write_phase[k] == phase && self.writer[k] != wi {
+                return Err((k, self.writer[k], wi));
+            }
+            self.read_phase[k] = phase;
+            self.reader[k] = wi;
+        }
+        Ok(())
+    }
+
+    /// Record a write; same conflict contract as [`RaceTable::on_read`].
+    pub(crate) fn on_write(
+        &mut self,
+        i: usize,
+        width: u8,
+        wi: u32,
+        phase: u32,
+    ) -> Result<(), (usize, u32, u32)> {
+        for k in i..i + width as usize {
+            if self.write_phase[k] == phase && self.writer[k] != wi {
+                return Err((k, self.writer[k], wi));
+            }
+            if self.read_phase[k] == phase && self.reader[k] != wi {
+                return Err((k, wi, self.reader[k]));
+            }
+            self.write_phase[k] = phase;
+            self.writer[k] = wi;
+        }
+        Ok(())
+    }
+}
+
+/// Inter-group race tables over the launch's global buffers, at element
+/// granularity. Shared across the parallel group engine's threads, so
+/// the slots are relaxed atomics; the detector is order-insensitive —
+/// any overlapping write/anything pair from two distinct groups is
+/// reported no matter which thread gets there first.
+pub struct GlobalRaceTables {
+    tables: Vec<GlobalTable>,
+}
+
+struct GlobalTable {
+    writer: Vec<std::sync::atomic::AtomicU32>,
+    reader: Vec<std::sync::atomic::AtomicU32>,
+}
+
+const NO_GROUP: u32 = u32::MAX;
+
+impl GlobalRaceTables {
+    /// Fresh tables sized to the launch's buffers.
+    #[must_use]
+    pub fn new(bufs: &[BufData]) -> GlobalRaceTables {
+        use std::sync::atomic::AtomicU32;
+        GlobalRaceTables {
+            tables: bufs
+                .iter()
+                .map(|b| GlobalTable {
+                    writer: (0..b.len()).map(|_| AtomicU32::new(NO_GROUP)).collect(),
+                    reader: (0..b.len()).map(|_| AtomicU32::new(NO_GROUP)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Record a read of `[i, i+width)` by group `g`; returns
+    /// `(index, other_group)` if a distinct group wrote the cell.
+    pub(crate) fn on_read(
+        &self,
+        buf: usize,
+        i: usize,
+        width: u8,
+        g: u32,
+    ) -> Result<(), (usize, u32)> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let t = &self.tables[buf];
+        for k in i..i + width as usize {
+            let w = t.writer[k].load(Relaxed);
+            if w != NO_GROUP && w != g {
+                return Err((k, w));
+            }
+            t.reader[k].store(g, Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Record a write; conflicts with any access from a distinct group.
+    pub(crate) fn on_write(
+        &self,
+        buf: usize,
+        i: usize,
+        width: u8,
+        g: u32,
+    ) -> Result<(), (usize, u32)> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let t = &self.tables[buf];
+        for k in i..i + width as usize {
+            // Claim the writer slot with a CAS so that when two groups
+            // race to write the same cell, exactly one wins and the
+            // other errors *before* its payload store reaches the
+            // buffer — a write/write race can never silently corrupt
+            // the output even on the parallel engine.
+            match t.writer[k].compare_exchange(NO_GROUP, g, Relaxed, Relaxed) {
+                Ok(_) => {}
+                Err(w) if w == g => {}
+                Err(w) => return Err((k, w)),
+            }
+            let r = t.reader[k].load(Relaxed);
+            if r != NO_GROUP && r != g {
+                return Err((k, r));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable per-thread execution state for the reference interpreter:
+/// one register arena (shared across work-items of a group, re-seeded
+/// between groups) plus the group's local buffers and race tables.
+/// Allocated once per launch (per worker thread) instead of once per
+/// work-item per group.
+#[derive(Default)]
+pub struct RefArena {
+    states: Vec<WiState>,
+    locals: Vec<LocalBuf>,
+    races: Vec<RaceTable>,
+}
+
+impl RefArena {
+    /// An empty arena; sized lazily on first group.
+    #[must_use]
+    pub fn new() -> RefArena {
+        RefArena::default()
+    }
+
+    /// (Re-)seed for one group of `nwi` work-items.
+    fn reset(
+        &mut self,
+        kernel: &CompiledKernel,
+        nwi: usize,
+        init_regs: &[Value],
+        detect_races: bool,
+    ) {
+        let shape_ok = self.states.len() == nwi
+            && self
+                .states
+                .first()
+                .is_none_or(|s| s.regs.len() == kernel.n_regs);
+        if !shape_ok {
+            self.states = (0..nwi)
+                .map(|_| WiState {
+                    regs: vec![Value::I(0); kernel.n_regs],
+                    pc: 0,
+                    done: false,
+                })
+                .collect();
+        }
+        for st in &mut self.states {
+            st.regs.fill(Value::I(0));
+            st.regs[..init_regs.len()].copy_from_slice(init_regs);
+            st.pc = 0;
+            st.done = false;
+        }
+        let arrays = &kernel.checked.local_arrays;
+        let locals_ok = self.locals.len() == arrays.len()
+            && self
+                .locals
+                .iter()
+                .zip(arrays)
+                .all(|(l, a)| l.len() == a.len && l.base_matches(a));
+        if locals_ok {
+            for l in &mut self.locals {
+                l.zero();
+            }
+        } else {
+            self.locals = arrays.iter().map(LocalBuf::new).collect();
+        }
+        let want_races = if detect_races { arrays.len() } else { 0 };
+        if self.races.len() == want_races
+            && self
+                .races
+                .iter()
+                .zip(arrays)
+                .all(|(r, a)| r.writer.len() == a.len)
+        {
+            for r in &mut self.races {
+                r.clear();
+            }
+        } else if detect_races {
+            self.races = arrays.iter().map(|a| RaceTable::new(a.len)).collect();
+        } else {
+            self.races.clear();
         }
     }
 }
@@ -238,34 +510,35 @@ pub fn run_group(
     bufs: &mut [BufData],
     opts: &ExecOptions,
 ) -> Result<DynStats, RuntimeError> {
+    let mut arena = RefArena::new();
+    let linear = (group[1] * geom.groups[0] + group[0]) as u32;
+    run_group_in(
+        kernel, group, linear, geom, init_regs, bufs, opts, None, &mut arena,
+    )
+}
+
+/// [`run_group`] with a caller-owned arena and optional inter-group race
+/// tables — the form the launch loop uses so allocations amortise across
+/// groups.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_group_in(
+    kernel: &CompiledKernel,
+    group: [usize; 2],
+    group_linear: u32,
+    geom: &Geometry,
+    init_regs: &[Value],
+    bufs: &mut [BufData],
+    opts: &ExecOptions,
+    grace: Option<&GlobalRaceTables>,
+    arena: &mut RefArena,
+) -> Result<DynStats, RuntimeError> {
     let nwi = geom.local[0] * geom.local[1];
-    let mut states: Vec<WiState> = (0..nwi)
-        .map(|_| {
-            let mut regs = vec![Value::I(0); kernel.n_regs];
-            regs[..init_regs.len()].copy_from_slice(init_regs);
-            WiState {
-                regs,
-                pc: 0,
-                done: false,
-            }
-        })
-        .collect();
-    let mut locals: Vec<LocalBuf> = kernel
-        .checked
-        .local_arrays
-        .iter()
-        .map(LocalBuf::new)
-        .collect();
-    let mut races: Vec<RaceTable> = if opts.detect_races {
-        kernel
-            .checked
-            .local_arrays
-            .iter()
-            .map(|a| RaceTable::new(a.len))
-            .collect()
-    } else {
-        Vec::new()
-    };
+    arena.reset(kernel, nwi, init_regs, opts.detect_races);
+    let RefArena {
+        states,
+        locals,
+        races,
+    } = arena;
 
     let mut stats = DynStats::default();
     let mut phase: u32 = 0;
@@ -286,12 +559,14 @@ pub fn run_group(
                 wi as u32,
                 lid,
                 group,
+                group_linear,
                 geom,
-                &mut locals,
-                &mut races,
+                locals,
+                races,
                 bufs,
                 phase,
                 opts,
+                grace,
                 &mut stats,
             )?;
             match stop {
@@ -325,11 +600,10 @@ pub fn run_group(
             }
             stats.barriers += 1;
             phase += 1;
-            for rt in &mut races {
+            for rt in races.iter_mut() {
                 // New phase: previous accesses are now ordered by the
                 // barrier; reset the tables.
-                rt.write_phase.fill(u32::MAX);
-                rt.read_phase.fill(u32::MAX);
+                rt.new_phase();
             }
             continue;
         }
@@ -346,12 +620,14 @@ fn exec_until_stop(
     wi: u32,
     lid: [usize; 2],
     group: [usize; 2],
+    group_linear: u32,
     geom: &Geometry,
     locals: &mut [LocalBuf],
     races: &mut [RaceTable],
     bufs: &mut [BufData],
     phase: u32,
     opts: &ExecOptions,
+    grace: Option<&GlobalRaceTables>,
     stats: &mut DynStats,
 ) -> Result<WiStop, RuntimeError> {
     let code = &kernel.code;
@@ -445,7 +721,7 @@ fn exec_until_stop(
                 width,
             } => {
                 let i = st.regs[*idx].as_i()?;
-                st.regs[*dst] = load_global(kernel, bufs, *buf, i, *width)?;
+                st.regs[*dst] = load_global(kernel, bufs, *buf, i, *width, grace, group_linear)?;
                 local.mem_global_instrs += 1;
                 local.mem_global_bytes += global_bytes(&bufs[*buf], *width);
             }
@@ -456,7 +732,16 @@ fn exec_until_stop(
                 width,
             } => {
                 let i = st.regs[*idx].as_i()?;
-                store_global(kernel, bufs, *buf, i, st.regs[*src], *width)?;
+                store_global(
+                    kernel,
+                    bufs,
+                    *buf,
+                    i,
+                    st.regs[*src],
+                    *width,
+                    grace,
+                    group_linear,
+                )?;
                 local.mem_global_instrs += 1;
                 local.mem_global_bytes += global_bytes(&bufs[*buf], *width);
             }
@@ -550,14 +835,22 @@ fn check_bounds(
     Ok(idx as usize)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn load_global(
     kernel: &CompiledKernel,
     bufs: &[BufData],
     buf: usize,
     idx: i64,
     width: u8,
+    grace: Option<&GlobalRaceTables>,
+    group: u32,
 ) -> Result<Value, RuntimeError> {
     let i = check_bounds(kernel, buf, idx, width, bufs[buf].len())?;
+    if let Some(g) = grace {
+        if let Err((k, other)) = g.on_read(buf, i, width, group) {
+            return Err(global_race_err(kernel, buf, k, group, other));
+        }
+    }
     Ok(match (&bufs[buf], width) {
         (BufData::F32(v), 1) => Value::F32(v[i]),
         (BufData::F64(v), 1) => Value::F64(v[i]),
@@ -572,6 +865,37 @@ fn load_global(
     })
 }
 
+pub(crate) fn local_race_err(
+    kernel: &CompiledKernel,
+    arr: usize,
+    index: usize,
+    writer: u32,
+    other: u32,
+) -> RuntimeError {
+    RuntimeError::LocalRace {
+        array: kernel.checked.local_arrays[arr].name.clone(),
+        index,
+        writer: writer as usize,
+        other: other as usize,
+    }
+}
+
+pub(crate) fn global_race_err(
+    kernel: &CompiledKernel,
+    buf: usize,
+    index: usize,
+    group: u32,
+    other: u32,
+) -> RuntimeError {
+    RuntimeError::GlobalRace {
+        buffer: kernel.checked.buffer_params[buf].name.clone(),
+        index,
+        group: group as usize,
+        other: other as usize,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn store_global(
     kernel: &CompiledKernel,
     bufs: &mut [BufData],
@@ -579,8 +903,15 @@ fn store_global(
     idx: i64,
     val: Value,
     width: u8,
+    grace: Option<&GlobalRaceTables>,
+    group: u32,
 ) -> Result<(), RuntimeError> {
     let i = check_bounds(kernel, buf, idx, width, bufs[buf].len())?;
+    if let Some(g) = grace {
+        if let Err((k, other)) = g.on_write(buf, i, width, group) {
+            return Err(global_race_err(kernel, buf, k, group, other));
+        }
+    }
     match (&mut bufs[buf], val, width) {
         (BufData::F32(v), Value::F32(x), 1) => v[i] = x,
         (BufData::F64(v), Value::F64(x), 1) => v[i] = x,
@@ -623,17 +954,8 @@ fn load_local(
     }
     let i = idx as usize;
     if let Some(rt) = races.get_mut(arr) {
-        for k in i..i + width as usize {
-            if rt.write_phase[k] == phase && rt.writer[k] != wi {
-                return Err(RuntimeError::LocalRace {
-                    array: kernel.checked.local_arrays[arr].name.clone(),
-                    index: k,
-                    writer: rt.writer[k] as usize,
-                    other: wi as usize,
-                });
-            }
-            rt.read_phase[k] = phase;
-            rt.reader[k] = wi;
+        if let Err((k, writer, other)) = rt.on_read(i, width, wi, phase) {
+            return Err(local_race_err(kernel, arr, k, writer, other));
         }
     }
     Ok(match (&locals[arr], width) {
@@ -672,25 +994,8 @@ fn store_local(
     }
     let i = idx as usize;
     if let Some(rt) = races.get_mut(arr) {
-        for k in i..i + width as usize {
-            if rt.write_phase[k] == phase && rt.writer[k] != wi {
-                return Err(RuntimeError::LocalRace {
-                    array: kernel.checked.local_arrays[arr].name.clone(),
-                    index: k,
-                    writer: rt.writer[k] as usize,
-                    other: wi as usize,
-                });
-            }
-            if rt.read_phase[k] == phase && rt.reader[k] != wi {
-                return Err(RuntimeError::LocalRace {
-                    array: kernel.checked.local_arrays[arr].name.clone(),
-                    index: k,
-                    writer: wi as usize,
-                    other: rt.reader[k] as usize,
-                });
-            }
-            rt.write_phase[k] = phase;
-            rt.writer[k] = wi;
+        if let Err((k, writer, other)) = rt.on_write(i, width, wi, phase) {
+            return Err(local_race_err(kernel, arr, k, writer, other));
         }
     }
     match (&mut locals[arr], val, width) {

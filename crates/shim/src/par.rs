@@ -44,6 +44,42 @@ where
         .collect()
 }
 
+/// Parallel map over contiguous index ranges: `0..n` is split into one
+/// range per worker and `f(range)` runs once per worker. Results come
+/// back in range order, so folds over them are deterministic regardless
+/// of thread scheduling. Unlike [`par_map`] the caller keeps per-thread
+/// state alive for a whole range (e.g. a reusable register arena), which
+/// is what the VM's parallel work-group launch needs.
+pub fn par_range_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = worker_count(n);
+    if threads <= 1 {
+        return vec![f(0..n)];
+    }
+    let per = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per).min(n);
+            let f = &f;
+            handles.push(s.spawn(move || f(start..end)));
+            start = end;
+        }
+        for h in handles {
+            out.push(Some(h.join().expect("par_range_map worker panicked")));
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker result")).collect()
+}
+
 /// Parallel mutation of consecutive `chunk`-sized pieces of `data`;
 /// `f(chunk_index, chunk)` like `par_chunks_mut().enumerate()`.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
@@ -90,6 +126,17 @@ mod tests {
         let seq: Vec<usize> = items.iter().enumerate().map(|(i, v)| i * 3 + v).collect();
         assert_eq!(par_map(&items, |i, v| i * 3 + v), seq);
         assert!(par_map::<usize, usize, _>(&[], |_, v| *v).is_empty());
+    }
+
+    #[test]
+    fn par_range_map_covers_all_indices_in_order() {
+        let parts = par_range_map(1003, |r| r.clone());
+        let mut flat: Vec<usize> = Vec::new();
+        for r in parts {
+            flat.extend(r);
+        }
+        assert_eq!(flat, (0..1003).collect::<Vec<_>>());
+        assert!(par_range_map(0, |r| r.len()).is_empty());
     }
 
     #[test]

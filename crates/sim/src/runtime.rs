@@ -359,14 +359,31 @@ impl CommandQueue {
                         _ => None,
                     })
                     .collect();
-                let mut dense: Vec<BufData> = Vec::with_capacity(buf_ids.len());
                 for id in &buf_ids {
-                    let b = ctx
-                        .bufs
-                        .get(*id)
-                        .ok_or_else(|| ClError::InvalidBuffer(format!("no buffer index {id}")))?;
-                    dense.push(b.clone());
+                    if ctx.bufs.get(*id).is_none() {
+                        return Err(ClError::InvalidBuffer(format!("no buffer index {id}")));
+                    }
                 }
+                // Move the context buffers into the dense slice instead
+                // of cloning them — a large GEMM launch would otherwise
+                // copy all three matrices every call. Each buffer is
+                // restored after the launch (error paths included).
+                // Duplicate buffer arguments would make the second take
+                // see an empty placeholder, so that rare case clones.
+                let has_dup = buf_ids
+                    .iter()
+                    .enumerate()
+                    .any(|(i, id)| buf_ids[..i].contains(id));
+                let mut dense: Vec<BufData> = buf_ids
+                    .iter()
+                    .map(|id| {
+                        if has_dup {
+                            ctx.bufs[*id].clone()
+                        } else {
+                            std::mem::replace(&mut ctx.bufs[*id], BufData::F32(Vec::new()))
+                        }
+                    })
+                    .collect();
                 let mut dense_args = Vec::with_capacity(cl_args.len());
                 let mut next_buf = 0usize;
                 for a in cl_args {
@@ -383,11 +400,15 @@ impl CommandQueue {
                     detect_races,
                     ..Default::default()
                 };
-                let stats = kernel.launch(nd, &dense_args, &mut dense, &opts)?;
+                let result = kernel.launch(nd, &dense_args, &mut dense, &opts);
+                // Hand the buffers back before surfacing any launch
+                // error: after a failed launch their contents are
+                // unspecified (as in a real CL runtime), but they must
+                // not vanish from the context.
                 for (slot, id) in buf_ids.iter().enumerate() {
                     ctx.bufs[*id] = std::mem::replace(&mut dense[slot], BufData::F32(Vec::new()));
                 }
-                Some(stats)
+                Some(result?)
             }
         };
 
