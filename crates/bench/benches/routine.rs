@@ -1,0 +1,300 @@
+//! Routine-layer host data path bench: the reference pipeline (serial
+//! packing, `run_native`, fresh allocations) vs the fast engine
+//! (parallel packing, panel microkernel, reusable workspace).
+//!
+//! Full runs time each phase in isolation (pack, stage, merge, kernel —
+//! old vs new) plus whole `gemm_with` calls for both precisions, and a
+//! flagship 1024³ f32 NN case once per engine. Results land in
+//! `BENCH_routine.json` at the repo root with pairwise speedups.
+//!
+//! Smoke mode (`CLGEMM_BENCH_SMOKE=1`, used by CI) is the regression
+//! gate: the fast engine must not be slower than the reference on a
+//! mid-size call, and a steady-state repeat call must perform **zero**
+//! workspace growths.
+
+use clgemm::executor::{run_native, run_native_fast};
+use clgemm::params::small_test_params;
+use clgemm::routine::{GemmOptions, TunedGemm};
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::pack::{
+    merge_c, merge_c_par, pack_into, pack_into_par, pack_operand, stage_c, stage_c_into_par,
+    PackSpec,
+};
+use clgemm_blas::scalar::{Precision, Scalar};
+use clgemm_blas::workspace::{Workspace, WorkspaceScalar};
+use clgemm_blas::{GemmType, Trans};
+use clgemm_device::DeviceId;
+use clgemm_shim::bench::{fmt_secs, Harness};
+use clgemm_shim::json::Json;
+use std::time::Instant;
+
+fn tuned() -> TunedGemm {
+    TunedGemm::new(
+        DeviceId::Tahiti.spec(),
+        small_test_params(Precision::F64),
+        small_test_params(Precision::F32),
+    )
+}
+
+fn matrices<T: WorkspaceScalar>(m: usize, n: usize, k: usize) -> (Matrix<T>, Matrix<T>, Matrix<T>) {
+    (
+        Matrix::test_pattern(m, k, StorageOrder::ColMajor, 1),
+        Matrix::test_pattern(k, n, StorageOrder::ColMajor, 2),
+        Matrix::test_pattern(m, n, StorageOrder::ColMajor, 3),
+    )
+}
+
+/// One whole-routine call through the chosen engine.
+fn call<T: WorkspaceScalar>(
+    tg: &TunedGemm,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    ws: &mut Workspace,
+    opts: &GemmOptions,
+) {
+    tg.gemm_with(
+        GemmType::NN,
+        T::from_f64(1.25),
+        a,
+        b,
+        T::from_f64(-0.5),
+        c,
+        ws,
+        opts,
+    );
+}
+
+fn time_once(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn prec_tag<T: Scalar>() -> &'static str {
+    if T::PREC_TAG == 'D' {
+        "f64"
+    } else {
+        "f32"
+    }
+}
+
+/// Phase-split benches for one precision at one size.
+fn bench_phases<T: WorkspaceScalar>(h: &mut Harness, m: usize, n: usize, k: usize) {
+    let p = small_test_params(if T::PREC_TAG == 'D' {
+        Precision::F64
+    } else {
+        Precision::F32
+    });
+    let (a, _b, c) = matrices::<T>(m, n, k);
+    let spec = PackSpec {
+        trans: Trans::Yes,
+        layout: p.layout_a,
+        wwg: p.mwg,
+        kwg: p.kwg,
+    };
+    let (oracle, dims) = pack_operand(&a, spec, k, m);
+    let tag = prec_tag::<T>();
+
+    let mut buf = vec![T::ZERO; dims.len()];
+    h.bench(&format!("routine/pack_{tag}_reference"), || {
+        pack_into(&a, spec, k, m, &mut buf, dims);
+    });
+    h.bench(&format!("routine/pack_{tag}_fast"), || {
+        pack_into_par(&a, spec, k, m, &mut buf, dims);
+    });
+    assert_eq!(buf, oracle, "parallel pack diverged during bench");
+
+    let staged_oracle = stage_c(&c, p.mwg, p.nwg);
+    let mut staged = vec![T::ZERO; staged_oracle.len()];
+    h.bench(&format!("routine/stage_{tag}_reference"), || {
+        std::hint::black_box(stage_c(&c, p.mwg, p.nwg));
+    });
+    h.bench(&format!("routine/stage_{tag}_fast"), || {
+        stage_c_into_par(&c, p.mwg, p.nwg, &mut staged);
+    });
+    assert_eq!(staged, staged_oracle, "parallel stage diverged");
+
+    let mut out = c.clone();
+    h.bench(&format!("routine/merge_{tag}_reference"), || {
+        merge_c(&staged, p.mwg, p.nwg, &mut out);
+    });
+    h.bench(&format!("routine/merge_{tag}_fast"), || {
+        merge_c_par(&staged, p.mwg, p.nwg, &mut out);
+    });
+
+    // Kernel phase: packed operands for a square padded problem.
+    let spec_b = PackSpec {
+        trans: Trans::No,
+        layout: p.layout_b,
+        wwg: p.nwg,
+        kwg: p.kwg,
+    };
+    let b_src = Matrix::<T>::test_pattern(k, n, StorageOrder::ColMajor, 4);
+    let (pa, da) = pack_operand(&a, spec, k, m);
+    let (pb, db) = pack_operand(&b_src, spec_b, k, n);
+    let (mp, np, kp) = (da.width, db.width, da.k);
+    let mut ck = vec![T::ZERO; mp * np];
+    let alpha = T::from_f64(1.25);
+    let beta = T::from_f64(-0.5);
+    h.bench(&format!("routine/kernel_{tag}_reference"), || {
+        run_native(
+            mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut ck,
+        );
+    });
+    h.bench(&format!("routine/kernel_{tag}_fast"), || {
+        run_native_fast(
+            mp,
+            np,
+            kp,
+            alpha,
+            &pa,
+            da,
+            p.layout_a,
+            &pb,
+            db,
+            p.layout_b,
+            beta,
+            &mut ck,
+            p.mwi(),
+            p.nwi(),
+        );
+    });
+}
+
+/// Whole-call benches for one precision at one size.
+fn bench_calls<T: WorkspaceScalar>(h: &mut Harness, m: usize, n: usize, k: usize) {
+    let tg = tuned();
+    let (a, b, c0) = matrices::<T>(m, n, k);
+    let tag = prec_tag::<T>();
+    let mut ws = Workspace::new();
+    let mut c = c0.clone();
+    h.bench(&format!("routine/call_{tag}_reference"), || {
+        call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::reference());
+    });
+    h.bench(&format!("routine/call_{tag}_fast"), || {
+        call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default());
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    let smoke = h.smoke;
+
+    if smoke {
+        // CI regression gate 1: fast call no slower than reference.
+        let tg = tuned();
+        let (m, n, k) = (320, 320, 320);
+        let (a, b, c0) = matrices::<f32>(m, n, k);
+        let mut ws = Workspace::new();
+        let mut c = c0.clone();
+        let fast = time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()));
+        let mut c = c0.clone();
+        let reference = time_once(|| {
+            call(
+                &tg,
+                &a,
+                &b,
+                &mut c,
+                &mut Workspace::new(),
+                &GemmOptions::reference(),
+            )
+        });
+        println!(
+            "routine smoke gate (nn_f32 {m}^3): fast {} vs reference {} ({:.2}x)",
+            fmt_secs(fast),
+            fmt_secs(reference),
+            reference / fast
+        );
+        assert!(
+            fast <= reference,
+            "fast host path ({}) slower than reference ({})",
+            fmt_secs(fast),
+            fmt_secs(reference)
+        );
+        // CI regression gate 2: steady-state calls allocate nothing.
+        let grows = ws.grows();
+        assert!(grows > 0, "first fast call must size the workspace");
+        let mut c = c0.clone();
+        call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default());
+        assert_eq!(
+            ws.grows(),
+            grows,
+            "steady-state repeat call grew the workspace"
+        );
+        println!("routine smoke gate: steady-state workspace growths = 0");
+        return;
+    }
+
+    // Full grid: phase splits and whole calls, both precisions.
+    let (m, n, k) = (256, 256, 256);
+    bench_phases::<f32>(&mut h, m, n, k);
+    bench_phases::<f64>(&mut h, m, n, k);
+    bench_calls::<f32>(&mut h, m, n, k);
+    bench_calls::<f64>(&mut h, m, n, k);
+    let mut rows: Vec<(String, f64)> = h.results().to_vec();
+
+    // Flagship: 1024³ f32 NN, one whole call per engine.
+    {
+        let tg = tuned();
+        let (m, n, k) = (1024, 1024, 1024);
+        let (a, b, c0) = matrices::<f32>(m, n, k);
+        let mut ws = Workspace::new();
+        let mut c = c0.clone();
+        // Warm the workspace so the flagship fast call measures the
+        // steady-state (zero-allocation) path.
+        call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default());
+        let mut c = c0.clone();
+        let fast = time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()));
+        println!("routine/flagship_nn_f32_1024_fast: {}", fmt_secs(fast));
+        let mut c = c0.clone();
+        let reference = time_once(|| {
+            call(
+                &tg,
+                &a,
+                &b,
+                &mut c,
+                &mut Workspace::new(),
+                &GemmOptions::reference(),
+            )
+        });
+        println!(
+            "routine/flagship_nn_f32_1024_reference: {} (fast speedup {:.2}x)",
+            fmt_secs(reference),
+            reference / fast
+        );
+        rows.push(("routine/flagship_nn_f32_1024_fast".into(), fast));
+        rows.push(("routine/flagship_nn_f32_1024_reference".into(), reference));
+    }
+
+    // Record results and pairwise speedups at the repo root.
+    let mut entries: Vec<Json> = Vec::new();
+    for (name, secs) in &rows {
+        entries.push(Json::obj(vec![
+            ("name", Json::Str(name.clone())),
+            ("seconds", Json::Num(*secs)),
+        ]));
+    }
+    let mut speedups: Vec<Json> = Vec::new();
+    for (name, secs) in &rows {
+        if let Some(base) = name.strip_suffix("_fast") {
+            let ref_name = format!("{base}_reference");
+            if let Some((_, ref_secs)) = rows.iter().find(|(n, _)| *n == ref_name) {
+                if *secs > 0.0 {
+                    speedups.push(Json::obj(vec![
+                        ("case", Json::Str(base.to_string())),
+                        ("speedup", Json::Num(ref_secs / secs)),
+                    ]));
+                }
+            }
+        }
+    }
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("routine".into())),
+        ("results", Json::Arr(entries)),
+        ("fast_vs_reference", Json::Arr(speedups)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routine.json");
+    std::fs::write(path, doc.to_string_compact()).expect("write BENCH_routine.json");
+    println!("wrote {path}");
+}

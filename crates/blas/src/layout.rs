@@ -100,6 +100,21 @@ impl BlockLayout {
             BlockLayout::Cbl | BlockLayout::Rbl => dims.wwg,
         }
     }
+
+    /// How many consecutive depth positions share the [`Self::depth_stride`]
+    /// from an aligned start: walking `p` from a multiple of this run
+    /// length, `offset(p + d, w) == offset(p, w) + d · depth_stride` for
+    /// all `d` inside the run. The fast host microkernel uses this to
+    /// hoist all offset arithmetic out of its FMA loop.
+    #[must_use]
+    pub fn depth_run(self, dims: PackedDims) -> usize {
+        match self {
+            // Row-major and CBL are affine in `p` over the whole depth.
+            BlockLayout::RowMajor | BlockLayout::Cbl => dims.k.max(1),
+            // RBL jumps at every Kwg boundary.
+            BlockLayout::Rbl => dims.kwg,
+        }
+    }
 }
 
 impl std::fmt::Display for BlockLayout {
@@ -255,6 +270,27 @@ mod tests {
         assert_eq!(BlockLayout::RowMajor.depth_stride(d), 256);
         assert_eq!(BlockLayout::Cbl.depth_stride(d), 32);
         assert_eq!(BlockLayout::Rbl.depth_stride(d), 32);
+    }
+
+    #[test]
+    fn depth_run_makes_offsets_affine() {
+        let d = dims(12, 8, 4, 3);
+        for layout in BlockLayout::ALL {
+            let run = layout.depth_run(d);
+            let stride = layout.depth_stride(d);
+            for w in 0..d.width {
+                for p0 in (0..d.k).step_by(run) {
+                    let base = layout.offset(p0, w, d);
+                    for di in 0..run.min(d.k - p0) {
+                        assert_eq!(
+                            layout.offset(p0 + di, w, d),
+                            base + di * stride,
+                            "{layout:?} p0={p0} d={di} w={w}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

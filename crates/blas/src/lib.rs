@@ -25,12 +25,14 @@ pub mod layout;
 pub mod matrix;
 pub mod pack;
 pub mod scalar;
+pub mod workspace;
 
 pub use error::{max_abs_diff, max_rel_error, verify_gemm, ErrorReport};
 pub use layout::{BlockLayout, PackedDims};
 pub use matrix::{Matrix, StorageOrder};
 pub use pack::{merge_c, pack_operand, PackSpec};
 pub use scalar::Scalar;
+pub use workspace::{Workspace, WorkspaceScalar};
 
 /// Transpose operation applied to an input operand, `op(X)` in the BLAS
 /// GEMM definition `C ← α·op(A)·op(B) + β·C`.

@@ -86,6 +86,153 @@ pub fn pack_into<T: Scalar>(
     }
 }
 
+/// Linear strides of the *source* read stream: `op(X)[p][w]` lives at
+/// `p · sp + w · sw` in `x`'s backing storage. Lets the fast packers walk
+/// the source without calling `at_op` (bounds check + branch) per cell.
+fn source_strides<T: Scalar>(x: &Matrix<T>, trans: Trans) -> (usize, usize) {
+    use crate::matrix::StorageOrder;
+    match (trans, x.order()) {
+        (Trans::No, StorageOrder::ColMajor) | (Trans::Yes, StorageOrder::RowMajor) => (1, x.ld()),
+        (Trans::No, StorageOrder::RowMajor) | (Trans::Yes, StorageOrder::ColMajor) => (x.ld(), 1),
+    }
+}
+
+/// Copy one destination panel whose element `(pi, wi)` lives at
+/// `pi · wwg + wi`, reading `op(X)` starting at logical `(p0, w0)`.
+/// `klim × wlim` is the interior extent; the rest of the panel is the
+/// zero padding fringe and is the only part that gets zero-filled.
+#[allow(clippy::too_many_arguments)] // flat hot-path helper
+fn pack_panel<T: Scalar>(
+    panel: &mut [T],
+    wwg: usize,
+    rows: usize,
+    src: &[T],
+    base: usize,
+    sp: usize,
+    sw: usize,
+    klim: usize,
+    wlim: usize,
+) {
+    if sp == 1 && klim > 1 {
+        // Source is contiguous along the depth axis: walk `p` innermost
+        // so the reads stream, at the cost of a small (`wwg`-element)
+        // stride on the cache-resident destination panel.
+        for wi in 0..wlim {
+            let src_col = &src[base + wi * sw..][..klim];
+            for (pi, v) in src_col.iter().enumerate() {
+                panel[pi * wwg + wi] = *v;
+            }
+        }
+    } else {
+        // Source is contiguous (or no better than strided) along the
+        // width axis: walk `wi` innermost so the destination writes are
+        // sequential.
+        for pi in 0..klim {
+            let row_base = base + pi * sp;
+            let dst = &mut panel[pi * wwg..][..wlim];
+            for (wi, d) in dst.iter_mut().enumerate() {
+                *d = src[row_base + wi * sw];
+            }
+        }
+    }
+    // Zero only the padding fringe: trailing columns of interior rows,
+    // then whole trailing rows. Reused workspace buffers carry stale
+    // data, and the fringe must read as zero — the kernel's dot products
+    // run over the padded depth and the padded A/B cells contribute
+    // `stale · x` terms to interior C elements otherwise.
+    for pi in 0..klim {
+        panel[pi * wwg + wlim..pi * wwg + wwg].fill(T::ZERO);
+    }
+    panel[klim * wwg..rows * wwg].fill(T::ZERO);
+}
+
+/// Parallel, layout-specialised version of [`pack_into`]: identical
+/// output, but the traversal is chosen from the source's storage order,
+/// offset arithmetic is hoisted out of the inner loops, zero-fill is
+/// restricted to the padding fringe, and contiguous destination blocks
+/// are distributed over threads.
+pub fn pack_into_par<T: Scalar>(
+    x: &Matrix<T>,
+    spec: PackSpec,
+    k: usize,
+    width: usize,
+    buf: &mut [T],
+    dims: PackedDims,
+) {
+    assert_eq!(buf.len(), dims.len(), "staging buffer size mismatch");
+    let (xr, xc) = x.dims_op(spec.trans);
+    assert_eq!(
+        (xr, xc),
+        (k, width),
+        "operand shape mismatch: op(X) is {xr}x{xc}, expected {k}x{width}"
+    );
+    let (sp, sw) = source_strides(x, spec.trans);
+    let src = x.as_slice();
+    match spec.layout {
+        // One K × Wwg column-block is one contiguous destination span.
+        BlockLayout::Cbl => {
+            clgemm_shim::par::par_chunks_mut(buf, dims.k * dims.wwg, |cb, block| {
+                let w0 = cb * dims.wwg;
+                let wlim = width.saturating_sub(w0).min(dims.wwg);
+                pack_panel(
+                    block,
+                    dims.wwg,
+                    dims.k,
+                    src,
+                    w0 * sw,
+                    sp,
+                    sw,
+                    k.min(dims.k),
+                    wlim,
+                );
+            });
+        }
+        // One Kwg × W row-block is contiguous; its Kwg × Wwg sub-blocks
+        // are packed panels.
+        BlockLayout::Rbl => {
+            clgemm_shim::par::par_chunks_mut(buf, dims.kwg * dims.width, |rb, block| {
+                let p0 = rb * dims.kwg;
+                let klim = k.saturating_sub(p0).min(dims.kwg);
+                for (cb, panel) in block.chunks_mut(dims.kwg * dims.wwg).enumerate() {
+                    let w0 = cb * dims.wwg;
+                    let wlim = width.saturating_sub(w0).min(dims.wwg);
+                    pack_panel(
+                        panel,
+                        dims.wwg,
+                        dims.kwg,
+                        src,
+                        p0 * sp + w0 * sw,
+                        sp,
+                        sw,
+                        klim,
+                        wlim,
+                    );
+                }
+            });
+        }
+        // Plain row-major: each depth row is contiguous. Threads take
+        // runs of rows; a transposed-source row is gathered with a
+        // hoisted stride instead of per-element index math.
+        BlockLayout::RowMajor => {
+            clgemm_shim::par::par_chunks_mut(buf, dims.width, |p, row| {
+                if p >= k {
+                    row.fill(T::ZERO);
+                    return;
+                }
+                let row_base = p * sp;
+                if sw == 1 {
+                    row[..width].copy_from_slice(&src[row_base..][..width]);
+                } else {
+                    for (w, d) in row[..width].iter_mut().enumerate() {
+                        *d = src[row_base + w * sw];
+                    }
+                }
+                row[width..].fill(T::ZERO);
+            });
+        }
+    }
+}
+
 /// Read one element of a packed operand back out (test/debug helper).
 #[must_use]
 pub fn packed_at<T: Scalar>(
@@ -122,16 +269,95 @@ pub fn c_staging_dims(m: usize, n: usize, mwg: usize, nwg: usize) -> (usize, usi
 
 /// Stage the user's `C` into a padded row-major buffer (needed when
 /// `β ≠ 0`, because the kernel reads `C` to apply `β·C`).
+///
+/// Only the padding fringe is zero-filled; the interior is written once
+/// from the user matrix. The fringe must read as zero so the padded
+/// region the kernel computes (`mad(α, 0, β·fringe)`) stays finite and
+/// deterministic — with β = 0 a stale NaN/Inf fringe cell would turn the
+/// padded output into NaN (`0 · NaN`; see the NaN-propagation note in
+/// the executor's `beta_zero_ignores_initial_c` test), and property
+/// tests compare staged buffers of the reuse and fresh-allocation paths.
 #[must_use]
 pub fn stage_c<T: Scalar>(c: &Matrix<T>, mwg: usize, nwg: usize) -> Vec<T> {
     let (mp, np) = c_staging_dims(c.rows(), c.cols(), mwg, nwg);
-    let mut buf = vec![T::ZERO; mp * np];
+    let mut buf = Vec::with_capacity(mp * np);
+    // Every cell is written exactly once: interior row, its fringe
+    // columns, then the whole-row fringe at the bottom.
     for i in 0..c.rows() {
         for j in 0..c.cols() {
-            buf[i * np + j] = c.at(i, j);
+            buf.push(c.at(i, j));
+        }
+        buf.resize((i + 1) * np, T::ZERO);
+    }
+    buf.resize(mp * np, T::ZERO);
+    buf
+}
+
+/// [`stage_c`] into a caller-provided (reused) buffer, in parallel. The
+/// interior copy is storage-order-aware and cache-blocked; the zero-fill
+/// touches only the padding fringe.
+pub fn stage_c_into_par<T: Scalar>(c: &Matrix<T>, mwg: usize, nwg: usize, buf: &mut [T]) {
+    let (mp, np) = c_staging_dims(c.rows(), c.cols(), mwg, nwg);
+    assert_eq!(buf.len(), mp * np, "staged C buffer size mismatch");
+    let (m, n) = (c.rows(), c.cols());
+    // Row-tiles of the destination are contiguous chunks; each thread
+    // fills its tiles' interiors and fringes.
+    clgemm_shim::par::par_chunks_mut(buf, C_TILE * np, |t, rows| {
+        let i0 = t * C_TILE;
+        let tile_rows = rows.len() / np.max(1);
+        let ilim = m.saturating_sub(i0).min(tile_rows);
+        stage_tile(c, i0, ilim, rows, np);
+        // Fringe: trailing columns of interior rows, then whole padding rows.
+        for ti in 0..ilim {
+            rows[ti * np + n..(ti + 1) * np].fill(T::ZERO);
+        }
+        rows[ilim * np..tile_rows * np].fill(T::ZERO);
+    });
+}
+
+/// Row-tile height for the cache-blocked staged-C copies.
+const C_TILE: usize = 32;
+/// Column-tile width: bounds the staged-row working set while the
+/// column-major user matrix is walked with unit stride.
+const C_JTILE: usize = 128;
+
+/// Copy user rows `i0 .. i0+ilim` into `ilim` staged row-major rows of
+/// stride `np`. The loop nest follows the user matrix's storage order: a
+/// row-major source streams row by row; a column-major one keeps its
+/// unit-stride direction (`i`) innermost and relies on the small row
+/// tile staying cache-resident.
+fn stage_tile<T: Scalar>(c: &Matrix<T>, i0: usize, ilim: usize, rows: &mut [T], np: usize) {
+    if ilim == 0 {
+        // All-padding tile: nothing to copy, and the source slicing
+        // below would index past the user matrix.
+        return;
+    }
+    let n = c.cols();
+    match c.order() {
+        crate::StorageOrder::RowMajor => {
+            let ld = c.ld();
+            let src = c.as_slice();
+            for ti in 0..ilim {
+                rows[ti * np..ti * np + n].copy_from_slice(&src[(i0 + ti) * ld..][..n]);
+            }
+        }
+        crate::StorageOrder::ColMajor => {
+            let ld = c.ld();
+            let src = c.as_slice();
+            // Unit-stride writes along each staged row; the strided
+            // column reads stay cache-resident because only C_JTILE
+            // distinct source columns are live per pass.
+            for j0 in (0..n).step_by(C_JTILE) {
+                let jlim = (j0 + C_JTILE).min(n);
+                for ti in 0..ilim {
+                    let row = &mut rows[ti * np + j0..ti * np + jlim];
+                    for (jj, cell) in row.iter_mut().enumerate() {
+                        *cell = src[i0 + ti + (j0 + jj) * ld];
+                    }
+                }
+            }
         }
     }
-    buf
 }
 
 /// Merge the kernel's padded row-major `C` result back into the user
@@ -142,6 +368,45 @@ pub fn merge_c<T: Scalar>(staged: &[T], mwg: usize, nwg: usize, c: &mut Matrix<T
     for i in 0..c.rows() {
         for j in 0..c.cols() {
             *c.at_mut(i, j) = staged[i * np + j];
+        }
+    }
+}
+
+/// Parallel, storage-order-aware version of [`merge_c`]: identical
+/// result. Work splits over the *user* matrix's major axis so each
+/// thread writes a disjoint contiguous region of `c`.
+pub fn merge_c_par<T: Scalar>(staged: &[T], mwg: usize, nwg: usize, c: &mut Matrix<T>) {
+    let (m, n) = (c.rows(), c.cols());
+    let (mp, np) = c_staging_dims(m, n, mwg, nwg);
+    assert_eq!(staged.len(), mp * np, "staged C buffer size mismatch");
+    let ld = c.ld();
+    match c.order() {
+        crate::StorageOrder::RowMajor => {
+            // User rows are contiguous (stride ld ≥ n): one row per chunk.
+            clgemm_shim::par::par_chunks_mut(c.as_mut_slice(), ld, |i, row| {
+                if i < m {
+                    row[..n].copy_from_slice(&staged[i * np..i * np + n]);
+                }
+            });
+        }
+        crate::StorageOrder::ColMajor => {
+            // User columns are contiguous: column-tiles per chunk, with
+            // the staged source walked in row-tiles so its strided reads
+            // stay cache-resident.
+            clgemm_shim::par::par_chunks_mut(c.as_mut_slice(), C_JTILE * ld, |t, cols| {
+                let j0 = t * C_JTILE;
+                let jlim = n.saturating_sub(j0).min(cols.len() / ld.max(1));
+                for i0 in (0..m).step_by(C_TILE) {
+                    let ilim = (i0 + C_TILE).min(m);
+                    for tj in 0..jlim {
+                        let src_col = j0 + tj;
+                        let col = &mut cols[tj * ld..tj * ld + m];
+                        for (i, cell) in col[i0..ilim].iter_mut().enumerate() {
+                            *cell = staged[(i0 + i) * np + src_col];
+                        }
+                    }
+                }
+            });
         }
     }
 }
@@ -226,6 +491,85 @@ mod tests {
             kwg: 2,
         };
         let _ = pack_operand(&x, spec, 5, 4);
+    }
+
+    #[test]
+    fn pack_into_par_matches_oracle_over_all_shapes() {
+        for order in [StorageOrder::ColMajor, StorageOrder::RowMajor] {
+            for trans in [Trans::No, Trans::Yes] {
+                for layout in BlockLayout::ALL {
+                    // Odd source shape against blocking 4×3, with a padded ld.
+                    let x = Matrix::<f64>::test_pattern(13, 11, order, 5);
+                    let (k, width) = match trans {
+                        Trans::No => (13, 11),
+                        Trans::Yes => (11, 13),
+                    };
+                    let spec = PackSpec {
+                        trans,
+                        layout,
+                        wwg: 4,
+                        kwg: 3,
+                    };
+                    let (oracle, dims) = pack_operand(&x, spec, k, width);
+                    // Seed the reused buffer with garbage to prove the
+                    // fringe is re-zeroed.
+                    let mut buf = vec![f64::NAN; dims.len()];
+                    pack_into_par(&x, spec, k, width, &mut buf, dims);
+                    assert_eq!(buf, oracle, "{order:?} {trans:?} {layout}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_c_into_par_matches_oracle_and_rezeros_fringe() {
+        for order in [StorageOrder::ColMajor, StorageOrder::RowMajor] {
+            let c = Matrix::<f32>::test_pattern(37, 41, order, 9);
+            let oracle = stage_c(&c, 16, 16);
+            let mut buf = vec![f32::INFINITY; oracle.len()];
+            stage_c_into_par(&c, 16, 16, &mut buf);
+            assert_eq!(buf, oracle, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn stage_c_into_par_handles_all_padding_row_tiles() {
+        // Large Mwg pads far past the user rows, so whole row-tiles of the
+        // staged buffer contain no user data at all.
+        for order in [StorageOrder::ColMajor, StorageOrder::RowMajor] {
+            let c = Matrix::<f64>::test_pattern(5, 7, order, 4);
+            let oracle = stage_c(&c, 128, 16);
+            let mut buf = vec![f64::NAN; oracle.len()];
+            stage_c_into_par(&c, 128, 16, &mut buf);
+            assert_eq!(buf, oracle, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn merge_c_par_matches_oracle() {
+        for order in [StorageOrder::ColMajor, StorageOrder::RowMajor] {
+            let src = Matrix::<f64>::test_pattern(37, 29, order, 3);
+            let staged = stage_c(&src, 8, 8);
+            let mut a = Matrix::<f64>::zeros(37, 29, order);
+            let mut b = Matrix::<f64>::zeros(37, 29, order);
+            merge_c(&staged, 8, 8, &mut a);
+            merge_c_par(&staged, 8, 8, &mut b);
+            assert_eq!(a, b, "{order:?}");
+            assert_eq!(a, src);
+        }
+    }
+
+    #[test]
+    fn merge_c_par_respects_padded_ld() {
+        let src = Matrix::<f64>::test_pattern(10, 6, StorageOrder::ColMajor, 1);
+        let staged = stage_c(&src, 4, 4);
+        let mut out = Matrix::<f64>::zeros_with_ld(10, 6, 17, StorageOrder::ColMajor);
+        merge_c_par(&staged, 4, 4, &mut out);
+        for j in 0..6 {
+            for i in 0..10 {
+                assert_eq!(out.at(i, j), src.at(i, j));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Grow-only staging-buffer pool for the routine layer.
+//!
+//! Every `TunedGemm::gemm` call needs three scratch buffers — packed A,
+//! packed B and the padded staged C. Allocating them fresh per call puts
+//! an `O(N²)` `vec![0; …]` (allocation **plus** full zero-fill) on the
+//! serving hot path. A [`Workspace`] owns one grow-only buffer per role
+//! and precision: buffers only ever expand, so a steady-state workload
+//! (same shape bucket over and over, the common serving case) performs
+//! zero staging allocations after the first call. The packers re-fill
+//! interior and padding fringe on every call, so stale contents are
+//! harmless.
+//!
+//! One pool per precision exists because a server worker serves both
+//! SGEMM and DGEMM traffic through the same workspace.
+
+use crate::scalar::Scalar;
+
+/// The three staging buffers of one precision.
+#[derive(Debug, Default, Clone)]
+pub struct Pool<T> {
+    pa: Vec<T>,
+    pb: Vec<T>,
+    c: Vec<T>,
+    grows: u64,
+}
+
+impl<T: Scalar> Pool<T> {
+    fn ensure(buf: &mut Vec<T>, len: usize, grows: &mut u64) {
+        if buf.len() < len {
+            buf.resize(len, T::ZERO);
+            *grows += 1;
+        }
+    }
+
+    /// Hand out the three buffers at exactly the requested lengths,
+    /// growing backing storage only when a request exceeds every
+    /// previous one.
+    pub fn buffers(
+        &mut self,
+        len_a: usize,
+        len_b: usize,
+        len_c: usize,
+    ) -> (&mut [T], &mut [T], &mut [T]) {
+        let mut grows = 0;
+        Self::ensure(&mut self.pa, len_a, &mut grows);
+        Self::ensure(&mut self.pb, len_b, &mut grows);
+        Self::ensure(&mut self.c, len_c, &mut grows);
+        self.grows += grows;
+        (
+            &mut self.pa[..len_a],
+            &mut self.pb[..len_b],
+            &mut self.c[..len_c],
+        )
+    }
+
+    fn held_bytes(&self) -> usize {
+        (self.pa.capacity() + self.pb.capacity() + self.c.capacity()) * std::mem::size_of::<T>()
+    }
+}
+
+/// Reusable staging buffers for both precisions, plus growth telemetry.
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    f32: Pool<f32>,
+    f64: Pool<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// The pool for a precision (via the sealed [`WorkspaceScalar`]).
+    pub fn pool<T: WorkspaceScalar>(&mut self) -> &mut Pool<T> {
+        T::pool(self)
+    }
+
+    /// How many times any buffer had to grow. A steady-state serving
+    /// loop must leave this constant between drains — the bench smoke
+    /// gate asserts exactly that.
+    #[must_use]
+    pub fn grows(&self) -> u64 {
+        self.f32.grows + self.f64.grows
+    }
+
+    /// Total bytes of staging storage currently held.
+    #[must_use]
+    pub fn held_bytes(&self) -> usize {
+        self.f32.held_bytes() + self.f64.held_bytes()
+    }
+}
+
+/// Precisions that have a pool inside [`Workspace`]. Sealed: exactly the
+/// two [`Scalar`] impls.
+pub trait WorkspaceScalar: Scalar {
+    /// Select this precision's pool.
+    fn pool(ws: &mut Workspace) -> &mut Pool<Self>;
+}
+
+impl WorkspaceScalar for f32 {
+    fn pool(ws: &mut Workspace) -> &mut Pool<f32> {
+        &mut ws.f32
+    }
+}
+
+impl WorkspaceScalar for f64 {
+    fn pool(ws: &mut Workspace) -> &mut Pool<f64> {
+        &mut ws.f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_have_requested_lengths() {
+        let mut ws = Workspace::new();
+        let (pa, pb, c) = ws.pool::<f64>().buffers(10, 20, 30);
+        assert_eq!((pa.len(), pb.len(), c.len()), (10, 20, 30));
+    }
+
+    #[test]
+    fn shrinking_then_growing_reuses_storage() {
+        let mut ws = Workspace::new();
+        ws.pool::<f32>().buffers(100, 100, 100);
+        assert_eq!(ws.grows(), 3);
+        let bytes = ws.held_bytes();
+        // Smaller request: no growth, same storage.
+        ws.pool::<f32>().buffers(10, 10, 10);
+        assert_eq!(ws.grows(), 3);
+        assert_eq!(ws.held_bytes(), bytes);
+        // Equal request: still no growth.
+        ws.pool::<f32>().buffers(100, 100, 100);
+        assert_eq!(ws.grows(), 3);
+        // Larger request grows again.
+        ws.pool::<f32>().buffers(200, 100, 100);
+        assert_eq!(ws.grows(), 4);
+    }
+
+    #[test]
+    fn precisions_have_independent_pools() {
+        let mut ws = Workspace::new();
+        ws.pool::<f64>().buffers(50, 50, 50);
+        let before = ws.held_bytes();
+        ws.pool::<f32>().buffers(50, 50, 50);
+        assert!(ws.held_bytes() > before);
+        assert_eq!(ws.grows(), 6);
+    }
+
+    #[test]
+    fn stale_contents_are_exposed_not_rezeroed() {
+        // The pool intentionally does NOT clear reused buffers — the
+        // packers overwrite interior and fringe. This test pins that
+        // contract so a future "helpful" clear would be caught.
+        let mut ws = Workspace::new();
+        {
+            let (pa, _, _) = ws.pool::<f64>().buffers(4, 4, 4);
+            pa.fill(7.0);
+        }
+        let (pa, _, _) = ws.pool::<f64>().buffers(4, 4, 4);
+        assert_eq!(pa, [7.0; 4]);
+    }
+}

@@ -58,6 +58,253 @@ pub fn run_native<T: Scalar>(
     });
 }
 
+/// Largest register-tile edge the fast path instantiates.
+const TILE_MAX: usize = 16;
+
+/// Fast panel-microkernel execution of the same arithmetic as
+/// [`run_native`] — **bit-for-bit identical** output.
+///
+/// Where the reference recomputes a block-layout offset (div/mod pair)
+/// for every element at every depth step, this walks CBL/RBL panels
+/// contiguously: per `(layout_a, layout_b)` pair the depth stride and
+/// the length of the affine run are resolved once (`BlockLayout::
+/// depth_stride` / `depth_run`), base offsets are hoisted per register
+/// tile, and the inner loop over `p` is pure loads + FMA into an
+/// `mwi × nwi` accumulator tile. Bit-for-bit equality holds because each
+/// `C` element still sees the exact reference operation order: ascending
+/// `p`, `acc = fma(a, b, acc)`, then `mad(alpha, acc, beta·old)` — the
+/// tiling only interleaves *independent* accumulators.
+///
+/// `mwi × nwi` should be the tuned params' work-item blocking; values
+/// are clamped to [`TILE_MAX`]. Row tiles are distributed over threads.
+///
+/// # Panics
+/// Panics if buffer sizes disagree with the dims (same contract as
+/// [`run_native`]).
+#[allow(clippy::too_many_arguments)] // deliberately BLAS-flat signature
+pub fn run_native_fast<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    a_dims: PackedDims,
+    layout_a: BlockLayout,
+    b: &[T],
+    b_dims: PackedDims,
+    layout_b: BlockLayout,
+    beta: T,
+    c: &mut [T],
+    mwi: usize,
+    nwi: usize,
+) {
+    assert_eq!(a.len(), a_dims.len(), "packed A size mismatch");
+    assert_eq!(b.len(), b_dims.len(), "packed B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert!(a_dims.k >= k && b_dims.k >= k, "operand depth too small");
+    assert!(
+        a_dims.width >= m && b_dims.width >= n,
+        "operand width too small"
+    );
+    let mr = mwi.clamp(1, TILE_MAX);
+    let nr = nwi.clamp(1, TILE_MAX);
+    let pan = Panels {
+        a,
+        a_dims,
+        layout_a,
+        b,
+        b_dims,
+        layout_b,
+        k,
+    };
+    // The per-pair dispatch: monomorphise the hot tile shapes (the
+    // tuned parameter sets in this repo all land here); anything exotic
+    // takes the dynamic tile, which still hoists all offset arithmetic.
+    match (mr, nr) {
+        (2, 2) => run_tiles::<T, 2, 2>(n, alpha, beta, c, &pan),
+        (4, 2) => run_tiles::<T, 4, 2>(n, alpha, beta, c, &pan),
+        (2, 4) => run_tiles::<T, 2, 4>(n, alpha, beta, c, &pan),
+        (4, 4) => run_tiles::<T, 4, 4>(n, alpha, beta, c, &pan),
+        (6, 2) => run_tiles::<T, 6, 2>(n, alpha, beta, c, &pan),
+        (2, 6) => run_tiles::<T, 2, 6>(n, alpha, beta, c, &pan),
+        (8, 4) => run_tiles::<T, 8, 4>(n, alpha, beta, c, &pan),
+        (4, 8) => run_tiles::<T, 4, 8>(n, alpha, beta, c, &pan),
+        (8, 8) => run_tiles::<T, 8, 8>(n, alpha, beta, c, &pan),
+        _ => run_tiles_dyn(n, mr, nr, alpha, beta, c, &pan),
+    }
+}
+
+/// The two packed operands plus everything needed to slice their panels.
+struct Panels<'a, T> {
+    a: &'a [T],
+    a_dims: PackedDims,
+    layout_a: BlockLayout,
+    b: &'a [T],
+    b_dims: PackedDims,
+    layout_b: BlockLayout,
+    k: usize,
+}
+
+impl<T: Scalar> Panels<'_, T> {
+    /// Accumulate `C[i0..i0+mh) × [j0..j0+nh)` over the full depth into
+    /// `acc` (flattened `mh × nh`, row-major, stride `nh`). All offset
+    /// arithmetic happens here, per affine depth run; the caller's inner
+    /// loop sees only `base + p·stride`.
+    #[inline]
+    fn accumulate(
+        &self,
+        i0: usize,
+        mh: usize,
+        j0: usize,
+        nh: usize,
+        acc: &mut [T],
+        mut fma_run: impl FnMut(&mut [T], &[usize], &[usize], usize, usize, usize, usize, usize),
+    ) {
+        let sa = self.layout_a.depth_stride(self.a_dims);
+        let sb = self.layout_b.depth_stride(self.b_dims);
+        let run_a = self.layout_a.depth_run(self.a_dims);
+        let run_b = self.layout_b.depth_run(self.b_dims);
+        let mut abase = [0usize; TILE_MAX];
+        let mut bbase = [0usize; TILE_MAX];
+        let mut p0 = 0usize;
+        while p0 < self.k {
+            let len = (self.k - p0)
+                .min(run_a - p0 % run_a)
+                .min(run_b - p0 % run_b);
+            for (ii, slot) in abase[..mh].iter_mut().enumerate() {
+                *slot = self.layout_a.offset(p0, i0 + ii, self.a_dims);
+            }
+            for (jj, slot) in bbase[..nh].iter_mut().enumerate() {
+                *slot = self.layout_b.offset(p0, j0 + jj, self.b_dims);
+            }
+            fma_run(acc, &abase, &bbase, sa, sb, len, mh, nh);
+            p0 += len;
+        }
+    }
+}
+
+/// Drive fixed `MR × NR` register tiles over `C`, row tiles in parallel.
+fn run_tiles<T: Scalar, const MR: usize, const NR: usize>(
+    n: usize,
+    alpha: T,
+    beta: T,
+    c: &mut [T],
+    pan: &Panels<'_, T>,
+) {
+    clgemm_shim::par::par_chunks_mut(c, MR * n, |t, rows| {
+        let i0 = t * MR;
+        let mh = rows.len() / n.max(1);
+        let mut j0 = 0usize;
+        while j0 < n {
+            let nh = NR.min(n - j0);
+            let mut acc = [T::ZERO; TILE_MAX * TILE_MAX];
+            if mh == MR && nh == NR {
+                pan.accumulate(
+                    i0,
+                    MR,
+                    j0,
+                    NR,
+                    &mut acc,
+                    |acc, ab, bb, sa, sb, len, _, _| {
+                        for p in 0..len {
+                            let (pa, pb) = (p * sa, p * sb);
+                            let mut av = [T::ZERO; MR];
+                            for ii in 0..MR {
+                                av[ii] = pan.a[ab[ii] + pa];
+                            }
+                            let mut bv = [T::ZERO; NR];
+                            for jj in 0..NR {
+                                bv[jj] = pan.b[bb[jj] + pb];
+                            }
+                            for ii in 0..MR {
+                                for jj in 0..NR {
+                                    acc[ii * NR + jj] = av[ii].mul_add(bv[jj], acc[ii * NR + jj]);
+                                }
+                            }
+                        }
+                    },
+                );
+                merge_tile(rows, n, j0, MR, NR, NR, alpha, beta, &acc);
+            } else {
+                pan.accumulate(i0, mh, j0, nh, &mut acc, fma_run_dyn(pan));
+                merge_tile(rows, n, j0, mh, nh, nh, alpha, beta, &acc);
+            }
+            j0 += NR;
+        }
+    });
+}
+
+/// Dynamic-shape fallback: same structure, runtime tile bounds.
+#[allow(clippy::too_many_arguments)]
+fn run_tiles_dyn<T: Scalar>(
+    n: usize,
+    mr: usize,
+    nr: usize,
+    alpha: T,
+    beta: T,
+    c: &mut [T],
+    pan: &Panels<'_, T>,
+) {
+    clgemm_shim::par::par_chunks_mut(c, mr * n, |t, rows| {
+        let i0 = t * mr;
+        let mh = rows.len() / n.max(1);
+        let mut j0 = 0usize;
+        while j0 < n {
+            let nh = nr.min(n - j0);
+            let mut acc = [T::ZERO; TILE_MAX * TILE_MAX];
+            pan.accumulate(i0, mh, j0, nh, &mut acc, fma_run_dyn(pan));
+            merge_tile(rows, n, j0, mh, nh, nh, alpha, beta, &acc);
+            j0 += nr;
+        }
+    });
+}
+
+/// The runtime-bounds FMA loop shared by edge tiles and the dynamic path.
+#[allow(clippy::type_complexity)]
+fn fma_run_dyn<'p, T: Scalar>(
+    pan: &'p Panels<'p, T>,
+) -> impl FnMut(&mut [T], &[usize], &[usize], usize, usize, usize, usize, usize) + 'p {
+    move |acc, ab, bb, sa, sb, len, mh, nh| {
+        for p in 0..len {
+            let (pa, pb) = (p * sa, p * sb);
+            let mut av = [T::ZERO; TILE_MAX];
+            for (ii, slot) in av[..mh].iter_mut().enumerate() {
+                *slot = pan.a[ab[ii] + pa];
+            }
+            let mut bv = [T::ZERO; TILE_MAX];
+            for (jj, slot) in bv[..nh].iter_mut().enumerate() {
+                *slot = pan.b[bb[jj] + pb];
+            }
+            for ii in 0..mh {
+                for jj in 0..nh {
+                    acc[ii * nh + jj] = av[ii].mul_add(bv[jj], acc[ii * nh + jj]);
+                }
+            }
+        }
+    }
+}
+
+/// Apply the generated merge `mad(alpha, acc, beta·old)` for one tile.
+#[allow(clippy::too_many_arguments)]
+fn merge_tile<T: Scalar>(
+    rows: &mut [T],
+    n: usize,
+    j0: usize,
+    mh: usize,
+    nh: usize,
+    acc_stride: usize,
+    alpha: T,
+    beta: T,
+    acc: &[T],
+) {
+    for ii in 0..mh {
+        let row = &mut rows[ii * n + j0..ii * n + j0 + nh];
+        for (jj, cell) in row.iter_mut().enumerate() {
+            *cell = alpha.mul_add(acc[ii * acc_stride + jj], beta * *cell);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +472,114 @@ mod tests {
             0.0,
             &mut c,
         );
+    }
+
+    /// Fill a packed `dims.k × dims.width` buffer with a deterministic
+    /// non-trivial pattern, zeroing the depth padding beyond `k`.
+    fn packed_pattern(layout: BlockLayout, dims: PackedDims, k: usize, seed: usize) -> Vec<f64> {
+        let mut buf = vec![0.0f64; dims.len()];
+        for p in 0..k {
+            for w in 0..dims.width {
+                let v = ((p * 31 + w * 7 + seed * 13) % 23) as f64 - 11.0;
+                buf[layout.offset(p, w, dims)] = v * 0.37;
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn fast_is_bit_identical_to_reference_across_layouts_and_tiles() {
+        // The whole point of the fast engine: same FMA chain per element,
+        // so exact equality — not tolerance — across every layout pair
+        // and register-tile shape, including the dynamic-dispatch sizes
+        // and ones that do not divide the problem evenly.
+        let (m, n, k) = (24, 16, 12);
+        let da = PackedDims::new(16, 24, 8, 4).unwrap();
+        let db = PackedDims::new(16, 16, 8, 4).unwrap();
+        for la in BlockLayout::ALL {
+            for lb in BlockLayout::ALL {
+                let pa = packed_pattern(la, da, k, 1);
+                let pb = packed_pattern(lb, db, k, 2);
+                let c0: Vec<f64> = (0..m * n).map(|i| (i % 17) as f64 - 8.0).collect();
+                let mut c_ref = c0.clone();
+                run_native(m, n, k, 1.25, &pa, da, la, &pb, db, lb, -0.75, &mut c_ref);
+                // (5,3) and (7,5) fall through to the dynamic kernel and
+                // leave ragged edge tiles; (4,4)/(6,2)/(8,8) hit the
+                // monomorphised fast paths.
+                for (mwi, nwi) in [(1, 1), (4, 4), (6, 2), (8, 8), (5, 3), (7, 5), (32, 32)] {
+                    let mut c_fast = c0.clone();
+                    run_native_fast(
+                        m,
+                        n,
+                        k,
+                        1.25,
+                        &pa,
+                        da,
+                        la,
+                        &pb,
+                        db,
+                        lb,
+                        -0.75,
+                        &mut c_fast,
+                        mwi,
+                        nwi,
+                    );
+                    assert_eq!(c_fast, c_ref, "{la}/{lb} tile {mwi}x{nwi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_handles_depth_padding_and_f32() {
+        // k strictly below the padded depth, f32, tile larger than the
+        // whole problem in one direction.
+        let (m, n, k) = (8, 12, 5);
+        let da = PackedDims::new(8, 8, 4, 4).unwrap();
+        let db = PackedDims::new(8, 12, 4, 4).unwrap();
+        let mut pa = vec![0.0f32; da.len()];
+        let mut pb = vec![0.0f32; db.len()];
+        for p in 0..k {
+            for w in 0..da.width {
+                pa[BlockLayout::Rbl.offset(p, w, da)] = (p * w) as f32 * 0.5 - 1.0;
+            }
+            for w in 0..db.width {
+                pb[BlockLayout::Cbl.offset(p, w, db)] = (p + 2 * w) as f32 * 0.25;
+            }
+        }
+        let c0: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.1).collect();
+        let mut c_ref = c0.clone();
+        run_native(
+            m,
+            n,
+            k,
+            2.0,
+            &pa,
+            da,
+            BlockLayout::Rbl,
+            &pb,
+            db,
+            BlockLayout::Cbl,
+            0.5,
+            &mut c_ref,
+        );
+        let mut c_fast = c0.clone();
+        run_native_fast(
+            m,
+            n,
+            k,
+            2.0,
+            &pa,
+            da,
+            BlockLayout::Rbl,
+            &pb,
+            db,
+            BlockLayout::Cbl,
+            0.5,
+            &mut c_fast,
+            16,
+            3,
+        );
+        assert_eq!(c_fast, c_ref);
     }
 }

@@ -21,13 +21,14 @@
 //!   overhead (the Fig. 7 quantity).
 
 use crate::codegen::generate;
-use crate::executor::run_native;
+use crate::executor::{run_native, run_native_fast};
 use crate::params::KernelParams;
 use crate::profile::launch_profile;
 use clgemm_blas::layout::round_up;
 use clgemm_blas::matrix::Matrix;
-use clgemm_blas::pack::{merge_c, PackSpec};
+use clgemm_blas::pack::{merge_c, merge_c_par, pack_into_par, stage_c_into_par, PackSpec};
 use clgemm_blas::scalar::{Precision, Scalar};
+use clgemm_blas::workspace::{Workspace, WorkspaceScalar};
 use clgemm_blas::{GemmType, Trans};
 use clgemm_device::{estimate, DeviceSpec};
 use clgemm_sim::{copy_time, pack_time};
@@ -49,6 +50,56 @@ pub struct GemmRun {
     pub gflops: f64,
     /// Bare-kernel GFlop/s (`2MNK / kernel`).
     pub kernel_gflops: f64,
+}
+
+impl GemmRun {
+    /// The run record for a degenerate problem (`m`, `n` or `k` zero):
+    /// nothing was packed or launched, so every field is zero. Callers
+    /// used to receive a model prediction on clamped dimensions here,
+    /// which fabricated timings for work that never happened.
+    #[must_use]
+    pub fn empty() -> GemmRun {
+        GemmRun {
+            pack_a: 0.0,
+            pack_b: 0.0,
+            stage_c: 0.0,
+            kernel: 0.0,
+            total: 0.0,
+            gflops: 0.0,
+            kernel_gflops: 0.0,
+        }
+    }
+}
+
+/// Which host data path executes the routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostEngine {
+    /// Panel microkernel + parallel packing + workspace reuse. Produces
+    /// bit-for-bit the same `C` as [`HostEngine::Reference`] (the
+    /// property tests pin this), just faster.
+    #[default]
+    Fast,
+    /// The original serial pack/stage/[`run_native`]/merge pipeline with
+    /// fresh allocations. Kept as the oracle the fast engine is verified
+    /// against, mirroring `ExecOptions::reference()` in the clc VM.
+    Reference,
+}
+
+/// Options controlling [`TunedGemm::gemm_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmOptions {
+    /// The host data path to use.
+    pub engine: HostEngine,
+}
+
+impl GemmOptions {
+    /// The known-good oracle configuration.
+    #[must_use]
+    pub fn reference() -> GemmOptions {
+        GemmOptions {
+            engine: HostEngine::Reference,
+        }
+    }
 }
 
 /// A device plus tuned kernels for both precisions.
@@ -122,9 +173,14 @@ impl TunedGemm {
     /// Full column-major GEMM `C ← α·op(A)·op(B) + β·C`, executed
     /// natively with generated-kernel numerics, with modelled timing.
     ///
+    /// Convenience wrapper over [`TunedGemm::gemm_with`] using a
+    /// throwaway [`Workspace`] and the default (fast) engine. Callers on
+    /// a hot path should hold their own workspace to avoid per-call
+    /// staging allocations.
+    ///
     /// # Panics
     /// Panics on inconsistent operand shapes (BLAS argument errors).
-    pub fn gemm<T: Scalar>(
+    pub fn gemm<T: WorkspaceScalar>(
         &self,
         ty: GemmType,
         alpha: T,
@@ -133,11 +189,56 @@ impl TunedGemm {
         beta: T,
         c: &mut Matrix<T>,
     ) -> GemmRun {
+        let mut ws = Workspace::new();
+        self.gemm_with(ty, alpha, a, b, beta, c, &mut ws, &GemmOptions::default())
+    }
+
+    /// [`TunedGemm::gemm`] with an explicit staging [`Workspace`] and
+    /// engine selection.
+    ///
+    /// The workspace is a grow-only buffer pool: a steady-state caller
+    /// (same shape bucket repeatedly, the serving case) performs zero
+    /// staging allocations after the first call. Both engines produce
+    /// bit-for-bit identical `C`; [`GemmOptions::reference`] selects the
+    /// original serial pipeline as a cross-check oracle.
+    ///
+    /// Degenerate shapes follow BLAS semantics without fabricating model
+    /// timings: `m == 0 || n == 0` touches nothing, `k == 0` computes
+    /// `C ← β·C`; both return [`GemmRun::empty`].
+    ///
+    /// # Panics
+    /// Panics on inconsistent operand shapes (BLAS argument errors).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_with<T: WorkspaceScalar>(
+        &self,
+        ty: GemmType,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+        ws: &mut Workspace,
+        opts: &GemmOptions,
+    ) -> GemmRun {
         let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
-        let p = *self.params_for::<T>();
         if m == 0 || n == 0 {
-            return self.predict(T::PREC_TAG == 'D', ty, m.max(1), n.max(1), k.max(1));
+            return GemmRun::empty();
         }
+        if k == 0 {
+            // The product term is an empty sum, so C ← β·C. The update
+            // mirrors the kernel's merge arithmetic (`α·acc + β·old` with
+            // `acc = 0`) so the result — including NaN propagation from a
+            // non-finite α — is bit-identical to running the full path
+            // with an empty depth.
+            for j in 0..n {
+                for i in 0..m {
+                    let old = c.at(i, j);
+                    *c.at_mut(i, j) = alpha.mul_add(T::ZERO, beta * old);
+                }
+            }
+            return GemmRun::empty();
+        }
+        let p = *self.params_for::<T>();
 
         // --- pack operands -------------------------------------------------
         // The kernel consumes op(A) depth-first: packed A[p][i] = op(A)[i][p],
@@ -162,33 +263,55 @@ impl TunedGemm {
             .expect("padded dims divide the blocking");
         let db = clgemm_blas::layout::PackedDims::new(kp, round_up(n, p.nwg), p.nwg, p.kwg)
             .expect("padded dims divide the blocking");
-        let mut pa = vec![T::ZERO; da.len()];
-        let mut pb = vec![T::ZERO; db.len()];
-        clgemm_blas::pack::pack_into(a, spec_a, k, m, &mut pa, da);
-        clgemm_blas::pack::pack_into(b, spec_b, k, n, &mut pb, db);
-
-        // --- stage C --------------------------------------------------------
         let (mp, np) = (da.width, db.width);
-        let mut staged = clgemm_blas::pack::stage_c(c, p.mwg, p.nwg);
 
-        // --- run the kernel semantics natively ------------------------------
-        run_native(
-            mp,
-            np,
-            kp,
-            alpha,
-            &pa,
-            da,
-            p.layout_a,
-            &pb,
-            db,
-            p.layout_b,
-            beta,
-            &mut staged,
-        );
-
-        // --- merge back -------------------------------------------------------
-        merge_c(&staged, p.mwg, p.nwg, c);
+        match opts.engine {
+            HostEngine::Fast => {
+                let (pa, pb, staged) = ws.pool::<T>().buffers(da.len(), db.len(), mp * np);
+                pack_into_par(a, spec_a, k, m, pa, da);
+                pack_into_par(b, spec_b, k, n, pb, db);
+                stage_c_into_par(c, p.mwg, p.nwg, staged);
+                run_native_fast(
+                    mp,
+                    np,
+                    kp,
+                    alpha,
+                    pa,
+                    da,
+                    p.layout_a,
+                    pb,
+                    db,
+                    p.layout_b,
+                    beta,
+                    staged,
+                    p.mwi(),
+                    p.nwi(),
+                );
+                merge_c_par(staged, p.mwg, p.nwg, c);
+            }
+            HostEngine::Reference => {
+                let mut pa = vec![T::ZERO; da.len()];
+                let mut pb = vec![T::ZERO; db.len()];
+                clgemm_blas::pack::pack_into(a, spec_a, k, m, &mut pa, da);
+                clgemm_blas::pack::pack_into(b, spec_b, k, n, &mut pb, db);
+                let mut staged = clgemm_blas::pack::stage_c(c, p.mwg, p.nwg);
+                run_native(
+                    mp,
+                    np,
+                    kp,
+                    alpha,
+                    &pa,
+                    da,
+                    p.layout_a,
+                    &pb,
+                    db,
+                    p.layout_b,
+                    beta,
+                    &mut staged,
+                );
+                merge_c(&staged, p.mwg, p.nwg, c);
+            }
+        }
 
         self.predict(T::PREC_TAG == 'D', ty, m, n, k)
     }
@@ -269,7 +392,7 @@ mod tests {
         )
     }
 
-    fn check_type<T: Scalar>(tg: &TunedGemm, ty: GemmType, m: usize, n: usize, k: usize) {
+    fn check_type<T: WorkspaceScalar>(tg: &TunedGemm, ty: GemmType, m: usize, n: usize, k: usize) {
         let (ar, ac) = match ty.ta {
             Trans::No => (m, k),
             Trans::Yes => (k, m),
@@ -394,6 +517,124 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_m_or_n_touches_nothing_and_reports_empty() {
+        let tg = small_tuned();
+        for opts in [GemmOptions::default(), GemmOptions::reference()] {
+            for (m, n) in [(0usize, 8usize), (8, 0), (0, 0)] {
+                let a = Matrix::<f64>::test_pattern(m, 5, StorageOrder::ColMajor, 1);
+                let b = Matrix::<f64>::test_pattern(5, n, StorageOrder::ColMajor, 2);
+                let mut c = Matrix::<f64>::zeros(m, n, StorageOrder::ColMajor);
+                let mut ws = Workspace::new();
+                let run = tg.gemm_with(GemmType::NN, 2.0, &a, &b, 3.0, &mut c, &mut ws, &opts);
+                // No fabricated model timings for work that never ran.
+                assert_eq!(run, GemmRun::empty(), "{opts:?} {m}x{n}");
+                assert_eq!(ws.grows(), 0, "no staging buffers for an empty C");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_scales_c_by_beta_for_all_types_and_engines() {
+        let tg = small_tuned();
+        for opts in [GemmOptions::default(), GemmOptions::reference()] {
+            for ty in GemmType::ALL {
+                let (ar, ac) = if ty.ta == Trans::No { (7, 0) } else { (0, 7) };
+                let (br, bc) = if ty.tb == Trans::No { (0, 9) } else { (9, 0) };
+                let a = Matrix::<f64>::test_pattern(ar, ac, StorageOrder::ColMajor, 1);
+                let b = Matrix::<f64>::test_pattern(br, bc, StorageOrder::ColMajor, 2);
+                let c0 = Matrix::<f64>::test_pattern(7, 9, StorageOrder::ColMajor, 3);
+                let mut c = c0.clone();
+                let mut ws = Workspace::new();
+                let run = tg.gemm_with(ty, 2.0, &a, &b, -0.5, &mut c, &mut ws, &opts);
+                assert_eq!(run, GemmRun::empty(), "{opts:?} {ty}");
+                for j in 0..9 {
+                    for i in 0..7 {
+                        assert_eq!(c.at(i, j), -0.5 * c0.at(i, j), "{opts:?} {ty} ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_engine_is_bit_identical_to_reference() {
+        let tg = small_tuned();
+        let mut ws = Workspace::new();
+        for ty in GemmType::ALL {
+            for (m, n, k) in [(17usize, 19usize, 13usize), (40, 24, 20), (8, 8, 8)] {
+                let (ar, ac) = if ty.ta == Trans::No { (m, k) } else { (k, m) };
+                let (br, bc) = if ty.tb == Trans::No { (k, n) } else { (n, k) };
+                let a = Matrix::<f64>::test_pattern(ar, ac, StorageOrder::ColMajor, 1);
+                let b = Matrix::<f64>::test_pattern(br, bc, StorageOrder::ColMajor, 2);
+                let c0 = Matrix::<f64>::test_pattern(m, n, StorageOrder::ColMajor, 3);
+
+                let mut c_fast = c0.clone();
+                tg.gemm_with(
+                    ty,
+                    1.25,
+                    &a,
+                    &b,
+                    -0.75,
+                    &mut c_fast,
+                    &mut ws,
+                    &GemmOptions::default(),
+                );
+                let mut c_ref = c0.clone();
+                let mut ws_ref = Workspace::new();
+                tg.gemm_with(
+                    ty,
+                    1.25,
+                    &a,
+                    &b,
+                    -0.75,
+                    &mut c_ref,
+                    &mut ws_ref,
+                    &GemmOptions::reference(),
+                );
+                assert_eq!(
+                    c_fast.as_slice(),
+                    c_ref.as_slice(),
+                    "{ty} {m}x{n}x{k} engines diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_stops_growing_on_repeated_shapes() {
+        let tg = small_tuned();
+        let mut ws = Workspace::new();
+        let a = Matrix::<f32>::test_pattern(33, 21, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f32>::test_pattern(21, 27, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f32>::test_pattern(33, 27, StorageOrder::ColMajor, 3);
+        tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.5,
+            &mut c,
+            &mut ws,
+            &GemmOptions::default(),
+        );
+        let grows = ws.grows();
+        assert!(grows > 0, "first call must allocate staging buffers");
+        for _ in 0..3 {
+            tg.gemm_with(
+                GemmType::NN,
+                1.0,
+                &a,
+                &b,
+                0.5,
+                &mut c,
+                &mut ws,
+                &GemmOptions::default(),
+            );
+        }
+        assert_eq!(ws.grows(), grows, "steady state must not reallocate");
+    }
+
+    #[test]
     fn beta_zero_ignores_garbage_c() {
         let tg = small_tuned();
         let a = Matrix::<f64>::test_pattern(20, 12, StorageOrder::ColMajor, 1);
@@ -503,7 +744,7 @@ impl HybridGemm {
     ///
     /// # Panics
     /// Panics on inconsistent operand shapes.
-    pub fn gemm<T: Scalar>(
+    pub fn gemm<T: WorkspaceScalar>(
         &self,
         ty: GemmType,
         alpha: T,

@@ -9,10 +9,11 @@ use crate::stats::{ServerStats, StatsSnapshot};
 use clgemm::params::{small_test_params, KernelParams};
 use clgemm::profile::launch_profile;
 use clgemm::repo::KernelRepo;
-use clgemm::routine::{GemmRun, TunedGemm};
+use clgemm::routine::{GemmOptions, GemmRun, TunedGemm};
 use clgemm::tuner::{SearchOpts, SearchSpace};
 use clgemm_blas::layout::round_up;
 use clgemm_blas::scalar::Precision;
+use clgemm_blas::workspace::Workspace;
 use clgemm_blas::GemmType;
 use clgemm_device::{estimate_seconds, DeviceSpec};
 use clgemm_sim::DeviceWorker;
@@ -103,6 +104,10 @@ pub struct GemmServer {
     repo: KernelRepo,
     next_batch: u64,
     responses: Vec<GemmResponse>,
+    /// One grow-only staging workspace per device worker: repeated
+    /// traffic in the same shape bucket performs zero staging
+    /// allocations after warm-up (the routine bench gates this).
+    workspaces: Vec<Workspace>,
 }
 
 impl GemmServer {
@@ -123,6 +128,7 @@ impl GemmServer {
             stats: ServerStats::default(),
             next_id: AtomicU64::new(0),
         });
+        let workspaces = vec![Workspace::new(); devices.len()];
         GemmServer {
             scheduler: Scheduler::new(devices),
             cache: KernelCache::new(cfg.cache_capacity),
@@ -131,6 +137,7 @@ impl GemmServer {
             shared,
             next_batch: 0,
             responses: Vec::new(),
+            workspaces,
         }
     }
 
@@ -163,6 +170,20 @@ impl GemmServer {
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Total staging-buffer growth events across all workers. A
+    /// steady-state workload (repeated shape buckets) must leave this
+    /// constant between drains — the bench smoke gate asserts it.
+    #[must_use]
+    pub fn workspace_grows(&self) -> u64 {
+        self.workspaces.iter().map(Workspace::grows).sum()
+    }
+
+    /// Total bytes of staging storage currently held across workers.
+    #[must_use]
+    pub fn workspace_bytes(&self) -> usize {
+        self.workspaces.iter().map(Workspace::held_bytes).sum()
     }
 
     /// Served responses accumulated so far (completed *and* rejected),
@@ -270,7 +291,12 @@ impl GemmServer {
                 });
                 continue;
             }
-            let run = execute(&tuned, req.ty, &mut req.payload);
+            let run = execute(
+                &tuned,
+                req.ty,
+                &mut req.payload,
+                &mut self.workspaces[worker],
+            );
             total_seconds += run.total;
             served.push(GemmResponse {
                 id,
@@ -407,8 +433,15 @@ fn tuned_for(spec: &DeviceSpec, precision: Precision, params: KernelParams) -> T
     }
 }
 
-/// Run the request's GEMM in place through the routine layer.
-fn execute(tuned: &TunedGemm, ty: GemmType, payload: &mut GemmPayload) -> GemmRun {
+/// Run the request's GEMM in place through the routine layer, staging
+/// through the worker's reusable workspace.
+fn execute(
+    tuned: &TunedGemm,
+    ty: GemmType,
+    payload: &mut GemmPayload,
+    ws: &mut Workspace,
+) -> GemmRun {
+    let opts = GemmOptions::default();
     match payload {
         GemmPayload::F64 {
             alpha,
@@ -416,14 +449,14 @@ fn execute(tuned: &TunedGemm, ty: GemmType, payload: &mut GemmPayload) -> GemmRu
             b,
             beta,
             c,
-        } => tuned.gemm(ty, *alpha, a, b, *beta, c),
+        } => tuned.gemm_with(ty, *alpha, a, b, *beta, c, ws, &opts),
         GemmPayload::F32 {
             alpha,
             a,
             b,
             beta,
             c,
-        } => tuned.gemm(ty, *alpha, a, b, *beta, c),
+        } => tuned.gemm_with(ty, *alpha, a, b, *beta, c, ws, &opts),
     }
 }
 
@@ -565,6 +598,34 @@ mod tests {
         // was formed (and run) first.
         assert_eq!(responses[0].id, 1);
         assert_eq!(responses[1].id, 0);
+    }
+
+    #[test]
+    fn steady_state_drains_stop_growing_workspaces() {
+        let mut server = two_device_server(ServeConfig::default());
+        // Warm-up: least-loaded placement alternates workers between
+        // drains, so two rounds size every worker's staging buffers.
+        for round in 0..2 {
+            for seed in 0..4 {
+                server.submit(request(48, round * 10 + seed)).unwrap();
+            }
+            server.drain();
+        }
+        let grows = server.workspace_grows();
+        assert!(grows > 0, "warm-up must allocate staging buffers");
+        assert!(server.workspace_bytes() > 0);
+        // Steady state: same shape bucket, repeatedly. No new growth.
+        for round in 0..3 {
+            for seed in 0..4 {
+                server.submit(request(48, 100 + round * 10 + seed)).unwrap();
+            }
+            server.drain();
+        }
+        assert_eq!(
+            server.workspace_grows(),
+            grows,
+            "steady-state serving must not reallocate staging buffers"
+        );
     }
 
     #[test]

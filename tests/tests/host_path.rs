@@ -1,0 +1,149 @@
+//! Property test for the routine layer's fast host data path.
+//!
+//! The fast engine (parallel packing, panel microkernel, reusable
+//! workspace) must be *bit-for-bit* identical to the reference engine
+//! (serial packing, `run_native`, fresh allocations) — not merely within
+//! tolerance. One seeded RNG drives every case; one `Workspace` is
+//! reused across all fast-path calls with shapes that shrink and then
+//! grow again, so stale buffer contents from larger earlier problems are
+//! live in every later case.
+
+use clgemm::params::small_test_params;
+use clgemm::routine::{GemmOptions, TunedGemm};
+use clgemm_blas::layout::BlockLayout;
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::workspace::{Workspace, WorkspaceScalar};
+use clgemm_blas::{GemmType, Trans};
+use clgemm_device::DeviceId;
+use clgemm_shim::rng::Rng;
+
+fn tuned_with_layouts(la: BlockLayout, lb: BlockLayout) -> TunedGemm {
+    let mut d = small_test_params(Precision::F64);
+    let mut s = small_test_params(Precision::F32);
+    for p in [&mut d, &mut s] {
+        p.layout_a = la;
+        p.layout_b = lb;
+    }
+    TunedGemm::new(DeviceId::Tahiti.spec(), d, s)
+}
+
+fn rand_matrix<T: WorkspaceScalar>(rng: &mut Rng, rows: usize, cols: usize) -> Matrix<T> {
+    let order = if rng.bool() {
+        StorageOrder::ColMajor
+    } else {
+        StorageOrder::RowMajor
+    };
+    let mut vals: Vec<f64> = (0..rows.max(1) * cols.max(1))
+        .map(|_| rng.f64() * 4.0 - 2.0)
+        .collect();
+    // A few exact values so alpha/beta interactions hit exact zeros too.
+    if let Some(v) = vals.first_mut() {
+        *v = 0.0;
+    }
+    Matrix::from_fn(rows, cols, order, |i, j| {
+        T::from_f64(vals[i * cols.max(1) + j])
+    })
+}
+
+/// Run one case through both engines and demand exact equality.
+fn check_case<T: WorkspaceScalar>(
+    tg: &TunedGemm,
+    ws: &mut Workspace,
+    rng: &mut Rng,
+    ty: GemmType,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let (ar, ac) = if ty.ta == Trans::No { (m, k) } else { (k, m) };
+    let (br, bc) = if ty.tb == Trans::No { (k, n) } else { (n, k) };
+    let a = rand_matrix::<T>(rng, ar, ac);
+    let b = rand_matrix::<T>(rng, br, bc);
+    let c0 = rand_matrix::<T>(rng, m, n);
+    let alpha = T::from_f64(*rng.choose(&[1.0, -0.5, 1.25, 2.0]).unwrap());
+    let beta = T::from_f64(*rng.choose(&[0.0, 1.0, -0.75, 0.5]).unwrap());
+
+    let mut c_fast = c0.clone();
+    tg.gemm_with(
+        ty,
+        alpha,
+        &a,
+        &b,
+        beta,
+        &mut c_fast,
+        ws,
+        &GemmOptions::default(),
+    );
+
+    let mut c_ref = c0.clone();
+    let mut fresh = Workspace::new();
+    tg.gemm_with(
+        ty,
+        alpha,
+        &a,
+        &b,
+        beta,
+        &mut c_ref,
+        &mut fresh,
+        &GemmOptions::reference(),
+    );
+
+    assert_eq!(
+        c_fast.as_slice(),
+        c_ref.as_slice(),
+        "fast != reference for {ty} {m}x{n}x{k} α={alpha} β={beta}"
+    );
+}
+
+#[test]
+fn fast_path_is_bit_identical_across_layouts_types_and_reuse() {
+    let mut rng = Rng::new(0x1234_5678_9abc_def0);
+    // Odd and prime extents so nothing divides the 16/16/8 blocking;
+    // ordered large → small → large so the single reused workspace
+    // shrinks and then grows mid-sequence.
+    let shapes = [
+        (29usize, 31usize, 23usize),
+        (5, 7, 3),
+        (13, 1, 17),
+        (37, 41, 29),
+    ];
+    let mut case = 0usize;
+    for la in BlockLayout::ALL {
+        for lb in BlockLayout::ALL {
+            let tg = tuned_with_layouts(la, lb);
+            // ONE workspace across every type and shape for this pair.
+            let mut ws = Workspace::new();
+            for ty in GemmType::ALL {
+                let (m, n, k) = shapes[case % shapes.len()];
+                if case.is_multiple_of(2) {
+                    check_case::<f64>(&tg, &mut ws, &mut rng, ty, m, n, k);
+                    check_case::<f32>(&tg, &mut ws, &mut rng, ty, n, m, k);
+                } else {
+                    check_case::<f32>(&tg, &mut ws, &mut rng, ty, m, n, k);
+                    check_case::<f64>(&tg, &mut ws, &mut rng, ty, n, m, k);
+                }
+                case += 1;
+            }
+        }
+    }
+    assert_eq!(case, 36, "every layout pair and type combination ran");
+}
+
+#[test]
+fn reused_workspace_never_grows_for_non_increasing_shapes() {
+    let tg = tuned_with_layouts(BlockLayout::Cbl, BlockLayout::Rbl);
+    let mut ws = Workspace::new();
+    let mut rng = Rng::new(7);
+    // Largest first: everything after must reuse without growth.
+    check_case::<f64>(&tg, &mut ws, &mut rng, GemmType::NN, 41, 37, 29);
+    let grows = ws.grows();
+    for (m, n, k) in [(41, 37, 29), (17, 19, 13), (3, 2, 5), (41, 37, 29)] {
+        check_case::<f64>(&tg, &mut ws, &mut rng, GemmType::TN, m, n, k);
+    }
+    assert_eq!(
+        ws.grows(),
+        grows,
+        "no growth for shapes within the high-water mark"
+    );
+}
