@@ -3,18 +3,24 @@
 //! (parallel packing, panel microkernel, reusable workspace).
 //!
 //! Full runs time each phase in isolation (pack, stage, merge, kernel —
-//! old vs new) plus whole `gemm_with` calls for both precisions, and a
-//! flagship 1024³ f32 NN case once per engine. Results land in
-//! `BENCH_routine.json` at the repo root with pairwise speedups.
+//! old vs new) plus whole `gemm_with` calls for both precisions, a
+//! register-tile shape sweep across every shape the SIMD-aware selector
+//! can pick, and a flagship 1024³ f32 NN case once per engine. Results
+//! land in `BENCH_routine.json` at the repo root with pairwise speedups
+//! and the tiles the host selector chose (the sweep is how the
+//! selector's candidate-table ordering is validated).
 //!
 //! Smoke mode (`CLGEMM_BENCH_SMOKE=1`, used by CI) is the regression
 //! gate: the fast engine must not be slower than the reference on a
-//! mid-size call, and a steady-state repeat call must perform **zero**
-//! workspace growths.
+//! mid-size call; steady-state repeat calls — including hybrid
+//! direct-path traffic — must perform **zero** workspace growths; the
+//! checked-in `BENCH_routine.json` must record the selected tiles; and
+//! the flagship fast time must stay within slack of that baseline.
 
-use clgemm::executor::{run_native, run_native_fast};
-use clgemm::params::small_test_params;
-use clgemm::routine::{GemmOptions, TunedGemm};
+use clgemm::executor::{run_native, run_native_fast, Tile};
+use clgemm::params::{small_test_params, tahiti_dgemm_best};
+use clgemm::routine::{GemmOptions, GemmPath, HybridGemm, TunedGemm};
+use clgemm::tile::TileSelector;
 use clgemm_blas::matrix::{Matrix, StorageOrder};
 use clgemm_blas::pack::{
     merge_c, merge_c_par, pack_into, pack_into_par, pack_operand, stage_c, stage_c_into_par,
@@ -26,6 +32,7 @@ use clgemm_blas::{GemmType, Trans};
 use clgemm_device::DeviceId;
 use clgemm_shim::bench::{fmt_secs, Harness};
 use clgemm_shim::json::Json;
+use clgemm_shim::simd::SimdLevel;
 use std::time::Instant;
 
 fn tuned() -> TunedGemm {
@@ -142,24 +149,74 @@ fn bench_phases<T: WorkspaceScalar>(h: &mut Harness, m: usize, n: usize, k: usiz
             mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut ck,
         );
     });
+    let tile = TileSelector::host()
+        .select(p.precision, (p.mwi(), p.nwi()), mp, np)
+        .tile;
     h.bench(&format!("routine/kernel_{tag}_fast"), || {
         run_native_fast(
-            mp,
-            np,
-            kp,
-            alpha,
-            &pa,
-            da,
-            p.layout_a,
-            &pb,
-            db,
-            p.layout_b,
-            beta,
-            &mut ck,
-            p.mwi(),
-            p.nwi(),
+            mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut ck, tile,
         );
     });
+}
+
+/// Register-tile shape sweep: the union of every shape the selector's
+/// candidate tables can pick, timed on the packed kernel problem. This
+/// is the measurement that orders (and re-orders) those tables.
+fn bench_tile_sweep<T: WorkspaceScalar>(h: &mut Harness, m: usize, n: usize, k: usize) {
+    const SWEEP: [(usize, usize); 18] = [
+        (2, 2),
+        (6, 2),
+        (8, 2),
+        (2, 4),
+        (4, 4),
+        (8, 4),
+        (12, 4),
+        (16, 4),
+        (8, 6),
+        (2, 8),
+        (4, 8),
+        (8, 8),
+        (16, 8),
+        (8, 12),
+        (2, 16),
+        (4, 16),
+        (8, 16),
+        (16, 16),
+    ];
+    let p = small_test_params(if T::PREC_TAG == 'D' {
+        Precision::F64
+    } else {
+        Precision::F32
+    });
+    let tag = prec_tag::<T>();
+    let a = Matrix::<T>::test_pattern(m, k, StorageOrder::ColMajor, 1);
+    let b = Matrix::<T>::test_pattern(k, n, StorageOrder::ColMajor, 4);
+    let spec_a = PackSpec {
+        trans: Trans::Yes,
+        layout: p.layout_a,
+        wwg: p.mwg,
+        kwg: p.kwg,
+    };
+    let spec_b = PackSpec {
+        trans: Trans::No,
+        layout: p.layout_b,
+        wwg: p.nwg,
+        kwg: p.kwg,
+    };
+    let (pa, da) = pack_operand(&a, spec_a, k, m);
+    let (pb, db) = pack_operand(&b, spec_b, k, n);
+    let (mp, np, kp) = (da.width, db.width, da.k);
+    let mut ck = vec![T::ZERO; mp * np];
+    let alpha = T::from_f64(1.25);
+    let beta = T::from_f64(-0.5);
+    for (mr, nr) in SWEEP {
+        let tile = Tile::new(mr, nr).expect("sweep shapes are within the register budget");
+        h.bench(&format!("routine/tile_{mr}x{nr}_{tag}"), || {
+            run_native_fast(
+                mp, np, kp, alpha, &pa, da, p.layout_a, &pb, db, p.layout_b, beta, &mut ck, tile,
+            );
+        });
+    }
 }
 
 /// Whole-call benches for one precision at one size.
@@ -223,15 +280,109 @@ fn main() {
             "steady-state repeat call grew the workspace"
         );
         println!("routine smoke gate: steady-state workspace growths = 0");
+
+        // CI regression gate 3: hybrid direct-path traffic rides the
+        // shared gemm_with/Workspace plumbing and never grows the pool.
+        let hybrid = HybridGemm::new(TunedGemm::new(
+            DeviceId::Tahiti.spec(),
+            tahiti_dgemm_best(),
+            small_test_params(Precision::F32),
+        ));
+        let mut hws = Workspace::new();
+        let (ha, hb, hc0) = matrices::<f64>(48, 48, 48);
+        for _ in 0..3 {
+            let mut hc = hc0.clone();
+            let (path, _) = hybrid.gemm_with(
+                GemmType::NN,
+                2.0,
+                &ha,
+                &hb,
+                0.5,
+                &mut hc,
+                &mut hws,
+                &GemmOptions::default(),
+            );
+            assert_eq!(path, GemmPath::Direct, "48^3 must prefer the direct path");
+        }
+        assert_eq!(hws.grows(), 0, "direct-path traffic grew the workspace");
+        println!("routine smoke gate: direct-path workspace growths = 0");
+
+        // CI regression gate 4: the checked-in bench record must name
+        // the tiles the selector chose.
+        let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routine.json");
+        let doc =
+            Json::parse(&std::fs::read_to_string(json_path).expect("read BENCH_routine.json"))
+                .expect("parse BENCH_routine.json");
+        let tiles = doc
+            .get("selected_tile")
+            .and_then(Json::as_arr)
+            .expect("BENCH_routine.json must record the selected tiles");
+        assert!(!tiles.is_empty(), "selected_tile must list both precisions");
+        for t in tiles {
+            assert!(
+                t.get("selected").and_then(Json::as_str).is_some(),
+                "each selected_tile entry names its tile"
+            );
+        }
+        println!(
+            "routine smoke gate: {} selected tiles recorded in BENCH_routine.json",
+            tiles.len()
+        );
+
+        // CI regression gate 5: warm flagship fast time within slack of
+        // the checked-in baseline (catches microkernel regressions that
+        // the fast-vs-reference gate alone would miss).
+        let baseline = doc
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results array")
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("routine/flagship_nn_f32_1024_fast")
+            })
+            .and_then(|e| e.get("seconds").and_then(Json::as_f64))
+            .expect("flagship baseline in BENCH_routine.json");
+        let (m, n, k) = (1024, 1024, 1024);
+        let (a, b, c0) = matrices::<f32>(m, n, k);
+        let mut ws = Workspace::new();
+        let mut c = c0.clone();
+        call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default());
+        // Best of three: one-shot timings on a shared CI box are noisy
+        // and the gate must only trip on real regressions.
+        let flagship = (0..3)
+            .map(|_| {
+                let mut c = c0.clone();
+                time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()))
+            })
+            .fold(f64::INFINITY, f64::min);
+        // Generous slack: CI machines are noisy; this catches 2x-class
+        // regressions, not jitter.
+        let limit = baseline * 1.75;
+        println!(
+            "routine smoke gate (flagship 1024^3 f32): {} vs baseline {} (limit {})",
+            fmt_secs(flagship),
+            fmt_secs(baseline),
+            fmt_secs(limit)
+        );
+        assert!(
+            flagship <= limit,
+            "flagship fast path regressed: {} > {} (baseline {} x 1.75)",
+            fmt_secs(flagship),
+            fmt_secs(limit),
+            fmt_secs(baseline)
+        );
         return;
     }
 
-    // Full grid: phase splits and whole calls, both precisions.
+    // Full grid: phase splits, whole calls and the register-tile shape
+    // sweep, both precisions.
     let (m, n, k) = (256, 256, 256);
     bench_phases::<f32>(&mut h, m, n, k);
     bench_phases::<f64>(&mut h, m, n, k);
     bench_calls::<f32>(&mut h, m, n, k);
     bench_calls::<f64>(&mut h, m, n, k);
+    bench_tile_sweep::<f32>(&mut h, m, n, k);
+    bench_tile_sweep::<f64>(&mut h, m, n, k);
     let mut rows: Vec<(String, f64)> = h.results().to_vec();
 
     // Flagship: 1024³ f32 NN, one whole call per engine.
@@ -289,10 +440,29 @@ fn main() {
             }
         }
     }
+    // Record what the host selector chose for the tuned blockings (the
+    // smoke gate asserts this section exists and names concrete tiles).
+    let level = SimdLevel::detect();
+    let selector = TileSelector::host();
+    let mut selected: Vec<Json> = Vec::new();
+    for precision in [Precision::F32, Precision::F64] {
+        let p = small_test_params(precision);
+        let d = selector.select(precision, (p.mwi(), p.nwi()), 1024, 1024);
+        selected.push(Json::obj(vec![
+            ("precision", Json::Str(precision.to_string())),
+            ("simd", Json::Str(level.tag().to_string())),
+            ("lanes", Json::Num(d.lanes as f64)),
+            ("tuned", Json::Str(format!("{}x{}", d.tuned.0, d.tuned.1))),
+            ("selected", Json::Str(d.tile.to_string())),
+            ("reason", Json::Str(d.reason.tag().to_string())),
+        ]));
+    }
     let doc = Json::obj(vec![
         ("bench", Json::Str("routine".into())),
+        ("simd", Json::Str(level.tag().to_string())),
         ("results", Json::Arr(entries)),
         ("fast_vs_reference", Json::Arr(speedups)),
+        ("selected_tile", Json::Arr(selected)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routine.json");
     std::fs::write(path, doc.to_string_compact()).expect("write BENCH_routine.json");

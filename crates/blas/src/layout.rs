@@ -115,6 +115,17 @@ impl BlockLayout {
             BlockLayout::Rbl => dims.kwg,
         }
     }
+
+    /// How many depth positions starting at `p0` remain affine, i.e. the
+    /// distance to the end of the current [`Self::depth_run`]. A kernel
+    /// walking `p0`, `p0 + run_remaining(p0)`, … visits exactly the run
+    /// boundaries where base offsets must be recomputed.
+    #[inline]
+    #[must_use]
+    pub fn run_remaining(self, p0: usize, dims: PackedDims) -> usize {
+        let run = self.depth_run(dims);
+        run - p0 % run
+    }
 }
 
 impl std::fmt::Display for BlockLayout {
@@ -289,6 +300,20 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn run_remaining_counts_to_the_next_boundary() {
+        let d = dims(12, 8, 4, 3);
+        for layout in BlockLayout::ALL {
+            let run = layout.depth_run(d);
+            for p0 in 0..d.k {
+                let rem = layout.run_remaining(p0, d);
+                assert!(rem >= 1 && rem <= run, "{layout:?} p0={p0} rem={rem}");
+                // The next boundary is a multiple of the run length.
+                assert_eq!((p0 + rem) % run, 0, "{layout:?} p0={p0}");
             }
         }
     }

@@ -43,6 +43,8 @@ pub trait Scalar:
     const EPSILON: Self;
     /// Short precision tag used in routine names (`"S"` or `"D"`).
     const PREC_TAG: char;
+    /// The run-time precision selector matching this type.
+    const PRECISION: Precision;
 
     /// Lossy conversion from `f64` (used for test data and α/β handling).
     fn from_f64(v: f64) -> Self;
@@ -64,6 +66,7 @@ impl Scalar for f32 {
     const CL_NAME: &'static str = "float";
     const EPSILON: Self = f32::EPSILON;
     const PREC_TAG: char = 'S';
+    const PRECISION: Precision = Precision::F32;
 
     #[inline]
     fn from_f64(v: f64) -> Self {
@@ -98,6 +101,7 @@ impl Scalar for f64 {
     const CL_NAME: &'static str = "double";
     const EPSILON: Self = f64::EPSILON;
     const PREC_TAG: char = 'D';
+    const PRECISION: Precision = Precision::F64;
 
     #[inline]
     fn from_f64(v: f64) -> Self {
@@ -192,6 +196,8 @@ mod tests {
         assert_eq!(f64::BYTES, Precision::F64.bytes());
         assert_eq!(f32::CL_NAME, Precision::F32.cl_name());
         assert_eq!(f64::CL_NAME, Precision::F64.cl_name());
+        assert_eq!(f32::PRECISION, Precision::F32);
+        assert_eq!(f64::PRECISION, Precision::F64);
     }
 
     #[test]

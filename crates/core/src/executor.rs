@@ -59,7 +59,57 @@ pub fn run_native<T: Scalar>(
 }
 
 /// Largest register-tile edge the fast path instantiates.
-const TILE_MAX: usize = 16;
+pub const TILE_MAX: usize = 16;
+
+/// A validated register-tile shape for [`run_native_fast`].
+///
+/// Construction is the *only* gate: both edges must lie in
+/// `1..=TILE_MAX`, so an out-of-range tuned blocking can never reach the
+/// microkernel — it has to go through `clgemm::tile::TileSelector`,
+/// which substitutes a lane-aligned shape and *reports* the substitution
+/// instead of the silent clamp this type replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    mr: usize,
+    nr: usize,
+}
+
+impl Tile {
+    /// A validated `mr × nr` tile; `None` when an edge is outside
+    /// `1..=TILE_MAX`.
+    #[must_use]
+    pub const fn new(mr: usize, nr: usize) -> Option<Tile> {
+        if mr >= 1 && mr <= TILE_MAX && nr >= 1 && nr <= TILE_MAX {
+            Some(Tile { mr, nr })
+        } else {
+            None
+        }
+    }
+
+    /// Rows of `C` per register tile.
+    #[must_use]
+    pub const fn mr(self) -> usize {
+        self.mr
+    }
+
+    /// Columns of `C` per register tile (the vectorised direction).
+    #[must_use]
+    pub const fn nr(self) -> usize {
+        self.nr
+    }
+
+    /// Both edges as a pair.
+    #[must_use]
+    pub const fn dims(self) -> (usize, usize) {
+        (self.mr, self.nr)
+    }
+}
+
+impl std::fmt::Display for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.mr, self.nr)
+    }
+}
 
 /// Fast panel-microkernel execution of the same arithmetic as
 /// [`run_native`] — **bit-for-bit identical** output.
@@ -70,13 +120,16 @@ const TILE_MAX: usize = 16;
 /// the length of the affine run are resolved once (`BlockLayout::
 /// depth_stride` / `depth_run`), base offsets are hoisted per register
 /// tile, and the inner loop over `p` is pure loads + FMA into an
-/// `mwi × nwi` accumulator tile. Bit-for-bit equality holds because each
+/// `mr × nr` accumulator tile. Bit-for-bit equality holds because each
 /// `C` element still sees the exact reference operation order: ascending
 /// `p`, `acc = fma(a, b, acc)`, then `mad(alpha, acc, beta·old)` — the
-/// tiling only interleaves *independent* accumulators.
+/// tiling only interleaves *independent* accumulators; the tile shape
+/// can therefore be chosen freely (per the host SIMD width) without any
+/// numerical consequence.
 ///
-/// `mwi × nwi` should be the tuned params' work-item blocking; values
-/// are clamped to [`TILE_MAX`]. Row tiles are distributed over threads.
+/// `tile` is a pre-validated register-tile shape, normally produced by
+/// `clgemm::tile::TileSelector::select` from the tuned blocking and the
+/// host vector width. Row tiles are distributed over threads.
 ///
 /// # Panics
 /// Panics if buffer sizes disagree with the dims (same contract as
@@ -95,8 +148,7 @@ pub fn run_native_fast<T: Scalar>(
     layout_b: BlockLayout,
     beta: T,
     c: &mut [T],
-    mwi: usize,
-    nwi: usize,
+    tile: Tile,
 ) {
     assert_eq!(a.len(), a_dims.len(), "packed A size mismatch");
     assert_eq!(b.len(), b_dims.len(), "packed B size mismatch");
@@ -106,8 +158,6 @@ pub fn run_native_fast<T: Scalar>(
         a_dims.width >= m && b_dims.width >= n,
         "operand width too small"
     );
-    let mr = mwi.clamp(1, TILE_MAX);
-    let nr = nwi.clamp(1, TILE_MAX);
     let pan = Panels {
         a,
         a_dims,
@@ -117,20 +167,33 @@ pub fn run_native_fast<T: Scalar>(
         layout_b,
         k,
     };
-    // The per-pair dispatch: monomorphise the hot tile shapes (the
-    // tuned parameter sets in this repo all land here); anything exotic
-    // takes the dynamic tile, which still hoists all offset arithmetic.
-    match (mr, nr) {
+    // The per-shape dispatch: every tile the selector's candidate tables
+    // can produce is monomorphised here (the bench tile sweep measures
+    // exactly this list); anything else takes the dynamic tile, which
+    // still hoists all offset arithmetic.
+    match tile.dims() {
         (2, 2) => run_tiles::<T, 2, 2>(n, alpha, beta, c, &pan),
         (4, 2) => run_tiles::<T, 4, 2>(n, alpha, beta, c, &pan),
         (2, 4) => run_tiles::<T, 2, 4>(n, alpha, beta, c, &pan),
         (4, 4) => run_tiles::<T, 4, 4>(n, alpha, beta, c, &pan),
         (6, 2) => run_tiles::<T, 6, 2>(n, alpha, beta, c, &pan),
         (2, 6) => run_tiles::<T, 2, 6>(n, alpha, beta, c, &pan),
+        (8, 2) => run_tiles::<T, 8, 2>(n, alpha, beta, c, &pan),
+        (2, 8) => run_tiles::<T, 2, 8>(n, alpha, beta, c, &pan),
         (8, 4) => run_tiles::<T, 8, 4>(n, alpha, beta, c, &pan),
         (4, 8) => run_tiles::<T, 4, 8>(n, alpha, beta, c, &pan),
+        (8, 6) => run_tiles::<T, 8, 6>(n, alpha, beta, c, &pan),
         (8, 8) => run_tiles::<T, 8, 8>(n, alpha, beta, c, &pan),
-        _ => run_tiles_dyn(n, mr, nr, alpha, beta, c, &pan),
+        (12, 4) => run_tiles::<T, 12, 4>(n, alpha, beta, c, &pan),
+        (8, 12) => run_tiles::<T, 8, 12>(n, alpha, beta, c, &pan),
+        (16, 2) => run_tiles::<T, 16, 2>(n, alpha, beta, c, &pan),
+        (2, 16) => run_tiles::<T, 2, 16>(n, alpha, beta, c, &pan),
+        (16, 4) => run_tiles::<T, 16, 4>(n, alpha, beta, c, &pan),
+        (4, 16) => run_tiles::<T, 4, 16>(n, alpha, beta, c, &pan),
+        (16, 8) => run_tiles::<T, 16, 8>(n, alpha, beta, c, &pan),
+        (8, 16) => run_tiles::<T, 8, 16>(n, alpha, beta, c, &pan),
+        (16, 16) => run_tiles::<T, 16, 16>(n, alpha, beta, c, &pan),
+        (mr, nr) => run_tiles_dyn(n, mr, nr, alpha, beta, c, &pan),
     }
 }
 
@@ -162,15 +225,13 @@ impl<T: Scalar> Panels<'_, T> {
     ) {
         let sa = self.layout_a.depth_stride(self.a_dims);
         let sb = self.layout_b.depth_stride(self.b_dims);
-        let run_a = self.layout_a.depth_run(self.a_dims);
-        let run_b = self.layout_b.depth_run(self.b_dims);
         let mut abase = [0usize; TILE_MAX];
         let mut bbase = [0usize; TILE_MAX];
         let mut p0 = 0usize;
         while p0 < self.k {
             let len = (self.k - p0)
-                .min(run_a - p0 % run_a)
-                .min(run_b - p0 % run_b);
+                .min(self.layout_a.run_remaining(p0, self.a_dims))
+                .min(self.layout_b.run_remaining(p0, self.b_dims));
             for (ii, slot) in abase[..mh].iter_mut().enumerate() {
                 *slot = self.layout_a.offset(p0, i0 + ii, self.a_dims);
             }
@@ -504,9 +565,19 @@ mod tests {
                 let mut c_ref = c0.clone();
                 run_native(m, n, k, 1.25, &pa, da, la, &pb, db, lb, -0.75, &mut c_ref);
                 // (5,3) and (7,5) fall through to the dynamic kernel and
-                // leave ragged edge tiles; (4,4)/(6,2)/(8,8) hit the
-                // monomorphised fast paths.
-                for (mwi, nwi) in [(1, 1), (4, 4), (6, 2), (8, 8), (5, 3), (7, 5), (32, 32)] {
+                // leave ragged edge tiles; the rest hit the monomorphised
+                // fast paths, including the full 16-wide SIMD shapes.
+                for (mr, nr) in [
+                    (1, 1),
+                    (4, 4),
+                    (6, 2),
+                    (8, 8),
+                    (5, 3),
+                    (7, 5),
+                    (8, 16),
+                    (16, 16),
+                ] {
+                    let tile = Tile::new(mr, nr).unwrap();
                     let mut c_fast = c0.clone();
                     run_native_fast(
                         m,
@@ -521,10 +592,9 @@ mod tests {
                         lb,
                         -0.75,
                         &mut c_fast,
-                        mwi,
-                        nwi,
+                        tile,
                     );
-                    assert_eq!(c_fast, c_ref, "{la}/{lb} tile {mwi}x{nwi}");
+                    assert_eq!(c_fast, c_ref, "{la}/{lb} tile {tile}");
                 }
             }
         }
@@ -577,9 +647,24 @@ mod tests {
             BlockLayout::Cbl,
             0.5,
             &mut c_fast,
-            16,
-            3,
+            Tile::new(16, 3).unwrap(),
         );
         assert_eq!(c_fast, c_ref);
+    }
+
+    #[test]
+    fn tile_construction_enforces_the_register_budget() {
+        // The silent shrink-to-`TILE_MAX` is gone: shapes outside the
+        // register budget are unrepresentable, not quietly clamped.
+        assert!(Tile::new(1, 1).is_some());
+        assert!(Tile::new(TILE_MAX, TILE_MAX).is_some());
+        assert!(Tile::new(32, 8).is_none());
+        assert!(Tile::new(8, 32).is_none());
+        assert!(Tile::new(0, 4).is_none());
+        assert!(Tile::new(4, 0).is_none());
+        let t = Tile::new(8, 16).unwrap();
+        assert_eq!((t.mr(), t.nr()), (8, 16));
+        assert_eq!(t.dims(), (8, 16));
+        assert_eq!(t.to_string(), "8x16");
     }
 }

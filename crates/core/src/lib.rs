@@ -49,6 +49,7 @@
 //! | [`executor`] | — | native oracle with generated-kernel numerics |
 //! | [`tuner`] | §III-F | candidate enumeration + 3-stage search |
 //! | [`routine`] | §III-D/§IV-B | pack/pad + kernel + merge GEMM layer |
+//! | [`tile`] | §III-B (host) | SIMD-width-aware register-tile selection |
 //! | [`direct`] | §V (future work) | copy-free guarded kernel for small sizes |
 //! | [`repo`] | — | persistence of tuning results |
 
@@ -60,6 +61,7 @@ pub mod params;
 pub mod profile;
 pub mod repo;
 pub mod routine;
+pub mod tile;
 pub mod tuner;
 
 /// One-stop imports for typical use.
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::params::{Algorithm, KernelParams, StrideMode};
     pub use crate::repo::{KernelRepo, RepoError, SCHEMA_VERSION};
     pub use crate::routine::{GemmPath, GemmRun, HybridGemm, TunedGemm};
+    pub use crate::tile::{TileDecision, TileReason, TileSelector};
     pub use crate::tuner::{tune, Measurement, SearchOpts, SearchSpace, TuningResult};
     pub use clgemm_blas::layout::BlockLayout;
     pub use clgemm_blas::matrix::{Matrix, StorageOrder};

@@ -24,6 +24,7 @@ use crate::codegen::generate;
 use crate::executor::{run_native, run_native_fast};
 use crate::params::KernelParams;
 use crate::profile::launch_profile;
+use crate::tile::{TileDecision, TileSelector};
 use clgemm_blas::layout::round_up;
 use clgemm_blas::matrix::Matrix;
 use clgemm_blas::pack::{merge_c, merge_c_par, pack_into_par, stage_c_into_par, PackSpec};
@@ -50,6 +51,11 @@ pub struct GemmRun {
     pub gflops: f64,
     /// Bare-kernel GFlop/s (`2MNK / kernel`).
     pub kernel_gflops: f64,
+    /// The host register-tile decision for the fast path: the tuned
+    /// blocking, the tile that executed, and why they differ if they do.
+    /// `None` when no fast microkernel ran (reference engine, direct
+    /// path, degenerate shapes).
+    pub tile: Option<TileDecision>,
 }
 
 impl GemmRun {
@@ -67,6 +73,7 @@ impl GemmRun {
             total: 0.0,
             gflops: 0.0,
             kernel_gflops: 0.0,
+            tile: None,
         }
     }
 }
@@ -238,6 +245,22 @@ impl TunedGemm {
             }
             return GemmRun::empty();
         }
+        if alpha == T::ZERO && opts.engine == HostEngine::Fast {
+            // The product contributes nothing, so packing both operands
+            // and running the kernel would be pure waste — short-circuit
+            // to the β·C merge. The update mirrors the kernel's merge
+            // arithmetic (`α·acc + β·old`, here with a zero product) so
+            // the result matches the full pipeline bit for bit up to the
+            // sign of exact zeros; the reference engine keeps the full
+            // pipeline as the oracle.
+            for j in 0..n {
+                for i in 0..m {
+                    let old = c.at(i, j);
+                    *c.at_mut(i, j) = alpha.mul_add(T::ZERO, beta * old);
+                }
+            }
+            return GemmRun::empty();
+        }
         let p = *self.params_for::<T>();
 
         // --- pack operands -------------------------------------------------
@@ -265,8 +288,12 @@ impl TunedGemm {
             .expect("padded dims divide the blocking");
         let (mp, np) = (da.width, db.width);
 
-        match opts.engine {
+        let decision = match opts.engine {
             HostEngine::Fast => {
+                // Explicit, reported tile selection — the old code
+                // clamped the tuned blocking here and told no one.
+                let decision =
+                    TileSelector::host().select(T::PRECISION, (p.mwi(), p.nwi()), mp, np);
                 let (pa, pb, staged) = ws.pool::<T>().buffers(da.len(), db.len(), mp * np);
                 pack_into_par(a, spec_a, k, m, pa, da);
                 pack_into_par(b, spec_b, k, n, pb, db);
@@ -284,10 +311,10 @@ impl TunedGemm {
                     p.layout_b,
                     beta,
                     staged,
-                    p.mwi(),
-                    p.nwi(),
+                    decision.tile,
                 );
                 merge_c_par(staged, p.mwg, p.nwg, c);
+                Some(decision)
             }
             HostEngine::Reference => {
                 let mut pa = vec![T::ZERO; da.len()];
@@ -310,10 +337,15 @@ impl TunedGemm {
                     &mut staged,
                 );
                 merge_c(&staged, p.mwg, p.nwg, c);
+                None
             }
-        }
+        };
 
-        self.predict(T::PREC_TAG == 'D', ty, m, n, k)
+        let mut run = self.predict(T::PREC_TAG == 'D', ty, m, n, k);
+        // Report the tile that actually executed: `None` for the
+        // reference engine (it runs untiled and stays the oracle).
+        run.tile = decision;
+        run
     }
 
     /// The routine-time model for a problem, without executing anything.
@@ -356,6 +388,11 @@ impl TunedGemm {
 
         let total = pack_a + pack_b + stage_c + kernel;
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let precision = if double_precision {
+            Precision::F64
+        } else {
+            Precision::F32
+        };
         GemmRun {
             pack_a,
             pack_b,
@@ -364,6 +401,7 @@ impl TunedGemm {
             total,
             gflops: flops / total / 1e9,
             kernel_gflops: flops / kernel / 1e9,
+            tile: Some(TileSelector::host().select(precision, (p.mwi(), p.nwi()), mp, np)),
         }
     }
 
@@ -635,6 +673,107 @@ mod tests {
     }
 
     #[test]
+    fn fast_run_reports_the_tile_decision_and_reference_does_not() {
+        let tg = small_tuned();
+        let a = Matrix::<f64>::test_pattern(20, 12, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(12, 24, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::zeros(20, 24, StorageOrder::ColMajor);
+        let mut ws = Workspace::new();
+
+        let fast = tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::default(),
+        );
+        let d = fast.tile.expect("fast engine must report its tile");
+        assert_eq!(
+            d.tuned,
+            (
+                tg.params(Precision::F64).mwi(),
+                tg.params(Precision::F64).nwi()
+            )
+        );
+        assert_eq!(
+            d,
+            tg.predict(true, GemmType::NN, 20, 24, 12).tile.unwrap(),
+            "prediction must report the same decision the execution used"
+        );
+
+        let reference = tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::reference(),
+        );
+        assert_eq!(reference.tile, None, "the reference engine runs untiled");
+    }
+
+    #[test]
+    fn alpha_zero_short_circuits_without_staging() {
+        let tg = small_tuned();
+        for ty in GemmType::ALL {
+            let (ar, ac) = if ty.ta == Trans::No {
+                (18, 11)
+            } else {
+                (11, 18)
+            };
+            let (br, bc) = if ty.tb == Trans::No {
+                (11, 23)
+            } else {
+                (23, 11)
+            };
+            let a = Matrix::<f64>::test_pattern(ar, ac, StorageOrder::ColMajor, 1);
+            let b = Matrix::<f64>::test_pattern(br, bc, StorageOrder::ColMajor, 2);
+            let c0 = Matrix::<f64>::from_fn(18, 23, StorageOrder::ColMajor, |i, j| {
+                (i * 23 + j + 1) as f64 * 0.125
+            });
+
+            let mut c_fast = c0.clone();
+            let mut ws = Workspace::new();
+            let run = tg.gemm_with(
+                ty,
+                0.0,
+                &a,
+                &b,
+                0.75,
+                &mut c_fast,
+                &mut ws,
+                &GemmOptions::default(),
+            );
+            assert_eq!(run, GemmRun::empty(), "{ty}: nothing was packed or run");
+            assert_eq!(ws.grows(), 0, "{ty}: α = 0 must not stage anything");
+
+            // Bit-equality against the full reference pipeline. Positive
+            // data and a nonzero β·C term keep every merge input away
+            // from signed zeros, so `to_bits` comparison is exact.
+            let mut c_ref = c0.clone();
+            let mut ws_ref = Workspace::new();
+            tg.gemm_with(
+                ty,
+                0.0,
+                &a,
+                &b,
+                0.75,
+                &mut c_ref,
+                &mut ws_ref,
+                &GemmOptions::reference(),
+            );
+            for (x, y) in c_fast.as_slice().iter().zip(c_ref.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ty}: short-circuit diverges");
+            }
+        }
+    }
+
+    #[test]
     fn beta_zero_ignores_garbage_c() {
         let tg = small_tuned();
         let a = Matrix::<f64>::test_pattern(20, 12, StorageOrder::ColMajor, 1);
@@ -733,6 +872,7 @@ impl HybridGemm {
                 total: direct_s,
                 gflops: flops / direct_s / 1e9,
                 kernel_gflops: flops / direct_s / 1e9,
+                tile: None,
             };
             (GemmPath::Direct, run)
         } else {
@@ -741,6 +881,10 @@ impl HybridGemm {
     }
 
     /// Column-major GEMM through whichever path the model prefers.
+    ///
+    /// Convenience wrapper over [`HybridGemm::gemm_with`] using a
+    /// throwaway [`Workspace`] and the default engine; hot-path callers
+    /// should hold their own workspace.
     ///
     /// # Panics
     /// Panics on inconsistent operand shapes.
@@ -753,11 +897,36 @@ impl HybridGemm {
         beta: T,
         c: &mut Matrix<T>,
     ) -> (GemmPath, GemmRun) {
+        let mut ws = Workspace::new();
+        self.gemm_with(ty, alpha, a, b, beta, c, &mut ws, &GemmOptions::default())
+    }
+
+    /// [`HybridGemm::gemm`] with an explicit staging [`Workspace`] and
+    /// engine selection — the same plumbing [`TunedGemm::gemm_with`]
+    /// exposes, so serving callers reuse one workspace across both
+    /// paths. The direct path reads the user matrices in place and
+    /// performs no staging at all: it never grows the workspace, which
+    /// the steady-state allocation gates rely on.
+    ///
+    /// # Panics
+    /// Panics on inconsistent operand shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_with<T: WorkspaceScalar>(
+        &self,
+        ty: GemmType,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+        ws: &mut Workspace,
+        opts: &GemmOptions,
+    ) -> (GemmPath, GemmRun) {
         let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
         let (path, run) = self.choose(T::PREC_TAG == 'D', ty, m.max(1), n.max(1), k.max(1));
         match path {
             GemmPath::Packed => {
-                let run = self.tuned.gemm(ty, alpha, a, b, beta, c);
+                let run = self.tuned.gemm_with(ty, alpha, a, b, beta, c, ws, opts);
                 (GemmPath::Packed, run)
             }
             GemmPath::Direct => {
@@ -863,6 +1032,51 @@ mod hybrid_tests {
                 "{m}x{n}x{k}: {}",
                 rep.max_rel
             );
+        }
+    }
+
+    #[test]
+    fn direct_path_shares_the_workspace_without_growing_it() {
+        // The copy-free direct path now rides the same gemm_with/Workspace
+        // plumbing as the packed path — and must never allocate from it.
+        let h = hybrid();
+        let mut ws = Workspace::new();
+        let a = Matrix::<f64>::test_pattern(48, 48, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(48, 48, StorageOrder::ColMajor, 2);
+        for _ in 0..3 {
+            let mut c = Matrix::<f64>::test_pattern(48, 48, StorageOrder::ColMajor, 3);
+            let (path, run) = h.gemm_with(
+                GemmType::NN,
+                2.0,
+                &a,
+                &b,
+                0.5,
+                &mut c,
+                &mut ws,
+                &GemmOptions::default(),
+            );
+            assert_eq!(path, GemmPath::Direct, "48x48 must prefer direct");
+            assert_eq!(run.tile, None, "direct path runs no packed microkernel");
+        }
+        assert_eq!(ws.grows(), 0, "direct traffic must never grow the pool");
+
+        // A packed-path call through the same workspace still stages.
+        let a = Matrix::<f64>::test_pattern(900, 900, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(900, 900, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::zeros(900, 900, StorageOrder::ColMajor);
+        let (path, run) = h.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::default(),
+        );
+        if path == GemmPath::Packed {
+            assert!(ws.grows() > 0, "packed traffic stages through the pool");
+            assert!(run.tile.is_some());
         }
     }
 

@@ -1,0 +1,274 @@
+//! SIMD-width-aware register-tile selection for the fast host path.
+//!
+//! The tuned blocking `Mwi × Nwi` was chosen by the search engine for an
+//! OpenCL *device*; the host microkernel in [`crate::executor`] executes
+//! the same arithmetic on the CPU the process runs on, whose profitable
+//! register-tile shapes follow the CPU's FMA lane count instead (the
+//! paper's §III-B observation, applied to the host). The old code bridged
+//! the two worlds with a silent clamp into `1..=TILE_MAX` — a tuned 32×8
+//! blocking quietly executed as 16×8 with no trace in the run record.
+//!
+//! [`TileSelector`] replaces that clamp with an explicit, reported
+//! decision: given the precision, the host lane width, the tuned
+//! blocking, and the problem shape, it returns a [`TileDecision`] naming
+//! the tile that will execute *and why it differs* from the tuned one
+//! (if it does). The decision rides on `GemmRun` all the way to the
+//! serving layer's per-worker stats.
+//!
+//! Selection never changes numerics: every C element sees the identical
+//! ascending-depth FMA chain regardless of tile shape (see
+//! [`crate::executor::run_native_fast`]), so substitution is purely a
+//! performance decision and is always safe to apply.
+
+use crate::executor::Tile;
+use clgemm_blas::scalar::Precision;
+use clgemm_shim::simd::SimdLevel;
+
+/// Why the executed tile is (or is not) the tuned blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileReason {
+    /// The tuned `Mwi × Nwi` fits the register budget and is
+    /// lane-aligned; it executes verbatim.
+    Tuned,
+    /// The tuned blocking fits the register budget but its column edge
+    /// does not fill the host vector, so a lane-aligned shape of similar
+    /// footprint was substituted.
+    LaneRealigned,
+    /// The tuned blocking exceeds [`TILE_MAX`] in at least one direction
+    /// (the case the old code clamped silently); a benchmark-validated
+    /// shape was substituted.
+    Oversize,
+}
+
+impl TileReason {
+    /// Stable lowercase tag for logs and the bench JSON.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            TileReason::Tuned => "tuned",
+            TileReason::LaneRealigned => "lane-realigned",
+            TileReason::Oversize => "oversize",
+        }
+    }
+}
+
+impl std::fmt::Display for TileReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The outcome of one tile selection: what was asked for, what will
+/// execute, and why they differ if they do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileDecision {
+    /// The tuned `(Mwi, Nwi)` blocking the request arrived with.
+    pub tuned: (usize, usize),
+    /// The register tile the microkernel will execute.
+    pub tile: Tile,
+    /// FMA lanes per vector register at the selected precision.
+    pub lanes: usize,
+    /// Why `tile` equals — or does not equal — `tuned`.
+    pub reason: TileReason,
+}
+
+impl TileDecision {
+    /// `true` when the executed tile differs from the tuned blocking —
+    /// exactly the situations the old clamp hid.
+    #[must_use]
+    pub fn substituted(self) -> bool {
+        self.reason != TileReason::Tuned
+    }
+}
+
+impl std::fmt::Display for TileDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} -> {} ({}, {} lanes)",
+            self.tuned.0, self.tuned.1, self.tile, self.reason, self.lanes
+        )
+    }
+}
+
+/// Candidate tiles per f-lane count, in measured preference order — the
+/// `routine/tile_*` bench sweep in `crates/bench` covers exactly these
+/// shapes, and its timings set this ordering (e.g. at 16 lanes the wide
+/// 8×16/16×16 tiles spill registers and lose to 4×16 by over 3×). Every
+/// `nr` is a multiple of the lane count so the compiler can keep whole
+/// vectors of independent accumulators live; `mr` trades register
+/// pressure against panel reuse.
+fn candidates(lanes: usize) -> &'static [(usize, usize)] {
+    match lanes {
+        16 => &[(4, 16), (2, 16), (8, 16), (16, 16)],
+        8 => &[(8, 8), (4, 8), (4, 16), (2, 8), (16, 8), (8, 16)],
+        4 => &[(8, 8), (16, 4), (8, 12), (8, 4), (12, 4), (4, 4), (2, 4)],
+        2 => &[(8, 8), (16, 4), (8, 6), (8, 4), (4, 4), (8, 2), (2, 2)],
+        _ => &[(8, 8), (8, 4), (4, 8), (4, 4), (6, 2), (2, 2)],
+    }
+}
+
+/// Maps a tuned blocking to the register tile the host microkernel will
+/// actually run, given the host's SIMD lane width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSelector {
+    lanes_f32: usize,
+    lanes_f64: usize,
+}
+
+impl TileSelector {
+    /// Selector for the running host (cached hardware probe, honours the
+    /// `CLGEMM_SIMD` override).
+    #[must_use]
+    pub fn host() -> TileSelector {
+        TileSelector::for_level(SimdLevel::detect())
+    }
+
+    /// Selector for an explicit instruction-set tier.
+    #[must_use]
+    pub fn for_level(level: SimdLevel) -> TileSelector {
+        TileSelector {
+            lanes_f32: level.lanes_f32(),
+            lanes_f64: level.lanes_f64(),
+        }
+    }
+
+    /// Selector with explicit lane counts (tests / what-if analysis).
+    #[must_use]
+    pub fn with_lanes(lanes_f32: usize, lanes_f64: usize) -> TileSelector {
+        TileSelector {
+            lanes_f32: lanes_f32.max(1),
+            lanes_f64: lanes_f64.max(1),
+        }
+    }
+
+    /// FMA lanes per vector register at `precision`.
+    #[must_use]
+    pub fn lanes(&self, precision: Precision) -> usize {
+        match precision {
+            Precision::F32 => self.lanes_f32,
+            Precision::F64 => self.lanes_f64,
+        }
+    }
+
+    /// Choose the register tile for a tuned `Mwi × Nwi` blocking on an
+    /// `m × n` (padded) problem.
+    ///
+    /// The tuned blocking executes verbatim when it fits the register
+    /// budget *and* its column edge fills whole vectors. Otherwise the
+    /// first entry of the lane table that fits the problem is taken;
+    /// when even the smallest candidate overhangs (tiny problems), the
+    /// ragged-edge handling of the microkernel makes any shape valid, so
+    /// the smallest-area entry is used.
+    #[must_use]
+    pub fn select(
+        &self,
+        precision: Precision,
+        tuned: (usize, usize),
+        m: usize,
+        n: usize,
+    ) -> TileDecision {
+        let lanes = self.lanes(precision);
+        let as_tile = Tile::new(tuned.0, tuned.1);
+        if let Some(tile) = as_tile {
+            if tile.nr() % lanes == 0 {
+                return TileDecision {
+                    tuned,
+                    tile,
+                    lanes,
+                    reason: TileReason::Tuned,
+                };
+            }
+        }
+        let reason = if as_tile.is_some() {
+            TileReason::LaneRealigned
+        } else {
+            TileReason::Oversize
+        };
+        let table = candidates(lanes);
+        let pick = table
+            .iter()
+            .copied()
+            .find(|&(mr, nr)| mr <= m.max(1) && nr <= n.max(1))
+            .unwrap_or_else(|| {
+                table
+                    .iter()
+                    .copied()
+                    .min_by_key(|&(mr, nr)| mr * nr)
+                    .expect("candidate tables are non-empty")
+            });
+        let tile = Tile::new(pick.0, pick.1).expect("candidate tables stay within TILE_MAX");
+        TileDecision {
+            tuned,
+            tile,
+            lanes,
+            reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::TILE_MAX;
+
+    #[test]
+    fn tuned_blocking_runs_verbatim_when_aligned() {
+        let sel = TileSelector::with_lanes(4, 2);
+        let d = sel.select(Precision::F32, (8, 8), 1024, 1024);
+        assert_eq!(d.reason, TileReason::Tuned);
+        assert_eq!(d.tile.dims(), (8, 8));
+        assert!(!d.substituted());
+    }
+
+    #[test]
+    fn oversize_blocking_is_substituted_and_reported() {
+        // The exact shape the old clamp silently shrank: tuned 32×8.
+        let sel = TileSelector::with_lanes(8, 4);
+        let d = sel.select(Precision::F32, (32, 8), 1024, 1024);
+        assert_eq!(d.reason, TileReason::Oversize);
+        assert!(d.substituted());
+        assert!(d.tile.mr() <= TILE_MAX && d.tile.nr() <= TILE_MAX);
+        assert_eq!(d.tile.nr() % 8, 0, "substitute must be lane-aligned");
+        assert_eq!(d.tuned, (32, 8));
+    }
+
+    #[test]
+    fn misaligned_blocking_is_realigned() {
+        // 6×2 fits the budget but wastes an 8-lane vector.
+        let sel = TileSelector::with_lanes(8, 4);
+        let d = sel.select(Precision::F32, (6, 2), 512, 512);
+        assert_eq!(d.reason, TileReason::LaneRealigned);
+        assert_eq!(d.tile.nr() % 8, 0);
+    }
+
+    #[test]
+    fn candidate_tables_are_valid_and_lane_aligned() {
+        for lanes in [1usize, 2, 4, 8, 16] {
+            for &(mr, nr) in candidates(lanes) {
+                assert!(
+                    Tile::new(mr, nr).is_some(),
+                    "{mr}x{nr} outside the register budget"
+                );
+                assert_eq!(nr % lanes, 0, "{mr}x{nr} not aligned to {lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_problems_still_get_a_tile() {
+        let sel = TileSelector::with_lanes(16, 8);
+        let d = sel.select(Precision::F32, (32, 32), 1, 1);
+        assert!(d.tile.mr() <= TILE_MAX && d.tile.nr() <= TILE_MAX);
+        assert_eq!(d.reason, TileReason::Oversize);
+    }
+
+    #[test]
+    fn precision_selects_the_lane_bank() {
+        let sel = TileSelector::with_lanes(16, 8);
+        assert_eq!(sel.lanes(Precision::F32), 16);
+        assert_eq!(sel.lanes(Precision::F64), 8);
+        let host = TileSelector::host();
+        assert!(host.lanes(Precision::F32) >= host.lanes(Precision::F64));
+    }
+}

@@ -315,6 +315,14 @@ impl GemmServer {
             .iter()
             .filter(|r| r.outcome == Outcome::Completed)
             .count();
+        // Substitutions the clamp used to hide: completed requests whose
+        // host register tile differed from the tuned blocking.
+        let tile_subs = served
+            .iter()
+            .filter(|r| {
+                r.outcome == Outcome::Completed && r.run.tile.is_some_and(|d| d.substituted())
+            })
+            .count();
         if completed > 0 {
             let name = format!("batch{}:{}{}", batch.id, key.precision, key.bucket);
             let w = self.scheduler.worker_mut(worker);
@@ -325,9 +333,12 @@ impl GemmServer {
                     r.done_at = done_at;
                 }
             }
-            self.shared
-                .stats
-                .record_batch(&spec.code_name, completed as u64, total_seconds);
+            self.shared.stats.record_batch(
+                &spec.code_name,
+                completed as u64,
+                total_seconds,
+                tile_subs as u64,
+            );
             self.shared
                 .stats
                 .completed
@@ -626,6 +637,37 @@ mod tests {
             grows,
             "steady-state serving must not reallocate staging buffers"
         );
+    }
+
+    #[test]
+    fn tile_substitutions_are_counted_against_the_responses() {
+        let mut server = two_device_server(ServeConfig::default());
+        for seed in 0..4 {
+            server.submit(request(48, seed)).unwrap();
+        }
+        server.drain();
+        let responses = server.take_responses();
+        let completed: Vec<_> = responses
+            .iter()
+            .filter(|r| r.outcome == Outcome::Completed)
+            .collect();
+        assert!(!completed.is_empty());
+        // Every completed request reports its tile decision; the server
+        // counter is exactly the substituted ones (whatever the host's
+        // SIMD width makes of the tuned blocking).
+        assert!(completed.iter().all(|r| r.run.tile.is_some()));
+        let expected = completed
+            .iter()
+            .filter(|r| r.run.tile.is_some_and(|d| d.substituted()))
+            .count() as u64;
+        let stats = server.stats();
+        assert_eq!(stats.tile_substitutions, expected);
+        let per_device: u64 = stats
+            .per_device
+            .values()
+            .map(|d| d.tile_substitutions)
+            .sum();
+        assert_eq!(per_device, expected);
     }
 
     #[test]

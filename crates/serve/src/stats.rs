@@ -29,6 +29,9 @@ pub struct ServerStats {
     pub rejected_deadline: AtomicU64,
     /// Batches moved off their greedily chosen device by work stealing.
     pub steals: AtomicU64,
+    /// Requests whose host register tile differed from the tuned
+    /// blocking (the substitutions the old silent clamp hid).
+    pub tile_substitutions: AtomicU64,
     per_device: Mutex<BTreeMap<String, DeviceStat>>,
 }
 
@@ -41,21 +44,35 @@ pub struct DeviceStat {
     pub batches: u64,
     /// Modelled busy seconds accumulated on this device's queue.
     pub busy_seconds: f64,
+    /// Requests in this device's batches that executed with a register
+    /// tile substituted for the tuned blocking.
+    pub tile_substitutions: u64,
 }
 
 impl ServerStats {
-    /// Record one grouped launch on a device.
-    pub fn record_batch(&self, device: &str, requests: u64, busy_seconds: f64) {
+    /// Record one grouped launch on a device; `tile_substitutions`
+    /// counts the requests in it whose host register tile differed from
+    /// the tuned blocking.
+    pub fn record_batch(
+        &self,
+        device: &str,
+        requests: u64,
+        busy_seconds: f64,
+        tile_substitutions: u64,
+    ) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if requests > 1 {
             self.batched_requests.fetch_add(requests, Ordering::Relaxed);
         }
         self.max_batch.fetch_max(requests, Ordering::Relaxed);
+        self.tile_substitutions
+            .fetch_add(tile_substitutions, Ordering::Relaxed);
         let mut map = self.per_device.lock().expect("stats poisoned");
         let entry = map.entry(device.to_string()).or_default();
         entry.requests += requests;
         entry.batches += 1;
         entry.busy_seconds += busy_seconds;
+        entry.tile_substitutions += tile_substitutions;
     }
 
     /// A coherent copy of every counter.
@@ -73,6 +90,7 @@ impl ServerStats {
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            tile_substitutions: self.tile_substitutions.load(Ordering::Relaxed),
             per_device: self.per_device.lock().expect("stats poisoned").clone(),
         }
     }
@@ -92,6 +110,7 @@ pub struct StatsSnapshot {
     pub rejected_queue_full: u64,
     pub rejected_deadline: u64,
     pub steals: u64,
+    pub tile_substitutions: u64,
     pub per_device: BTreeMap<String, DeviceStat>,
 }
 
@@ -125,6 +144,7 @@ impl fmt::Display for StatsSnapshot {
             "rejected: {} queue-full, {} deadline; steals: {}",
             self.rejected_queue_full, self.rejected_deadline, self.steals
         )?;
+        writeln!(f, "tiles:    {} substituted", self.tile_substitutions)?;
         for (name, d) in &self.per_device {
             writeln!(
                 f,
@@ -145,9 +165,9 @@ mod tests {
     #[test]
     fn batch_recording_aggregates_per_device() {
         let stats = ServerStats::default();
-        stats.record_batch("Tahiti", 3, 0.5);
-        stats.record_batch("Tahiti", 1, 0.25);
-        stats.record_batch("Fermi", 2, 0.1);
+        stats.record_batch("Tahiti", 3, 0.5, 2);
+        stats.record_batch("Tahiti", 1, 0.25, 0);
+        stats.record_batch("Fermi", 2, 0.1, 1);
         let snap = stats.snapshot();
         assert_eq!(snap.batches, 3);
         assert_eq!(
@@ -156,8 +176,10 @@ mod tests {
         );
         assert_eq!(snap.max_batch, 3);
         assert_eq!(snap.devices_used(), 2);
+        assert_eq!(snap.tile_substitutions, 3);
         let tahiti = &snap.per_device["Tahiti"];
         assert_eq!((tahiti.requests, tahiti.batches), (4, 2));
+        assert_eq!(tahiti.tile_substitutions, 2);
         assert!((tahiti.busy_seconds - 0.75).abs() < 1e-12);
     }
 
@@ -165,9 +187,10 @@ mod tests {
     fn snapshot_renders_human_readably() {
         let stats = ServerStats::default();
         stats.enqueued.fetch_add(5, Ordering::Relaxed);
-        stats.record_batch("Cayman", 2, 0.001);
+        stats.record_batch("Cayman", 2, 0.001, 1);
         let text = stats.snapshot().to_string();
         assert!(text.contains("5 enqueued"));
         assert!(text.contains("device Cayman: 2 requests"));
+        assert!(text.contains("1 substituted"));
     }
 }

@@ -16,6 +16,9 @@
 //!   `rayon` `par_iter`/`par_chunks_mut` call sites).
 //! * [`bench`] — a minimal wall-clock benchmark harness with median
 //!   reporting (replaces `criterion` for the `harness = false` benches).
+//! * [`simd`] — host CPU vector-width detection (the tiny slice of
+//!   `std::arch` feature probing the tile selector needs, with a
+//!   `CLGEMM_SIMD` override for reproducibility).
 //!
 //! Everything here is std-only and deterministic where the replaced crate
 //! was deterministic.
@@ -24,6 +27,7 @@ pub mod bench;
 pub mod json;
 pub mod par;
 pub mod rng;
+pub mod simd;
 
 pub use json::{Json, JsonError};
 pub use rng::Rng;

@@ -1,0 +1,188 @@
+//! Host SIMD capability detection for the fast GEMM microkernels.
+//!
+//! The paper's central finding is that the register-tile shape must
+//! follow the processor's vector width (§III-B, Tables 2–4). For the
+//! *host* fast path that means the FMA lane count of the CPU the process
+//! actually runs on — not the tuned (device) blocking, which was chosen
+//! for a GPU. This module answers exactly one question: how many f32/f64
+//! FMA lanes does one vector register of this machine hold?
+//!
+//! Detection never changes numerics. The host microkernels are scalar
+//! Rust whose FMA chains the compiler vectorises across *independent*
+//! accumulators only, so the lane width informs tile-shape selection and
+//! nothing else; results stay bit-for-bit identical across levels.
+//!
+//! `CLGEMM_SIMD=scalar|sse2|neon|avx2|avx512` overrides the probe —
+//! useful for benchmarking a lower tier or reproducing another host's
+//! tile selection. Unknown values are ignored in favour of the hardware
+//! probe.
+
+use std::sync::OnceLock;
+
+/// The instruction-set tiers the tile selector distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// No usable vector unit: one FMA lane.
+    Scalar,
+    /// 128-bit x86 vectors (baseline on `x86_64`).
+    Sse2,
+    /// 128-bit ARM vectors (baseline on `aarch64`).
+    Neon,
+    /// 256-bit x86 vectors with FMA.
+    Avx2,
+    /// 512-bit x86 vectors (AVX-512F).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Every tier, narrowest first.
+    pub const ALL: [SimdLevel; 5] = [
+        SimdLevel::Scalar,
+        SimdLevel::Sse2,
+        SimdLevel::Neon,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ];
+
+    /// The level of the running host, probed once and cached. Honours
+    /// the `CLGEMM_SIMD` override.
+    #[must_use]
+    pub fn detect() -> SimdLevel {
+        static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+        *LEVEL.get_or_init(SimdLevel::probe)
+    }
+
+    /// One uncached probe: environment override first, then hardware.
+    #[must_use]
+    pub fn probe() -> SimdLevel {
+        if let Ok(tag) = std::env::var("CLGEMM_SIMD") {
+            if let Ok(level) = tag.parse() {
+                return level;
+            }
+        }
+        SimdLevel::probe_hardware()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn probe_hardware() -> SimdLevel {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            SimdLevel::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            SimdLevel::Avx2
+        } else {
+            // SSE2 is architecturally guaranteed on x86_64.
+            SimdLevel::Sse2
+        }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn probe_hardware() -> SimdLevel {
+        // NEON is architecturally guaranteed on aarch64.
+        SimdLevel::Neon
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn probe_hardware() -> SimdLevel {
+        SimdLevel::Scalar
+    }
+
+    /// `f32` FMA lanes per vector register.
+    #[must_use]
+    pub fn lanes_f32(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 | SimdLevel::Neon => 4,
+            SimdLevel::Avx2 => 8,
+            SimdLevel::Avx512 => 16,
+        }
+    }
+
+    /// `f64` FMA lanes per vector register.
+    #[must_use]
+    pub fn lanes_f64(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 | SimdLevel::Neon => 2,
+            SimdLevel::Avx2 => 4,
+            SimdLevel::Avx512 => 8,
+        }
+    }
+
+    /// Lowercase tag, parseable back via [`std::str::FromStr`].
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Neon => "neon",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl std::str::FromStr for SimdLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(SimdLevel::Scalar),
+            "sse2" => Ok(SimdLevel::Sse2),
+            "neon" => Ok(SimdLevel::Neon),
+            "avx2" => Ok(SimdLevel::Avx2),
+            "avx512" | "avx512f" => Ok(SimdLevel::Avx512),
+            other => Err(format!(
+                "unknown SIMD level {other:?}; expected scalar/sse2/neon/avx2/avx512"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_double_with_register_width() {
+        for level in SimdLevel::ALL {
+            if level == SimdLevel::Scalar {
+                assert_eq!((level.lanes_f32(), level.lanes_f64()), (1, 1));
+            } else {
+                assert_eq!(
+                    level.lanes_f32(),
+                    2 * level.lanes_f64(),
+                    "{level}: f32 lanes must be twice the f64 lanes"
+                );
+            }
+            assert!(level.lanes_f32().is_power_of_two());
+            assert!(level.lanes_f64().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for level in SimdLevel::ALL {
+            let parsed: SimdLevel = level.tag().parse().unwrap();
+            assert_eq!(parsed, level);
+        }
+        assert!("mmx".parse::<SimdLevel>().is_err());
+    }
+
+    #[test]
+    fn detect_is_stable_and_probe_agrees_without_override() {
+        let a = SimdLevel::detect();
+        let b = SimdLevel::detect();
+        assert_eq!(a, b, "cached detection must be stable");
+        // The probe itself must return something the host can run.
+        let probed = SimdLevel::probe();
+        assert!(SimdLevel::ALL.contains(&probed));
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the SIMD-width-aware register-tile selector.
+//!
+//! The selector replaced a silent clamp into `1..=TILE_MAX` in the fast
+//! host path: a tuned 32×8 blocking executed as 16×8 with no trace in
+//! the run record. These tests pin the replacement's contract from three
+//! sides: (1) every decision the selector can make is structurally valid
+//! and lane-aligned, (2) whatever tile it picks, the microkernel stays
+//! bit-for-bit identical to the reference executor across all nine
+//! layout pairs, and (3) an oversize tuned blocking routed through the
+//! full routine is *reported* as substituted — and still exact.
+
+use clgemm::executor::{run_native, run_native_fast, Tile, TILE_MAX};
+use clgemm::params::{small_test_params, KernelParams};
+use clgemm::routine::{GemmOptions, TunedGemm};
+use clgemm::tile::{TileReason, TileSelector};
+use clgemm_blas::layout::{BlockLayout, PackedDims};
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::workspace::Workspace;
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_shim::simd::SimdLevel;
+
+/// A tuned-blocking grid covering aligned, misaligned and oversize
+/// shapes (the paper's device blockings all land somewhere in here).
+fn tuned_grid() -> Vec<(usize, usize)> {
+    let edges = [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+    let mut grid = Vec::new();
+    for &mwi in &edges {
+        for &nwi in &edges {
+            grid.push((mwi, nwi));
+        }
+    }
+    grid
+}
+
+#[test]
+fn every_decision_is_valid_and_lane_aligned() {
+    for level in SimdLevel::ALL {
+        let sel = TileSelector::for_level(level);
+        for precision in [Precision::F32, Precision::F64] {
+            let lanes = sel.lanes(precision);
+            for tuned in tuned_grid() {
+                for (m, n) in [(1usize, 1usize), (16, 16), (1024, 1024)] {
+                    let d = sel.select(precision, tuned, m, n);
+                    assert_eq!(d.tuned, tuned);
+                    assert_eq!(d.lanes, lanes);
+                    assert!(
+                        d.tile.mr() >= 1 && d.tile.mr() <= TILE_MAX,
+                        "{level}/{precision} {tuned:?}: mr {} out of range",
+                        d.tile.mr()
+                    );
+                    assert!(
+                        d.tile.nr() >= 1 && d.tile.nr() <= TILE_MAX,
+                        "{level}/{precision} {tuned:?}: nr {} out of range",
+                        d.tile.nr()
+                    );
+                    let tuned_fits = Tile::new(tuned.0, tuned.1).is_some();
+                    let tuned_aligned = tuned_fits && tuned.1 % lanes == 0;
+                    match d.reason {
+                        TileReason::Tuned => {
+                            assert!(tuned_aligned);
+                            assert_eq!(d.tile.dims(), tuned, "verbatim means verbatim");
+                            assert!(!d.substituted());
+                        }
+                        TileReason::LaneRealigned => {
+                            assert!(tuned_fits && !tuned_aligned);
+                            assert!(d.substituted());
+                            assert_eq!(d.tile.nr() % lanes, 0);
+                        }
+                        TileReason::Oversize => {
+                            assert!(!tuned_fits);
+                            assert!(d.substituted());
+                            assert_eq!(d.tile.nr() % lanes, 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn packed_pattern(layout: BlockLayout, dims: PackedDims, k: usize, seed: usize) -> Vec<f64> {
+    let mut buf = vec![0.0f64; dims.len()];
+    for p in 0..k {
+        for w in 0..dims.width {
+            let v = ((p * 29 + w * 11 + seed * 17) % 19) as f64 - 9.0;
+            buf[layout.offset(p, w, dims)] = v * 0.41;
+        }
+    }
+    buf
+}
+
+#[test]
+fn selected_tiles_stay_bit_identical_across_all_layout_pairs() {
+    // Whatever tile each SIMD tier's selector picks, the fast executor
+    // must match the reference exactly — tile substitution is a pure
+    // performance decision, never a numerical one.
+    let (m, n, k) = (24usize, 16usize, 11usize);
+    let da = PackedDims::new(16, 24, 8, 4).unwrap();
+    let db = PackedDims::new(16, 16, 8, 4).unwrap();
+    for la in BlockLayout::ALL {
+        for lb in BlockLayout::ALL {
+            let pa = packed_pattern(la, da, k, 3);
+            let pb = packed_pattern(lb, db, k, 5);
+            let c0: Vec<f64> = (0..m * n).map(|i| (i % 13) as f64 - 6.0).collect();
+            let mut c_ref = c0.clone();
+            run_native(m, n, k, 1.5, &pa, da, la, &pb, db, lb, -0.25, &mut c_ref);
+            for level in SimdLevel::ALL {
+                let sel = TileSelector::for_level(level);
+                for tuned in [(4usize, 4usize), (6, 2), (32, 8), (3, 5)] {
+                    let d = sel.select(Precision::F64, tuned, m, n);
+                    let mut c_fast = c0.clone();
+                    run_native_fast(
+                        m,
+                        n,
+                        k,
+                        1.5,
+                        &pa,
+                        da,
+                        la,
+                        &pb,
+                        db,
+                        lb,
+                        -0.25,
+                        &mut c_fast,
+                        d.tile,
+                    );
+                    assert_eq!(
+                        c_fast, c_ref,
+                        "{la}/{lb} {level} tuned {tuned:?} -> {}",
+                        d.tile
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Valid params whose work-item blocking is 32×8 — exactly the shape the
+/// old code silently clamped to 16×8.
+fn oversize_params(precision: Precision) -> KernelParams {
+    let mut p = small_test_params(precision);
+    p.mwg = 64;
+    p.nwg = 64;
+    p.mdimc = 2;
+    p.ndimc = 8;
+    p
+}
+
+#[test]
+fn oversize_tuned_blocking_is_reported_not_silently_clamped() {
+    let tg = TunedGemm::new(
+        DeviceId::Tahiti.spec(),
+        oversize_params(Precision::F64),
+        oversize_params(Precision::F32),
+    );
+    assert_eq!(tg.params(Precision::F64).mwi(), 32, "premise: Mwi = 32");
+    assert_eq!(tg.params(Precision::F64).nwi(), 8, "premise: Nwi = 8");
+
+    let a = Matrix::<f64>::test_pattern(70, 20, StorageOrder::ColMajor, 1);
+    let b = Matrix::<f64>::test_pattern(20, 66, StorageOrder::ColMajor, 2);
+    let c0 = Matrix::<f64>::test_pattern(70, 66, StorageOrder::ColMajor, 3);
+
+    let mut c_fast = c0.clone();
+    let mut ws = Workspace::new();
+    let run = tg.gemm_with(
+        GemmType::NN,
+        1.25,
+        &a,
+        &b,
+        -0.5,
+        &mut c_fast,
+        &mut ws,
+        &GemmOptions::default(),
+    );
+
+    // The substitution is visible in the run record...
+    let d = run.tile.expect("fast run must report its tile decision");
+    assert_eq!(d.tuned, (32, 8));
+    assert_eq!(d.reason, TileReason::Oversize);
+    assert!(d.substituted(), "a 32-row tile cannot run verbatim");
+    assert!(d.tile.mr() <= TILE_MAX && d.tile.nr() <= TILE_MAX);
+
+    // ...and in the prediction output, identically.
+    assert_eq!(
+        tg.predict(true, GemmType::NN, 70, 66, 20).tile.unwrap(),
+        d,
+        "prediction and execution must report the same decision"
+    );
+
+    // ...and the substituted tile is still bit-exact vs the reference.
+    let mut c_ref = c0.clone();
+    let mut fresh = Workspace::new();
+    tg.gemm_with(
+        GemmType::NN,
+        1.25,
+        &a,
+        &b,
+        -0.5,
+        &mut c_ref,
+        &mut fresh,
+        &GemmOptions::reference(),
+    );
+    assert_eq!(c_fast.as_slice(), c_ref.as_slice());
+}
