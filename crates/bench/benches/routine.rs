@@ -371,6 +371,86 @@ fn main() {
             fmt_secs(limit),
             fmt_secs(baseline)
         );
+
+        // CI regression gate 6: observability overhead, two claims.
+        //
+        // (a) Tracing *disabled* (the default, what the flagship above
+        // ran with) must cost the routine under 5% of a flagship call.
+        // A wall-clock diff against the checked-in baseline cannot
+        // resolve 5% on a shared box (session-to-session jitter here
+        // exceeds it), so measure the cost directly: time the exact
+        // per-call instrumentation bundle — the spans, histogram
+        // observations and counter bumps one `gemm_with` performs —
+        // and bound its share of the measured flagship time. The
+        // bundle is deliberately over-counted (double the real ops).
+        let reg = clgemm_trace::Registry::new();
+        let gate_hist = reg.histogram("gate_seconds", 1e-9);
+        let gate_counter = reg.counter("gate_total");
+        const ROUNDS: u32 = 100_000;
+        let t = Instant::now();
+        for i in 0..ROUNDS {
+            // One gemm_with records ~7 spans, 5 histogram observations
+            // and ~2 counter bumps; charge 14/10/4.
+            for _ in 0..14 {
+                let _s = clgemm_trace::span!("bench.gate", u64::from(i));
+            }
+            for _ in 0..10 {
+                gate_hist.observe_value(1.5e-4);
+            }
+            for _ in 0..4 {
+                gate_counter.inc();
+            }
+        }
+        let per_call = t.elapsed().as_secs_f64() / f64::from(ROUNDS);
+        let disabled_limit = flagship * 0.05;
+        println!(
+            "routine smoke gate (tracing off): {} instrumentation per call \
+             vs limit {} (flagship x 0.05)",
+            fmt_secs(per_call),
+            fmt_secs(disabled_limit)
+        );
+        assert!(
+            per_call <= disabled_limit,
+            "disabled instrumentation costs more than 5% of a flagship call: {} > {}",
+            fmt_secs(per_call),
+            fmt_secs(disabled_limit)
+        );
+
+        // (b) Tracing *enabled* must stay within 15% of the disabled
+        // path. Interleave the two configurations in the same session
+        // and compare minima, so machine load cancels instead of
+        // masquerading as overhead.
+        // Symmetric sampling (same round count per configuration) so
+        // neither side gets extra chances at a lucky minimum.
+        let mut disabled_min = f64::INFINITY;
+        let mut traced_min = f64::INFINITY;
+        for _ in 0..4 {
+            clgemm_trace::set_enabled(true);
+            let mut c = c0.clone();
+            traced_min = traced_min.min(time_once(|| {
+                call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default())
+            }));
+            clgemm_trace::set_enabled(false);
+            let mut c = c0.clone();
+            disabled_min = disabled_min.min(time_once(|| {
+                call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default())
+            }));
+        }
+        let enabled_limit = disabled_min * 1.15;
+        println!(
+            "routine smoke gate (tracing on): {} vs limit {} \
+             (disabled {} x 1.15, {} span drops)",
+            fmt_secs(traced_min),
+            fmt_secs(enabled_limit),
+            fmt_secs(disabled_min),
+            clgemm_trace::ring::dropped_events()
+        );
+        assert!(
+            traced_min <= enabled_limit,
+            "enabled tracing costs more than 15%: {} > {}",
+            fmt_secs(traced_min),
+            fmt_secs(enabled_limit)
+        );
         return;
     }
 
@@ -395,8 +475,15 @@ fn main() {
         // Warm the workspace so the flagship fast call measures the
         // steady-state (zero-allocation) path.
         call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default());
-        let mut c = c0.clone();
-        let fast = time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()));
+        // Best of three: this row is the baseline the smoke gates
+        // compare against, so it must be a stable minimum rather than
+        // one scheduler-jittered shot.
+        let fast = (0..3)
+            .map(|_| {
+                let mut c = c0.clone();
+                time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()))
+            })
+            .fold(f64::INFINITY, f64::min);
         println!("routine/flagship_nn_f32_1024_fast: {}", fmt_secs(fast));
         let mut c = c0.clone();
         let reference = time_once(|| {
@@ -416,6 +503,24 @@ fn main() {
         );
         rows.push(("routine/flagship_nn_f32_1024_fast".into(), fast));
         rows.push(("routine/flagship_nn_f32_1024_reference".into(), reference));
+
+        // Observability overhead row: the same flagship call with span
+        // and metric recording switched on (the smoke gate bounds the
+        // ratio of this row to the plain fast row).
+        clgemm_trace::set_enabled(true);
+        let traced = (0..3)
+            .map(|_| {
+                let mut c = c0.clone();
+                time_once(|| call(&tg, &a, &b, &mut c, &mut ws, &GemmOptions::default()))
+            })
+            .fold(f64::INFINITY, f64::min);
+        clgemm_trace::set_enabled(false);
+        println!(
+            "routine/flagship_nn_f32_1024_fast_traced: {} (overhead {:.1}%)",
+            fmt_secs(traced),
+            100.0 * (traced / fast - 1.0)
+        );
+        rows.push(("routine/flagship_nn_f32_1024_fast_traced".into(), traced));
     }
 
     // Record results and pairwise speedups at the repo root.

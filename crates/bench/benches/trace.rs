@@ -1,0 +1,120 @@
+//! Observability primitive costs: what one span, one counter bump, one
+//! histogram observation and one registry snapshot cost, with tracing
+//! off and on. These are the numbers DESIGN.md §Observability quotes
+//! and the basis for the routine bench's 5%/15% overhead gates —
+//! a span must be a handful of nanoseconds when disabled, tens when
+//! enabled, or instrumenting the serving hot path would be a lie.
+//!
+//! Results land in `BENCH_trace.json` at the repo root. Smoke mode
+//! additionally asserts the ordering that makes the instrumentation
+//! safe to leave in: a disabled span costs no more than an enabled one.
+
+use clgemm_shim::bench::{fmt_secs, Harness};
+use clgemm_shim::json::Json;
+use clgemm_trace::Registry;
+use std::time::Instant;
+
+fn per_op(iters: u32, f: impl Fn(u64)) -> f64 {
+    let t = Instant::now();
+    for i in 0..iters {
+        f(u64::from(i));
+    }
+    t.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    let reg = Registry::new();
+    let counter = reg.counter("bench_ops_total");
+    let hist = reg.histogram("bench_latency_seconds", 1e-9);
+    for i in 0..64 {
+        hist.observe(i * 1000);
+    }
+
+    if h.smoke {
+        // Quick sanity with fixed small loops: the disabled fast path
+        // must not cost more than the enabled one (it does strictly
+        // less work), and neither may be pathological (> 2 µs/op says
+        // a lock or allocation crept into the span path).
+        clgemm_trace::set_enabled(false);
+        let disabled = per_op(20_000, |i| {
+            let _s = clgemm_trace::span!("bench.smoke", i);
+        });
+        clgemm_trace::set_enabled(true);
+        let enabled = per_op(20_000, |i| {
+            let _s = clgemm_trace::span!("bench.smoke", i);
+        });
+        clgemm_trace::set_enabled(false);
+        println!(
+            "trace smoke gate: span disabled {} / enabled {} per op",
+            fmt_secs(disabled),
+            fmt_secs(enabled)
+        );
+        assert!(
+            disabled <= enabled * 1.5,
+            "disabled span ({}) should not out-cost enabled span ({})",
+            fmt_secs(disabled),
+            fmt_secs(enabled)
+        );
+        assert!(
+            enabled < 2e-6,
+            "enabled span cost {} per op — recording is no longer lock-free?",
+            fmt_secs(enabled)
+        );
+        counter.add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("bench_ops_total"), Some(1));
+        println!("trace smoke gate: snapshot coherent");
+        return;
+    }
+
+    clgemm_trace::set_enabled(false);
+    h.bench("trace/span_disabled", || {
+        let _s = clgemm_trace::span!("bench.span", 1);
+    });
+    clgemm_trace::set_enabled(true);
+    h.bench("trace/span_enabled", || {
+        let _s = clgemm_trace::span!("bench.span", 1);
+    });
+    h.bench("trace/event_enabled", || {
+        clgemm_trace::event!("bench.event", 2);
+    });
+    clgemm_trace::set_enabled(false);
+
+    h.bench("trace/counter_add", || counter.add(1));
+    h.bench("trace/hist_observe", || hist.observe(12_345));
+    h.bench("trace/registry_snapshot", || reg.snapshot());
+    h.bench("trace/prometheus_render", || {
+        reg.snapshot().to_prometheus().len()
+    });
+
+    let rows = h.results().to_vec();
+    let entries: Vec<Json> = rows
+        .iter()
+        .map(|(name, secs)| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("seconds", Json::Num(*secs)),
+            ])
+        })
+        .collect();
+    let overhead = {
+        let get = |n: &str| rows.iter().find(|(name, _)| name == n).map(|(_, s)| *s);
+        match (get("trace/span_disabled"), get("trace/span_enabled")) {
+            (Some(off), Some(on)) if off > 0.0 => Json::Num(on / off),
+            _ => Json::Null,
+        }
+    };
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("trace".into())),
+        ("results", Json::Arr(entries)),
+        ("span_enabled_over_disabled", overhead),
+        (
+            "dropped_events",
+            Json::Num(clgemm_trace::ring::dropped_events() as f64),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, doc.to_string_compact()).expect("write BENCH_trace.json");
+    println!("wrote {path}");
+}

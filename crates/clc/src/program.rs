@@ -35,6 +35,42 @@ use crate::vm::{run_group_in, DynStats, Geometry, GlobalRaceTables, RefArena, Va
 
 pub use crate::vm::{BufData, Engine, ExecOptions};
 
+/// Bridge one launch's [`DynStats`] (and, on the fast path, the plan's
+/// fusion outcome) into the global metrics registry. Every counter is
+/// created at the point of first non-zero use so a workload that never
+/// hits a barrier (say) does not register a dead `vm_barriers_total`.
+fn record_launch_metrics(stats: &DynStats, engine: &str, fast: Option<&crate::fastvm::FastKernel>) {
+    if !clgemm_trace::enabled() {
+        return;
+    }
+    let reg = clgemm_trace::Registry::global();
+    reg.counter_labeled("vm_launches_total", &[("engine", engine)])
+        .inc();
+    for (name, v) in [
+        ("vm_instrs_total", stats.instrs),
+        ("vm_mads_total", stats.mads),
+        ("vm_mem_global_bytes_total", stats.mem_global_bytes),
+        ("vm_barriers_total", stats.barriers),
+    ] {
+        if v > 0 {
+            reg.counter(name).add(v);
+        }
+    }
+    if let Some(fk) = fast {
+        let ops = reg.counter("vm_plan_ops_total");
+        let fused = reg.counter("vm_fused_ops_total");
+        ops.add(fk.op_count() as u64);
+        fused.add(fk.fused_count() as u64);
+        let total = ops.get();
+        if total > 0 {
+            // Cumulative fraction of plan ops covered by fused
+            // superinstructions across all fast launches so far.
+            reg.gauge("vm_fusion_ratio")
+                .set(fused.get() as f64 / total as f64);
+        }
+    }
+}
+
 /// A kernel launch argument, in declared parameter order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arg {
@@ -184,6 +220,7 @@ impl<'a> Kernel<'a> {
         opts: &ExecOptions,
     ) -> Result<DynStats, RuntimeError> {
         nd.validate()?;
+        let _span = clgemm_trace::span!("clc.launch", (nd.global[0] * nd.global[1]) as u64);
         if let Some(req) = self.inner.checked.def.reqd_wg_size {
             if nd.local != [req[0] as usize, req[1] as usize] || req[2] != 1 {
                 return Err(RuntimeError::BadNdRange(format!(
@@ -200,9 +237,19 @@ impl<'a> Kernel<'a> {
         };
         if opts.engine == Engine::Fast {
             if let Some(fk) = &self.inner.fast {
-                return crate::fastvm::launch(self.inner, fk, &geom, &init_regs, bufs, opts);
+                let r = crate::fastvm::launch(self.inner, fk, &geom, &init_regs, bufs, opts);
+                if let Ok(stats) = &r {
+                    record_launch_metrics(stats, "fast", Some(fk));
+                }
+                return r;
             }
         }
+        let engine = if opts.engine == Engine::Fast {
+            // Fast requested but the kernel did not specialise.
+            "fallback"
+        } else {
+            "reference"
+        };
         let n_groups = geom.groups[0] * geom.groups[1];
         let grace = (opts.detect_races && n_groups > 1).then(|| GlobalRaceTables::new(bufs));
         let mut arena = RefArena::new();
@@ -224,6 +271,7 @@ impl<'a> Kernel<'a> {
                 stats.add(&s);
             }
         }
+        record_launch_metrics(&stats, engine, None);
         Ok(stats)
     }
 

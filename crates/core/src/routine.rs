@@ -33,6 +33,40 @@ use clgemm_blas::workspace::{Workspace, WorkspaceScalar};
 use clgemm_blas::{GemmType, Trans};
 use clgemm_device::{estimate, DeviceSpec};
 use clgemm_sim::{copy_time, pack_time};
+use clgemm_trace::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
+
+/// Global-registry handles for the routine layer, resolved once so the
+/// per-call cost is a few relaxed atomic RMWs (no map lookups on the
+/// GEMM hot path). The phase histograms record the *modelled* splits
+/// the `GemmRun` already carries — previously bespoke fields read by
+/// nobody, now exported as distributions next to every other layer's
+/// metrics; wall time is covered by the `routine.*` spans.
+struct RoutineMetrics {
+    gemms: Arc<Counter>,
+    pack_a: Arc<Histogram>,
+    pack_b: Arc<Histogram>,
+    stage_c: Arc<Histogram>,
+    kernel: Arc<Histogram>,
+    total: Arc<Histogram>,
+}
+
+impl RoutineMetrics {
+    fn get() -> &'static RoutineMetrics {
+        static METRICS: OnceLock<RoutineMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = Registry::global();
+            RoutineMetrics {
+                gemms: r.counter("routine_gemm_total"),
+                pack_a: r.histogram("routine_pack_a_seconds", 1e-9),
+                pack_b: r.histogram("routine_pack_b_seconds", 1e-9),
+                stage_c: r.histogram("routine_stage_c_seconds", 1e-9),
+                kernel: r.histogram("routine_kernel_seconds", 1e-9),
+                total: r.histogram("routine_total_seconds", 1e-9),
+            }
+        })
+    }
+}
 
 /// Timing breakdown of one routine invocation (modelled seconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -227,6 +261,7 @@ impl TunedGemm {
         ws: &mut Workspace,
         opts: &GemmOptions,
     ) -> GemmRun {
+        let _span = clgemm_trace::span!("routine.gemm");
         let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
         if m == 0 || n == 0 {
             return GemmRun::empty();
@@ -295,25 +330,40 @@ impl TunedGemm {
                 let decision =
                     TileSelector::host().select(T::PRECISION, (p.mwi(), p.nwi()), mp, np);
                 let (pa, pb, staged) = ws.pool::<T>().buffers(da.len(), db.len(), mp * np);
-                pack_into_par(a, spec_a, k, m, pa, da);
-                pack_into_par(b, spec_b, k, n, pb, db);
-                stage_c_into_par(c, p.mwg, p.nwg, staged);
-                run_native_fast(
-                    mp,
-                    np,
-                    kp,
-                    alpha,
-                    pa,
-                    da,
-                    p.layout_a,
-                    pb,
-                    db,
-                    p.layout_b,
-                    beta,
-                    staged,
-                    decision.tile,
-                );
-                merge_c_par(staged, p.mwg, p.nwg, c);
+                {
+                    let _g = clgemm_trace::span!("routine.pack_a");
+                    pack_into_par(a, spec_a, k, m, pa, da);
+                }
+                {
+                    let _g = clgemm_trace::span!("routine.pack_b");
+                    pack_into_par(b, spec_b, k, n, pb, db);
+                }
+                {
+                    let _g = clgemm_trace::span!("routine.stage_c");
+                    stage_c_into_par(c, p.mwg, p.nwg, staged);
+                }
+                {
+                    let _g = clgemm_trace::span!("routine.kernel");
+                    run_native_fast(
+                        mp,
+                        np,
+                        kp,
+                        alpha,
+                        pa,
+                        da,
+                        p.layout_a,
+                        pb,
+                        db,
+                        p.layout_b,
+                        beta,
+                        staged,
+                        decision.tile,
+                    );
+                }
+                {
+                    let _g = clgemm_trace::span!("routine.merge_c");
+                    merge_c_par(staged, p.mwg, p.nwg, c);
+                }
                 Some(decision)
             }
             HostEngine::Reference => {
@@ -345,6 +395,23 @@ impl TunedGemm {
         // Report the tile that actually executed: `None` for the
         // reference engine (it runs untiled and stays the oracle).
         run.tile = decision;
+        let metrics = RoutineMetrics::get();
+        metrics.gemms.inc();
+        metrics.pack_a.observe_value(run.pack_a);
+        metrics.pack_b.observe_value(run.pack_b);
+        metrics.stage_c.observe_value(run.stage_c);
+        metrics.kernel.observe_value(run.kernel);
+        metrics.total.observe_value(run.total);
+        if let Some(d) = decision {
+            // Labeled, created on first use: only reasons that actually
+            // occur appear in the exposition.
+            Registry::global()
+                .counter_labeled(
+                    "routine_tile_decisions_total",
+                    &[("reason", d.reason.tag())],
+                )
+                .inc();
+        }
         run
     }
 
@@ -924,12 +991,25 @@ impl HybridGemm {
     ) -> (GemmPath, GemmRun) {
         let (m, n, k) = clgemm_blas::gemm_ref::check_shapes(ty, a, b, c);
         let (path, run) = self.choose(T::PREC_TAG == 'D', ty, m.max(1), n.max(1), k.max(1));
+        Registry::global()
+            .counter_labeled(
+                "routine_path_total",
+                &[(
+                    "path",
+                    match path {
+                        GemmPath::Packed => "packed",
+                        GemmPath::Direct => "direct",
+                    },
+                )],
+            )
+            .inc();
         match path {
             GemmPath::Packed => {
                 let run = self.tuned.gemm_with(ty, alpha, a, b, beta, c, ws, opts);
                 (GemmPath::Packed, run)
             }
             GemmPath::Direct => {
+                let _span = clgemm_trace::span!("routine.gemm.direct");
                 crate::direct::run_direct_native(ty, alpha, a, b, beta, c);
                 (GemmPath::Direct, run)
             }

@@ -10,6 +10,7 @@ use clgemm_blas::scalar::Precision;
 use clgemm_clc::{Arg, BufData, ExecOptions, Program};
 use clgemm_device::{estimate, DeviceKind, DeviceSpec};
 use clgemm_shim::{Json, JsonError};
+use clgemm_trace::Registry;
 
 /// Options for one tuning run.
 #[derive(Debug, Clone)]
@@ -207,14 +208,21 @@ pub fn tune(
     space: &SearchSpace,
     opts: &SearchOpts,
 ) -> TuningResult {
+    let _run_span = clgemm_trace::span!("tuner.run");
+    let reg = Registry::global();
+    reg.counter("tuner_runs_total").inc();
+
     let base = opts.stage1_base.unwrap_or(match dev.kind {
         DeviceKind::Gpu => 4096,
         DeviceKind::Cpu => 1536,
     });
     let candidates = space.enumerate(dev, precision);
     let n_candidates = candidates.len();
+    reg.counter("tuner_candidates_total")
+        .add(n_candidates as u64);
 
     // ---- stage 1: measure everything at its base size ------------------
+    let stage1_span = clgemm_trace::span!("tuner.stage1", n_candidates as u64);
     let stage1: Vec<(usize, f64, usize)> =
         clgemm_shim::par::par_map(&candidates, |idx, p: &KernelParams| {
             let n = stage1_n(p, base);
@@ -224,13 +232,33 @@ pub fn tune(
         .into_iter()
         .flatten()
         .collect();
+    drop(stage1_span);
     let failures = n_candidates - stage1.len();
+    // Pruning counters are created at the point of use — a search whose
+    // space never prunes should not register an eternally-zero metric.
+    if failures > 0 {
+        reg.counter_labeled(
+            "tuner_pruned_total",
+            &[("stage", "1"), ("reason", "launch")],
+        )
+        .add(failures as u64);
+    }
 
     // ---- stage 2: sweep the fastest top_k across LCM multiples ---------
     let mut ranked = stage1;
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gflops"));
+    let survivors = ranked.len();
     ranked.truncate(opts.top_k);
+    if survivors > ranked.len() {
+        reg.counter_labeled("tuner_pruned_total", &[("stage", "2"), ("reason", "rank")])
+            .add((survivors - ranked.len()) as u64);
+    }
+    if let Some(leader) = ranked.first() {
+        // Best-so-far after the coarse stage; refined again after stage 3.
+        reg.gauge("tuner_best_gflops").set(leader.1);
+    }
 
+    let stage2_span = clgemm_trace::span!("tuner.stage2", ranked.len() as u64);
     let sweeps: Vec<(usize, Vec<(usize, f64)>)> =
         clgemm_shim::par::par_map(&ranked, |_, entry: &(usize, f64, usize)| {
             let idx = entry.0;
@@ -249,8 +277,10 @@ pub fn tune(
             }
             (idx, sweep)
         });
+    drop(stage2_span);
 
     // ---- stage 3: pick the best kernel ----------------------------------
+    let stage3_span = clgemm_trace::span!("tuner.stage3");
     let mut top: Vec<Measurement> = sweeps
         .iter()
         .filter_map(|(idx, sweep)| {
@@ -277,9 +307,17 @@ pub fn tune(
         .find(|(idx, _)| candidates[*idx] == best.params)
         .map(|(_, s)| s.clone())
         .unwrap_or_default();
+    drop(stage3_span);
+    reg.gauge("tuner_best_gflops").set(best.gflops);
+    clgemm_trace::event!("tuner.best", best.gflops as u64);
 
     let verified = if opts.verify_winner {
-        verify_kernel(&best.params).is_ok()
+        let _verify_span = clgemm_trace::span!("tuner.verify");
+        let ok = verify_kernel(&best.params).is_ok();
+        if ok {
+            reg.counter("tuner_verified_total").inc();
+        }
+        ok
     } else {
         false
     };

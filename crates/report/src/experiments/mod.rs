@@ -7,6 +7,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hybrid;
+pub mod observability;
 pub mod paperparams;
 pub mod serving;
 pub mod strategies;

@@ -1,0 +1,215 @@
+//! Extension experiment — what the observability layer sees. Serves a
+//! deadline-laden workload against an isolated metrics registry and
+//! tables the request-lifecycle percentiles, the modelled-vs-actual
+//! drift per device, and the routine phase spans of one traced GEMM —
+//! the same data `clgemm_trace` exports as Prometheus text and JSON.
+
+use crate::lab::Lab;
+use crate::render::{Report, TextTable};
+use clgemm::params::{small_test_params, tahiti_dgemm_best};
+use clgemm::routine::TunedGemm;
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, ServeConfig};
+use clgemm_shim::Rng;
+use clgemm_trace::hist::HistSummary;
+use clgemm_trace::Registry;
+
+fn hist_row(name: &str, h: &HistSummary, unit_scale: f64) -> Vec<String> {
+    vec![
+        name.to_string(),
+        h.count.to_string(),
+        format!("{:.3}", h.p50 * unit_scale),
+        format!("{:.3}", h.p95 * unit_scale),
+        format!("{:.3}", h.p99 * unit_scale),
+        format!("{:.3}", h.max * unit_scale),
+    ]
+}
+
+/// Regenerate the observability tables.
+#[must_use]
+pub fn report(lab: &mut Lab) -> Report {
+    let mut rep = Report::new(
+        "observability",
+        "EXTENSION: one snapshot of the clgemm-trace layer under load",
+    );
+    let n_requests = if lab.opts().top_k <= 8 { 24 } else { 72 };
+
+    // ---- serve a deadline-laden workload against a private registry --
+    let registry = Registry::new();
+    let mut server = GemmServer::new(
+        vec![
+            DeviceId::Tahiti.spec(),
+            DeviceId::Cayman.spec(),
+            DeviceId::Fermi.spec(),
+        ],
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: n_requests,
+            registry: Some(registry.clone()),
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng::new(2026);
+    let popular = [48usize, 96, 120];
+    for i in 0..n_requests {
+        let n = popular[rng.range(0, popular.len())];
+        let req = GemmRequest::new(
+            GemmType::ALL[rng.range(0, 4)],
+            GemmPayload::F64 {
+                alpha: 1.0,
+                a: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                b: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+                beta: 0.5,
+                c: Matrix::test_pattern(n, n, StorageOrder::ColMajor, rng.next_u64()),
+            },
+        );
+        // Every fourth request carries a (generous) deadline so the
+        // slack histogram fills alongside the queue-wait one.
+        let req = if i % 4 == 0 {
+            req.with_deadline(120.0)
+        } else {
+            req
+        };
+        server.submit(req).expect("queue sized for the workload");
+        if i % 8 == 7 {
+            server.drain();
+        }
+    }
+    server.drain();
+    let stats = server.stats();
+
+    let mut t = TextTable::new(
+        &format!("{n_requests} mixed DGEMM requests, lifecycle histograms"),
+        &["Histogram", "Count", "p50", "p95", "p99", "Max"],
+    );
+    t.row(hist_row("queue wait (ms)", &stats.queue_wait, 1e3));
+    t.row(hist_row("batch size (requests)", &stats.batch_size, 1.0));
+    t.row(hist_row(
+        "deadline slack (virtual s)",
+        &stats.deadline_slack,
+        1.0,
+    ));
+    t.row(hist_row(
+        "|modelled - wall| (ms)",
+        &stats.model_drift_abs,
+        1e3,
+    ));
+    rep.table(t);
+
+    // ---- modelled-vs-actual drift per device -------------------------
+    let mut t = TextTable::new(
+        "modelled busy vs measured wall time per device",
+        &["Device", "Requests", "Modelled ms", "Wall ms", "Drift ms"],
+    );
+    for (device, d) in &stats.per_device {
+        t.row(vec![
+            device.clone(),
+            d.requests.to_string(),
+            format!("{:.3}", d.busy_seconds * 1e3),
+            format!("{:.3}", d.wall_seconds * 1e3),
+            format!("{:+.3}", d.drift() * 1e3),
+        ]);
+    }
+    rep.table(t);
+
+    // ---- routine phase spans of one traced call ----------------------
+    let was_enabled = clgemm_trace::enabled();
+    clgemm_trace::set_enabled(true);
+    let tuned = TunedGemm::new(
+        DeviceId::Tahiti.spec(),
+        tahiti_dgemm_best(),
+        small_test_params(Precision::F32),
+    );
+    let n = 256;
+    let a = Matrix::<f64>::test_pattern(n, n, StorageOrder::ColMajor, 1);
+    let b = Matrix::<f64>::test_pattern(n, n, StorageOrder::ColMajor, 2);
+    let mut c = Matrix::<f64>::zeros(n, n, StorageOrder::ColMajor);
+    // A unique tag keeps concurrent report() invocations (the
+    // all-experiments test runs in a threaded harness) from picking up
+    // each other's wrapping span.
+    static INVOCATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    let tag = INVOCATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    {
+        let _obs = clgemm_trace::span!("report.observability", tag);
+        tuned.gemm(GemmType::NN, 1.0, &a, &b, 0.0, &mut c);
+        // Guard drops here, committing the wrapping span to the ring.
+    }
+    let outer = clgemm_trace::ring::all_events()
+        .into_iter()
+        .find(|e| e.name == "report.observability" && e.tag == tag);
+    clgemm_trace::set_enabled(was_enabled);
+    let outer = outer.expect("the wrapping span must be recorded");
+    let phases = clgemm_trace::ring::all_events();
+    let mut t = TextTable::new(
+        &format!("routine spans inside one traced {n}^3 DGEMM call"),
+        &["Span", "Depth", "Wall us"],
+    );
+    for e in phases
+        .iter()
+        .filter(|e| e.thread == outer.thread && outer.contains(e) && e.name != outer.name)
+    {
+        t.row(vec![
+            e.name.to_string(),
+            e.depth.to_string(),
+            format!("{:.1}", e.dur_ns as f64 / 1e3),
+        ]);
+    }
+    rep.table(t);
+
+    rep.note(
+        "Queue-wait and drift values are wall-clock measurements and \
+         vary run to run; counts, batch sizes and the span structure \
+         are deterministic. The same registry renders to Prometheus \
+         text and JSON via clgemm_trace::export, and `cargo run -p \
+         clgemm-bench --example stats` prints all three forms while \
+         asserting that no registered metric is dead.",
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Quality;
+
+    #[test]
+    fn observability_tables_cover_all_layers() {
+        let mut lab = Lab::new(Quality::Quick);
+        let rep = report(&mut lab);
+        assert_eq!(rep.tables.len(), 3);
+
+        // Lifecycle histograms: every request waited in the queue, and
+        // the deadline'd quarter of the workload recorded slack.
+        let hist = &rep.tables[0];
+        let count = |row: usize| hist.rows[row][1].parse::<u64>().unwrap();
+        assert_eq!(count(0), 24, "queue-wait count covers the workload");
+        assert_eq!(count(2), 6, "every fourth request carried a deadline");
+        assert!(count(1) > 0 && count(3) > 0);
+
+        // Drift table: some device served something, and wall time was
+        // actually measured (a zero wall column would mean the serving
+        // layer stopped timing batches).
+        let drift = &rep.tables[1];
+        assert!(!drift.rows.is_empty());
+        let requests: u64 = drift
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(requests, 24);
+        assert!(drift
+            .rows
+            .iter()
+            .any(|r| r[3].parse::<f64>().unwrap() > 0.0));
+
+        // Span table: the packed fast path records its phase splits.
+        let spans = &rep.tables[2];
+        let names: Vec<&str> = spans.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(names.contains(&"routine.gemm"));
+        assert!(names.contains(&"routine.pack_a"));
+        assert!(names.contains(&"routine.kernel"));
+    }
+}

@@ -24,6 +24,7 @@
 //! | `strategies` | EXTENSION: search-strategy sample efficiency |
 //! | `paperparams` | EXTENSION: the paper's Table II winners replayed in the model |
 //! | `serving` | EXTENSION: clgemm-serve throughput vs device count and batch cap |
+//! | `observability` | EXTENSION: clgemm-trace lifecycle histograms, drift and phase spans |
 
 pub mod experiments;
 pub mod lab;
@@ -35,7 +36,7 @@ pub use plot::{ascii_chart, Series};
 pub use render::{Report, TextTable};
 
 /// Names of all experiments in paper order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "table1",
     "fig7",
     "table2",
@@ -49,6 +50,7 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "strategies",
     "paperparams",
     "serving",
+    "observability",
 ];
 
 /// Run one experiment by name.
@@ -67,6 +69,7 @@ pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
         "strategies" => experiments::strategies::report(lab),
         "paperparams" => experiments::paperparams::report(lab),
         "serving" => experiments::serving::report(lab),
+        "observability" => experiments::observability::report(lab),
         _ => return None,
     })
 }

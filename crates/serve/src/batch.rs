@@ -6,7 +6,7 @@
 //! amortisation. Batches are ordered by the best priority they contain,
 //! then by arrival.
 
-use crate::request::{GemmRequest, Priority, RequestId, ShapeBucket};
+use crate::request::{GemmRequest, PendingRequest, Priority, ShapeBucket};
 use clgemm_blas::scalar::Precision;
 
 /// What a batch shares: one precision, one shape bucket.
@@ -33,7 +33,7 @@ impl BatchKey {
 pub struct Batch {
     pub id: u64,
     pub key: BatchKey,
-    pub requests: Vec<(RequestId, GemmRequest)>,
+    pub requests: Vec<PendingRequest>,
 }
 
 impl Batch {
@@ -54,7 +54,7 @@ impl Batch {
     pub fn priority(&self) -> Priority {
         self.requests
             .iter()
-            .map(|(_, r)| r.priority)
+            .map(|p| p.req.priority)
             .min_by_key(|p| p.rank())
             .unwrap_or_default()
     }
@@ -67,30 +67,26 @@ impl Batch {
 /// the earliest request they contain) so urgent work schedules ahead
 /// of bulk work. `first_id` numbers the produced batches.
 #[must_use]
-pub fn coalesce(
-    pending: Vec<(RequestId, GemmRequest)>,
-    max_batch: usize,
-    first_id: u64,
-) -> Vec<Batch> {
+pub fn coalesce(pending: Vec<PendingRequest>, max_batch: usize, first_id: u64) -> Vec<Batch> {
     assert!(max_batch > 0, "max_batch must be positive");
     // Stable grouping: Vec of groups keyed by BatchKey, in first-seen
     // order (no hash maps, so batch numbering is deterministic).
-    let mut groups: Vec<(BatchKey, Vec<(RequestId, GemmRequest)>)> = Vec::new();
-    for (id, req) in pending {
-        let key = BatchKey::of(&req);
+    let mut groups: Vec<(BatchKey, Vec<PendingRequest>)> = Vec::new();
+    for pending_req in pending {
+        let key = BatchKey::of(&pending_req.req);
         match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, members)) => members.push((id, req)),
-            None => groups.push((key, vec![(id, req)])),
+            Some((_, members)) => members.push(pending_req),
+            None => groups.push((key, vec![pending_req])),
         }
     }
     // Urgent groups first; earliest arrival breaks ties.
     groups.sort_by_key(|(_, members)| {
         let best = members
             .iter()
-            .map(|(_, r)| r.priority.rank())
+            .map(|p| p.req.priority.rank())
             .min()
             .unwrap_or(u8::MAX);
-        let first = members.iter().map(|(id, _)| *id).min().unwrap_or(u64::MAX);
+        let first = members.iter().map(|p| p.id).min().unwrap_or(u64::MAX);
         (best, first)
     });
 
@@ -132,26 +128,36 @@ mod tests {
         .with_priority(priority)
     }
 
+    fn pending(id: u64, req: GemmRequest) -> PendingRequest {
+        PendingRequest {
+            id,
+            enqueued_ns: 0,
+            req,
+        }
+    }
+
     #[test]
     fn same_bucket_requests_coalesce() {
         let pending = vec![
-            (0, req(100, Priority::Normal)),
-            (1, req(200, Priority::Normal)),
-            (2, req(120, Priority::Normal)), // same bucket as 100
+            pending(0, req(100, Priority::Normal)),
+            pending(1, req(200, Priority::Normal)),
+            pending(2, req(120, Priority::Normal)), // same bucket as 100
         ];
         let batches = coalesce(pending, 8, 0);
         assert_eq!(batches.len(), 2);
         let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
         assert_eq!(sizes, vec![2, 1]);
-        assert_eq!(batches[0].requests[0].0, 0);
-        assert_eq!(batches[0].requests[1].0, 2);
+        assert_eq!(batches[0].requests[0].id, 0);
+        assert_eq!(batches[0].requests[1].id, 2);
         assert_eq!(batches[0].id, 0);
         assert_eq!(batches[1].id, 1);
     }
 
     #[test]
     fn max_batch_splits_large_groups() {
-        let pending: Vec<_> = (0..7u64).map(|i| (i, req(64, Priority::Normal))).collect();
+        let pending: Vec<_> = (0..7u64)
+            .map(|i| pending(i, req(64, Priority::Normal)))
+            .collect();
         let batches = coalesce(pending, 3, 5);
         let sizes: Vec<usize> = batches.iter().map(Batch::len).collect();
         assert_eq!(sizes, vec![3, 3, 1]);
@@ -164,9 +170,9 @@ mod tests {
     #[test]
     fn high_priority_groups_come_first() {
         let pending = vec![
-            (0, req(64, Priority::Low)),
-            (1, req(256, Priority::High)),
-            (2, req(64, Priority::Low)),
+            pending(0, req(64, Priority::Low)),
+            pending(1, req(256, Priority::High)),
+            pending(2, req(64, Priority::Low)),
         ];
         let batches = coalesce(pending, 8, 0);
         assert_eq!(batches[0].key.bucket.m, 256);
@@ -186,7 +192,7 @@ mod tests {
                 c: Matrix::zeros(64, 64, StorageOrder::ColMajor),
             },
         );
-        let pending = vec![(0, req(64, Priority::Normal)), (1, f32_req)];
+        let pending = vec![pending(0, req(64, Priority::Normal)), pending(1, f32_req)];
         let batches = coalesce(pending, 8, 0);
         assert_eq!(batches.len(), 2, "F32 and F64 must not coalesce");
     }

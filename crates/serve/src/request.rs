@@ -122,6 +122,18 @@ impl GemmRequest {
     }
 }
 
+/// A queued request: its server-assigned id, the trace-epoch
+/// nanosecond at which the queue accepted it (queue-wait accounting —
+/// see `clgemm_trace::now_ns`), and the request itself. This is what
+/// flows from the submission queue through the batcher to execution.
+#[derive(Debug, Clone)]
+pub struct PendingRequest {
+    pub id: RequestId,
+    /// `clgemm_trace::now_ns` at admission.
+    pub enqueued_ns: u64,
+    pub req: GemmRequest,
+}
+
 /// A power-of-two shape bucket.
 ///
 /// Kernel parameters tuned for one problem size serve nearby sizes

@@ -3,7 +3,7 @@
 use crate::batch::{coalesce, Batch, BatchKey};
 use crate::cache::{CacheKey, KernelCache};
 use crate::queue::BoundedQueue;
-use crate::request::{GemmPayload, GemmRequest, GemmResponse, Outcome, RequestId};
+use crate::request::{GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, RequestId};
 use crate::scheduler::Scheduler;
 use crate::stats::{ServerStats, StatsSnapshot};
 use clgemm::params::{small_test_params, KernelParams};
@@ -17,8 +17,10 @@ use clgemm_blas::workspace::Workspace;
 use clgemm_blas::GemmType;
 use clgemm_device::{estimate_seconds, DeviceSpec};
 use clgemm_sim::DeviceWorker;
+use clgemm_trace::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tunables of the serving loop.
 #[derive(Debug, Clone)]
@@ -32,6 +34,12 @@ pub struct ServeConfig {
     /// On a cache+repo miss, run a (smoke-sized) tuning search for the
     /// device instead of falling straight back to the paper's winners.
     pub tune_misses: bool,
+    /// Registry the server's histograms and gauges are registered in;
+    /// `None` uses the process-global registry (what production wants —
+    /// one snapshot covers every layer). Tests pass an isolated
+    /// `Registry::new()` so concurrent tests do not observe each
+    /// other's traffic.
+    pub registry: Option<Registry>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +49,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             cache_capacity: 32,
             tune_misses: false,
+            registry: None,
         }
     }
 }
@@ -56,7 +65,7 @@ pub enum RejectReason {
 
 #[derive(Debug)]
 struct Shared {
-    queue: BoundedQueue<(RequestId, GemmRequest)>,
+    queue: BoundedQueue<PendingRequest>,
     stats: ServerStats,
     next_id: AtomicU64,
 }
@@ -64,16 +73,22 @@ struct Shared {
 impl Shared {
     fn submit(&self, req: GemmRequest) -> Result<RequestId, RejectReason> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        match self.queue.try_push((id, req)) {
+        let pending = PendingRequest {
+            id,
+            enqueued_ns: clgemm_trace::now_ns(),
+            req,
+        };
+        match self.queue.try_push(pending) {
             Ok(()) => {
                 self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                clgemm_trace::event!("serve.request.enqueue", id);
                 Ok(id)
             }
-            Err((_, req)) => {
+            Err(pending) => {
                 self.stats
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
-                Err(RejectReason::QueueFull(Box::new(req)))
+                Err(RejectReason::QueueFull(Box::new(pending.req)))
             }
         }
     }
@@ -123,9 +138,13 @@ impl GemmServer {
     /// A server whose cache misses consult pre-tuned results in `repo`.
     #[must_use]
     pub fn with_repo(devices: Vec<DeviceSpec>, cfg: ServeConfig, repo: KernelRepo) -> GemmServer {
+        let registry = cfg
+            .registry
+            .clone()
+            .unwrap_or_else(|| Registry::global().clone());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
-            stats: ServerStats::default(),
+            stats: ServerStats::new(registry),
             next_id: AtomicU64::new(0),
         });
         let workspaces = vec![Workspace::new(); devices.len()];
@@ -195,13 +214,18 @@ impl GemmServer {
     /// Process everything currently queued: batch, place, execute.
     /// Returns the number of requests completed in this drain.
     pub fn drain(&mut self) -> usize {
+        let _drain_span = clgemm_trace::span!("serve.drain");
         let pending = self.shared.queue.drain_all();
         if pending.is_empty() {
             return 0;
         }
-        let batches = coalesce(pending, self.cfg.max_batch, self.next_batch);
+        let batches = {
+            let _g = clgemm_trace::span!("serve.batch");
+            coalesce(pending, self.cfg.max_batch, self.next_batch)
+        };
         self.next_batch += batches.len() as u64;
 
+        let _sched_span = clgemm_trace::span!("serve.schedule");
         // --- cost every batch on every device (no cache-stat churn) ----
         let n_workers = self.scheduler.workers().len();
         let mut costs: Vec<Vec<f64>> = Vec::with_capacity(batches.len());
@@ -218,6 +242,7 @@ impl GemmServer {
 
         // --- least-loaded placement + work stealing ---------------------
         let placements = self.scheduler.place(&costs);
+        drop(_sched_span);
 
         // --- execute, batch by batch, on the chosen queues --------------
         let mut completed = 0usize;
@@ -244,6 +269,7 @@ impl GemmServer {
 
     /// Execute one batch on one worker; returns completed requests.
     fn run_batch(&mut self, batch: Batch, worker: usize) -> usize {
+        let _batch_span = clgemm_trace::span!("serve.batch.execute", batch.id);
         let spec = self.scheduler.workers()[worker].spec().clone();
         let key = batch.key;
         let ckey = CacheKey {
@@ -268,11 +294,29 @@ impl GemmServer {
         let start = self.scheduler.workers()[worker].busy_until();
         let projected_end = start + batch_cost(&spec, &batch, params);
 
+        let wall_start = Instant::now();
         let mut total_seconds = 0.0;
         let mut served: Vec<GemmResponse> = Vec::with_capacity(batch.requests.len());
-        for (id, mut req) in batch.requests {
+        for pending in batch.requests {
+            let PendingRequest {
+                id,
+                enqueued_ns,
+                mut req,
+            } = pending;
             let dp = key.precision == Precision::F64;
             let (m, n, k) = req.payload.dims(req.ty);
+            // The request's queue wait ends now, when its batch starts
+            // on a device queue. Recorded retroactively so the span
+            // covers the interval the submitter actually waited.
+            let wait_ns = clgemm_trace::now_ns().saturating_sub(enqueued_ns);
+            self.shared.stats.observe_queue_wait(wait_ns as f64 * 1e-9);
+            clgemm_trace::ring::record("serve.request.queue_wait", id, enqueued_ns, wait_ns);
+            if let Some(deadline) = req.deadline {
+                // Slack at admission; shed requests clamp to zero.
+                self.shared
+                    .stats
+                    .observe_deadline_slack(deadline - projected_end);
+            }
             if req.deadline.is_some_and(|d| d < projected_end) {
                 self.shared
                     .stats
@@ -291,13 +335,17 @@ impl GemmServer {
                 });
                 continue;
             }
-            let run = execute(
-                &tuned,
-                req.ty,
-                &mut req.payload,
-                &mut self.workspaces[worker],
-            );
+            let run = {
+                let _g = clgemm_trace::span!("serve.request.execute", id);
+                execute(
+                    &tuned,
+                    req.ty,
+                    &mut req.payload,
+                    &mut self.workspaces[worker],
+                )
+            };
             total_seconds += run.total;
+            clgemm_trace::event!("serve.request.complete", id);
             served.push(GemmResponse {
                 id,
                 batch: batch.id,
@@ -333,16 +381,15 @@ impl GemmServer {
                     r.done_at = done_at;
                 }
             }
+            // `completed` is folded into `record_batch` (under the
+            // per-device lock) so snapshots see the two consistently.
             self.shared.stats.record_batch(
                 &spec.code_name,
                 completed as u64,
                 total_seconds,
+                wall_start.elapsed().as_secs_f64(),
                 tile_subs as u64,
             );
-            self.shared
-                .stats
-                .completed
-                .fetch_add(completed as u64, Ordering::Relaxed);
         }
         self.responses.extend(served);
         completed
@@ -428,9 +475,11 @@ fn batch_cost(spec: &DeviceSpec, batch: &Batch, params: KernelParams) -> f64 {
     batch
         .requests
         .iter()
-        .map(|(_, r)| {
-            let (m, n, k) = r.payload.dims(r.ty);
-            tuned.predict(dp, r.ty, m.max(1), n.max(1), k.max(1)).total
+        .map(|p| {
+            let (m, n, k) = p.req.payload.dims(p.req.ty);
+            tuned
+                .predict(dp, p.req.ty, m.max(1), n.max(1), k.max(1))
+                .total
         })
         .sum()
 }

@@ -1,38 +1,80 @@
-//! Serving counters.
+//! Serving counters, latency distributions, and model-drift tracking.
 //!
-//! Everything the server does is counted with atomics so any number of
-//! submitter threads can bump them through `&self`; per-device busy
-//! time lives behind a mutex keyed by device code name.
+//! Scalar totals are atomics so any number of submitter threads can
+//! bump them through `&self`; latency-shaped quantities (queue wait,
+//! batch size, deadline slack, modelled-vs-wall drift) are
+//! `clgemm-trace` histograms registered in the server's [`Registry`],
+//! so one registry snapshot exports them next to the routine, tuner,
+//! and VM metrics in both Prometheus text and JSON form.
+//!
+//! # Snapshot coherence
+//!
+//! [`ServerStats::snapshot`] must not observe a batch "half recorded"
+//! (e.g. `batches` bumped but its device row still missing). To that
+//! end every *batch-scoped* total — `completed`, `batches`,
+//! `batched_requests`, `max_batch`, `tile_substitutions` — is updated
+//! inside [`ServerStats::record_batch`] **while holding the per-device
+//! lock**, and `snapshot` reads everything under one acquisition of
+//! the same lock. The lock, not the per-field `Ordering::Relaxed`,
+//! provides the cross-field happens-before: within a critical section
+//! each atomic is just a convenient interior-mutable integer.
+//!
+//! The remaining counters (`enqueued`, `rejected_queue_full`) are
+//! bumped by submitter threads that never take the lock; each is an
+//! independent monotone total through which no other memory is
+//! published, so `Relaxed` is sufficient for them individually and a
+//! snapshot may run slightly ahead/behind the submit stream — the only
+//! permitted incoherence, and it is called out on the fields below.
 
+use clgemm_trace::{HistSummary, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Live counters; read a coherent copy via [`ServerStats::snapshot`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
+    /// Accepted submissions. Submit-side: bumped outside the per-device
+    /// lock (Relaxed, monotone, independent), so it may lead the
+    /// batch-scoped totals in a snapshot taken mid-drain.
     pub enqueued: AtomicU64,
+    /// Requests served to completion. Batch-scoped: only written inside
+    /// [`ServerStats::record_batch`] under the per-device lock, so a
+    /// snapshot always sees it equal to the per-device `requests` sum.
     pub completed: AtomicU64,
-    /// Grouped launches issued.
+    /// Grouped launches issued. Batch-scoped (see `completed`).
     pub batches: AtomicU64,
     /// Requests that shared a batch with at least one other request.
+    /// Batch-scoped (see `completed`).
     pub batched_requests: AtomicU64,
-    /// Largest batch issued so far.
+    /// Largest batch issued so far. Batch-scoped (see `completed`).
     pub max_batch: AtomicU64,
+    /// Mirrored from the kernel cache at the end of each drain by the
+    /// single drain thread; Relaxed is enough for a plain publication
+    /// of independent totals.
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     pub cache_evictions: AtomicU64,
-    /// Submissions bounced by queue backpressure.
+    /// Submissions bounced by queue backpressure. Submit-side: see
+    /// `enqueued`.
     pub rejected_queue_full: AtomicU64,
-    /// Requests dropped because their deadline was unmeetable.
+    /// Requests dropped because their deadline was unmeetable. Written
+    /// only by the drain thread (Relaxed, monotone).
     pub rejected_deadline: AtomicU64,
     /// Batches moved off their greedily chosen device by work stealing.
+    /// Written only by the drain thread (Relaxed, monotone).
     pub steals: AtomicU64,
     /// Requests whose host register tile differed from the tuned
     /// blocking (the substitutions the old silent clamp hid).
+    /// Batch-scoped (see `completed`).
     pub tile_substitutions: AtomicU64,
     per_device: Mutex<BTreeMap<String, DeviceStat>>,
+    registry: Registry,
+    queue_wait: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    deadline_slack: Arc<Histogram>,
+    drift_abs: Arc<Histogram>,
 }
 
 /// Per-device serving totals.
@@ -42,24 +84,97 @@ pub struct DeviceStat {
     pub requests: u64,
     /// Grouped launches placed on this device.
     pub batches: u64,
-    /// Modelled busy seconds accumulated on this device's queue.
+    /// Modelled busy seconds accumulated on this device's queue — what
+    /// the scheduler believed the work would cost.
     pub busy_seconds: f64,
+    /// Measured wall seconds the host actually spent executing this
+    /// device's batches.
+    pub wall_seconds: f64,
     /// Requests in this device's batches that executed with a register
     /// tile substituted for the tuned blocking.
     pub tile_substitutions: u64,
 }
 
+impl DeviceStat {
+    /// Modelled minus measured seconds: positive when the cost model
+    /// overestimates this device, negative when real execution is
+    /// slower than the model believes (and the scheduler is silently
+    /// under-provisioning it).
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        self.busy_seconds - self.wall_seconds
+    }
+}
+
 impl ServerStats {
-    /// Record one grouped launch on a device; `tile_substitutions`
-    /// counts the requests in it whose host register tile differed from
-    /// the tuned blocking.
+    /// Stats recording into `registry` (the server passes
+    /// [`Registry::global`] unless configured otherwise; tests pass
+    /// [`Registry::new`] for isolation).
+    #[must_use]
+    pub fn new(registry: Registry) -> ServerStats {
+        let queue_wait = registry.histogram("serve_queue_wait_seconds", 1e-9);
+        let batch_size = registry.histogram("serve_batch_size_requests", 1.0);
+        let deadline_slack = registry.histogram("serve_deadline_slack_seconds", 1e-9);
+        let drift_abs = registry.histogram("serve_model_drift_abs_seconds", 1e-9);
+        ServerStats {
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            tile_substitutions: AtomicU64::new(0),
+            per_device: Mutex::new(BTreeMap::new()),
+            registry,
+            queue_wait,
+            batch_size,
+            deadline_slack,
+            drift_abs,
+        }
+    }
+
+    /// The registry this server's histograms and gauges live in.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Record how long a request sat queued before its batch executed.
+    pub fn observe_queue_wait(&self, seconds: f64) {
+        self.queue_wait.observe_value(seconds);
+    }
+
+    /// Record a deadline'd request's slack (deadline minus projected
+    /// completion) at admission time; shed requests record 0.
+    pub fn observe_deadline_slack(&self, seconds: f64) {
+        self.deadline_slack.observe_value(seconds.max(0.0));
+    }
+
+    /// Record one grouped launch on a device: `requests` completed
+    /// members, `busy_seconds` of modelled device time, `wall_seconds`
+    /// of measured host execution, and the number of members whose host
+    /// register tile differed from the tuned blocking.
+    ///
+    /// Every batch-scoped atomic is bumped while the per-device lock is
+    /// held — see the module docs for the coherence contract with
+    /// [`ServerStats::snapshot`].
     pub fn record_batch(
         &self,
         device: &str,
         requests: u64,
         busy_seconds: f64,
+        wall_seconds: f64,
         tile_substitutions: u64,
     ) {
+        let mut map = self.per_device.lock().expect("stats poisoned");
+        // Relaxed suffices inside the critical section: the lock
+        // orders these writes against any snapshot.
+        self.completed.fetch_add(requests, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         if requests > 1 {
             self.batched_requests.fetch_add(requests, Ordering::Relaxed);
@@ -67,17 +182,37 @@ impl ServerStats {
         self.max_batch.fetch_max(requests, Ordering::Relaxed);
         self.tile_substitutions
             .fetch_add(tile_substitutions, Ordering::Relaxed);
-        let mut map = self.per_device.lock().expect("stats poisoned");
         let entry = map.entry(device.to_string()).or_default();
         entry.requests += requests;
         entry.batches += 1;
         entry.busy_seconds += busy_seconds;
+        entry.wall_seconds += wall_seconds;
         entry.tile_substitutions += tile_substitutions;
+        self.batch_size.observe(requests);
+        self.drift_abs
+            .observe_value((busy_seconds - wall_seconds).abs());
+        // Cumulative signed drift per device, exported as a gauge so
+        // model skew is visible fleet-wide (satellite: the scheduler
+        // places by `estimate_seconds`; if this diverges the fleet is
+        // silently mis-balanced).
+        self.registry
+            .gauge_labeled("serve_model_drift_seconds", &[("device", device)])
+            .set(entry.drift());
     }
 
     /// A coherent copy of every counter.
+    ///
+    /// The per-device lock is taken first and held across all reads:
+    /// [`ServerStats::record_batch`] writes the batch-scoped totals
+    /// under the same lock, so `completed`, `batches`,
+    /// `batched_requests`, `max_batch`, `tile_substitutions`, and the
+    /// per-device rows are mutually consistent in the returned value
+    /// (in particular `completed` equals the per-device `requests`
+    /// sum). Submit-side counters may run ahead, as documented on the
+    /// fields.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
+        let per_device = self.per_device.lock().expect("stats poisoned");
         StatsSnapshot {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -91,8 +226,20 @@ impl ServerStats {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             tile_substitutions: self.tile_substitutions.load(Ordering::Relaxed),
-            per_device: self.per_device.lock().expect("stats poisoned").clone(),
+            queue_wait: self.queue_wait.summary(),
+            batch_size: self.batch_size.summary(),
+            deadline_slack: self.deadline_slack.summary(),
+            model_drift_abs: self.drift_abs.summary(),
+            per_device: per_device.clone(),
         }
+    }
+}
+
+impl Default for ServerStats {
+    /// An isolated instance (fresh registry) — what unit tests want.
+    /// `GemmServer` wires the process-global registry explicitly.
+    fn default() -> ServerStats {
+        ServerStats::new(Registry::new())
     }
 }
 
@@ -111,6 +258,15 @@ pub struct StatsSnapshot {
     pub rejected_deadline: u64,
     pub steals: u64,
     pub tile_substitutions: u64,
+    /// Seconds requests sat queued before their batch executed.
+    pub queue_wait: HistSummary,
+    /// Completed requests per grouped launch.
+    pub batch_size: HistSummary,
+    /// Slack (deadline − projected completion) of deadline'd requests
+    /// at admission; shed requests contribute 0.
+    pub deadline_slack: HistSummary,
+    /// |modelled busy − measured wall| seconds per batch.
+    pub model_drift_abs: HistSummary,
     pub per_device: BTreeMap<String, DeviceStat>,
 }
 
@@ -145,13 +301,40 @@ impl fmt::Display for StatsSnapshot {
             self.rejected_queue_full, self.rejected_deadline, self.steals
         )?;
         writeln!(f, "tiles:    {} substituted", self.tile_substitutions)?;
+        let ms = |s: f64| s * 1e3;
+        writeln!(
+            f,
+            "queue-wait ms: p50 {:.3} p95 {:.3} p99 {:.3} max {:.3} (n={})",
+            ms(self.queue_wait.p50),
+            ms(self.queue_wait.p95),
+            ms(self.queue_wait.p99),
+            ms(self.queue_wait.max),
+            self.queue_wait.count
+        )?;
+        writeln!(
+            f,
+            "batch-size:    p50 {:.1} p95 {:.1} max {:.0}",
+            self.batch_size.p50, self.batch_size.p95, self.batch_size.max
+        )?;
+        if self.deadline_slack.count > 0 {
+            writeln!(
+                f,
+                "deadline-slack ms: p50 {:.3} p99 {:.3} max {:.3} (n={})",
+                ms(self.deadline_slack.p50),
+                ms(self.deadline_slack.p99),
+                ms(self.deadline_slack.max),
+                self.deadline_slack.count
+            )?;
+        }
         for (name, d) in &self.per_device {
             writeln!(
                 f,
-                "device {name}: {} requests in {} batches, busy {:.3} ms",
+                "device {name}: {} requests in {} batches, busy {:.3} ms, wall {:.3} ms, drift {:+.3} ms",
                 d.requests,
                 d.batches,
-                d.busy_seconds * 1e3
+                d.busy_seconds * 1e3,
+                d.wall_seconds * 1e3,
+                d.drift() * 1e3
             )?;
         }
         Ok(())
@@ -165,9 +348,9 @@ mod tests {
     #[test]
     fn batch_recording_aggregates_per_device() {
         let stats = ServerStats::default();
-        stats.record_batch("Tahiti", 3, 0.5, 2);
-        stats.record_batch("Tahiti", 1, 0.25, 0);
-        stats.record_batch("Fermi", 2, 0.1, 1);
+        stats.record_batch("Tahiti", 3, 0.5, 0.4, 2);
+        stats.record_batch("Tahiti", 1, 0.25, 0.3, 0);
+        stats.record_batch("Fermi", 2, 0.1, 0.1, 1);
         let snap = stats.snapshot();
         assert_eq!(snap.batches, 3);
         assert_eq!(
@@ -181,16 +364,69 @@ mod tests {
         assert_eq!((tahiti.requests, tahiti.batches), (4, 2));
         assert_eq!(tahiti.tile_substitutions, 2);
         assert!((tahiti.busy_seconds - 0.75).abs() < 1e-12);
+        assert!((tahiti.wall_seconds - 0.7).abs() < 1e-12);
+        assert!((tahiti.drift() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completed_stays_consistent_with_per_device_totals() {
+        let stats = ServerStats::default();
+        stats.record_batch("Tahiti", 3, 0.5, 0.5, 0);
+        stats.record_batch("Fermi", 2, 0.1, 0.1, 0);
+        let snap = stats.snapshot();
+        let per_device: u64 = snap.per_device.values().map(|d| d.requests).sum();
+        assert_eq!(
+            snap.completed, per_device,
+            "record_batch updates both under one lock"
+        );
+    }
+
+    #[test]
+    fn histograms_fold_into_the_snapshot() {
+        let stats = ServerStats::default();
+        stats.observe_queue_wait(1e-3);
+        stats.observe_queue_wait(2e-3);
+        stats.observe_deadline_slack(5e-3);
+        stats.observe_deadline_slack(-1.0); // shed: clamps to 0
+        stats.record_batch("Tahiti", 4, 0.5, 0.4, 0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_wait.count, 2);
+        assert!((snap.queue_wait.max - 2e-3).abs() < 1e-9);
+        assert_eq!(snap.deadline_slack.count, 2);
+        assert!((snap.deadline_slack.max - 5e-3).abs() < 1e-9);
+        assert_eq!(snap.batch_size.count, 1);
+        assert_eq!(snap.batch_size.max, 4.0);
+        assert_eq!(snap.model_drift_abs.count, 1);
+        assert!((snap.model_drift_abs.max - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drift_gauge_is_exported_per_device() {
+        let stats = ServerStats::default();
+        stats.record_batch("Tahiti", 1, 0.5, 0.2, 0);
+        stats.record_batch("Tahiti", 1, 0.5, 0.2, 0);
+        let snap = stats.registry().snapshot();
+        let drift = snap
+            .gauge("serve_model_drift_seconds{device=\"Tahiti\"}")
+            .expect("drift gauge registered");
+        assert!((drift - 0.6).abs() < 1e-12, "cumulative signed drift");
+        // And the registry carries the serving histograms too.
+        assert!(snap.hist("serve_batch_size_requests").is_some());
+        let text = snap.to_prometheus();
+        assert!(text.contains("serve_model_drift_seconds{device=\"Tahiti\"} 0.6"));
     }
 
     #[test]
     fn snapshot_renders_human_readably() {
         let stats = ServerStats::default();
         stats.enqueued.fetch_add(5, Ordering::Relaxed);
-        stats.record_batch("Cayman", 2, 0.001, 1);
+        stats.record_batch("Cayman", 2, 0.001, 0.002, 1);
+        stats.observe_queue_wait(1e-3);
         let text = stats.snapshot().to_string();
         assert!(text.contains("5 enqueued"));
         assert!(text.contains("device Cayman: 2 requests"));
         assert!(text.contains("1 substituted"));
+        assert!(text.contains("queue-wait ms"));
+        assert!(text.contains("drift"));
     }
 }

@@ -1,0 +1,225 @@
+//! Snapshot exporters: Prometheus-style text exposition and
+//! `shim::json` trees.
+//!
+//! Both exporters consume a [`MetricsSnapshot`], so an export never
+//! holds the registry lock and never blocks recorders. Histograms are
+//! rendered in Prometheus *summary* form (`quantile` labels plus
+//! `_sum` / `_count`), with the exact maximum exposed as
+//! `quantile="1"`.
+
+use crate::hist::HistSummary;
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use clgemm_shim::json::Json;
+
+/// Split `name{labels}` into the base name and the label body (without
+/// braces). `None` body when the name is unlabeled.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// `base{existing,quantile="q"}` — splice a quantile label into a
+/// possibly already-labeled series name.
+fn with_quantile(base: &str, labels: Option<&str>, q: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{base}{{{l},quantile=\"{q}\"}}"),
+        _ => format!("{base}{{quantile=\"{q}\"}}"),
+    }
+}
+
+/// `base_suffix{existing}` — append a suffix to the base name keeping
+/// any labels.
+fn with_suffix(base: &str, labels: Option<&str>, suffix: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{base}{suffix}{{{l}}}"),
+        _ => format!("{base}{suffix}"),
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn hist_json(s: &HistSummary) -> Json {
+    Json::obj(vec![
+        ("count", Json::Num(s.count as f64)),
+        ("sum", Json::Num(s.sum)),
+        ("mean", Json::Num(s.mean())),
+        ("p50", Json::Num(s.p50)),
+        ("p95", Json::Num(s.p95)),
+        ("p99", Json::Num(s.p99)),
+        ("max", Json::Num(s.max)),
+    ])
+}
+
+impl MetricsSnapshot {
+    /// Prometheus-style text exposition.
+    ///
+    /// Counters and gauges emit one `# TYPE` line per base name and one
+    /// sample per series; histograms emit summary quantiles
+    /// (0.5/0.95/0.99/1) plus `_sum` and `_count`. Entries are
+    /// name-sorted, so output is deterministic.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<String> = None;
+        for (name, value) in &self.entries {
+            let (base, labels) = split_labels(name);
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Hist(_) => "summary",
+            };
+            if last_typed.as_deref() != Some(base) {
+                out.push_str("# TYPE ");
+                out.push_str(base);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_typed = Some(base.to_string());
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(name);
+                    out.push(' ');
+                    out.push_str(&fmt_num(*v as f64));
+                    out.push('\n');
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(name);
+                    out.push(' ');
+                    out.push_str(&fmt_num(*v));
+                    out.push('\n');
+                }
+                MetricValue::Hist(s) => {
+                    for (q, v) in [
+                        ("0.5", s.p50),
+                        ("0.95", s.p95),
+                        ("0.99", s.p99),
+                        ("1", s.max),
+                    ] {
+                        out.push_str(&with_quantile(base, labels, q));
+                        out.push(' ');
+                        out.push_str(&fmt_num(v));
+                        out.push('\n');
+                    }
+                    out.push_str(&with_suffix(base, labels, "_sum"));
+                    out.push(' ');
+                    out.push_str(&fmt_num(s.sum));
+                    out.push('\n');
+                    out.push_str(&with_suffix(base, labels, "_count"));
+                    out.push(' ');
+                    out.push_str(&fmt_num(s.count as f64));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON tree: `{"counters": {..}, "gauges": {..}, "histograms":
+    /// {name: {count, sum, mean, p50, p95, p99, max}}}`, each section
+    /// name-sorted. Consumed by `crates/report`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    counters.push((name.clone(), Json::Num(*v as f64)));
+                }
+                MetricValue::Gauge(v) => gauges.push((name.clone(), Json::Num(*v))),
+                MetricValue::Hist(s) => hists.push((name.clone(), hist_json(s))),
+            }
+        }
+        Json::obj(vec![
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.counter("req_total").add(10);
+        r.counter_labeled("req_total", &[("dev", "gpu0")]).add(7);
+        r.gauge("load").set(0.75);
+        let h = r.histogram("wait_seconds", 1e-9);
+        for ns in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.observe(ns);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_series_and_quantiles() {
+        let text = sample().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("\nreq_total 10\n") || text.starts_with("req_total 10"));
+        assert!(text.contains("req_total{dev=\"gpu0\"} 7"));
+        assert!(text.contains("# TYPE load gauge"));
+        assert!(text.contains("load 0.75"));
+        assert!(text.contains("# TYPE wait_seconds summary"));
+        assert!(text.contains("wait_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("wait_seconds{quantile=\"1\"} 0.001"));
+        assert!(text.contains("wait_seconds_count 4"));
+        // One TYPE line per base name even with labeled series.
+        assert_eq!(text.matches("# TYPE req_total").count(), 1);
+    }
+
+    #[test]
+    fn labeled_histograms_splice_quantiles() {
+        let r = Registry::new();
+        r.histogram_labeled("lat_seconds", &[("dev", "cpu")], 1e-9)
+            .observe(500);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("lat_seconds{dev=\"cpu\",quantile=\"0.99\"}"));
+        assert!(text.contains("lat_seconds_sum{dev=\"cpu\"}"));
+        assert!(text.contains("lat_seconds_count{dev=\"cpu\"} 1"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shim_parser() {
+        let json = sample().snapshot().to_json();
+        let text = json.to_string_pretty();
+        let parsed = clgemm_shim::json::Json::parse(&text).expect("exporter emits valid JSON");
+        assert_eq!(
+            parsed
+                .field("counters")
+                .unwrap()
+                .field("req_total")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+        let hist = parsed
+            .field("histograms")
+            .unwrap()
+            .field("wait_seconds")
+            .unwrap();
+        assert_eq!(hist.field("count").unwrap().as_f64(), Some(4.0));
+        assert!(hist.field("p99").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            parsed
+                .field("gauges")
+                .unwrap()
+                .field("load")
+                .unwrap()
+                .as_f64(),
+            Some(0.75)
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Log-bucketed latency histograms.
+//!
+//! 256 buckets: four sub-buckets per power-of-two octave of the
+//! recorded `u64` value, covering the full 64-bit range with ≤ 12.5 %
+//! relative bucket width. `count`, `sum`, and `max` are tracked
+//! exactly; quantiles come from bucket midpoints, so a reported p99 is
+//! within one sub-bucket (≤ 12.5 %) of the true order statistic —
+//! plenty for latency work, and recording stays a handful of relaxed
+//! atomic RMWs with no locks and no allocation.
+//!
+//! A histogram stores raw integer units (typically nanoseconds) and
+//! carries a display `scale` (e.g. `1e-9` for seconds) applied only at
+//! summary time, so the hot path never touches floating point when fed
+//! via [`Histogram::observe`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total buckets: 16 octaves × 4 would be too coarse; 64 octaves × 4
+/// sub-buckets covers every representable `u64`.
+pub const N_BUCKETS: usize = 256;
+
+/// Index of the sub-bucket holding `value` (values are clamped to ≥ 1).
+///
+/// For `value` with highest set bit `e`, the two bits below it pick one
+/// of four sub-buckets: `idx = 4e + ((value >> (e-2)) & 3)`. Monotone
+/// in `value`, and `u64::MAX` maps to the last bucket (255).
+fn bucket_of(value: u64) -> usize {
+    let n = value.max(1);
+    let e = 63 - n.leading_zeros() as usize;
+    let frac = ((n >> e.saturating_sub(2)) & 3) as usize;
+    e * 4 + frac
+}
+
+/// Midpoint of bucket `idx` in raw units, used as the quantile
+/// representative.
+fn representative(idx: usize) -> f64 {
+    let e = idx / 4;
+    let frac = (idx % 4) as f64;
+    if e < 2 {
+        // Octaves 0 and 1 hold exact small integers (1, 2, 3): the
+        // "fraction" bits are the value itself.
+        frac.max(1.0)
+    } else {
+        let width = (1u64 << (e - 2)) as f64;
+        (1u64 << e) as f64 + frac * width + width / 2.0
+    }
+}
+
+/// Summary statistics extracted from a histogram, in display units.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Exact sum of observations (display units).
+    pub sum: f64,
+    /// Median (bucket-midpoint estimate).
+    pub p50: f64,
+    /// 95th percentile (bucket-midpoint estimate).
+    pub p95: f64,
+    /// 99th percentile (bucket-midpoint estimate).
+    pub p99: f64,
+    /// Exact maximum observation (display units).
+    pub max: f64,
+}
+
+impl HistSummary {
+    /// Mean observation, 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Lock-free log-bucketed histogram. All mutation is relaxed atomic
+/// RMW: buckets are independent monotone counters whose exact
+/// interleaving never matters — a snapshot is allowed to be a few
+/// in-flight observations behind.
+#[derive(Debug)]
+pub struct Histogram {
+    scale: f64,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_units: AtomicU64,
+    max_units: AtomicU64,
+}
+
+impl Histogram {
+    /// New histogram whose display value = raw unit × `scale` (use
+    /// `1e-9` when recording nanoseconds and reporting seconds, `1.0`
+    /// for dimensionless counts).
+    #[must_use]
+    pub fn new(scale: f64) -> Histogram {
+        Histogram {
+            scale,
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_units: AtomicU64::new(0),
+            max_units: AtomicU64::new(0),
+        }
+    }
+
+    /// Display units per raw unit.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Record one observation in raw units (e.g. nanoseconds).
+    pub fn observe(&self, units: u64) {
+        self.buckets[bucket_of(units)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_units.fetch_add(units, Ordering::Relaxed);
+        self.max_units.fetch_max(units, Ordering::Relaxed);
+    }
+
+    /// Record one observation in display units: converted by `scale`,
+    /// clamped to the `u64` range (negative values record as 0).
+    pub fn observe_value(&self, value: f64) {
+        let units = value / self.scale;
+        let units = if units.is_nan() || units <= 0.0 {
+            0
+        } else if units >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            units.round() as u64
+        };
+        self.observe(units);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarise into count/sum/p50/p95/p99/max in display units.
+    ///
+    /// Reads are relaxed: each bucket is monotone, so the worst case
+    /// under concurrent writers is a summary lagging a few
+    /// observations, never a torn value.
+    #[must_use]
+    pub fn summary(&self) -> HistSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the total from the bucket reads themselves so the
+        // quantile ranks are consistent with the walked counts even if
+        // writers raced the `count` field.
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> f64 {
+            if total == 0 {
+                return 0.0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cum = 0u64;
+            for (idx, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    return representative(idx) * self.scale;
+                }
+            }
+            representative(N_BUCKETS - 1) * self.scale
+        };
+        HistSummary {
+            count: total,
+            sum: self.sum_units.load(Ordering::Relaxed) as f64 * self.scale,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: self.max_units.load(Ordering::Relaxed) as f64 * self.scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        for v in 1u64..4096 {
+            let idx = bucket_of(v);
+            assert!(idx >= prev, "bucket_of must be monotone at {v}");
+            assert!(idx < N_BUCKETS);
+            prev = idx;
+        }
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_of(0), bucket_of(1));
+    }
+
+    #[test]
+    fn representative_lies_in_its_bucket() {
+        for v in [1u64, 2, 3, 5, 17, 100, 1000, 1 << 20, 1 << 40] {
+            let idx = bucket_of(v);
+            let rep = representative(idx);
+            // The midpoint is within 12.5 % of any member of the bucket.
+            assert!(
+                (rep - v as f64).abs() <= (v as f64) * 0.125 + 1.0,
+                "rep {rep} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_fields_are_exact() {
+        let h = Histogram::new(1.0);
+        for v in [5u64, 10, 15, 1000] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1030.0);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.mean() - 257.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let h = Histogram::new(1.0);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert!(
+            (s.p50 - 500.0).abs() <= 500.0 * 0.125 + 1.0,
+            "p50 {}",
+            s.p50
+        );
+        assert!(
+            (s.p95 - 950.0).abs() <= 950.0 * 0.125 + 1.0,
+            "p95 {}",
+            s.p95
+        );
+        assert!(
+            (s.p99 - 990.0).abs() <= 990.0 * 0.125 + 1.0,
+            "p99 {}",
+            s.p99
+        );
+        assert_eq!(s.max, 1000.0);
+    }
+
+    #[test]
+    fn scale_converts_display_units() {
+        let h = Histogram::new(1e-9);
+        h.observe(1_500_000); // 1.5 ms in ns
+        let s = h.summary();
+        assert!((s.sum - 1.5e-3).abs() < 1e-12);
+        assert!((s.max - 1.5e-3).abs() < 1e-12);
+        assert!(s.p50 > 1.3e-3 && s.p50 < 1.7e-3);
+        // Round-trip through display units.
+        h.observe_value(2.0e-3);
+        assert_eq!(h.count(), 2);
+        assert!((h.summary().max - 2.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_observations_clamp_to_zero() {
+        let h = Histogram::new(1.0);
+        h.observe_value(-5.0);
+        h.observe_value(f64::NAN);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = Histogram::new(1.0);
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+}

@@ -1,0 +1,153 @@
+//! In-tree tracing + metrics for the clgemm workspace.
+//!
+//! The workspace's telemetry used to be fragmented: `ServerStats`
+//! atomics in the serving layer, per-run phase timings on `GemmRun`,
+//! `DynStats` in the clc VM — three bespoke formats, no spans, no
+//! latency distributions, no shared export. This crate unifies them
+//! behind two primitives, both allocation-free on the hot path and
+//! built only on `std` (extending the `clgemm-shim` no-external-crates
+//! convention):
+//!
+//! * **Spans** ([`ring`]) — `let _g = span!("pack_a");` records a named
+//!   interval into a per-thread lock-free ring buffer when tracing is
+//!   enabled. When disabled (the default) a span costs one relaxed
+//!   atomic load; with the `off` cargo feature the check is
+//!   `const false` and the whole call site folds away.
+//! * **Metrics** ([`metrics`]) — a [`Registry`] of named counters,
+//!   gauges, and log-bucketed latency [`Histogram`]s with
+//!   p50/p95/p99/max extraction. Handles are `Arc`s resolved once and
+//!   cached at the instrumentation site, so recording is a single
+//!   atomic RMW. Metrics are always on: they are cheap enough that the
+//!   enable flag only gates spans.
+//!
+//! Two exporters ([`export`]) serialise a [`MetricsSnapshot`]:
+//! Prometheus-style text exposition and a `shim::json` tree consumed by
+//! `crates/report`.
+//!
+//! Time is measured in nanoseconds since a process-wide epoch
+//! ([`now_ns`]), so timestamps from different threads order correctly.
+
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod ring;
+
+pub use hist::{HistSummary, Histogram};
+pub use metrics::{Counter, Gauge, MetricValue, MetricsSnapshot, Registry};
+pub use ring::{Event, SpanGuard};
+
+#[cfg(not(feature = "off"))]
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+#[cfg(not(feature = "off"))]
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// `true` when span recording is on.
+///
+/// Relaxed load: the flag is an independent on/off switch; span
+/// correctness never depends on *when* a flip becomes visible to a
+/// thread, only that it eventually does.
+#[cfg(not(feature = "off"))]
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// With the `off` feature the flag is compile-time `false`, so every
+/// `span!` / `event!` call site is dead code the optimiser removes.
+#[cfg(feature = "off")]
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Turn span recording on or off at runtime. A no-op under the `off`
+/// feature.
+pub fn set_enabled(on: bool) {
+    #[cfg(not(feature = "off"))]
+    ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(feature = "off")]
+    let _ = on;
+}
+
+/// Enable span recording when `CLGEMM_TRACE=1` is set in the
+/// environment. Call once near process start (idempotent).
+pub fn init_from_env() {
+    if std::env::var("CLGEMM_TRACE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        set_enabled(true);
+    }
+}
+
+/// Nanoseconds since the first call in this process (the trace epoch).
+///
+/// Monotonic and shared across threads, so events recorded on
+/// different threads can be ordered and nested against each other.
+#[must_use]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Record a span covering the rest of the enclosing scope.
+///
+/// ```
+/// # use clgemm_trace::span;
+/// clgemm_trace::set_enabled(true);
+/// {
+///     let _g = span!("pack_a");
+///     // ... work ...
+/// } // span ends here
+/// let _tagged = span!("request.execute", 42); // optional u64 tag
+/// ```
+///
+/// The guard is inert (no timestamp taken, nothing recorded) when
+/// tracing is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::ring::SpanGuard::begin($name, 0)
+    };
+    ($name:expr, $tag:expr) => {
+        $crate::ring::SpanGuard::begin($name, $tag)
+    };
+}
+
+/// Record an instantaneous event (a zero-duration span) with an
+/// optional u64 tag. No-op when tracing is disabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::ring::record_instant($name, 0)
+    };
+    ($name:expr, $tag:expr) => {
+        $crate::ring::record_instant($name, $tag)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = super::now_ns();
+        let b = super::now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn enable_flag_round_trips() {
+        super::set_enabled(true);
+        #[cfg(not(feature = "off"))]
+        assert!(super::enabled());
+        #[cfg(feature = "off")]
+        assert!(!super::enabled());
+        super::set_enabled(false);
+        assert!(!super::enabled());
+    }
+}

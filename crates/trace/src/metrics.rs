@@ -1,0 +1,445 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) is get-or-create
+//! under a mutex and returns an `Arc` handle; instrumentation sites
+//! resolve their handles once (typically into a `OnceLock`-cached
+//! struct) so the hot path is a single relaxed atomic RMW with no map
+//! lookup. Labeled variants mangle the labels into the name in
+//! Prometheus form (`name{key="value"}`), keeping the registry a flat
+//! ordered map that exports deterministically.
+//!
+//! [`Registry::global`] is the process-wide registry every instrumented
+//! layer records into; [`Registry::new`] gives an isolated instance for
+//! tests that must not observe each other's traffic.
+
+use crate::hist::{HistSummary, Histogram};
+use clgemm_shim::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter. Relaxed: counters are independent
+    /// monotone sums; no other memory is published through them.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+    touched: AtomicBool,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+            touched: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Gauge {
+    /// Set the gauge. Relaxed: a gauge is a self-contained `f64`
+    /// published as one atomic word; readers need no ordering with any
+    /// other location.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        self.touched.store(true, Ordering::Relaxed);
+    }
+
+    /// Add `delta` to the gauge (atomic compare-exchange loop).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.touched.store(true, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn exercised(&self) -> bool {
+        self.touched.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Hist(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Hist(_) => "histogram",
+        }
+    }
+
+    fn exercised(&self) -> bool {
+        match self {
+            Metric::Counter(c) => c.get() > 0,
+            Metric::Gauge(g) => g.exercised(),
+            Metric::Hist(h) => h.count() > 0,
+        }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Hist(HistSummary),
+}
+
+/// A point-in-time copy of every registered metric, name-sorted.
+/// Exporters live in [`crate::export`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by exact name (including any `{labels}`).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter total by name, `None` if absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, `None` if absent or not a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name, `None` if absent or not a histogram.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<HistSummary> {
+        match self.get(name)? {
+            MetricValue::Hist(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// A named collection of metrics. Cloning shares the underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+/// Render `name{k1="v1",k2="v2"}` for labeled registration.
+#[must_use]
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl Registry {
+    /// Fresh, empty, isolated registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry all instrumented layers record into.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().expect("metrics registry poisoned")
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match m {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// If the mangled name is already registered as a different kind.
+    #[must_use]
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&labeled(name, labels))
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match m {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// If the mangled name is already registered as a different kind.
+    #[must_use]
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&labeled(name, labels))
+    }
+
+    /// Get or register the histogram `name` with display `scale`
+    /// (ignored if the histogram already exists).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str, scale: f64) -> Arc<Histogram> {
+        let mut map = self.lock();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(Arc::new(Histogram::new(scale))));
+        match m {
+            Metric::Hist(h) => Arc::clone(h),
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// If the mangled name is already registered as a different kind.
+    #[must_use]
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        scale: f64,
+    ) -> Arc<Histogram> {
+        self.histogram(&labeled(name, labels), scale)
+    }
+
+    /// Point-in-time copy of every registered metric.
+    ///
+    /// One lock acquisition copies the handle list; the values are then
+    /// read without the lock (each metric is internally atomic), so a
+    /// snapshot never blocks recorders.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let handles: Vec<(String, Metric)> = self
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let entries = handles
+            .into_iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Hist(h) => MetricValue::Hist(h.summary()),
+                };
+                (name, value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+
+    /// Names of registered metrics that have never been exercised
+    /// (counter never incremented, gauge never set, histogram never
+    /// observed) — the CI dead-metric lint.
+    #[must_use]
+    pub fn dead_metrics(&self) -> Vec<String> {
+        self.lock()
+            .iter()
+            .filter(|(_, m)| !m.exercised())
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+/// Convenience: snapshot of [`Registry::global`] as JSON (see
+/// [`MetricsSnapshot::to_json`]).
+#[must_use]
+pub fn global_json() -> Json {
+    Registry::global().snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("g");
+        g.set(2.5);
+        g.add(0.5);
+        let h = r.histogram("h_seconds", 1e-9);
+        h.observe(1_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c_total"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(3.0));
+        let hs = snap.hist("h_seconds").unwrap();
+        assert_eq!(hs.count, 1);
+        assert!((hs.max - 1e-6).abs() < 1e-12);
+        assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn handles_are_shared_not_duplicated() {
+        let r = Registry::new();
+        r.counter("shared").inc();
+        r.counter("shared").inc();
+        assert_eq!(r.snapshot().counter("shared"), Some(2));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labeled_names_mangle_in_prometheus_form() {
+        assert_eq!(labeled("x_total", &[]), "x_total");
+        assert_eq!(
+            labeled("x_total", &[("dev", "gpu0"), ("kind", "nn")]),
+            "x_total{dev=\"gpu0\",kind=\"nn\"}"
+        );
+        let r = Registry::new();
+        r.counter_labeled("x_total", &[("dev", "gpu0")]).add(3);
+        assert_eq!(r.snapshot().counter("x_total{dev=\"gpu0\"}"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("dual");
+        let _ = r.gauge("dual");
+    }
+
+    #[test]
+    fn dead_metric_lint_reports_untouched_metrics() {
+        let r = Registry::new();
+        let _ = r.counter("live_total");
+        let _ = r.counter("dead_total");
+        let _ = r.gauge("dead_gauge");
+        let _ = r.histogram("dead_hist", 1.0);
+        r.counter("live_total").inc();
+        let mut dead = r.dead_metrics();
+        dead.sort();
+        assert_eq!(dead, vec!["dead_gauge", "dead_hist", "dead_total"]);
+        // A gauge set to its default value still counts as exercised.
+        r.gauge("dead_gauge").set(0.0);
+        r.histogram("dead_hist", 1.0).observe(0);
+        assert_eq!(r.dead_metrics(), vec!["dead_total"]);
+    }
+
+    #[test]
+    fn registries_are_isolated_but_clones_share() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("only_a").inc();
+        assert!(b.snapshot().get("only_a").is_none());
+        let a2 = a.clone();
+        a2.counter("only_a").inc();
+        assert_eq!(a.snapshot().counter("only_a"), Some(2));
+    }
+}

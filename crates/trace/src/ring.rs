@@ -1,0 +1,383 @@
+//! Per-thread lock-free span rings.
+//!
+//! Each thread that records a span owns a fixed-capacity ring of
+//! seqlock-style slots. Writers never block and never allocate after
+//! the ring exists; when the ring wraps, the oldest events are
+//! overwritten and counted in [`dropped_events`]. Readers
+//! ([`all_events`] / [`events_since`]) walk every registered ring and
+//! discard slots that a concurrent writer is mutating, so a snapshot
+//! taken mid-flight contains only fully written events.
+//!
+//! Every word of a slot is an `AtomicU64`, so the seqlock validation
+//! protocol is data-race-free by construction: a torn read is
+//! *detected* (sequence mismatch) rather than undefined behaviour.
+//! Event names are `&'static str`, stored as (pointer, length) words —
+//! reconstruction is safe because only `'static` strings ever enter
+//! the ring, so a validated (pointer, length) pair always denotes a
+//! live string.
+
+use crate::now_ns;
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events kept per thread before the ring wraps.
+pub const RING_CAPACITY: usize = 8192;
+
+/// Payload words per slot: name pointer, name length, tag, start,
+/// duration, packed thread/depth.
+const WORDS: usize = 6;
+
+/// One recorded span (or instantaneous event, when `dur_ns == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Static name from the `span!` / `event!` call site.
+    pub name: &'static str,
+    /// Caller-supplied correlation tag (e.g. a request id); 0 if unused.
+    pub tag: u64,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; 0 for instantaneous events.
+    pub dur_ns: u64,
+    /// Id of the recording thread (dense, assigned at first record).
+    pub thread: u32,
+    /// Nesting depth of live guards on the recording thread when this
+    /// span started (0 = outermost).
+    pub depth: u32,
+}
+
+impl Event {
+    /// End time, nanoseconds since the trace epoch.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// `true` when `other`'s interval lies entirely within this one.
+    #[must_use]
+    pub fn contains(&self, other: &Event) -> bool {
+        self.start_ns <= other.start_ns && other.end_ns() <= self.end_ns()
+    }
+}
+
+struct Slot {
+    /// Seqlock sequence for slot generation `g` (0-based): `2*g + 1`
+    /// while the writer is filling the slot, `2*g + 2` once the
+    /// payload is complete. Readers accept only even values that match
+    /// the generation they expect.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A single thread's ring. Only its owner thread writes; any thread
+/// may read concurrently via the registry.
+pub struct SpanRing {
+    thread: u32,
+    /// Number of events ever pushed; `head % capacity` is the next slot.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl SpanRing {
+    fn new(thread: u32) -> SpanRing {
+        SpanRing {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    fn push(&self, name: &'static str, tag: u64, start_ns: u64, dur_ns: u64, depth: u32) {
+        let idx = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(idx % cap) as usize];
+        let generation = idx / cap;
+        // Odd sequence marks the slot in-flight; the release fence
+        // keeps the payload stores from drifting ahead of it.
+        slot.seq.store(2 * generation + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.words[0].store(name.as_ptr() as u64, Ordering::Relaxed);
+        slot.words[1].store(name.len() as u64, Ordering::Relaxed);
+        slot.words[2].store(tag, Ordering::Relaxed);
+        slot.words[3].store(start_ns, Ordering::Relaxed);
+        slot.words[4].store(dur_ns, Ordering::Relaxed);
+        slot.words[5].store(
+            (u64::from(self.thread) << 32) | u64::from(depth),
+            Ordering::Relaxed,
+        );
+        // Even sequence publishes the payload; Release orders the
+        // payload stores before it.
+        slot.seq.store(2 * generation + 2, Ordering::Release);
+        self.head.store(idx + 1, Ordering::Release);
+    }
+
+    fn collect_into(&self, out: &mut Vec<Event>, since_ns: u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let first = head.saturating_sub(cap);
+        for idx in first..head {
+            let slot = &self.slots[(idx % cap) as usize];
+            let want = 2 * (idx / cap) + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue; // in-flight or already overwritten
+            }
+            let w: [u64; WORDS] = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            // Order the payload loads before the validating re-read.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != want {
+                continue; // writer lapped us mid-read
+            }
+            if w[3] < since_ns {
+                continue;
+            }
+            // Safety: (ptr, len) were stored from a `&'static str` and
+            // validated unchanged by the sequence re-check, so they
+            // denote a live, immutable, UTF-8 string.
+            let name = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    w[0] as *const u8,
+                    w[1] as usize,
+                ))
+            };
+            out.push(Event {
+                name,
+                tag: w[2],
+                start_ns: w[3],
+                dur_ns: w[4],
+                thread: (w[5] >> 32) as u32,
+                depth: w[5] as u32,
+            });
+        }
+    }
+
+    /// Events pushed beyond capacity (oldest overwritten).
+    fn dropped(&self) -> u64 {
+        self.head
+            .load(Ordering::Acquire)
+            .saturating_sub(self.slots.len() as u64)
+    }
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<SpanRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<SpanRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: OnceCell<Arc<SpanRing>> = const { OnceCell::new() };
+    /// Live `SpanGuard`s on this thread; children record depth > parents.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn with_ring(f: impl FnOnce(&SpanRing)) {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let mut all = rings().lock().expect("span ring registry poisoned");
+            let ring = Arc::new(SpanRing::new(all.len() as u32));
+            all.push(Arc::clone(&ring));
+            ring
+        });
+        f(ring);
+    });
+}
+
+/// Snapshot of every completed event currently held in any thread's
+/// ring, sorted by start time (ties broken by depth so parents sort
+/// before their children).
+#[must_use]
+pub fn all_events() -> Vec<Event> {
+    events_since(0)
+}
+
+/// Like [`all_events`], restricted to events starting at or after
+/// `since_ns` (a [`now_ns`] timestamp) — lets tests scope assertions
+/// to their own window of the shared rings.
+#[must_use]
+pub fn events_since(since_ns: u64) -> Vec<Event> {
+    let all: Vec<Arc<SpanRing>> = rings().lock().expect("span ring registry poisoned").clone();
+    let mut out = Vec::new();
+    for ring in &all {
+        ring.collect_into(&mut out, since_ns);
+    }
+    out.sort_by_key(|e| (e.start_ns, e.depth, e.thread));
+    out
+}
+
+/// Total events overwritten by ring wrap-around across all threads.
+#[must_use]
+pub fn dropped_events() -> u64 {
+    rings()
+        .lock()
+        .expect("span ring registry poisoned")
+        .iter()
+        .map(|r| r.dropped())
+        .sum()
+}
+
+/// Record a fully formed span retroactively (e.g. a queue wait whose
+/// start was timestamped on another thread). No-op when tracing is
+/// disabled.
+pub fn record(name: &'static str, tag: u64, start_ns: u64, dur_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let depth = DEPTH.with(Cell::get);
+    with_ring(|r| r.push(name, tag, start_ns, dur_ns, depth));
+}
+
+/// Record an instantaneous event. Prefer the [`crate::event!`] macro.
+pub fn record_instant(name: &'static str, tag: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let depth = DEPTH.with(Cell::get);
+    with_ring(|r| r.push(name, tag, now_ns(), 0, depth));
+}
+
+/// RAII guard recording a span from construction to drop. Construct
+/// via the [`crate::span!`] macro. Inert when tracing is disabled at
+/// construction time: no timestamp is taken and drop records nothing.
+#[must_use = "a span guard records its span when dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    tag: u64,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Start a span. Checks the global enable flag first, so the
+    /// disabled cost is one relaxed atomic load.
+    #[inline]
+    pub fn begin(name: &'static str, tag: u64) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard {
+                name,
+                tag: 0,
+                start_ns: 0,
+                armed: false,
+            };
+        }
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            name,
+            tag,
+            start_ns: now_ns(),
+            armed: true,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // The span's own depth is the guard count *excluding* itself.
+        let depth = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        let dur = now_ns().saturating_sub(self.start_ns);
+        with_ring(|r| r.push(self.name, self.tag, self.start_ns, dur, depth));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "span recording compiled out")]
+    fn spans_nest_and_report_depth() {
+        crate::set_enabled(true);
+        let t0 = now_ns();
+        {
+            let _outer = crate::span!("test.ring.outer", 7);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = crate::span!("test.ring.inner", 7);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        crate::set_enabled(false);
+        let events = events_since(t0);
+        let outer = events
+            .iter()
+            .find(|e| e.name == "test.ring.outer")
+            .expect("outer span recorded");
+        let inner = events
+            .iter()
+            .find(|e| e.name == "test.ring.inner")
+            .expect("inner span recorded");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tag, 7);
+        assert!(outer.contains(inner), "inner must nest inside outer");
+        assert_eq!(outer.thread, inner.thread);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        crate::set_enabled(false);
+        let t0 = now_ns();
+        {
+            let _g = crate::span!("test.ring.disabled");
+            crate::event!("test.ring.disabled.event");
+        }
+        assert!(events_since(t0)
+            .iter()
+            .all(|e| !e.name.starts_with("test.ring.disabled")));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "span recording compiled out")]
+    fn retro_record_and_instant_events() {
+        crate::set_enabled(true);
+        let t0 = now_ns();
+        record("test.ring.retro", 9, t0, 123);
+        crate::event!("test.ring.instant", 9);
+        crate::set_enabled(false);
+        let events = events_since(t0);
+        let retro = events
+            .iter()
+            .find(|e| e.name == "test.ring.retro")
+            .expect("retro span recorded");
+        assert_eq!((retro.tag, retro.start_ns, retro.dur_ns), (9, t0, 123));
+        let inst = events
+            .iter()
+            .find(|e| e.name == "test.ring.instant")
+            .expect("instant event recorded");
+        assert_eq!(inst.dur_ns, 0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "span recording compiled out")]
+    fn ring_wraps_and_counts_drops() {
+        crate::set_enabled(true);
+        let t0 = now_ns();
+        let before = dropped_events();
+        for _ in 0..(RING_CAPACITY + 100) {
+            crate::event!("test.ring.wrap");
+        }
+        crate::set_enabled(false);
+        assert!(dropped_events() >= before + 100);
+        // The ring still yields a full window of valid events.
+        let wrapped: Vec<_> = events_since(t0)
+            .into_iter()
+            .filter(|e| e.name == "test.ring.wrap")
+            .collect();
+        assert!(!wrapped.is_empty());
+        assert!(wrapped.len() <= RING_CAPACITY);
+    }
+}

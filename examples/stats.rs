@@ -1,0 +1,140 @@
+//! One-stop observability tour — and the CI dead-metric lint.
+//!
+//! Drives every instrumented layer (serving, tuned routine, tuner, VM)
+//! against the process-global registry, then prints the same state
+//! three ways: the human `StatsSnapshot` display, the Prometheus text
+//! exposition and the JSON document `clgemm-report` consumes. Exits
+//! non-zero if any registered metric was never exercised — a metric
+//! nobody can move is a metric nobody should ship.
+//!
+//! ```text
+//! cargo run --release -p clgemm-bench --example stats
+//! ```
+
+use clgemm::prelude::*;
+use clgemm_blas::GemmType;
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Priority, ServeConfig};
+use clgemm_shim::Rng;
+use clgemm_trace::Registry;
+
+fn payload_f64(rng: &mut Rng, m: usize, n: usize, k: usize) -> GemmPayload {
+    let order = StorageOrder::ColMajor;
+    GemmPayload::F64 {
+        alpha: 1.0,
+        a: Matrix::test_pattern(m, k, order, rng.next_u64()),
+        b: Matrix::test_pattern(k, n, order, rng.next_u64()),
+        beta: 0.5,
+        c: Matrix::test_pattern(m, n, order, rng.next_u64()),
+    }
+}
+
+fn main() {
+    clgemm_trace::set_enabled(true);
+    let t0 = clgemm_trace::now_ns();
+
+    // ---- serving layer -------------------------------------------------
+    // Default config → the process-global registry, so the serve
+    // histograms land next to the routine/tuner/VM metrics below.
+    let mut server = GemmServer::new(
+        vec![DeviceId::Tahiti.spec(), DeviceId::Fermi.spec()],
+        ServeConfig {
+            max_batch: 4,
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng::new(7);
+    let shapes = [40usize, 96, 120];
+    for i in 0..24 {
+        let s = shapes[rng.range(0, shapes.len())];
+        let mut req = GemmRequest::new(GemmType::NN, payload_f64(&mut rng, s, s, s));
+        if i % 5 == 0 {
+            req = req.with_priority(Priority::High);
+        }
+        // Generous deadlines complete and record slack; an unmeetable
+        // one exercises shedding.
+        req = req.with_deadline(if i == 13 { 0.0 } else { 60.0 });
+        server.submit(req).expect("queue has room");
+        if i % 8 == 7 {
+            server.drain();
+        }
+    }
+    server.drain();
+
+    // ---- routine layer (hybrid path choice) ----------------------------
+    let device = DeviceId::Tahiti.spec();
+    let hybrid = HybridGemm::new(TunedGemm::new(
+        device.clone(),
+        clgemm::params::tahiti_dgemm_best(),
+        clgemm::params::small_test_params(Precision::F32),
+    ));
+    for s in [24usize, 512] {
+        let a = Matrix::<f64>::test_pattern(s, s, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(s, s, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::zeros(s, s, StorageOrder::ColMajor);
+        hybrid.gemm(GemmType::NN, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    // ---- tuner + VM layers ---------------------------------------------
+    // A smoke-sized search with winner verification: the verify step
+    // compiles the winning kernel and runs it through the fast VM, so
+    // one call exercises the tuner counters AND the vm_* bridge.
+    let space = SearchSpace::smoke(&device);
+    let opts = SearchOpts {
+        top_k: 10,
+        max_sweep_points: 8,
+        ..Default::default()
+    };
+    let result = tune(&device, Precision::F64, &space, &opts);
+    assert!(result.verified, "winner must verify in the VM");
+
+    // ---- one snapshot, three renderings --------------------------------
+    println!("{}", server.stats());
+
+    let snap = Registry::global().snapshot();
+    println!("---- prometheus ----");
+    println!("{}", snap.to_prometheus());
+    println!("---- json ----");
+    println!("{}", snap.to_json().to_string_pretty());
+
+    let spans = clgemm_trace::ring::events_since(t0);
+    let dropped = clgemm_trace::ring::dropped_events();
+    println!("---- spans ----");
+    println!("{} span events recorded ({dropped} dropped)", spans.len());
+    for name in [
+        "serve.batch.execute",
+        "routine.gemm",
+        "tuner.run",
+        "clc.launch",
+    ] {
+        let n = spans.iter().filter(|e| e.name == name).count();
+        println!("  {name:<22} {n}");
+        assert!(n > 0, "expected at least one {name} span");
+    }
+
+    // ---- the lint -------------------------------------------------------
+    // Key cross-layer metrics must exist and have moved…
+    for metric in ["routine_gemm_total", "tuner_runs_total", "vm_instrs_total"] {
+        assert!(
+            snap.counter(metric).is_some_and(|v| v > 0),
+            "{metric} missing or zero"
+        );
+    }
+    assert!(snap.hist("serve_queue_wait_seconds").expect("hist").count > 0);
+    assert!(
+        snap.hist("serve_deadline_slack_seconds")
+            .expect("hist")
+            .count
+            > 0
+    );
+
+    // …and nothing registered may have stayed at rest.
+    let dead = Registry::global().dead_metrics();
+    assert!(
+        dead.is_empty(),
+        "dead metrics (registered but never exercised): {dead:?}"
+    );
+    println!(
+        "\ndead-metric lint: {} metrics, all live",
+        snap.entries.len()
+    );
+}
