@@ -191,6 +191,24 @@ pub fn disassemble_fast(k: &CompiledKernel) -> Option<String> {
     Some(out)
 }
 
+/// Disassemble the compiled-engine artefacts for a kernel: the
+/// optimised SSA function followed by the pre-scheduled trace plan,
+/// exactly as `Engine::Compiled` will execute it. This is the text the
+/// golden-file check in CI diffs.
+///
+/// # Errors
+/// The IR pipeline's decline reason when it rejects the kernel (such
+/// kernels run on the fast VM instead).
+pub fn disassemble_ir(k: &CompiledKernel) -> Result<String, String> {
+    let (f, plan) = crate::ir::compile_parts(k)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "ir {}:", k.name);
+    out.push_str(&crate::ir::print::print_func(&f));
+    let _ = writeln!(out, "trace {}:", k.name);
+    out.push_str(&crate::ir::print::print_plan(&plan));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +303,24 @@ mod tests {
         assert!(d.contains("fused"), "{d}");
         // At least one fused op, rendered with the `*` marker.
         assert!(d.lines().any(|l| l.contains(" * ")), "{d}");
+    }
+
+    #[test]
+    fn ir_disassembly_shows_ssa_and_trace() {
+        let k = compile(
+            r#"__kernel void k(__global const float* a, __global float* c, int n) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int j = 0; j < n; j = j + 1) { acc = acc + a[i]; }
+                c[i] = acc * 2.0f + 1.0f;
+            }"#,
+        );
+        let d = disassemble_ir(&k).expect("compiled engine should accept kernel");
+        assert!(d.starts_with("ir k:"), "{d}");
+        assert!(d.contains("b0("), "{d}");
+        assert!(d.contains("trace k:"), "{d}");
+        assert!(d.contains("group g"), "{d}");
+        assert!(d.contains("ret"), "{d}");
     }
 
     #[test]

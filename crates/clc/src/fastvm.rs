@@ -1575,7 +1575,7 @@ unsafe impl Send for SharedBufs {}
 unsafe impl Sync for SharedBufs {}
 
 impl SharedBufs {
-    fn new(bufs: &mut [BufData]) -> SharedBufs {
+    pub(crate) fn new(bufs: &mut [BufData]) -> SharedBufs {
         SharedBufs {
             bufs: bufs
                 .iter_mut()
@@ -1588,14 +1588,14 @@ impl SharedBufs {
         }
     }
 
-    fn len(&self, b: usize) -> usize {
+    pub(crate) fn len(&self, b: usize) -> usize {
         match self.bufs[b] {
             RawBuf::F32(_, n) | RawBuf::F64(_, n) | RawBuf::I32(_, n) => n,
         }
     }
 
     /// Bounds check identical to the reference interpreter's.
-    fn check(
+    pub(crate) fn check(
         &self,
         kernel: &CompiledKernel,
         buf: usize,
@@ -1613,42 +1613,42 @@ impl SharedBufs {
         Ok(idx as usize)
     }
 
-    unsafe fn ld_f32(&self, b: usize, i: usize) -> f32 {
+    pub(crate) unsafe fn ld_f32(&self, b: usize, i: usize) -> f32 {
         match self.bufs[b] {
             RawBuf::F32(p, _) => unsafe { *p.add(i) },
             _ => unreachable!("typed f32 load on non-f32 buffer"),
         }
     }
 
-    unsafe fn ld_f64(&self, b: usize, i: usize) -> f64 {
+    pub(crate) unsafe fn ld_f64(&self, b: usize, i: usize) -> f64 {
         match self.bufs[b] {
             RawBuf::F64(p, _) => unsafe { *p.add(i) },
             _ => unreachable!("typed f64 load on non-f64 buffer"),
         }
     }
 
-    unsafe fn ld_i32(&self, b: usize, i: usize) -> i32 {
+    pub(crate) unsafe fn ld_i32(&self, b: usize, i: usize) -> i32 {
         match self.bufs[b] {
             RawBuf::I32(p, _) => unsafe { *p.add(i) },
             _ => unreachable!("typed i32 load on non-i32 buffer"),
         }
     }
 
-    unsafe fn st_f32(&self, b: usize, i: usize, v: f32) {
+    pub(crate) unsafe fn st_f32(&self, b: usize, i: usize, v: f32) {
         match self.bufs[b] {
             RawBuf::F32(p, _) => unsafe { *p.add(i) = v },
             _ => unreachable!("typed f32 store on non-f32 buffer"),
         }
     }
 
-    unsafe fn st_f64(&self, b: usize, i: usize, v: f64) {
+    pub(crate) unsafe fn st_f64(&self, b: usize, i: usize, v: f64) {
         match self.bufs[b] {
             RawBuf::F64(p, _) => unsafe { *p.add(i) = v },
             _ => unreachable!("typed f64 store on non-f64 buffer"),
         }
     }
 
-    unsafe fn st_i32(&self, b: usize, i: usize, v: i32) {
+    pub(crate) unsafe fn st_i32(&self, b: usize, i: usize, v: i32) {
         match self.bufs[b] {
             RawBuf::I32(p, _) => unsafe { *p.add(i) = v },
             _ => unreachable!("typed i32 store on non-i32 buffer"),
@@ -1656,7 +1656,7 @@ impl SharedBufs {
     }
 }
 
-fn g_race_r(
+pub(crate) fn g_race_r(
     kernel: &CompiledKernel,
     grace: Option<&GlobalRaceTables>,
     buf: usize,
@@ -1672,7 +1672,7 @@ fn g_race_r(
     Ok(())
 }
 
-fn g_race_w(
+pub(crate) fn g_race_w(
     kernel: &CompiledKernel,
     grace: Option<&GlobalRaceTables>,
     buf: usize,
@@ -1688,7 +1688,7 @@ fn g_race_w(
     Ok(())
 }
 
-fn l_check(
+pub(crate) fn l_check(
     kernel: &CompiledKernel,
     locals: &[LocalBuf],
     arr: usize,
@@ -1706,7 +1706,7 @@ fn l_check(
     Ok(idx as usize)
 }
 
-fn l_race_r(
+pub(crate) fn l_race_r(
     kernel: &CompiledKernel,
     races: &mut [RaceTable],
     arr: usize,
@@ -1723,7 +1723,7 @@ fn l_race_r(
     Ok(())
 }
 
-fn l_race_w(
+pub(crate) fn l_race_w(
     kernel: &CompiledKernel,
     races: &mut [RaceTable],
     arr: usize,

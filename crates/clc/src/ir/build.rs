@@ -1,0 +1,396 @@
+//! Bytecode → control-flow graph → typed SSA (block-argument form).
+//!
+//! Block parameters are exactly the live-in registers of each block
+//! (computed by a backward dataflow over the bytecode), so no phi
+//! placement is needed: every predecessor's terminator passes the
+//! current SSA value of each live-in register.
+//!
+//! Each block's [`Cost`] is charged here from the source instructions —
+//! including the control instruction that ends the block — using the
+//! reference interpreter's exact per-instruction accounting. Later
+//! passes rewrite ops but never costs.
+
+use super::{Block, Cost, Edge, Func, Op, OpKind, Term, Val};
+use crate::ast::Base;
+use crate::check::CheckedKernel;
+use crate::lower::{CompiledKernel, Instr, Reg, RegClass};
+
+/// Build the SSA function for a lowered kernel.
+///
+/// # Errors
+/// A decline reason when the bytecode's shape is outside what the
+/// trace engine supports.
+pub fn build(k: &CompiledKernel, classes: &[RegClass]) -> Result<Func, String> {
+    let code = &k.code;
+    let n = code.len();
+    if n == 0 {
+        return Err("empty kernel body".into());
+    }
+    // 1. Leaders: entry, jump targets, and fall-through points after
+    // control instructions.
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (pc, ins) in code.iter().enumerate() {
+        match ins {
+            Instr::Jump { target } | Instr::JumpIfFalse { target, .. } => {
+                if *target >= n {
+                    return Err(format!("jump target {target} out of range"));
+                }
+                leader[*target] = true;
+                if pc + 1 < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Instr::Barrier { .. } | Instr::Ret if pc + 1 < n => leader[pc + 1] = true,
+            _ => {}
+        }
+    }
+    let starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+    let block_of = |pc: usize| -> usize {
+        match starts.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    };
+    let nb = starts.len();
+    let spans: Vec<(usize, usize)> = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, if i + 1 < nb { starts[i + 1] } else { n }))
+        .collect();
+
+    // 2. Per-block register use/def sets for liveness.
+    let nr = k.n_regs;
+    let mut gen = vec![vec![false; nr]; nb];
+    let mut kill = vec![vec![false; nr]; nb];
+    for (b, &(s, e)) in spans.iter().enumerate() {
+        for ins in &code[s..e] {
+            for r in instr_reads(ins) {
+                if !kill[b][r] {
+                    gen[b][r] = true;
+                }
+            }
+            if let Some(d) = instr_writes(ins) {
+                kill[b][d] = true;
+            }
+        }
+    }
+    // Successors per block, for liveness (the same edges the
+    // terminators will take below).
+    let succs: Vec<Vec<usize>> = spans
+        .iter()
+        .map(|&(s, e)| {
+            let last = &code[e - 1];
+            match last {
+                Instr::Jump { target } => vec![block_of(*target)],
+                Instr::JumpIfFalse { target, .. } => {
+                    vec![block_of(e), block_of(*target)]
+                }
+                Instr::Barrier { .. } => vec![block_of(e)],
+                Instr::Ret => vec![],
+                _ => {
+                    debug_assert!(e < n, "fallthrough off the end at {s}..{e}");
+                    vec![block_of(e)]
+                }
+            }
+        })
+        .collect();
+
+    // 3. Backward liveness fixpoint.
+    let mut live_in = vec![vec![false; nr]; nb];
+    let mut live_out = vec![vec![false; nr]; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let mut out = vec![false; nr];
+            for &s in &succs[b] {
+                for r in 0..nr {
+                    out[r] |= live_in[s][r];
+                }
+            }
+            let mut inn = out.clone();
+            for r in 0..nr {
+                if kill[b][r] && !gen[b][r] {
+                    inn[r] = false;
+                }
+                if gen[b][r] {
+                    inn[r] = true;
+                }
+            }
+            if inn != live_in[b] || out != live_out[b] {
+                live_in[b] = inn;
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+    let param_regs: Vec<Vec<Reg>> = live_in
+        .iter()
+        .map(|l| (0..nr).filter(|&r| l[r]).collect())
+        .collect();
+
+    // 4. Fill blocks: one pass per block with a register → value map.
+    let mut f = Func {
+        blocks: Vec::with_capacity(nb),
+        classes: Vec::new(),
+        entry_regs: param_regs[0].clone(),
+    };
+    // Pre-create parameter values for every block so edges can refer
+    // to successor params before the successor is filled.
+    let param_vals: Vec<Vec<Val>> = param_regs
+        .iter()
+        .map(|regs| {
+            regs.iter()
+                .map(|&r| f.new_val(classes[r]))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    for (b, &(s, e)) in spans.iter().enumerate() {
+        let mut env: Vec<Option<Val>> = vec![None; nr];
+        for (i, &r) in param_regs[b].iter().enumerate() {
+            env[r] = Some(param_vals[b][i]);
+        }
+        let mut ops = Vec::new();
+        let mut cost = Cost::default();
+        let mut term = None;
+        let read = |env: &[Option<Val>], r: Reg| -> Result<Val, String> {
+            env[r].ok_or_else(|| format!("register r{r} read before any write"))
+        };
+        let edge_to = |env: &[Option<Val>], t: usize| -> Result<Edge, String> {
+            let args = param_regs[t]
+                .iter()
+                .map(|&r| read(env, r))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Edge { to: t, args })
+        };
+        for (pc, ins) in code[s..e].iter().enumerate() {
+            charge(&mut cost, ins, classes, &k.checked);
+            let is_last = s + pc == e - 1;
+            match ins {
+                Instr::Jump { target } => {
+                    term = Some(Term::Br(edge_to(&env, block_of(*target))?));
+                }
+                Instr::JumpIfFalse { cond, target } => {
+                    term = Some(Term::CondBr {
+                        cond: read(&env, *cond)?,
+                        t: edge_to(&env, block_of(e))?,
+                        f: edge_to(&env, block_of(*target))?,
+                    });
+                }
+                Instr::Barrier { site } => {
+                    term = Some(Term::Barrier {
+                        site: *site,
+                        next: edge_to(&env, block_of(e))?,
+                    });
+                }
+                Instr::Ret => term = Some(Term::Ret),
+                Instr::Mov { dst, src } => {
+                    // Copy propagation for free: the destination simply
+                    // aliases the source value from here on.
+                    env[*dst] = Some(read(&env, *src)?);
+                }
+                Instr::InsertLane { vec, src, lane } => {
+                    let kind = OpKind::Insert(read(&env, *vec)?, read(&env, *src)?, *lane);
+                    let d = f.new_val(classes[*vec]);
+                    ops.push(Op { dst: Some(d), kind });
+                    env[*vec] = Some(d);
+                }
+                other => {
+                    let kind = lift(other, &env, &read)?;
+                    let dst = instr_writes(other).map(|d| {
+                        let v = f.new_val(classes[d]);
+                        env[d] = Some(v);
+                        v
+                    });
+                    ops.push(Op { dst, kind });
+                }
+            }
+            if is_last && term.is_none() {
+                // Fall through into the next leader; charges nothing.
+                term = Some(Term::Br(edge_to(&env, block_of(e))?));
+            }
+        }
+        f.blocks.push(Block {
+            params: param_vals[b].clone(),
+            ops,
+            term: term.ok_or_else(|| format!("block at {s} has no terminator"))?,
+            cost,
+        });
+    }
+    Ok(f)
+}
+
+/// How [`lift`] resolves a bytecode register to an SSA value.
+type ReadReg<'a> = &'a dyn Fn(&[Option<Val>], Reg) -> Result<Val, String>;
+
+/// Lift one non-control, non-Mov instruction into an [`OpKind`].
+fn lift(ins: &Instr, env: &[Option<Val>], read: ReadReg) -> Result<OpKind, String> {
+    Ok(match ins {
+        Instr::Const { val, .. } => OpKind::Const(*val),
+        Instr::Bin { op, a, b, .. } => OpKind::Bin(*op, read(env, *a)?, read(env, *b)?),
+        Instr::Un { op, a, .. } => OpKind::Un(*op, read(env, *a)?),
+        Instr::Convert { src, base, .. } => OpKind::Convert(read(env, *src)?, *base),
+        Instr::Broadcast { src, width, .. } => OpKind::Broadcast(read(env, *src)?, *width),
+        Instr::BuildVec { base, parts, .. } => OpKind::BuildVec(
+            *base,
+            parts
+                .iter()
+                .map(|&p| read(env, p))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Instr::Extract { src, lane, .. } => OpKind::Extract(read(env, *src)?, *lane),
+        Instr::Mad { a, b, c, .. } => OpKind::Mad(read(env, *a)?, read(env, *b)?, read(env, *c)?),
+        Instr::Math {
+            f, args, n_args, ..
+        } => {
+            let mut vals = [0 as Val; 3];
+            for (i, slot) in vals.iter_mut().enumerate().take(*n_args as usize) {
+                *slot = read(env, args[i])?;
+            }
+            OpKind::Math(*f, vals, *n_args)
+        }
+        Instr::Wi { f, dim, .. } => OpKind::Wi(*f, read(env, *dim)?),
+        Instr::LoadGlobal {
+            buf, idx, width, ..
+        } => OpKind::LoadGlobal {
+            buf: *buf,
+            idx: read(env, *idx)?,
+            width: *width,
+        },
+        Instr::StoreGlobal {
+            buf,
+            idx,
+            src,
+            width,
+        } => OpKind::StoreGlobal {
+            buf: *buf,
+            idx: read(env, *idx)?,
+            src: read(env, *src)?,
+            width: *width,
+        },
+        Instr::LoadLocal {
+            arr, idx, width, ..
+        } => OpKind::LoadLocal {
+            arr: *arr,
+            idx: read(env, *idx)?,
+            width: *width,
+        },
+        Instr::StoreLocal {
+            arr,
+            idx,
+            src,
+            width,
+        } => OpKind::StoreLocal {
+            arr: *arr,
+            idx: read(env, *idx)?,
+            src: read(env, *src)?,
+            width: *width,
+        },
+        Instr::Select { cond, a, b, .. } => {
+            OpKind::Select(read(env, *cond)?, read(env, *a)?, read(env, *b)?)
+        }
+        other => return Err(format!("unexpected instruction in lift: {other:?}")),
+    })
+}
+
+/// Registers an instruction reads.
+fn instr_reads(ins: &Instr) -> Vec<Reg> {
+    match ins {
+        Instr::Const { .. } | Instr::Jump { .. } | Instr::Barrier { .. } | Instr::Ret => {
+            vec![]
+        }
+        Instr::Mov { src, .. }
+        | Instr::Un { a: src, .. }
+        | Instr::Convert { src, .. }
+        | Instr::Broadcast { src, .. }
+        | Instr::Extract { src, .. }
+        | Instr::Wi { dim: src, .. }
+        | Instr::LoadGlobal { idx: src, .. }
+        | Instr::LoadLocal { idx: src, .. }
+        | Instr::JumpIfFalse { cond: src, .. } => vec![*src],
+        Instr::Bin { a, b, .. } => vec![*a, *b],
+        Instr::InsertLane { vec, src, .. } => vec![*vec, *src],
+        Instr::StoreGlobal { idx, src, .. } | Instr::StoreLocal { idx, src, .. } => {
+            vec![*idx, *src]
+        }
+        Instr::Mad { a, b, c, .. }
+        | Instr::Select {
+            cond: a,
+            a: b,
+            b: c,
+            ..
+        } => {
+            vec![*a, *b, *c]
+        }
+        Instr::Math { args, n_args, .. } => args[..*n_args as usize].to_vec(),
+        Instr::BuildVec { parts, .. } => parts.clone(),
+    }
+}
+
+/// The register an instruction writes, if any. `InsertLane` counts as
+/// a write (it also reads; `instr_reads` lists `vec` first).
+fn instr_writes(ins: &Instr) -> Option<Reg> {
+    match ins {
+        Instr::Const { dst, .. }
+        | Instr::Mov { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Un { dst, .. }
+        | Instr::Convert { dst, .. }
+        | Instr::Broadcast { dst, .. }
+        | Instr::BuildVec { dst, .. }
+        | Instr::Extract { dst, .. }
+        | Instr::Mad { dst, .. }
+        | Instr::Math { dst, .. }
+        | Instr::Wi { dst, .. }
+        | Instr::LoadGlobal { dst, .. }
+        | Instr::LoadLocal { dst, .. }
+        | Instr::Select { dst, .. } => Some(*dst),
+        Instr::InsertLane { vec, .. } => Some(*vec),
+        Instr::StoreGlobal { .. }
+        | Instr::StoreLocal { .. }
+        | Instr::Jump { .. }
+        | Instr::JumpIfFalse { .. }
+        | Instr::Barrier { .. }
+        | Instr::Ret => None,
+    }
+}
+
+/// Charge one source instruction to a block cost, mirroring
+/// `vm::exec_until_stop` exactly: every instruction charges one step
+/// and one `instrs`; `Bin`/`Un`/`Math` add one `alu` (vector binops
+/// charge 1, not the lane count); `Mad` adds `mads` per lane; memory
+/// ops add one instr plus the element-size × width bytes of their
+/// statically-known buffer type.
+fn charge(cost: &mut Cost, ins: &Instr, classes: &[RegClass], ck: &CheckedKernel) {
+    cost.instrs += 1;
+    match ins {
+        Instr::Bin { .. } | Instr::Un { .. } | Instr::Math { .. } => cost.alu += 1,
+        Instr::Mad { dst, .. } => {
+            cost.mads += match classes[*dst] {
+                RegClass::V32(w) | RegClass::V64(w) => u64::from(w),
+                _ => 1,
+            }
+        }
+        Instr::LoadGlobal { buf, width, .. } | Instr::StoreGlobal { buf, width, .. } => {
+            cost.mem_global_instrs += 1;
+            let elem = match ck.buffer_params[*buf].base {
+                Base::Double => 8,
+                // f32 and i32 buffers both hold 4-byte elements.
+                _ => 4,
+            };
+            cost.mem_global_bytes += elem * u64::from(*width);
+        }
+        Instr::LoadLocal { arr, width, .. } | Instr::StoreLocal { arr, width, .. } => {
+            cost.mem_local_instrs += 1;
+            let elem = match ck.local_arrays[*arr].base {
+                Base::Float => 4,
+                // f64 locals and the i64-backed int locals are 8 bytes.
+                _ => 8,
+            };
+            cost.mem_local_bytes += elem * u64::from(*width);
+        }
+        _ => {}
+    }
+}

@@ -134,6 +134,12 @@ pub struct CompiledKernel {
     /// assignment pass types every register; `None` falls back to the
     /// reference interpreter.
     pub fast: Option<crate::fastvm::FastKernel>,
+    /// Pre-scheduled trace plan from the SSA compiler pipeline, for the
+    /// default [`crate::vm::Engine::Compiled`]; `None` falls back to
+    /// the fast engine.
+    pub trace: Option<crate::ir::trace::TracePlan>,
+    /// Why the trace compiler declined this kernel, when it did.
+    pub trace_decline: Option<String>,
 }
 
 /// Static storage class of a virtual register, assigned at compile time
@@ -350,8 +356,14 @@ fn lower_kernel(ck: &CheckedKernel) -> Result<CompiledKernel, CompileError> {
         positions: lw.positions,
         checked: ck.clone(),
         fast: None,
+        trace: None,
+        trace_decline: None,
     };
     k.fast = crate::fastvm::specialize(&k);
+    match crate::ir::compile(&k) {
+        Ok(plan) => k.trace = Some(plan),
+        Err(reason) => k.trace_decline = Some(reason),
+    }
     Ok(k)
 }
 

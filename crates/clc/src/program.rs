@@ -35,6 +35,19 @@ use crate::vm::{run_group_in, DynStats, Geometry, GlobalRaceTables, RefArena, Va
 
 pub use crate::vm::{BufData, Engine, ExecOptions};
 
+/// Process-wide engine override from `CLGEMM_CLC_ENGINE`, probed once
+/// (mirroring `CLGEMM_SIMD`). Unknown or unset values mean "no
+/// override".
+fn engine_override() -> Option<Engine> {
+    static OVERRIDE: std::sync::OnceLock<Option<Engine>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("CLGEMM_CLC_ENGINE").ok()?.as_str() {
+        "reference" => Some(Engine::Reference),
+        "fast" => Some(Engine::Fast),
+        "compiled" => Some(Engine::Compiled),
+        _ => None,
+    })
+}
+
 /// Bridge one launch's [`DynStats`] (and, on the fast path, the plan's
 /// fusion outcome) into the global metrics registry. Every counter is
 /// created at the point of first non-zero use so a workload that never
@@ -202,12 +215,18 @@ impl<'a> Kernel<'a> {
     }
 
     /// Execute the kernel over the NDRange. With the default
-    /// [`Engine::Fast`] the work-groups run in parallel on the typed
-    /// fast plan (when the kernel specialised — it falls back to the
-    /// reference interpreter otherwise); with [`Engine::Reference`]
-    /// groups run sequentially through the original interpreter. Both
+    /// [`Engine::Compiled`] the work-groups run pre-scheduled trace
+    /// code from the SSA compiler pipeline (falling back to the fast
+    /// plan for declined kernels); [`Engine::Fast`] runs the typed
+    /// per-work-item plan (falling back to the reference interpreter
+    /// when the kernel did not specialise); [`Engine::Reference`] runs
+    /// groups sequentially through the original interpreter. All
     /// engines produce bit-identical buffers and stats. Work-items
     /// within a group always run with true barrier semantics.
+    ///
+    /// The `CLGEMM_CLC_ENGINE=reference|fast|compiled` environment
+    /// variable overrides the requested engine process-wide (probed
+    /// once, like `CLGEMM_SIMD`); unknown values are ignored.
     ///
     /// # Errors
     /// Compile-quality argument/NDRange errors and all VM runtime errors
@@ -235,7 +254,17 @@ impl<'a> Kernel<'a> {
             local: nd.local,
             groups: [nd.global[0] / nd.local[0], nd.global[1] / nd.local[1]],
         };
-        if opts.engine == Engine::Fast {
+        let requested = engine_override().unwrap_or(opts.engine);
+        if requested == Engine::Compiled {
+            if let Some(plan) = &self.inner.trace {
+                let r = crate::ir::engine::launch(self.inner, plan, &geom, &init_regs, bufs, opts);
+                if let Ok(stats) = &r {
+                    record_launch_metrics(stats, "compiled", None);
+                }
+                return r;
+            }
+        }
+        if requested != Engine::Reference {
             if let Some(fk) = &self.inner.fast {
                 let r = crate::fastvm::launch(self.inner, fk, &geom, &init_regs, bufs, opts);
                 if let Ok(stats) = &r {
@@ -244,8 +273,9 @@ impl<'a> Kernel<'a> {
                 return r;
             }
         }
-        let engine = if opts.engine == Engine::Fast {
-            // Fast requested but the kernel did not specialise.
+        let engine = if requested != Engine::Reference {
+            // A faster engine was requested but the kernel neither
+            // compiled nor specialised.
             "fallback"
         } else {
             "reference"

@@ -198,11 +198,17 @@ pub struct Geometry {
 /// Which interpreter executes a launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
+    /// Pre-scheduled trace code from the SSA compiler pipeline (see
+    /// the `ir` module): per-op dispatch is paid once per work-group
+    /// instead of once per work-item step. Falls back to [`Engine::Fast`]
+    /// for kernels the compiler declines (e.g. work-item-divergent
+    /// branches).
+    #[default]
+    Compiled,
     /// Typed-register-bank engine with fused superinstructions and
     /// parallel work-group execution (see the `fastvm` module). Falls
     /// back to the reference interpreter for kernels the register-class
     /// assignment pass cannot type.
-    #[default]
     Fast,
     /// The original one-`Value`-at-a-time interpreter: the bit-for-bit
     /// oracle the fast path is property-tested against.
@@ -219,7 +225,9 @@ pub struct ExecOptions {
     /// Abort a work-item after this many executed instructions per
     /// barrier phase (guards against non-terminating kernels).
     pub step_limit: u64,
-    /// Interpreter selection; [`Engine::Fast`] by default.
+    /// Engine selection; [`Engine::Compiled`] by default (overridable
+    /// at runtime with the `CLGEMM_CLC_ENGINE` environment variable —
+    /// see [`crate::program::Kernel::launch`]).
     pub engine: Engine,
 }
 
@@ -228,7 +236,7 @@ impl Default for ExecOptions {
         ExecOptions {
             detect_races: true,
             step_limit: 500_000_000,
-            engine: Engine::Fast,
+            engine: Engine::Compiled,
         }
     }
 }
@@ -1029,7 +1037,7 @@ macro_rules! vec_zip {
     }};
 }
 
-fn bin_op(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn bin_op(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
     use Value::*;
     // Comparisons on scalars.
     if op.is_cmp() {
@@ -1140,7 +1148,7 @@ fn cmp_f(op: BinOp, x: f64, y: f64) -> bool {
     }
 }
 
-fn un_op(op: UnOp, a: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn un_op(op: UnOp, a: Value) -> Result<Value, RuntimeError> {
     use Value::*;
     Ok(match (op, a) {
         (UnOp::Neg, I(x)) => I(-x),
@@ -1159,7 +1167,7 @@ fn un_op(op: UnOp, a: Value) -> Result<Value, RuntimeError> {
     })
 }
 
-fn convert(v: Value, base: Base) -> Result<Value, RuntimeError> {
+pub(crate) fn convert(v: Value, base: Base) -> Result<Value, RuntimeError> {
     use Value::*;
     Ok(match (v, base) {
         (I(x), Base::Float) => F32(x as f32),
@@ -1199,7 +1207,7 @@ fn convert(v: Value, base: Base) -> Result<Value, RuntimeError> {
     })
 }
 
-fn broadcast(v: Value, width: u8) -> Result<Value, RuntimeError> {
+pub(crate) fn broadcast(v: Value, width: u8) -> Result<Value, RuntimeError> {
     Ok(match v {
         Value::F32(x) => Value::V32([x; 16], width),
         Value::F64(x) => Value::V64([x; 16], width),
@@ -1244,7 +1252,7 @@ fn build_vec(base: Base, parts: &[usize], regs: &[Value]) -> Result<Value, Runti
     }
 }
 
-fn extract(v: Value, lane: u8) -> Result<Value, RuntimeError> {
+pub(crate) fn extract(v: Value, lane: u8) -> Result<Value, RuntimeError> {
     match v {
         Value::V32(x, w) if lane < w => Ok(Value::F32(x[lane as usize])),
         Value::V64(x, w) if lane < w => Ok(Value::F64(x[lane as usize])),
@@ -1254,7 +1262,7 @@ fn extract(v: Value, lane: u8) -> Result<Value, RuntimeError> {
     }
 }
 
-fn insert_lane(vec: Value, src: Value, lane: u8) -> Result<Value, RuntimeError> {
+pub(crate) fn insert_lane(vec: Value, src: Value, lane: u8) -> Result<Value, RuntimeError> {
     match (vec, src) {
         (Value::V32(mut x, w), Value::F32(s)) if lane < w => {
             x[lane as usize] = s;
@@ -1270,7 +1278,7 @@ fn insert_lane(vec: Value, src: Value, lane: u8) -> Result<Value, RuntimeError> 
     }
 }
 
-fn mad(a: Value, b: Value, c: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn mad(a: Value, b: Value, c: Value) -> Result<Value, RuntimeError> {
     use Value::*;
     Ok(match (a, b, c) {
         (F32(x), F32(y), F32(z)) => F32(x.mul_add(y, z)),
@@ -1293,7 +1301,13 @@ fn mad(a: Value, b: Value, c: Value) -> Result<Value, RuntimeError> {
     })
 }
 
-fn math(f: MathFunc, a: Value, b: Value, c: Value, n_args: u8) -> Result<Value, RuntimeError> {
+pub(crate) fn math(
+    f: MathFunc,
+    a: Value,
+    b: Value,
+    c: Value,
+    n_args: u8,
+) -> Result<Value, RuntimeError> {
     use Value::*;
     if n_args == 3 {
         // clamp(x, lo, hi)

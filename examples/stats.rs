@@ -87,6 +87,40 @@ fn main() {
     let result = tune(&device, Precision::F64, &space, &opts);
     assert!(result.verified, "winner must verify in the VM");
 
+    // ---- clc compiler pipeline -----------------------------------------
+    // Compile and launch a small kernel on the default (compiled)
+    // engine so the `clc.compile` span and the per-pass clc_compile_*
+    // counters move and stay out of the dead-metric list.
+    {
+        use clgemm_clc::{Arg, BufData, ExecOptions, NdRange, Program};
+        let src = r"__kernel void saxpy(__global const float* x,
+                                        __global float* y, float a) {
+            int i = get_global_id(0);
+            y[i] = a * x[i] + y[i];
+        }";
+        let prog = Program::compile(src).expect("saxpy compiles");
+        let kernel = prog.kernel("saxpy").expect("kernel present");
+        assert!(
+            kernel.compiled().trace.is_some(),
+            "saxpy must take the compiled engine, not a fallback: {:?}",
+            kernel.compiled().trace_decline
+        );
+        let n = 256usize;
+        let mut bufs = vec![
+            BufData::F32((0..n).map(|i| i as f32 / 7.0).collect()),
+            BufData::F32(vec![1.0; n]),
+        ];
+        let args = [Arg::Buf(0), Arg::Buf(1), Arg::F32(0.5)];
+        kernel
+            .launch(
+                NdRange::d1(n, 64),
+                &args,
+                &mut bufs,
+                &ExecOptions::default(),
+            )
+            .expect("compiled-engine launch");
+    }
+
     // ---- one snapshot, three renderings --------------------------------
     println!("{}", server.stats());
 
@@ -105,6 +139,7 @@ fn main() {
         "routine.gemm",
         "tuner.run",
         "clc.launch",
+        "clc.compile",
     ] {
         let n = spans.iter().filter(|e| e.name == name).count();
         println!("  {name:<22} {n}");
@@ -113,7 +148,14 @@ fn main() {
 
     // ---- the lint -------------------------------------------------------
     // Key cross-layer metrics must exist and have moved…
-    for metric in ["routine_gemm_total", "tuner_runs_total", "vm_instrs_total"] {
+    for metric in [
+        "routine_gemm_total",
+        "tuner_runs_total",
+        "vm_instrs_total",
+        "clc_compile_total",
+        "clc_compile_ops_in_total",
+        "clc_compile_ops_out_total",
+    ] {
         assert!(
             snap.counter(metric).is_some_and(|v| v > 0),
             "{metric} missing or zero"

@@ -1,8 +1,12 @@
 //! Engine-equivalence property tests: the fast VM (typed register
-//! banks, fused superinstructions, parallel work-groups) must be
-//! indistinguishable from the reference interpreter — bit-identical
+//! banks, fused superinstructions, parallel work-groups) and the
+//! compiled engine (SSA pipeline → pre-scheduled trace code) must both
+//! be indistinguishable from the reference interpreter — bit-identical
 //! output buffers and equal `DynStats` on every generated kernel, and
-//! identical failure classes on kernels that must fail testing.
+//! identical failure classes on kernels that must fail testing. A
+//! separate decline-list test pins down exactly which kernel shapes the
+//! trace compiler refuses (they fall back to the fast VM) and checks
+//! the fallback still matches the reference.
 //!
 //! Cases come from a seeded [`clgemm_shim::Rng`], so failures reproduce
 //! deterministically.
@@ -94,9 +98,10 @@ fn fill(rng: &mut Rng, len: usize, prec: Precision) -> BufData {
     }
 }
 
-/// Both engines on one generated kernel; panics on any divergence.
-/// Returns whether the kernel took the specialised fast plan.
-fn check_case(case: usize, rng: &mut Rng, p: &KernelParams) -> bool {
+/// All three engines on one generated kernel; panics on any
+/// divergence. Returns whether the kernel took the specialised fast
+/// plan and whether the trace compiler accepted it.
+fn check_case(case: usize, rng: &mut Rng, p: &KernelParams) -> (bool, bool) {
     // Two blocks per dimension so several work-groups run (the fast
     // engine parallelises across them) and k covers two KWG tiles.
     let (m, n) = (2 * p.mwg, 2 * p.nwg);
@@ -134,56 +139,144 @@ fn check_case(case: usize, rng: &mut Rng, p: &KernelParams) -> bool {
     }
     let nd = gen.ndrange(m, n);
 
-    let mut fast_bufs = bufs.clone();
-    let fast = kernel
-        .launch(nd, &args, &mut fast_bufs, &ExecOptions::default())
-        .unwrap_or_else(|e| panic!("case {case}: fast launch: {e}\n{}", p.describe()));
-    let mut ref_bufs = bufs;
+    let mut ref_bufs = bufs.clone();
     let reference = kernel
         .launch(nd, &args, &mut ref_bufs, &ExecOptions::reference())
         .unwrap_or_else(|e| panic!("case {case}: reference launch: {e}\n{}", p.describe()));
 
-    assert_eq!(
-        fast,
-        reference,
-        "case {case}: DynStats diverged\n{}",
-        p.describe()
-    );
-    for (i, (fb, rb)) in fast_bufs.iter().zip(&ref_bufs).enumerate() {
+    for engine in [Engine::Fast, Engine::Compiled] {
+        let opts = ExecOptions {
+            engine,
+            ..Default::default()
+        };
+        let mut eng_bufs = bufs.clone();
+        let stats = kernel
+            .launch(nd, &args, &mut eng_bufs, &opts)
+            .unwrap_or_else(|e| panic!("case {case}: {engine:?} launch: {e}\n{}", p.describe()));
         assert_eq!(
-            bits(fb),
-            bits(rb),
-            "case {case}: buffer {i} not bit-identical\n{}",
+            stats,
+            reference,
+            "case {case}: {engine:?} DynStats diverged\n{}",
             p.describe()
         );
+        for (i, (eb, rb)) in eng_bufs.iter().zip(&ref_bufs).enumerate() {
+            assert_eq!(
+                bits(eb),
+                bits(rb),
+                "case {case}: {engine:?} buffer {i} not bit-identical\n{}",
+                p.describe()
+            );
+        }
     }
-    kernel.compiled().fast.is_some()
+    let ck = kernel.compiled();
+    (ck.fast.is_some(), ck.trace.is_some())
 }
 
-/// ≥200 random parameter sets: identical buffers and stats across both
-/// engines, and every generated kernel must actually take the fast
-/// plan (a silent fallback would make the equivalence test vacuous).
+/// ≥200 random parameter sets: identical buffers and stats across all
+/// three engines, and every generated kernel must actually take both
+/// accelerated plans (a silent fallback would make the equivalence
+/// test vacuous).
 #[test]
-fn fast_and_reference_agree_on_random_params() {
+fn engines_agree_on_random_params() {
     let mut rng = Rng::new(0xFA57_E9E5);
     let cases = 200;
-    let mut specialized = 0usize;
+    let (mut specialized, mut traced) = (0usize, 0usize);
     for case in 0..cases {
         let p = valid_params(&mut rng);
-        if check_case(case, &mut rng, &p) {
-            specialized += 1;
-        }
+        let (fast, compiled) = check_case(case, &mut rng, &p);
+        specialized += usize::from(fast);
+        traced += usize::from(compiled);
     }
     assert_eq!(
         specialized, cases,
         "every generated kernel should specialise onto the fast plan"
     );
+    assert_eq!(
+        traced, cases,
+        "every generated kernel should be accepted by the trace compiler"
+    );
+}
+
+/// The explicit decline list: kernel shapes the trace compiler refuses,
+/// each with its pinned reason. Declining is a routing decision, not a
+/// failure — the launch falls back to the fast VM and must still match
+/// the reference bit-for-bit. If a pipeline change starts accepting one
+/// of these (or declining something new), this test is the place that
+/// documents it.
+#[test]
+fn compiled_engine_decline_list() {
+    let n = 32usize;
+    let declines: &[(&str, &str, &[Arg])] = &[
+        // A bounds guard branches on get_global_id — varying per
+        // work-item, so the trace (one schedule per work-group) cannot
+        // represent both sides.
+        (
+            r"__kernel void k(__global float* y, int n) {
+                int i = get_global_id(0);
+                if (i < n) { y[i] = y[i] + 1.0f; }
+            }",
+            "work-item-divergent branch condition",
+            &[Arg::Buf(0), Arg::I32(32)],
+        ),
+        // Loop trip count depends on loaded data.
+        (
+            r"__kernel void k(__global float* y) {
+                int i = get_global_id(0);
+                float x = y[i];
+                while (x > 0.5f) { x = x - 1.0f; }
+                y[i] = x;
+            }",
+            "work-item-divergent branch condition",
+            &[Arg::Buf(0)],
+        ),
+        // Loop trip count depends on the work-item id.
+        (
+            r"__kernel void k(__global float* y) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int j = 0; j < i + 1; j = j + 1) { acc = acc + 2.0f; }
+                y[i] = acc;
+            }",
+            "work-item-divergent branch condition",
+            &[Arg::Buf(0)],
+        ),
+    ];
+    for (case, (src, want, args)) in declines.iter().enumerate() {
+        let prog = Program::compile(src).unwrap_or_else(|e| panic!("decline {case}: {e}"));
+        let kernel = prog.kernel("k").expect("kernel present");
+        let ck = kernel.compiled();
+        assert!(ck.trace.is_none(), "decline {case}: unexpectedly accepted");
+        let reason = ck.trace_decline.as_deref().unwrap_or("");
+        assert!(
+            reason.contains(want),
+            "decline {case}: reason {reason:?} does not mention {want:?}"
+        );
+        // The fallback still has to be right: Compiled (→ fast VM) and
+        // the reference must agree bit-for-bit.
+        let nd = clgemm_clc::NdRange::d1(n, 8);
+        let init = BufData::F32((0..n).map(|i| (i as f32) / 3.0 - 4.0).collect());
+        let mut cb = vec![init.clone()];
+        let cs = kernel
+            .launch(nd, args, &mut cb, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("decline {case}: compiled-route launch: {e}"));
+        let mut rb = vec![init];
+        let rs = kernel
+            .launch(nd, args, &mut rb, &ExecOptions::reference())
+            .unwrap_or_else(|e| panic!("decline {case}: reference launch: {e}"));
+        assert_eq!(cs, rs, "decline {case}: DynStats diverged on fallback");
+        assert_eq!(
+            bits(&cb[0]),
+            bits(&rb[0]),
+            "decline {case}: fallback buffers not bit-identical"
+        );
+    }
 }
 
 /// A kernel whose work-items diverge at a barrier must fail with the
-/// same error on both engines.
+/// same error on every engine (the compiled route declines this kernel
+/// and reaches the failure through its fast-VM fallback).
 #[test]
-fn divergence_fails_identically_on_both_engines() {
+fn divergence_fails_identically_on_all_engines() {
     let src = r#"
         __kernel void div(__global double* y) {
             int l = get_local_id(0);
@@ -194,24 +287,30 @@ fn divergence_fails_identically_on_both_engines() {
     let prog = Program::compile(src).unwrap();
     let kernel = prog.kernel("div").unwrap();
     let nd = clgemm_clc::NdRange::d1(8, 4);
-    let mut b1 = vec![BufData::F64(vec![0.0; 8])];
-    let fe = kernel
-        .launch(nd, &[Arg::Buf(0)], &mut b1, &ExecOptions::default())
-        .unwrap_err();
     let mut b2 = vec![BufData::F64(vec![0.0; 8])];
     let re = kernel
         .launch(nd, &[Arg::Buf(0)], &mut b2, &ExecOptions::reference())
         .unwrap_err();
-    assert!(matches!(fe, RuntimeError::BarrierDivergence { .. }), "{fe}");
-    assert_eq!(fe.to_string(), re.to_string());
+    assert!(matches!(re, RuntimeError::BarrierDivergence { .. }), "{re}");
+    for engine in [Engine::Fast, Engine::Compiled] {
+        let opts = ExecOptions {
+            engine,
+            ..Default::default()
+        };
+        let mut b1 = vec![BufData::F64(vec![0.0; 8])];
+        let fe = kernel
+            .launch(nd, &[Arg::Buf(0)], &mut b1, &opts)
+            .unwrap_err();
+        assert_eq!(fe.to_string(), re.to_string(), "{engine:?}");
+    }
 }
 
 /// A kernel where distinct work-groups write the same global cell must
-/// fail as a global race on both engines. Attribution (which pair of
-/// groups is reported) is schedule-dependent on the parallel engine, so
-/// only the error class is compared.
+/// fail as a global race on every engine. Attribution (which pair of
+/// groups is reported) is schedule-dependent on the parallel engines,
+/// so only the error class is compared.
 #[test]
-fn inter_group_race_fails_identically_on_both_engines() {
+fn inter_group_race_fails_identically_on_all_engines() {
     let src = r#"
         __kernel void clash(__global double* y) {
             y[0] = (double)get_global_id(0);
@@ -220,7 +319,7 @@ fn inter_group_race_fails_identically_on_both_engines() {
     let prog = Program::compile(src).unwrap();
     let kernel = prog.kernel("clash").unwrap();
     let nd = clgemm_clc::NdRange::d1(8, 2);
-    for engine in [Engine::Fast, Engine::Reference] {
+    for engine in [Engine::Compiled, Engine::Fast, Engine::Reference] {
         let opts = ExecOptions {
             engine,
             ..Default::default()

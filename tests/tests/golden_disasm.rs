@@ -1,0 +1,58 @@
+//! Golden-file check for the compiled engine's disassembly.
+//!
+//! The flagship kernel (BA, f32, the `small_test_params` tile set used
+//! by the 1024³ acceptance case) is compiled through the SSA pipeline
+//! and its `disassemble_ir` text — optimised SSA followed by the
+//! pre-scheduled trace plan — is diffed against a committed golden
+//! file. Any pass or allocator change that moves the schedule shows up
+//! here as a reviewable diff instead of a silent perf change.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! CLGEMM_BLESS=1 cargo test -p clgemm-integration --test golden_disasm
+//! ```
+
+use clgemm::codegen::{generate, KERNEL_NAME};
+use clgemm::params::{small_test_params, Algorithm};
+use clgemm_blas::scalar::Precision;
+use clgemm_clc::Program;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/flagship_ba_f32.ir");
+
+#[test]
+fn flagship_disassembly_matches_golden_file() {
+    let mut p = small_test_params(Precision::F32);
+    p.algorithm = Algorithm::Ba;
+    let gen = generate(&p).expect("generate flagship kernel");
+    let prog = Program::compile(&gen.source).expect("compile");
+    let kernel = prog.kernel(KERNEL_NAME).expect("kernel present");
+    let got = clgemm_clc::disassemble_ir(kernel.compiled())
+        .expect("trace compiler must accept the flagship kernel");
+
+    if std::env::var_os("CLGEMM_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run once with CLGEMM_BLESS=1");
+    if got != want {
+        // A full assert_eq! dump is unreadable at this size; show the
+        // first divergent line instead.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "flagship disassembly diverges from golden file at line {} \
+                 (regenerate with CLGEMM_BLESS=1 if intentional)",
+                i + 1
+            );
+        }
+        panic!(
+            "flagship disassembly length changed: {} vs {} lines \
+             (regenerate with CLGEMM_BLESS=1 if intentional)",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
