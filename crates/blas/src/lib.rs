@@ -19,6 +19,7 @@
 //! * [`error`] — forward-error norms used to accept or reject kernels,
 //!   mirroring the paper's "testing" stage.
 
+pub mod batch;
 pub mod error;
 pub mod gemm_ref;
 pub mod layout;
@@ -27,12 +28,13 @@ pub mod pack;
 pub mod scalar;
 pub mod workspace;
 
+pub use batch::{BatchError, GemmBatch};
 pub use error::{max_abs_diff, max_rel_error, verify_gemm, ErrorReport};
 pub use layout::{BlockLayout, PackedDims};
 pub use matrix::{Matrix, StorageOrder};
 pub use pack::{merge_c, pack_operand, PackSpec};
-pub use scalar::Scalar;
-pub use workspace::{Workspace, WorkspaceScalar};
+pub use scalar::{Bf16, Scalar, StorageScalar, F16};
+pub use workspace::{BatchWorkspace, Workspace, WorkspaceScalar};
 
 /// Transpose operation applied to an input operand, `op(X)` in the BLAS
 /// GEMM definition `C ← α·op(A)·op(B) + β·C`.

@@ -13,7 +13,7 @@
 
 use crate::layout::{round_up, BlockLayout, PackedDims};
 use crate::matrix::Matrix;
-use crate::scalar::Scalar;
+use crate::scalar::{Scalar, StorageScalar};
 use crate::Trans;
 
 /// Description of one operand-packing operation.
@@ -360,6 +360,125 @@ fn stage_tile<T: Scalar>(c: &Matrix<T>, i0: usize, ilim: usize, rows: &mut [T], 
     }
 }
 
+/// [`stage_c`] into a caller-provided (reused) buffer, serially.
+///
+/// Identical output to [`stage_c_into_par`]. Below the routine layer's
+/// serial-pack threshold the fork/join cost of the parallel stager
+/// exceeds the copy itself, so small problems route through this
+/// single-pass version instead.
+pub fn stage_c_into<T: Scalar>(c: &Matrix<T>, mwg: usize, nwg: usize, buf: &mut [T]) {
+    let (m, n) = (c.rows(), c.cols());
+    let (mp, np) = c_staging_dims(m, n, mwg, nwg);
+    assert_eq!(buf.len(), mp * np, "staged C buffer size mismatch");
+    for i in 0..m {
+        let row = &mut buf[i * np..(i + 1) * np];
+        for (j, cell) in row[..n].iter_mut().enumerate() {
+            *cell = c.at(i, j);
+        }
+        row[n..].fill(T::ZERO);
+    }
+    buf[m * np..].fill(T::ZERO);
+}
+
+/// Pack `op(X)` from a raw column-major slice entry into a staging
+/// buffer, widening each element into the accumulation type.
+///
+/// This is the batched path's convert-on-pack: a strided-batched call
+/// hands slab entries (`rows × cols`, leading dimension `ld`) rather
+/// than [`Matrix`] values, and `f16`/`bf16` storage widens to `f32`
+/// here so the microkernel runs its usual `f32`/`f64` FMA chain.
+/// Widening is exact, so the packed values equal what packing an
+/// already-widened matrix would produce — the bit-exactness contract
+/// of the property suite. The packing itself is serial: batched calls
+/// parallelise across entries, not within one pack.
+///
+/// # Panics
+/// Panics if `op(X)`'s dimensions don't match `(k, width)` or the
+/// buffer doesn't match `dims`.
+#[allow(clippy::too_many_arguments)] // mirrors pack_into plus the slice geometry
+pub fn pack_slice_widen<S: StorageScalar>(
+    src: &[S],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    spec: PackSpec,
+    k: usize,
+    width: usize,
+    buf: &mut [S::Acc],
+    dims: PackedDims,
+) {
+    assert_eq!(buf.len(), dims.len(), "staging buffer size mismatch");
+    let (xr, xc) = match spec.trans {
+        Trans::No => (rows, cols),
+        Trans::Yes => (cols, rows),
+    };
+    assert_eq!(
+        (xr, xc),
+        (k, width),
+        "operand shape mismatch: op(X) is {xr}x{xc}, expected {k}x{width}"
+    );
+    for p in 0..dims.k {
+        for w in 0..dims.width {
+            let v = if p < k && w < width {
+                let (i, j) = match spec.trans {
+                    Trans::No => (p, w),
+                    Trans::Yes => (w, p),
+                };
+                src[j * ld + i].widen()
+            } else {
+                <S::Acc as Scalar>::ZERO
+            };
+            buf[spec.layout.offset(p, w, dims)] = v;
+        }
+    }
+}
+
+/// Stage one column-major `C` slab entry into a padded row-major buffer,
+/// widening into the accumulation type (the slice/batched counterpart
+/// of [`stage_c_into`]).
+pub fn stage_slice_widen<S: StorageScalar>(
+    src: &[S],
+    m: usize,
+    n: usize,
+    ld: usize,
+    mwg: usize,
+    nwg: usize,
+    buf: &mut [S::Acc],
+) {
+    let (mp, np) = c_staging_dims(m, n, mwg, nwg);
+    assert_eq!(buf.len(), mp * np, "staged C buffer size mismatch");
+    for i in 0..m {
+        let row = &mut buf[i * np..(i + 1) * np];
+        for (j, cell) in row[..n].iter_mut().enumerate() {
+            *cell = src[j * ld + i].widen();
+        }
+        row[n..].fill(<S::Acc as Scalar>::ZERO);
+    }
+    buf[m * np..].fill(<S::Acc as Scalar>::ZERO);
+}
+
+/// Merge a padded row-major staged result back into a column-major `C`
+/// slab entry, narrowing each element with round-to-nearest-even — the
+/// single narrowing step of the mixed-precision contract.
+pub fn merge_slice_narrow<S: StorageScalar>(
+    staged: &[S::Acc],
+    mwg: usize,
+    nwg: usize,
+    dst: &mut [S],
+    m: usize,
+    n: usize,
+    ld: usize,
+) {
+    let (mp, np) = c_staging_dims(m, n, mwg, nwg);
+    assert_eq!(staged.len(), mp * np, "staged C buffer size mismatch");
+    for j in 0..n {
+        let col = &mut dst[j * ld..j * ld + m];
+        for (i, cell) in col.iter_mut().enumerate() {
+            *cell = S::narrow(staged[i * np + j]);
+        }
+    }
+}
+
 /// Merge the kernel's padded row-major `C` result back into the user
 /// matrix, discarding padding rows/columns.
 pub fn merge_c<T: Scalar>(staged: &[T], mwg: usize, nwg: usize, c: &mut Matrix<T>) {
@@ -593,5 +712,107 @@ mod tests {
         assert_eq!(pack_mem_ops(4, 4, 4, 4), 32);
         // 5x5 source padded to 8x8: 25 reads + 64 writes.
         assert_eq!(pack_mem_ops(5, 5, 4, 4), 25 + 64);
+    }
+
+    #[test]
+    fn stage_c_into_matches_parallel_stager() {
+        for order in [StorageOrder::ColMajor, StorageOrder::RowMajor] {
+            let c = Matrix::<f32>::test_pattern(37, 41, order, 9);
+            let oracle = stage_c(&c, 16, 16);
+            let mut buf = vec![f32::NAN; oracle.len()];
+            stage_c_into(&c, 16, 16, &mut buf);
+            assert_eq!(buf, oracle, "{order:?}");
+        }
+    }
+
+    /// A column-major slab entry plus an equal-valued [`Matrix`], with a
+    /// padded leading dimension so the stride handling is exercised.
+    fn slice_fixture(rows: usize, cols: usize, ld: usize, seed: u64) -> (Vec<f64>, Matrix<f64>) {
+        let m = Matrix::<f64>::test_pattern(rows, cols, StorageOrder::ColMajor, seed);
+        let mut src = vec![f64::NAN; if cols == 0 { 0 } else { ld * (cols - 1) + rows }];
+        for j in 0..cols {
+            for i in 0..rows {
+                src[j * ld + i] = m.at(i, j);
+            }
+        }
+        (src, m)
+    }
+
+    #[test]
+    fn pack_slice_widen_matches_pack_operand_for_identity_widening() {
+        for trans in [Trans::No, Trans::Yes] {
+            for layout in BlockLayout::ALL {
+                let (src, m) = slice_fixture(13, 11, 19, 5);
+                let (k, width) = match trans {
+                    Trans::No => (13, 11),
+                    Trans::Yes => (11, 13),
+                };
+                let spec = PackSpec {
+                    trans,
+                    layout,
+                    wwg: 4,
+                    kwg: 3,
+                };
+                let (oracle, dims) = pack_operand(&m, spec, k, width);
+                let mut buf = vec![f64::NAN; dims.len()];
+                pack_slice_widen(&src, 13, 11, 19, spec, k, width, &mut buf, dims);
+                assert_eq!(buf, oracle, "{trans:?} {layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_slice_widen_converts_half_storage_exactly() {
+        use crate::scalar::F16;
+        // A half slab packs to the same f32 buffer as packing the widened
+        // matrix directly: widening is exact, so convert-on-pack cannot
+        // perturb the bit-exactness contract.
+        let (rows, cols, ld) = (7, 6, 9);
+        let mut src = vec![F16::narrow(0.0); ld * (cols - 1) + rows];
+        let wide = Matrix::<f32>::from_fn(rows, cols, StorageOrder::ColMajor, |i, j| {
+            let h = F16::narrow((i * cols + j) as f32 * 0.25 - 3.0);
+            h.widen()
+        });
+        for j in 0..cols {
+            for i in 0..rows {
+                src[j * ld + i] = F16::narrow(wide.at(i, j));
+            }
+        }
+        let spec = PackSpec {
+            trans: Trans::No,
+            layout: BlockLayout::Cbl,
+            wwg: 4,
+            kwg: 4,
+        };
+        let (oracle, dims) = pack_operand(&wide, spec, rows, cols);
+        let mut buf = vec![f32::NAN; dims.len()];
+        pack_slice_widen(&src, rows, cols, ld, spec, rows, cols, &mut buf, dims);
+        assert_eq!(buf, oracle);
+    }
+
+    #[test]
+    fn stage_slice_widen_matches_stage_c() {
+        let (src, m) = slice_fixture(37, 29, 41, 3);
+        let oracle = stage_c(&m, 16, 8);
+        let mut buf = vec![f64::NAN; oracle.len()];
+        stage_slice_widen(&src, 37, 29, 41, 16, 8, &mut buf);
+        assert_eq!(buf, oracle);
+    }
+
+    #[test]
+    fn merge_slice_narrow_round_trips_and_skips_ld_padding() {
+        let (src, m) = slice_fixture(10, 6, 17, 1);
+        let staged = stage_c(&m, 4, 4);
+        let mut out = vec![f64::NAN; src.len()];
+        merge_slice_narrow::<f64>(&staged, 4, 4, &mut out, 10, 6, 17);
+        for j in 0..6 {
+            for i in 0..10 {
+                assert_eq!(out[j * 17 + i], m.at(i, j));
+            }
+            // Padding rows between columns stay untouched.
+            for i in 10..17.min(out.len() - j * 17) {
+                assert!(out[j * 17 + i].is_nan(), "ld gap overwritten at ({i},{j})");
+            }
+        }
     }
 }

@@ -92,6 +92,54 @@ impl Workspace {
     }
 }
 
+/// Staging buffers for one strided-batched GEMM call: one shared
+/// workspace for operands packed once per batch (shared `A`/`B`), plus a
+/// grow-only set of per-worker workspaces so batch entries executing in
+/// parallel stage without contention. Like [`Workspace`], everything is
+/// grow-only: a steady-state batched workload performs zero staging
+/// allocations after warm-up, and [`BatchWorkspace::grows`] is the gate.
+#[derive(Debug, Default, Clone)]
+pub struct BatchWorkspace {
+    shared: Workspace,
+    workers: Vec<Workspace>,
+}
+
+impl BatchWorkspace {
+    /// An empty batch workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> BatchWorkspace {
+        BatchWorkspace::default()
+    }
+
+    /// Split into the shared workspace and at least `n_workers` worker
+    /// workspaces (growing the worker set only when a call needs more
+    /// than any previous one).
+    pub fn parts(&mut self, n_workers: usize) -> (&mut Workspace, &mut [Workspace]) {
+        let n = n_workers.max(1);
+        if self.workers.len() < n {
+            self.workers.resize_with(n, Workspace::new);
+        }
+        (&mut self.shared, &mut self.workers[..n])
+    }
+
+    /// Total growth events across the shared and worker workspaces.
+    #[must_use]
+    pub fn grows(&self) -> u64 {
+        self.shared.grows() + self.workers.iter().map(Workspace::grows).sum::<u64>()
+    }
+
+    /// Total bytes of staging storage currently held.
+    #[must_use]
+    pub fn held_bytes(&self) -> usize {
+        self.shared.held_bytes()
+            + self
+                .workers
+                .iter()
+                .map(Workspace::held_bytes)
+                .sum::<usize>()
+    }
+}
+
 /// Precisions that have a pool inside [`Workspace`]. Sealed: exactly the
 /// two [`Scalar`] impls.
 pub trait WorkspaceScalar: Scalar {
@@ -148,6 +196,32 @@ mod tests {
         ws.pool::<f32>().buffers(50, 50, 50);
         assert!(ws.held_bytes() > before);
         assert_eq!(ws.grows(), 6);
+    }
+
+    #[test]
+    fn batch_workspace_grows_workers_monotonically() {
+        let mut bws = BatchWorkspace::new();
+        let (shared, workers) = bws.parts(3);
+        shared.pool::<f32>().buffers(8, 8, 0);
+        assert_eq!(workers.len(), 3);
+        for w in workers.iter_mut() {
+            w.pool::<f32>().buffers(4, 4, 4);
+        }
+        let grows = bws.grows();
+        assert_eq!(grows, 2 + 3 * 3);
+        assert!(bws.held_bytes() > 0);
+        // Fewer workers: the set does not shrink, and re-requesting the
+        // same buffer sizes causes no growth.
+        let (_, workers) = bws.parts(2);
+        assert_eq!(workers.len(), 2);
+        for w in workers.iter_mut() {
+            w.pool::<f32>().buffers(4, 4, 4);
+        }
+        assert_eq!(bws.grows(), grows);
+        // More workers than ever before: the new ones start empty.
+        let (_, workers) = bws.parts(4);
+        assert_eq!(workers.len(), 4);
+        assert_eq!(workers[3].grows(), 0);
     }
 
     #[test]

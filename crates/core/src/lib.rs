@@ -53,6 +53,7 @@
 //! | [`direct`] | §V (future work) | copy-free guarded kernel for small sizes |
 //! | [`repo`] | — | persistence of tuning results |
 
+pub mod batched;
 pub mod codegen;
 pub mod direct;
 pub mod executor;
@@ -66,16 +67,19 @@ pub mod tuner;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::batched::{BatchOptions, BatchPath, BatchRun, DIRECT_BATCH_MAX};
     pub use crate::codegen::{generate, GeneratedKernel, KERNEL_NAME};
     pub use crate::direct::{generate_direct, DirectParams, DIRECT_KERNEL_NAME};
     pub use crate::params::{Algorithm, KernelParams, StrideMode};
     pub use crate::repo::{KernelRepo, RepoError, SCHEMA_VERSION};
-    pub use crate::routine::{GemmPath, GemmRun, HybridGemm, TunedGemm};
+    pub use crate::routine::{GemmPath, GemmRun, HybridGemm, PackDecision, TunedGemm};
     pub use crate::tile::{TileDecision, TileReason, TileSelector};
     pub use crate::tuner::{tune, Measurement, SearchOpts, SearchSpace, TuningResult};
     pub use clgemm_blas::layout::BlockLayout;
     pub use clgemm_blas::matrix::{Matrix, StorageOrder};
     pub use clgemm_blas::scalar::{Precision, Scalar};
-    pub use clgemm_blas::{GemmType, Trans};
+    pub use clgemm_blas::{
+        BatchError, BatchWorkspace, Bf16, GemmBatch, GemmType, StorageScalar, Trans, Workspace, F16,
+    };
     pub use clgemm_device::{DeviceId, DeviceSpec};
 }

@@ -27,7 +27,9 @@ use crate::profile::launch_profile;
 use crate::tile::{TileDecision, TileSelector};
 use clgemm_blas::layout::round_up;
 use clgemm_blas::matrix::Matrix;
-use clgemm_blas::pack::{merge_c, merge_c_par, pack_into_par, stage_c_into_par, PackSpec};
+use clgemm_blas::pack::{
+    merge_c, merge_c_par, pack_into, pack_into_par, stage_c_into, stage_c_into_par, PackSpec,
+};
 use clgemm_blas::scalar::{Precision, Scalar};
 use clgemm_blas::workspace::{Workspace, WorkspaceScalar};
 use clgemm_blas::{GemmType, Trans};
@@ -68,6 +70,22 @@ impl RoutineMetrics {
     }
 }
 
+/// Padded problems whose every edge is at or below this route their
+/// packing, staging and merging through the serial copiers: below ~64³
+/// the scoped-thread fork/join of the parallel packers costs more than
+/// the `O(N²)` copies they split up.
+pub const SERIAL_PACK_MAX: usize = 64;
+
+/// How the fast path moved data: serially below [`SERIAL_PACK_MAX`],
+/// through the scoped-thread packers above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackDecision {
+    /// `true` when the serial copiers ran.
+    pub serial: bool,
+    /// The padded-edge threshold the decision compared against.
+    pub threshold: usize,
+}
+
 /// Timing breakdown of one routine invocation (modelled seconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmRun {
@@ -90,6 +108,10 @@ pub struct GemmRun {
     /// `None` when no fast microkernel ran (reference engine, direct
     /// path, degenerate shapes).
     pub tile: Option<TileDecision>,
+    /// Whether the fast path copied data serially or in parallel, and
+    /// the threshold it compared against. `None` when no fast-path
+    /// copies ran (reference engine, direct path, degenerate shapes).
+    pub pack: Option<PackDecision>,
 }
 
 impl GemmRun {
@@ -108,6 +130,7 @@ impl GemmRun {
             gflops: 0.0,
             kernel_gflops: 0.0,
             tile: None,
+            pack: None,
         }
     }
 }
@@ -323,24 +346,45 @@ impl TunedGemm {
             .expect("padded dims divide the blocking");
         let (mp, np) = (da.width, db.width);
 
+        let mut pack_decision = None;
         let decision = match opts.engine {
             HostEngine::Fast => {
                 // Explicit, reported tile selection — the old code
                 // clamped the tuned blocking here and told no one.
                 let decision =
                     TileSelector::host().select(T::PRECISION, (p.mwi(), p.nwi()), mp, np);
+                // Below the threshold the scoped-thread fork/join costs
+                // more than the copies it splits; route the O(N²) moves
+                // through the serial copiers and record the decision.
+                let serial = mp.max(np).max(kp) <= SERIAL_PACK_MAX;
+                pack_decision = Some(PackDecision {
+                    serial,
+                    threshold: SERIAL_PACK_MAX,
+                });
                 let (pa, pb, staged) = ws.pool::<T>().buffers(da.len(), db.len(), mp * np);
                 {
                     let _g = clgemm_trace::span!("routine.pack_a");
-                    pack_into_par(a, spec_a, k, m, pa, da);
+                    if serial {
+                        pack_into(a, spec_a, k, m, pa, da);
+                    } else {
+                        pack_into_par(a, spec_a, k, m, pa, da);
+                    }
                 }
                 {
                     let _g = clgemm_trace::span!("routine.pack_b");
-                    pack_into_par(b, spec_b, k, n, pb, db);
+                    if serial {
+                        pack_into(b, spec_b, k, n, pb, db);
+                    } else {
+                        pack_into_par(b, spec_b, k, n, pb, db);
+                    }
                 }
                 {
                     let _g = clgemm_trace::span!("routine.stage_c");
-                    stage_c_into_par(c, p.mwg, p.nwg, staged);
+                    if serial {
+                        stage_c_into(c, p.mwg, p.nwg, staged);
+                    } else {
+                        stage_c_into_par(c, p.mwg, p.nwg, staged);
+                    }
                 }
                 {
                     let _g = clgemm_trace::span!("routine.kernel");
@@ -362,7 +406,11 @@ impl TunedGemm {
                 }
                 {
                     let _g = clgemm_trace::span!("routine.merge_c");
-                    merge_c_par(staged, p.mwg, p.nwg, c);
+                    if serial {
+                        merge_c(staged, p.mwg, p.nwg, c);
+                    } else {
+                        merge_c_par(staged, p.mwg, p.nwg, c);
+                    }
                 }
                 Some(decision)
             }
@@ -395,6 +443,7 @@ impl TunedGemm {
         // Report the tile that actually executed: `None` for the
         // reference engine (it runs untiled and stays the oracle).
         run.tile = decision;
+        run.pack = pack_decision;
         let metrics = RoutineMetrics::get();
         metrics.gemms.inc();
         metrics.pack_a.observe_value(run.pack_a);
@@ -469,6 +518,10 @@ impl TunedGemm {
             gflops: flops / total / 1e9,
             kernel_gflops: flops / kernel / 1e9,
             tile: Some(TileSelector::host().select(precision, (p.mwi(), p.nwi()), mp, np)),
+            pack: Some(PackDecision {
+                serial: mp.max(np).max(kp) <= SERIAL_PACK_MAX,
+                threshold: SERIAL_PACK_MAX,
+            }),
         }
     }
 
@@ -841,6 +894,65 @@ mod tests {
     }
 
     #[test]
+    fn sub_threshold_shapes_pack_serially_and_report_it() {
+        let tg = small_tuned();
+        let mut ws = Workspace::new();
+        // 40×24×20 pads to 48×32×24 with the 16/16/8 test blocking: every
+        // edge ≤ 64, so the serial copiers run.
+        let a = Matrix::<f64>::test_pattern(40, 20, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(20, 24, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::zeros(40, 24, StorageOrder::ColMajor);
+        let run = tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::default(),
+        );
+        let pd = run.pack.expect("fast engine must report its pack path");
+        assert!(pd.serial, "sub-threshold shapes copy serially");
+        assert_eq!(pd.threshold, SERIAL_PACK_MAX);
+        assert_eq!(
+            run.pack,
+            tg.predict(true, GemmType::NN, 40, 24, 20).pack,
+            "prediction must report the same pack decision"
+        );
+
+        // One padded edge past the threshold: parallel copiers.
+        let a = Matrix::<f64>::test_pattern(70, 20, StorageOrder::ColMajor, 1);
+        let b = Matrix::<f64>::test_pattern(20, 24, StorageOrder::ColMajor, 2);
+        let mut c = Matrix::<f64>::zeros(70, 24, StorageOrder::ColMajor);
+        let run = tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::default(),
+        );
+        assert!(!run.pack.unwrap().serial, "80-padded rows exceed 64");
+
+        // The reference engine reports no pack decision.
+        let mut c = Matrix::<f64>::zeros(70, 24, StorageOrder::ColMajor);
+        let run = tg.gemm_with(
+            GemmType::NN,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+            &mut ws,
+            &GemmOptions::reference(),
+        );
+        assert_eq!(run.pack, None);
+    }
+
+    #[test]
     fn beta_zero_ignores_garbage_c() {
         let tg = small_tuned();
         let a = Matrix::<f64>::test_pattern(20, 12, StorageOrder::ColMajor, 1);
@@ -940,6 +1052,7 @@ impl HybridGemm {
                 gflops: flops / direct_s / 1e9,
                 kernel_gflops: flops / direct_s / 1e9,
                 tile: None,
+                pack: None,
             };
             (GemmPath::Direct, run)
         } else {

@@ -38,6 +38,11 @@ pub enum TileReason {
     /// (the case the old code clamped silently); a benchmark-validated
     /// shape was substituted.
     Oversize,
+    /// The (padded) problem is small in every direction, so the tile came
+    /// from the dedicated small-shape candidate sweep instead of the
+    /// 1024³-ordered tables — the batched path's many-small-matrices
+    /// regime, where fringe waste dominates panel reuse.
+    SmallShape,
 }
 
 impl TileReason {
@@ -48,6 +53,7 @@ impl TileReason {
             TileReason::Tuned => "tuned",
             TileReason::LaneRealigned => "lane-realigned",
             TileReason::Oversize => "oversize",
+            TileReason::SmallShape => "small-shape",
         }
     }
 }
@@ -108,6 +114,27 @@ fn candidates(lanes: usize) -> &'static [(usize, usize)] {
     }
 }
 
+/// Problems whose padded `m` and `n` are both at or below this edge take
+/// the small-shape candidate sweep instead of the 1024³-ordered tables.
+/// Chosen to cover the batched path's direct-kernel regime (≤ 128³ runs
+/// unpacked) while leaving every flagship shape on the tuned tables.
+pub const SMALL_SHAPE_MAX: usize = 64;
+
+/// Candidate tiles for small problems, same lane-alignment rules as
+/// [`candidates`] but ordered by a sweep at 32³–64³: with at most a few
+/// panel passes, fringe waste dominates reuse, so modest tiles that
+/// divide small edges evenly come first and the wide spilly shapes are
+/// gone entirely.
+fn small_candidates(lanes: usize) -> &'static [(usize, usize)] {
+    match lanes {
+        16 => &[(4, 16), (2, 16), (1, 16)],
+        8 => &[(4, 8), (2, 8), (8, 8), (1, 8)],
+        4 => &[(4, 4), (8, 4), (4, 8), (2, 4), (1, 4)],
+        2 => &[(4, 4), (4, 2), (2, 2), (8, 2), (1, 2)],
+        _ => &[(4, 4), (2, 2), (4, 2), (1, 1)],
+    }
+}
+
 /// Maps a tuned blocking to the register tile the host microkernel will
 /// actually run, given the host's SIMD lane width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,10 +181,14 @@ impl TileSelector {
     /// Choose the register tile for a tuned `Mwi × Nwi` blocking on an
     /// `m × n` (padded) problem.
     ///
-    /// The tuned blocking executes verbatim when it fits the register
-    /// budget *and* its column edge fills whole vectors. Otherwise the
-    /// first entry of the lane table that fits the problem is taken;
-    /// when even the smallest candidate overhangs (tiny problems), the
+    /// Small problems (both padded edges at or below
+    /// [`SMALL_SHAPE_MAX`]) take the dedicated small-shape sweep — the
+    /// tuned tables are ordered by timings at 1024³ and mis-rank tiles
+    /// when there are only a handful of panel passes. Otherwise the
+    /// tuned blocking executes verbatim when it fits the register budget
+    /// *and* its column edge fills whole vectors; failing that, the
+    /// first entry of the lane table that fits the problem is taken.
+    /// When even the smallest candidate overhangs (tiny problems), the
     /// ragged-edge handling of the microkernel makes any shape valid, so
     /// the smallest-area entry is used.
     #[must_use]
@@ -169,6 +200,23 @@ impl TileSelector {
         n: usize,
     ) -> TileDecision {
         let lanes = self.lanes(precision);
+        if m.max(n) <= SMALL_SHAPE_MAX {
+            let pick = pick_fitting(small_candidates(lanes), m, n);
+            let tile = Tile::new(pick.0, pick.1).expect("candidate tables stay within TILE_MAX");
+            // The sweep may land on the tuned blocking itself — that is
+            // not a substitution worth flagging.
+            let reason = if pick == tuned {
+                TileReason::Tuned
+            } else {
+                TileReason::SmallShape
+            };
+            return TileDecision {
+                tuned,
+                tile,
+                lanes,
+                reason,
+            };
+        }
         let as_tile = Tile::new(tuned.0, tuned.1);
         if let Some(tile) = as_tile {
             if tile.nr() % lanes == 0 {
@@ -185,18 +233,7 @@ impl TileSelector {
         } else {
             TileReason::Oversize
         };
-        let table = candidates(lanes);
-        let pick = table
-            .iter()
-            .copied()
-            .find(|&(mr, nr)| mr <= m.max(1) && nr <= n.max(1))
-            .unwrap_or_else(|| {
-                table
-                    .iter()
-                    .copied()
-                    .min_by_key(|&(mr, nr)| mr * nr)
-                    .expect("candidate tables are non-empty")
-            });
+        let pick = pick_fitting(candidates(lanes), m, n);
         let tile = Tile::new(pick.0, pick.1).expect("candidate tables stay within TILE_MAX");
         TileDecision {
             tuned,
@@ -205,6 +242,21 @@ impl TileSelector {
             reason,
         }
     }
+}
+
+/// First table entry that fits the problem, else the smallest-area entry.
+fn pick_fitting(table: &[(usize, usize)], m: usize, n: usize) -> (usize, usize) {
+    table
+        .iter()
+        .copied()
+        .find(|&(mr, nr)| mr <= m.max(1) && nr <= n.max(1))
+        .unwrap_or_else(|| {
+            table
+                .iter()
+                .copied()
+                .min_by_key(|&(mr, nr)| mr * nr)
+                .expect("candidate tables are non-empty")
+        })
 }
 
 #[cfg(test)]
@@ -245,7 +297,7 @@ mod tests {
     #[test]
     fn candidate_tables_are_valid_and_lane_aligned() {
         for lanes in [1usize, 2, 4, 8, 16] {
-            for &(mr, nr) in candidates(lanes) {
+            for &(mr, nr) in candidates(lanes).iter().chain(small_candidates(lanes)) {
                 assert!(
                     Tile::new(mr, nr).is_some(),
                     "{mr}x{nr} outside the register budget"
@@ -260,7 +312,26 @@ mod tests {
         let sel = TileSelector::with_lanes(16, 8);
         let d = sel.select(Precision::F32, (32, 32), 1, 1);
         assert!(d.tile.mr() <= TILE_MAX && d.tile.nr() <= TILE_MAX);
-        assert_eq!(d.reason, TileReason::Oversize);
+        assert_eq!(d.reason, TileReason::SmallShape);
+        assert!(d.substituted());
+    }
+
+    #[test]
+    fn small_shapes_take_the_small_sweep() {
+        let sel = TileSelector::with_lanes(8, 4);
+        // 64×64 padded problem: small sweep, even though the tuned 8×8
+        // blocking would have run verbatim at 1024³.
+        let d = sel.select(Precision::F64, (8, 8), 64, 64);
+        assert_eq!(d.reason, TileReason::SmallShape);
+        assert_eq!(d.tile.dims(), (4, 4));
+        assert_eq!(d.tile.nr() % 4, 0);
+        // One edge past the threshold: back on the tuned tables.
+        let d = sel.select(Precision::F64, (8, 8), 65, 64);
+        assert_eq!(d.reason, TileReason::Tuned);
+        // The sweep landing on the tuned blocking is not a substitution.
+        let d = sel.select(Precision::F64, (4, 4), 48, 48);
+        assert_eq!(d.reason, TileReason::Tuned);
+        assert_eq!(d.tile.dims(), (4, 4));
     }
 
     #[test]

@@ -31,4 +31,7 @@ pub mod timing;
 pub use occupancy::{occupancy, Occupancy, OccupancyError};
 pub use profiles::{all_devices, device_by_name, DeviceId};
 pub use spec::{DeviceKind, DeviceSpec, LocalMemType, MicroParams, Vendor};
-pub use timing::{estimate, estimate_seconds, BoundKind, KernelLaunchProfile, TimingEstimate};
+pub use timing::{
+    estimate, estimate_batch_seconds, estimate_seconds, BoundKind, KernelLaunchProfile,
+    TimingEstimate,
+};

@@ -167,6 +167,28 @@ pub fn estimate_seconds(dev: &DeviceSpec, p: &KernelLaunchProfile) -> Option<f64
     estimate(dev, p).ok().map(|e| e.seconds)
 }
 
+/// Predicted seconds for a strided-batched request: `batch` back-to-back
+/// launches of the same kernel profile, paying the API launch overhead
+/// once. That is exactly the host routine's batched execution shape —
+/// one enqueue fans the batch out, each entry then re-runs the kernel
+/// body — and it is why the model says batching beats a loop of single
+/// calls: the loop pays `batch` launches. Returns `Some(0.0)` for an
+/// empty batch and `None` when the kernel cannot launch at all.
+#[must_use]
+pub fn estimate_batch_seconds(
+    dev: &DeviceSpec,
+    p: &KernelLaunchProfile,
+    batch: usize,
+) -> Option<f64> {
+    if batch == 0 {
+        return Some(0.0);
+    }
+    let est = estimate(dev, p).ok()?;
+    let launch = dev.micro.launch_overhead_us * 1e-6 * dev.effective_clock_ghz() * 1e9;
+    let body = est.cycles - launch;
+    Some(dev.cycles_to_seconds(body * batch as f64 + launch))
+}
+
 /// Predict the execution time of one kernel launch.
 ///
 /// # Errors
@@ -459,5 +481,43 @@ mod tests {
             est.components.launch > 0.3 * est.cycles,
             "small launches are overhead-bound"
         );
+    }
+
+    #[test]
+    fn batch_estimate_scales_the_body_and_pays_launch_once() {
+        let dev = DeviceId::Tahiti.spec();
+        let p = tahiti_dgemm_profile(2304);
+        let one = estimate_seconds(&dev, &p).unwrap();
+        let b1 = estimate_batch_seconds(&dev, &p, 1).unwrap();
+        assert!((b1 - one).abs() / one < 1e-12, "batch of one is one launch");
+        let b8 = estimate_batch_seconds(&dev, &p, 8).unwrap();
+        // Strictly cheaper than eight separate launches, but at least
+        // eight kernel bodies.
+        assert!(b8 < 8.0 * one);
+        assert!(b8 > 7.0 * one - 1e-12);
+        assert_eq!(estimate_batch_seconds(&dev, &p, 0), Some(0.0));
+    }
+
+    #[test]
+    fn batch_estimate_amortisation_matters_most_for_tiny_kernels() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = tahiti_dgemm_profile(96 * 2);
+        p.n_wgs = 2;
+        p.outer_iters = 1;
+        let one = estimate_seconds(&dev, &p).unwrap();
+        let b64 = estimate_batch_seconds(&dev, &p, 64).unwrap();
+        assert!(
+            b64 < 0.75 * 64.0 * one,
+            "launch-bound kernels must batch well: {b64} vs {}",
+            64.0 * one
+        );
+    }
+
+    #[test]
+    fn batch_estimate_rejects_unlaunchable_kernels() {
+        let dev = DeviceId::Tahiti.spec();
+        let mut p = tahiti_dgemm_profile(2304);
+        p.wg_size = 100_000; // cannot launch anywhere
+        assert_eq!(estimate_batch_seconds(&dev, &p, 4), None);
     }
 }

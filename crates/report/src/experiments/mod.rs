@@ -1,6 +1,7 @@
 //! One module per paper table/figure.
 
 pub mod ablations;
+pub mod batched;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;

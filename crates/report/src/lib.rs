@@ -25,6 +25,7 @@
 //! | `paperparams` | EXTENSION: the paper's Table II winners replayed in the model |
 //! | `serving` | EXTENSION: clgemm-serve throughput vs device count and batch cap |
 //! | `observability` | EXTENSION: clgemm-trace lifecycle histograms, drift and phase spans |
+//! | `batched` | EXTENSION: strided-batched GEMM — direct path, amortised packing, f16/bf16 storage |
 
 pub mod experiments;
 pub mod lab;
@@ -36,7 +37,7 @@ pub use plot::{ascii_chart, Series};
 pub use render::{Report, TextTable};
 
 /// Names of all experiments in paper order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "table1",
     "fig7",
     "table2",
@@ -51,6 +52,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "paperparams",
     "serving",
     "observability",
+    "batched",
 ];
 
 /// Run one experiment by name.
@@ -70,6 +72,7 @@ pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
         "paperparams" => experiments::paperparams::report(lab),
         "serving" => experiments::serving::report(lab),
         "observability" => experiments::observability::report(lab),
+        "batched" => experiments::batched::report(lab),
         _ => return None,
     })
 }

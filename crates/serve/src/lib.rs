@@ -34,6 +34,7 @@
 //! checks over random interleavings.
 
 pub mod batch;
+pub mod batched;
 pub mod cache;
 pub mod queue;
 pub mod request;
@@ -42,6 +43,7 @@ pub mod server;
 pub mod stats;
 
 pub use batch::{coalesce, Batch, BatchKey};
+pub use batched::{BatchedPayload, BatchedRequest, BatchedResponse};
 pub use cache::{CacheKey, KernelCache};
 pub use queue::BoundedQueue;
 pub use request::{

@@ -1,11 +1,15 @@
 //! The GEMM server: queue → batcher → cache → scheduler → execution.
 
 use crate::batch::{coalesce, Batch, BatchKey};
+use crate::batched::{BatchedPayload, BatchedRequest, BatchedResponse};
 use crate::cache::{CacheKey, KernelCache};
 use crate::queue::BoundedQueue;
-use crate::request::{GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, RequestId};
+use crate::request::{
+    GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, RequestId, ShapeBucket,
+};
 use crate::scheduler::Scheduler;
 use crate::stats::{ServerStats, StatsSnapshot};
+use clgemm::batched::{BatchRun, DIRECT_BATCH_MAX};
 use clgemm::params::{small_test_params, KernelParams};
 use clgemm::profile::launch_profile;
 use clgemm::repo::KernelRepo;
@@ -13,8 +17,8 @@ use clgemm::routine::{GemmOptions, GemmRun, TunedGemm};
 use clgemm::tuner::{SearchOpts, SearchSpace};
 use clgemm_blas::layout::round_up;
 use clgemm_blas::scalar::Precision;
-use clgemm_blas::workspace::Workspace;
-use clgemm_blas::GemmType;
+use clgemm_blas::workspace::{BatchWorkspace, Workspace};
+use clgemm_blas::{BatchError, GemmBatch, GemmType};
 use clgemm_device::{estimate_seconds, DeviceSpec};
 use clgemm_sim::DeviceWorker;
 use clgemm_trace::Registry;
@@ -123,6 +127,10 @@ pub struct GemmServer {
     /// traffic in the same shape bucket performs zero staging
     /// allocations after warm-up (the routine bench gates this).
     workspaces: Vec<Workspace>,
+    /// One batched workspace (shared slab + per-thread worker pools)
+    /// per device worker, for strided-batched bypass calls — same
+    /// zero-steady-state-allocation contract as `workspaces`.
+    batch_workspaces: Vec<BatchWorkspace>,
 }
 
 impl GemmServer {
@@ -148,6 +156,7 @@ impl GemmServer {
             next_id: AtomicU64::new(0),
         });
         let workspaces = vec![Workspace::new(); devices.len()];
+        let batch_workspaces = (0..devices.len()).map(|_| BatchWorkspace::new()).collect();
         GemmServer {
             scheduler: Scheduler::new(devices),
             cache: KernelCache::new(cfg.cache_capacity),
@@ -157,6 +166,7 @@ impl GemmServer {
             next_batch: 0,
             responses: Vec::new(),
             workspaces,
+            batch_workspaces,
         }
     }
 
@@ -203,6 +213,90 @@ impl GemmServer {
     #[must_use]
     pub fn workspace_bytes(&self) -> usize {
         self.workspaces.iter().map(Workspace::held_bytes).sum()
+    }
+
+    /// Growth events across the strided-batched workspaces. Repeated
+    /// same-shape batched calls must leave this constant (the batched
+    /// bench smoke gate asserts it).
+    #[must_use]
+    pub fn batched_workspace_grows(&self) -> u64 {
+        self.batch_workspaces
+            .iter()
+            .map(BatchWorkspace::grows)
+            .sum()
+    }
+
+    /// Serve one strided-batched GEMM through the bypass path: cost the
+    /// whole slab on every device with the batched performance model,
+    /// place it on the least-loaded worker, execute it in one routine
+    /// call, and charge the modelled seconds to that worker's virtual
+    /// queue. The kernel cache is consulted (and populated) exactly as
+    /// for queued requests, so batched and per-request traffic in the
+    /// same shape bucket share one tuned parameter set.
+    ///
+    /// # Errors
+    /// Returns the routine layer's [`BatchError`] when the descriptor
+    /// and slab lengths disagree; the payload is consumed either way.
+    pub fn run_batched(&mut self, req: BatchedRequest) -> Result<BatchedResponse, BatchError> {
+        let _span = clgemm_trace::span!("serve.batched.execute");
+        let desc = req.desc;
+        let precision = req.payload.precision();
+        let key = BatchKey {
+            precision,
+            bucket: ShapeBucket::of(desc.m.max(1), desc.n.max(1), desc.k.max(1)),
+        };
+        let n_workers = self.scheduler.workers().len();
+        let row: Vec<f64> = (0..n_workers)
+            .map(|w| {
+                let spec = self.scheduler.workers()[w].spec();
+                batched_cost(spec, &desc, precision, self.resolve_quiet(spec, key))
+            })
+            .collect();
+        let placement = self.scheduler.place(&[row]).pop().expect("one batch");
+        let worker = placement.worker;
+        let spec = self.scheduler.workers()[worker].spec().clone();
+        let ckey = CacheKey {
+            device: spec.code_name.clone(),
+            precision,
+            bucket: key.bucket,
+        };
+        let params = match self.cache.get(&ckey) {
+            Some(p) => p,
+            None => {
+                let p = self.resolve_miss(&spec, key);
+                self.cache.insert(ckey, p);
+                p
+            }
+        };
+        let tuned = tuned_for(&spec, precision, params);
+
+        let wall_start = Instant::now();
+        let mut payload = req.payload;
+        let run = execute_batched(
+            &tuned,
+            &desc,
+            &mut payload,
+            &mut self.batch_workspaces[worker],
+        )?;
+        let wall = wall_start.elapsed().as_secs_f64();
+
+        let mut done_at = self.scheduler.workers()[worker].busy_until();
+        if run.total > 0.0 {
+            let w = self.scheduler.worker_mut(worker);
+            w.submit(&format!("strided:{precision}:{desc}"), run.total);
+            done_at = w.busy_until();
+        }
+        self.shared
+            .stats
+            .record_batched(&spec.code_name, desc.batch as u64, run.total, wall);
+        Ok(BatchedResponse {
+            device: spec.code_name.clone(),
+            params,
+            desc,
+            payload,
+            run,
+            done_at,
+        })
     }
 
     /// Served responses accumulated so far (completed *and* rejected),
@@ -484,6 +578,68 @@ fn batch_cost(spec: &DeviceSpec, batch: &Batch, params: KernelParams) -> f64 {
         .sum()
 }
 
+/// Modelled cost of one strided-batched call with `params` on `spec`:
+/// the direct model below the crossover edge, the packed model above
+/// it (infinite when the kernel cannot launch there).
+fn batched_cost(
+    spec: &DeviceSpec,
+    desc: &GemmBatch,
+    precision: Precision,
+    params: KernelParams,
+) -> f64 {
+    let tuned = tuned_for(spec, precision, params);
+    if desc.m.max(desc.n).max(desc.k) <= DIRECT_BATCH_MAX {
+        // The direct model depends only on the accumulation precision,
+        // so costing with the widened type is exact for f16/bf16 too.
+        match precision {
+            Precision::F64 => tuned.predict_batch_direct::<f64>(desc),
+            Precision::F32 => tuned.predict_batch_direct::<f32>(desc),
+        }
+    } else {
+        tuned.predict_batch(precision == Precision::F64, desc)
+    }
+}
+
+/// Run the strided batch in place through the routine layer's batched
+/// entry point, staging through the worker's reusable batch workspace.
+fn execute_batched(
+    tuned: &TunedGemm,
+    desc: &GemmBatch,
+    payload: &mut BatchedPayload,
+    ws: &mut BatchWorkspace,
+) -> Result<BatchRun, BatchError> {
+    match payload {
+        BatchedPayload::F64 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm_batch(desc, *alpha, a, b, *beta, c, ws),
+        BatchedPayload::F32 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm_batch(desc, *alpha, a, b, *beta, c, ws),
+        BatchedPayload::F16 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm_batch(desc, *alpha, a, b, *beta, c, ws),
+        BatchedPayload::Bf16 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => tuned.gemm_batch(desc, *alpha, a, b, *beta, c, ws),
+    }
+}
+
 /// Bundle one precision's params with a conservative kernel for the
 /// other precision (a `TunedGemm` always carries both).
 fn tuned_for(spec: &DeviceSpec, precision: Precision, params: KernelParams) -> TunedGemm {
@@ -717,6 +873,98 @@ mod tests {
             .map(|d| d.tile_substitutions)
             .sum();
         assert_eq!(per_device, expected);
+    }
+
+    #[test]
+    fn strided_batched_calls_bypass_the_queue() {
+        let mut server = two_device_server(ServeConfig {
+            registry: Some(Registry::new()),
+            ..Default::default()
+        });
+        let desc = GemmBatch::packed(GemmType::NN, 8, 32, 32, 32);
+        let len = 8 * 32 * 32;
+        let a: Vec<f32> = (0..len).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+        let b: Vec<f32> = (0..len).map(|i| (i % 5) as f32 * 0.25 - 0.5).collect();
+        let c = vec![0.5f32; len];
+        let req = BatchedRequest::new(
+            desc,
+            BatchedPayload::F32 {
+                alpha: 1.0,
+                a,
+                b,
+                beta: 0.0,
+                c,
+            },
+        );
+        let resp = server.run_batched(req).unwrap();
+        assert_eq!(resp.run.path, clgemm::batched::BatchPath::Direct);
+        assert_eq!(resp.run.batch, 8);
+        assert!(resp.run.total > 0.0 && resp.done_at > 0.0);
+        match &resp.payload {
+            BatchedPayload::F32 { c, .. } => {
+                assert!(c.iter().any(|&v| v != 0.5), "C must be written in place");
+            }
+            _ => panic!("payload type must round-trip"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.batched_calls, 1);
+        assert_eq!(stats.batched_entries, 8);
+        assert_eq!(stats.enqueued, 0, "bypass calls never touch the queue");
+        assert_eq!(
+            stats
+                .per_device
+                .values()
+                .filter(|d| d.batched_entries > 0)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn repeated_batched_calls_reach_workspace_steady_state() {
+        let mut server = two_device_server(ServeConfig {
+            registry: Some(Registry::new()),
+            ..Default::default()
+        });
+        // Past the direct crossover in one dimension: the packed path
+        // runs and must stage through the per-worker batch workspace.
+        let desc = GemmBatch::packed(GemmType::NN, 2, 288, 24, 24);
+        let mk = |seed: usize, n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| ((i + seed) % 9) as f64 * 0.5 - 2.0)
+                .collect()
+        };
+        let req = || {
+            BatchedRequest::new(
+                desc,
+                BatchedPayload::F64 {
+                    alpha: 1.0,
+                    a: mk(1, 2 * 288 * 24),
+                    b: mk(2, 2 * 24 * 24),
+                    beta: 0.5,
+                    c: mk(3, 2 * 288 * 24),
+                },
+            )
+        };
+        let resp = server.run_batched(req()).unwrap();
+        assert_eq!(resp.run.path, clgemm::batched::BatchPath::Packed);
+        // Least-loaded placement may alternate devices; warm both.
+        server.run_batched(req()).unwrap();
+        let grows = server.batched_workspace_grows();
+        assert!(grows > 0, "the packed path must allocate staging");
+        for _ in 0..3 {
+            server.run_batched(req()).unwrap();
+        }
+        assert_eq!(
+            server.batched_workspace_grows(),
+            grows,
+            "steady-state batched serving must not reallocate"
+        );
+        // Both batched calls and queued requests share the stats view.
+        let stats = server.stats();
+        assert_eq!(stats.batched_calls, 5);
+        assert_eq!(stats.batched_entries, 10);
+        assert!(stats.batched_size.max >= 2.0);
     }
 
     #[test]

@@ -69,10 +69,17 @@ pub struct ServerStats {
     /// blocking (the substitutions the old silent clamp hid).
     /// Batch-scoped (see `completed`).
     pub tile_substitutions: AtomicU64,
+    /// Strided-batched calls served through the bypass API. Written
+    /// only inside [`ServerStats::record_batched`] under the per-device
+    /// lock (same coherence contract as the batch-scoped totals).
+    pub batched_calls: AtomicU64,
+    /// Total matrix entries across those strided-batched calls.
+    pub batched_entries: AtomicU64,
     per_device: Mutex<BTreeMap<String, DeviceStat>>,
     registry: Registry,
     queue_wait: Arc<Histogram>,
     batch_size: Arc<Histogram>,
+    batched_size: Arc<Histogram>,
     deadline_slack: Arc<Histogram>,
     drift_abs: Arc<Histogram>,
 }
@@ -93,6 +100,13 @@ pub struct DeviceStat {
     /// Requests in this device's batches that executed with a register
     /// tile substituted for the tuned blocking.
     pub tile_substitutions: u64,
+    /// Matrix entries served on this device through strided-batched
+    /// calls (bypass API; not counted in `requests`).
+    pub batched_entries: u64,
+    /// Modelled seconds of strided-batched work on this device.
+    pub batched_busy_seconds: f64,
+    /// Measured wall seconds of strided-batched work on this device.
+    pub batched_wall_seconds: f64,
 }
 
 impl DeviceStat {
@@ -104,6 +118,15 @@ impl DeviceStat {
     pub fn drift(&self) -> f64 {
         self.busy_seconds - self.wall_seconds
     }
+
+    /// Modelled minus measured seconds for strided-batched calls —
+    /// tracked separately from [`DeviceStat::drift`] because the
+    /// batched model amortises launch overhead across entries and its
+    /// skew would otherwise hide inside the per-request drift.
+    #[must_use]
+    pub fn batched_drift(&self) -> f64 {
+        self.batched_busy_seconds - self.batched_wall_seconds
+    }
 }
 
 impl ServerStats {
@@ -114,6 +137,7 @@ impl ServerStats {
     pub fn new(registry: Registry) -> ServerStats {
         let queue_wait = registry.histogram("serve_queue_wait_seconds", 1e-9);
         let batch_size = registry.histogram("serve_batch_size_requests", 1.0);
+        let batched_size = registry.histogram("serve_batched_entries", 1.0);
         let deadline_slack = registry.histogram("serve_deadline_slack_seconds", 1e-9);
         let drift_abs = registry.histogram("serve_model_drift_abs_seconds", 1e-9);
         ServerStats {
@@ -129,10 +153,13 @@ impl ServerStats {
             rejected_deadline: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             tile_substitutions: AtomicU64::new(0),
+            batched_calls: AtomicU64::new(0),
+            batched_entries: AtomicU64::new(0),
             per_device: Mutex::new(BTreeMap::new()),
             registry,
             queue_wait,
             batch_size,
+            batched_size,
             deadline_slack,
             drift_abs,
         }
@@ -200,6 +227,28 @@ impl ServerStats {
             .set(entry.drift());
     }
 
+    /// Record one strided-batched call served on a device: `entries`
+    /// matrices in the batch, `busy_seconds` of modelled device time,
+    /// `wall_seconds` of measured host execution. Updates the
+    /// per-device `serve_batched_model_drift_seconds` gauge with the
+    /// cumulative signed drift of the batched performance model — the
+    /// scheduler places whole slabs by `predict_batch`/
+    /// `predict_batch_direct`, so skew here silently mis-balances the
+    /// fleet exactly as per-request drift would.
+    pub fn record_batched(&self, device: &str, entries: u64, busy_seconds: f64, wall_seconds: f64) {
+        let mut map = self.per_device.lock().expect("stats poisoned");
+        self.batched_calls.fetch_add(1, Ordering::Relaxed);
+        self.batched_entries.fetch_add(entries, Ordering::Relaxed);
+        let entry = map.entry(device.to_string()).or_default();
+        entry.batched_entries += entries;
+        entry.batched_busy_seconds += busy_seconds;
+        entry.batched_wall_seconds += wall_seconds;
+        self.batched_size.observe(entries);
+        self.registry
+            .gauge_labeled("serve_batched_model_drift_seconds", &[("device", device)])
+            .set(entry.batched_drift());
+    }
+
     /// A coherent copy of every counter.
     ///
     /// The per-device lock is taken first and held across all reads:
@@ -226,8 +275,11 @@ impl ServerStats {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             tile_substitutions: self.tile_substitutions.load(Ordering::Relaxed),
+            batched_calls: self.batched_calls.load(Ordering::Relaxed),
+            batched_entries: self.batched_entries.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.summary(),
             batch_size: self.batch_size.summary(),
+            batched_size: self.batched_size.summary(),
             deadline_slack: self.deadline_slack.summary(),
             model_drift_abs: self.drift_abs.summary(),
             per_device: per_device.clone(),
@@ -258,10 +310,16 @@ pub struct StatsSnapshot {
     pub rejected_deadline: u64,
     pub steals: u64,
     pub tile_substitutions: u64,
+    /// Strided-batched calls served through the bypass API.
+    pub batched_calls: u64,
+    /// Total matrix entries across those strided-batched calls.
+    pub batched_entries: u64,
     /// Seconds requests sat queued before their batch executed.
     pub queue_wait: HistSummary,
     /// Completed requests per grouped launch.
     pub batch_size: HistSummary,
+    /// Entries per strided-batched call.
+    pub batched_size: HistSummary,
     /// Slack (deadline − projected completion) of deadline'd requests
     /// at admission; shed requests contribute 0.
     pub deadline_slack: HistSummary,
@@ -301,6 +359,13 @@ impl fmt::Display for StatsSnapshot {
             self.rejected_queue_full, self.rejected_deadline, self.steals
         )?;
         writeln!(f, "tiles:    {} substituted", self.tile_substitutions)?;
+        if self.batched_calls > 0 {
+            writeln!(
+                f,
+                "strided:  {} batched calls, {} entries, largest {:.0}",
+                self.batched_calls, self.batched_entries, self.batched_size.max
+            )?;
+        }
         let ms = |s: f64| s * 1e3;
         writeln!(
             f,
@@ -336,6 +401,14 @@ impl fmt::Display for StatsSnapshot {
                 d.wall_seconds * 1e3,
                 d.drift() * 1e3
             )?;
+            if d.batched_entries > 0 {
+                writeln!(
+                    f,
+                    "device {name}: {} strided entries, batched drift {:+.3} ms",
+                    d.batched_entries,
+                    d.batched_drift() * 1e3
+                )?;
+            }
         }
         Ok(())
     }
@@ -414,6 +487,30 @@ mod tests {
         assert!(snap.hist("serve_batch_size_requests").is_some());
         let text = snap.to_prometheus();
         assert!(text.contains("serve_model_drift_seconds{device=\"Tahiti\"} 0.6"));
+    }
+
+    #[test]
+    fn batched_calls_record_their_own_drift_gauge() {
+        let stats = ServerStats::default();
+        stats.record_batched("Tahiti", 64, 0.4, 0.1);
+        stats.record_batched("Tahiti", 8, 0.2, 0.1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batched_calls, 2);
+        assert_eq!(snap.batched_entries, 72);
+        assert_eq!(snap.batched_size.count, 2);
+        assert_eq!(snap.batched_size.max, 64.0);
+        let d = &snap.per_device["Tahiti"];
+        assert_eq!(d.batched_entries, 72);
+        assert!((d.batched_drift() - 0.4).abs() < 1e-12, "cumulative drift");
+        assert_eq!(d.requests, 0, "bypass calls are not queued requests");
+        let reg = stats.registry().snapshot();
+        let drift = reg
+            .gauge("serve_batched_model_drift_seconds{device=\"Tahiti\"}")
+            .expect("batched drift gauge registered");
+        assert!((drift - 0.4).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("strided:  2 batched calls, 72 entries"));
+        assert!(text.contains("batched drift"));
     }
 
     #[test]

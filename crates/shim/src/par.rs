@@ -9,9 +9,59 @@
 
 use std::num::NonZeroUsize;
 
-fn worker_count(jobs: usize) -> usize {
+/// How many worker threads `jobs` uniform jobs should fan out to: one
+/// per core, never more than there are jobs, and at least one. Callers
+/// that pre-size per-worker state (e.g. batched-GEMM workspaces) use
+/// this to know the fan-out before spawning.
+pub fn worker_count(jobs: usize) -> usize {
     let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     cores.min(jobs).max(1)
+}
+
+/// Parallel indexed for-each over mutable items with per-worker mutable
+/// state.
+///
+/// `items` is split into one contiguous range per worker (at most
+/// `states.len()` workers) and each worker calls `f(index, item, state)`
+/// for every item in its range, with exclusive access to both the item
+/// and its own state slot. This is the batched-GEMM harness: each item
+/// is one batch entry's output slice, each state a reusable
+/// `Workspace`-style arena, so a steady-state batch loop allocates
+/// nothing while entries still execute in parallel.
+///
+/// # Panics
+/// Panics if `states` is empty while `items` is not.
+pub fn par_items_mut<I, S, F>(items: &mut [I], states: &mut [S], f: F)
+where
+    I: Send,
+    S: Send,
+    F: Fn(usize, &mut I, &mut S) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    assert!(!states.is_empty(), "par_items_mut needs at least one state");
+    let threads = worker_count(n).min(states.len());
+    if threads <= 1 {
+        let state = &mut states[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, state);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for ((t, chunk), state) in items.chunks_mut(per).enumerate().zip(states.iter_mut()) {
+            let f = &f;
+            s.spawn(move || {
+                let base = t * per;
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(base + i, item, state);
+                }
+            });
+        }
+    });
 }
 
 /// Parallel indexed map: `out[i] = f(i, &items[i])`.
@@ -150,6 +200,46 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i / 7 + 1, "element {i}");
         }
+    }
+
+    #[test]
+    fn par_items_mut_visits_every_item_once_with_worker_state() {
+        // Each item records (index it saw, owning state's tag); every
+        // item must be visited exactly once and the per-state counts
+        // must sum to n.
+        let n = 997;
+        let mut items: Vec<(usize, Option<usize>)> = (0..n).map(|_| (0, None)).collect();
+        let mut states: Vec<(usize, usize)> = (0..4).map(|t| (t, 0)).collect();
+        par_items_mut(&mut items, &mut states, |i, item, (tag, count)| {
+            item.0 += i + 1;
+            item.1 = Some(*tag);
+            *count += 1;
+        });
+        let total: usize = states.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, n);
+        for (i, (v, owner)) in items.iter().enumerate() {
+            assert_eq!(*v, i + 1, "item {i} visited once with its own index");
+            assert!(owner.is_some(), "item {i} owned by some worker");
+        }
+        // Zero items with an empty state set is a no-op, not a panic.
+        par_items_mut(
+            &mut [] as &mut [u8],
+            &mut [] as &mut [u8],
+            |_, _, _| unreachable!(),
+        );
+    }
+
+    #[test]
+    fn par_items_mut_uses_at_most_the_given_states() {
+        let mut items = vec![0u8; 100];
+        let mut states = vec![0usize; 1];
+        par_items_mut(&mut items, &mut states, |_, item, c| {
+            *item = 1;
+            *c += 1;
+        });
+        assert_eq!(states[0], 100);
+        assert!(items.iter().all(|&v| v == 1));
+        assert!(worker_count(8) >= 1);
     }
 
     #[test]

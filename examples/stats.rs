@@ -74,6 +74,39 @@ fn main() {
         hybrid.gemm(GemmType::NN, 1.0, &a, &b, 0.0, &mut c);
     }
 
+    // ---- strided-batched path ------------------------------------------
+    // One small direct-path batch and one past-crossover packed batch,
+    // both with f16 storage: together they move the batch-size
+    // histogram, both path counters, the convert-on-pack counter and
+    // the serve-side drift gauge + entries histogram.
+    {
+        use clgemm_serve::{BatchedPayload, BatchedRequest};
+        let mut run = |batch: usize, m: usize, n: usize, k: usize| {
+            let desc = GemmBatch::packed(GemmType::NN, batch, m, n, k);
+            let fill = |seed: usize, len: usize| -> Vec<F16> {
+                (0..len)
+                    .map(|i| F16::from_f64(((i * 7 + seed) % 16) as f64 * 0.25 - 2.125))
+                    .collect()
+            };
+            let req = BatchedRequest::new(
+                desc,
+                BatchedPayload::F16 {
+                    alpha: 1.0,
+                    a: fill(1, batch * m * k),
+                    b: fill(2, batch * k * n),
+                    beta: 0.0,
+                    c: fill(3, batch * m * n),
+                },
+            );
+            server.run_batched(req).expect("batched call serves")
+        };
+        let direct = run(6, 32, 32, 32);
+        assert_eq!(direct.run.path, BatchPath::Direct);
+        let packed = run(2, DIRECT_BATCH_MAX + 8, 16, 16);
+        assert_eq!(packed.run.path, BatchPath::Packed);
+        assert!(packed.run.widened, "f16 storage must widen on pack");
+    }
+
     // ---- tuner + VM layers ---------------------------------------------
     // A smoke-sized search with winner verification: the verify step
     // compiles the winning kernel and runs it through the fast VM, so
@@ -136,7 +169,9 @@ fn main() {
     println!("{} span events recorded ({dropped} dropped)", spans.len());
     for name in [
         "serve.batch.execute",
+        "serve.batched.execute",
         "routine.gemm",
+        "routine.gemm_batch",
         "tuner.run",
         "clc.launch",
         "clc.compile",
@@ -155,6 +190,9 @@ fn main() {
         "clc_compile_total",
         "clc_compile_ops_in_total",
         "clc_compile_ops_out_total",
+        "routine_convert_on_pack_total",
+        "routine_batch_path_total{path=\"direct\"}",
+        "routine_batch_path_total{path=\"packed\"}",
     ] {
         assert!(
             snap.counter(metric).is_some_and(|v| v > 0),
@@ -168,6 +206,8 @@ fn main() {
             .count
             > 0
     );
+    assert!(snap.hist("routine_batch_size").expect("hist").count > 0);
+    assert!(snap.hist("serve_batched_entries").expect("hist").count > 0);
 
     // …and nothing registered may have stayed at rest.
     let dead = Registry::global().dead_metrics();

@@ -73,6 +73,15 @@ fn every_decision_is_valid_and_lane_aligned() {
                             assert!(d.substituted());
                             assert_eq!(d.tile.nr() % lanes, 0);
                         }
+                        TileReason::SmallShape => {
+                            assert!(
+                                m.max(n) <= clgemm::tile::SMALL_SHAPE_MAX,
+                                "small sweep only applies to small problems"
+                            );
+                            assert!(d.substituted());
+                            assert_ne!(d.tile.dims(), tuned, "else it would report Tuned");
+                            assert_eq!(d.tile.nr() % lanes, 0);
+                        }
                     }
                 }
             }
