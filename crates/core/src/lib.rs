@@ -52,6 +52,8 @@
 //! | [`tile`] | §III-B (host) | SIMD-width-aware register-tile selection |
 //! | [`direct`] | §V (future work) | copy-free guarded kernel for small sizes |
 //! | [`repo`] | — | persistence of tuning results |
+//! | [`predict`] | §III inverted | analytical parameter prediction, zero search |
+//! | [`tuning_db`] | — | versioned on-disk tuning database for serving |
 
 pub mod batched;
 pub mod codegen;
@@ -59,11 +61,13 @@ pub mod direct;
 pub mod executor;
 pub mod paper_params;
 pub mod params;
+pub mod predict;
 pub mod profile;
 pub mod repo;
 pub mod routine;
 pub mod tile;
 pub mod tuner;
+pub mod tuning_db;
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -71,10 +75,14 @@ pub mod prelude {
     pub use crate::codegen::{generate, GeneratedKernel, KERNEL_NAME};
     pub use crate::direct::{generate_direct, DirectParams, DIRECT_KERNEL_NAME};
     pub use crate::params::{Algorithm, KernelParams, StrideMode};
+    pub use crate::predict::{
+        predict, predict_best, predict_enabled, FeasibleSet, Prediction, PruneReason,
+    };
     pub use crate::repo::{KernelRepo, RepoError, SCHEMA_VERSION};
     pub use crate::routine::{GemmPath, GemmRun, HybridGemm, PackDecision, TunedGemm};
     pub use crate::tile::{TileDecision, TileReason, TileSelector};
     pub use crate::tuner::{tune, Measurement, SearchOpts, SearchSpace, TuningResult};
+    pub use crate::tuning_db::{DbError, DbKey, TuningDb, DB_SCHEMA_VERSION};
     pub use clgemm_blas::layout::BlockLayout;
     pub use clgemm_blas::matrix::{Matrix, StorageOrder};
     pub use clgemm_blas::scalar::{Precision, Scalar};

@@ -33,6 +33,10 @@ pub struct SearchOpts {
     pub noise: f64,
     /// Seed for the noise generator.
     pub noise_seed: u64,
+    /// Prune stage 1 through the analytical predictor's feasible set
+    /// ([`crate::predict::FeasibleSet`]) before measuring — ≥10× fewer
+    /// candidates with the winner preserved (within model noise).
+    pub predictor_prune: bool,
 }
 
 impl Default for SearchOpts {
@@ -45,6 +49,7 @@ impl Default for SearchOpts {
             verify_winner: true,
             noise: 0.0,
             noise_seed: 0,
+            predictor_prune: false,
         }
     }
 }
@@ -98,6 +103,9 @@ pub struct TuningResult {
     /// Candidates that failed launch/resource checks during measurement
     /// (the paper's uncounted "failed" kernels).
     pub failures: usize,
+    /// Candidates removed before measurement by the analytical
+    /// predictor's feasible set (0 unless `predictor_prune` was set).
+    pub pruned: usize,
     /// Whether the winner passed functional verification.
     pub verified: bool,
 }
@@ -126,6 +134,7 @@ impl TuningResult {
             ),
             ("candidates", Json::from(self.candidates)),
             ("failures", Json::from(self.failures)),
+            ("pruned", Json::from(self.pruned)),
             ("verified", Json::from(self.verified)),
         ])
     }
@@ -163,6 +172,8 @@ impl TuningResult {
             sweep,
             candidates: v.field("candidates")?.expect_usize()?,
             failures: v.field("failures")?.expect_usize()?,
+            // Absent in documents written before the predictor existed.
+            pruned: v.get("pruned").and_then(Json::as_usize).unwrap_or(0),
             verified: v.field("verified")?.expect_bool()?,
         })
     }
@@ -178,7 +189,9 @@ pub fn measure_gflops(p: &KernelParams, dev: &DeviceSpec, n: usize) -> Option<f6
 }
 
 /// Stage-1 problem size for a candidate: `⌊base/LCM⌋·LCM` (§III-F).
-fn stage1_n(p: &KernelParams, base: usize) -> usize {
+/// Shared with the analytical predictor so its ranking evaluates at
+/// the exact size the search would have used.
+pub(crate) fn stage1_n(p: &KernelParams, base: usize) -> usize {
     let lcm = p.lcm_block();
     if lcm == 0 || lcm > base {
         round_up(base, lcm.max(1))
@@ -216,10 +229,44 @@ pub fn tune(
         DeviceKind::Gpu => 4096,
         DeviceKind::Cpu => 1536,
     });
-    let candidates = space.enumerate(dev, precision);
+    let mut candidates = space.enumerate(dev, precision);
     let n_candidates = candidates.len();
     reg.counter("tuner_candidates_total")
         .add(n_candidates as u64);
+
+    // ---- stage 0 (optional): analytical feasible-set pruning -----------
+    let mut pruned = 0usize;
+    if opts.predictor_prune {
+        use crate::predict::{FeasibleSet, PruneReason};
+        let feasible = FeasibleSet::derive(dev, precision);
+        let mut tally = [0u64; PruneReason::ALL.len()];
+        let kept: Vec<KernelParams> = candidates
+            .iter()
+            .copied()
+            .filter(|p| match feasible.reject(p) {
+                None => true,
+                Some(r) => {
+                    tally[r.index()] += 1;
+                    false
+                }
+            })
+            .collect();
+        // The built-in profiles never empty the space, but an exotic
+        // spec must degrade to the unpruned search, not panic.
+        if !kept.is_empty() {
+            pruned = n_candidates - kept.len();
+            candidates = kept;
+            for (reason, &count) in PruneReason::ALL.iter().zip(&tally) {
+                if count > 0 {
+                    reg.counter_labeled(
+                        "tuner_pruned_total",
+                        &[("stage", "1"), ("reason", reason.tag())],
+                    )
+                    .add(count);
+                }
+            }
+        }
+    }
 
     // ---- stage 1: measure everything at its base size ------------------
     let stage1_span = clgemm_trace::span!("tuner.stage1", n_candidates as u64);
@@ -233,7 +280,7 @@ pub fn tune(
         .flatten()
         .collect();
     drop(stage1_span);
-    let failures = n_candidates - stage1.len();
+    let failures = candidates.len() - stage1.len();
     // Pruning counters are created at the point of use — a search whose
     // space never prunes should not register an eternally-zero metric.
     if failures > 0 {
@@ -332,6 +379,7 @@ pub fn tune(
         sweep,
         candidates: n_candidates,
         failures,
+        pruned,
         verified,
     }
 }
@@ -554,6 +602,38 @@ mod tests {
         // performance must stay within a few percent of the quiet run.
         let rel = (noisy.best.gflops - quiet.best.gflops).abs() / quiet.best.gflops;
         assert!(rel < 0.10, "noise perturbed the winner by {rel:.3}");
+    }
+
+    #[test]
+    fn predictor_prune_shrinks_stage1_and_preserves_winner() {
+        let dev = DeviceId::Tahiti.spec();
+        let space = SearchSpace::smoke(&dev);
+        let base = SearchOpts {
+            top_k: 10,
+            max_sweep_points: 4,
+            verify_winner: false,
+            ..Default::default()
+        };
+        let full = tune(&dev, Precision::F64, &space, &base);
+        let pruned = tune(
+            &dev,
+            Precision::F64,
+            &space,
+            &SearchOpts {
+                predictor_prune: true,
+                ..base
+            },
+        );
+        assert!(pruned.pruned > 0, "smoke space should prune something");
+        assert_eq!(pruned.candidates, full.candidates, "full count reported");
+        // The feasible set must not cost the searched winner (the ≥10×
+        // ratio itself is gated on the full space in benches/predict.rs).
+        assert!(
+            pruned.best.gflops >= 0.98 * full.best.gflops,
+            "pruning lost the winner: {} vs {}",
+            pruned.best.gflops,
+            full.best.gflops
+        );
     }
 
     #[test]

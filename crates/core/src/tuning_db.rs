@@ -1,0 +1,415 @@
+//! The persistent tuning database.
+//!
+//! Tuned parameters are expensive (a background refine runs a full
+//! three-stage search) and device-stable — they should outlive the
+//! process. [`TuningDb`] persists [`Measurement`]s keyed by
+//! ([`device fingerprint`](clgemm_device::DeviceSpec::fingerprint),
+//! shape bucket, GEMM type, storage type) in an append-only
+//! line-oriented shim-json file:
+//!
+//! ```text
+//! {"magic":"clgemm-tuning-db","schema_version":1}
+//! {"fingerprint":"tahiti/...","m":1024,"n":1024,"k":1024,"gemm":"*","storage":"F64","measurement":{…}}
+//! ```
+//!
+//! Design points (mirroring [`crate::repo::KernelRepo`]'s versioning
+//! discipline, hardened for a file that is rewritten while serving):
+//!
+//! * **Versioned**: the header's `schema_version` is checked on load;
+//!   a *newer* version is a typed [`DbError::VersionMismatch`] — never
+//!   silently misread.
+//! * **fsync-on-commit**: [`TuningDb::commit`] appends one line and
+//!   `sync_all`s, so a crash mid-serve loses at most the in-flight
+//!   entry, never corrupts earlier ones.
+//! * **Corrupt-entry tolerance**: unparsable or truncated lines (the
+//!   torn tail of a crashed append) are skipped and counted in
+//!   [`TuningDb::corrupt_entries`], not fatal — a half-written entry
+//!   must not cost the rest of the database.
+//! * **Last-wins**: re-committing a key appends; the newest line is
+//!   authoritative on load, so refinement upgrades persist without a
+//!   rewrite.
+//!
+//! `CLGEMM_TUNING_DB=<path>` points the serving layer at a database
+//! file ([`TuningDb::from_env`]); without it the database is
+//! in-memory and dies with the process.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::tuner::Measurement;
+use clgemm_shim::Json;
+
+/// Current on-disk schema version.
+pub const DB_SCHEMA_VERSION: u64 = 1;
+
+/// Magic tag in the header line.
+pub const DB_MAGIC: &str = "clgemm-tuning-db";
+
+/// Environment variable naming the database file.
+pub const DB_ENV: &str = "CLGEMM_TUNING_DB";
+
+/// The lookup key: which device (by calibration fingerprint), which
+/// shape bucket, which GEMM type (`"NN"`…`"TT"`, or `"*"` when the
+/// caller's kernel covers all four, as the serve cache does), which
+/// storage type (`"F32"`/`"F64"`/`"F16"`/`"Bf16"`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DbKey {
+    pub fingerprint: String,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub gemm: String,
+    pub storage: String,
+}
+
+impl std::fmt::Display for DbKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}x{}x{}/{}/{}",
+            self.fingerprint, self.m, self.n, self.k, self.gemm, self.storage
+        )
+    }
+}
+
+/// Typed database failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Filesystem failure (message carries the `std::io` detail).
+    Io(String),
+    /// The header line is from a newer schema than this build reads.
+    VersionMismatch { found: u64, expected: u64 },
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(m) => write!(f, "tuning db io error: {m}"),
+            DbError::VersionMismatch { found, expected } => write!(
+                f,
+                "tuning db schema version {found} is newer than supported {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// The database: an in-memory map with optional append-only file
+/// backing. See the module docs for the format and guarantees.
+#[derive(Debug)]
+pub struct TuningDb {
+    path: Option<PathBuf>,
+    entries: BTreeMap<DbKey, Measurement>,
+    corrupt: usize,
+}
+
+impl TuningDb {
+    /// A database with no file backing: commits update memory only.
+    #[must_use]
+    pub fn in_memory() -> TuningDb {
+        TuningDb {
+            path: None,
+            entries: BTreeMap::new(),
+            corrupt: 0,
+        }
+    }
+
+    /// Open (or create-on-first-commit) the database at `path`. A
+    /// missing file is an empty database; a present file is loaded
+    /// with corrupt-entry tolerance.
+    pub fn open(path: impl Into<PathBuf>) -> Result<TuningDb, DbError> {
+        let path = path.into();
+        let mut db = TuningDb {
+            path: Some(path.clone()),
+            entries: BTreeMap::new(),
+            corrupt: 0,
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| DbError::Io(format!("{path:?}: {e}")))?;
+            db.load(&text)?;
+        }
+        Ok(db)
+    }
+
+    /// Open the database named by `CLGEMM_TUNING_DB`, or an in-memory
+    /// one when the variable is unset. Unreadable files degrade to
+    /// in-memory (serving must not crash on a bad override), which the
+    /// caller can detect via [`TuningDb::path`] returning `None`.
+    #[must_use]
+    pub fn from_env() -> TuningDb {
+        match std::env::var(DB_ENV) {
+            Ok(path) if !path.trim().is_empty() => {
+                TuningDb::open(path).unwrap_or_else(|_| TuningDb::in_memory())
+            }
+            _ => TuningDb::in_memory(),
+        }
+    }
+
+    fn load(&mut self, text: &str) -> Result<(), DbError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            None => return Ok(()), // empty file == empty db
+            Some(header) => match Json::parse(header) {
+                Ok(doc) if doc.get("magic").and_then(Json::as_str) == Some(DB_MAGIC) => {
+                    let found = doc
+                        .get("schema_version")
+                        .and_then(Json::as_usize)
+                        .unwrap_or(0) as u64;
+                    if found > DB_SCHEMA_VERSION {
+                        return Err(DbError::VersionMismatch {
+                            found,
+                            expected: DB_SCHEMA_VERSION,
+                        });
+                    }
+                }
+                // A mangled header is tolerated like a mangled entry:
+                // we cannot prove the file is newer than us, so we
+                // salvage what parses.
+                _ => self.corrupt += 1,
+            },
+        }
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Self::parse_entry(line) {
+                Some((key, m)) => {
+                    self.entries.insert(key, m); // last-wins
+                }
+                None => self.corrupt += 1,
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_entry(line: &str) -> Option<(DbKey, Measurement)> {
+        let doc = Json::parse(line).ok()?;
+        let text = |k: &str| doc.get(k)?.as_str().map(str::to_string);
+        let num = |k: &str| doc.get(k)?.as_usize();
+        let key = DbKey {
+            fingerprint: text("fingerprint")?,
+            m: num("m")?,
+            n: num("n")?,
+            k: num("k")?,
+            gemm: text("gemm")?,
+            storage: text("storage")?,
+        };
+        let m = Measurement::from_json(doc.get("measurement")?).ok()?;
+        Some((key, m))
+    }
+
+    fn entry_json(key: &DbKey, m: &Measurement) -> Json {
+        Json::obj(vec![
+            ("fingerprint", Json::from(key.fingerprint.as_str())),
+            ("m", Json::from(key.m)),
+            ("n", Json::from(key.n)),
+            ("k", Json::from(key.k)),
+            ("gemm", Json::from(key.gemm.as_str())),
+            ("storage", Json::from(key.storage.as_str())),
+            ("measurement", m.to_json()),
+        ])
+    }
+
+    /// Look up a tuned measurement.
+    #[must_use]
+    pub fn get(&self, key: &DbKey) -> Option<&Measurement> {
+        self.entries.get(key)
+    }
+
+    /// Insert and durably persist one measurement: append a line to
+    /// the backing file (writing the header first on a fresh file) and
+    /// fsync before returning. In-memory databases skip the file work.
+    pub fn commit(&mut self, key: DbKey, m: Measurement) -> Result<(), DbError> {
+        if let Some(path) = &self.path {
+            let io = |e: std::io::Error| DbError::Io(format!("{path:?}: {e}"));
+            let fresh = std::fs::metadata(path)
+                .map(|md| md.len() == 0)
+                .unwrap_or(true);
+            let mut file: File = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(io)?;
+            let mut text = String::new();
+            if fresh {
+                let header = Json::obj(vec![
+                    ("magic", Json::from(DB_MAGIC)),
+                    ("schema_version", Json::from(DB_SCHEMA_VERSION as usize)),
+                ]);
+                text.push_str(&header.to_string_compact());
+                text.push('\n');
+            }
+            text.push_str(&Self::entry_json(&key, &m).to_string_compact());
+            text.push('\n');
+            file.write_all(text.as_bytes()).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        self.entries.insert(key, m);
+        Ok(())
+    }
+
+    /// Number of distinct keys loaded/committed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lines skipped during load because they did not parse (torn
+    /// appends, hand-edits).
+    #[must_use]
+    pub fn corrupt_entries(&self) -> usize {
+        self.corrupt
+    }
+
+    /// The backing file, when file-backed.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Iterate entries in key order (tests, reporting).
+    pub fn iter(&self) -> impl Iterator<Item = (&DbKey, &Measurement)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::tahiti_dgemm_best;
+
+    fn key(n: usize) -> DbKey {
+        DbKey {
+            fingerprint: "test-device".to_string(),
+            m: n,
+            n,
+            k: n,
+            gemm: "*".to_string(),
+            storage: "F64".to_string(),
+        }
+    }
+
+    fn meas(gflops: f64) -> Measurement {
+        Measurement {
+            params: tahiti_dgemm_best(),
+            n: 1024,
+            gflops,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("clgemm-tuning-db-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn round_trip_through_the_file() {
+        let path = tmp("round-trip");
+        let mut db = TuningDb::open(&path).unwrap();
+        db.commit(key(1024), meas(800.0)).unwrap();
+        db.commit(key(2048), meas(850.0)).unwrap();
+
+        let back = TuningDb::open(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.corrupt_entries(), 0);
+        let m = back.get(&key(1024)).unwrap();
+        assert_eq!(m.params, tahiti_dgemm_best());
+        assert!((m.gflops - 800.0).abs() < 1e-12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recommit_is_last_wins_across_reload() {
+        let path = tmp("last-wins");
+        let mut db = TuningDb::open(&path).unwrap();
+        db.commit(key(1024), meas(700.0)).unwrap();
+        db.commit(key(1024), meas(900.0)).unwrap();
+        assert_eq!(db.len(), 1);
+
+        let back = TuningDb::open(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!((back.get(&key(1024)).unwrap().gflops - 900.0).abs() < 1e-12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected_typed() {
+        let path = tmp("version");
+        std::fs::write(
+            &path,
+            format!("{{\"magic\":\"{DB_MAGIC}\",\"schema_version\":999}}\n"),
+        )
+        .unwrap();
+        match TuningDb::open(&path) {
+            Err(DbError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, DB_SCHEMA_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_and_counted() {
+        let path = tmp("truncated");
+        let mut db = TuningDb::open(&path).unwrap();
+        db.commit(key(1024), meas(800.0)).unwrap();
+        db.commit(key(2048), meas(850.0)).unwrap();
+        // Simulate a crash mid-append: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - text.len() / 4;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let back = TuningDb::open(&path).unwrap();
+        assert_eq!(back.len(), 1, "intact entry survives");
+        assert_eq!(back.corrupt_entries(), 1, "torn tail counted");
+        assert!(back.get(&key(1024)).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_lines_do_not_sink_the_rest() {
+        let path = tmp("garbage");
+        let mut db = TuningDb::open(&path).unwrap();
+        db.commit(key(1024), meas(800.0)).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("this is not json\n{\"fingerprint\":42}\n");
+        std::fs::write(&path, &text).unwrap();
+        let mut back = TuningDb::open(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.corrupt_entries(), 2);
+        // Appending after a salvage keeps working.
+        back.commit(key(4096), meas(820.0)).unwrap();
+        let again = TuningDb::open(&path).unwrap();
+        assert_eq!(again.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_db_and_in_memory_commits_work() {
+        let path = tmp("missing");
+        let db = TuningDb::open(&path).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(db.path(), Some(path.as_path()));
+        assert!(!path.exists(), "open alone must not create the file");
+
+        let mut mem = TuningDb::in_memory();
+        assert!(mem.path().is_none());
+        mem.commit(key(1024), meas(100.0)).unwrap();
+        assert_eq!(mem.len(), 1);
+    }
+}

@@ -226,6 +226,28 @@ impl DeviceSpec {
     pub fn is_cpu(&self) -> bool {
         self.kind == DeviceKind::Cpu
     }
+
+    /// A stable identity string for persistent tuning results: the
+    /// device name plus every constant that shapes the tuning
+    /// landscape (compute layout, clock, register file, local memory,
+    /// SIMT width). Two specs with the same fingerprint tune alike;
+    /// recalibrating the model changes the fingerprint, so stale
+    /// entries from an older calibration are never replayed.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}-cu{}-c{:.3}-b{:.3}-wf{}-r{}-l{}k-wg{}-simd{}",
+            self.code_name.to_ascii_lowercase(),
+            self.compute_units,
+            self.clock_ghz,
+            self.micro.boost_factor,
+            self.micro.wavefront,
+            self.micro.regs_per_cu,
+            self.local_mem_kib,
+            self.micro.max_wg_size,
+            self.micro.native_simd_lanes,
+        )
+    }
 }
 
 impl std::fmt::Display for DeviceSpec {

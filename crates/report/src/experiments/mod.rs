@@ -10,6 +10,7 @@ pub mod fig9;
 pub mod hybrid;
 pub mod observability;
 pub mod paperparams;
+pub mod prediction;
 pub mod serving;
 pub mod strategies;
 pub mod table1;

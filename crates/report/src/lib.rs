@@ -26,6 +26,7 @@
 //! | `serving` | EXTENSION: clgemm-serve throughput vs device count and batch cap |
 //! | `observability` | EXTENSION: clgemm-trace lifecycle histograms, drift and phase spans |
 //! | `batched` | EXTENSION: strided-batched GEMM — direct path, amortised packing, f16/bf16 storage |
+//! | `prediction` | EXTENSION: analytical parameter prediction and the persistent tuning database |
 
 pub mod experiments;
 pub mod lab;
@@ -37,7 +38,7 @@ pub use plot::{ascii_chart, Series};
 pub use render::{Report, TextTable};
 
 /// Names of all experiments in paper order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "fig7",
     "table2",
@@ -53,6 +54,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "serving",
     "observability",
     "batched",
+    "prediction",
 ];
 
 /// Run one experiment by name.
@@ -73,6 +75,7 @@ pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
         "serving" => experiments::serving::report(lab),
         "observability" => experiments::observability::report(lab),
         "batched" => experiments::batched::report(lab),
+        "prediction" => experiments::prediction::report(lab),
         _ => return None,
     })
 }

@@ -13,9 +13,12 @@
 //! * A shape-bucketed kernel cache ([`KernelCache`]) fronts the
 //!   [`KernelRepo`](clgemm::repo::KernelRepo): requests whose padded
 //!   shapes fall in the same bucket share one tuned parameter set, LRU
-//!   over `(device, precision, bucket)`. Misses fall back to the
-//!   paper's Table II winners (or the small test kernel), and can
-//!   optionally trigger tuning.
+//!   over `(device, precision, bucket)`. A miss resolves through the
+//!   on-disk tuning database, then the analytical predictor
+//!   (`clgemm::predict`, zero search — a background refiner re-derives
+//!   the bucket with a real search and persists it), then an optional
+//!   synchronous smoke-tune, then the paper's Table II winners; every
+//!   cached entry carries its [`Provenance`].
 //! * A batcher coalesces same-bucket requests into grouped launches on
 //!   one virtual command queue, amortising launch overhead exactly the
 //!   way real serving stacks amortise kernel dispatch.
@@ -44,7 +47,7 @@ pub mod stats;
 
 pub use batch::{coalesce, Batch, BatchKey};
 pub use batched::{BatchedPayload, BatchedRequest, BatchedResponse};
-pub use cache::{CacheKey, KernelCache};
+pub use cache::{CacheKey, KernelCache, Provenance};
 pub use queue::BoundedQueue;
 pub use request::{
     GemmPayload, GemmRequest, GemmResponse, Outcome, Priority, RequestId, ShapeBucket,

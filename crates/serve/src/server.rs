@@ -2,7 +2,7 @@
 
 use crate::batch::{coalesce, Batch, BatchKey};
 use crate::batched::{BatchedPayload, BatchedRequest, BatchedResponse};
-use crate::cache::{CacheKey, KernelCache};
+use crate::cache::{CacheKey, KernelCache, Provenance};
 use crate::queue::BoundedQueue;
 use crate::request::{
     GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, RequestId, ShapeBucket,
@@ -11,10 +11,12 @@ use crate::scheduler::Scheduler;
 use crate::stats::{ServerStats, StatsSnapshot};
 use clgemm::batched::{BatchRun, DIRECT_BATCH_MAX};
 use clgemm::params::{small_test_params, KernelParams};
+use clgemm::predict::predict_best;
 use clgemm::profile::launch_profile;
 use clgemm::repo::KernelRepo;
 use clgemm::routine::{GemmOptions, GemmRun, TunedGemm};
-use clgemm::tuner::{SearchOpts, SearchSpace};
+use clgemm::tuner::{tune, Measurement, SearchOpts, SearchSpace};
+use clgemm::tuning_db::{DbKey, TuningDb, DB_ENV};
 use clgemm_blas::layout::round_up;
 use clgemm_blas::scalar::Precision;
 use clgemm_blas::workspace::{BatchWorkspace, Workspace};
@@ -22,8 +24,10 @@ use clgemm_blas::{BatchError, GemmBatch, GemmType};
 use clgemm_device::{estimate_seconds, DeviceSpec};
 use clgemm_sim::DeviceWorker;
 use clgemm_trace::Registry;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::thread;
 use std::time::Instant;
 
 /// Tunables of the serving loop.
@@ -37,7 +41,23 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// On a cache+repo miss, run a (smoke-sized) tuning search for the
     /// device instead of falling straight back to the paper's winners.
+    /// Only consulted when the predictor did not already serve the miss
+    /// (see [`ServeConfig::predict`]) — the synchronous search is the
+    /// legacy cold-start path.
     pub tune_misses: bool,
+    /// Serve cache misses from the analytical predictor
+    /// (`clgemm::predict`) instantly, with no synchronous search.
+    /// Defaults to [`clgemm::predict::predict_enabled`], i.e. on unless
+    /// `CLGEMM_PREDICT=off`.
+    pub predict: bool,
+    /// Refine predictor cold starts with a budgeted background tuning
+    /// search on a separate thread; results are absorbed at the start
+    /// of later drains (and committed to the tuning database).
+    pub background_refine: bool,
+    /// Path of the persistent tuning database; `None` falls back to
+    /// the `CLGEMM_TUNING_DB` environment variable, and an in-memory
+    /// database when that is unset too.
+    pub tuning_db: Option<PathBuf>,
     /// Registry the server's histograms and gauges are registered in;
     /// `None` uses the process-global registry (what production wants —
     /// one snapshot covers every layer). Tests pass an isolated
@@ -53,6 +73,9 @@ impl Default for ServeConfig {
             max_batch: 8,
             cache_capacity: 32,
             tune_misses: false,
+            predict: clgemm::predict::predict_enabled(),
+            background_refine: true,
+            tuning_db: std::env::var_os(DB_ENV).map(PathBuf::from),
             registry: None,
         }
     }
@@ -98,6 +121,132 @@ impl Shared {
     }
 }
 
+/// One bucket's refinement order: re-derive the predictor-served
+/// parameters with a real (budgeted) search.
+#[derive(Debug)]
+struct RefineJob {
+    spec: DeviceSpec,
+    precision: Precision,
+    bucket: ShapeBucket,
+    /// The predictor's forecast, carried through so the absorbed result
+    /// can report predicted-vs-tuned accuracy.
+    predicted_gflops: f64,
+}
+
+/// A finished refinement, ready to be absorbed into cache + database.
+#[derive(Debug)]
+struct RefineOutcome {
+    device: String,
+    fingerprint: String,
+    precision: Precision,
+    bucket: ShapeBucket,
+    best: Measurement,
+    predicted_gflops: f64,
+    seconds: f64,
+}
+
+/// The background refiner: one worker thread running budgeted smoke
+/// searches (with predictor pruning) off the serving path. Dropping it
+/// closes the job channel and joins the worker.
+#[derive(Debug)]
+struct Refiner {
+    jobs: Option<mpsc::Sender<RefineJob>>,
+    results: mpsc::Receiver<RefineOutcome>,
+    pending: usize,
+    cancel: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Refiner {
+    fn spawn() -> Refiner {
+        let (jobs_tx, jobs_rx) = mpsc::channel::<RefineJob>();
+        let (results_tx, results_rx) = mpsc::channel();
+        let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cancelled = Arc::clone(&cancel);
+        let handle = thread::spawn(move || {
+            for job in jobs_rx {
+                // A dropped server only waits for the job in flight;
+                // everything still queued is skipped, not searched.
+                if cancelled.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let space = SearchSpace::smoke(&job.spec);
+                let opts = SearchOpts {
+                    top_k: 4,
+                    max_sweep_points: 4,
+                    verify_winner: false,
+                    predictor_prune: true,
+                    ..Default::default()
+                };
+                let result = tune(&job.spec, job.precision, &space, &opts);
+                let sent = results_tx.send(RefineOutcome {
+                    device: job.spec.code_name.clone(),
+                    fingerprint: job.spec.fingerprint(),
+                    precision: job.precision,
+                    bucket: job.bucket,
+                    best: result.best,
+                    predicted_gflops: job.predicted_gflops,
+                    seconds: t0.elapsed().as_secs_f64(),
+                });
+                if sent.is_err() {
+                    break; // server gone; no one left to absorb
+                }
+            }
+        });
+        Refiner {
+            jobs: Some(jobs_tx),
+            results: results_rx,
+            pending: 0,
+            cancel,
+            handle: Some(handle),
+        }
+    }
+
+    fn enqueue(&mut self, job: RefineJob) {
+        if let Some(tx) = &self.jobs {
+            if tx.send(job).is_ok() {
+                self.pending += 1;
+            }
+        }
+    }
+
+    /// Everything finished so far, without blocking.
+    fn try_drain(&mut self) -> Vec<RefineOutcome> {
+        let mut out = Vec::new();
+        while let Ok(o) = self.results.try_recv() {
+            self.pending -= 1;
+            out.push(o);
+        }
+        out
+    }
+
+    /// Block until every enqueued job has finished.
+    fn wait(&mut self) -> Vec<RefineOutcome> {
+        let mut out = Vec::new();
+        while self.pending > 0 {
+            match self.results.recv() {
+                Ok(o) => {
+                    self.pending -= 1;
+                    out.push(o);
+                }
+                Err(_) => break, // worker died; pending jobs are lost
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Refiner {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        self.jobs.take(); // close the channel so the worker's loop ends
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// A cloneable submission handle usable from any thread while the
 /// server drains on another.
 #[derive(Debug, Clone)]
@@ -121,6 +270,11 @@ pub struct GemmServer {
     scheduler: Scheduler,
     cache: KernelCache,
     repo: KernelRepo,
+    /// Persistent tuning results keyed by (device fingerprint, shape
+    /// bucket, gemm type, storage type); refinements commit here so a
+    /// restarted server warms from disk instead of re-predicting.
+    db: TuningDb,
+    refiner: Option<Refiner>,
     next_batch: u64,
     responses: Vec<GemmResponse>,
     /// One grow-only staging workspace per device worker: repeated
@@ -157,10 +311,19 @@ impl GemmServer {
         });
         let workspaces = vec![Workspace::new(); devices.len()];
         let batch_workspaces = (0..devices.len()).map(|_| BatchWorkspace::new()).collect();
+        // A database the server cannot open (version from the future,
+        // unreadable path) must not stop serving: degrade to in-memory.
+        let db = match &cfg.tuning_db {
+            Some(path) => TuningDb::open(path).unwrap_or_else(|_| TuningDb::in_memory()),
+            None => TuningDb::from_env(),
+        };
+        let refiner = cfg.background_refine.then(Refiner::spawn);
         GemmServer {
             scheduler: Scheduler::new(devices),
             cache: KernelCache::new(cfg.cache_capacity),
             repo,
+            db,
+            refiner,
             cfg,
             shared,
             next_batch: 0,
@@ -193,6 +356,82 @@ impl GemmServer {
     #[must_use]
     pub fn repo(&self) -> &KernelRepo {
         &self.repo
+    }
+
+    /// The persistent tuning database backing cold starts.
+    #[must_use]
+    pub fn tuning_db(&self) -> &TuningDb {
+        &self.db
+    }
+
+    /// Absorb finished background refinements without blocking:
+    /// upgrade their cache entries to [`Provenance::Refined`], commit
+    /// them to the tuning database, and record their stats. Called
+    /// automatically at the start of every [`GemmServer::drain`] and
+    /// [`GemmServer::run_batched`]. Returns how many were absorbed.
+    pub fn absorb_refines(&mut self) -> usize {
+        let outcomes = match &mut self.refiner {
+            Some(r) => r.try_drain(),
+            None => Vec::new(),
+        };
+        self.apply_refines(outcomes)
+    }
+
+    /// Block until every in-flight background refinement has finished,
+    /// then absorb them all (tests and orderly shutdown).
+    pub fn wait_refines(&mut self) -> usize {
+        let outcomes = match &mut self.refiner {
+            Some(r) => r.wait(),
+            None => Vec::new(),
+        };
+        self.apply_refines(outcomes)
+    }
+
+    fn apply_refines(&mut self, outcomes: Vec<RefineOutcome>) -> usize {
+        let n = outcomes.len();
+        for o in outcomes {
+            let ckey = CacheKey {
+                device: o.device.clone(),
+                precision: o.precision,
+                bucket: o.bucket,
+            };
+            self.cache.insert(ckey, o.best.params, Provenance::Refined);
+            // Commit failures (read-only disk, in-memory db) only cost
+            // persistence across restarts, never serving.
+            let _ = self.db.commit(
+                DbKey {
+                    fingerprint: o.fingerprint,
+                    m: o.bucket.m,
+                    n: o.bucket.n,
+                    k: o.bucket.k,
+                    gemm: SERVE_GEMM_KEY.to_string(),
+                    storage: o.precision.to_string(),
+                },
+                o.best.clone(),
+            );
+            self.shared
+                .stats
+                .note_refine(&o.device, o.seconds, o.predicted_gflops, o.best.gflops);
+        }
+        n
+    }
+
+    /// Mirror the kernel cache's counters into the serving stats.
+    fn sync_cache_stats(&self) {
+        let (hits, misses, evictions) = self.cache.counters();
+        self.shared.stats.cache_hits.store(hits, Ordering::Relaxed);
+        self.shared
+            .stats
+            .cache_misses
+            .store(misses, Ordering::Relaxed);
+        self.shared
+            .stats
+            .cache_evictions
+            .store(evictions, Ordering::Relaxed);
+        let by = self.cache.provenance_hits();
+        for (slot, count) in self.shared.stats.hits_by_provenance.iter().zip(by) {
+            slot.store(count, Ordering::Relaxed);
+        }
     }
 
     /// A coherent copy of the serving counters.
@@ -239,6 +478,7 @@ impl GemmServer {
     /// and slab lengths disagree; the payload is consumed either way.
     pub fn run_batched(&mut self, req: BatchedRequest) -> Result<BatchedResponse, BatchError> {
         let _span = clgemm_trace::span!("serve.batched.execute");
+        self.absorb_refines();
         let desc = req.desc;
         let precision = req.payload.precision();
         let key = BatchKey {
@@ -261,10 +501,10 @@ impl GemmServer {
             bucket: key.bucket,
         };
         let params = match self.cache.get(&ckey) {
-            Some(p) => p,
+            Some((p, _)) => p,
             None => {
-                let p = self.resolve_miss(&spec, key);
-                self.cache.insert(ckey, p);
+                let (p, provenance) = self.resolve_miss(&spec, key);
+                self.cache.insert(ckey, p, provenance);
                 p
             }
         };
@@ -289,6 +529,7 @@ impl GemmServer {
         self.shared
             .stats
             .record_batched(&spec.code_name, desc.batch as u64, run.total, wall);
+        self.sync_cache_stats();
         Ok(BatchedResponse {
             device: spec.code_name.clone(),
             params,
@@ -309,6 +550,7 @@ impl GemmServer {
     /// Returns the number of requests completed in this drain.
     pub fn drain(&mut self) -> usize {
         let _drain_span = clgemm_trace::span!("serve.drain");
+        self.absorb_refines();
         let pending = self.shared.queue.drain_all();
         if pending.is_empty() {
             return 0;
@@ -348,16 +590,7 @@ impl GemmServer {
         }
 
         // Mirror the cache's own counters into the serving stats.
-        let (hits, misses, evictions) = self.cache.counters();
-        self.shared.stats.cache_hits.store(hits, Ordering::Relaxed);
-        self.shared
-            .stats
-            .cache_misses
-            .store(misses, Ordering::Relaxed);
-        self.shared
-            .stats
-            .cache_evictions
-            .store(evictions, Ordering::Relaxed);
+        self.sync_cache_stats();
         completed
     }
 
@@ -372,10 +605,10 @@ impl GemmServer {
             bucket: key.bucket,
         };
         let params = match self.cache.get(&ckey) {
-            Some(p) => p,
+            Some((p, _)) => p,
             None => {
-                let p = self.resolve_miss(&spec, key);
-                self.cache.insert(ckey, p);
+                let (p, provenance) = self.resolve_miss(&spec, key);
+                self.cache.insert(ckey, p, provenance);
                 p
             }
         };
@@ -503,9 +736,37 @@ impl GemmServer {
         fallback_params(&self.repo, spec, key)
     }
 
-    /// Miss path: repo (tuning it on demand when configured), then the
-    /// paper's winners, then the conservative test kernel.
-    fn resolve_miss(&mut self, spec: &DeviceSpec, key: BatchKey) -> KernelParams {
+    /// Miss path, in resolution order: the persistent tuning database
+    /// (a restarted server warms from disk), then the analytical
+    /// predictor (instant, zero search, refined in the background),
+    /// then the legacy chain — synchronous tuning when configured,
+    /// repo, the paper's winners, the conservative test kernel.
+    fn resolve_miss(&mut self, spec: &DeviceSpec, key: BatchKey) -> (KernelParams, Provenance) {
+        let dbkey = serve_db_key(spec, key);
+        match self.db.get(&dbkey) {
+            Some(m) if launchable(spec, m.params, key) => {
+                self.shared.stats.note_db_hit();
+                return (m.params, Provenance::Persisted);
+            }
+            Some(_) => self.shared.stats.note_db_stale(),
+            None => self.shared.stats.note_db_miss(),
+        }
+        if self.cfg.predict {
+            if let Some(pred) = predict_best(spec, key.precision) {
+                if launchable(spec, pred.params, key) {
+                    self.shared.stats.note_predict_cold_start();
+                    if let Some(refiner) = &mut self.refiner {
+                        refiner.enqueue(RefineJob {
+                            spec: spec.clone(),
+                            precision: key.precision,
+                            bucket: key.bucket,
+                            predicted_gflops: pred.gflops,
+                        });
+                    }
+                    return (pred.params, Provenance::Predicted);
+                }
+            }
+        }
         if self.cfg.tune_misses && self.repo.get(&spec.code_name, key.precision).is_none() {
             let space = SearchSpace::smoke(spec);
             let opts = SearchOpts {
@@ -514,16 +775,40 @@ impl GemmServer {
                 verify_winner: false,
                 ..Default::default()
             };
-            let tuned = self
+            let best = self
                 .repo
                 .get_or_tune(spec, key.precision, &space, &opts)
                 .best
-                .params;
-            if launchable(spec, tuned, key) {
-                return tuned;
+                .clone();
+            if launchable(spec, best.params, key) {
+                // A synchronous search is a refinement too: persist it
+                // so the next process start skips straight to it.
+                let params = best.params;
+                let _ = self.db.commit(dbkey, best);
+                return (params, Provenance::Refined);
             }
         }
-        fallback_params(&self.repo, spec, key)
+        (
+            fallback_params(&self.repo, spec, key),
+            Provenance::Persisted,
+        )
+    }
+}
+
+/// GEMM-type slot of the serving layer's database keys: the cache is
+/// bucketed by shape alone (all four GEMM types share one entry), so
+/// the persisted key uses a wildcard rather than a specific type.
+const SERVE_GEMM_KEY: &str = "*";
+
+/// The tuning-database key for one (device, precision, bucket) slot.
+fn serve_db_key(spec: &DeviceSpec, key: BatchKey) -> DbKey {
+    DbKey {
+        fingerprint: spec.fingerprint(),
+        m: key.bucket.m,
+        n: key.bucket.n,
+        k: key.bucket.k,
+        gemm: SERVE_GEMM_KEY.to_string(),
+        storage: key.precision.to_string(),
     }
 }
 
@@ -969,10 +1254,15 @@ mod tests {
 
     #[test]
     fn tune_misses_populates_the_repo() {
+        // The legacy synchronous path: predictor off, so a miss falls
+        // through to the on-demand search.
         let mut server = GemmServer::new(
             vec![DeviceId::Tahiti.spec()],
             ServeConfig {
                 tune_misses: true,
+                predict: false,
+                background_refine: false,
+                tuning_db: None,
                 ..Default::default()
             },
         );
@@ -985,5 +1275,162 @@ mod tests {
             "the miss must have tuned and cached"
         );
         assert!(server.repo().get("Tahiti", Precision::F64).is_some());
+        // The synchronous result was persisted to the (in-memory) db
+        // and the entry is tagged as search-refined.
+        assert_eq!(server.tuning_db().len(), 1);
+        server.submit(request(64, 2)).unwrap();
+        server.drain();
+        assert_eq!(server.stats().hits_with(Provenance::Refined), 1);
+    }
+
+    /// A per-test tuning-database path under the system temp dir.
+    fn db_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push("clgemm-serve-db-tests");
+        std::fs::create_dir_all(&p).expect("temp dir");
+        p.push(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn predicted_cold_start_skips_the_synchronous_tuner() {
+        let mut server = GemmServer::new(
+            vec![DeviceId::Tahiti.spec()],
+            ServeConfig {
+                tune_misses: true,
+                predict: true,
+                background_refine: false,
+                tuning_db: None,
+                registry: Some(Registry::new()),
+                ..Default::default()
+            },
+        );
+        server.submit(request(64, 1)).unwrap();
+        assert_eq!(server.drain(), 1);
+        assert!(
+            server.repo().is_empty(),
+            "the predictor must preempt the synchronous tuner"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.predict_cold_starts, 1);
+        assert_eq!(stats.db_misses, 1);
+        // A repeat in the same bucket hits the predicted entry.
+        server.submit(request(64, 2)).unwrap();
+        server.drain();
+        assert_eq!(server.stats().hits_with(Provenance::Predicted), 1);
+    }
+
+    #[test]
+    fn background_refines_upgrade_the_cache_and_persist_across_restart() {
+        let path = db_path("refine");
+        let cfg = ServeConfig {
+            predict: true,
+            background_refine: true,
+            tuning_db: Some(path.clone()),
+            registry: Some(Registry::new()),
+            ..Default::default()
+        };
+        let mut server = GemmServer::new(vec![DeviceId::Tahiti.spec()], cfg.clone());
+        server.submit(request(64, 1)).unwrap();
+        server.drain();
+        assert_eq!(server.stats().predict_cold_starts, 1);
+        assert_eq!(server.wait_refines(), 1, "one refinement was enqueued");
+        assert_eq!(server.stats().refines, 1);
+        assert_eq!(server.tuning_db().len(), 1, "the refinement is committed");
+        // The refined parameters now serve the bucket.
+        server.submit(request(64, 2)).unwrap();
+        server.drain();
+        assert_eq!(server.stats().hits_with(Provenance::Refined), 1);
+        drop(server);
+
+        // Restart: a fresh server on the same path warms from disk —
+        // no search, no prediction, just the persisted winner.
+        let mut restarted = GemmServer::new(
+            vec![DeviceId::Tahiti.spec()],
+            ServeConfig {
+                registry: Some(Registry::new()),
+                ..cfg
+            },
+        );
+        restarted.submit(request(64, 3)).unwrap();
+        assert_eq!(restarted.drain(), 1);
+        let stats = restarted.stats();
+        assert_eq!(stats.db_hits, 1, "restart must warm from the database");
+        assert_eq!(stats.predict_cold_starts, 0);
+        restarted.submit(request(64, 4)).unwrap();
+        restarted.drain();
+        assert_eq!(restarted.stats().hits_with(Provenance::Persisted), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Valid parameters whose LDS footprint exceeds every built-in
+    /// device's local memory — committable, loadable, never launchable.
+    fn unlaunchable_params() -> KernelParams {
+        use clgemm::params::{Algorithm, StrideMode};
+        use clgemm_blas::layout::BlockLayout;
+        let p = KernelParams {
+            mwg: 128,
+            nwg: 128,
+            kwg: 64,
+            mdimc: 16,
+            ndimc: 16,
+            kwi: 2,
+            mdima: 16,
+            ndimb: 16,
+            vw: 2,
+            stride_m: StrideMode::Unit,
+            stride_n: StrideMode::Unit,
+            local_a: true,
+            local_b: true,
+            layout_a: BlockLayout::Cbl,
+            layout_b: BlockLayout::Cbl,
+            algorithm: Algorithm::Ba,
+            precision: Precision::F64,
+        };
+        p.validate().expect("poison params are structurally valid");
+        p
+    }
+
+    #[test]
+    fn stale_db_entries_fall_through_to_the_predictor() {
+        let path = db_path("stale");
+        let spec = DeviceId::Tahiti.spec();
+        {
+            let mut db = TuningDb::open(&path).expect("fresh db");
+            let key = serve_db_key(
+                &spec,
+                BatchKey {
+                    precision: Precision::F64,
+                    bucket: ShapeBucket::of(64, 64, 64),
+                },
+            );
+            db.commit(
+                key,
+                Measurement {
+                    params: unlaunchable_params(),
+                    n: 64,
+                    gflops: 1.0,
+                },
+            )
+            .expect("poison entry commits");
+        }
+        let mut server = GemmServer::new(
+            vec![spec],
+            ServeConfig {
+                predict: true,
+                background_refine: false,
+                tuning_db: Some(path.clone()),
+                registry: Some(Registry::new()),
+                ..Default::default()
+            },
+        );
+        server.submit(request(64, 1)).unwrap();
+        assert_eq!(server.drain(), 1, "stale entry must not block serving");
+        let stats = server.stats();
+        assert_eq!(stats.db_stale, 1);
+        assert_eq!(stats.db_hits, 0);
+        assert_eq!(stats.predict_cold_starts, 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

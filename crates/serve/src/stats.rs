@@ -26,7 +26,8 @@
 //! snapshot may run slightly ahead/behind the submit stream — the only
 //! permitted incoherence, and it is called out on the fields below.
 
-use clgemm_trace::{HistSummary, Histogram, Registry};
+use crate::cache::Provenance;
+use clgemm_trace::{Counter, HistSummary, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,6 +76,25 @@ pub struct ServerStats {
     pub batched_calls: AtomicU64,
     /// Total matrix entries across those strided-batched calls.
     pub batched_entries: AtomicU64,
+    /// Shape buckets cold-started from the analytical predictor with
+    /// zero search. Written only by the drain thread (Relaxed,
+    /// monotone).
+    pub predict_cold_starts: AtomicU64,
+    /// Tuning-database lookups that served a launchable entry.
+    /// Drain-thread only (see `predict_cold_starts`).
+    pub db_hits: AtomicU64,
+    /// Tuning-database lookups that found nothing for the key.
+    pub db_misses: AtomicU64,
+    /// Tuning-database entries found but unlaunchable for the bucket
+    /// (e.g. written by a different calibration and since gone bad).
+    pub db_stale: AtomicU64,
+    /// Background refinements absorbed into the cache so far. Written
+    /// only by the drain thread when it absorbs refiner results.
+    pub refines: AtomicU64,
+    /// Cache hits by entry provenance, indexed by
+    /// [`Provenance::index`]. Mirrored from the kernel cache at the end
+    /// of each drain, like `cache_hits`.
+    pub hits_by_provenance: [AtomicU64; 3],
     per_device: Mutex<BTreeMap<String, DeviceStat>>,
     registry: Registry,
     queue_wait: Arc<Histogram>,
@@ -82,6 +102,11 @@ pub struct ServerStats {
     batched_size: Arc<Histogram>,
     deadline_slack: Arc<Histogram>,
     drift_abs: Arc<Histogram>,
+    refine_seconds: Arc<Histogram>,
+    cold_start_total: Arc<Counter>,
+    db_hit_total: Arc<Counter>,
+    db_miss_total: Arc<Counter>,
+    db_stale_total: Arc<Counter>,
 }
 
 /// Per-device serving totals.
@@ -140,6 +165,11 @@ impl ServerStats {
         let batched_size = registry.histogram("serve_batched_entries", 1.0);
         let deadline_slack = registry.histogram("serve_deadline_slack_seconds", 1e-9);
         let drift_abs = registry.histogram("serve_model_drift_abs_seconds", 1e-9);
+        let refine_seconds = registry.histogram("tuner_background_refine_seconds", 1e-9);
+        let cold_start_total = registry.counter("predict_cold_start_total");
+        let db_hit_total = registry.counter("tuning_db_hit_total");
+        let db_miss_total = registry.counter("tuning_db_miss_total");
+        let db_stale_total = registry.counter("tuning_db_stale_total");
         ServerStats {
             enqueued: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -155,6 +185,12 @@ impl ServerStats {
             tile_substitutions: AtomicU64::new(0),
             batched_calls: AtomicU64::new(0),
             batched_entries: AtomicU64::new(0),
+            predict_cold_starts: AtomicU64::new(0),
+            db_hits: AtomicU64::new(0),
+            db_misses: AtomicU64::new(0),
+            db_stale: AtomicU64::new(0),
+            refines: AtomicU64::new(0),
+            hits_by_provenance: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             per_device: Mutex::new(BTreeMap::new()),
             registry,
             queue_wait,
@@ -162,6 +198,57 @@ impl ServerStats {
             batched_size,
             deadline_slack,
             drift_abs,
+            refine_seconds,
+            cold_start_total,
+            db_hit_total,
+            db_miss_total,
+            db_stale_total,
+        }
+    }
+
+    /// Record a shape bucket cold-started from the predictor with no
+    /// synchronous search.
+    pub fn note_predict_cold_start(&self) {
+        self.predict_cold_starts.fetch_add(1, Ordering::Relaxed);
+        self.cold_start_total.inc();
+    }
+
+    /// Record a tuning-database lookup that served a launchable entry.
+    pub fn note_db_hit(&self) {
+        self.db_hits.fetch_add(1, Ordering::Relaxed);
+        self.db_hit_total.inc();
+    }
+
+    /// Record a tuning-database lookup that found nothing.
+    pub fn note_db_miss(&self) {
+        self.db_misses.fetch_add(1, Ordering::Relaxed);
+        self.db_miss_total.inc();
+    }
+
+    /// Record a tuning-database entry rejected as unlaunchable.
+    pub fn note_db_stale(&self) {
+        self.db_stale.fetch_add(1, Ordering::Relaxed);
+        self.db_stale_total.inc();
+    }
+
+    /// Record one absorbed background refinement: how long the search
+    /// took, and how close the predictor's forecast came to the refined
+    /// result (exported per device as the
+    /// `predict_vs_tuned_gflops_ratio` gauge — a ratio near 1.0 means
+    /// cold starts were served near-optimally).
+    pub fn note_refine(
+        &self,
+        device: &str,
+        seconds: f64,
+        predicted_gflops: f64,
+        tuned_gflops: f64,
+    ) {
+        self.refines.fetch_add(1, Ordering::Relaxed);
+        self.refine_seconds.observe_value(seconds);
+        if tuned_gflops > 0.0 {
+            self.registry
+                .gauge_labeled("predict_vs_tuned_gflops_ratio", &[("device", device)])
+                .set(predicted_gflops / tuned_gflops);
         }
     }
 
@@ -277,6 +364,16 @@ impl ServerStats {
             tile_substitutions: self.tile_substitutions.load(Ordering::Relaxed),
             batched_calls: self.batched_calls.load(Ordering::Relaxed),
             batched_entries: self.batched_entries.load(Ordering::Relaxed),
+            predict_cold_starts: self.predict_cold_starts.load(Ordering::Relaxed),
+            db_hits: self.db_hits.load(Ordering::Relaxed),
+            db_misses: self.db_misses.load(Ordering::Relaxed),
+            db_stale: self.db_stale.load(Ordering::Relaxed),
+            refines: self.refines.load(Ordering::Relaxed),
+            hits_by_provenance: [
+                self.hits_by_provenance[0].load(Ordering::Relaxed),
+                self.hits_by_provenance[1].load(Ordering::Relaxed),
+                self.hits_by_provenance[2].load(Ordering::Relaxed),
+            ],
             queue_wait: self.queue_wait.summary(),
             batch_size: self.batch_size.summary(),
             batched_size: self.batched_size.summary(),
@@ -314,6 +411,19 @@ pub struct StatsSnapshot {
     pub batched_calls: u64,
     /// Total matrix entries across those strided-batched calls.
     pub batched_entries: u64,
+    /// Shape buckets cold-started from the analytical predictor.
+    pub predict_cold_starts: u64,
+    /// Tuning-database lookups that served a launchable entry.
+    pub db_hits: u64,
+    /// Tuning-database lookups that found nothing.
+    pub db_misses: u64,
+    /// Tuning-database entries rejected as unlaunchable.
+    pub db_stale: u64,
+    /// Background refinements absorbed into the cache.
+    pub refines: u64,
+    /// Cache hits by entry provenance ([`Provenance::index`] order:
+    /// predicted, refined, persisted).
+    pub hits_by_provenance: [u64; 3],
     /// Seconds requests sat queued before their batch executed.
     pub queue_wait: HistSummary,
     /// Completed requests per grouped launch.
@@ -333,6 +443,12 @@ impl StatsSnapshot {
     #[must_use]
     pub fn devices_used(&self) -> usize {
         self.per_device.values().filter(|d| d.requests > 0).count()
+    }
+
+    /// Cache hits on entries of one [`Provenance`].
+    #[must_use]
+    pub fn hits_with(&self, provenance: Provenance) -> u64 {
+        self.hits_by_provenance[provenance.index()]
     }
 }
 
@@ -359,6 +475,22 @@ impl fmt::Display for StatsSnapshot {
             self.rejected_queue_full, self.rejected_deadline, self.steals
         )?;
         writeln!(f, "tiles:    {} substituted", self.tile_substitutions)?;
+        if self.predict_cold_starts + self.db_hits + self.db_misses + self.db_stale + self.refines
+            > 0
+        {
+            writeln!(
+                f,
+                "predict:  {} cold starts, {} refined; db: {} hits, {} misses, {} stale",
+                self.predict_cold_starts, self.refines, self.db_hits, self.db_misses, self.db_stale
+            )?;
+            writeln!(
+                f,
+                "hits by provenance: {} predicted, {} refined, {} persisted",
+                self.hits_with(Provenance::Predicted),
+                self.hits_with(Provenance::Refined),
+                self.hits_with(Provenance::Persisted)
+            )?;
+        }
         if self.batched_calls > 0 {
             writeln!(
                 f,
@@ -511,6 +643,38 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("strided:  2 batched calls, 72 entries"));
         assert!(text.contains("batched drift"));
+    }
+
+    #[test]
+    fn predictor_notes_feed_counters_histogram_and_gauge() {
+        let stats = ServerStats::default();
+        stats.note_predict_cold_start();
+        stats.note_db_miss();
+        stats.note_db_stale();
+        stats.note_db_hit();
+        stats.note_db_hit();
+        stats.note_refine("Tahiti", 0.25, 90.0, 100.0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.predict_cold_starts, 1);
+        assert_eq!((snap.db_hits, snap.db_misses, snap.db_stale), (2, 1, 1));
+        assert_eq!(snap.refines, 1);
+        let reg = stats.registry().snapshot();
+        assert_eq!(reg.counter("predict_cold_start_total"), Some(1));
+        assert_eq!(reg.counter("tuning_db_hit_total"), Some(2));
+        assert_eq!(reg.counter("tuning_db_miss_total"), Some(1));
+        assert_eq!(reg.counter("tuning_db_stale_total"), Some(1));
+        let hist = reg
+            .hist("tuner_background_refine_seconds")
+            .expect("refine histogram registered");
+        assert_eq!(hist.count, 1);
+        assert!((hist.max - 0.25).abs() < 1e-9);
+        let ratio = reg
+            .gauge("predict_vs_tuned_gflops_ratio{device=\"Tahiti\"}")
+            .expect("ratio gauge set");
+        assert!((ratio - 0.9).abs() < 1e-12);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("predict:  1 cold starts"));
+        assert!(text.contains("hits by provenance"));
     }
 
     #[test]

@@ -28,17 +28,99 @@ fn payload_f64(rng: &mut Rng, m: usize, n: usize, k: usize) -> GemmPayload {
     }
 }
 
+/// Valid parameters whose LDS footprint exceeds every built-in device's
+/// local memory: committable to the tuning database, never launchable —
+/// exactly what a stale entry looks like.
+fn unlaunchable_params() -> KernelParams {
+    use clgemm::params::{Algorithm, StrideMode};
+    KernelParams {
+        mwg: 128,
+        nwg: 128,
+        kwg: 64,
+        mdimc: 16,
+        ndimc: 16,
+        kwi: 2,
+        mdima: 16,
+        ndimb: 16,
+        vw: 2,
+        stride_m: StrideMode::Unit,
+        stride_n: StrideMode::Unit,
+        local_a: true,
+        local_b: true,
+        layout_a: BlockLayout::Cbl,
+        layout_b: BlockLayout::Cbl,
+        algorithm: Algorithm::Ba,
+        precision: Precision::F64,
+    }
+}
+
 fn main() {
     clgemm_trace::set_enabled(true);
     let t0 = clgemm_trace::now_ns();
 
+    // ---- persistent tuning database ------------------------------------
+    // One db seeded with a stale (unlaunchable) entry per device for the
+    // 64³ bucket — forcing the stale path — and a second db holding a
+    // known-good winner, so the warm-restart hit path fires too.
+    let tmp = std::env::temp_dir();
+    let db_path = tmp.join(format!("clgemm-stats-db-{}.jsonl", std::process::id()));
+    let hit_path = tmp.join(format!("clgemm-stats-hit-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&db_path);
+    let _ = std::fs::remove_file(&hit_path);
+    {
+        use clgemm_serve::ShapeBucket;
+        let mut db = TuningDb::open(&db_path).expect("fresh db");
+        for dev in [DeviceId::Tahiti.spec(), DeviceId::Fermi.spec()] {
+            let bucket = ShapeBucket::of(64, 64, 64);
+            db.commit(
+                DbKey {
+                    fingerprint: dev.fingerprint(),
+                    m: bucket.m,
+                    n: bucket.n,
+                    k: bucket.k,
+                    gemm: "*".to_string(),
+                    storage: Precision::F64.to_string(),
+                },
+                Measurement {
+                    params: unlaunchable_params(),
+                    n: 64,
+                    gflops: 1.0,
+                },
+            )
+            .expect("stale seed commits");
+        }
+        let mut good = TuningDb::open(&hit_path).expect("fresh db");
+        let bucket = ShapeBucket::of(256, 256, 256);
+        good.commit(
+            DbKey {
+                fingerprint: DeviceId::Tahiti.spec().fingerprint(),
+                m: bucket.m,
+                n: bucket.n,
+                k: bucket.k,
+                gemm: "*".to_string(),
+                storage: Precision::F64.to_string(),
+            },
+            Measurement {
+                params: clgemm::params::tahiti_dgemm_best(),
+                n: 256,
+                gflops: 800.0,
+            },
+        )
+        .expect("good seed commits");
+    }
+
     // ---- serving layer -------------------------------------------------
     // Default config → the process-global registry, so the serve
-    // histograms land next to the routine/tuner/VM metrics below.
+    // histograms land next to the routine/tuner/VM metrics below. The
+    // predictor serves every cold bucket instantly; the background
+    // refiner re-derives them with real searches off the serving path.
     let mut server = GemmServer::new(
         vec![DeviceId::Tahiti.spec(), DeviceId::Fermi.spec()],
         ServeConfig {
             max_batch: 4,
+            predict: true,
+            background_refine: true,
+            tuning_db: Some(db_path.clone()),
             ..Default::default()
         },
     );
@@ -107,6 +189,39 @@ fn main() {
         assert!(packed.run.widened, "f16 storage must widen on pack");
     }
 
+    // Block on the background refiner: every predicted cold start above
+    // gets re-derived by a real (smoke-sized) search, upgrading the
+    // cache entries to `Refined`, persisting them into the tuning db,
+    // and moving the refine histogram + predicted-vs-tuned gauge.
+    let refined = server.wait_refines();
+    assert!(refined > 0, "cold starts must enqueue background refines");
+
+    // ---- warm restart from the tuning database -------------------------
+    // A second server over the pre-seeded "good" db: the very first
+    // request for the 256³ bucket resolves from disk — no predictor, no
+    // tuner — which is the whole point of persisting measurements.
+    {
+        let mut warm = GemmServer::new(
+            vec![DeviceId::Tahiti.spec()],
+            ServeConfig {
+                predict: true,
+                background_refine: false,
+                tuning_db: Some(hit_path.clone()),
+                ..Default::default()
+            },
+        );
+        let mut rng = Rng::new(11);
+        warm.submit(GemmRequest::new(
+            GemmType::NN,
+            payload_f64(&mut rng, 200, 200, 200),
+        ))
+        .expect("queue has room");
+        warm.drain();
+        let snap = warm.stats();
+        assert_eq!(snap.db_hits, 1, "256³ bucket must warm from disk");
+        assert_eq!(snap.predict_cold_starts, 0, "db hit preempts predictor");
+    }
+
     // ---- tuner + VM layers ---------------------------------------------
     // A smoke-sized search with winner verification: the verify step
     // compiles the winning kernel and runs it through the fast VM, so
@@ -115,6 +230,7 @@ fn main() {
     let opts = SearchOpts {
         top_k: 10,
         max_sweep_points: 8,
+        predictor_prune: true,
         ..Default::default()
     };
     let result = tune(&device, Precision::F64, &space, &opts);
@@ -193,6 +309,10 @@ fn main() {
         "routine_convert_on_pack_total",
         "routine_batch_path_total{path=\"direct\"}",
         "routine_batch_path_total{path=\"packed\"}",
+        "predict_cold_start_total",
+        "tuning_db_hit_total",
+        "tuning_db_miss_total",
+        "tuning_db_stale_total",
     ] {
         assert!(
             snap.counter(metric).is_some_and(|v| v > 0),
@@ -208,6 +328,22 @@ fn main() {
     );
     assert!(snap.hist("routine_batch_size").expect("hist").count > 0);
     assert!(snap.hist("serve_batched_entries").expect("hist").count > 0);
+    assert!(
+        snap.hist("tuner_background_refine_seconds")
+            .expect("hist")
+            .count
+            > 0
+    );
+    // Labeled metrics whose exact label set is scheduler-dependent:
+    // a prefix scan over the snapshot suffices.
+    for prefix in ["predict_vs_tuned_gflops_ratio{", "tuner_pruned_total{"] {
+        assert!(
+            snap.entries
+                .iter()
+                .any(|(name, _)| name.starts_with(prefix)),
+            "no metric with prefix {prefix}"
+        );
+    }
 
     // …and nothing registered may have stayed at rest.
     let dead = Registry::global().dead_metrics();
@@ -219,4 +355,7 @@ fn main() {
         "\ndead-metric lint: {} metrics, all live",
         snap.entries.len()
     );
+
+    let _ = std::fs::remove_file(&db_path);
+    let _ = std::fs::remove_file(&hit_path);
 }
