@@ -1,0 +1,304 @@
+//! Saturation bench: serving behaviour at and past capacity.
+//!
+//! A deterministic two-tenant workload (virtual-time execution, seeded
+//! operands) runs once at 1× capacity and once at 2×. At 1× every
+//! request meets its deadline; at 2× admission control and the in-batch
+//! guard shed what cannot finish in time while weighted-fair queueing
+//! keeps both tenants served and idempotent coalescing absorbs
+//! duplicate submissions. Smoke mode (`CLGEMM_BENCH_SMOKE=1`, used by
+//! CI) gates graceful degradation: served throughput and tail latency
+//! must not collapse at 2×, overload must shed (rather than queue
+//! without bound), conservation must hold (every submission is either
+//! answered or counted shed), and the coalescing hit-rate must be
+//! positive. Full runs write `BENCH_saturation.json` at the repo root.
+
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::GemmType;
+use clgemm_device::DeviceId;
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Outcome, ServeConfig};
+use clgemm_shim::json::Json;
+use clgemm_shim::Rng;
+use clgemm_trace::Registry;
+use std::collections::HashMap;
+
+/// Rounds of arrivals; the drain quota equals one round's 1× arrivals,
+/// so 1× is served round by round while 2× builds a backlog.
+const ROUNDS: usize = 6;
+/// Requests per tenant per round at 1× load.
+const BASE_PER_ROUND: usize = 6;
+const QUOTA: usize = 2 * BASE_PER_ROUND;
+
+struct LoadStats {
+    load: usize,
+    submitted: usize,
+    completed: usize,
+    shed_admit: u64,
+    shed_late: u64,
+    coalesce_hits: u64,
+    makespan: f64,
+    p50_done: f64,
+    p99_done: f64,
+    goodput_gflops: f64,
+    inter_completed: u64,
+    bulk_completed: u64,
+}
+
+fn request(rng: &mut Rng, n: usize, tenant: &str) -> GemmRequest {
+    let order = StorageOrder::ColMajor;
+    GemmRequest::new(
+        GemmType::NN,
+        GemmPayload::F64 {
+            alpha: 1.0,
+            a: Matrix::test_pattern(n, n, order, rng.next_u64()),
+            b: Matrix::test_pattern(n, n, order, rng.next_u64()),
+            beta: 0.5,
+            c: Matrix::test_pattern(n, n, order, rng.next_u64()),
+        },
+    )
+    .with_tenant(tenant)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+/// Serve `load`× the base workload; `deadline` is an absolute virtual
+/// deadline applied to every request (None = pre-pass to size it). At
+/// load ≥ 2 every eighth request per tenant duplicates its predecessor
+/// bit-for-bit, standing in for retries and fan-in duplicates.
+fn run_load(load: usize, deadline: Option<f64>) -> LoadStats {
+    let mut server = GemmServer::new(
+        vec![DeviceId::Tahiti.spec(), DeviceId::Cayman.spec()],
+        ServeConfig {
+            queue_capacity: 400,
+            drain_quota: QUOTA,
+            tenant_weights: vec![("inter".into(), 4), ("bulk".into(), 1)],
+            registry: Some(Registry::new()),
+            // Keep the run bit-deterministic: background refinement
+            // lands at wall-clock-dependent drains and would perturb
+            // the modelled timeline between runs.
+            background_refine: false,
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng::new(0x5A7);
+    let sizes = [48usize, 64, 96];
+    let mut submitted = 0usize;
+    let mut tenant_of: HashMap<u64, &'static str> = HashMap::new();
+    let mut done: Vec<f64> = Vec::new();
+    let mut flops_served = 0.0f64;
+    let mut completed = 0usize;
+
+    // Returns how many responses (any outcome) the drain produced —
+    // zero means the queue is truly empty, since shed requests are
+    // answered with `MissedDeadline` responses too.
+    let absorb = |server: &mut GemmServer,
+                  done: &mut Vec<f64>,
+                  flops: &mut f64,
+                  completed: &mut usize|
+     -> usize {
+        let responses = server.take_responses();
+        let n = responses.len();
+        for r in responses {
+            if r.outcome == Outcome::Completed {
+                *completed += 1;
+                done.push(r.done_at);
+                *flops += r.run.gflops * r.run.total * 1e9;
+            }
+        }
+        n
+    };
+
+    for _round in 0..ROUNDS {
+        for tenant in ["inter", "bulk"] {
+            let mut last: Option<GemmRequest> = None;
+            for i in 0..BASE_PER_ROUND * load {
+                let req = match (&last, load >= 2 && i % 8 == 7) {
+                    (Some(prev), true) => prev.clone(),
+                    _ => {
+                        let n = sizes[rng.range(0, sizes.len())];
+                        let fresh = request(&mut rng, n, tenant);
+                        last = Some(fresh.clone());
+                        fresh
+                    }
+                };
+                let req = match deadline {
+                    Some(d) => req.with_deadline(d),
+                    None => req,
+                };
+                submitted += 1;
+                if let Ok(id) = server.submit(req) {
+                    tenant_of.insert(id, tenant);
+                }
+                // A rejected submission was shed at admission — counted
+                // in the server stats, nothing further to do.
+            }
+        }
+        server.drain();
+        absorb(&mut server, &mut done, &mut flops_served, &mut completed);
+    }
+    // Flush the backlog (quota-limited, so keep draining until a drain
+    // produces no responses at all).
+    loop {
+        server.drain();
+        if absorb(&mut server, &mut done, &mut flops_served, &mut completed) == 0 {
+            break;
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.rejected_queue_full, 0,
+        "the queue must be sized for the workload"
+    );
+    // Conservation: every submission is answered or counted shed.
+    assert_eq!(
+        submitted as u64,
+        completed as u64 + stats.rejected_deadline_admit + stats.rejected_deadline_late,
+        "submissions must balance completions + sheds"
+    );
+
+    let makespan = server
+        .workers()
+        .iter()
+        .map(clgemm_sim::DeviceWorker::busy_until)
+        .fold(0.0, f64::max);
+    done.sort_by(f64::total_cmp);
+    LoadStats {
+        load,
+        submitted,
+        completed,
+        shed_admit: stats.rejected_deadline_admit,
+        shed_late: stats.rejected_deadline_late,
+        coalesce_hits: stats.coalesce_hits,
+        makespan,
+        p50_done: percentile(&done, 0.50),
+        p99_done: percentile(&done, 0.99),
+        goodput_gflops: if makespan > 0.0 {
+            flops_served / makespan / 1e9
+        } else {
+            0.0
+        },
+        inter_completed: stats.per_tenant.get("inter").map_or(0, |t| t.completed),
+        bulk_completed: stats.per_tenant.get("bulk").map_or(0, |t| t.completed),
+    }
+}
+
+fn print_row(s: &LoadStats) {
+    println!(
+        "saturation/{}x: {} submitted, {} completed ({} shed at admit, {} late), \
+         {} coalesced, makespan {:.3} ms, p50/p99 done {:.3}/{:.3} ms, {:.1} GFlop/s goodput, \
+         inter:bulk completed {}:{}",
+        s.load,
+        s.submitted,
+        s.completed,
+        s.shed_admit,
+        s.shed_late,
+        s.coalesce_hits,
+        s.makespan * 1e3,
+        s.p50_done * 1e3,
+        s.p99_done * 1e3,
+        s.goodput_gflops,
+        s.inter_completed,
+        s.bulk_completed,
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("CLGEMM_BENCH_SMOKE").is_some_and(|v| v == "1");
+
+    // Pre-pass: virtual makespan of the 1× workload with no deadlines
+    // sizes the deadline budget every request gets in the real runs.
+    let budget = 1.3 * run_load(1, None).makespan;
+    println!(
+        "saturation/deadline budget: {:.3} ms of virtual time",
+        budget * 1e3
+    );
+
+    let at_1x = run_load(1, Some(budget));
+    let at_2x = run_load(2, Some(budget));
+    print_row(&at_1x);
+    print_row(&at_2x);
+
+    if smoke {
+        // Gate 1: within capacity, nothing is shed and all complete.
+        assert_eq!(
+            at_1x.completed, at_1x.submitted,
+            "1x load must complete everything inside the deadline budget"
+        );
+        // Gate 2: past capacity the server sheds — it does not pretend.
+        assert!(
+            at_2x.shed_admit + at_2x.shed_late > 0,
+            "2x load must shed work it cannot finish in time"
+        );
+        assert!(
+            at_2x.shed_admit > 0,
+            "overload must be caught at admission, not only in-batch"
+        );
+        // Gate 3: graceful degradation — served throughput and the tail
+        // must not collapse under 2x load.
+        assert!(
+            at_2x.completed as f64 >= 0.75 * at_1x.completed as f64,
+            "2x completions ({}) collapsed vs 1x ({})",
+            at_2x.completed,
+            at_1x.completed
+        );
+        assert!(
+            at_2x.goodput_gflops >= 0.75 * at_1x.goodput_gflops,
+            "2x goodput ({:.1}) collapsed vs 1x ({:.1})",
+            at_2x.goodput_gflops,
+            at_1x.goodput_gflops
+        );
+        assert!(
+            at_2x.p99_done <= 3.0 * at_1x.p99_done.max(f64::EPSILON),
+            "2x p99 completion ({:.4}s) blew past 3x the 1x tail ({:.4}s)",
+            at_2x.p99_done,
+            at_1x.p99_done
+        );
+        // Gate 4: duplicates coalesce instead of recomputing.
+        assert!(
+            at_2x.coalesce_hits > 0,
+            "duplicate submissions must share executions"
+        );
+        // Gate 5: weighted fairness under overload — the light tenant
+        // is not starved, the heavy tenant is not inverted.
+        assert!(at_2x.bulk_completed > 0, "bulk tenant starved at 2x");
+        assert!(
+            at_2x.inter_completed >= at_2x.bulk_completed,
+            "4:1 weights inverted: inter {} < bulk {}",
+            at_2x.inter_completed,
+            at_2x.bulk_completed
+        );
+        println!("saturation smoke gates: overload sheds, throughput holds, duplicates coalesce");
+        return;
+    }
+
+    let row = |s: &LoadStats| {
+        Json::obj(vec![
+            ("load", Json::Num(s.load as f64)),
+            ("submitted", Json::Num(s.submitted as f64)),
+            ("completed", Json::Num(s.completed as f64)),
+            ("shed_at_admission", Json::Num(s.shed_admit as f64)),
+            ("shed_in_batch", Json::Num(s.shed_late as f64)),
+            ("coalesce_hits", Json::Num(s.coalesce_hits as f64)),
+            ("virtual_makespan_seconds", Json::Num(s.makespan)),
+            ("p50_done_seconds", Json::Num(s.p50_done)),
+            ("p99_done_seconds", Json::Num(s.p99_done)),
+            ("goodput_gflops", Json::Num(s.goodput_gflops)),
+            ("inter_completed", Json::Num(s.inter_completed as f64)),
+            ("bulk_completed", Json::Num(s.bulk_completed as f64)),
+        ])
+    };
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("saturation".into())),
+        ("deadline_budget_seconds", Json::Num(budget)),
+        ("tenant_weights", Json::Str("inter:4, bulk:1".into())),
+        ("loads", Json::Arr(vec![row(&at_1x), row(&at_2x)])),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_saturation.json");
+    std::fs::write(path, doc.to_string_compact()).expect("write BENCH_saturation.json");
+    println!("wrote {path}");
+}

@@ -11,6 +11,7 @@ pub mod hybrid;
 pub mod observability;
 pub mod paperparams;
 pub mod prediction;
+pub mod saturation;
 pub mod serving;
 pub mod strategies;
 pub mod table1;

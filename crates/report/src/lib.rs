@@ -27,6 +27,7 @@
 //! | `observability` | EXTENSION: clgemm-trace lifecycle histograms, drift and phase spans |
 //! | `batched` | EXTENSION: strided-batched GEMM — direct path, amortised packing, f16/bf16 storage |
 //! | `prediction` | EXTENSION: analytical parameter prediction and the persistent tuning database |
+//! | `saturation` | EXTENSION: serving under overload — admission control, fair queueing, coalescing |
 
 pub mod experiments;
 pub mod lab;
@@ -38,7 +39,7 @@ pub use plot::{ascii_chart, Series};
 pub use render::{Report, TextTable};
 
 /// Names of all experiments in paper order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "table1",
     "fig7",
     "table2",
@@ -55,6 +56,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "observability",
     "batched",
     "prediction",
+    "saturation",
 ];
 
 /// Run one experiment by name.
@@ -76,6 +78,7 @@ pub fn run_experiment(name: &str, lab: &mut Lab) -> Option<Report> {
         "observability" => experiments::observability::report(lab),
         "batched" => experiments::batched::report(lab),
         "prediction" => experiments::prediction::report(lab),
+        "saturation" => experiments::saturation::report(lab),
         _ => return None,
     })
 }

@@ -8,6 +8,7 @@
 
 use crate::request::{GemmRequest, PendingRequest, Priority, ShapeBucket};
 use clgemm_blas::scalar::Precision;
+use std::collections::HashMap;
 
 /// What a batch shares: one precision, one shape bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,14 +70,21 @@ impl Batch {
 #[must_use]
 pub fn coalesce(pending: Vec<PendingRequest>, max_batch: usize, first_id: u64) -> Vec<Batch> {
     assert!(max_batch > 0, "max_batch must be positive");
-    // Stable grouping: Vec of groups keyed by BatchKey, in first-seen
-    // order (no hash maps, so batch numbering is deterministic).
+    // Stable grouping: a Vec of groups in first-seen order keeps batch
+    // numbering deterministic; a HashMap indexes into it so each
+    // request finds its group in O(1) instead of scanning every group
+    // (the old linear scan was quadratic on the saturation bench's
+    // thousands-deep drains).
     let mut groups: Vec<(BatchKey, Vec<PendingRequest>)> = Vec::new();
+    let mut index: HashMap<BatchKey, usize> = HashMap::new();
     for pending_req in pending {
         let key = BatchKey::of(&pending_req.req);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, members)) => members.push(pending_req),
-            None => groups.push((key, vec![pending_req])),
+        match index.get(&key) {
+            Some(&i) => groups[i].1.push(pending_req),
+            None => {
+                index.insert(key, groups.len());
+                groups.push((key, vec![pending_req]));
+            }
         }
     }
     // Urgent groups first; earliest arrival breaks ties.
@@ -132,6 +140,7 @@ mod tests {
         PendingRequest {
             id,
             enqueued_ns: 0,
+            admit_cost: 0.0,
             req,
         }
     }

@@ -1,0 +1,376 @@
+//! Content-addressed request identity and the idempotent result cache.
+//!
+//! Serving traffic repeats itself: retries, fan-in from replicated
+//! callers, and periodic jobs all submit byte-identical GEMMs. Because
+//! the routine layer is bit-exact — the same operands and kernel
+//! parameters always produce the same `C` — identical requests are
+//! *idempotent*, and executing each copy is pure waste. This module
+//! gives every request a [`ContentKey`] (a hash of shape, transpose
+//! type, scalars, and every input element's bit pattern) so the server
+//! can run one representative and fan the result out, plus a small
+//! bounded LRU [`ResultCache`] so repeats arriving *after* the original
+//! completed are served without touching a device.
+//!
+//! Correctness argument: two requests with equal keys are treated as
+//! the same computation. The key covers everything `TunedGemm` reads —
+//! `op(A)`/`op(B)` selection, both dimensions and storage order of
+//! every operand, `alpha`/`beta` bit patterns, and all logical elements
+//! of `A`, `B`, *and* `C` (`C` participates whenever `beta != 0`, and
+//! hashing it unconditionally is cheaper than reasoning about when it
+//! is dead). Two independent 64-bit FNV-1a streams with different
+//! offsets plus the total element count make accidental collision
+//! probability ~2⁻¹²⁸ per pair — and a collision could only ever
+//! substitute one *served result* for another, never corrupt a batch.
+
+use crate::request::{GemmPayload, GemmRequest};
+use clgemm::params::KernelParams;
+use clgemm::routine::GemmRun;
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Scalar;
+use clgemm_blas::Trans;
+
+/// Content identity of a GEMM request: equal keys ⇒ the same
+/// computation (same tuned kernel inputs, bit for bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    h1: u64,
+    h2: u64,
+    /// Total logical elements hashed, as a cheap length guard.
+    elems: u64,
+}
+
+/// Two independent FNV-1a streams (different offset bases) fed the
+/// same word sequence.
+struct Fnv2 {
+    h1: u64,
+    h2: u64,
+    words: u64,
+}
+
+impl Fnv2 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Fnv2 {
+        Fnv2 {
+            h1: 0xCBF2_9CE4_8422_2325, // standard FNV offset basis
+            h2: 0x6C62_272E_07BB_0142, // FNV-1a 128-bit basis (low word)
+            words: 0,
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.h1 = (self.h1 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+            self.h2 = (self.h2 ^ u64::from(byte ^ 0x5A)).wrapping_mul(Self::PRIME);
+        }
+        self.words += 1;
+    }
+}
+
+fn trans_tag(t: Trans) -> u64 {
+    match t {
+        Trans::No => 0,
+        Trans::Yes => 1,
+    }
+}
+
+fn order_tag(o: StorageOrder) -> u64 {
+    match o {
+        StorageOrder::ColMajor => 0,
+        StorageOrder::RowMajor => 1,
+    }
+}
+
+/// Hash one operand: shape, storage order, and every logical element's
+/// bit pattern (logical traversal, so `ld` padding bytes — which the
+/// kernel never reads — cannot split identical requests apart).
+fn hash_matrix<T: Scalar>(h: &mut Fnv2, m: &Matrix<T>) -> u64 {
+    h.write_u64(m.rows() as u64);
+    h.write_u64(m.cols() as u64);
+    h.write_u64(order_tag(m.order()));
+    for j in 0..m.cols() {
+        for i in 0..m.rows() {
+            h.write_u64(m.at(i, j).to_f64().to_bits());
+        }
+    }
+    (m.rows() * m.cols()) as u64
+}
+
+/// The content key of a request. Cost is one pass over the operands —
+/// far cheaper than the GEMM itself (O(n²) vs O(n³)).
+#[must_use]
+pub fn content_key(req: &GemmRequest) -> ContentKey {
+    let mut h = Fnv2::new();
+    h.write_u64(trans_tag(req.ty.ta));
+    h.write_u64(trans_tag(req.ty.tb));
+    let elems = match &req.payload {
+        GemmPayload::F64 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            h.write_u64(0); // precision tag
+            h.write_u64(alpha.to_bits());
+            h.write_u64(beta.to_bits());
+            hash_matrix(&mut h, a) + hash_matrix(&mut h, b) + hash_matrix(&mut h, c)
+        }
+        GemmPayload::F32 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            h.write_u64(1);
+            h.write_u64(u64::from(alpha.to_bits()));
+            h.write_u64(u64::from(beta.to_bits()));
+            hash_matrix(&mut h, a) + hash_matrix(&mut h, b) + hash_matrix(&mut h, c)
+        }
+    };
+    ContentKey {
+        h1: h.h1,
+        h2: h.h2,
+        elems,
+    }
+}
+
+/// The result matrix a completed request produced, in its precision.
+#[derive(Debug, Clone)]
+pub enum CachedC {
+    F64(Matrix<f64>),
+    F32(Matrix<f32>),
+}
+
+impl CachedC {
+    /// Capture the (already computed) `C` out of a served payload.
+    #[must_use]
+    pub fn capture(payload: &GemmPayload) -> CachedC {
+        match payload {
+            GemmPayload::F64 { c, .. } => CachedC::F64(c.clone()),
+            GemmPayload::F32 { c, .. } => CachedC::F32(c.clone()),
+        }
+    }
+
+    /// Copy the cached result into a follower's payload. Precisions
+    /// always match because precision is part of the content key.
+    pub fn write_into(&self, payload: &mut GemmPayload) {
+        match (self, payload) {
+            (CachedC::F64(src), GemmPayload::F64 { c, .. }) => *c = src.clone(),
+            (CachedC::F32(src), GemmPayload::F32 { c, .. }) => *c = src.clone(),
+            _ => unreachable!("content key includes precision"),
+        }
+    }
+}
+
+/// Everything needed to answer a duplicate request exactly as the
+/// original was answered — device, parameters, modelled run, and the
+/// result bits — so replaying the response still reproduces `C`.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Code name of the device that served the original.
+    pub device: String,
+    /// The kernel parameters the original executed with.
+    pub params: KernelParams,
+    /// Modelled timing of the original's share of its batch.
+    pub run: GemmRun,
+    /// Virtual time the original's batch drained.
+    pub done_at: f64,
+    /// The batch the original was grouped into.
+    pub batch: u64,
+    /// The computed result.
+    pub c: CachedC,
+}
+
+/// A small LRU from [`ContentKey`] to the served result — the
+/// cross-drain half of idempotent coalescing. Front is MRU.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: Vec<(ContentKey, CachedResult)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        assert!(capacity > 0, "result cache capacity must be positive");
+        ResultCache {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up and touch: a hit moves the entry to the MRU position.
+    pub fn get(&mut self, key: &ContentKey) -> Option<&CachedResult> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(pos) => {
+                self.hits += 1;
+                let entry = self.entries.remove(pos);
+                self.entries.insert(0, entry);
+                Some(&self.entries[0].1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert at MRU, evicting the LRU entry when full. Replaces any
+    /// existing entry for the key.
+    pub fn insert(&mut self, key: ContentKey, result: CachedResult) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+        self.entries.insert(0, (key, result));
+    }
+
+    /// Number of cached results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` so far.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgemm_blas::GemmType;
+
+    fn request(seed: u64, alpha: f64) -> GemmRequest {
+        GemmRequest::new(
+            GemmType::NN,
+            GemmPayload::F64 {
+                alpha,
+                a: Matrix::test_pattern(24, 16, StorageOrder::ColMajor, seed),
+                b: Matrix::test_pattern(16, 20, StorageOrder::ColMajor, seed + 1),
+                beta: 0.0,
+                c: Matrix::zeros(24, 20, StorageOrder::ColMajor),
+            },
+        )
+    }
+
+    #[test]
+    fn identical_requests_share_a_key() {
+        assert_eq!(content_key(&request(7, 1.0)), content_key(&request(7, 1.0)));
+    }
+
+    #[test]
+    fn any_input_difference_changes_the_key() {
+        let base = content_key(&request(7, 1.0));
+        // Different input bytes.
+        assert_ne!(base, content_key(&request(8, 1.0)));
+        // Different scalar.
+        assert_ne!(base, content_key(&request(7, 1.5)));
+        // Different transpose type (same operand bytes).
+        let mut transposed = request(7, 1.0);
+        transposed.ty = GemmType::NT;
+        if let GemmPayload::F64 { b, c, .. } = &mut transposed.payload {
+            *b = Matrix::test_pattern(20, 16, StorageOrder::ColMajor, 8);
+            *c = Matrix::zeros(24, 20, StorageOrder::ColMajor);
+        }
+        assert_ne!(base, content_key(&transposed));
+        // Different C under beta != 0.
+        let mut seeded_c = request(7, 1.0);
+        if let GemmPayload::F64 { beta, c, .. } = &mut seeded_c.payload {
+            *beta = 1.0;
+            *c = Matrix::test_pattern(24, 20, StorageOrder::ColMajor, 3);
+        }
+        assert_ne!(base, content_key(&seeded_c));
+    }
+
+    #[test]
+    fn precision_is_part_of_the_key() {
+        let f32_req = GemmRequest::new(
+            GemmType::NN,
+            GemmPayload::F32 {
+                alpha: 1.0,
+                a: Matrix::test_pattern(24, 16, StorageOrder::ColMajor, 7),
+                b: Matrix::test_pattern(16, 20, StorageOrder::ColMajor, 8),
+                beta: 0.0,
+                c: Matrix::zeros(24, 20, StorageOrder::ColMajor),
+            },
+        );
+        assert_ne!(content_key(&request(7, 1.0)), content_key(&f32_req));
+    }
+
+    #[test]
+    fn tenant_and_priority_do_not_split_the_key() {
+        // Identity is *content*: scheduling metadata must not defeat
+        // coalescing across tenants.
+        let a = request(7, 1.0).with_tenant("alpha");
+        let b = request(7, 1.0)
+            .with_tenant("beta")
+            .with_priority(crate::request::Priority::High);
+        assert_eq!(content_key(&a), content_key(&b));
+    }
+
+    fn cached(tag: f64) -> CachedResult {
+        CachedResult {
+            device: "Tahiti".into(),
+            params: clgemm::params::small_test_params(clgemm_blas::scalar::Precision::F64),
+            run: GemmRun::empty(),
+            done_at: tag,
+            batch: 0,
+            c: CachedC::F64(Matrix::zeros(1, 1, StorageOrder::ColMajor)),
+        }
+    }
+
+    #[test]
+    fn result_cache_is_lru_with_counters() {
+        let k = |s| content_key(&request(s, 1.0));
+        let mut cache = ResultCache::new(2);
+        cache.insert(k(1), cached(1.0));
+        cache.insert(k(2), cached(2.0));
+        assert!(cache.get(&k(1)).is_some(), "touch 1 so 2 becomes LRU");
+        cache.insert(k(3), cached(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k(2)).is_none(), "2 was LRU and must go");
+        assert!(cache.get(&k(3)).is_some());
+        assert_eq!(cache.counters(), (2, 1, 1));
+    }
+
+    #[test]
+    fn cached_c_round_trips_into_a_payload() {
+        let src = Matrix::test_pattern(6, 5, StorageOrder::ColMajor, 9);
+        let cached = CachedC::F64(src.clone());
+        let mut payload = GemmPayload::F64 {
+            alpha: 1.0,
+            a: Matrix::zeros(6, 4, StorageOrder::ColMajor),
+            b: Matrix::zeros(4, 5, StorageOrder::ColMajor),
+            beta: 0.0,
+            c: Matrix::zeros(6, 5, StorageOrder::ColMajor),
+        };
+        cached.write_into(&mut payload);
+        let GemmPayload::F64 { c, .. } = payload else {
+            unreachable!()
+        };
+        assert_eq!(c.as_slice(), src.as_slice(), "bit-identical copy");
+    }
+}

@@ -7,9 +7,19 @@
 //! that serving story over the reproduction's simulated platform:
 //!
 //! * [`GemmServer`] accepts [`GemmRequest`]s (any of the four GEMM
-//!   types, either precision, optional deadline and priority) on a
-//!   bounded MPMC queue with backpressure — a full queue *rejects*
-//!   instead of growing without bound.
+//!   types, either precision, optional deadline, priority and tenant)
+//!   behind *admission control*: completion is projected from a cost
+//!   estimate plus the queued backlog, requests whose deadline slack is
+//!   already negative are shed at submit, and Low-priority work is shed
+//!   once the queue passes a high watermark.
+//! * Admitted work lands in a per-tenant weighted-fair queue
+//!   ([`FairQueue`]): deficit-round-robin across tenant lanes divides
+//!   *work* (flops, not request counts) by configured weight, and
+//!   per-lane capacity shares stop one tenant squatting the queue.
+//! * Identical concurrent requests are *idempotently coalesced*: a
+//!   content-addressed key over shape, type, scalars and input bytes
+//!   lets duplicates share one execution, and a bounded LRU
+//!   [`ResultCache`] replays recent results across drains.
 //! * A shape-bucketed kernel cache ([`KernelCache`]) fronts the
 //!   [`KernelRepo`](clgemm::repo::KernelRepo): requests whose padded
 //!   shapes fall in the same bucket share one tuned parameter set, LRU
@@ -39,6 +49,7 @@
 pub mod batch;
 pub mod batched;
 pub mod cache;
+pub mod inflight;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
@@ -48,10 +59,12 @@ pub mod stats;
 pub use batch::{coalesce, Batch, BatchKey};
 pub use batched::{BatchedPayload, BatchedRequest, BatchedResponse};
 pub use cache::{CacheKey, KernelCache, Provenance};
-pub use queue::BoundedQueue;
+pub use inflight::{content_key, CachedC, CachedResult, ContentKey, ResultCache};
+pub use queue::{BoundedQueue, FairQueue};
 pub use request::{
-    GemmPayload, GemmRequest, GemmResponse, Outcome, Priority, RequestId, ShapeBucket,
+    GemmPayload, GemmRequest, GemmResponse, Outcome, Priority, RequestId, ShapeBucket, TenantId,
+    DEFAULT_TENANT,
 };
 pub use scheduler::{Placement, Scheduler};
 pub use server::{GemmServer, RejectReason, ServeConfig, Submitter};
-pub use stats::{DeviceStat, ServerStats, StatsSnapshot};
+pub use stats::{DeviceStat, ServerStats, StatsSnapshot, TenantStat};

@@ -1,10 +1,20 @@
-//! A bounded multi-producer multi-consumer queue with backpressure.
+//! Bounded submission queues with backpressure.
 //!
-//! `Mutex<VecDeque>` + `Condvar` — deliberately boring. The important
+//! [`BoundedQueue`] is the original single-lane MPMC queue
+//! (`Mutex<VecDeque>` + `Condvar` — deliberately boring). The important
 //! property is the *bound*: a server that buffers without limit turns
-//! overload into latency collapse; this queue turns it into prompt
+//! overload into latency collapse; a bounded queue turns it into prompt
 //! rejection at submit time instead.
+//!
+//! [`FairQueue`] is what the server drains from since the serve-at-
+//! scale work: one lane per tenant, each bounded to a weighted share of
+//! the total capacity, drained by deficit round-robin (DRR) over the
+//! requests' arithmetic cost. Under overload every backlogged tenant
+//! receives device time proportional to its weight, and a bulk tenant
+//! can neither starve the drain (DRR) nor squat the whole queue
+//! (weighted lane caps).
 
+use crate::request::{PendingRequest, TenantId};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -92,6 +102,206 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// One tenant's lane in the fair queue.
+#[derive(Debug)]
+struct Lane {
+    tenant: TenantId,
+    weight: u32,
+    /// DRR deficit counter, in flop units. Reset when the lane empties.
+    deficit: f64,
+    items: VecDeque<PendingRequest>,
+}
+
+#[derive(Debug)]
+struct FairInner {
+    lanes: Vec<Lane>,
+    len: usize,
+    /// DRR cursor: which lane the next drain round starts at, so
+    /// service alternates fairly across drains too.
+    cursor: usize,
+    /// Largest single-request cost seen, used as the DRR quantum base:
+    /// a quantum ≥ the largest cost guarantees every backlogged lane is
+    /// served at least once per round (no starvation).
+    max_cost: f64,
+}
+
+/// A bounded per-tenant fair queue drained by weighted deficit
+/// round-robin.
+///
+/// Capacity is shared: each tenant's lane is bounded to
+/// `capacity · weight / Σ weights-of-present-tenants` (at least 1), so
+/// a tenant flooding the server bounces off its own share while other
+/// tenants keep enqueueing. Configured tenants count as present from
+/// construction — a bulk tenant that shows up first cannot squat the
+/// shares of tenants the server was told to expect. The drain
+/// interleaves lanes by DRR with the
+/// request's arithmetic cost (`2mnk` flops) as the packet size and
+/// `weight × max_cost` as the quantum — weights therefore divide device
+/// *work*, not request counts, and mixed request sizes stay fair.
+#[derive(Debug)]
+pub struct FairQueue {
+    inner: Mutex<FairInner>,
+    capacity: usize,
+    /// Configured weights; tenants not listed get weight 1.
+    weights: Vec<(TenantId, u32)>,
+}
+
+/// The DRR cost of one request, in flops.
+fn drr_cost(p: &PendingRequest) -> f64 {
+    p.req.payload.flops(p.req.ty).max(1.0)
+}
+
+impl FairQueue {
+    /// A queue holding at most `capacity` requests across all tenants.
+    /// `weights` assigns fair-share weights per tenant name (absent
+    /// tenants weigh 1; zero weights are clamped to 1).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, weights: Vec<(TenantId, u32)>) -> FairQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        // Configured tenants get their lane up front so their weighted
+        // share is reserved before they ever submit.
+        let lanes = weights
+            .iter()
+            .map(|(t, w)| Lane {
+                tenant: t.clone(),
+                weight: (*w).max(1),
+                deficit: 0.0,
+                items: VecDeque::new(),
+            })
+            .collect();
+        FairQueue {
+            inner: Mutex::new(FairInner {
+                lanes,
+                len: 0,
+                cursor: 0,
+                max_cost: 0.0,
+            }),
+            capacity,
+            weights,
+        }
+    }
+
+    /// Maximum number of queued requests across all lanes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued across all lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured weight of a tenant (1 when unlisted).
+    #[must_use]
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.weights
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map_or(1, |(_, w)| (*w).max(1))
+    }
+
+    /// Enqueue into the submitter's tenant lane, or hand the request
+    /// back (boxed — it carries whole matrices) when the queue or the
+    /// tenant's weighted share of it is full — the caller decides
+    /// whether to retry, shed or block.
+    pub fn try_push(&self, item: PendingRequest) -> Result<(), Box<PendingRequest>> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.len >= self.capacity {
+            return Err(Box::new(item));
+        }
+        let weight = self.weight_of(&item.req.tenant);
+        let lane = match q.lanes.iter().position(|l| l.tenant == item.req.tenant) {
+            Some(i) => i,
+            None => {
+                q.lanes.push(Lane {
+                    tenant: item.req.tenant.clone(),
+                    weight,
+                    deficit: 0.0,
+                    items: VecDeque::new(),
+                });
+                q.lanes.len() - 1
+            }
+        };
+        // Weighted share of the capacity over the tenants present.
+        let total_weight: u64 = q.lanes.iter().map(|l| u64::from(l.weight.max(1))).sum();
+        let share = (self.capacity as u64 * u64::from(weight) / total_weight.max(1)).max(1);
+        if q.lanes[lane].items.len() as u64 >= share {
+            return Err(Box::new(item));
+        }
+        q.max_cost = q.max_cost.max(drr_cost(&item));
+        q.lanes[lane].items.push_back(item);
+        q.len += 1;
+        Ok(())
+    }
+
+    /// Drain up to `quota` requests in deficit-round-robin order.
+    ///
+    /// Each round credits every backlogged lane `weight × quantum`
+    /// (quantum = the largest request cost seen, so every lane advances
+    /// every round) and pops requests while the lane's deficit covers
+    /// their cost. With `quota == usize::MAX` this empties the queue in
+    /// fair interleaved order; with a finite quota the remainder stays
+    /// queued for the next drain, cursor preserved.
+    pub fn drain_fair(&self, quota: usize) -> Vec<PendingRequest> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        let mut out = Vec::new();
+        if q.len == 0 || quota == 0 {
+            return out;
+        }
+        let quantum = q.max_cost.max(1.0);
+        let n_lanes = q.lanes.len();
+        loop {
+            let mut popped_this_round = false;
+            for step in 0..n_lanes {
+                let i = (q.cursor + step) % n_lanes;
+                if q.lanes[i].items.is_empty() {
+                    q.lanes[i].deficit = 0.0;
+                    continue;
+                }
+                q.lanes[i].deficit += f64::from(q.lanes[i].weight.max(1)) * quantum;
+                while let Some(front) = q.lanes[i].items.front() {
+                    let cost = drr_cost(front);
+                    if cost > q.lanes[i].deficit || out.len() >= quota {
+                        break;
+                    }
+                    q.lanes[i].deficit -= cost;
+                    out.push(q.lanes[i].items.pop_front().expect("front checked"));
+                    q.len -= 1;
+                    popped_this_round = true;
+                }
+                if q.lanes[i].items.is_empty() {
+                    q.lanes[i].deficit = 0.0;
+                }
+                if out.len() >= quota {
+                    q.cursor = (i + 1) % n_lanes;
+                    return out;
+                }
+            }
+            if q.len == 0 || !popped_this_round {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Drain everything queued in fair order (full-drain semantics the
+    /// pre-fair-queue server had, minus the head-of-line monopoly).
+    pub fn drain_all(&self) -> Vec<PendingRequest> {
+        self.drain_fair(usize::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +357,114 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_secs(5)), Some(7));
         h.join().unwrap();
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    // ---- FairQueue ----------------------------------------------------
+
+    use crate::request::{GemmPayload, GemmRequest};
+    use clgemm_blas::matrix::{Matrix, StorageOrder};
+    use clgemm_blas::GemmType;
+
+    fn pending(id: u64, tenant: &str, n: usize) -> PendingRequest {
+        PendingRequest {
+            id,
+            enqueued_ns: 0,
+            admit_cost: 0.0,
+            req: GemmRequest::new(
+                GemmType::NN,
+                GemmPayload::F64 {
+                    alpha: 1.0,
+                    a: Matrix::zeros(n, n, StorageOrder::ColMajor),
+                    b: Matrix::zeros(n, n, StorageOrder::ColMajor),
+                    beta: 0.0,
+                    c: Matrix::zeros(n, n, StorageOrder::ColMajor),
+                },
+            )
+            .with_tenant(tenant),
+        }
+    }
+
+    #[test]
+    fn single_tenant_drains_fifo() {
+        let q = FairQueue::new(8, Vec::new());
+        for id in 0..5 {
+            q.try_push(pending(id, "default", 32)).unwrap();
+        }
+        let ids: Vec<u64> = q.drain_all().iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drr_splits_equal_cost_work_by_weight() {
+        let q = FairQueue::new(64, vec![("bulk".into(), 4)]);
+        for id in 0..8 {
+            q.try_push(pending(id, "inter", 32)).unwrap();
+            q.try_push(pending(100 + id, "bulk", 32)).unwrap();
+        }
+        // Quota 10, equal costs: each DRR round serves 1 inter + 4 bulk.
+        let out = q.drain_fair(10);
+        assert_eq!(out.len(), 10);
+        let bulk = out.iter().filter(|p| p.req.tenant == "bulk").count();
+        let inter = out.len() - bulk;
+        assert_eq!((inter, bulk), (2, 8), "1:4 weights → 1:4 service");
+        assert_eq!(q.len(), 6, "remainder stays queued");
+    }
+
+    #[test]
+    fn weights_divide_work_not_request_counts() {
+        // Same weight, but tenant "big" sends 64³ requests (8× the
+        // flops of 32³): DRR must serve ~8 small per big, not 1:1.
+        let q = FairQueue::new(64, Vec::new());
+        for id in 0..16 {
+            q.try_push(pending(id, "small", 32)).unwrap();
+        }
+        for id in 0..4 {
+            q.try_push(pending(100 + id, "big", 64)).unwrap();
+        }
+        let out = q.drain_fair(9);
+        let small = out.iter().filter(|p| p.req.tenant == "small").count();
+        let big = out.len() - small;
+        assert_eq!((small, big), (8, 1), "one 64³ ≙ eight 32³ in cost");
+    }
+
+    #[test]
+    fn lane_caps_stop_one_tenant_squatting_the_queue() {
+        let q = FairQueue::new(8, vec![("inter".into(), 1), ("bulk".into(), 1)]);
+        // Bulk floods first, but its share is capacity/2 = 4.
+        let mut accepted = 0;
+        for id in 0..8 {
+            if q.try_push(pending(id, "bulk", 32)).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4, "bulk bounces off its weighted share");
+        // The interactive tenant still has its whole share available.
+        for id in 100..104 {
+            q.try_push(pending(id, "inter", 32)).unwrap();
+        }
+        assert!(q.try_push(pending(104, "inter", 32)).is_err());
+    }
+
+    #[test]
+    fn cursor_rotates_service_across_drains() {
+        let q = FairQueue::new(16, Vec::new());
+        q.try_push(pending(0, "a", 32)).unwrap();
+        q.try_push(pending(1, "b", 32)).unwrap();
+        // Quota 1: the first drain serves lane a, the second must start
+        // from the cursor and serve lane b — not restart at a.
+        assert_eq!(q.drain_fair(1)[0].req.tenant, "a");
+        q.try_push(pending(2, "a", 32)).unwrap();
+        assert_eq!(q.drain_fair(1)[0].req.tenant, "b");
+    }
+
+    #[test]
+    fn unknown_tenants_get_a_lane_with_weight_one() {
+        let q = FairQueue::new(16, vec![("vip".into(), 3)]);
+        assert_eq!(q.weight_of("vip"), 3);
+        assert_eq!(q.weight_of("stranger"), 1);
+        q.try_push(pending(0, "stranger", 32)).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_all().len(), 1);
     }
 }

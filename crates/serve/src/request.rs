@@ -10,6 +10,14 @@ use std::fmt;
 /// Server-assigned request identifier (submission order).
 pub type RequestId = u64;
 
+/// Tenant identity: which caller a request is billed to. The fair
+/// queue keeps one lane per tenant and drains them deficit-round-robin
+/// by weight, so one bulk tenant cannot starve interactive tenants.
+pub type TenantId = String;
+
+/// The tenant requests belong to when none is set.
+pub const DEFAULT_TENANT: &str = "default";
+
 /// Scheduling priority; higher priorities are batched and placed first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Priority {
@@ -74,6 +82,16 @@ impl GemmPayload {
             }
         }
     }
+
+    /// Arithmetic work of this GEMM: `2·m·n·k` flops. The admission
+    /// controller scales this by its seconds-per-flop estimate to
+    /// project completion, and the fair queue uses it as the DRR cost
+    /// so weights divide *work*, not request counts.
+    #[must_use]
+    pub fn flops(&self, ty: GemmType) -> f64 {
+        let (m, n, k) = self.dims(ty);
+        2.0 * m.max(1) as f64 * n.max(1) as f64 * k.max(1) as f64
+    }
 }
 
 /// One GEMM to serve.
@@ -83,13 +101,18 @@ pub struct GemmRequest {
     pub payload: GemmPayload,
     pub priority: Priority,
     /// Virtual-time deadline (seconds on the serving clock). A request
-    /// whose projected completion misses the deadline is rejected at
-    /// scheduling time rather than served late.
+    /// whose projected completion misses the deadline is rejected —
+    /// first at admission time (submit projects completion from the
+    /// cost model plus the queued backlog), and as a last resort at
+    /// batch-execution time.
     pub deadline: Option<f64>,
+    /// Which tenant this request is billed to (fair-queueing lane).
+    pub tenant: TenantId,
 }
 
 impl GemmRequest {
-    /// A normal-priority request with no deadline.
+    /// A normal-priority request with no deadline, billed to
+    /// [`DEFAULT_TENANT`].
     #[must_use]
     pub fn new(ty: GemmType, payload: GemmPayload) -> GemmRequest {
         GemmRequest {
@@ -97,6 +120,7 @@ impl GemmRequest {
             payload,
             priority: Priority::Normal,
             deadline: None,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 
@@ -111,6 +135,13 @@ impl GemmRequest {
     #[must_use]
     pub fn with_deadline(mut self, deadline: f64) -> GemmRequest {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder: bill the request to a tenant (fair-queueing lane).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &str) -> GemmRequest {
+        self.tenant = tenant.to_string();
         self
     }
 
@@ -131,6 +162,9 @@ pub struct PendingRequest {
     pub id: RequestId,
     /// `clgemm_trace::now_ns` at admission.
     pub enqueued_ns: u64,
+    /// Modelled seconds this request was charged to the admission
+    /// backlog when it was accepted; credited back when it drains.
+    pub admit_cost: f64,
     pub req: GemmRequest,
 }
 

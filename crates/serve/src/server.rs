@@ -1,11 +1,14 @@
-//! The GEMM server: queue → batcher → cache → scheduler → execution.
+//! The GEMM server: admission → fair queue → batcher → cache →
+//! scheduler → execution, with idempotent coalescing on the side.
 
 use crate::batch::{coalesce, Batch, BatchKey};
 use crate::batched::{BatchedPayload, BatchedRequest, BatchedResponse};
 use crate::cache::{CacheKey, KernelCache, Provenance};
-use crate::queue::BoundedQueue;
+use crate::inflight::{content_key, CachedC, CachedResult, ContentKey, ResultCache};
+use crate::queue::FairQueue;
 use crate::request::{
-    GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, RequestId, ShapeBucket,
+    GemmPayload, GemmRequest, GemmResponse, Outcome, PendingRequest, Priority, RequestId,
+    ShapeBucket,
 };
 use crate::scheduler::Scheduler;
 use crate::stats::{ServerStats, StatsSnapshot};
@@ -24,6 +27,7 @@ use clgemm_blas::{BatchError, GemmBatch, GemmType};
 use clgemm_device::{estimate_seconds, DeviceSpec};
 use clgemm_sim::DeviceWorker;
 use clgemm_trace::Registry;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -64,6 +68,24 @@ pub struct ServeConfig {
     /// `Registry::new()` so concurrent tests do not observe each
     /// other's traffic.
     pub registry: Option<Registry>,
+    /// Queue-fill fraction above which the load-shedding policy starts
+    /// rejecting `Priority::Low` submissions outright, preserving the
+    /// remaining headroom for interactive work.
+    pub high_watermark: f64,
+    /// Most requests one [`GemmServer::drain`] pulls off the fair queue
+    /// (`usize::MAX` empties it). A finite quota makes each drain a
+    /// bounded service round, so overload turns into queueing — and
+    /// then shedding — instead of one unboundedly long drain.
+    pub drain_quota: usize,
+    /// Fair-queueing weights per tenant name; tenants not listed weigh
+    /// 1. Weights divide device *work* (request flops), not counts.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Coalesce content-identical requests: duplicates in one drain
+    /// share a single execution, and repeats of recently served inputs
+    /// are answered from the result cache.
+    pub coalesce_idempotent: bool,
+    /// Entries in the bounded LRU result cache backing coalescing.
+    pub result_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +99,11 @@ impl Default for ServeConfig {
             background_refine: true,
             tuning_db: std::env::var_os(DB_ENV).map(PathBuf::from),
             registry: None,
+            high_watermark: 0.75,
+            drain_quota: usize::MAX,
+            tenant_weights: Vec::new(),
+            coalesce_idempotent: true,
+            result_cache_capacity: 32,
         }
     }
 }
@@ -84,30 +111,178 @@ impl Default for ServeConfig {
 /// Why a submission bounced.
 #[derive(Debug)]
 pub enum RejectReason {
-    /// Backpressure: the bounded queue is full. The request is handed
-    /// back (boxed, to keep the `Err` variant small) so the caller can
-    /// retry, shed or block.
+    /// Backpressure: the bounded queue (or the tenant's weighted share
+    /// of it) is full. The request is handed back (boxed, to keep the
+    /// `Err` variant small) so the caller can retry, shed or block.
     QueueFull(Box<GemmRequest>),
+    /// Admission control projected completion past the deadline: even
+    /// if accepted right now, the request would finish `lateness`
+    /// seconds too late given the queued backlog. Shedding at submit
+    /// costs the caller nothing but the projection; the old behaviour
+    /// queued the request and shed it after it had already waited.
+    DeadlineUnmeetable {
+        req: Box<GemmRequest>,
+        /// Projected seconds past the deadline.
+        lateness: f64,
+    },
+    /// Load shedding: the queue is over the high watermark and the
+    /// request is `Priority::Low` — bulk work is shed first so the
+    /// remaining headroom serves interactive traffic.
+    Overloaded(Box<GemmRequest>),
+}
+
+/// Bits of an `f64` in an `AtomicU64` — the submit path is lock-free,
+/// so the admission state must be readable without a mutex.
+fn f64_load(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.load(Ordering::Relaxed))
+}
+
+fn f64_store(a: &AtomicU64, v: f64) {
+    a.store(v.to_bits(), Ordering::Relaxed);
+}
+
+/// CAS-add `delta`, clamping the result at zero (credits may race with
+/// charges; the backlog must never go negative).
+fn f64_add_clamped(a: &AtomicU64, delta: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).max(0.0);
+        match a.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Admission control state: enough of the serving picture, readable
+/// lock-free from any submitter thread, to project a new request's
+/// completion time before accepting it.
+///
+/// The projection is deliberately simple:
+/// `earliest-free device clock + (queued backlog + this request) /
+/// workers`. It uses a single fleet-wide seconds-per-flop estimate (an
+/// EWMA the drain thread feeds from modelled batch costs, seeded from
+/// the device cost model so it is never cold) — admission needs the
+/// right order of magnitude, not the scheduler's per-device precision;
+/// the in-batch guard still catches the residual error.
+#[derive(Debug)]
+struct Admission {
+    /// EWMA of modelled seconds per flop across recent batches (f64
+    /// bits).
+    secs_per_flop: AtomicU64,
+    /// Modelled seconds of admitted-but-not-yet-drained work (f64
+    /// bits). Charged at submit, credited when the drain picks the
+    /// request up.
+    backlog_seconds: AtomicU64,
+    /// Earliest `busy_until` across device workers, published by the
+    /// drain thread (f64 bits).
+    min_busy: AtomicU64,
+    n_workers: usize,
+}
+
+impl Admission {
+    /// EWMA weight of each new seconds-per-flop observation.
+    const ALPHA: f64 = 0.3;
+
+    fn new(seed_secs_per_flop: f64, n_workers: usize) -> Admission {
+        Admission {
+            secs_per_flop: AtomicU64::new(seed_secs_per_flop.to_bits()),
+            backlog_seconds: AtomicU64::new(0.0_f64.to_bits()),
+            min_busy: AtomicU64::new(0.0_f64.to_bits()),
+            n_workers: n_workers.max(1),
+        }
+    }
+
+    /// Modelled seconds one request of `flops` work will cost.
+    fn estimate_seconds(&self, flops: f64) -> f64 {
+        flops * f64_load(&self.secs_per_flop)
+    }
+
+    /// Virtual time at which a request costing `est` seconds, admitted
+    /// now, is projected to complete.
+    fn projected_end(&self, est: f64) -> f64 {
+        f64_load(&self.min_busy) + (f64_load(&self.backlog_seconds) + est) / self.n_workers as f64
+    }
+
+    /// Charge an admitted request's modelled cost to the backlog.
+    fn charge(&self, est: f64) {
+        f64_add_clamped(&self.backlog_seconds, est);
+    }
+
+    /// Credit a drained request's cost back out of the backlog.
+    fn credit(&self, est: f64) {
+        f64_add_clamped(&self.backlog_seconds, -est);
+    }
+
+    /// Fold an observed seconds-per-flop sample into the EWMA (drain
+    /// thread only, but raced safely against submit-side reads).
+    fn observe_secs_per_flop(&self, sample: f64) {
+        if !sample.is_finite() || sample <= 0.0 {
+            return;
+        }
+        let cur = f64_load(&self.secs_per_flop);
+        f64_store(&self.secs_per_flop, cur + Self::ALPHA * (sample - cur));
+    }
+
+    /// Publish the earliest-free device clock (drain thread only).
+    fn publish_min_busy(&self, v: f64) {
+        if v.is_finite() {
+            f64_store(&self.min_busy, v);
+        }
+    }
 }
 
 #[derive(Debug)]
 struct Shared {
-    queue: BoundedQueue<PendingRequest>,
+    queue: FairQueue,
     stats: ServerStats,
+    admission: Admission,
+    high_watermark: f64,
     next_id: AtomicU64,
 }
 
 impl Shared {
     fn submit(&self, req: GemmRequest) -> Result<RequestId, RejectReason> {
+        // --- admission control: shed before queueing, not after -------
+        let est = self.admission.estimate_seconds(req.payload.flops(req.ty));
+        if let Some(deadline) = req.deadline {
+            let slack = deadline - self.admission.projected_end(est);
+            // Signed: positive slack → slack histogram, negative →
+            // lateness histogram (how late the shed request would be).
+            self.stats.observe_deadline_slack(slack);
+            if slack < 0.0 {
+                self.stats
+                    .rejected_deadline_admit
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.note_shed(&req.tenant, "deadline");
+                return Err(RejectReason::DeadlineUnmeetable {
+                    req: Box::new(req),
+                    lateness: -slack,
+                });
+            }
+        }
+        // High-watermark policy: past the watermark, bulk work is shed
+        // outright so the remaining queue headroom serves urgent work.
+        let fill = self.queue.len() as f64 / self.queue.capacity() as f64;
+        if req.priority == Priority::Low && fill >= self.high_watermark {
+            self.stats.shed_low_priority.fetch_add(1, Ordering::Relaxed);
+            self.stats.note_shed(&req.tenant, "low_priority");
+            return Err(RejectReason::Overloaded(Box::new(req)));
+        }
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant = req.tenant.clone();
         let pending = PendingRequest {
             id,
             enqueued_ns: clgemm_trace::now_ns(),
+            admit_cost: est,
             req,
         };
         match self.queue.try_push(pending) {
             Ok(()) => {
                 self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.admission.charge(est);
+                self.stats.note_admitted(&tenant);
                 clgemm_trace::event!("serve.request.enqueue", id);
                 Ok(id)
             }
@@ -115,6 +290,7 @@ impl Shared {
                 self.stats
                     .rejected_queue_full
                     .fetch_add(1, Ordering::Relaxed);
+                self.stats.note_shed(&tenant, "queue_full");
                 Err(RejectReason::QueueFull(Box::new(pending.req)))
             }
         }
@@ -275,6 +451,9 @@ pub struct GemmServer {
     /// restarted server warms from disk instead of re-predicting.
     db: TuningDb,
     refiner: Option<Refiner>,
+    /// Content-addressed results of recently completed requests — the
+    /// cross-drain half of idempotent coalescing.
+    result_cache: ResultCache,
     next_batch: u64,
     responses: Vec<GemmResponse>,
     /// One grow-only staging workspace per device worker: repeated
@@ -305,8 +484,16 @@ impl GemmServer {
             .clone()
             .unwrap_or_else(|| Registry::global().clone());
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(cfg.queue_capacity),
+            queue: FairQueue::new(
+                cfg.queue_capacity,
+                cfg.tenant_weights
+                    .iter()
+                    .map(|(t, w)| (t.clone(), *w))
+                    .collect(),
+            ),
             stats: ServerStats::new(registry),
+            admission: Admission::new(seed_secs_per_flop(&repo, &devices), devices.len()),
+            high_watermark: cfg.high_watermark,
             next_id: AtomicU64::new(0),
         });
         let workspaces = vec![Workspace::new(); devices.len()];
@@ -324,6 +511,7 @@ impl GemmServer {
             repo,
             db,
             refiner,
+            result_cache: ResultCache::new(cfg.result_cache_capacity),
             cfg,
             shared,
             next_batch: 0,
@@ -526,6 +714,7 @@ impl GemmServer {
             w.submit(&format!("strided:{precision}:{desc}"), run.total);
             done_at = w.busy_until();
         }
+        self.publish_admission_clock();
         self.shared
             .stats
             .record_batched(&spec.code_name, desc.batch as u64, run.total, wall);
@@ -546,18 +735,77 @@ impl GemmServer {
         std::mem::take(&mut self.responses)
     }
 
-    /// Process everything currently queued: batch, place, execute.
-    /// Returns the number of requests completed in this drain.
+    /// Process queued requests (up to the configured drain quota) in
+    /// weighted-fair order: credit the admission backlog, answer
+    /// repeats from the result cache, deduplicate identical in-flight
+    /// requests, then batch, place and execute the representatives and
+    /// fan their results out. Returns the number of requests answered
+    /// in this drain (executed, coalesced, or cached).
     pub fn drain(&mut self) -> usize {
         let _drain_span = clgemm_trace::span!("serve.drain");
         self.absorb_refines();
-        let pending = self.shared.queue.drain_all();
+        let pending = self.shared.queue.drain_fair(self.cfg.drain_quota);
         if pending.is_empty() {
             return 0;
         }
+        // The drained work is no longer queued backlog.
+        for p in &pending {
+            self.shared.admission.credit(p.admit_cost);
+        }
+
+        // --- idempotent coalescing --------------------------------------
+        // One leader per content key executes; duplicates ("followers")
+        // park here and receive the leader's result. Repeats of inputs
+        // served in an earlier drain are answered from the result cache
+        // without queueing any work at all.
+        let mut leaders: Vec<PendingRequest> = Vec::new();
+        let mut leader_at: HashMap<ContentKey, usize> = HashMap::new();
+        let mut leader_key: HashMap<RequestId, ContentKey> = HashMap::new();
+        let mut followers: HashMap<ContentKey, Vec<PendingRequest>> = HashMap::new();
+        let mut answered = 0usize;
+        for p in pending {
+            if !self.cfg.coalesce_idempotent {
+                leaders.push(p);
+                continue;
+            }
+            let key = content_key(&p.req);
+            if let Some(cached) = self.result_cache.get(&key) {
+                let cached = cached.clone();
+                self.answer_from_cache(p, &cached);
+                answered += 1;
+                continue;
+            }
+            match leader_at.get(&key) {
+                Some(&i) => {
+                    // The member with the most permissive deadline
+                    // leads: if the guard sheds the leader, every
+                    // follower (tighter or equal deadline) would have
+                    // been shed too, so fanning the outcome out stays
+                    // truthful.
+                    if more_permissive(p.req.deadline, leaders[i].req.deadline) {
+                        let old = std::mem::replace(&mut leaders[i], p);
+                        leader_key.remove(&old.id);
+                        leader_key.insert(leaders[i].id, key);
+                        followers.entry(key).or_default().push(old);
+                    } else {
+                        followers.entry(key).or_default().push(p);
+                    }
+                }
+                None => {
+                    leader_at.insert(key, leaders.len());
+                    leader_key.insert(p.id, key);
+                    leaders.push(p);
+                }
+            }
+        }
+        if leaders.is_empty() {
+            self.publish_admission_clock();
+            return answered;
+        }
+
         let batches = {
             let _g = clgemm_trace::span!("serve.batch");
-            coalesce(pending, self.cfg.max_batch, self.next_batch)
+            coalesce(leaders, self.cfg.max_batch, self.next_batch)
         };
         self.next_batch += batches.len() as u64;
 
@@ -580,18 +828,155 @@ impl GemmServer {
         let placements = self.scheduler.place(&costs);
         drop(_sched_span);
 
-        // --- execute, batch by batch, on the chosen queues --------------
-        let mut completed = 0usize;
+        // --- execute, batch by batch, then fan results out --------------
+        let mut modelled_seconds = 0.0;
+        let mut modelled_flops = 0.0;
         for (batch, placement) in batches.into_iter().zip(placements) {
             if placement.stolen {
                 self.shared.stats.steals.fetch_add(1, Ordering::Relaxed);
             }
-            completed += self.run_batch(batch, placement.worker);
+            let first_new = self.responses.len();
+            answered += self.run_batch(batch, placement.worker);
+            // Fan this batch's results out to parked duplicates, feed
+            // the admission EWMA, and remember results for future
+            // repeats. Indices, not iterators: fan-out appends.
+            for i in first_new..self.responses.len() {
+                let r = &self.responses[i];
+                if r.outcome == Outcome::Completed {
+                    modelled_seconds += r.run.total;
+                    modelled_flops += r.payload.flops(r.ty);
+                }
+                let Some(key) = leader_key.get(&r.id).copied() else {
+                    continue;
+                };
+                if r.outcome == Outcome::Completed {
+                    self.result_cache.insert(
+                        key,
+                        CachedResult {
+                            device: r.device.clone(),
+                            params: r.params,
+                            run: r.run,
+                            done_at: r.done_at,
+                            batch: r.batch,
+                            c: CachedC::capture(&r.payload),
+                        },
+                    );
+                }
+                if let Some(parked) = followers.remove(&key) {
+                    answered += self.fan_out(i, parked);
+                }
+            }
         }
+        if modelled_flops > 0.0 {
+            self.shared
+                .admission
+                .observe_secs_per_flop(modelled_seconds / modelled_flops);
+        }
+        self.publish_admission_clock();
 
         // Mirror the cache's own counters into the serving stats.
         self.sync_cache_stats();
-        completed
+        answered
+    }
+
+    /// Publish the earliest-free device clock so submit-side admission
+    /// projections start from where the fleet actually is.
+    fn publish_admission_clock(&self) {
+        let min_busy = self
+            .scheduler
+            .workers()
+            .iter()
+            .map(DeviceWorker::busy_until)
+            .fold(f64::INFINITY, f64::min);
+        self.shared.admission.publish_min_busy(min_busy);
+    }
+
+    /// Answer one request straight from the result cache: same device,
+    /// parameters, and result bits as the original execution.
+    fn answer_from_cache(&mut self, p: PendingRequest, cached: &CachedResult) {
+        let PendingRequest {
+            id,
+            enqueued_ns,
+            mut req,
+            ..
+        } = p;
+        let wait_ns = clgemm_trace::now_ns().saturating_sub(enqueued_ns);
+        self.shared.stats.observe_queue_wait(wait_ns as f64 * 1e-9);
+        self.shared
+            .stats
+            .note_tenant_completed(&req.tenant, wait_ns as f64 * 1e-9);
+        self.shared.stats.record_coalesced(&cached.device, 1);
+        cached.c.write_into(&mut req.payload);
+        clgemm_trace::event!("serve.request.coalesce_hit", id);
+        self.responses.push(GemmResponse {
+            id,
+            batch: cached.batch,
+            device: cached.device.clone(),
+            params: cached.params,
+            ty: req.ty,
+            payload: req.payload,
+            run: cached.run,
+            done_at: cached.done_at,
+            outcome: Outcome::Completed,
+        });
+    }
+
+    /// Fan a leader's response (at `leader_idx` in `self.responses`)
+    /// out to its parked duplicates. Returns how many were answered
+    /// (completed followers; a shed leader sheds its followers too —
+    /// it had the loosest deadline, so they would all have missed).
+    fn fan_out(&mut self, leader_idx: usize, parked: Vec<PendingRequest>) -> usize {
+        let (batch, device, params, run, done_at, outcome, result) = {
+            let leader = &self.responses[leader_idx];
+            (
+                leader.batch,
+                leader.device.clone(),
+                leader.params,
+                leader.run,
+                leader.done_at,
+                leader.outcome,
+                (leader.outcome == Outcome::Completed).then(|| CachedC::capture(&leader.payload)),
+            )
+        };
+        let mut answered = 0usize;
+        for f in parked {
+            let PendingRequest {
+                id,
+                enqueued_ns,
+                mut req,
+                ..
+            } = f;
+            let wait_ns = clgemm_trace::now_ns().saturating_sub(enqueued_ns);
+            self.shared.stats.observe_queue_wait(wait_ns as f64 * 1e-9);
+            if let Some(result) = &result {
+                // Bit-identical: the leader's C is copied, not
+                // recomputed, so duplicates can never diverge.
+                result.write_into(&mut req.payload);
+                self.shared
+                    .stats
+                    .note_tenant_completed(&req.tenant, wait_ns as f64 * 1e-9);
+                self.shared.stats.record_coalesced(&device, 1);
+                answered += 1;
+            } else {
+                self.shared
+                    .stats
+                    .rejected_deadline_late
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            clgemm_trace::event!("serve.request.coalesce_fanout", id);
+            self.responses.push(GemmResponse {
+                id,
+                batch,
+                device: device.clone(),
+                params,
+                ty: req.ty,
+                payload: req.payload,
+                run,
+                done_at,
+                outcome,
+            });
+        }
+        answered
     }
 
     /// Execute one batch on one worker; returns completed requests.
@@ -614,10 +999,13 @@ impl GemmServer {
         };
         let tuned = tuned_for(&spec, key.precision, params);
 
-        // Deadline admission: project the batch's drain time assuming
-        // every member runs, then shed members that would miss their
-        // deadline (a shed member only shortens the batch, so survivors
-        // can only finish earlier than projected — never later).
+        // Last-resort deadline guard. Admission already projected (and
+        // shed on) the deadline at submit; this check re-projects with
+        // what admission could not know — the actual batch this request
+        // landed in and the actual device clock — and sheds the
+        // residual misses. (A shed member only shortens the batch, so
+        // survivors can only finish earlier than projected — never
+        // later.)
         let start = self.scheduler.workers()[worker].busy_until();
         let projected_end = start + batch_cost(&spec, &batch, params);
 
@@ -629,6 +1017,7 @@ impl GemmServer {
                 id,
                 enqueued_ns,
                 mut req,
+                ..
             } = pending;
             let dp = key.precision == Precision::F64;
             let (m, n, k) = req.payload.dims(req.ty);
@@ -638,16 +1027,16 @@ impl GemmServer {
             let wait_ns = clgemm_trace::now_ns().saturating_sub(enqueued_ns);
             self.shared.stats.observe_queue_wait(wait_ns as f64 * 1e-9);
             clgemm_trace::ring::record("serve.request.queue_wait", id, enqueued_ns, wait_ns);
-            if let Some(deadline) = req.deadline {
-                // Slack at admission; shed requests clamp to zero.
-                self.shared
-                    .stats
-                    .observe_deadline_slack(deadline - projected_end);
-            }
             if req.deadline.is_some_and(|d| d < projected_end) {
+                // How late the request would actually have been —
+                // admission's signed slack was already recorded at
+                // submit; only the guard's lateness is news here.
                 self.shared
                     .stats
-                    .rejected_deadline
+                    .observe_deadline_slack(req.deadline.expect("checked") - projected_end);
+                self.shared
+                    .stats
+                    .rejected_deadline_late
                     .fetch_add(1, Ordering::Relaxed);
                 served.push(GemmResponse {
                     id,
@@ -672,6 +1061,9 @@ impl GemmServer {
                 )
             };
             total_seconds += run.total;
+            self.shared
+                .stats
+                .note_tenant_completed(&req.tenant, wait_ns as f64 * 1e-9);
             clgemm_trace::event!("serve.request.complete", id);
             served.push(GemmResponse {
                 id,
@@ -793,6 +1185,44 @@ impl GemmServer {
             Provenance::Persisted,
         )
     }
+}
+
+/// Is deadline `a` at least as easy to meet as deadline `b`?
+/// (`None` = no deadline = infinitely permissive.)
+fn more_permissive(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, Some(_)) => true,
+        (Some(a), Some(b)) => a > b,
+        (_, None) => false,
+    }
+}
+
+/// Seed the admission controller's seconds-per-flop estimate from the
+/// device cost model: the best (smallest) modelled rate across the
+/// fleet for a reference 128³ double-precision GEMM. An optimistic
+/// seed under-sheds on the first drain and the EWMA corrects within a
+/// few batches — the safe failure mode (the pessimistic direction
+/// would shed meetable requests while cold).
+fn seed_secs_per_flop(repo: &KernelRepo, devices: &[DeviceSpec]) -> f64 {
+    let reference = 128usize;
+    let key = BatchKey {
+        precision: Precision::F64,
+        bucket: ShapeBucket::of(reference, reference, reference),
+    };
+    let flops = 2.0 * (reference as f64).powi(3);
+    devices
+        .iter()
+        .map(|spec| {
+            let params = fallback_params(repo, spec, key);
+            let tuned = tuned_for(spec, Precision::F64, params);
+            tuned
+                .predict(true, GemmType::NN, reference, reference, reference)
+                .total
+                / flops
+        })
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .fold(f64::INFINITY, f64::min)
+        .min(1e-6) // ceiling: never seed slower than 1 MFlop/s
 }
 
 /// GEMM-type slot of the serving layer's database keys: the cache is
@@ -998,7 +1428,7 @@ mod tests {
                 // The rejected request comes back intact.
                 assert_eq!(req.payload.dims(GemmType::NN), (32, 32, 32));
             }
-            Ok(_) => panic!("third submit must bounce"),
+            _ => panic!("third submit must bounce with QueueFull"),
         }
         assert_eq!(server.stats().rejected_queue_full, 1);
         assert_eq!(server.stats().enqueued, 2);
@@ -1043,15 +1473,50 @@ mod tests {
     }
 
     #[test]
-    fn deadlines_in_the_past_are_shed_not_served() {
+    fn deadlines_in_the_past_are_shed_at_admission() {
         let mut server = two_device_server(ServeConfig::default());
-        let strict = request(48, 1).with_deadline(0.0);
-        let loose = request(48, 2);
-        server.submit(strict).unwrap();
-        server.submit(loose).unwrap();
+        // A deadline of 0.0 can never be met: projected completion is
+        // strictly positive, so admission sheds it at submit.
+        match server.submit(request(48, 1).with_deadline(0.0)) {
+            Err(RejectReason::DeadlineUnmeetable { req, lateness }) => {
+                assert!(lateness > 0.0, "lateness must be the positive magnitude");
+                // The shed request comes back with C untouched.
+                match &req.payload {
+                    GemmPayload::F64 { c, .. } => {
+                        let expect = Matrix::test_pattern(48, 48, StorageOrder::ColMajor, 3);
+                        assert_eq!(c, &expect);
+                    }
+                    GemmPayload::F32 { .. } => panic!("wrong precision"),
+                }
+            }
+            _ => panic!("an unmeetable deadline must be rejected at admission"),
+        }
+        server.submit(request(48, 2)).unwrap();
         assert_eq!(server.drain(), 1);
         let stats = server.stats();
-        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.rejected_deadline_admit, 1);
+        assert_eq!(stats.rejected_deadline_late, 0);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(
+            stats.deadline_lateness.count, 1,
+            "the shed request's lateness lands in the lateness histogram"
+        );
+        assert_eq!(stats.enqueued, 1, "shed requests are never enqueued");
+    }
+
+    #[test]
+    fn the_batch_guard_sheds_deadlines_missed_after_admission() {
+        let mut server = two_device_server(ServeConfig::default());
+        // Make admission maximally optimistic (zero cost estimate) so a
+        // tiny positive deadline is admitted — then the in-batch guard,
+        // which sees the real modelled completion time, must catch it.
+        f64_store(&server.shared.admission.secs_per_flop, 0.0);
+        server.submit(request(48, 1).with_deadline(1e-12)).unwrap();
+        server.submit(request(48, 2)).unwrap();
+        assert_eq!(server.drain(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.rejected_deadline_admit, 0);
+        assert_eq!(stats.rejected_deadline_late, 1);
         assert_eq!(stats.completed, 1);
         let responses = server.take_responses();
         let shed = responses
@@ -1066,6 +1531,106 @@ mod tests {
             }
             GemmPayload::F32 { .. } => panic!("wrong precision"),
         }
+    }
+
+    #[test]
+    fn low_priority_is_shed_past_the_high_watermark() {
+        let server = two_device_server(ServeConfig {
+            queue_capacity: 4,
+            high_watermark: 0.5,
+            ..Default::default()
+        });
+        server.submit(request(32, 1)).unwrap();
+        server.submit(request(32, 2)).unwrap();
+        // Fill is at the watermark: bulk work sheds, urgent work lands.
+        let shed = server.submit(request(32, 3).with_priority(Priority::Low));
+        assert!(matches!(shed, Err(RejectReason::Overloaded(_))));
+        server.submit(request(32, 4)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.shed_low_priority, 1);
+        assert_eq!(stats.enqueued, 3);
+    }
+
+    #[test]
+    fn identical_concurrent_requests_share_one_execution() {
+        let mut server = two_device_server(ServeConfig::default());
+        server.submit(request(48, 7)).unwrap();
+        server.submit(request(48, 7)).unwrap(); // bit-identical duplicate
+        server.submit(request(48, 8)).unwrap(); // same bucket, different bits
+        assert_eq!(server.drain(), 3);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.coalesce_hits, 1, "the duplicate must coalesce");
+        let responses = server.take_responses();
+        assert!(responses.iter().all(|r| r.outcome == Outcome::Completed));
+        let dupes: Vec<_> = responses.iter().filter(|r| r.id <= 1).collect();
+        assert_eq!(dupes.len(), 2);
+        let bits = |r: &GemmResponse| match &r.payload {
+            GemmPayload::F64 { c, .. } => {
+                c.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            }
+            GemmPayload::F32 { .. } => panic!("wrong precision"),
+        };
+        assert_eq!(
+            bits(dupes[0]),
+            bits(dupes[1]),
+            "coalesced duplicates must be bit-identical"
+        );
+        assert_eq!(dupes[0].device, dupes[1].device);
+        assert_eq!(dupes[0].params, dupes[1].params);
+    }
+
+    #[test]
+    fn repeats_across_drains_hit_the_result_cache() {
+        let mut server = two_device_server(ServeConfig::default());
+        server.submit(request(48, 7)).unwrap();
+        server.drain();
+        let first = server.take_responses().pop().unwrap();
+        server.submit(request(48, 7)).unwrap();
+        assert_eq!(server.drain(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.coalesce_hits, 1, "the repeat must replay");
+        assert_eq!(stats.completed, 2);
+        let replay = server.take_responses().pop().unwrap();
+        // Same device, parameters, and result bits as the original.
+        assert_eq!(replay.device, first.device);
+        assert_eq!(replay.params, first.params);
+        match (&first.payload, &replay.payload) {
+            (GemmPayload::F64 { c: a, .. }, GemmPayload::F64 { c: b, .. }) => {
+                assert_eq!(a, b, "a replayed result must be bit-identical");
+            }
+            _ => panic!("wrong precision"),
+        }
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let mut server = two_device_server(ServeConfig {
+            coalesce_idempotent: false,
+            ..Default::default()
+        });
+        server.submit(request(48, 7)).unwrap();
+        server.submit(request(48, 7)).unwrap();
+        assert_eq!(server.drain(), 2);
+        let stats = server.stats();
+        assert_eq!(stats.coalesce_hits, 0);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn tenants_are_accounted_separately() {
+        let mut server = two_device_server(ServeConfig {
+            tenant_weights: vec![("bulk".into(), 4)],
+            ..Default::default()
+        });
+        server.submit(request(48, 1).with_tenant("inter")).unwrap();
+        server.submit(request(48, 2).with_tenant("bulk")).unwrap();
+        server.drain();
+        let stats = server.stats();
+        let inter = &stats.per_tenant["inter"];
+        assert_eq!((inter.admitted, inter.completed, inter.shed), (1, 1, 0));
+        let bulk = &stats.per_tenant["bulk"];
+        assert_eq!((bulk.admitted, bulk.completed), (1, 1));
     }
 
     #[test]

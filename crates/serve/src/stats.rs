@@ -60,9 +60,23 @@ pub struct ServerStats {
     /// Submissions bounced by queue backpressure. Submit-side: see
     /// `enqueued`.
     pub rejected_queue_full: AtomicU64,
-    /// Requests dropped because their deadline was unmeetable. Written
-    /// only by the drain thread (Relaxed, monotone).
-    pub rejected_deadline: AtomicU64,
+    /// Requests shed at submit because admission control projected
+    /// their deadline already unmeetable. Submit-side: see `enqueued`.
+    pub rejected_deadline_admit: AtomicU64,
+    /// Requests shed inside batch execution — the last-resort guard for
+    /// deadlines that looked meetable at admission but were overtaken
+    /// by the batch they landed in. Written only by the drain thread
+    /// (Relaxed, monotone).
+    pub rejected_deadline_late: AtomicU64,
+    /// Low-priority requests shed by the high-watermark load-shedding
+    /// policy (queue fill over the watermark sheds bulk work first).
+    /// Submit-side: see `enqueued`.
+    pub shed_low_priority: AtomicU64,
+    /// Requests answered from a coalesced execution: in-flight
+    /// duplicates fanned out from one representative, plus result-cache
+    /// hits. Batch-scoped (see `completed`) — recorded under the
+    /// per-device lock via [`ServerStats::record_coalesced`].
+    pub coalesce_hits: AtomicU64,
     /// Batches moved off their greedily chosen device by work stealing.
     /// Written only by the drain thread (Relaxed, monotone).
     pub steals: AtomicU64,
@@ -96,17 +110,35 @@ pub struct ServerStats {
     /// of each drain, like `cache_hits`.
     pub hits_by_provenance: [AtomicU64; 3],
     per_device: Mutex<BTreeMap<String, DeviceStat>>,
+    per_tenant: Mutex<BTreeMap<String, TenantStat>>,
     registry: Registry,
     queue_wait: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     batched_size: Arc<Histogram>,
     deadline_slack: Arc<Histogram>,
+    deadline_lateness: Arc<Histogram>,
     drift_abs: Arc<Histogram>,
     refine_seconds: Arc<Histogram>,
     cold_start_total: Arc<Counter>,
     db_hit_total: Arc<Counter>,
     db_miss_total: Arc<Counter>,
     db_stale_total: Arc<Counter>,
+    coalesce_hit_total: Arc<Counter>,
+}
+
+/// Per-tenant serving totals (fair-queueing accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantStat {
+    /// Requests this tenant got admitted past admission control.
+    pub admitted: u64,
+    /// Requests shed at submit (any reason: unmeetable deadline,
+    /// low-priority watermark, queue or lane full).
+    pub shed: u64,
+    /// Admitted requests answered (executed, coalesced, or cached).
+    pub completed: u64,
+    /// Sum of queue-wait seconds over this tenant's completed requests
+    /// (divide by `completed` for the mean).
+    pub wait_seconds_sum: f64,
 }
 
 /// Per-device serving totals.
@@ -164,12 +196,14 @@ impl ServerStats {
         let batch_size = registry.histogram("serve_batch_size_requests", 1.0);
         let batched_size = registry.histogram("serve_batched_entries", 1.0);
         let deadline_slack = registry.histogram("serve_deadline_slack_seconds", 1e-9);
+        let deadline_lateness = registry.histogram("serve_deadline_lateness_seconds", 1e-9);
         let drift_abs = registry.histogram("serve_model_drift_abs_seconds", 1e-9);
         let refine_seconds = registry.histogram("tuner_background_refine_seconds", 1e-9);
         let cold_start_total = registry.counter("predict_cold_start_total");
         let db_hit_total = registry.counter("tuning_db_hit_total");
         let db_miss_total = registry.counter("tuning_db_miss_total");
         let db_stale_total = registry.counter("tuning_db_stale_total");
+        let coalesce_hit_total = registry.counter("serve_coalesce_hits_total");
         ServerStats {
             enqueued: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -180,7 +214,10 @@ impl ServerStats {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
-            rejected_deadline: AtomicU64::new(0),
+            rejected_deadline_admit: AtomicU64::new(0),
+            rejected_deadline_late: AtomicU64::new(0),
+            shed_low_priority: AtomicU64::new(0),
+            coalesce_hits: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             tile_substitutions: AtomicU64::new(0),
             batched_calls: AtomicU64::new(0),
@@ -192,17 +229,20 @@ impl ServerStats {
             refines: AtomicU64::new(0),
             hits_by_provenance: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             per_device: Mutex::new(BTreeMap::new()),
+            per_tenant: Mutex::new(BTreeMap::new()),
             registry,
             queue_wait,
             batch_size,
             batched_size,
             deadline_slack,
+            deadline_lateness,
             drift_abs,
             refine_seconds,
             cold_start_total,
             db_hit_total,
             db_miss_total,
             db_stale_total,
+            coalesce_hit_total,
         }
     }
 
@@ -263,10 +303,72 @@ impl ServerStats {
         self.queue_wait.observe_value(seconds);
     }
 
-    /// Record a deadline'd request's slack (deadline minus projected
-    /// completion) at admission time; shed requests record 0.
+    /// Record a deadline'd request's signed slack (deadline minus
+    /// projected completion). Positive slack lands in
+    /// `serve_deadline_slack_seconds`; negative slack lands — as its
+    /// magnitude, i.e. *how late* the request would be — in
+    /// `serve_deadline_lateness_seconds`. The old behaviour clamped
+    /// negatives to 0 in the slack histogram, which erased exactly the
+    /// signal admission control sheds on.
     pub fn observe_deadline_slack(&self, seconds: f64) {
-        self.deadline_slack.observe_value(seconds.max(0.0));
+        if seconds >= 0.0 {
+            self.deadline_slack.observe_value(seconds);
+        } else {
+            self.deadline_lateness.observe_value(-seconds);
+        }
+    }
+
+    /// Record requests answered from a coalesced execution on `device`
+    /// (in-flight duplicates fanned out, or result-cache hits credited
+    /// to the device that served the original). Updates `completed` and
+    /// the per-device row under the per-device lock, preserving the
+    /// snapshot invariant `completed == Σ per-device requests`.
+    pub fn record_coalesced(&self, device: &str, requests: u64) {
+        if requests == 0 {
+            return;
+        }
+        let mut map = self.per_device.lock().expect("stats poisoned");
+        self.completed.fetch_add(requests, Ordering::Relaxed);
+        self.coalesce_hits.fetch_add(requests, Ordering::Relaxed);
+        map.entry(device.to_string()).or_default().requests += requests;
+        drop(map);
+        self.coalesce_hit_total.add(requests);
+    }
+
+    /// Record a request admitted past admission control for `tenant`.
+    pub fn note_admitted(&self, tenant: &str) {
+        self.per_tenant
+            .lock()
+            .expect("stats poisoned")
+            .entry(tenant.to_string())
+            .or_default()
+            .admitted += 1;
+        self.registry
+            .counter_labeled("serve_admitted_total", &[("tenant", tenant)])
+            .inc();
+    }
+
+    /// Record a request shed at submit for `tenant`, tagged with the
+    /// shed `reason` (`deadline`, `low_priority`, `queue_full`).
+    pub fn note_shed(&self, tenant: &str, reason: &str) {
+        self.per_tenant
+            .lock()
+            .expect("stats poisoned")
+            .entry(tenant.to_string())
+            .or_default()
+            .shed += 1;
+        self.registry
+            .counter_labeled("serve_shed_total", &[("reason", reason)])
+            .inc();
+    }
+
+    /// Record one of `tenant`'s admitted requests answered after
+    /// sitting `wait_seconds` in the queue.
+    pub fn note_tenant_completed(&self, tenant: &str, wait_seconds: f64) {
+        let mut map = self.per_tenant.lock().expect("stats poisoned");
+        let entry = map.entry(tenant.to_string()).or_default();
+        entry.completed += 1;
+        entry.wait_seconds_sum += wait_seconds.max(0.0);
     }
 
     /// Record one grouped launch on a device: `requests` completed
@@ -349,6 +451,7 @@ impl ServerStats {
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
         let per_device = self.per_device.lock().expect("stats poisoned");
+        let per_tenant = self.per_tenant.lock().expect("stats poisoned").clone();
         StatsSnapshot {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -359,7 +462,10 @@ impl ServerStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
-            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_deadline_admit: self.rejected_deadline_admit.load(Ordering::Relaxed),
+            rejected_deadline_late: self.rejected_deadline_late.load(Ordering::Relaxed),
+            shed_low_priority: self.shed_low_priority.load(Ordering::Relaxed),
+            coalesce_hits: self.coalesce_hits.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             tile_substitutions: self.tile_substitutions.load(Ordering::Relaxed),
             batched_calls: self.batched_calls.load(Ordering::Relaxed),
@@ -378,8 +484,10 @@ impl ServerStats {
             batch_size: self.batch_size.summary(),
             batched_size: self.batched_size.summary(),
             deadline_slack: self.deadline_slack.summary(),
+            deadline_lateness: self.deadline_lateness.summary(),
             model_drift_abs: self.drift_abs.summary(),
             per_device: per_device.clone(),
+            per_tenant,
         }
     }
 }
@@ -404,7 +512,15 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub rejected_queue_full: u64,
-    pub rejected_deadline: u64,
+    /// Shed at submit: projected completion already missed the deadline.
+    pub rejected_deadline_admit: u64,
+    /// Shed inside batch execution: the last-resort deadline guard.
+    pub rejected_deadline_late: u64,
+    /// Low-priority requests shed by the high-watermark policy.
+    pub shed_low_priority: u64,
+    /// Requests answered from a coalesced execution (in-flight fan-out
+    /// or result-cache hit) instead of their own device launch.
+    pub coalesce_hits: u64,
     pub steals: u64,
     pub tile_substitutions: u64,
     /// Strided-batched calls served through the bypass API.
@@ -430,12 +546,17 @@ pub struct StatsSnapshot {
     pub batch_size: HistSummary,
     /// Entries per strided-batched call.
     pub batched_size: HistSummary,
-    /// Slack (deadline − projected completion) of deadline'd requests
-    /// at admission; shed requests contribute 0.
+    /// Positive slack (deadline − projected completion) of deadline'd
+    /// requests that looked meetable when projected.
     pub deadline_slack: HistSummary,
+    /// Magnitude of *negative* slack — how late shed requests would
+    /// have been. The admission policy's shedding signal.
+    pub deadline_lateness: HistSummary,
     /// |modelled busy − measured wall| seconds per batch.
     pub model_drift_abs: HistSummary,
     pub per_device: BTreeMap<String, DeviceStat>,
+    /// Per-tenant admitted/shed/completed/wait totals.
+    pub per_tenant: BTreeMap<String, TenantStat>,
 }
 
 impl StatsSnapshot {
@@ -471,9 +592,20 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "rejected: {} queue-full, {} deadline; steals: {}",
-            self.rejected_queue_full, self.rejected_deadline, self.steals
+            "rejected: {} queue-full, {} deadline-at-admit, {} deadline-late, {} low-priority; steals: {}",
+            self.rejected_queue_full,
+            self.rejected_deadline_admit,
+            self.rejected_deadline_late,
+            self.shed_low_priority,
+            self.steals
         )?;
+        if self.coalesce_hits > 0 {
+            writeln!(
+                f,
+                "coalesce: {} requests shared an execution",
+                self.coalesce_hits
+            )?;
+        }
         writeln!(f, "tiles:    {} substituted", self.tile_substitutions)?;
         if self.predict_cold_starts + self.db_hits + self.db_misses + self.db_stale + self.refines
             > 0
@@ -521,6 +653,30 @@ impl fmt::Display for StatsSnapshot {
                 ms(self.deadline_slack.p99),
                 ms(self.deadline_slack.max),
                 self.deadline_slack.count
+            )?;
+        }
+        if self.deadline_lateness.count > 0 {
+            writeln!(
+                f,
+                "deadline-lateness ms: p50 {:.3} p99 {:.3} max {:.3} (n={})",
+                ms(self.deadline_lateness.p50),
+                ms(self.deadline_lateness.p99),
+                ms(self.deadline_lateness.max),
+                self.deadline_lateness.count
+            )?;
+        }
+        for (tenant, t) in &self.per_tenant {
+            writeln!(
+                f,
+                "tenant {tenant}: {} admitted, {} shed, {} completed, mean wait {:.3} ms",
+                t.admitted,
+                t.shed,
+                t.completed,
+                if t.completed > 0 {
+                    t.wait_seconds_sum / t.completed as f64 * 1e3
+                } else {
+                    0.0
+                }
             )?;
         }
         for (name, d) in &self.per_device {
@@ -592,17 +748,93 @@ mod tests {
         stats.observe_queue_wait(1e-3);
         stats.observe_queue_wait(2e-3);
         stats.observe_deadline_slack(5e-3);
-        stats.observe_deadline_slack(-1.0); // shed: clamps to 0
+        stats.observe_deadline_slack(-1.0); // shed: recorded as lateness
         stats.record_batch("Tahiti", 4, 0.5, 0.4, 0);
         let snap = stats.snapshot();
         assert_eq!(snap.queue_wait.count, 2);
         assert!((snap.queue_wait.max - 2e-3).abs() < 1e-9);
-        assert_eq!(snap.deadline_slack.count, 2);
+        assert_eq!(
+            snap.deadline_slack.count, 1,
+            "negative slack must not pollute the positive histogram"
+        );
         assert!((snap.deadline_slack.max - 5e-3).abs() < 1e-9);
         assert_eq!(snap.batch_size.count, 1);
         assert_eq!(snap.batch_size.max, 4.0);
         assert_eq!(snap.model_drift_abs.count, 1);
         assert!((snap.model_drift_abs.max - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_slack_lands_in_the_lateness_histogram_with_magnitude() {
+        // The old clamp recorded shed requests as 0 slack, erasing how
+        // late they were — the signal admission control sheds on.
+        let stats = ServerStats::default();
+        stats.observe_deadline_slack(-0.25);
+        stats.observe_deadline_slack(-1.5);
+        stats.observe_deadline_slack(3e-3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.deadline_lateness.count, 2);
+        assert!(
+            (snap.deadline_lateness.max - 1.5).abs() < 0.1,
+            "lateness keeps the magnitude, got {}",
+            snap.deadline_lateness.max
+        );
+        assert_eq!(snap.deadline_slack.count, 1);
+        let reg = stats.registry().snapshot();
+        let hist = reg
+            .hist("serve_deadline_lateness_seconds")
+            .expect("lateness histogram registered");
+        assert_eq!(hist.count, 2);
+        let text = snap.to_string();
+        assert!(text.contains("deadline-lateness ms"));
+    }
+
+    #[test]
+    fn coalesced_completions_keep_the_per_device_invariant() {
+        let stats = ServerStats::default();
+        stats.record_batch("Tahiti", 2, 0.5, 0.5, 0);
+        stats.record_coalesced("Tahiti", 3);
+        stats.record_coalesced("Tahiti", 0); // no-op
+        let snap = stats.snapshot();
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.coalesce_hits, 3);
+        let per_device: u64 = snap.per_device.values().map(|d| d.requests).sum();
+        assert_eq!(snap.completed, per_device);
+        let reg = stats.registry().snapshot();
+        assert_eq!(reg.counter("serve_coalesce_hits_total"), Some(3));
+    }
+
+    #[test]
+    fn tenant_notes_aggregate_and_export_labeled_counters() {
+        let stats = ServerStats::default();
+        stats.note_admitted("alpha");
+        stats.note_admitted("alpha");
+        stats.note_admitted("beta");
+        stats.note_shed("beta", "deadline");
+        stats.note_shed("beta", "queue_full");
+        stats.note_tenant_completed("alpha", 2e-3);
+        stats.note_tenant_completed("alpha", 4e-3);
+        let snap = stats.snapshot();
+        let alpha = &snap.per_tenant["alpha"];
+        assert_eq!((alpha.admitted, alpha.shed, alpha.completed), (2, 0, 2));
+        assert!((alpha.wait_seconds_sum - 6e-3).abs() < 1e-12);
+        let beta = &snap.per_tenant["beta"];
+        assert_eq!((beta.admitted, beta.shed), (1, 2));
+        let reg = stats.registry().snapshot();
+        assert_eq!(
+            reg.counter("serve_admitted_total{tenant=\"alpha\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            reg.counter("serve_shed_total{reason=\"deadline\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter("serve_shed_total{reason=\"queue_full\"}"),
+            Some(1)
+        );
+        let text = snap.to_string();
+        assert!(text.contains("tenant alpha: 2 admitted"));
     }
 
     #[test]

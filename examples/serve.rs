@@ -9,7 +9,9 @@
 use clgemm_blas::matrix::{Matrix, StorageOrder};
 use clgemm_blas::GemmType;
 use clgemm_device::DeviceId;
-use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Outcome, Priority, ServeConfig};
+use clgemm_serve::{
+    GemmPayload, GemmRequest, GemmServer, Outcome, Priority, RejectReason, ServeConfig,
+};
 use clgemm_shim::Rng;
 
 fn usage(bad: &str) -> ! {
@@ -50,16 +52,21 @@ fn main() {
         ServeConfig {
             max_batch: 4,
             cache_capacity: 24,
+            // An interactive tenant gets 4× the bulk tenant's share of
+            // the fair queue under contention.
+            tenant_weights: vec![("inter".into(), 4), ("bulk".into(), 1)],
             ..Default::default()
         },
     );
 
     // A skewed workload: a few popular shape buckets (as a serving
-    // workload would have), mixed precisions and transpose types, an
-    // occasional urgent request and an occasional unmeetable deadline.
+    // workload would have), mixed precisions and transpose types, two
+    // tenants, an occasional urgent request and an occasional
+    // unmeetable deadline (shed at admission, before queueing).
     let mut rng = Rng::new(2012);
     let popular = [40usize, 96, 120, 200];
     let mut submitted = 0usize;
+    let mut shed_at_admission = 0usize;
     while submitted < n_requests {
         // Submit in bursts, draining between them, so later bursts hit
         // the warm cache and land on already-loaded device queues.
@@ -85,7 +92,12 @@ fn main() {
                     c: Matrix::test_pattern(n, n, order, rng.next_u64()),
                 }
             };
-            let mut req = GemmRequest::new(ty, payload);
+            let tenant = if rng.range(0, 3) == 0 {
+                "inter"
+            } else {
+                "bulk"
+            };
+            let mut req = GemmRequest::new(ty, payload).with_tenant(tenant);
             if rng.range(0, 8) == 0 {
                 req = req.with_priority(Priority::High);
             }
@@ -94,7 +106,10 @@ fn main() {
             }
             match server.submit(req) {
                 Ok(_) => submitted += 1,
-                Err(_) => break, // backpressure: drain and retry
+                Err(RejectReason::DeadlineUnmeetable { .. } | RejectReason::Overloaded(_)) => {
+                    shed_at_admission += 1; // admission control did its job
+                }
+                Err(RejectReason::QueueFull(_)) => break, // backpressure: drain and retry
             }
         }
         server.drain();
@@ -120,8 +135,8 @@ fn main() {
     println!();
     println!("{}", server.stats());
     println!(
-        "served {served} requests ({shed} shed) in {:.3} virtual ms \
-         — {:.1} aggregate GFlop/s across the pool",
+        "served {served} requests ({shed} shed in-batch, {shed_at_admission} shed at admission) \
+         in {:.3} virtual ms — {:.1} aggregate GFlop/s across the pool",
         virtual_s * 1e3,
         if virtual_s > 0.0 {
             flops / virtual_s / 1e9

@@ -13,7 +13,7 @@
 
 use clgemm::prelude::*;
 use clgemm_blas::GemmType;
-use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Priority, ServeConfig};
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Priority, RejectReason, ServeConfig};
 use clgemm_shim::Rng;
 use clgemm_trace::Registry;
 
@@ -121,6 +121,7 @@ fn main() {
             predict: true,
             background_refine: true,
             tuning_db: Some(db_path.clone()),
+            tenant_weights: vec![("inter".into(), 4), ("bulk".into(), 1)],
             ..Default::default()
         },
     );
@@ -128,18 +129,34 @@ fn main() {
     let shapes = [40usize, 96, 120];
     for i in 0..24 {
         let s = shapes[rng.range(0, shapes.len())];
-        let mut req = GemmRequest::new(GemmType::NN, payload_f64(&mut rng, s, s, s));
+        let tenant = if i % 3 == 0 { "inter" } else { "bulk" };
+        let mut req =
+            GemmRequest::new(GemmType::NN, payload_f64(&mut rng, s, s, s)).with_tenant(tenant);
         if i % 5 == 0 {
             req = req.with_priority(Priority::High);
         }
-        // Generous deadlines complete and record slack; an unmeetable
-        // one exercises shedding.
-        req = req.with_deadline(if i == 13 { 0.0 } else { 60.0 });
+        // Generous deadlines complete and record positive slack.
+        req = req.with_deadline(60.0);
         server.submit(req).expect("queue has room");
         if i % 8 == 7 {
             server.drain();
         }
     }
+    // An unmeetable deadline is shed at admission — moving the shed
+    // counter and the lateness histogram.
+    let unmeetable =
+        GemmRequest::new(GemmType::NN, payload_f64(&mut rng, 64, 64, 64)).with_deadline(0.0);
+    assert!(
+        matches!(
+            server.submit(unmeetable),
+            Err(RejectReason::DeadlineUnmeetable { .. })
+        ),
+        "a deadline of 0.0 must be shed at admission"
+    );
+    // Identical concurrent submissions coalesce onto one execution.
+    let dup = GemmRequest::new(GemmType::NN, payload_f64(&mut rng, 64, 64, 64));
+    server.submit(dup.clone()).expect("queue has room");
+    server.submit(dup).expect("queue has room");
     server.drain();
 
     // ---- routine layer (hybrid path choice) ----------------------------
@@ -313,6 +330,7 @@ fn main() {
         "tuning_db_hit_total",
         "tuning_db_miss_total",
         "tuning_db_stale_total",
+        "serve_coalesce_hits_total",
     ] {
         assert!(
             snap.counter(metric).is_some_and(|v| v > 0),
@@ -326,6 +344,13 @@ fn main() {
             .count
             > 0
     );
+    assert!(
+        snap.hist("serve_deadline_lateness_seconds")
+            .expect("hist")
+            .count
+            > 0,
+        "the shed request's lateness must be observed"
+    );
     assert!(snap.hist("routine_batch_size").expect("hist").count > 0);
     assert!(snap.hist("serve_batched_entries").expect("hist").count > 0);
     assert!(
@@ -336,7 +361,12 @@ fn main() {
     );
     // Labeled metrics whose exact label set is scheduler-dependent:
     // a prefix scan over the snapshot suffices.
-    for prefix in ["predict_vs_tuned_gflops_ratio{", "tuner_pruned_total{"] {
+    for prefix in [
+        "predict_vs_tuned_gflops_ratio{",
+        "tuner_pruned_total{",
+        "serve_admitted_total{tenant=",
+        "serve_shed_total{reason=",
+    ] {
         assert!(
             snap.entries
                 .iter()

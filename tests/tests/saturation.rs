@@ -1,0 +1,265 @@
+//! Serving under overload: weighted-fair queueing must divide service
+//! by configured tenant weight, admitted work must never starve, and
+//! idempotent coalescing must stay bit-exact — duplicates receive the
+//! same bits as one executed representative, and that representative
+//! replays bit-for-bit through a sequential `TunedGemm::gemm` call.
+
+use clgemm::params::{small_test_params, KernelParams};
+use clgemm::routine::TunedGemm;
+use clgemm_blas::matrix::{Matrix, StorageOrder};
+use clgemm_blas::scalar::Precision;
+use clgemm_blas::GemmType;
+use clgemm_device::{DeviceId, DeviceSpec};
+use clgemm_serve::{GemmPayload, GemmRequest, GemmServer, Outcome, ServeConfig};
+use clgemm_shim::Rng;
+use std::collections::HashSet;
+
+fn pool() -> Vec<DeviceSpec> {
+    vec![
+        DeviceId::Tahiti.spec(),
+        DeviceId::Cayman.spec(),
+        DeviceId::Fermi.spec(),
+    ]
+}
+
+/// An n³ F64 request with fresh random operands for `tenant`.
+fn sized_request(rng: &mut Rng, n: usize, tenant: &str) -> GemmRequest {
+    let order = StorageOrder::ColMajor;
+    GemmRequest::new(
+        GemmType::NN,
+        GemmPayload::F64 {
+            alpha: 1.0,
+            a: Matrix::test_pattern(n, n, order, rng.next_u64()),
+            b: Matrix::test_pattern(n, n, order, rng.next_u64()),
+            beta: 0.5,
+            c: Matrix::test_pattern(n, n, order, rng.next_u64()),
+        },
+    )
+    .with_tenant(tenant)
+}
+
+/// `C` as raw bits, so comparison is bit-for-bit rather than approximate.
+fn c_bits(p: &GemmPayload) -> Vec<u64> {
+    match p {
+        GemmPayload::F64 { c, .. } => c.as_slice().iter().map(|v| v.to_bits()).collect(),
+        GemmPayload::F32 { c, .. } => c
+            .as_slice()
+            .iter()
+            .map(|v| u64::from(v.to_bits()))
+            .collect(),
+    }
+}
+
+/// Replay a served request sequentially through `TunedGemm::gemm` with
+/// the parameters the response reports, from the original operands.
+fn replay_sequentially(
+    devices: &[DeviceSpec],
+    device: &str,
+    params: KernelParams,
+    ty: GemmType,
+    original: &GemmPayload,
+) -> GemmPayload {
+    let spec = devices
+        .iter()
+        .find(|d| d.code_name == device)
+        .unwrap_or_else(|| panic!("unknown device {device}"))
+        .clone();
+    let tuned = match original.precision() {
+        Precision::F64 => TunedGemm::new(spec, params, small_test_params(Precision::F32)),
+        Precision::F32 => TunedGemm::new(spec, small_test_params(Precision::F64), params),
+    };
+    let mut payload = original.clone();
+    match &mut payload {
+        GemmPayload::F64 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            tuned.gemm(ty, *alpha, a, b, *beta, c);
+        }
+        GemmPayload::F32 {
+            alpha,
+            a,
+            b,
+            beta,
+            c,
+        } => {
+            tuned.gemm(ty, *alpha, a, b, *beta, c);
+        }
+    }
+    payload
+}
+
+#[test]
+fn weighted_fairness_holds_at_overload_and_nothing_starves() {
+    for seed in [0xFA1u64, 7, 2026] {
+        let mut rng = Rng::new(seed);
+        let mut server = GemmServer::new(
+            pool(),
+            ServeConfig {
+                queue_capacity: 200,
+                drain_quota: 20,
+                tenant_weights: vec![("inter".into(), 4), ("bulk".into(), 1)],
+                ..Default::default()
+            },
+        );
+        // Overload: both tenants submit far more than one drain quota
+        // of equal-cost work. The bulk lane's weighted share of the
+        // queue is 200/5 = 40, so 40 per tenant fills both lanes.
+        let mut inter_ids = HashSet::new();
+        let mut bulk_ids = HashSet::new();
+        for _ in 0..40 {
+            inter_ids.insert(
+                server
+                    .submit(sized_request(&mut rng, 64, "inter"))
+                    .expect("inter lane has room"),
+            );
+            bulk_ids.insert(
+                server
+                    .submit(sized_request(&mut rng, 64, "bulk"))
+                    .expect("bulk lane has room"),
+            );
+        }
+
+        // While both lanes stay backlogged, quota-limited drains must
+        // split service by weight: 4 inter for every 1 bulk.
+        let mut answered: Vec<u64> = Vec::new();
+        let mut served_inter = 0usize;
+        let mut served_bulk = 0usize;
+        for _ in 0..2 {
+            assert_eq!(server.drain(), 20, "seed {seed}: quota must fill");
+            for r in server.take_responses() {
+                assert_eq!(r.outcome, Outcome::Completed);
+                if inter_ids.contains(&r.id) {
+                    served_inter += 1;
+                } else {
+                    assert!(bulk_ids.contains(&r.id), "seed {seed}: unknown id {}", r.id);
+                    served_bulk += 1;
+                }
+                answered.push(r.id);
+            }
+        }
+        assert!(served_bulk > 0, "seed {seed}: the light tenant starved");
+        let ratio = served_inter as f64 / served_bulk as f64;
+        assert!(
+            (3.0..=5.0).contains(&ratio),
+            "seed {seed}: service ratio {ratio:.2} ({served_inter}:{served_bulk}) \
+             strays from the 4:1 weights"
+        );
+
+        // No starvation: every admitted request is eventually answered,
+        // exactly once, even for the underweighted tenant.
+        loop {
+            let n = server.drain();
+            answered.extend(server.take_responses().iter().map(|r| r.id));
+            if n == 0 {
+                break;
+            }
+        }
+        let unique: HashSet<u64> = answered.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            answered.len(),
+            "seed {seed}: duplicate answers"
+        );
+        let expected: HashSet<u64> = inter_ids.union(&bulk_ids).copied().collect();
+        assert_eq!(
+            unique, expected,
+            "seed {seed}: admitted work went unanswered"
+        );
+    }
+}
+
+#[test]
+fn coalesced_duplicates_are_bit_identical_and_replay_sequentially() {
+    let devices = pool();
+    for seed in [11u64, 0xBEEF] {
+        let mut rng = Rng::new(seed);
+        // A workload where some requests appear two or three times,
+        // bit-identically — the duplicates must coalesce.
+        let mut workload: Vec<GemmRequest> = Vec::new();
+        let mut dup_groups: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..8 {
+            let n = [32usize, 48, 64][rng.range(0, 3)];
+            let req = sized_request(&mut rng, n, "default");
+            let copies = 1 + rng.range(0, 3); // 1..=3 submissions
+            let mut group = Vec::new();
+            for _ in 0..copies {
+                group.push(workload.len());
+                workload.push(req.clone());
+            }
+            dup_groups.push(group);
+        }
+
+        let mut server = GemmServer::new(devices.clone(), ServeConfig::default());
+        let ids: Vec<u64> = workload
+            .iter()
+            .map(|req| server.submit(req.clone()).expect("queue has room"))
+            .collect();
+        assert_eq!(server.drain(), workload.len());
+        let mut responses = server.take_responses();
+        responses.sort_by_key(|r| r.id);
+
+        let n_dups: usize = dup_groups.iter().map(|g| g.len() - 1).sum();
+        assert_eq!(
+            server.stats().coalesce_hits,
+            n_dups as u64,
+            "seed {seed}: every duplicate must share its leader's execution"
+        );
+
+        for group in &dup_groups {
+            let members: Vec<_> = group.iter().map(|&w| &responses[ids[w] as usize]).collect();
+            let leader = members[0];
+            assert_eq!(leader.outcome, Outcome::Completed);
+            // Every member of the group carries identical bits, device
+            // and parameters — one execution, fanned out.
+            for m in &members[1..] {
+                assert_eq!(m.outcome, Outcome::Completed);
+                assert_eq!(m.device, leader.device, "seed {seed}");
+                assert_eq!(m.params, leader.params, "seed {seed}");
+                assert_eq!(
+                    c_bits(&m.payload),
+                    c_bits(&leader.payload),
+                    "seed {seed}: coalesced duplicate diverged from its leader"
+                );
+            }
+            // And the shared result replays bit-for-bit sequentially.
+            let expect = replay_sequentially(
+                &devices,
+                &leader.device,
+                leader.params,
+                leader.ty,
+                &workload[group[0]].payload,
+            );
+            assert_eq!(
+                c_bits(&leader.payload),
+                c_bits(&expect),
+                "seed {seed}: coalesced execution diverged from sequential replay"
+            );
+        }
+    }
+}
+
+#[test]
+fn result_cache_replays_are_bit_identical_across_drains() {
+    let devices = pool();
+    let mut rng = Rng::new(404);
+    let req = sized_request(&mut rng, 48, "default");
+    let mut server = GemmServer::new(devices, ServeConfig::default());
+    server.submit(req.clone()).expect("queue has room");
+    server.drain();
+    let first = server.take_responses().pop().expect("one response");
+
+    // The same bits, resubmitted after the drain: answered from the
+    // result cache without executing, with the original's exact result.
+    server.submit(req).expect("queue has room");
+    assert_eq!(server.drain(), 1);
+    let replay = server.take_responses().pop().expect("one response");
+    assert_eq!(replay.outcome, Outcome::Completed);
+    assert_eq!(replay.device, first.device);
+    assert_eq!(replay.params, first.params);
+    assert_eq!(c_bits(&replay.payload), c_bits(&first.payload));
+    assert_eq!(server.stats().coalesce_hits, 1);
+}
